@@ -1,0 +1,67 @@
+//! E6 — §4.1.5: partitioned-view pruning. Point/range queries on the
+//! seven-way partitioned `lineitem` with (a) static pruning, (b) runtime
+//! startup-filter pruning of a parameterized query, (c) pruning disabled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhqp_bench::{dpv_federation, reset_links, total_traffic};
+use dhqp_types::{value::parse_date, Value};
+use dhqp_workload::tpch::TpchScale;
+use std::collections::HashMap;
+
+// 1993 lives on remote member1, so pruned-vs-unpruned differs in both
+// rows shipped and round trips.
+const STATIC_SQL: &str = "SELECT COUNT(*) AS n, SUM(l_extendedprice) AS rev FROM lineitem_all \
+     WHERE l_commitdate >= '1993-01-01' AND l_commitdate <= '1993-12-31'";
+const PARAM_SQL: &str = "SELECT COUNT(*) AS n FROM lineitem_all WHERE l_commitdate = @d";
+
+fn bench(c: &mut Criterion) {
+    let fed = dpv_federation(TpchScale::small(), 2, true);
+    let mut params = HashMap::new();
+    params.insert("d".to_string(), Value::Date(parse_date("1994-06-15").expect("date")));
+
+    // Warm + traffic report.
+    fed.head.query(STATIC_SQL).unwrap();
+    reset_links(&fed.links);
+    fed.head.query(STATIC_SQL).unwrap();
+    let pruned = total_traffic(&fed.links);
+    let mut off = fed.head.optimizer_config();
+    off.simplify.constraint_pruning = false;
+    off.simplify.startup_filters = false;
+    let on = fed.head.optimizer_config();
+    fed.head.set_optimizer_config(off.clone());
+    fed.head.query(STATIC_SQL).unwrap();
+    reset_links(&fed.links);
+    fed.head.query(STATIC_SQL).unwrap();
+    let unpruned = total_traffic(&fed.links);
+    fed.head.set_optimizer_config(on.clone());
+    eprintln!(
+        "[dpv] static range query: pruned {} rows / {} reqs vs unpruned {} rows / {} reqs",
+        pruned.rows, pruned.requests, unpruned.rows, unpruned.requests
+    );
+
+    let mut g = c.benchmark_group("dpv_pruning");
+    g.sample_size(10);
+    g.bench_function("static_pruned", |b| b.iter(|| fed.head.query(STATIC_SQL).unwrap()));
+    g.bench_function("runtime_startup_filters", |b| {
+        b.iter(|| fed.head.query_with_params(PARAM_SQL, params.clone()).unwrap())
+    });
+    // Point query through routed member access.
+    g.bench_function("point_query", |b| {
+        b.iter(|| {
+            fed.head
+                .query(
+                    "SELECT COUNT(*) AS n FROM lineitem_all WHERE l_commitdate = '1996-03-03'",
+                )
+                .unwrap()
+        })
+    });
+    // Ablation: both pruning mechanisms off.
+    fed.head.set_optimizer_config(off);
+    fed.head.query(STATIC_SQL).unwrap();
+    g.bench_function("ablation_no_pruning", |b| b.iter(|| fed.head.query(STATIC_SQL).unwrap()));
+    fed.head.set_optimizer_config(on);
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

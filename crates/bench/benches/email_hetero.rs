@@ -1,0 +1,87 @@
+//! E5 — §2.4: the salesman's heterogeneous mail + Access query, end to
+//! end, at increasing mailbox sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhqp::Engine;
+use dhqp_oledb::SqlSupport;
+use dhqp_providers::{MailboxProvider, MiniSqlProvider};
+use dhqp_storage::{StorageEngine, TableDef};
+use dhqp_types::{value::parse_date, Column, DataType, Row, Schema, Value};
+use dhqp_workload::mailgen::{generate_mailbox, MailboxSpec};
+use std::sync::Arc;
+
+const SALESMAN_SQL: &str = "SELECT m1.msgid, c.Address \
+    FROM mail.mbx.dbo.messages m1, access.db.dbo.Customers c \
+    WHERE m1.date >= DATE '2004-06-12' \
+      AND m1.from_addr = c.Emailaddr AND c.City = 'Seattle' \
+      AND m1.to_addr = 'smith@corp.example' \
+      AND NOT EXISTS (SELECT * FROM mail.mbx.dbo.messages m2 \
+                      WHERE m2.inreplyto = m1.msgid)";
+
+fn setup(inbound: usize) -> Engine {
+    let today = parse_date("2004-06-14").expect("valid date");
+    let engine = Engine::new("local");
+    let spec = MailboxSpec {
+        owner: "smith@corp.example".into(),
+        customers: MailboxSpec::customer_addresses(24),
+        inbound,
+        reply_fraction: 0.5,
+        today,
+    };
+    engine
+        .add_linked_server(
+            "mail",
+            Arc::new(
+                MailboxProvider::from_text("d:\\mail\\smith.mmf", &generate_mailbox(&spec, 5))
+                    .unwrap(),
+            ),
+        )
+        .unwrap();
+    let mdb = Arc::new(StorageEngine::new("enterprise.mdb"));
+    mdb.create_table(TableDef::new(
+        "Customers",
+        Schema::new(vec![
+            Column::not_null("Emailaddr", DataType::Str),
+            Column::not_null("City", DataType::Str),
+            Column::new("Address", DataType::Str),
+        ]),
+    ))
+    .unwrap();
+    let rows: Vec<Row> = spec
+        .customers
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            Row::new(vec![
+                Value::Str(a.clone()),
+                Value::Str(if i % 2 == 0 { "Seattle" } else { "Portland" }.into()),
+                Value::Str(format!("{i} Pine St")),
+            ])
+        })
+        .collect();
+    mdb.insert_rows("Customers", &rows).unwrap();
+    engine
+        .add_linked_server(
+            "access",
+            Arc::new(MiniSqlProvider::new("mdb", mdb, SqlSupport::OdbcCore).unwrap()),
+        )
+        .unwrap();
+    engine
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("email_hetero");
+    g.sample_size(10);
+    for inbound in [50usize, 200, 800] {
+        let engine = setup(inbound);
+        let hits = engine.query(SALESMAN_SQL).unwrap().len();
+        eprintln!("[email] inbound={inbound}: {hits} unanswered Seattle messages");
+        g.bench_with_input(BenchmarkId::new("salesman_query", inbound), &inbound, |b, _| {
+            b.iter(|| engine.query(SALESMAN_SQL).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

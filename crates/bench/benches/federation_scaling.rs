@@ -1,0 +1,111 @@
+//! E11 — §4.1.5's federated-system claim (the 32-instance TPC-C record):
+//! transfer-style transactions over a federation of N member engines under
+//! 2PC. The qualitative shape: single-site transactions stay cheap as the
+//! federation grows, cross-site transactions pay the 2PC round trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhqp::{Engine, EngineDataSource};
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
+use dhqp_oledb::{DataSource, RowsetExt};
+use dhqp_types::{Row, Value};
+use dhqp_workload::accounts::create_account_partition;
+use std::sync::Arc;
+
+const ACCOUNTS_PER_MEMBER: i64 = 100;
+
+struct Fed {
+    head: Engine,
+    sources: Vec<Arc<dyn DataSource>>,
+}
+
+fn federation(members: usize) -> Fed {
+    let head = Engine::new("head");
+    let mut sources: Vec<Arc<dyn DataSource>> = Vec::new();
+    for i in 0..members {
+        let member = Engine::new(format!("m{i}-engine"));
+        let lo = i as i64 * ACCOUNTS_PER_MEMBER;
+        create_account_partition(
+            member.storage(),
+            &format!("accounts_{i}"),
+            lo,
+            lo + ACCOUNTS_PER_MEMBER - 1,
+            1000,
+        )
+        .unwrap();
+        let link = NetworkLink::new(format!("m{i}"), NetworkConfig::lan());
+        let source: Arc<dyn DataSource> = Arc::new(NetworkedDataSource::new(
+            Arc::new(EngineDataSource::new(member)),
+            link,
+        ));
+        head.add_linked_server(&format!("m{i}"), Arc::clone(&source)).unwrap();
+        sources.push(source);
+    }
+    Fed { head, sources }
+}
+
+/// One transfer transaction touching `sites` distinct members.
+fn transfer(fed: &Fed, from: i64, to: i64) -> dhqp_types::Result<()> {
+    let m_from = (from / ACCOUNTS_PER_MEMBER) as usize;
+    let m_to = (to / ACCOUNTS_PER_MEMBER) as usize;
+    let mut txn = fed.head.dtc().begin();
+    for m in [m_from, m_to] {
+        let name = format!("m{m}");
+        if !txn.participant_names().contains(&name) {
+            txn.enlist(name, fed.sources[m].create_session()?)?;
+        }
+    }
+    for (account, member, delta) in [(from, m_from, -1i64), (to, m_to, 1)] {
+        let table = format!("accounts_{member}");
+        let session = txn.session_mut(&format!("m{member}"))?;
+        let rows = session.open_rowset(&table)?.collect_rows()?;
+        let row = rows.iter().find(|r| r.get(0) == &Value::Int(account)).expect("account");
+        let Value::Int(balance) = row.get(1) else { panic!("balance") };
+        session.update_by_bookmarks(
+            &table,
+            &[row.bookmark.expect("bookmark")],
+            &[Row::new(vec![Value::Int(account), Value::Int(balance + delta)])],
+        )?;
+    }
+    txn.commit()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("federation_scaling");
+    g.sample_size(10);
+    for members in [1usize, 2, 4, 8] {
+        let fed = federation(members);
+        // Same-site transfers: one participant, no cross-server 2PC cost.
+        let e = &fed;
+        g.bench_with_input(BenchmarkId::new("same_site_txn", members), &members, |b, _| {
+            let mut i = 0i64;
+            b.iter(|| {
+                let base = (i % members as i64) * ACCOUNTS_PER_MEMBER;
+                transfer(e, base + (i % 50), base + 50 + (i % 50)).unwrap();
+                i += 1;
+            })
+        });
+        if members >= 2 {
+            // Cross-site transfers: two participants, full 2PC.
+            g.bench_with_input(BenchmarkId::new("cross_site_txn", members), &members, |b, _| {
+                let mut i = 0i64;
+                b.iter(|| {
+                    let m1 = i % members as i64;
+                    let m2 = (i + 1) % members as i64;
+                    transfer(
+                        e,
+                        m1 * ACCOUNTS_PER_MEMBER + (i % 100),
+                        m2 * ACCOUNTS_PER_MEMBER + (i % 100),
+                    )
+                    .unwrap();
+                    i += 1;
+                })
+            });
+        }
+        let (commits, aborts) = fed.head.dtc().stats();
+        eprintln!("[federation] members={members}: {commits} commits, {aborts} aborts");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E4 — Figure 2 / §2.3: full-text CONTAINS through the search service's
+//! (key, rank) rowset joined on row identity, against the naive LIKE-scan
+//! the integration replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhqp::Engine;
+use dhqp_storage::TableDef;
+use dhqp_types::{Column, DataType, Row, Schema, Value};
+use dhqp_workload::docs::generate_documents;
+
+fn bench(c: &mut Criterion) {
+    let engine = Engine::new("local");
+    engine
+        .create_table(
+            TableDef::new(
+                "articles",
+                Schema::new(vec![
+                    Column::not_null("id", DataType::Int),
+                    Column::not_null("topic", DataType::Str),
+                    Column::new("body", DataType::Str),
+                ]),
+            )
+            .with_index("pk_articles", &["id"], true),
+        )
+        .unwrap();
+    // Reuse the corpus generator's bodies as row text.
+    let docs = generate_documents(1500, 77);
+    let rows: Vec<Row> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::Str(d.path.split('\\').nth(2).unwrap_or("misc").to_string()),
+                Value::Str(d.raw.clone()),
+            ])
+        })
+        .collect();
+    engine.insert("articles", &rows).unwrap();
+    engine.create_fulltext_index("articles", "id", "body", "articles_ft").unwrap();
+
+    let contains = "SELECT COUNT(*) AS n FROM articles \
+                    WHERE CONTAINS(body, 'parallel AND database')";
+    let like = "SELECT COUNT(*) AS n FROM articles \
+                WHERE body LIKE '%parallel%' AND body LIKE '%database%'";
+    let n_ft = engine.query(contains).unwrap();
+    let n_like = engine.query(like).unwrap();
+    eprintln!(
+        "[fig2] CONTAINS matched {} rows (stemmed), LIKE matched {} rows (exact substrings)",
+        n_ft.value(0, 0),
+        n_like.value(0, 0)
+    );
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(20);
+    g.bench_function("contains_via_search_service", |b| {
+        b.iter(|| engine.query(contains).unwrap())
+    });
+    g.bench_function("like_scan_baseline", |b| b.iter(|| engine.query(like).unwrap()));
+    // Phrase + rank-ordered variant (the §2.2-style query shape).
+    let phrase = "SELECT COUNT(*) AS n FROM articles \
+                  WHERE CONTAINS(body, '\"parallel database\" OR \"query optimization\"')";
+    g.bench_function("contains_phrases", |b| b.iter(|| engine.query(phrase).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E1 — Figure 4 / Example 1: cost-based distributed join placement.
+//!
+//! Regenerates the paper's plan comparison: the optimizer's plan (b)
+//! (separate remote access, supplier⋈nation joined locally first) against
+//! the forced plan (a) (customer⋈supplier pushed whole). Wall time includes
+//! simulated LAN latency/bandwidth so the traffic difference is visible;
+//! rows/bytes shipped are printed once per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhqp_bench::{example1, warm, EXAMPLE1_PLAN_A_SQL, EXAMPLE1_SQL};
+use dhqp_workload::tpch::TpchScale;
+
+fn bench(c: &mut Criterion) {
+    let ex = example1(TpchScale::small(), true);
+    warm(&ex.local, EXAMPLE1_SQL);
+    warm(&ex.local, EXAMPLE1_PLAN_A_SQL);
+
+    // One-shot traffic report (the paper-shaped numbers).
+    ex.link.reset();
+    ex.local.query(EXAMPLE1_SQL).unwrap();
+    let plan_b = ex.link.snapshot();
+    ex.link.reset();
+    ex.local.query(EXAMPLE1_PLAN_A_SQL).unwrap();
+    let plan_a = ex.link.snapshot();
+    eprintln!(
+        "[fig4] plan(b) optimizer-chosen: {} rows / {} bytes shipped; \
+         plan(a) forced pushed join: {} rows / {} bytes shipped ({}x)",
+        plan_b.rows,
+        plan_b.bytes,
+        plan_a.rows,
+        plan_a.bytes,
+        plan_a.bytes / plan_b.bytes.max(1)
+    );
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("plan_b_optimizer_chosen", |b| {
+        b.iter(|| ex.local.query(EXAMPLE1_SQL).unwrap())
+    });
+    g.bench_function("plan_a_forced_remote_join", |b| {
+        b.iter(|| ex.local.query(EXAMPLE1_PLAN_A_SQL).unwrap())
+    });
+    // Ablation: locality grouping off (the §4.1.2 join-grouping rule).
+    let mut config = ex.local.optimizer_config();
+    config.enable_locality_grouping = false;
+    ex.local.set_optimizer_config(config);
+    warm(&ex.local, EXAMPLE1_SQL);
+    g.bench_function("plan_b_no_locality_grouping", |b| {
+        b.iter(|| ex.local.query(EXAMPLE1_SQL).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

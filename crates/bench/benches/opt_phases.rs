@@ -1,0 +1,100 @@
+//! E9 — §4.1.1: the three optimization phases. Optimization time and plan
+//! cost per forced phase across query complexities, plus the adaptive
+//! ladder with early exit ("the optimizer will not spend too much time on
+//! optimizing easy queries, while for complex queries it will spend longer
+//! time").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhqp::OptimizationPhase;
+use dhqp_bench::{example1, EXAMPLE1_SQL};
+use dhqp_workload::tpch::TpchScale;
+
+fn bench(c: &mut Criterion) {
+    let ex = example1(TpchScale::small(), false);
+    // Add orders/lineitem locally so the 5-way join has depth.
+    {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let scale = TpchScale::small();
+        dhqp_workload::tpch::create_orders(ex.local.storage(), &scale, &mut rng).unwrap();
+        dhqp_workload::tpch::create_lineitem(ex.local.storage(), &scale, &mut rng).unwrap();
+        ex.local.storage().analyze("orders", 16).unwrap();
+        ex.local.storage().analyze("lineitem", 16).unwrap();
+    }
+    let queries: Vec<(&str, String)> = vec![
+        (
+            "point_lookup",
+            "SELECT c_name FROM remote0.tpch.dbo.customer WHERE c_custkey = 7".to_string(),
+        ),
+        ("three_way_join", EXAMPLE1_SQL.to_string()),
+        (
+            "five_way_join",
+            "SELECT n.n_name, COUNT(*) AS n FROM remote0.tpch.dbo.customer c, \
+             remote0.tpch.dbo.supplier s, nation n, orders o, lineitem l \
+             WHERE c.c_nationkey = n.n_nationkey AND n.n_nationkey = s.s_nationkey \
+               AND o.o_custkey = c.c_custkey AND l.l_orderkey = o.o_orderkey \
+               AND l.l_suppkey = s.s_suppkey \
+             GROUP BY n.n_name"
+                .to_string(),
+        ),
+    ];
+
+    // Cost/phase report (the paper's quality-vs-effort trade).
+    for (name, sql) in &queries {
+        let mut line = format!("[phases] {name}:");
+        for phase in [
+            OptimizationPhase::TransactionProcessing,
+            OptimizationPhase::QuickPlan,
+            OptimizationPhase::Full,
+        ] {
+            let mut config = ex.local.optimizer_config();
+            config.forced_phase = Some(phase);
+            ex.local.set_optimizer_config(config);
+            match ex.local.explain(sql) {
+                Ok(p) => line.push_str(&format!(" {}={:.0}", phase.name(), p.est_cost)),
+                Err(_) => line.push_str(&format!(" {}=∅", phase.name())),
+            }
+        }
+        let mut config = ex.local.optimizer_config();
+        config.forced_phase = None;
+        ex.local.set_optimizer_config(config);
+        let adaptive = ex.local.explain(sql).unwrap();
+        line.push_str(&format!(
+            " adaptive={:.0} (phases run: {}, early_exit: {})",
+            adaptive.est_cost,
+            adaptive.stats.phases.len(),
+            adaptive.stats.early_exit
+        ));
+        eprintln!("{line}");
+    }
+
+    let mut g = c.benchmark_group("opt_phases");
+    for (name, sql) in &queries {
+        for phase in [
+            Some(OptimizationPhase::TransactionProcessing),
+            Some(OptimizationPhase::QuickPlan),
+            Some(OptimizationPhase::Full),
+            None,
+        ] {
+            let label = phase.map(|p| p.name()).unwrap_or("adaptive");
+            let mut config = ex.local.optimizer_config();
+            config.forced_phase = phase;
+            ex.local.set_optimizer_config(config.clone());
+            let e = ex.local.clone();
+            let q = sql.clone();
+            g.bench_with_input(BenchmarkId::new(*name, label), &q, move |b, q| {
+                b.iter(|| {
+                    // Optimization time only (explain = bind + optimize).
+                    let _ = e.explain(q);
+                })
+            });
+        }
+    }
+    let mut config = ex.local.optimizer_config();
+    config.forced_phase = None;
+    ex.local.set_optimizer_config(config);
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E10 — §4.1.2: parameterized remote access (remote range/fetch) versus
+//! shipping the table, as the driving side's selectivity grows. The
+//! crossover is the paper's cost-based access-path story: per-probe round
+//! trips win while the outer is small, bulk shipping wins once the outer
+//! covers the table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dhqp_bench::{example1, warm};
+use dhqp_workload::tpch::TpchScale;
+
+fn bench(c: &mut Criterion) {
+    let ex = example1(TpchScale::small(), true);
+
+    // The outer is a nation-key range: 1, 5 or 25 of the 25 nations.
+    let sql = |hi: i64| {
+        format!(
+            "SELECT COUNT(*) AS n FROM nation n, remote0.tpch.dbo.supplier s \
+             WHERE n.n_nationkey = s.s_nationkey AND n.n_nationkey < {hi}"
+        )
+    };
+
+    // Traffic crossover report.
+    for hi in [1i64, 5, 25] {
+        let q = sql(hi);
+        warm(&ex.local, &q);
+        ex.link.reset();
+        ex.local.query(&q).unwrap();
+        let param = ex.link.snapshot();
+        let mut config = ex.local.optimizer_config();
+        config.enable_remote_param = false;
+        let on = ex.local.optimizer_config();
+        ex.local.set_optimizer_config(config);
+        warm(&ex.local, &q);
+        ex.link.reset();
+        ex.local.query(&q).unwrap();
+        let bulk = ex.link.snapshot();
+        ex.local.set_optimizer_config(on);
+        eprintln!(
+            "[access] outer={hi}/25 nations: param path {} rows / {} reqs; \
+             bulk path {} rows / {} reqs",
+            param.rows, param.requests, bulk.rows, bulk.requests
+        );
+    }
+
+    let mut g = c.benchmark_group("remote_access_paths");
+    g.sample_size(10);
+    for hi in [1i64, 5, 25] {
+        let q = sql(hi);
+        warm(&ex.local, &q);
+        let e = ex.local.clone();
+        let q2 = q.clone();
+        g.bench_with_input(BenchmarkId::new("parameterized", hi), &hi, move |b, _| {
+            b.iter(|| e.query(&q2).unwrap())
+        });
+        let mut config = ex.local.optimizer_config();
+        config.enable_remote_param = false;
+        let on = ex.local.optimizer_config();
+        ex.local.set_optimizer_config(config);
+        warm(&ex.local, &q);
+        let e = ex.local.clone();
+        let q2 = q.clone();
+        g.bench_with_input(BenchmarkId::new("bulk_ship", hi), &hi, move |b, _| {
+            b.iter(|| e.query(&q2).unwrap())
+        });
+        ex.local.set_optimizer_config(on);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

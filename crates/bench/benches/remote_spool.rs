@@ -1,0 +1,48 @@
+//! E8 — §4.1.2/§4.1.4: the *spool over remote operation* enforcer. A
+//! non-commutable outer join forces the remote table onto the rescanned
+//! inner side; the spool fetches it once instead of once per outer row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhqp_bench::{example1, reset_links, warm};
+use dhqp_workload::tpch::TpchScale;
+
+const SQL: &str = "SELECT COUNT(*) AS n FROM nation n \
+     LEFT OUTER JOIN remote0.tpch.dbo.supplier s ON s.s_suppkey > n.n_nationkey";
+
+fn bench(c: &mut Criterion) {
+    let ex = example1(TpchScale::small(), true);
+    warm(&ex.local, SQL);
+
+    // Traffic report.
+    reset_links(std::slice::from_ref(&ex.link));
+    ex.local.query(SQL).unwrap();
+    let with_spool = ex.link.snapshot();
+    let mut off = ex.local.optimizer_config();
+    off.enable_spool = false;
+    let on = ex.local.optimizer_config();
+    ex.local.set_optimizer_config(off.clone());
+    warm(&ex.local, SQL);
+    ex.link.reset();
+    ex.local.query(SQL).unwrap();
+    let without_spool = ex.link.snapshot();
+    ex.local.set_optimizer_config(on.clone());
+    eprintln!(
+        "[spool] with spool: {} rows / {} reqs; without: {} rows / {} reqs ({}x rows)",
+        with_spool.rows,
+        with_spool.requests,
+        without_spool.rows,
+        without_spool.requests,
+        without_spool.rows / with_spool.rows.max(1)
+    );
+
+    let mut g = c.benchmark_group("remote_spool");
+    g.sample_size(10);
+    g.bench_function("spool_enabled", |b| b.iter(|| ex.local.query(SQL).unwrap()));
+    ex.local.set_optimizer_config(off);
+    g.bench_function("spool_disabled", |b| b.iter(|| ex.local.query(SQL).unwrap()));
+    ex.local.set_optimizer_config(on);
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

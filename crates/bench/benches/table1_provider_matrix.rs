@@ -1,0 +1,144 @@
+//! E2 — Table 1: one query shape against each provider class the paper
+//! lists (relational SQL, desktop SQL, simple/tabular, full-text
+//! pass-through), measuring how much work each class lets the DHQP push.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhqp::{Engine, EngineDataSource};
+use dhqp_fulltext::FullTextProvider;
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
+use dhqp_oledb::{DataSource, SqlSupport};
+use dhqp_providers::{CsvProvider, MiniSqlProvider};
+use dhqp_storage::{StorageEngine, TableDef};
+use dhqp_types::{Column, DataType, Row, Schema, Value};
+use dhqp_workload::docs::generate_documents;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const N: i64 = 2000;
+
+fn item_rows() -> Vec<Row> {
+    (0..N)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Str(format!("cat{}", i % 10)),
+                Value::Int(i * 3 % 1000),
+            ])
+        })
+        .collect()
+}
+
+fn item_schema() -> Schema {
+    Schema::new(vec![
+        Column::not_null("id", DataType::Int),
+        Column::not_null("category", DataType::Str),
+        Column::not_null("price", DataType::Int),
+    ])
+}
+
+fn storage_with_items(name: &str) -> Arc<StorageEngine> {
+    let s = Arc::new(StorageEngine::new(name));
+    s.create_table(TableDef::new("items", item_schema())).unwrap();
+    s.insert_rows("items", &item_rows()).unwrap();
+    s
+}
+
+fn csv_items() -> CsvProvider {
+    let mut text = String::from("id,category,price\n");
+    for r in item_rows() {
+        let _ = writeln!(text, "{},{},{}", r.get(0), r.get(1), r.get(2));
+    }
+    CsvProvider::new("files", &[("items", &text)]).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let engine = Engine::new("local");
+    let link = |name: &str| NetworkLink::new(name, NetworkConfig::lan());
+
+    // Relational SQL Server class (Transact-SQL row of Table 1).
+    let sql_server = Engine::new("sqlsrv-engine");
+    sql_server.create_table(TableDef::new("items", item_schema())).unwrap();
+    sql_server.storage().insert_rows("items", &item_rows()).unwrap();
+    let l_sql = link("sqlsrv");
+    engine
+        .add_linked_server(
+            "sqlsrv",
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(sql_server)),
+                l_sql.clone(),
+            )),
+        )
+        .unwrap();
+
+    // Desktop SQL class (Access row).
+    let l_acc = link("access");
+    engine
+        .add_linked_server(
+            "access",
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(
+                    MiniSqlProvider::new("mdb", storage_with_items("mdb"), SqlSupport::OdbcCore)
+                        .unwrap(),
+                ),
+                l_acc.clone(),
+            )),
+        )
+        .unwrap();
+
+    // Simple tabular class (text files / Excel row).
+    let l_csv = link("files");
+    engine
+        .add_linked_server(
+            "files",
+            Arc::new(NetworkedDataSource::new(Arc::new(csv_items()), l_csv.clone())),
+        )
+        .unwrap();
+
+    // Full-text class (Index Server row): proprietary language, queried via
+    // pass-through only.
+    let service = Arc::clone(engine.fulltext_service());
+    service.create_catalog("lit").unwrap();
+    for d in generate_documents(200, 1) {
+        service.index_document("lit", d).unwrap();
+    }
+    let svc = Arc::clone(&service);
+    engine.register_openrowset_provider(
+        "MSIDXS",
+        Arc::new(move |cat: &str| {
+            Ok(Arc::new(FullTextProvider::new(Arc::clone(&svc), cat)) as Arc<dyn DataSource>)
+        }),
+    );
+
+    let shape = |server: &str| {
+        format!(
+            "SELECT category, COUNT(*) AS n FROM {server}.db.dbo.items \
+             WHERE price < 100 GROUP BY category"
+        )
+    };
+    let ft_query = "SELECT FS.path FROM OPENROWSET('MSIDXS','lit',\
+                    'Select path, rank from SCOPE() where CONTAINS(''database'')') AS FS";
+
+    // Traffic report.
+    for (name, sql, l) in [
+        ("sql-server", shape("sqlsrv"), &l_sql),
+        ("access-odbc-core", shape("access"), &l_acc),
+        ("simple-csv", shape("files"), &l_csv),
+    ] {
+        engine.query(&sql).unwrap();
+        l.reset();
+        engine.query(&sql).unwrap();
+        let t = l.snapshot();
+        eprintln!("[table1] {name}: {} rows / {} bytes shipped", t.rows, t.bytes);
+    }
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("relational_sql92", |b| b.iter(|| engine.query(&shape("sqlsrv")).unwrap()));
+    g.bench_function("desktop_odbc_core", |b| b.iter(|| engine.query(&shape("access")).unwrap()));
+    g.bench_function("simple_csv", |b| b.iter(|| engine.query(&shape("files")).unwrap()));
+    g.bench_function("fulltext_pass_through", |b| b.iter(|| engine.query(ft_query).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! E3 — Table 2 / §3.3: the same data exposed at increasing capability
+//! levels — simple rowset-only, SQL Minimum, ODBC Core, SQL-92 with
+//! indexes — running the same query. Pushdown (and therefore traffic and
+//! time) improves monotonically with capability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dhqp::{Engine, EngineDataSource};
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
+use dhqp_oledb::SqlSupport;
+use dhqp_providers::{CsvProvider, MiniSqlProvider};
+use dhqp_storage::{StorageEngine, TableDef};
+use dhqp_types::{Column, DataType, Row, Schema, Value};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const N: i64 = 3000;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::not_null("k", DataType::Int),
+        Column::not_null("grp", DataType::Int),
+        Column::not_null("v", DataType::Int),
+    ])
+}
+
+fn rows() -> Vec<Row> {
+    (0..N)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 20), Value::Int(i * 7 % 500)]))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let engine = Engine::new("local");
+
+    // simple: rowset-only CSV.
+    let mut text = String::from("k,grp,v\n");
+    for r in rows() {
+        let _ = writeln!(text, "{},{},{}", r.get(0), r.get(1), r.get(2));
+    }
+    let l_simple = NetworkLink::new("simple", NetworkConfig::lan());
+    engine
+        .add_linked_server(
+            "simple",
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(CsvProvider::new("csv", &[("t", &text)]).unwrap()),
+                l_simple.clone(),
+            )),
+        )
+        .unwrap();
+
+    // SQL Minimum and ODBC Core over identical storage.
+    let mut links = vec![("simple", l_simple)];
+    for (name, level) in [("minimum", SqlSupport::Minimum), ("odbccore", SqlSupport::OdbcCore)] {
+        let s = Arc::new(StorageEngine::new(name));
+        s.create_table(TableDef::new("t", schema())).unwrap();
+        s.insert_rows("t", &rows()).unwrap();
+        let link = NetworkLink::new(name, NetworkConfig::lan());
+        engine
+            .add_linked_server(
+                name,
+                Arc::new(NetworkedDataSource::new(
+                    Arc::new(MiniSqlProvider::new(name, s, level).unwrap()),
+                    link.clone(),
+                )),
+            )
+            .unwrap();
+        links.push((name, link));
+    }
+
+    // SQL-92 + index provider: a full engine.
+    let full = Engine::new("full-engine");
+    full.create_table(TableDef::new("t", schema()).with_index("pk_t", &["k"], true)).unwrap();
+    full.storage().insert_rows("t", &rows()).unwrap();
+    full.storage().analyze("t", 16).unwrap();
+    let l_full = NetworkLink::new("sql92", NetworkConfig::lan());
+    engine
+        .add_linked_server(
+            "sql92",
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(full)),
+                l_full.clone(),
+            )),
+        )
+        .unwrap();
+    links.push(("sql92", l_full));
+
+    // The workload: an aggregate over a selective disjunctive filter —
+    // needs OR (beyond Minimum) and GROUP BY (beyond ODBC Core).
+    let sql = |server: &str| {
+        format!(
+            "SELECT grp, COUNT(*) AS n FROM {server}.db.dbo.t \
+             WHERE v < 50 OR v > 450 GROUP BY grp"
+        )
+    };
+
+    for (name, link) in &links {
+        let q = sql(name);
+        engine.query(&q).unwrap();
+        link.reset();
+        engine.query(&q).unwrap();
+        let t = link.snapshot();
+        eprintln!("[table2] {name}: {} rows / {} bytes shipped", t.rows, t.bytes);
+    }
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for (name, _) in &links {
+        let q = sql(name);
+        let e = engine.clone();
+        g.bench_function(*name, move |b| b.iter(|| e.query(&q).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Shared experiment fixtures for the benchmark suite and the `report`
+//! binary.
+//!
+//! Every table and figure of the paper maps to one module here (see
+//! DESIGN.md's per-experiment index); the Criterion benches in `benches/`
+//! time the fixtures, and `src/bin/report.rs` prints the paper-shaped rows
+//! recorded in EXPERIMENTS.md.
+
+use dhqp::{Engine, EngineDataSource};
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource, TrafficSnapshot};
+use dhqp_types::IntervalSet;
+use dhqp_workload::tpch::{self, TpchScale};
+use std::sync::Arc;
+
+/// The paper's Example 1 layout: `customer`/`supplier` on one remote
+/// server, `nation` local.
+pub struct Example1 {
+    pub local: Engine,
+    pub link: NetworkLink,
+}
+
+/// Example 1's query text (four-part names, §2.1).
+pub const EXAMPLE1_SQL: &str = "SELECT c.c_name, c.c_address, c.c_phone \
+     FROM remote0.tpch10g.dbo.customer c, remote0.tpch10g.dbo.supplier s, nation n \
+     WHERE c.c_nationkey = n.n_nationkey AND n.n_nationkey = s.s_nationkey";
+
+/// The pass-through statement forcing Figure 4's plan (a).
+pub const EXAMPLE1_PLAN_A_SQL: &str = "SELECT j.c_name, j.c_address, j.c_phone FROM \
+     OPENQUERY(remote0, 'SELECT c.c_name, c.c_address, c.c_phone, c.c_nationkey \
+      FROM customer c, supplier s WHERE c.c_nationkey = s.s_nationkey') j, nation n \
+     WHERE j.c_nationkey = n.n_nationkey";
+
+/// Build the Example 1 federation. `timed` turns on link latency/bandwidth
+/// simulation so wall-clock measurements include network time.
+pub fn example1(scale: TpchScale, timed: bool) -> Example1 {
+    let remote = Engine::new("remote0-engine");
+    {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        tpch::create_customer(remote.storage(), &scale, &mut rng).expect("setup");
+        tpch::create_supplier(remote.storage(), &scale, &mut rng).expect("setup");
+        remote.storage().analyze("customer", 24).expect("setup");
+        remote.storage().analyze("supplier", 24).expect("setup");
+    }
+    let local = Engine::new("local");
+    tpch::create_nation(local.storage(), &scale).expect("setup");
+    local.analyze("nation", 8).expect("setup");
+    let config = if timed { NetworkConfig::lan_timed() } else { NetworkConfig::lan() };
+    let link = NetworkLink::new("link-remote0", config);
+    local
+        .add_linked_server(
+            "remote0",
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(remote)),
+                link.clone(),
+            )),
+        )
+        .expect("setup");
+    Example1 { local, link }
+}
+
+/// A federation head with the seven-year `lineitem_all` DPV spread over
+/// `member_count` engines (§4.1.5).
+pub struct DpvFederation {
+    pub head: Engine,
+    pub members: Vec<Engine>,
+    pub links: Vec<NetworkLink>,
+}
+
+pub fn dpv_federation(scale: TpchScale, member_engines: usize, timed: bool) -> DpvFederation {
+    assert!(member_engines >= 1);
+    let head = Engine::new("head");
+    let members: Vec<Engine> =
+        (0..member_engines).map(|i| Engine::new(format!("member{}-engine", i + 1))).collect();
+    let mut engine_refs = vec![head.storage().as_ref()];
+    engine_refs.extend(members.iter().map(|m| m.storage().as_ref()));
+    let placed = tpch::create_lineitem_partitions(&engine_refs, &scale, 17).expect("setup");
+    let config = if timed { NetworkConfig::lan_timed() } else { NetworkConfig::lan() };
+    let mut links = Vec::new();
+    for (i, member) in members.iter().enumerate() {
+        let link = NetworkLink::new(format!("member{}", i + 1), config);
+        head.add_linked_server(
+            &format!("member{}", i + 1),
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(member.clone())),
+                link.clone(),
+            )),
+        )
+        .expect("setup");
+        links.push(link);
+    }
+    let view_members: Vec<(Option<String>, String, IntervalSet)> = placed
+        .into_iter()
+        .map(|(idx, table, domain)| {
+            (if idx == 0 { None } else { Some(format!("member{idx}")) }, table, domain)
+        })
+        .collect();
+    head.define_partitioned_view("lineitem_all", "l_commitdate", view_members).expect("setup");
+    DpvFederation { head, members, links }
+}
+
+/// Sum of traffic over several links.
+pub fn total_traffic(links: &[NetworkLink]) -> TrafficSnapshot {
+    links.iter().map(|l| l.snapshot()).fold(TrafficSnapshot::default(), |a, b| a + b)
+}
+
+/// Reset a set of links.
+pub fn reset_links(links: &[NetworkLink]) {
+    for l in links {
+        l.reset();
+    }
+}
+
+/// Run a query once to warm metadata caches so measurements isolate the
+/// per-query behaviour.
+pub fn warm(engine: &Engine, sql: &str) {
+    engine.query(sql).expect("warm-up query");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let ex1 = example1(TpchScale::tiny(), false);
+        assert_eq!(ex1.local.query(EXAMPLE1_SQL).unwrap().schema.len(), 3);
+        let fed = dpv_federation(TpchScale::tiny(), 2, false);
+        assert!(!fed.head.query("SELECT COUNT(*) AS n FROM lineitem_all").unwrap().is_empty());
+        assert_eq!(fed.links.len(), 2);
+        reset_links(&fed.links);
+        assert_eq!(total_traffic(&fed.links).bytes, 0);
+    }
+}

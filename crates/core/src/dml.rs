@@ -1,0 +1,489 @@
+//! DML execution: INSERT / UPDATE / DELETE against local tables, remote
+//! tables and (distributed) partitioned views, with 2PC when a statement
+//! touches more than one server (paper §2: "SQL Server uses the Microsoft
+//! Distributed Transaction Coordinator to ensure atomicity of transactions
+//! across data sources").
+
+use crate::binder::Binder;
+use crate::engine::Engine;
+use crate::result::QueryResult;
+use dhqp_dtc::DistributedTransaction;
+use dhqp_executor::eval::{eval_expr, eval_predicate, positions_of, RowEnv};
+use dhqp_federation::PartitionedView;
+use dhqp_oledb::{DataSource, RowsetExt, Session};
+use dhqp_optimizer::logical::TableMeta;
+use dhqp_optimizer::props::ColumnRegistry;
+use dhqp_optimizer::ScalarExpr;
+use dhqp_sqlfront as ast;
+use dhqp_types::{DhqpError, Result, Row, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a DML statement targets.
+enum Target {
+    View(PartitionedView),
+    /// `(server, table)`; server None = local.
+    Table(Option<String>, String),
+}
+
+fn resolve_target(engine: &Engine, name: &ast::ObjectName) -> Result<Target> {
+    if name.0.len() == 1 {
+        if let Some(view) = engine.partitioned_view(name.object()) {
+            return Ok(Target::View(view));
+        }
+    }
+    Ok(Target::Table(name.server().map(str::to_string), name.object().to_string()))
+}
+
+/// Key identifying one participant server in a multi-site statement.
+fn server_key(server: &Option<String>) -> String {
+    server.as_deref().unwrap_or("(local)").to_lowercase()
+}
+
+fn source_for(engine: &Engine, server: &Option<String>) -> Result<Arc<dyn DataSource>> {
+    match server {
+        None => Ok(engine.local_data_source() as Arc<dyn DataSource>),
+        Some(s) => engine.linked_server(s),
+    }
+}
+
+/// Hands out per-server sessions to DML work. Two implementations: plain
+/// autocommit sessions, or sessions enlisted in one distributed
+/// transaction.
+trait SessionProvider {
+    fn session(&mut self, server: &Option<String>) -> Result<&mut Box<dyn Session>>;
+}
+
+/// Autocommit sessions (single-participant statements).
+struct AutoCommitSessions<'e> {
+    engine: &'e Engine,
+    sessions: HashMap<String, Box<dyn Session>>,
+}
+
+impl SessionProvider for AutoCommitSessions<'_> {
+    fn session(&mut self, server: &Option<String>) -> Result<&mut Box<dyn Session>> {
+        let key = server_key(server);
+        if !self.sessions.contains_key(&key) {
+            let session = source_for(self.engine, server)?.create_session()?;
+            self.sessions.insert(key.clone(), session);
+        }
+        Ok(self.sessions.get_mut(&key).expect("inserted above"))
+    }
+}
+
+/// Sessions enlisted in a distributed transaction (multi-site statements).
+struct TxnSessions<'e, 't> {
+    engine: &'e Engine,
+    txn: &'t mut DistributedTransaction,
+}
+
+impl SessionProvider for TxnSessions<'_, '_> {
+    fn session(&mut self, server: &Option<String>) -> Result<&mut Box<dyn Session>> {
+        let key = server_key(server);
+        if !self.txn.participant_names().contains(&key) {
+            let session = source_for(self.engine, server)?.create_session()?;
+            self.txn.enlist(key.clone(), session)?;
+        }
+        self.txn.session_mut(&key)
+    }
+}
+
+/// Run `work` with per-server sessions; if `participants` spans several
+/// servers the whole statement commits atomically via 2PC.
+fn run_write_set(
+    engine: &Engine,
+    participants: &[Option<String>],
+    work: impl FnOnce(&mut dyn SessionProvider) -> Result<u64>,
+) -> Result<u64> {
+    let mut keys: Vec<String> = participants.iter().map(server_key).collect();
+    keys.sort();
+    keys.dedup();
+    if keys.len() <= 1 {
+        let mut sessions = AutoCommitSessions { engine, sessions: HashMap::new() };
+        return work(&mut sessions);
+    }
+    let mut txn = engine.dtc().begin();
+    let n = {
+        let mut sessions = TxnSessions { engine, txn: &mut txn };
+        work(&mut sessions)?
+    };
+    txn.commit()?;
+    Ok(n)
+}
+
+// ---------------------------------------------------------------------------
+// INSERT
+// ---------------------------------------------------------------------------
+
+pub fn run_insert(
+    engine: &Engine,
+    stmt: &ast::InsertStmt,
+    params: &HashMap<String, Value>,
+) -> Result<QueryResult> {
+    let target = resolve_target(engine, &stmt.table)?;
+    let source_rows: Vec<Vec<Value>> = match &stmt.source {
+        ast::InsertSource::Values(rows) => {
+            let mut binder = Binder::new(engine, params);
+            let mut bound_rows = Vec::with_capacity(rows.len());
+            for row in rows {
+                bound_rows.push(binder.bind_standalone_exprs(row)?);
+            }
+            let registry = Arc::new(binder.registry_snapshot());
+            let ctx = engine.exec_context(params.clone(), registry);
+            bound_rows
+                .into_iter()
+                .map(|exprs| dhqp_executor::ops::remote::eval_standalone(&exprs, &ctx))
+                .collect::<Result<Vec<_>>>()?
+        }
+        ast::InsertSource::Select(select) => {
+            let result = engine.query_select_internal(select, params)?;
+            result.rows.into_iter().map(|r| r.values).collect()
+        }
+    };
+    let n = match target {
+        Target::Table(server, table) => {
+            insert_into_table(engine, &server, &table, &stmt.columns, source_rows)?
+        }
+        Target::View(view) => insert_into_view(engine, &view, &stmt.columns, source_rows)?,
+    };
+    Ok(QueryResult::rows_affected(n))
+}
+
+/// Arrange a source row into full table-column order, applying the column
+/// list and coercing to declared types.
+fn arrange_row(
+    columns: &[String],
+    table_columns: &[dhqp_oledb::ColumnInfo],
+    values: Vec<Value>,
+) -> Result<Row> {
+    let expected = if columns.is_empty() { table_columns.len() } else { columns.len() };
+    if values.len() != expected {
+        return Err(DhqpError::Execute(format!(
+            "INSERT supplies {} values for {} columns",
+            values.len(),
+            expected
+        )));
+    }
+    let mut out = vec![Value::Null; table_columns.len()];
+    if columns.is_empty() {
+        for (i, v) in values.into_iter().enumerate() {
+            out[i] = v;
+        }
+    } else {
+        for (name, v) in columns.iter().zip(values) {
+            let pos = table_columns
+                .iter()
+                .position(|c| c.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| DhqpError::Bind(format!("unknown INSERT column '{name}'")))?;
+            out[pos] = v;
+        }
+    }
+    // Coerce to declared types (string dates → DATE etc.).
+    for (v, c) in out.iter_mut().zip(table_columns) {
+        if !v.is_null() && v.data_type() != Some(c.data_type) {
+            if let Ok(cast) = v.cast(c.data_type) {
+                *v = cast;
+            }
+        }
+    }
+    Ok(Row::new(out))
+}
+
+fn insert_into_table(
+    engine: &Engine,
+    server: &Option<String>,
+    table: &str,
+    columns: &[String],
+    source_rows: Vec<Vec<Value>>,
+) -> Result<u64> {
+    let info = engine.fresh_table_info(server.as_deref(), table)?;
+    let rows = source_rows
+        .into_iter()
+        .map(|vals| arrange_row(columns, &info.columns, vals))
+        .collect::<Result<Vec<_>>>()?;
+    let n = run_write_set(engine, std::slice::from_ref(server), |sessions| {
+        sessions.session(server)?.insert(table, &rows)
+    })?;
+    if server.is_none() {
+        engine.refresh_fulltext_index(table)?;
+    }
+    Ok(n)
+}
+
+fn insert_into_view(
+    engine: &Engine,
+    view: &PartitionedView,
+    columns: &[String],
+    source_rows: Vec<Vec<Value>>,
+) -> Result<u64> {
+    let info = &view.members[0].schema_snapshot;
+    // Route every row first so constraint violations abort before any
+    // write happens.
+    let mut routed: HashMap<usize, Vec<Row>> = HashMap::new();
+    for vals in source_rows {
+        let row = arrange_row(columns, &info.columns, vals)?;
+        let member = view.route(row.get(view.partition_column))?;
+        routed.entry(member).or_default().push(row);
+    }
+    let participants: Vec<Option<String>> =
+        routed.keys().map(|&m| view.members[m].server.clone()).collect();
+    run_write_set(engine, &participants, |sessions| {
+        let mut n = 0;
+        for (member, rows) in &routed {
+            let m = &view.members[*member];
+            n += sessions.session(&m.server)?.insert(&m.table, rows)?;
+        }
+        Ok(n)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// DELETE
+// ---------------------------------------------------------------------------
+
+pub fn run_delete(
+    engine: &Engine,
+    stmt: &ast::DeleteStmt,
+    params: &HashMap<String, Value>,
+) -> Result<QueryResult> {
+    let target = resolve_target(engine, &stmt.table)?;
+    let n = match target {
+        Target::Table(server, table) => {
+            let n = run_write_set(engine, std::slice::from_ref(&server), |sessions| {
+                delete_matching(engine, sessions, &server, &table, stmt.where_clause.as_ref(), params)
+            })?;
+            if server.is_none() {
+                engine.refresh_fulltext_index(&table)?;
+            }
+            n
+        }
+        Target::View(view) => {
+            let members = prune_members(engine, &view, stmt.where_clause.as_ref(), params)?;
+            let participants: Vec<Option<String>> =
+                members.iter().map(|&m| view.members[m].server.clone()).collect();
+            run_write_set(engine, &participants, |sessions| {
+                let mut n = 0;
+                for &m in &members {
+                    let member = &view.members[m];
+                    n += delete_matching(
+                        engine,
+                        sessions,
+                        &member.server,
+                        &member.table,
+                        stmt.where_clause.as_ref(),
+                        params,
+                    )?;
+                }
+                Ok(n)
+            })?
+        }
+    };
+    Ok(QueryResult::rows_affected(n))
+}
+
+/// Bind a DML WHERE clause against one table's schema.
+fn bind_dml_predicate(
+    engine: &Engine,
+    server: &Option<String>,
+    table: &str,
+    where_clause: Option<&ast::Expr>,
+    params: &HashMap<String, Value>,
+) -> Result<(Arc<TableMeta>, Option<ScalarExpr>, Arc<ColumnRegistry>)> {
+    let mut binder = Binder::new(engine, params);
+    let meta = binder.bind_dml_table(server.as_deref(), table)?;
+    let predicate = match where_clause {
+        Some(e) => Some(binder.bind_expr_in_table(e, &meta)?),
+        None => None,
+    };
+    Ok((meta, predicate, Arc::new(binder.registry_snapshot())))
+}
+
+/// Members a DML WHERE clause can touch (static pruning, §4.1.5).
+fn prune_members(
+    engine: &Engine,
+    view: &PartitionedView,
+    where_clause: Option<&ast::Expr>,
+    params: &HashMap<String, Value>,
+) -> Result<Vec<usize>> {
+    let Some(where_clause) = where_clause else {
+        return Ok((0..view.members.len()).collect());
+    };
+    let member = &view.members[0];
+    let mut binder = Binder::new(engine, params);
+    let meta = binder.bind_dml_table(member.server.as_deref(), &member.table)?;
+    let predicate = binder.bind_expr_in_table(where_clause, &meta)?;
+    let part_col = meta.column_id(view.partition_column);
+    let domain = predicate.domain_for(part_col);
+    Ok(view.members_for_domain(&domain))
+}
+
+/// Scan + filter a table through a session, returning matching rows.
+fn matching_rows(
+    engine: &Engine,
+    sessions: &mut dyn SessionProvider,
+    server: &Option<String>,
+    table: &str,
+    where_clause: Option<&ast::Expr>,
+    params: &HashMap<String, Value>,
+) -> Result<Vec<Row>> {
+    let (meta, predicate, registry) =
+        bind_dml_predicate(engine, server, table, where_clause, params)?;
+    let session = sessions.session(server)?;
+    let mut rowset = session.open_rowset(table)?;
+    let rows = rowset.collect_rows()?;
+    let Some(predicate) = predicate else { return Ok(rows) };
+    let positions = positions_of(&meta.column_ids);
+    let ctx = engine.exec_context(params.clone(), registry);
+    let mut out = Vec::new();
+    for row in rows {
+        let env = RowEnv { positions: &positions, row: &row, ctx: &ctx };
+        if eval_predicate(&predicate, &env)? {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+fn delete_matching(
+    engine: &Engine,
+    sessions: &mut dyn SessionProvider,
+    server: &Option<String>,
+    table: &str,
+    where_clause: Option<&ast::Expr>,
+    params: &HashMap<String, Value>,
+) -> Result<u64> {
+    let rows = matching_rows(engine, sessions, server, table, where_clause, params)?;
+    let bookmarks: Vec<u64> = rows
+        .iter()
+        .map(|r| r.bookmark.ok_or_else(|| DhqpError::Execute("row without bookmark".into())))
+        .collect::<Result<Vec<_>>>()?;
+    if bookmarks.is_empty() {
+        return Ok(0);
+    }
+    sessions.session(server)?.delete_by_bookmarks(table, &bookmarks)
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE
+// ---------------------------------------------------------------------------
+
+pub fn run_update(
+    engine: &Engine,
+    stmt: &ast::UpdateStmt,
+    params: &HashMap<String, Value>,
+) -> Result<QueryResult> {
+    let target = resolve_target(engine, &stmt.table)?;
+    let n = match target {
+        Target::Table(server, table) => {
+            let n = run_write_set(engine, std::slice::from_ref(&server), |sessions| {
+                update_table(engine, sessions, &server, &table, stmt, params, None)
+            })?;
+            if server.is_none() {
+                engine.refresh_fulltext_index(&table)?;
+            }
+            n
+        }
+        Target::View(view) => {
+            let members = prune_members(engine, &view, stmt.where_clause.as_ref(), params)?;
+            // Partition-key updates may move rows to any member, so every
+            // member becomes a potential participant.
+            let updates_partition_key = stmt
+                .assignments
+                .iter()
+                .any(|(c, _)| view.columns[view.partition_column].eq_ignore_ascii_case(c));
+            let participants: Vec<Option<String>> = if updates_partition_key {
+                view.members.iter().map(|m| m.server.clone()).collect()
+            } else {
+                members.iter().map(|&m| view.members[m].server.clone()).collect()
+            };
+            run_write_set(engine, &participants, |sessions| {
+                let mut n = 0;
+                for &m in &members {
+                    let member = &view.members[m];
+                    n += update_table(
+                        engine,
+                        sessions,
+                        &member.server,
+                        &member.table,
+                        stmt,
+                        params,
+                        Some((&view, m)),
+                    )?;
+                }
+                Ok(n)
+            })?
+        }
+    };
+    Ok(QueryResult::rows_affected(n))
+}
+
+/// Update one table (possibly a view member, enabling row moves when the
+/// partitioning key changes).
+fn update_table(
+    engine: &Engine,
+    sessions: &mut dyn SessionProvider,
+    server: &Option<String>,
+    table: &str,
+    stmt: &ast::UpdateStmt,
+    params: &HashMap<String, Value>,
+    view_member: Option<(&PartitionedView, usize)>,
+) -> Result<u64> {
+    let mut binder = Binder::new(engine, params);
+    let meta = binder.bind_dml_table(server.as_deref(), table)?;
+    let assignments: Vec<(usize, ScalarExpr)> = stmt
+        .assignments
+        .iter()
+        .map(|(col, e)| {
+            let pos = meta
+                .schema
+                .index_of(col)
+                .ok_or_else(|| DhqpError::Bind(format!("unknown UPDATE column '{col}'")))?;
+            Ok((pos, binder.bind_expr_in_table(e, &meta)?))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let registry = Arc::new(binder.registry_snapshot());
+    let rows =
+        matching_rows(engine, sessions, server, table, stmt.where_clause.as_ref(), params)?;
+    let positions = positions_of(&meta.column_ids);
+    let ctx = engine.exec_context(params.clone(), registry);
+    let mut in_place: (Vec<u64>, Vec<Row>) = (Vec::new(), Vec::new());
+    let mut moves: Vec<(u64, usize, Row)> = Vec::new();
+    for row in rows {
+        let bookmark =
+            row.bookmark.ok_or_else(|| DhqpError::Execute("row without bookmark".into()))?;
+        let mut new_row = row.clone();
+        let env = RowEnv { positions: &positions, row: &row, ctx: &ctx };
+        for (pos, e) in &assignments {
+            let mut v = eval_expr(e, &env)?;
+            let declared = meta.schema.column(*pos).data_type;
+            if !v.is_null() && v.data_type() != Some(declared) {
+                if let Ok(cast) = v.cast(declared) {
+                    v = cast;
+                }
+            }
+            new_row.values[*pos] = v;
+        }
+        new_row.bookmark = None;
+        if let Some((view, my_member)) = view_member {
+            let dest = view.route(new_row.get(view.partition_column))?;
+            if dest != my_member {
+                moves.push((bookmark, dest, new_row));
+                continue;
+            }
+        }
+        in_place.0.push(bookmark);
+        in_place.1.push(new_row);
+    }
+    let mut n = 0;
+    if !in_place.0.is_empty() {
+        n += sessions.session(server)?.update_by_bookmarks(table, &in_place.0, &in_place.1)?;
+    }
+    for (bookmark, dest, new_row) in moves {
+        let (view, _) = view_member.expect("moves only exist for views");
+        sessions.session(server)?.delete_by_bookmarks(table, &[bookmark])?;
+        let dest_member = &view.members[dest];
+        sessions.session(&dest_member.server)?.insert(&dest_member.table, &[new_row])?;
+        n += 1;
+    }
+    Ok(n)
+}

@@ -1,0 +1,571 @@
+//! The engine: catalog, query pipeline and public API.
+
+use crate::binder::{Binder, BoundSelect, FetchedTable};
+use crate::dml;
+use crate::result::QueryResult;
+use dhqp_dtc::TransactionCoordinator;
+use dhqp_executor::{ExecContext, SourceCatalog};
+use dhqp_federation::{LinkedServerRegistry, MemberTable, PartitionedView};
+use dhqp_fulltext::SearchService;
+use dhqp_oledb::{DataSource, RowsetExt, TableStatistics};
+use dhqp_optimizer::explain::ExplainPlan;
+use dhqp_optimizer::{Optimizer, OptimizerConfig};
+use dhqp_sqlfront::{parse_statement, SelectStmt, Statement};
+use dhqp_storage::{LocalDataSource, StorageEngine, TableDef};
+use dhqp_types::{DhqpError, IntervalSet, Result, Row, Schema, Value};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The distributed/heterogeneous query processor. Cheap to clone; clones
+/// share all state.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<Inner>,
+}
+
+pub(crate) struct Inner {
+    name: String,
+    storage: Arc<StorageEngine>,
+    local_source: Arc<LocalDataSource>,
+    registry: RwLock<LinkedServerRegistry>,
+    views: RwLock<HashMap<String, PartitionedView>>,
+    fulltext: Arc<SearchService>,
+    /// `(table, column)` → `(catalog, key column)` full-text bindings.
+    ft_bindings: RwLock<HashMap<(String, String), (String, String)>>,
+    /// Remote metadata cache: `(server, table)` → fetched bundle. Local
+    /// tables are never cached (they are cheap and always fresh).
+    meta_cache: RwLock<HashMap<(String, String), Arc<FetchedTable>>>,
+    config: RwLock<OptimizerConfig>,
+    dtc: Arc<TransactionCoordinator>,
+}
+
+/// Builder for engines with non-default configuration.
+pub struct EngineBuilder {
+    name: String,
+    config: OptimizerConfig,
+}
+
+impl EngineBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        EngineBuilder { name: name.into(), config: OptimizerConfig::default() }
+    }
+
+    pub fn optimizer_config(mut self, config: OptimizerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    pub fn build(self) -> Engine {
+        let storage = Arc::new(StorageEngine::new(self.name.clone()));
+        let local_source = Arc::new(LocalDataSource::new(Arc::clone(&storage)));
+        Engine {
+            inner: Arc::new(Inner {
+                name: self.name,
+                storage,
+                local_source,
+                registry: RwLock::new(LinkedServerRegistry::new()),
+                views: RwLock::new(HashMap::new()),
+                fulltext: Arc::new(SearchService::new()),
+                ft_bindings: RwLock::new(HashMap::new()),
+                meta_cache: RwLock::new(HashMap::new()),
+                config: RwLock::new(self.config),
+                dtc: TransactionCoordinator::new(),
+            }),
+        }
+    }
+}
+
+/// Adapter giving the executor access to this engine's sources.
+struct EngineCatalog {
+    inner: Arc<Inner>,
+}
+
+impl SourceCatalog for EngineCatalog {
+    fn local(&self) -> Arc<dyn DataSource> {
+        Arc::clone(&self.inner.local_source) as Arc<dyn DataSource>
+    }
+
+    fn linked(&self, server: &str) -> Result<Arc<dyn DataSource>> {
+        self.inner.registry.read().linked_server(server)
+    }
+}
+
+impl Engine {
+    /// A new engine with default configuration.
+    pub fn new(name: impl Into<String>) -> Engine {
+        EngineBuilder::new(name).build()
+    }
+
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The engine's local storage.
+    pub fn storage(&self) -> &Arc<StorageEngine> {
+        &self.inner.storage
+    }
+
+    /// The local storage engine's OLE DB-style face (used when this engine
+    /// is itself a remote source).
+    pub fn local_data_source(&self) -> Arc<LocalDataSource> {
+        Arc::clone(&self.inner.local_source)
+    }
+
+    /// The engine's distributed transaction coordinator.
+    pub fn dtc(&self) -> &Arc<TransactionCoordinator> {
+        &self.inner.dtc
+    }
+
+    /// The engine's full-text search service.
+    pub fn fulltext_service(&self) -> &Arc<SearchService> {
+        &self.inner.fulltext
+    }
+
+    // ---- catalog management ------------------------------------------------
+
+    pub fn create_table(&self, def: TableDef) -> Result<()> {
+        self.inner.storage.create_table(def)
+    }
+
+    /// Insert rows into a local table directly (maintains full-text
+    /// indexes).
+    pub fn insert(&self, table: &str, rows: &[Row]) -> Result<u64> {
+        let n = self.inner.storage.insert_rows(table, rows)?;
+        self.refresh_fulltext_index(table)?;
+        Ok(n)
+    }
+
+    /// Build statistics for a local table (§3.2.4).
+    pub fn analyze(&self, table: &str, buckets: usize) -> Result<()> {
+        self.inner.storage.analyze(table, buckets)
+    }
+
+    /// Define a linked server (paper §2.1).
+    pub fn add_linked_server(&self, name: &str, source: Arc<dyn DataSource>) -> Result<()> {
+        self.inner.registry.write().add_linked_server(name, source)
+    }
+
+    pub fn linked_server(&self, name: &str) -> Result<Arc<dyn DataSource>> {
+        self.inner.registry.read().linked_server(name)
+    }
+
+    /// Register an `OPENROWSET` provider factory.
+    pub fn register_openrowset_provider(
+        &self,
+        name: &str,
+        factory: dhqp_federation::linked::AdHocFactory,
+    ) {
+        self.inner.registry.write().register_provider(name, factory);
+    }
+
+    pub fn open_ad_hoc(&self, provider: &str, datasource: &str) -> Result<Arc<dyn DataSource>> {
+        self.inner.registry.read().open_ad_hoc(provider, datasource)
+    }
+
+    /// Define a (distributed) partitioned view: each member is
+    /// `(server-or-None, table, partition-column domain)` (§4.1.5).
+    pub fn define_partitioned_view(
+        &self,
+        name: &str,
+        partition_column: &str,
+        members: Vec<(Option<String>, String, IntervalSet)>,
+    ) -> Result<()> {
+        let mut built = Vec::with_capacity(members.len());
+        for (server, table, check) in members {
+            let fetched = self.table_metadata(server.as_deref(), &table)?;
+            built.push(MemberTable {
+                server,
+                table,
+                check,
+                schema_snapshot: fetched.info.clone(),
+            });
+        }
+        let view = PartitionedView::define(name, partition_column, built)?;
+        self.inner.views.write().insert(name.to_lowercase(), view);
+        Ok(())
+    }
+
+    pub fn partitioned_view(&self, name: &str) -> Option<PartitionedView> {
+        self.inner.views.read().get(&name.to_lowercase()).cloned()
+    }
+
+    /// Create a full-text index over a local table's text column, keyed by
+    /// an integer key column (§2.3: indexes live *outside* the database
+    /// engine, in the search service).
+    pub fn create_fulltext_index(
+        &self,
+        table: &str,
+        key_column: &str,
+        text_column: &str,
+        catalog: &str,
+    ) -> Result<()> {
+        if !self.inner.fulltext.has_catalog(catalog) {
+            self.inner.fulltext.create_catalog(catalog)?;
+        }
+        self.inner.ft_bindings.write().insert(
+            (table.to_lowercase(), text_column.to_lowercase()),
+            (catalog.to_string(), key_column.to_string()),
+        );
+        self.refresh_fulltext_index(table)
+    }
+
+    /// Rebuild the full-text index entries for a table (index maintenance;
+    /// invoked automatically after engine-mediated DML).
+    pub fn refresh_fulltext_index(&self, table: &str) -> Result<()> {
+        let bindings: Vec<((String, String), (String, String))> = self
+            .inner
+            .ft_bindings
+            .read()
+            .iter()
+            .filter(|((t, _), _)| t.eq_ignore_ascii_case(table))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for ((table, text_col), (catalog, key_col)) in bindings {
+            let rows = self.inner.storage.with_table(&table, |t| {
+                let key_pos = t.schema.index_of(&key_col);
+                let text_pos = t.schema.index_of(&text_col);
+                (key_pos, text_pos, t.scan_rows())
+            })?;
+            let (Some(key_pos), Some(text_pos), rows) = rows else {
+                return Err(DhqpError::Catalog(format!(
+                    "full-text binding on {table} references missing columns"
+                )));
+            };
+            // Re-key the whole catalog for this table.
+            let mut keys = Vec::new();
+            for row in &rows {
+                let Value::Int(k) = row.get(key_pos) else {
+                    return Err(DhqpError::Type(
+                        "full-text key column must be BIGINT".into(),
+                    ));
+                };
+                let text = match row.get(text_pos) {
+                    Value::Str(s) => s.clone(),
+                    Value::Null => String::new(),
+                    other => other.to_string(),
+                };
+                self.inner.fulltext.index_row(&catalog, *k as u64, &text)?;
+                keys.push(*k as u64);
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn fulltext_binding(&self, table: &str, column: &str) -> Option<(String, String)> {
+        self.inner
+            .ft_bindings
+            .read()
+            .get(&(table.to_lowercase(), column.to_lowercase()))
+            .cloned()
+    }
+
+    pub(crate) fn fulltext_query(&self, catalog: &str, query: &str) -> Result<Vec<(u64, i64)>> {
+        self.inner.fulltext.query_keys(catalog, query)
+    }
+
+    // ---- metadata ----------------------------------------------------------
+
+    /// Fetch a table's metadata bundle, caching remote entries.
+    pub(crate) fn table_metadata(&self, server: Option<&str>, table: &str) -> Result<Arc<FetchedTable>> {
+        match server {
+            None => {
+                let info = self.inner.local_source.table(table)?;
+                let stats = self.inner.storage.statistics(table);
+                let checks = self.inner.storage.with_table(table, |t| {
+                    t.checks
+                        .iter()
+                        .filter_map(|c| t.schema.index_of(&c.column).map(|p| (p, c.domain.clone())))
+                        .collect::<Vec<_>>()
+                })?;
+                Ok(Arc::new(FetchedTable {
+                    info,
+                    stats,
+                    caps: self.inner.local_source.capabilities(),
+                    checks,
+                }))
+            }
+            Some(server) => {
+                let key = (server.to_lowercase(), table.to_lowercase());
+                if let Some(hit) = self.inner.meta_cache.read().get(&key) {
+                    return Ok(Arc::clone(hit));
+                }
+                let source = self.linked_server(server)?;
+                let info = source.table(table)?;
+                let caps = source.capabilities();
+                let stats = if caps.statistics_support {
+                    let mut session = source.create_session()?;
+                    let mut stats = TableStatistics {
+                        row_count: info.cardinality,
+                        ..Default::default()
+                    };
+                    for c in &info.columns {
+                        if let Some(h) = session.histogram(table, &c.name)? {
+                            stats.set_histogram(&c.name, h);
+                        }
+                    }
+                    Some(stats)
+                } else {
+                    None
+                };
+                let fetched =
+                    Arc::new(FetchedTable { info, stats, caps, checks: Vec::new() });
+                self.inner.meta_cache.write().insert(key, Arc::clone(&fetched));
+                Ok(fetched)
+            }
+        }
+    }
+
+    /// Capabilities of a server without fetching any table metadata.
+    pub(crate) fn server_capabilities(
+        &self,
+        server: Option<&str>,
+    ) -> Result<dhqp_oledb::ProviderCapabilities> {
+        match server {
+            None => Ok(self.inner.local_source.capabilities()),
+            Some(s) => Ok(self.linked_server(s)?.capabilities()),
+        }
+    }
+
+    /// Current (uncached) table info — used by delayed schema validation.
+    pub(crate) fn fresh_table_info(
+        &self,
+        server: Option<&str>,
+        table: &str,
+    ) -> Result<dhqp_oledb::TableInfo> {
+        match server {
+            None => self.inner.local_source.table(table),
+            Some(s) => self.linked_server(s)?.table(table),
+        }
+    }
+
+    /// Drop cached remote metadata (after remote DDL/bulk changes).
+    pub fn clear_metadata_cache(&self) {
+        self.inner.meta_cache.write().clear();
+    }
+
+    // ---- configuration -----------------------------------------------------
+
+    pub fn optimizer_config(&self) -> OptimizerConfig {
+        self.inner.config.read().clone()
+    }
+
+    pub fn set_optimizer_config(&self, config: OptimizerConfig) {
+        *self.inner.config.write() = config;
+    }
+
+    // ---- query pipeline ----------------------------------------------------
+
+    /// Run any statement without parameters.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_with_params(sql, HashMap::new())
+    }
+
+    /// Run any statement with `@name` parameter values.
+    pub fn execute_with_params(
+        &self,
+        sql: &str,
+        params: HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        match parse_statement(sql)? {
+            Statement::Select(stmt) => self.run_select(&stmt, params),
+            Statement::Insert(stmt) => dml::run_insert(self, &stmt, &params),
+            Statement::Update(stmt) => dml::run_update(self, &stmt, &params),
+            Statement::Delete(stmt) => dml::run_delete(self, &stmt, &params),
+        }
+    }
+
+    /// Run a SELECT (alias of [`Engine::execute`] that asserts a rowset).
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        self.execute(sql)
+    }
+
+    pub fn query_with_params(&self, sql: &str, params: HashMap<String, Value>) -> Result<QueryResult> {
+        self.execute_with_params(sql, params)
+    }
+
+    /// Optimize without executing: the plan and search telemetry.
+    pub fn explain(&self, sql: &str) -> Result<ExplainPlan> {
+        self.explain_with_params(sql, HashMap::new())
+    }
+
+    pub fn explain_with_params(
+        &self,
+        sql: &str,
+        params: HashMap<String, Value>,
+    ) -> Result<ExplainPlan> {
+        let Statement::Select(stmt) = parse_statement(sql)? else {
+            return Err(DhqpError::Unsupported("EXPLAIN supports SELECT statements".into()));
+        };
+        let bound = Binder::new(self, &params).bind_select(&stmt)?;
+        let optimizer = Optimizer::new(self.optimizer_config());
+        let mut registry = bound.registry;
+        let (plan, stats) = optimizer.optimize(bound.tree, &mut registry, bound.required)?;
+        Ok(ExplainPlan::new(&plan, stats))
+    }
+
+    fn run_select(&self, stmt: &SelectStmt, params: HashMap<String, Value>) -> Result<QueryResult> {
+        let bound = Binder::new(self, &params).bind_select(stmt)?;
+        let optimizer = Optimizer::new(self.optimizer_config());
+        let BoundSelect { tree, mut registry, output, required, view_members } = bound;
+        let (plan, _stats) = optimizer.optimize(tree, &mut registry, required)?;
+        let registry = Arc::new(registry);
+        let catalog = Arc::new(EngineCatalog { inner: Arc::clone(&self.inner) });
+        let ctx = ExecContext::new(catalog, params, Arc::clone(&registry));
+        self.validate_view_schemas(&plan, &view_members, &ctx)?;
+        let mut rowset = dhqp_executor::open(&plan, &ctx)?;
+        let all_rows = rowset.collect_rows()?;
+        // Trim to the visible SELECT-list columns, in order.
+        let positions: Vec<usize> = output
+            .iter()
+            .map(|(name, id)| {
+                plan.output.iter().position(|c| c == id).ok_or_else(|| {
+                    DhqpError::Execute(format!("output column '{name}' missing from plan"))
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let schema = Schema::new(
+            output
+                .iter()
+                .map(|(name, id)| {
+                    let m = registry.meta(*id);
+                    dhqp_types::Column {
+                        name: name.clone(),
+                        data_type: m.data_type,
+                        nullable: m.nullable,
+                    }
+                })
+                .collect(),
+        );
+        let rows = all_rows
+            .into_iter()
+            .map(|r| Row::new(positions.iter().map(|&p| r.values[p].clone()).collect()))
+            .collect();
+        Ok(QueryResult { schema, rows, rows_affected: None })
+    }
+
+    /// Delayed schema validation (§4.1.5): at execution time, re-check
+    /// against live metadata exactly those partitioned-view members the
+    /// plan will actually touch — compile never contacts members, pruned
+    /// members are never contacted at all, and members behind a failing
+    /// startup filter are skipped along with their subtree.
+    fn validate_view_schemas(
+        &self,
+        plan: &dhqp_optimizer::PhysNode,
+        view_members: &[(String, usize)],
+        ctx: &ExecContext,
+    ) -> Result<()> {
+        use dhqp_executor::eval::{eval_predicate, RowEnv};
+        use dhqp_optimizer::PhysicalOp;
+        if view_members.is_empty() {
+            return Ok(());
+        }
+        // (server-lowercase-or-empty, table-lowercase) → (view, member idx)
+        let mut map: HashMap<(String, String), (String, usize)> = HashMap::new();
+        for (view_name, idx) in view_members {
+            if let Some(view) = self.partitioned_view(view_name) {
+                let m = &view.members[*idx];
+                map.insert(
+                    (
+                        m.server.clone().unwrap_or_default().to_lowercase(),
+                        m.table.to_lowercase(),
+                    ),
+                    (view_name.clone(), *idx),
+                );
+            }
+        }
+        fn collect(
+            node: &dhqp_optimizer::PhysNode,
+            ctx: &ExecContext,
+            map: &HashMap<(String, String), (String, usize)>,
+            out: &mut Vec<(String, usize)>,
+        ) -> Result<()> {
+            match &node.op {
+                PhysicalOp::StartupFilter { predicate } => {
+                    let positions = HashMap::new();
+                    let row = Row::new(vec![]);
+                    let env = RowEnv { positions: &positions, row: &row, ctx };
+                    if !eval_predicate(predicate, &env)? {
+                        return Ok(()); // pruned at runtime: subtree never opens
+                    }
+                }
+                PhysicalOp::TableScan { meta }
+                | PhysicalOp::IndexRange { meta, .. }
+                | PhysicalOp::RemoteScan { meta }
+                | PhysicalOp::RemoteRange { meta, .. }
+                | PhysicalOp::RemoteFetch { meta } => {
+                    let key = (
+                        meta.source.server_name().unwrap_or_default().to_lowercase(),
+                        meta.table.to_lowercase(),
+                    );
+                    if let Some(hit) = map.get(&key) {
+                        if !out.contains(hit) {
+                            out.push(hit.clone());
+                        }
+                    }
+                }
+                PhysicalOp::RemoteQuery { server, sql, .. } => {
+                    let sql_lower = sql.to_lowercase();
+                    for ((srv, table), hit) in map {
+                        if srv == &server.to_lowercase()
+                            && sql_lower.contains(&format!("[{table}]"))
+                            && !out.contains(hit)
+                        {
+                            out.push(hit.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            for c in &node.children {
+                collect(c, ctx, map, out)?;
+            }
+            Ok(())
+        }
+        let mut touched = Vec::new();
+        collect(plan, ctx, &map, &mut touched)?;
+        for (view_name, idx) in touched {
+            let Some(view) = self.partitioned_view(&view_name) else { continue };
+            let member = &view.members[idx];
+            let current = self.fresh_table_info(member.server.as_deref(), &member.table)?;
+            view.validate_member(idx, &current)?;
+        }
+        Ok(())
+    }
+
+    /// Run a SELECT statement AST (DML INSERT ... SELECT path).
+    pub(crate) fn query_select_internal(
+        &self,
+        stmt: &SelectStmt,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult> {
+        self.run_select(stmt, params.clone())
+    }
+
+    /// Evaluate an uncorrelated scalar subquery eagerly at bind time.
+    pub(crate) fn evaluate_scalar_subquery(
+        &self,
+        stmt: &SelectStmt,
+        params: &HashMap<String, Value>,
+    ) -> Result<Value> {
+        let result = self.run_select(stmt, params.clone())?;
+        if result.schema.len() != 1 {
+            return Err(DhqpError::Bind("scalar subquery must select exactly one column".into()));
+        }
+        match result.rows.len() {
+            0 => Ok(Value::Null),
+            1 => Ok(result.rows[0].get(0).clone()),
+            n => Err(DhqpError::Execute(format!("scalar subquery returned {n} rows"))),
+        }
+    }
+
+    /// Build an execution context for internal evaluation (DML paths).
+    pub(crate) fn exec_context(
+        &self,
+        params: HashMap<String, Value>,
+        registry: Arc<dhqp_optimizer::props::ColumnRegistry>,
+    ) -> ExecContext {
+        let catalog = Arc::new(EngineCatalog { inner: Arc::clone(&self.inner) });
+        ExecContext::new(catalog, params, registry)
+    }
+}

@@ -1,0 +1,32 @@
+//! `dhqp` — a distributed/heterogeneous query processor in Rust.
+//!
+//! This crate is the top of the stack described in the paper's Figure 1: a
+//! relational engine whose optimizer and executor treat every data source —
+//! the local storage engine, remote engines, full-text catalogs, mail
+//! files, spreadsheets, CSV files — through one OLE DB-style provider
+//! abstraction.
+//!
+//! ```
+//! use dhqp::Engine;
+//! use dhqp_types::Value;
+//!
+//! let engine = Engine::new("local");
+//! engine.execute("CREATE-less API: tables are defined programmatically").ok();
+//! # let _ = engine;
+//! ```
+//!
+//! See `examples/quickstart.rs` for the end-to-end tour: linked servers,
+//! four-part names, `OPENROWSET`, full-text `CONTAINS`, partitioned views
+//! and distributed transactions.
+
+pub mod binder;
+pub(crate) mod dml;
+pub mod engine;
+pub mod remote;
+pub mod result;
+
+pub use engine::{Engine, EngineBuilder};
+pub use remote::EngineDataSource;
+pub use result::QueryResult;
+
+pub use dhqp_optimizer::{OptimizationPhase, OptimizerConfig};

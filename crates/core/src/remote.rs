@@ -1,0 +1,137 @@
+//! The "remote SQL Server" provider: a whole engine behind the OLE DB-style
+//! traits.
+//!
+//! This realizes the paper's Figure 1 layering literally: "OLE DB is the
+//! interface used by SQL Server to access its local storage engine, thus
+//! the code patterns to access data from local and external sources are
+//! almost identical." A pushed-down statement (the *build remote query*
+//! rule's output) is re-parsed, re-optimized and executed by the remote
+//! engine's own DHQP — remote sources are autonomous.
+//!
+//! Wrap an `EngineDataSource` in `dhqp_netsim::NetworkedDataSource` to put
+//! it at the end of a simulated link.
+
+use crate::engine::Engine;
+use dhqp_oledb::{
+    Command, CommandResult, DataSource, Histogram, KeyRange, MemRowset, ProviderCapabilities,
+    Rowset, Session, TableInfo, TxnId,
+};
+use dhqp_types::{Result, Row};
+
+/// An engine exposed as an OLE DB-style data source (SQL-92 level, index,
+/// statistics and transaction support).
+pub struct EngineDataSource {
+    engine: Engine,
+}
+
+impl EngineDataSource {
+    pub fn new(engine: Engine) -> Self {
+        EngineDataSource { engine }
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+impl DataSource for EngineDataSource {
+    fn name(&self) -> &str {
+        self.engine.name()
+    }
+
+    fn capabilities(&self) -> ProviderCapabilities {
+        ProviderCapabilities::sql_server("SQLOLEDB")
+    }
+
+    fn tables(&self) -> Result<Vec<TableInfo>> {
+        self.engine.local_data_source().tables()
+    }
+
+    fn create_session(&self) -> Result<Box<dyn Session>> {
+        Ok(Box::new(EngineSession {
+            engine: self.engine.clone(),
+            storage_session: self.engine.local_data_source().create_session()?,
+        }))
+    }
+}
+
+/// A session against a remote engine: base-table access goes straight to
+/// its storage engine; commands go through its full query processor.
+struct EngineSession {
+    engine: Engine,
+    storage_session: Box<dyn Session>,
+}
+
+impl Session for EngineSession {
+    fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
+        self.storage_session.open_rowset(table)
+    }
+
+    fn create_command(&mut self) -> Result<Box<dyn Command>> {
+        Ok(Box::new(EngineCommand { engine: self.engine.clone(), text: None }))
+    }
+
+    fn open_index(&mut self, table: &str, index: &str, range: &KeyRange) -> Result<Box<dyn Rowset>> {
+        self.storage_session.open_index(table, index, range)
+    }
+
+    fn fetch_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<Vec<Row>> {
+        self.storage_session.fetch_by_bookmarks(table, bookmarks)
+    }
+
+    fn histogram(&mut self, table: &str, column: &str) -> Result<Option<Histogram>> {
+        self.storage_session.histogram(table, column)
+    }
+
+    fn join_transaction(&mut self, txn: TxnId) -> Result<()> {
+        self.storage_session.join_transaction(txn)
+    }
+
+    fn prepare(&mut self, txn: TxnId) -> Result<()> {
+        self.storage_session.prepare(txn)
+    }
+
+    fn commit(&mut self, txn: TxnId) -> Result<()> {
+        self.storage_session.commit(txn)
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Result<()> {
+        self.storage_session.abort(txn)
+    }
+
+    fn insert(&mut self, table: &str, rows: &[Row]) -> Result<u64> {
+        self.storage_session.insert(table, rows)
+    }
+
+    fn delete_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<u64> {
+        self.storage_session.delete_by_bookmarks(table, bookmarks)
+    }
+
+    fn update_by_bookmarks(&mut self, table: &str, bookmarks: &[u64], updates: &[Row]) -> Result<u64> {
+        self.storage_session.update_by_bookmarks(table, bookmarks, updates)
+    }
+}
+
+struct EngineCommand {
+    engine: Engine,
+    text: Option<String>,
+}
+
+impl Command for EngineCommand {
+    fn set_text(&mut self, text: &str) -> Result<()> {
+        self.text = Some(text.to_string());
+        Ok(())
+    }
+
+    fn execute(&mut self) -> Result<CommandResult> {
+        let text = self
+            .text
+            .as_deref()
+            .ok_or_else(|| dhqp_types::DhqpError::Provider("command has no text".into()))?;
+        let result = self.engine.execute(text)?;
+        if let Some(n) = result.rows_affected {
+            return Ok(CommandResult::RowCount(n));
+        }
+        Ok(CommandResult::Rowset(Box::new(MemRowset::new(result.schema, result.rows))))
+    }
+}

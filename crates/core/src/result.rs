@@ -1,0 +1,118 @@
+//! Query results.
+
+use dhqp_types::{Row, Schema, Value};
+
+/// The materialized result of one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Schema of the visible output columns.
+    pub schema: Schema,
+    /// Result rows (empty for DML).
+    pub rows: Vec<Row>,
+    /// Rows affected, for DML statements.
+    pub rows_affected: Option<u64>,
+}
+
+impl QueryResult {
+    pub fn rows_affected(n: u64) -> Self {
+        QueryResult { schema: Schema::empty(), rows: Vec::new(), rows_affected: Some(n) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Value at `(row, column)`.
+    pub fn value(&self, row: usize, col: usize) -> &Value {
+        self.rows[row].get(col)
+    }
+
+    /// Column index by (case-insensitive) name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// Single scalar result (one row, one column).
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && !self.schema.is_empty() {
+            Some(self.rows[0].get(0))
+        } else {
+            None
+        }
+    }
+
+    /// Render as an aligned text table (examples and the bench report).
+    pub fn to_table(&self) -> String {
+        let headers: Vec<String> =
+            self.schema.columns().iter().map(|c| c.name.clone()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.values.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &rendered {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_types::{Column, DataType};
+
+    #[test]
+    fn accessors() {
+        let r = QueryResult {
+            schema: Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Str),
+            ]),
+            rows: vec![Row::new(vec![Value::Int(1), Value::Str("x".into())])],
+            rows_affected: None,
+        };
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.column("B"), Some(1));
+        assert_eq!(r.value(0, 0), &Value::Int(1));
+        assert!(r.scalar().is_some());
+        let t = r.to_table();
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | x |"));
+    }
+
+    #[test]
+    fn dml_result() {
+        let r = QueryResult::rows_affected(5);
+        assert_eq!(r.rows_affected, Some(5));
+        assert!(r.is_empty());
+        assert!(r.scalar().is_none());
+    }
+}

@@ -1,0 +1,295 @@
+//! The distributed transaction coordinator — the Microsoft DTC analog.
+//!
+//! "SQL Server uses the Microsoft Distributed Transaction Coordinator to
+//! ensure atomicity of transactions across data sources" (paper §2).
+//! Sessions enlist via the OLE DB-style `join_transaction`; the coordinator
+//! drives classic presumed-abort two-phase commit:
+//!
+//! 1. **Prepare**: every participant must durably promise to commit.
+//!    Any refusal aborts everyone.
+//! 2. **Commit/Abort**: the decision is logged, then delivered to all
+//!    participants.
+//!
+//! Failure injection in the storage engine (`set_fail_prepare`) lets tests
+//! and benches exercise the abort path.
+
+use dhqp_oledb::{Session, TxnId};
+use dhqp_types::{DhqpError, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Final decision for a transaction, as recorded in the outcome log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    Committed,
+    Aborted,
+}
+
+/// One outcome-log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    pub txn: TxnId,
+    pub outcome: Outcome,
+    pub participants: Vec<String>,
+}
+
+/// The coordinator: allocates transaction ids and keeps the outcome log.
+#[derive(Default)]
+pub struct TransactionCoordinator {
+    next_txn: AtomicU64,
+    log: Mutex<Vec<LogRecord>>,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl TransactionCoordinator {
+    pub fn new() -> Arc<Self> {
+        Arc::new(TransactionCoordinator::default())
+    }
+
+    /// Begin a distributed transaction.
+    pub fn begin(self: &Arc<Self>) -> DistributedTransaction {
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed) + 1;
+        DistributedTransaction {
+            coordinator: Arc::clone(self),
+            id,
+            participants: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Committed/aborted counters (bench telemetry).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.commits.load(Ordering::Relaxed), self.aborts.load(Ordering::Relaxed))
+    }
+
+    /// The outcome log, oldest first.
+    pub fn log(&self) -> Vec<LogRecord> {
+        self.log.lock().clone()
+    }
+
+    fn record(&self, txn: TxnId, outcome: Outcome, participants: Vec<String>) {
+        match outcome {
+            Outcome::Committed => self.commits.fetch_add(1, Ordering::Relaxed),
+            Outcome::Aborted => self.aborts.fetch_add(1, Ordering::Relaxed),
+        };
+        self.log.lock().push(LogRecord { txn, outcome, participants });
+    }
+}
+
+/// An in-flight distributed transaction owning its enlisted sessions.
+pub struct DistributedTransaction {
+    coordinator: Arc<TransactionCoordinator>,
+    id: TxnId,
+    participants: Vec<(String, Box<dyn Session>)>,
+    finished: bool,
+}
+
+impl DistributedTransaction {
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Enlist a session (calls the provider's `join_transaction`, the
+    /// `ITransactionJoin` analog). The transaction owns the session until
+    /// completion.
+    pub fn enlist(&mut self, name: impl Into<String>, mut session: Box<dyn Session>) -> Result<()> {
+        if self.finished {
+            return Err(DhqpError::Transaction("transaction already completed".into()));
+        }
+        session.join_transaction(self.id)?;
+        self.participants.push((name.into(), session));
+        Ok(())
+    }
+
+    /// Mutable access to an enlisted session for running work under the
+    /// transaction.
+    pub fn session_mut(&mut self, name: &str) -> Result<&mut Box<dyn Session>> {
+        self.participants
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+            .ok_or_else(|| DhqpError::Transaction(format!("no participant '{name}' enlisted")))
+    }
+
+    pub fn participant_names(&self) -> Vec<String> {
+        self.participants.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Two-phase commit. On any prepare failure every participant is
+    /// aborted and the prepare error is returned.
+    pub fn commit(mut self) -> Result<()> {
+        if self.finished {
+            return Err(DhqpError::Transaction("transaction already completed".into()));
+        }
+        let names = self.participant_names();
+        // Phase one: unanimous prepare.
+        let mut refusal: Option<(String, DhqpError)> = None;
+        for (name, session) in self.participants.iter_mut() {
+            if let Err(e) = session.prepare(self.id) {
+                refusal = Some((name.clone(), e));
+                break;
+            }
+        }
+        if let Some((name, e)) = refusal {
+            // Presumed abort: tell everyone, then report the cause.
+            for (_, s) in self.participants.iter_mut() {
+                let _ = s.abort(self.id);
+            }
+            self.finished = true;
+            self.coordinator.record(self.id, Outcome::Aborted, names);
+            return Err(DhqpError::Transaction(format!(
+                "participant '{name}' refused prepare: {e}"
+            )));
+        }
+        // Decision is durable before phase two.
+        self.coordinator.record(self.id, Outcome::Committed, names);
+        self.finished = true;
+        // Phase two: deliver commit. Prepared participants guaranteed
+        // success; an error here is an engine invariant violation.
+        for (name, session) in self.participants.iter_mut() {
+            session.commit(self.id).map_err(|e| {
+                DhqpError::Transaction(format!(
+                    "prepared participant '{name}' failed to commit (log has Committed): {e}"
+                ))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Abort everywhere.
+    pub fn abort(mut self) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        let names = self.participant_names();
+        for (_, session) in self.participants.iter_mut() {
+            let _ = session.abort(self.id);
+        }
+        self.finished = true;
+        self.coordinator.record(self.id, Outcome::Aborted, names);
+        Ok(())
+    }
+}
+
+impl Drop for DistributedTransaction {
+    fn drop(&mut self) {
+        // Presumed abort: a dropped in-flight transaction rolls back.
+        if !self.finished {
+            let names = self.participant_names();
+            for (_, session) in self.participants.iter_mut() {
+                let _ = session.abort(self.id);
+            }
+            self.coordinator.record(self.id, Outcome::Aborted, names);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_oledb::DataSource;
+    use dhqp_storage::{LocalDataSource, StorageEngine, TableDef};
+    use dhqp_types::{Column, DataType, Row, Schema, Value};
+
+    fn engine(name: &str) -> Arc<StorageEngine> {
+        let e = Arc::new(StorageEngine::new(name));
+        e.create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("x", DataType::Int)]),
+        ))
+        .unwrap();
+        e
+    }
+
+    fn session_for(e: &Arc<StorageEngine>) -> Box<dyn Session> {
+        LocalDataSource::new(Arc::clone(e)).create_session().unwrap()
+    }
+
+    fn row(v: i64) -> Row {
+        Row::new(vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn two_phase_commit_across_two_engines() {
+        let (e1, e2) = (engine("s1"), engine("s2"));
+        let dtc = TransactionCoordinator::new();
+        let mut txn = dtc.begin();
+        txn.enlist("s1", session_for(&e1)).unwrap();
+        txn.enlist("s2", session_for(&e2)).unwrap();
+        txn.session_mut("s1").unwrap().insert("t", &[row(1)]).unwrap();
+        txn.session_mut("s2").unwrap().insert("t", &[row(2)]).unwrap();
+        // Invisible before commit.
+        assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 0);
+        txn.commit().unwrap();
+        assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 1);
+        assert_eq!(e2.with_table("t", |t| t.row_count()).unwrap(), 1);
+        assert_eq!(dtc.stats(), (1, 0));
+        assert_eq!(dtc.log()[0].outcome, Outcome::Committed);
+        assert_eq!(dtc.log()[0].participants, vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn prepare_failure_aborts_everyone() {
+        let (e1, e2) = (engine("s1"), engine("s2"));
+        e2.set_fail_prepare(true);
+        let dtc = TransactionCoordinator::new();
+        let mut txn = dtc.begin();
+        txn.enlist("s1", session_for(&e1)).unwrap();
+        txn.enlist("s2", session_for(&e2)).unwrap();
+        txn.session_mut("s1").unwrap().insert("t", &[row(1)]).unwrap();
+        txn.session_mut("s2").unwrap().insert("t", &[row(2)]).unwrap();
+        let err = txn.commit().unwrap_err();
+        assert!(err.to_string().contains("refused prepare"), "{err}");
+        // Atomicity: neither side applied.
+        assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 0);
+        assert_eq!(e2.with_table("t", |t| t.row_count()).unwrap(), 0);
+        assert_eq!(dtc.stats(), (0, 1));
+        // No dangling participant state.
+        assert!(!e1.has_txn(dtc.log()[0].txn));
+        assert!(!e2.has_txn(dtc.log()[0].txn));
+    }
+
+    #[test]
+    fn explicit_abort_discards_work() {
+        let e1 = engine("s1");
+        let dtc = TransactionCoordinator::new();
+        let mut txn = dtc.begin();
+        txn.enlist("s1", session_for(&e1)).unwrap();
+        txn.session_mut("s1").unwrap().insert("t", &[row(1)]).unwrap();
+        txn.abort().unwrap();
+        assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 0);
+        assert_eq!(dtc.stats(), (0, 1));
+    }
+
+    #[test]
+    fn dropped_transaction_presumes_abort() {
+        let e1 = engine("s1");
+        let dtc = TransactionCoordinator::new();
+        {
+            let mut txn = dtc.begin();
+            txn.enlist("s1", session_for(&e1)).unwrap();
+            txn.session_mut("s1").unwrap().insert("t", &[row(1)]).unwrap();
+            // dropped without commit
+        }
+        assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 0);
+        assert_eq!(dtc.stats(), (0, 1));
+    }
+
+    #[test]
+    fn transaction_ids_are_unique() {
+        let dtc = TransactionCoordinator::new();
+        let a = dtc.begin();
+        let b = dtc.begin();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn unknown_participant_lookup_fails() {
+        let dtc = TransactionCoordinator::new();
+        let mut txn = dtc.begin();
+        assert!(txn.session_mut("ghost").is_err());
+        txn.abort().unwrap();
+    }
+}

@@ -1,0 +1,378 @@
+//! Plan-to-operator translation: open a [`PhysNode`] tree as a rowset.
+
+use crate::context::ExecContext;
+use crate::ops::agg::{HashAggregate, StreamAggregate};
+use crate::ops::filter::{open_startup_filter, FilterRowset, ProjectRowset};
+use crate::ops::join::{HashJoin, InnerFactory, MergeJoin, NestedLoopJoin};
+use crate::ops::remote::{open_remote_fetch, open_remote_query, open_remote_range, open_remote_scan};
+use crate::ops::scan::{open_index_range, open_table_scan};
+use crate::ops::sort::{open_sort, open_spool, TopRowset, UnionAllRowset};
+use dhqp_oledb::{MemRowset, Rowset};
+use dhqp_optimizer::{PhysNode, PhysicalOp};
+use dhqp_types::{Result, Row};
+use std::sync::Arc;
+
+/// Open a physical plan as a rowset. Re-entrant: nested-loop joins call
+/// back into `open` for every outer row, with fresh correlation bindings.
+pub fn open(plan: &PhysNode, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
+    match &plan.op {
+        PhysicalOp::TableScan { meta } => open_table_scan(meta, ctx),
+        PhysicalOp::IndexRange { meta, index, range } => {
+            open_index_range(meta, index, range, ctx)
+        }
+        PhysicalOp::RemoteScan { meta } => open_remote_scan(meta, ctx),
+        PhysicalOp::RemoteRange { meta, index, range } => {
+            open_remote_range(meta, index, range, ctx)
+        }
+        PhysicalOp::RemoteFetch { meta } => {
+            let child = open(&plan.children[0], ctx)?;
+            open_remote_fetch(meta, child, ctx)
+        }
+        PhysicalOp::RemoteQuery { server, sql, params, .. } => {
+            open_remote_query(server, sql, params, ctx)
+        }
+        PhysicalOp::Filter { predicate } => {
+            let child = open(&plan.children[0], ctx)?;
+            Ok(Box::new(FilterRowset::new(
+                child,
+                predicate.clone(),
+                &plan.children[0].output,
+                ctx.clone(),
+            )))
+        }
+        PhysicalOp::StartupFilter { predicate } => {
+            let schema = ctx.schema_of(&plan.output);
+            let child_plan = &plan.children[0];
+            open_startup_filter(predicate, schema, ctx, || open(child_plan, ctx))
+        }
+        PhysicalOp::Project { outputs } => {
+            let child = open(&plan.children[0], ctx)?;
+            let schema = ctx.schema_of(&plan.output);
+            Ok(Box::new(ProjectRowset::new(
+                child,
+                outputs.clone(),
+                &plan.children[0].output,
+                schema,
+                ctx.clone(),
+            )))
+        }
+        PhysicalOp::NestedLoopJoin { kind, predicate } => {
+            let outer = open(&plan.children[0], ctx)?;
+            let inner_plan = Arc::new(plan.children[1].clone());
+            let factory: InnerFactory = {
+                let inner_plan = Arc::clone(&inner_plan);
+                Box::new(move |child_ctx: &ExecContext| open(&inner_plan, child_ctx))
+            };
+            let schema = ctx.schema_of(&plan.output);
+            Ok(Box::new(NestedLoopJoin::new(
+                outer,
+                factory,
+                *kind,
+                predicate.clone(),
+                plan.children[0].output.clone(),
+                inner_plan.output.clone(),
+                schema,
+                ctx.clone(),
+            )))
+        }
+        PhysicalOp::HashJoin { kind, left_keys, right_keys, residual } => {
+            let left = open(&plan.children[0], ctx)?;
+            let right = open(&plan.children[1], ctx)?;
+            let schema = ctx.schema_of(&plan.output);
+            Ok(Box::new(HashJoin::new(
+                left,
+                right,
+                *kind,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                &plan.children[0].output,
+                &plan.children[1].output,
+                schema,
+                ctx,
+            )?))
+        }
+        PhysicalOp::MergeJoin { left_keys, right_keys, residual } => {
+            let left = open(&plan.children[0], ctx)?;
+            let right = open(&plan.children[1], ctx)?;
+            let schema = ctx.schema_of(&plan.output);
+            Ok(Box::new(MergeJoin::new(
+                left,
+                right,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                &plan.children[0].output,
+                &plan.children[1].output,
+                schema,
+                ctx,
+            )?))
+        }
+        PhysicalOp::HashAggregate { group_by, aggs } => {
+            let child = open(&plan.children[0], ctx)?;
+            let schema = ctx.schema_of(&plan.output);
+            Ok(Box::new(HashAggregate::new(
+                child,
+                group_by,
+                aggs,
+                &plan.children[0].output,
+                schema,
+                ctx,
+            )?))
+        }
+        PhysicalOp::StreamAggregate { group_by, aggs } => {
+            let child = open(&plan.children[0], ctx)?;
+            let schema = ctx.schema_of(&plan.output);
+            Ok(Box::new(StreamAggregate::new(
+                child,
+                group_by,
+                aggs.clone(),
+                &plan.children[0].output,
+                schema,
+                ctx.clone(),
+            )?))
+        }
+        PhysicalOp::Sort { keys } => {
+            let child = open(&plan.children[0], ctx)?;
+            open_sort(child, keys, &plan.children[0].output)
+        }
+        PhysicalOp::Top { n } => {
+            let child = open(&plan.children[0], ctx)?;
+            Ok(Box::new(TopRowset::new(child, *n)))
+        }
+        PhysicalOp::UnionAll { input_columns, .. } => {
+            let mut children = Vec::with_capacity(plan.children.len());
+            let mut delivered = Vec::with_capacity(plan.children.len());
+            for c in &plan.children {
+                children.push(open(c, ctx)?);
+                delivered.push(c.output.clone());
+            }
+            let schema = ctx.schema_of(&plan.output);
+            Ok(Box::new(UnionAllRowset::new(children, &delivered, input_columns, schema)?))
+        }
+        PhysicalOp::Spool => {
+            let key = plan as *const PhysNode as usize;
+            let child_plan = &plan.children[0];
+            open_spool(key, ctx, || open(child_plan, ctx))
+        }
+        PhysicalOp::Values { rows, .. } => {
+            let schema = ctx.schema_of(&plan.output);
+            let rows = rows.iter().map(|vals| Row::new(vals.clone())).collect();
+            Ok(Box::new(MemRowset::new(schema, rows)))
+        }
+        PhysicalOp::Empty { .. } => {
+            let schema = ctx.schema_of(&plan.output);
+            Ok(Box::new(MemRowset::empty(schema)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_support::TestCatalog;
+    use dhqp_oledb::{DataSource, RowsetExt};
+    use dhqp_optimizer::logical::test_table_meta;
+    use dhqp_optimizer::physical::IndexRangeSpec;
+    use dhqp_optimizer::props::ColumnRegistry;
+    use dhqp_optimizer::{ColumnId, JoinKind, Locality, ScalarExpr};
+    use dhqp_storage::{LocalDataSource, StorageEngine, TableDef};
+    use dhqp_types::{Column, DataType, Schema, Value};
+    use std::collections::HashMap;
+
+    /// Local engine with t(k, v) plus a "remote" engine r with the same
+    /// table behind the catalog's linked-server map.
+    fn setup() -> (ExecContext, Arc<dhqp_optimizer::TableMeta>, Arc<dhqp_optimizer::TableMeta>) {
+        let mut registry = ColumnRegistry::new();
+        let local_engine = Arc::new(StorageEngine::new("local"));
+        let remote_engine = Arc::new(StorageEngine::new("r-engine"));
+        for engine in [&local_engine, &remote_engine] {
+            engine
+                .create_table(
+                    TableDef::new(
+                        "t",
+                        Schema::new(vec![
+                            Column::not_null("k", DataType::Int),
+                            Column::not_null("v", DataType::Int),
+                        ]),
+                    )
+                    .with_index("pk_t", &["k"], true),
+                )
+                .unwrap();
+            let rows: Vec<Row> = (0..8)
+                .map(|i| Row::new(vec![Value::Int(i), Value::Int(i * 10)]))
+                .collect();
+            engine.insert_rows("t", &rows).unwrap();
+        }
+        let local_meta = {
+            let m = test_table_meta(
+                0,
+                "t",
+                Locality::Local,
+                &[("k", DataType::Int), ("v", DataType::Int)],
+                &mut registry,
+                8,
+            );
+            let mut m2 = (*m).clone();
+            m2.indexes = vec![dhqp_oledb::IndexInfo {
+                name: "pk_t".into(),
+                key_columns: vec!["k".into()],
+                unique: true,
+            }];
+            Arc::new(m2)
+        };
+        let remote_meta = {
+            let m = test_table_meta(
+                1,
+                "t",
+                Locality::remote("r"),
+                &[("k", DataType::Int), ("v", DataType::Int)],
+                &mut registry,
+                8,
+            );
+            let mut m2 = (*m).clone();
+            m2.indexes = vec![dhqp_oledb::IndexInfo {
+                name: "pk_t".into(),
+                key_columns: vec!["k".into()],
+                unique: true,
+            }];
+            Arc::new(m2)
+        };
+        let mut catalog = TestCatalog::with_local(local_engine);
+        catalog
+            .remotes
+            .insert("r".into(), Arc::new(LocalDataSource::new(remote_engine)) as Arc<dyn DataSource>);
+        let ctx = ExecContext::new(Arc::new(catalog), HashMap::new(), Arc::new(registry));
+        (ctx, local_meta, remote_meta)
+    }
+
+    #[test]
+    fn remote_fetch_resolves_bookmarks_from_child() {
+        let (ctx, _, remote) = setup();
+        // RemoteRange over k in [2, 4], then RemoteFetch the base rows.
+        let range = PhysNode::new(
+            PhysicalOp::RemoteRange {
+                meta: Arc::clone(&remote),
+                index: "pk_t".into(),
+                range: IndexRangeSpec {
+                    low: Some((vec![ScalarExpr::literal(Value::Int(2))], true)),
+                    high: Some((vec![ScalarExpr::literal(Value::Int(4))], true)),
+                },
+            },
+            vec![],
+            remote.column_ids.clone(),
+        );
+        let fetch = PhysNode::new(
+            PhysicalOp::RemoteFetch { meta: Arc::clone(&remote) },
+            vec![range],
+            remote.column_ids.clone(),
+        );
+        let rows = open(&fetch, &ctx).unwrap().collect_rows().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get(1), &Value::Int(20));
+    }
+
+    #[test]
+    fn nested_loop_rescans_spooled_inner_once() {
+        let (ctx, local, remote) = setup();
+        // NLJ: local t as outer (8 rows), spooled remote scan as inner.
+        let outer = PhysNode::new(
+            PhysicalOp::TableScan { meta: Arc::clone(&local) },
+            vec![],
+            local.column_ids.clone(),
+        );
+        let inner_scan = PhysNode::new(
+            PhysicalOp::RemoteScan { meta: Arc::clone(&remote) },
+            vec![],
+            remote.column_ids.clone(),
+        );
+        let spool =
+            PhysNode::new(PhysicalOp::Spool, vec![inner_scan], remote.column_ids.clone());
+        let pred = ScalarExpr::eq(
+            ScalarExpr::Column(local.column_id(0)),
+            ScalarExpr::Column(remote.column_id(0)),
+        );
+        let mut out_cols = local.column_ids.clone();
+        out_cols.extend(remote.column_ids.iter().copied());
+        let join = PhysNode::new(
+            PhysicalOp::NestedLoopJoin { kind: JoinKind::Inner, predicate: Some(pred) },
+            vec![outer, spool],
+            out_cols,
+        );
+        let rows = open(&join, &ctx).unwrap().collect_rows().unwrap();
+        assert_eq!(rows.len(), 8, "equi self-match across engines");
+    }
+
+    #[test]
+    fn startup_filter_gates_whole_subtree() {
+        let (ctx, local, _) = setup();
+        let scan = PhysNode::new(
+            PhysicalOp::TableScan { meta: Arc::clone(&local) },
+            vec![],
+            local.column_ids.clone(),
+        );
+        let blocked = PhysNode::new(
+            PhysicalOp::StartupFilter {
+                predicate: ScalarExpr::literal(Value::Bool(false)),
+            },
+            vec![scan.clone()],
+            local.column_ids.clone(),
+        );
+        assert_eq!(open(&blocked, &ctx).unwrap().count_rows().unwrap(), 0);
+        let passed = PhysNode::new(
+            PhysicalOp::StartupFilter { predicate: ScalarExpr::literal(Value::Bool(true)) },
+            vec![scan],
+            local.column_ids.clone(),
+        );
+        assert_eq!(open(&passed, &ctx).unwrap().count_rows().unwrap(), 8);
+    }
+
+    #[test]
+    fn union_all_permutes_mismatched_child_orders() {
+        let (ctx, local, remote) = setup();
+        let child1 = PhysNode::new(
+            PhysicalOp::TableScan { meta: Arc::clone(&local) },
+            vec![],
+            local.column_ids.clone(),
+        );
+        let child2 = PhysNode::new(
+            PhysicalOp::RemoteScan { meta: Arc::clone(&remote) },
+            vec![],
+            remote.column_ids.clone(),
+        );
+        // Output columns: fresh ids fed by (k, v) of each child, but child2's
+        // feeding list is reversed (v, k) to force a permutation.
+        let out = vec![ColumnId(100), ColumnId(101)];
+        let union = PhysNode {
+            op: PhysicalOp::UnionAll {
+                output: out.clone(),
+                input_columns: vec![
+                    local.column_ids.clone(),
+                    vec![remote.column_id(1), remote.column_id(0)],
+                ],
+            },
+            children: vec![child1, child2],
+            output: out,
+            est_rows: 16.0,
+            est_cost: 0.0,
+        };
+        // schema_of needs registry entries for 100/101 — use a local ctx
+        // with a registry containing them.
+        let mut registry = ColumnRegistry::new();
+        for _ in 0..100 {
+            registry.allocate("pad", "", DataType::Int, true);
+        }
+        registry.allocate("c100", "", DataType::Int, true);
+        registry.allocate("c101", "", DataType::Int, true);
+        let ctx2 = ExecContext::new(
+            Arc::clone(ctx.catalog()),
+            HashMap::new(),
+            Arc::new(registry),
+        );
+        let rows = open(&union, &ctx2).unwrap().collect_rows().unwrap();
+        assert_eq!(rows.len(), 16);
+        // First half: (k, v); second half: (v, k).
+        assert_eq!(rows[0].values, vec![Value::Int(0), Value::Int(0)]);
+        assert_eq!(rows[9].values, vec![Value::Int(10), Value::Int(1)]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Execution context: parameter values, correlation bindings, data-source
+//! resolution and the shared spool cache.
+
+use dhqp_oledb::DataSource;
+use dhqp_optimizer::props::ColumnRegistry;
+use dhqp_optimizer::ColumnId;
+use dhqp_types::{Column, DhqpError, Result, Row, Schema, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Resolves data sources by linked-server name. The engine's federated
+/// catalog implements this; tests provide small stubs.
+pub trait SourceCatalog: Send + Sync {
+    /// The local storage engine's data source.
+    fn local(&self) -> Arc<dyn DataSource>;
+
+    /// A linked server by name.
+    fn linked(&self, server: &str) -> Result<Arc<dyn DataSource>>;
+}
+
+/// A materialized spool, shared across rescans of the same plan node.
+pub type SpoolData = Arc<(Schema, Vec<Row>)>;
+
+/// Per-execution state threaded through every operator.
+#[derive(Clone)]
+pub struct ExecContext {
+    catalog: Arc<dyn SourceCatalog>,
+    /// `@name` parameter values for this execution.
+    params: Arc<HashMap<String, Value>>,
+    /// Correlation bindings: outer-row column values visible to a
+    /// re-opened inner subtree of a nested-loop join.
+    bindings: Arc<HashMap<u32, Value>>,
+    /// Spool cache keyed by plan-node address (stable for the duration of
+    /// one query execution).
+    spools: Arc<Mutex<HashMap<usize, SpoolData>>>,
+    /// Column metadata snapshot from binding, used to build operator
+    /// output schemas.
+    registry: Arc<ColumnRegistry>,
+}
+
+impl ExecContext {
+    pub fn new(
+        catalog: Arc<dyn SourceCatalog>,
+        params: HashMap<String, Value>,
+        registry: Arc<ColumnRegistry>,
+    ) -> Self {
+        ExecContext {
+            catalog,
+            params: Arc::new(params),
+            bindings: Arc::new(HashMap::new()),
+            spools: Arc::new(Mutex::new(HashMap::new())),
+            registry,
+        }
+    }
+
+    /// Build the runtime schema for a list of output columns.
+    pub fn schema_of(&self, columns: &[ColumnId]) -> Schema {
+        Schema::new(
+            columns
+                .iter()
+                .map(|&c| {
+                    let m = self.registry.meta(c);
+                    Column { name: m.name.clone(), data_type: m.data_type, nullable: m.nullable }
+                })
+                .collect(),
+        )
+    }
+
+    pub fn catalog(&self) -> &Arc<dyn SourceCatalog> {
+        &self.catalog
+    }
+
+    pub fn param(&self, name: &str) -> Result<&Value> {
+        self.params
+            .get(name)
+            .ok_or_else(|| DhqpError::Execute(format!("missing value for parameter @{name}")))
+    }
+
+    pub fn binding(&self, column: u32) -> Option<&Value> {
+        self.bindings.get(&column)
+    }
+
+    /// A child context with correlation bindings replaced (the nested-loop
+    /// join's per-outer-row rebind). The spool cache is shared so inner
+    /// spools survive rescans.
+    pub fn with_bindings(&self, bindings: HashMap<u32, Value>) -> ExecContext {
+        ExecContext {
+            catalog: Arc::clone(&self.catalog),
+            params: Arc::clone(&self.params),
+            bindings: Arc::new(bindings),
+            spools: Arc::clone(&self.spools),
+            registry: Arc::clone(&self.registry),
+        }
+    }
+
+    pub fn cached_spool(&self, key: usize) -> Option<SpoolData> {
+        self.spools.lock().expect("spool lock").get(&key).cloned()
+    }
+
+    pub fn store_spool(&self, key: usize, data: SpoolData) {
+        self.spools.lock().expect("spool lock").insert(key, data);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use dhqp_storage::{LocalDataSource, StorageEngine};
+
+    /// A catalog over one local engine plus named remote sources.
+    pub struct TestCatalog {
+        pub local: Arc<dyn DataSource>,
+        pub remotes: HashMap<String, Arc<dyn DataSource>>,
+    }
+
+    impl TestCatalog {
+        pub fn with_local(engine: Arc<StorageEngine>) -> Self {
+            TestCatalog {
+                local: Arc::new(LocalDataSource::new(engine)),
+                remotes: HashMap::new(),
+            }
+        }
+    }
+
+    impl SourceCatalog for TestCatalog {
+        fn local(&self) -> Arc<dyn DataSource> {
+            Arc::clone(&self.local)
+        }
+
+        fn linked(&self, server: &str) -> Result<Arc<dyn DataSource>> {
+            self.remotes
+                .get(server)
+                .cloned()
+                .ok_or_else(|| DhqpError::Catalog(format!("unknown linked server '{server}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_storage::StorageEngine;
+
+    #[test]
+    fn params_and_bindings_resolve() {
+        let catalog = Arc::new(test_support::TestCatalog::with_local(Arc::new(
+            StorageEngine::new("local"),
+        )));
+        let mut params = HashMap::new();
+        params.insert("id".to_string(), Value::Int(7));
+        let ctx = ExecContext::new(catalog, params, Arc::new(ColumnRegistry::new()));
+        assert_eq!(ctx.param("id").unwrap(), &Value::Int(7));
+        assert!(ctx.param("missing").is_err());
+        assert!(ctx.binding(3).is_none());
+        let child = ctx.with_bindings([(3u32, Value::Int(9))].into_iter().collect());
+        assert_eq!(child.binding(3), Some(&Value::Int(9)));
+        // Params survive rebinding.
+        assert_eq!(child.param("id").unwrap(), &Value::Int(7));
+    }
+
+    #[test]
+    fn spool_cache_is_shared_across_rebinds() {
+        let catalog = Arc::new(test_support::TestCatalog::with_local(Arc::new(
+            StorageEngine::new("local"),
+        )));
+        let ctx = ExecContext::new(catalog, HashMap::new(), Arc::new(ColumnRegistry::new()));
+        let data: SpoolData = Arc::new((Schema::empty(), vec![]));
+        ctx.store_spool(42, Arc::clone(&data));
+        let child = ctx.with_bindings(HashMap::new());
+        assert!(child.cached_spool(42).is_some());
+    }
+}

@@ -1,0 +1,18 @@
+//! The execution engine: Volcano-style operators over OLE DB rowsets.
+//!
+//! Every operator consumes and produces the [`dhqp_oledb::Rowset`]
+//! abstraction, so local scans, remote query results and full-text rowsets
+//! compose identically — the paper's layering argument (§3.1.2) made
+//! executable. The remote family (`RemoteQuery`, `RemoteScan`,
+//! `RemoteRange`, `RemoteFetch`), the rescannable spool operator and the
+//! [`ops::filter`] startup filter implement the physical side of §4.1.2's
+//! distributed implementation rules.
+
+pub mod build;
+pub mod context;
+pub mod eval;
+pub mod ops;
+
+pub use build::open;
+pub use context::{ExecContext, SourceCatalog};
+pub use eval::{eval_expr, eval_predicate, RowEnv};

@@ -1,0 +1,595 @@
+//! Join operators: nested loops (with per-row inner rebinds — the vehicle
+//! for parameterized remote access), hash join and merge join.
+
+use crate::context::ExecContext;
+use crate::eval::{eval_expr, eval_predicate, positions_of, RowEnv};
+use dhqp_oledb::{Rowset, RowsetExt};
+use dhqp_optimizer::{ColumnId, JoinKind, ScalarExpr};
+use dhqp_types::{DhqpError, Result, Row, Schema, Value};
+use std::collections::HashMap;
+
+/// Factory re-opening the inner side of a nested-loop join under fresh
+/// correlation bindings.
+pub type InnerFactory = Box<dyn Fn(&ExecContext) -> Result<Box<dyn Rowset>> + Send>;
+
+/// Tuple-at-a-time nested-loop join. The inner side is re-opened for every
+/// outer row with that row's columns exposed as correlation bindings, which
+/// is what lets a `RemoteQuery`/`RemoteRange` inner child push the current
+/// join key to the remote source (§4.1.2 parameterization).
+pub struct NestedLoopJoin {
+    outer: Box<dyn Rowset>,
+    inner_factory: InnerFactory,
+    kind: JoinKind,
+    predicate: Option<ScalarExpr>,
+    positions: HashMap<ColumnId, usize>,
+    outer_columns: Vec<ColumnId>,
+    inner_width: usize,
+    schema: Schema,
+    ctx: ExecContext,
+    current_outer: Option<Row>,
+    current_inner: Option<Box<dyn Rowset>>,
+    matched: bool,
+}
+
+impl NestedLoopJoin {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        outer: Box<dyn Rowset>,
+        inner_factory: InnerFactory,
+        kind: JoinKind,
+        predicate: Option<ScalarExpr>,
+        outer_columns: Vec<ColumnId>,
+        inner_columns: Vec<ColumnId>,
+        schema: Schema,
+        ctx: ExecContext,
+    ) -> Self {
+        let mut combined = outer_columns.clone();
+        combined.extend(inner_columns.iter().copied());
+        NestedLoopJoin {
+            outer,
+            inner_factory,
+            kind,
+            predicate,
+            positions: positions_of(&combined),
+            outer_columns,
+            inner_width: inner_columns.len(),
+            schema,
+            ctx,
+            current_outer: None,
+            current_inner: None,
+            matched: false,
+        }
+    }
+
+    fn rebind(&self, outer_row: &Row) -> ExecContext {
+        let bindings: HashMap<u32, Value> = self
+            .outer_columns
+            .iter()
+            .zip(outer_row.values.iter())
+            .map(|(c, v)| (c.0, v.clone()))
+            .collect();
+        self.ctx.with_bindings(bindings)
+    }
+
+    fn null_pad(&self, outer_row: &Row) -> Row {
+        let mut values = outer_row.values.clone();
+        values.extend(std::iter::repeat_n(Value::Null, self.inner_width));
+        Row::new(values)
+    }
+}
+
+impl Rowset for NestedLoopJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            if self.current_outer.is_none() {
+                let Some(outer_row) = self.outer.next()? else { return Ok(None) };
+                let child_ctx = self.rebind(&outer_row);
+                self.current_inner = Some((self.inner_factory)(&child_ctx)?);
+                self.current_outer = Some(outer_row);
+                self.matched = false;
+            }
+            let outer_row = self.current_outer.clone().expect("outer row set above");
+            let inner = self.current_inner.as_mut().expect("inner open");
+            let mut emit: Option<Row> = None;
+            let mut outer_done = false;
+            loop {
+                match inner.next()? {
+                    Some(inner_row) => {
+                        let combined = outer_row.join(&inner_row);
+                        let passes = match &self.predicate {
+                            None => true,
+                            Some(p) => {
+                                let env = RowEnv {
+                                    positions: &self.positions,
+                                    row: &combined,
+                                    ctx: &self.ctx,
+                                };
+                                eval_predicate(p, &env)?
+                            }
+                        };
+                        if !passes {
+                            continue;
+                        }
+                        match self.kind {
+                            JoinKind::Inner | JoinKind::Cross | JoinKind::LeftOuter => {
+                                self.matched = true;
+                                emit = Some(combined);
+                            }
+                            JoinKind::Semi => {
+                                emit = Some(outer_row.clone());
+                                outer_done = true;
+                            }
+                            JoinKind::Anti => {
+                                // A single match disqualifies the outer row.
+                                self.matched = true;
+                                outer_done = true;
+                            }
+                        }
+                        break;
+                    }
+                    None => {
+                        // Inner exhausted for this outer row.
+                        match self.kind {
+                            JoinKind::LeftOuter if !self.matched => {
+                                emit = Some(self.null_pad(&outer_row));
+                            }
+                            JoinKind::Anti if !self.matched => {
+                                emit = Some(outer_row.clone());
+                            }
+                            _ => {}
+                        }
+                        outer_done = true;
+                        break;
+                    }
+                }
+            }
+            if outer_done {
+                self.current_outer = None;
+                self.current_inner = None;
+            }
+            if let Some(row) = emit {
+                return Ok(Some(row));
+            }
+        }
+    }
+}
+
+/// Hash join: builds on the right input, probes with the left.
+pub struct HashJoin {
+    schema: Schema,
+    output: std::vec::IntoIter<Row>,
+}
+
+impl HashJoin {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mut left: Box<dyn Rowset>,
+        mut right: Box<dyn Rowset>,
+        kind: JoinKind,
+        left_keys: &[ScalarExpr],
+        right_keys: &[ScalarExpr],
+        residual: Option<&ScalarExpr>,
+        left_columns: &[ColumnId],
+        right_columns: &[ColumnId],
+        schema: Schema,
+        ctx: &ExecContext,
+    ) -> Result<Self> {
+        if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+            return Err(DhqpError::Execute("hash join requires matching key lists".into()));
+        }
+        let left_pos = positions_of(left_columns);
+        let right_pos = positions_of(right_columns);
+        let mut combined_cols = left_columns.to_vec();
+        combined_cols.extend(right_columns.iter().copied());
+        let combined_pos = positions_of(&combined_cols);
+
+        // Build phase: hash the right input (null keys never match).
+        let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+        while let Some(row) = right.next()? {
+            let env = RowEnv { positions: &right_pos, row: &row, ctx };
+            let key = right_keys.iter().map(|k| eval_expr(k, &env)).collect::<Result<Vec<_>>>()?;
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(key).or_default().push(row);
+        }
+
+        // Probe phase.
+        let right_width = right_columns.len();
+        let mut out = Vec::new();
+        while let Some(lrow) = left.next()? {
+            let env = RowEnv { positions: &left_pos, row: &lrow, ctx };
+            let key = left_keys.iter().map(|k| eval_expr(k, &env)).collect::<Result<Vec<_>>>()?;
+            let candidates: &[Row] = if key.iter().any(Value::is_null) {
+                &[]
+            } else {
+                table.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+            };
+            let mut matched = false;
+            for rrow in candidates {
+                let combined = lrow.join(rrow);
+                let passes = match residual {
+                    None => true,
+                    Some(p) => {
+                        let env =
+                            RowEnv { positions: &combined_pos, row: &combined, ctx };
+                        eval_predicate(p, &env)?
+                    }
+                };
+                if !passes {
+                    continue;
+                }
+                matched = true;
+                match kind {
+                    JoinKind::Inner | JoinKind::Cross | JoinKind::LeftOuter => {
+                        out.push(combined)
+                    }
+                    JoinKind::Semi => break,
+                    JoinKind::Anti => break,
+                }
+            }
+            match kind {
+                JoinKind::LeftOuter if !matched => {
+                    let mut values = lrow.values.clone();
+                    values.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(Row::new(values));
+                }
+                JoinKind::Semi if matched => out.push(lrow),
+                JoinKind::Anti if !matched => out.push(lrow),
+                _ => {}
+            }
+        }
+        Ok(HashJoin { schema, output: out.into_iter() })
+    }
+}
+
+impl Rowset for HashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.output.next())
+    }
+}
+
+/// Merge join over inputs sorted ascending on the key columns (inner join
+/// only; the optimizer requests the orderings via enforcers).
+pub struct MergeJoin {
+    schema: Schema,
+    output: std::vec::IntoIter<Row>,
+}
+
+impl MergeJoin {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        mut left: Box<dyn Rowset>,
+        mut right: Box<dyn Rowset>,
+        left_keys: &[ColumnId],
+        right_keys: &[ColumnId],
+        residual: Option<&ScalarExpr>,
+        left_columns: &[ColumnId],
+        right_columns: &[ColumnId],
+        schema: Schema,
+        ctx: &ExecContext,
+    ) -> Result<Self> {
+        let lpos = positions_of(left_columns);
+        let rpos = positions_of(right_columns);
+        let lkey_pos: Vec<usize> = left_keys
+            .iter()
+            .map(|c| {
+                lpos.get(c).copied().ok_or_else(|| {
+                    DhqpError::Execute(format!("merge key #{} missing from left input", c.0))
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let rkey_pos: Vec<usize> = right_keys
+            .iter()
+            .map(|c| {
+                rpos.get(c).copied().ok_or_else(|| {
+                    DhqpError::Execute(format!("merge key #{} missing from right input", c.0))
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let mut combined_cols = left_columns.to_vec();
+        combined_cols.extend(right_columns.iter().copied());
+        let combined_pos = positions_of(&combined_cols);
+
+        let lrows = left.collect_rows()?;
+        let rrows = right.collect_rows()?;
+        let key_of = |row: &Row, pos: &[usize]| -> Vec<Value> {
+            pos.iter().map(|&p| row.values[p].clone()).collect()
+        };
+        let cmp_keys = |a: &[Value], b: &[Value]| -> std::cmp::Ordering {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let o = x.total_cmp(y);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lrows.len() && j < rrows.len() {
+            let lk = key_of(&lrows[i], &lkey_pos);
+            let rk = key_of(&rrows[j], &rkey_pos);
+            // SQL semantics: null keys never join.
+            if lk.iter().any(Value::is_null) {
+                i += 1;
+                continue;
+            }
+            if rk.iter().any(Value::is_null) {
+                j += 1;
+                continue;
+            }
+            match cmp_keys(&lk, &rk) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Group boundaries on both sides.
+                    let mut i_end = i;
+                    while i_end < lrows.len()
+                        && cmp_keys(&key_of(&lrows[i_end], &lkey_pos), &lk)
+                            == std::cmp::Ordering::Equal
+                    {
+                        i_end += 1;
+                    }
+                    let mut j_end = j;
+                    while j_end < rrows.len()
+                        && cmp_keys(&key_of(&rrows[j_end], &rkey_pos), &rk)
+                            == std::cmp::Ordering::Equal
+                    {
+                        j_end += 1;
+                    }
+                    for lrow in &lrows[i..i_end] {
+                        for rrow in &rrows[j..j_end] {
+                            let combined = lrow.join(rrow);
+                            let passes = match residual {
+                                None => true,
+                                Some(p) => {
+                                    let env = RowEnv {
+                                        positions: &combined_pos,
+                                        row: &combined,
+                                        ctx,
+                                    };
+                                    eval_predicate(p, &env)?
+                                }
+                            };
+                            if passes {
+                                out.push(combined);
+                            }
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        Ok(MergeJoin { schema, output: out.into_iter() })
+    }
+}
+
+impl Rowset for MergeJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.output.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_support::TestCatalog;
+    use dhqp_oledb::MemRowset;
+    use dhqp_optimizer::props::ColumnRegistry;
+    use dhqp_optimizer::scalar::CmpOp;
+    use dhqp_storage::StorageEngine;
+    use dhqp_types::{Column, DataType};
+    use std::sync::Arc;
+
+    fn ctx() -> ExecContext {
+        let catalog = Arc::new(TestCatalog::with_local(Arc::new(StorageEngine::new("l"))));
+        ExecContext::new(catalog, HashMap::new(), Arc::new(ColumnRegistry::new()))
+    }
+
+    fn ints(vals: &[i64]) -> (Box<dyn Rowset>, Schema) {
+        let schema = Schema::new(vec![Column::new("v", DataType::Int)]);
+        let rows = vals.iter().map(|&i| Row::new(vec![Value::Int(i)])).collect();
+        (Box::new(MemRowset::new(schema.clone(), rows)), schema)
+    }
+
+    fn join_schema() -> Schema {
+        Schema::new(vec![Column::new("l", DataType::Int), Column::new("r", DataType::Int)])
+    }
+
+    fn eq_pred() -> ScalarExpr {
+        ScalarExpr::eq(ScalarExpr::Column(ColumnId(0)), ScalarExpr::Column(ColumnId(1)))
+    }
+
+    fn nlj(kind: JoinKind, left: &[i64], right: &'static [i64]) -> Vec<Row> {
+        let (outer, _) = ints(left);
+        let factory: InnerFactory = Box::new(move |_ctx| Ok(ints(right).0));
+        let schema = if kind.produces_right() {
+            join_schema()
+        } else {
+            Schema::new(vec![Column::new("l", DataType::Int)])
+        };
+        let mut j = NestedLoopJoin::new(
+            outer,
+            factory,
+            kind,
+            Some(eq_pred()),
+            vec![ColumnId(0)],
+            vec![ColumnId(1)],
+            schema,
+            ctx(),
+        );
+        j.collect_rows().unwrap()
+    }
+
+    #[test]
+    fn nlj_inner() {
+        let rows = nlj(JoinKind::Inner, &[1, 2, 3], &[2, 3, 3, 4]);
+        // 2 matches once, 3 matches twice.
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn nlj_left_outer_pads_nulls() {
+        let rows = nlj(JoinKind::LeftOuter, &[1, 2], &[2]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].get(1).is_null());
+        assert_eq!(rows[1].get(1), &Value::Int(2));
+    }
+
+    #[test]
+    fn nlj_semi_and_anti() {
+        let semi = nlj(JoinKind::Semi, &[1, 2, 3], &[2, 2, 3]);
+        assert_eq!(semi.len(), 2);
+        assert_eq!(semi[0].len(), 1, "semi join emits outer columns only");
+        let anti = nlj(JoinKind::Anti, &[1, 2, 3], &[2, 2, 3]);
+        assert_eq!(anti.len(), 1);
+        assert_eq!(anti[0].get(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn hash_join_kinds() {
+        let run = |kind: JoinKind| -> Vec<Row> {
+            let (l, _) = ints(&[1, 2, 3]);
+            let (r, _) = ints(&[2, 3, 3]);
+            let schema = if kind.produces_right() {
+                join_schema()
+            } else {
+                Schema::new(vec![Column::new("l", DataType::Int)])
+            };
+            let mut j = HashJoin::new(
+                l,
+                r,
+                kind,
+                &[ScalarExpr::Column(ColumnId(0))],
+                &[ScalarExpr::Column(ColumnId(1))],
+                None,
+                &[ColumnId(0)],
+                &[ColumnId(1)],
+                schema,
+                &ctx(),
+            )
+            .unwrap();
+            j.collect_rows().unwrap()
+        };
+        assert_eq!(run(JoinKind::Inner).len(), 3);
+        assert_eq!(run(JoinKind::LeftOuter).len(), 4); // 1 padded
+        assert_eq!(run(JoinKind::Semi).len(), 2);
+        assert_eq!(run(JoinKind::Anti).len(), 1);
+    }
+
+    #[test]
+    fn hash_join_null_keys_never_match() {
+        let schema = Schema::new(vec![Column::new("v", DataType::Int)]);
+        let l: Box<dyn Rowset> = Box::new(MemRowset::new(
+            schema.clone(),
+            vec![Row::new(vec![Value::Null]), Row::new(vec![Value::Int(1)])],
+        ));
+        let r: Box<dyn Rowset> = Box::new(MemRowset::new(
+            schema,
+            vec![Row::new(vec![Value::Null]), Row::new(vec![Value::Int(1)])],
+        ));
+        let mut j = HashJoin::new(
+            l,
+            r,
+            JoinKind::Inner,
+            &[ScalarExpr::Column(ColumnId(0))],
+            &[ScalarExpr::Column(ColumnId(1))],
+            None,
+            &[ColumnId(0)],
+            &[ColumnId(1)],
+            join_schema(),
+            &ctx(),
+        )
+        .unwrap();
+        assert_eq!(j.count_rows().unwrap(), 1, "NULL = NULL must not join");
+    }
+
+    #[test]
+    fn merge_join_with_duplicates() {
+        let (l, _) = ints(&[1, 2, 2, 3]);
+        let (r, _) = ints(&[2, 2, 3, 4]);
+        let mut j = MergeJoin::new(
+            l,
+            r,
+            &[ColumnId(0)],
+            &[ColumnId(1)],
+            None,
+            &[ColumnId(0)],
+            &[ColumnId(1)],
+            join_schema(),
+            &ctx(),
+        )
+        .unwrap();
+        // 2x2 group yields 4, 3 yields 1.
+        assert_eq!(j.count_rows().unwrap(), 5);
+    }
+
+    #[test]
+    fn nlj_rebinds_inner_via_correlation() {
+        // Inner factory returns rows derived from the binding: simulate a
+        // parameterized remote probe returning exactly the bound key.
+        let (outer, _) = ints(&[5, 7]);
+        let factory: InnerFactory = Box::new(|ctx| {
+            let v = ctx.binding(0).cloned().unwrap();
+            let schema = Schema::new(vec![Column::new("r", DataType::Int)]);
+            Ok(Box::new(MemRowset::new(schema, vec![Row::new(vec![v])])))
+        });
+        let mut j = NestedLoopJoin::new(
+            outer,
+            factory,
+            JoinKind::Inner,
+            Some(eq_pred()),
+            vec![ColumnId(0)],
+            vec![ColumnId(1)],
+            join_schema(),
+            ctx(),
+        );
+        let rows = j.collect_rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(0), rows[0].get(1));
+    }
+
+    #[test]
+    fn residual_predicate_filters_hash_matches() {
+        let (l, _) = ints(&[1, 2, 3]);
+        let (r, _) = ints(&[1, 2, 3]);
+        // key match AND l < 3
+        let residual = ScalarExpr::And(vec![
+            eq_pred(),
+            ScalarExpr::cmp(
+                CmpOp::Lt,
+                ScalarExpr::Column(ColumnId(0)),
+                ScalarExpr::literal(Value::Int(3)),
+            ),
+        ]);
+        let mut j = HashJoin::new(
+            l,
+            r,
+            JoinKind::Inner,
+            &[ScalarExpr::Column(ColumnId(0))],
+            &[ScalarExpr::Column(ColumnId(1))],
+            Some(&residual),
+            &[ColumnId(0)],
+            &[ColumnId(1)],
+            join_schema(),
+            &ctx(),
+        )
+        .unwrap();
+        assert_eq!(j.count_rows().unwrap(), 2);
+    }
+}

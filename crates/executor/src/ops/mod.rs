@@ -1,0 +1,8 @@
+//! Physical operator implementations.
+
+pub mod agg;
+pub mod filter;
+pub mod join;
+pub mod remote;
+pub mod scan;
+pub mod sort;

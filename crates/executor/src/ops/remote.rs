@@ -1,0 +1,146 @@
+//! Remote access paths: the executor side of the paper's *build remote
+//! query*, *remote scan*, *remote range* and *remote fetch* rules (§4.1.2).
+//!
+//! A remote query's parameters (`@__corr0`-style correlation markers and
+//! `@user` parameters) are substituted as literals into the SQL text before
+//! it crosses the link — every provider sees plain SQL in its own dialect,
+//! and the traffic accounting stays honest.
+
+use crate::context::ExecContext;
+use crate::eval::{eval_expr, RowEnv};
+use crate::ops::scan::resolve_range;
+use dhqp_oledb::{MemRowset, Rowset};
+use dhqp_optimizer::physical::{IndexRangeSpec, ParamSource, RemoteParam};
+use dhqp_optimizer::{ColumnId, TableMeta};
+use dhqp_types::{DhqpError, Result, Row, Value};
+use std::collections::HashMap;
+
+/// Resolve one remote parameter to a concrete value.
+fn param_value(p: &RemoteParam, ctx: &ExecContext) -> Result<Value> {
+    match &p.source {
+        ParamSource::QueryParam(name) => ctx.param(name).cloned(),
+        ParamSource::OuterColumn(col) => ctx
+            .binding(col.0)
+            .cloned()
+            .ok_or_else(|| {
+                DhqpError::Execute(format!(
+                    "no outer binding for correlation column #{} (parameter @{})",
+                    col.0, p.name
+                ))
+            }),
+    }
+}
+
+/// Substitute `@name` placeholders with SQL literals. Longest names first
+/// so `@p10` is never clobbered by `@p1`.
+pub fn substitute_params(sql: &str, params: &[(String, Value)]) -> String {
+    let mut ordered: Vec<&(String, Value)> = params.iter().collect();
+    ordered.sort_by_key(|(n, _)| std::cmp::Reverse(n.len()));
+    let mut out = sql.to_string();
+    for (name, value) in ordered {
+        out = out.replace(&format!("@{name}"), &value.to_sql_literal());
+    }
+    out
+}
+
+/// Execute a pushed-down SQL statement on a linked server.
+pub fn open_remote_query(
+    server: &str,
+    sql: &str,
+    params: &[RemoteParam],
+    ctx: &ExecContext,
+) -> Result<Box<dyn Rowset>> {
+    let source = ctx.catalog().linked(server)?;
+    let mut session = source.create_session()?;
+    let mut command = session.create_command()?;
+    let bound: Vec<(String, Value)> = params
+        .iter()
+        .map(|p| Ok((p.name.clone(), param_value(p, ctx)?)))
+        .collect::<Result<Vec<_>>>()?;
+    let text = substitute_params(sql, &bound);
+    command.set_text(&text)?;
+    command.execute()?.into_rowset()
+}
+
+/// `IOpenRowset` against a remote base table (ships the whole table).
+pub fn open_remote_scan(meta: &TableMeta, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
+    let server = meta
+        .source
+        .server_name()
+        .ok_or_else(|| DhqpError::Execute("remote scan of a local table".into()))?;
+    let source = ctx.catalog().linked(server)?;
+    let mut session = source.create_session()?;
+    session.open_rowset(&meta.table)
+}
+
+/// `IRowsetIndex` range against a remote index.
+pub fn open_remote_range(
+    meta: &TableMeta,
+    index: &str,
+    spec: &IndexRangeSpec,
+    ctx: &ExecContext,
+) -> Result<Box<dyn Rowset>> {
+    let server = meta
+        .source
+        .server_name()
+        .ok_or_else(|| DhqpError::Execute("remote range of a local table".into()))?;
+    let range = resolve_range(spec, ctx)?;
+    let source = ctx.catalog().linked(server)?;
+    let mut session = source.create_session()?;
+    session.open_index(&meta.table, index, &range)
+}
+
+/// `IRowsetLocate` fetch: pull base rows for the bookmarks produced by a
+/// child rowset (typically a remote index range over a secondary index).
+pub fn open_remote_fetch(
+    meta: &TableMeta,
+    mut child: Box<dyn Rowset>,
+    ctx: &ExecContext,
+) -> Result<Box<dyn Rowset>> {
+    let server = meta
+        .source
+        .server_name()
+        .ok_or_else(|| DhqpError::Execute("remote fetch of a local table".into()))?;
+    let mut bookmarks = Vec::new();
+    while let Some(row) = child.next()? {
+        bookmarks.push(row.bookmark.ok_or_else(|| {
+            DhqpError::Execute("remote fetch child produced a row without a bookmark".into())
+        })?);
+    }
+    let source = ctx.catalog().linked(server)?;
+    let mut session = source.create_session()?;
+    let rows = session.fetch_by_bookmarks(&meta.table, &bookmarks)?;
+    Ok(Box::new(MemRowset::new(meta.schema.clone(), rows)))
+}
+
+/// Evaluate a list of column-free expressions (used by DML routing).
+pub fn eval_standalone(exprs: &[dhqp_optimizer::ScalarExpr], ctx: &ExecContext) -> Result<Vec<Value>> {
+    let positions: HashMap<ColumnId, usize> = HashMap::new();
+    let row = Row::new(vec![]);
+    let env = RowEnv { positions: &positions, row: &row, ctx };
+    exprs.iter().map(|e| eval_expr(e, &env)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_orders_by_length() {
+        let sql = "SELECT * FROM t WHERE a = @p1 AND b = @p10";
+        let out = substitute_params(
+            sql,
+            &[("p1".into(), Value::Int(1)), ("p10".into(), Value::Int(10))],
+        );
+        assert_eq!(out, "SELECT * FROM t WHERE a = 1 AND b = 10");
+    }
+
+    #[test]
+    fn substitution_quotes_strings() {
+        let out = substitute_params(
+            "WHERE n = @name",
+            &[("name".into(), Value::Str("O'Brien".into()))],
+        );
+        assert_eq!(out, "WHERE n = 'O''Brien'");
+    }
+}

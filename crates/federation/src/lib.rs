@@ -1,0 +1,17 @@
+//! Federation support: linked servers and distributed partitioned views
+//! (paper §2.1, §4.1.5).
+//!
+//! "Linked server names associate a server name with an OLE DB data
+//! source"; a distributed partitioned view "unions horizontally partitioned
+//! data from a set of member tables across one or more servers, making the
+//! data appear as if from one table", with per-member CHECK constraints on
+//! the partitioning column feeding the constraint property framework.
+//! Delayed schema validation (§4.1.5) is implemented by snapshotting member
+//! schemas at definition time and re-checking them at execution, never at
+//! compile time.
+
+pub mod dpv;
+pub mod linked;
+
+pub use dpv::{MemberTable, PartitionedView};
+pub use linked::LinkedServerRegistry;

@@ -1,0 +1,196 @@
+//! Positional inverted index with tf-idf ranking.
+
+use crate::stemmer::stem;
+use crate::tokenizer::tokenize;
+use std::collections::{BTreeMap, HashMap};
+
+/// Postings for one term: document → word positions (ascending).
+type Postings = BTreeMap<u64, Vec<u32>>;
+
+/// A positional inverted index over documents identified by `u64` keys
+/// (heap bookmarks when indexing SQL tables, document ids for file stores).
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Postings>,
+    doc_lengths: HashMap<u64, u32>,
+}
+
+impl InvertedIndex {
+    pub fn new() -> Self {
+        InvertedIndex::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn doc_count(&self) -> usize {
+        self.doc_lengths.len()
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Index (or re-index) one document's text.
+    pub fn add_document(&mut self, doc: u64, text: &str) {
+        self.remove_document(doc);
+        let tokens = tokenize(text);
+        self.doc_lengths.insert(doc, tokens.len() as u32);
+        for t in tokens {
+            self.postings
+                .entry(stem(&t.term))
+                .or_default()
+                .entry(doc)
+                .or_default()
+                .push(t.position);
+        }
+    }
+
+    /// Remove a document from the index (maintenance path, §2.3 "creation,
+    /// update, and administration of full-text catalogs and indexes").
+    pub fn remove_document(&mut self, doc: u64) {
+        if self.doc_lengths.remove(&doc).is_none() {
+            return;
+        }
+        self.postings.retain(|_, postings| {
+            postings.remove(&doc);
+            !postings.is_empty()
+        });
+    }
+
+    /// Documents containing `term` (stemmed), with positions.
+    pub fn lookup(&self, term: &str) -> Option<&Postings> {
+        self.postings.get(&stem(&term.to_lowercase()))
+    }
+
+    /// Documents containing the exact phrase (consecutive positions).
+    pub fn phrase_docs(&self, words: &[String]) -> BTreeMap<u64, u32> {
+        let mut out = BTreeMap::new();
+        if words.is_empty() {
+            return out;
+        }
+        let Some(first) = self.lookup(&words[0]) else { return out };
+        'docs: for (&doc, first_positions) in first {
+            let mut count = 0u32;
+            'starts: for &start in first_positions {
+                for (offset, w) in words.iter().enumerate().skip(1) {
+                    let Some(postings) = self.lookup(w) else { continue 'docs };
+                    let Some(positions) = postings.get(&doc) else { continue 'docs };
+                    if !positions.contains(&(start + offset as u32)) {
+                        continue 'starts;
+                    }
+                }
+                count += 1;
+            }
+            if count > 0 {
+                out.insert(doc, count);
+            }
+        }
+        out
+    }
+
+    /// Documents where `a` and `b` occur within `distance` words.
+    pub fn near_docs(&self, a: &str, b: &str, distance: u32) -> BTreeMap<u64, u32> {
+        let mut out = BTreeMap::new();
+        let (Some(pa), Some(pb)) = (self.lookup(a), self.lookup(b)) else { return out };
+        for (&doc, pos_a) in pa {
+            let Some(pos_b) = pb.get(&doc) else { continue };
+            let mut hits = 0u32;
+            for &x in pos_a {
+                if pos_b.iter().any(|&y| x.abs_diff(y) <= distance) {
+                    hits += 1;
+                }
+            }
+            if hits > 0 {
+                out.insert(doc, hits);
+            }
+        }
+        out
+    }
+
+    /// tf-idf score contribution of one term for one document, given its
+    /// term frequency.
+    pub fn tf_idf(&self, term: &str, doc: u64, tf: u32) -> f64 {
+        let n = self.doc_count() as f64;
+        let df = self.lookup(term).map(|p| p.len()).unwrap_or(0) as f64;
+        if df == 0.0 || n == 0.0 {
+            return 0.0;
+        }
+        let len = *self.doc_lengths.get(&doc).unwrap_or(&1) as f64;
+        (tf as f64 / len.max(1.0)) * (1.0 + (n / df).ln())
+    }
+
+    /// All indexed documents.
+    pub fn documents(&self) -> impl Iterator<Item = u64> + '_ {
+        self.doc_lengths.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.add_document(1, "Parallel database systems run queries in parallel");
+        ix.add_document(2, "Heterogeneous query processing in federated databases");
+        ix.add_document(3, "The runner ran a marathon");
+        ix
+    }
+
+    #[test]
+    fn lookup_is_stemmed_and_case_folded() {
+        let ix = sample();
+        // "queries" and "query" share a stem.
+        let q = ix.lookup("Queries").unwrap();
+        assert!(q.contains_key(&1));
+        assert!(q.contains_key(&2));
+        // "databases" stems to "database".
+        assert_eq!(ix.lookup("database").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn inflection_equivalence_run_ran_runner() {
+        let ix = sample();
+        let runs = ix.lookup("run").unwrap();
+        assert!(runs.contains_key(&1), "'run' in doc 1");
+        assert!(runs.contains_key(&3), "'runner' and 'ran' in doc 3");
+    }
+
+    #[test]
+    fn phrase_requires_adjacency() {
+        let ix = sample();
+        let hits = ix.phrase_docs(&["parallel".into(), "database".into()]);
+        assert!(hits.contains_key(&1));
+        assert_eq!(hits.len(), 1);
+        let none = ix.phrase_docs(&["database".into(), "parallel".into()]);
+        assert!(none.is_empty(), "reversed phrase must not match");
+    }
+
+    #[test]
+    fn near_within_distance() {
+        let ix = sample();
+        // "heterogeneous" and "processing" are 2 words apart in doc 2.
+        assert!(ix.near_docs("heterogeneous", "processing", 2).contains_key(&2));
+        assert!(ix.near_docs("heterogeneous", "processing", 1).is_empty());
+    }
+
+    #[test]
+    fn remove_document_cleans_postings() {
+        let mut ix = sample();
+        ix.remove_document(1);
+        assert_eq!(ix.doc_count(), 2);
+        assert!(!ix.lookup("parallel").map(|p| p.contains_key(&1)).unwrap_or(false));
+        // Re-adding replaces cleanly.
+        ix.add_document(2, "entirely new words");
+        assert!(ix.lookup("federated").is_none() || !ix.lookup("federated").unwrap().contains_key(&2));
+    }
+
+    #[test]
+    fn tf_idf_prefers_rare_terms() {
+        let ix = sample();
+        let rare = ix.tf_idf("marathon", 3, 1);
+        let common = ix.tf_idf("database", 1, 1);
+        assert!(rare > common, "rare={rare} common={common}");
+        assert_eq!(ix.tf_idf("missing", 1, 1), 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The `MSIDXS` OLE DB-style provider over the search service.
+//!
+//! This is the paper's canonical *query provider with proprietary syntax*
+//! (§3.3): it has a command object, but its language is the Index-Server
+//! dialect, so the DHQP can only pass queries through (`OPENROWSET` /
+//! `OPENQUERY`), never compose SQL for it. Commands look like the §2.2
+//! example:
+//!
+//! ```text
+//! Select Path, FileName, size, Write from SCOPE()
+//! where CONTAINS('"Parallel database" OR "heterogeneous query"')
+//! ```
+
+use crate::service::SearchService;
+use dhqp_oledb::{
+    ColumnInfo, Command, CommandResult, DataSource, MemRowset, ProviderCapabilities, Rowset,
+    Session, SqlSupport, TableInfo,
+};
+use dhqp_types::{Column, DataType, DhqpError, Result, Row, Schema, Value};
+use std::sync::Arc;
+
+/// Columns exposed by a scope query.
+const SCOPE_COLUMNS: &[(&str, DataType)] = &[
+    ("path", DataType::Str),
+    ("directory", DataType::Str),
+    ("filename", DataType::Str),
+    ("size", DataType::Int),
+    ("create", DataType::Date),
+    ("write", DataType::Date),
+    ("rank", DataType::Int),
+    ("doc_id", DataType::Int),
+];
+
+/// An OLE DB-style data source over one full-text catalog.
+pub struct FullTextProvider {
+    service: Arc<SearchService>,
+    catalog: String,
+}
+
+impl FullTextProvider {
+    pub fn new(service: Arc<SearchService>, catalog: impl Into<String>) -> Self {
+        FullTextProvider { service, catalog: catalog.into() }
+    }
+
+    pub fn service(&self) -> &Arc<SearchService> {
+        &self.service
+    }
+}
+
+impl DataSource for FullTextProvider {
+    fn name(&self) -> &str {
+        &self.catalog
+    }
+
+    fn capabilities(&self) -> ProviderCapabilities {
+        ProviderCapabilities {
+            provider_name: "MSIDXS".into(),
+            sql_support: SqlSupport::None,
+            proprietary_command: true,
+            index_support: false,
+            statistics_support: false,
+            transaction_support: false,
+            dialect: Default::default(),
+            latency_hint_us: 200,
+        }
+    }
+
+    fn tables(&self) -> Result<Vec<TableInfo>> {
+        // The catalog's document listing is exposed as one named rowset.
+        let cardinality = self.service.with_catalog(&self.catalog, |c| c.doc_count() as u64)?;
+        Ok(vec![TableInfo {
+            name: "SCOPE".into(),
+            columns: SCOPE_COLUMNS
+                .iter()
+                .map(|(n, t)| ColumnInfo::new(*n, *t))
+                .collect(),
+            indexes: Vec::new(),
+            cardinality: Some(cardinality),
+        }])
+    }
+
+    fn create_session(&self) -> Result<Box<dyn Session>> {
+        Ok(Box::new(FtSession {
+            service: Arc::clone(&self.service),
+            catalog: self.catalog.clone(),
+        }))
+    }
+}
+
+struct FtSession {
+    service: Arc<SearchService>,
+    catalog: String,
+}
+
+impl Session for FtSession {
+    fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
+        if !table.eq_ignore_ascii_case("scope") {
+            return Err(DhqpError::Catalog(format!(
+                "full-text provider exposes only SCOPE, not '{table}'"
+            )));
+        }
+        // Unfiltered listing: every document, rank 0.
+        let rows = self.service.with_catalog(&self.catalog, |cat| {
+            cat.documents_iter().map(|d| doc_row(d, 0, SCOPE_COLUMNS)).collect::<Vec<Row>>()
+        })?;
+        Ok(Box::new(MemRowset::new(scope_schema(SCOPE_COLUMNS), rows)))
+    }
+
+    fn create_command(&mut self) -> Result<Box<dyn Command>> {
+        Ok(Box::new(FtCommand {
+            service: Arc::clone(&self.service),
+            catalog: self.catalog.clone(),
+            text: None,
+        }))
+    }
+}
+
+struct FtCommand {
+    service: Arc<SearchService>,
+    catalog: String,
+    text: Option<String>,
+}
+
+impl Command for FtCommand {
+    fn set_text(&mut self, text: &str) -> Result<()> {
+        self.text = Some(text.to_string());
+        Ok(())
+    }
+
+    fn execute(&mut self) -> Result<CommandResult> {
+        let text = self
+            .text
+            .as_deref()
+            .ok_or_else(|| DhqpError::Provider("full-text command has no text".into()))?;
+        let (columns, query) = parse_scope_query(text)?;
+        let hits = self.service.query_keys(&self.catalog, &query)?;
+        let rows = self.service.with_catalog(&self.catalog, |cat| {
+            hits.iter()
+                .map(|&(id, rank)| match cat.document(id) {
+                    Some(d) => doc_row(d, rank, &columns),
+                    // Row-keyed (relational) catalogs have no document
+                    // metadata; emit id + rank only.
+                    None => Row::new(
+                        columns
+                            .iter()
+                            .map(|(n, _)| match *n {
+                                "rank" => Value::Int(rank),
+                                "doc_id" => Value::Int(id as i64),
+                                _ => Value::Null,
+                            })
+                            .collect(),
+                    ),
+                })
+                .collect::<Vec<Row>>()
+        })?;
+        Ok(CommandResult::Rowset(Box::new(MemRowset::new(scope_schema(&columns), rows))))
+    }
+}
+
+fn scope_schema(columns: &[(&str, DataType)]) -> Schema {
+    Schema::new(columns.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+}
+
+fn doc_row(d: &crate::service::Document, rank: i64, columns: &[(&str, DataType)]) -> Row {
+    let values = columns
+        .iter()
+        .map(|(name, _)| match *name {
+            "path" => Value::Str(d.path.clone()),
+            "directory" => {
+                let dir = d
+                    .path
+                    .rfind(['/', '\\'])
+                    .map(|i| d.path[..i].to_string())
+                    .unwrap_or_default();
+                Value::Str(dir)
+            }
+            "filename" => Value::Str(d.file_name().to_string()),
+            "size" => Value::Int(d.size as i64),
+            "create" => Value::Date(d.created),
+            "write" => Value::Date(d.modified),
+            "rank" => Value::Int(rank),
+            "doc_id" => Value::Int(d.id as i64),
+            _ => Value::Null,
+        })
+        .collect();
+    Row::with_bookmark(values, d.id)
+}
+
+/// Parse the Index-Server-ish command text: column list between SELECT and
+/// FROM, and the CONTAINS('...') query string.
+fn parse_scope_query(text: &str) -> Result<(Vec<(&'static str, DataType)>, String)> {
+    let upper = text.to_uppercase();
+    let select_pos = upper
+        .find("SELECT")
+        .ok_or_else(|| DhqpError::Parse("full-text command must start with SELECT".into()))?;
+    let from_pos = upper
+        .find("FROM")
+        .ok_or_else(|| DhqpError::Parse("full-text command missing FROM SCOPE()".into()))?;
+    if !upper[from_pos..].trim_start_matches("FROM").trim_start().starts_with("SCOPE()") {
+        return Err(DhqpError::Parse("full-text command must select FROM SCOPE()".into()));
+    }
+    let col_text = &text[select_pos + 6..from_pos];
+    let mut columns = Vec::new();
+    for raw in col_text.split(',') {
+        let name = raw.trim().to_lowercase();
+        if name == "*" {
+            columns = SCOPE_COLUMNS.to_vec();
+            break;
+        }
+        let known = SCOPE_COLUMNS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .ok_or_else(|| DhqpError::Parse(format!("unknown SCOPE column '{name}'")))?;
+        columns.push(*known);
+    }
+    if columns.is_empty() {
+        return Err(DhqpError::Parse("full-text command selects no columns".into()));
+    }
+    // Extract CONTAINS('...') — quotes inside are already unescaped by the
+    // outer SQL parser when this arrived via OPENROWSET.
+    let contains_pos = upper
+        .find("CONTAINS(")
+        .ok_or_else(|| DhqpError::Parse("full-text command missing CONTAINS(...)".into()))?;
+    let after = &text[contains_pos + "CONTAINS(".len()..];
+    let open = after
+        .find('\'')
+        .ok_or_else(|| DhqpError::Parse("CONTAINS argument must be a quoted string".into()))?;
+    let rest = &after[open + 1..];
+    // The argument may itself contain doubled quotes ('' → ').
+    let mut query = String::new();
+    let mut chars = rest.chars().peekable();
+    loop {
+        match chars.next() {
+            Some('\'') => {
+                if chars.peek() == Some(&'\'') {
+                    query.push('\'');
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            Some(c) => query.push(c),
+            None => {
+                return Err(DhqpError::Parse("unterminated CONTAINS argument".into()));
+            }
+        }
+    }
+    Ok((columns, query))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Document;
+    use dhqp_oledb::RowsetExt;
+
+    fn provider() -> FullTextProvider {
+        let svc = Arc::new(SearchService::new());
+        svc.create_catalog("DQLiterature").unwrap();
+        for (path, body) in [
+            ("d:\\lit\\parallel.txt", "parallel database systems"),
+            ("d:\\lit\\hetero.txt", "heterogeneous query processing"),
+            ("d:\\lit\\other.txt", "unrelated cooking text"),
+        ] {
+            svc.index_document(
+                "DQLiterature",
+                Document {
+                    id: 0,
+                    path: path.into(),
+                    doc_type: "txt".into(),
+                    raw: body.into(),
+                    size: body.len() as u64,
+                    created: 9000,
+                    modified: 9001,
+                },
+            )
+            .unwrap();
+        }
+        FullTextProvider::new(svc, "DQLiterature")
+    }
+
+    #[test]
+    fn capability_class_is_pass_through() {
+        let p = provider();
+        assert_eq!(p.capabilities().class(), dhqp_oledb::ProviderClass::QueryPassThrough);
+        assert!(p.capabilities().has_command());
+    }
+
+    #[test]
+    fn paper_2_2_command_executes() {
+        let p = provider();
+        let mut s = p.create_session().unwrap();
+        let mut cmd = s.create_command().unwrap();
+        cmd.set_text(
+            "Select Path, Directory, FileName, size, Create, Write from SCOPE() \
+             where CONTAINS('\"Parallel database\" OR \"heterogeneous query\"')",
+        )
+        .unwrap();
+        let mut rs = cmd.execute().unwrap().into_rowset().unwrap();
+        assert_eq!(rs.schema().len(), 6);
+        let rows = rs.collect_rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(matches!(rows[0].get(0), Value::Str(p) if p.contains("d:\\lit")));
+    }
+
+    #[test]
+    fn rank_column_and_ordering() {
+        let p = provider();
+        let mut s = p.create_session().unwrap();
+        let mut cmd = s.create_command().unwrap();
+        cmd.set_text("SELECT path, rank FROM SCOPE() WHERE CONTAINS('database OR query')").unwrap();
+        let mut rs = cmd.execute().unwrap().into_rowset().unwrap();
+        let rows = rs.collect_rows().unwrap();
+        assert!(!rows.is_empty());
+        let ranks: Vec<i64> = rows
+            .iter()
+            .map(|r| match r.get(1) {
+                Value::Int(i) => *i,
+                other => panic!("rank should be int, got {other}"),
+            })
+            .collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(ranks, sorted, "results come back rank-descending");
+    }
+
+    #[test]
+    fn open_rowset_lists_scope() {
+        let p = provider();
+        let mut s = p.create_session().unwrap();
+        let mut rs = s.open_rowset("SCOPE").unwrap();
+        assert_eq!(rs.count_rows().unwrap(), 3);
+        assert!(s.open_rowset("other").is_err());
+    }
+
+    #[test]
+    fn command_text_errors() {
+        let p = provider();
+        let mut s = p.create_session().unwrap();
+        let mut cmd = s.create_command().unwrap();
+        cmd.set_text("SELECT nope FROM SCOPE() WHERE CONTAINS('x')").unwrap();
+        assert!(cmd.execute().is_err());
+        cmd.set_text("SELECT path FROM elsewhere WHERE CONTAINS('x')").unwrap();
+        assert!(cmd.execute().is_err());
+        cmd.set_text("SELECT path FROM SCOPE()").unwrap();
+        assert!(cmd.execute().is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Word breaking: text → (term, position) pairs.
+
+/// A token with its word position in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub term: String,
+    pub position: u32,
+}
+
+/// Split text into lowercase alphanumeric words. Positions count words, so
+/// proximity queries reason in word distances.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut position = 0u32;
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '\'' {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            out.push(Token { term: strip_apostrophes(&current), position });
+            position += 1;
+            current.clear();
+        }
+    }
+    if !current.is_empty() {
+        out.push(Token { term: strip_apostrophes(&current), position });
+    }
+    out
+}
+
+/// Drop possessive apostrophes (`server's` → `servers` would be wrong; we
+/// strip the suffix instead: `server's` → `server`).
+fn strip_apostrophes(term: &str) -> String {
+    term.trim_matches('\'').strip_suffix("'s").map(str::to_string).unwrap_or_else(|| {
+        term.trim_matches('\'').replace('\'', "")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(text: &str) -> Vec<String> {
+        tokenize(text).into_iter().map(|t| t.term).collect()
+    }
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(terms("Parallel Database Systems!"), vec!["parallel", "database", "systems"]);
+    }
+
+    #[test]
+    fn positions_are_word_offsets() {
+        let toks = tokenize("a b  c");
+        assert_eq!(toks[2].position, 2);
+    }
+
+    #[test]
+    fn numbers_and_mixed() {
+        assert_eq!(terms("SQL Server 2000, v2.0"), vec!["sql", "server", "2000", "v2", "0"]);
+    }
+
+    #[test]
+    fn possessives_fold() {
+        assert_eq!(terms("the server's log"), vec!["the", "server", "log"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(terms("").is_empty());
+        assert!(terms("... --- !!!").is_empty());
+    }
+}

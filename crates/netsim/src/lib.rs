@@ -1,0 +1,19 @@
+//! Simulated network links between the DHQP and remote providers.
+//!
+//! The paper's remote cost model "aims at finding plans with minimal network
+//! traffic" (§4.1.3). To make that objective *observable* without real
+//! machines, every remote data source in this repo is wrapped in a
+//! [`NetworkLink`] that:
+//!
+//! * counts requests (round trips), rows and bytes in both directions, and
+//! * optionally injects latency/bandwidth delay so wall-clock benchmarks
+//!   reflect traffic differences, not just counters.
+//!
+//! Benches snapshot link stats before and after a query to report the
+//! rows/bytes-shipped columns of the experiment tables.
+
+pub mod link;
+pub mod wrap;
+
+pub use link::{LinkStats, NetworkConfig, NetworkLink, TrafficSnapshot};
+pub use wrap::NetworkedDataSource;

@@ -1,0 +1,215 @@
+//! Link configuration, accounting and delay model.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Static link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// One-way request latency in microseconds, charged per round trip.
+    pub latency_us: u64,
+    /// Link bandwidth in bytes per millisecond (e.g. 100_000 ≈ 100 MB/s).
+    pub bytes_per_ms: u64,
+    /// When false the link only accounts; when true it also sleeps so
+    /// wall-clock measurements include simulated transfer time.
+    pub simulate_delay: bool,
+}
+
+impl NetworkConfig {
+    /// A fast LAN: 0.5 ms round trips, ~100 MB/s, accounting only.
+    pub fn lan() -> Self {
+        NetworkConfig { latency_us: 500, bytes_per_ms: 100_000, simulate_delay: false }
+    }
+
+    /// A LAN with delay simulation enabled — used by benches so network
+    /// traffic shows up in wall time.
+    pub fn lan_timed() -> Self {
+        NetworkConfig { simulate_delay: true, ..NetworkConfig::lan() }
+    }
+
+    /// A slow WAN: 20 ms round trips, ~2 MB/s.
+    pub fn wan_timed() -> Self {
+        NetworkConfig { latency_us: 20_000, bytes_per_ms: 2_000, simulate_delay: true }
+    }
+
+    /// Accounting-only link with zero parameters (unit tests).
+    pub fn untimed() -> Self {
+        NetworkConfig { latency_us: 0, bytes_per_ms: 0, simulate_delay: false }
+    }
+
+    /// Simulated wire time for a payload of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        if self.bytes_per_ms == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(bytes.saturating_mul(1000) / self.bytes_per_ms)
+    }
+}
+
+/// Monotonic counters for one link (shared across sessions/rowsets).
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    pub requests: AtomicU64,
+    pub rows: AtomicU64,
+    pub bytes: AtomicU64,
+}
+
+/// A point-in-time copy of link counters; subtract two to get per-query
+/// traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficSnapshot {
+    pub requests: u64,
+    pub rows: u64,
+    pub bytes: u64,
+}
+
+impl TrafficSnapshot {
+    /// Traffic that happened between `earlier` and `self`.
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            requests: self.requests - earlier.requests,
+            rows: self.rows - earlier.rows,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+impl std::ops::Add for TrafficSnapshot {
+    type Output = TrafficSnapshot;
+    fn add(self, rhs: TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            requests: self.requests + rhs.requests,
+            rows: self.rows + rhs.rows,
+            bytes: self.bytes + rhs.bytes,
+        }
+    }
+}
+
+/// A shared handle to one simulated link.
+#[derive(Clone)]
+pub struct NetworkLink {
+    name: Arc<str>,
+    config: NetworkConfig,
+    stats: Arc<LinkStats>,
+}
+
+impl NetworkLink {
+    pub fn new(name: impl Into<String>, config: NetworkConfig) -> Self {
+        NetworkLink { name: name.into().into(), config, stats: Arc::new(LinkStats::default()) }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Record one round trip carrying `request_bytes` of command/request
+    /// payload, sleeping for the configured latency when simulation is on.
+    pub fn record_request(&self, request_bytes: u64) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(request_bytes, Ordering::Relaxed);
+        if self.config.simulate_delay {
+            let d = Duration::from_micros(self.config.latency_us)
+                + self.config.transfer_time(request_bytes);
+            if !d.is_zero() {
+                std::thread::sleep(d);
+            }
+        }
+    }
+
+    /// Record `rows` result rows totalling `bytes` on the wire. Returns the
+    /// simulated transfer duration (already slept when simulation is on).
+    pub fn record_rows(&self, rows: u64, bytes: u64) -> Duration {
+        self.stats.rows.fetch_add(rows, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        let d = self.config.transfer_time(bytes);
+        if self.config.simulate_delay && !d.is_zero() {
+            std::thread::sleep(d);
+        }
+        d
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            rows: self.stats.rows.load(Ordering::Relaxed),
+            bytes: self.stats.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters (benches do this between measurements).
+    pub fn reset(&self) {
+        self.stats.requests.store(0, Ordering::Relaxed);
+        self.stats.rows.store(0, Ordering::Relaxed);
+        self.stats.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates() {
+        let link = NetworkLink::new("r0", NetworkConfig::untimed());
+        link.record_request(100);
+        link.record_rows(10, 800);
+        link.record_rows(5, 400);
+        let s = link.snapshot();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.rows, 15);
+        assert_eq!(s.bytes, 1300);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let link = NetworkLink::new("r0", NetworkConfig::untimed());
+        link.record_rows(10, 100);
+        let before = link.snapshot();
+        link.record_rows(7, 70);
+        let delta = link.snapshot().since(&before);
+        assert_eq!(delta.rows, 7);
+        assert_eq!(delta.bytes, 70);
+        assert_eq!(delta.requests, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let link = NetworkLink::new("r0", NetworkConfig::untimed());
+        link.record_request(5);
+        link.reset();
+        assert_eq!(link.snapshot(), TrafficSnapshot::default());
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = NetworkLink::new("r0", NetworkConfig::untimed());
+        let b = a.clone();
+        a.record_rows(1, 10);
+        b.record_rows(2, 20);
+        assert_eq!(a.snapshot().rows, 3);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let cfg = NetworkConfig { latency_us: 0, bytes_per_ms: 1000, simulate_delay: false };
+        assert_eq!(cfg.transfer_time(1000), Duration::from_millis(1));
+        assert_eq!(cfg.transfer_time(0), Duration::ZERO);
+        assert_eq!(NetworkConfig::untimed().transfer_time(1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn timed_link_sleeps_for_latency() {
+        let cfg = NetworkConfig { latency_us: 2000, bytes_per_ms: 0, simulate_delay: true };
+        let link = NetworkLink::new("slow", cfg);
+        let t0 = std::time::Instant::now();
+        link.record_request(0);
+        assert!(t0.elapsed() >= Duration::from_micros(1800));
+    }
+}

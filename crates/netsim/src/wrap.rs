@@ -1,0 +1,263 @@
+//! Wrapping a provider behind a simulated link.
+//!
+//! `NetworkedDataSource` decorates any [`DataSource`] so that every session
+//! interaction — opening rowsets, executing commands, fetching by bookmark,
+//! DML, 2PC messages — is metered through a [`NetworkLink`]. The inner
+//! provider is unaware; the DHQP above is unaware; only the link sees the
+//! traffic. This is the measurement seam for every distributed experiment.
+
+use crate::link::NetworkLink;
+use dhqp_oledb::{
+    Command, CommandResult, DataSource, Histogram, KeyRange, ProviderCapabilities, Rowset, Session,
+    TableInfo, TxnId,
+};
+use dhqp_types::{Result, Row, Schema, Value};
+use std::sync::Arc;
+
+/// A data source reachable only across a simulated network link.
+pub struct NetworkedDataSource {
+    inner: Arc<dyn DataSource>,
+    link: NetworkLink,
+}
+
+impl NetworkedDataSource {
+    pub fn new(inner: Arc<dyn DataSource>, link: NetworkLink) -> Self {
+        NetworkedDataSource { inner, link }
+    }
+
+    pub fn link(&self) -> &NetworkLink {
+        &self.link
+    }
+}
+
+impl DataSource for NetworkedDataSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn capabilities(&self) -> ProviderCapabilities {
+        let mut caps = self.inner.capabilities();
+        // Advertise the link latency so the optimizer's remote cost model
+        // sees it (connection property, §4.1.3).
+        caps.latency_hint_us = caps.latency_hint_us.max(self.link.config().latency_us);
+        caps
+    }
+
+    fn tables(&self) -> Result<Vec<TableInfo>> {
+        // Metadata round trip; schema rowsets are small, charge a nominal
+        // payload.
+        self.link.record_request(64);
+        self.inner.tables()
+    }
+
+    fn create_session(&self) -> Result<Box<dyn Session>> {
+        self.link.record_request(32);
+        Ok(Box::new(NetworkedSession {
+            inner: self.inner.create_session()?,
+            link: self.link.clone(),
+        }))
+    }
+}
+
+struct NetworkedSession {
+    inner: Box<dyn Session>,
+    link: NetworkLink,
+}
+
+/// A rowset whose rows are metered as they cross the link.
+struct MeteredRowset {
+    inner: Box<dyn Rowset>,
+    link: NetworkLink,
+}
+
+impl Rowset for MeteredRowset {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        let row = self.inner.next()?;
+        if let Some(r) = &row {
+            self.link.record_rows(1, r.wire_size() as u64);
+        }
+        Ok(row)
+    }
+}
+
+fn rows_wire_size(rows: &[Row]) -> u64 {
+    rows.iter().map(|r| r.wire_size() as u64).sum()
+}
+
+impl Session for NetworkedSession {
+    fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
+        self.link.record_request(32 + table.len() as u64);
+        Ok(Box::new(MeteredRowset { inner: self.inner.open_rowset(table)?, link: self.link.clone() }))
+    }
+
+    fn create_command(&mut self) -> Result<Box<dyn Command>> {
+        Ok(Box::new(NetworkedCommand {
+            inner: self.inner.create_command()?,
+            link: self.link.clone(),
+            text_len: 0,
+        }))
+    }
+
+    fn open_index(&mut self, table: &str, index: &str, range: &KeyRange) -> Result<Box<dyn Rowset>> {
+        self.link.record_request(48 + table.len() as u64 + index.len() as u64);
+        Ok(Box::new(MeteredRowset {
+            inner: self.inner.open_index(table, index, range)?,
+            link: self.link.clone(),
+        }))
+    }
+
+    fn fetch_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<Vec<Row>> {
+        self.link.record_request(32 + 8 * bookmarks.len() as u64);
+        let rows = self.inner.fetch_by_bookmarks(table, bookmarks)?;
+        self.link.record_rows(rows.len() as u64, rows_wire_size(&rows));
+        Ok(rows)
+    }
+
+    fn histogram(&mut self, table: &str, column: &str) -> Result<Option<Histogram>> {
+        self.link.record_request(32);
+        let h = self.inner.histogram(table, column)?;
+        if let Some(h) = &h {
+            // A histogram ships one (upper, rows, distinct) triple per step.
+            self.link.record_rows(h.buckets.len() as u64, 24 * h.buckets.len() as u64);
+        }
+        Ok(h)
+    }
+
+    fn join_transaction(&mut self, txn: TxnId) -> Result<()> {
+        self.link.record_request(16);
+        self.inner.join_transaction(txn)
+    }
+
+    fn prepare(&mut self, txn: TxnId) -> Result<()> {
+        self.link.record_request(16);
+        self.inner.prepare(txn)
+    }
+
+    fn commit(&mut self, txn: TxnId) -> Result<()> {
+        self.link.record_request(16);
+        self.inner.commit(txn)
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Result<()> {
+        self.link.record_request(16);
+        self.inner.abort(txn)
+    }
+
+    fn insert(&mut self, table: &str, rows: &[Row]) -> Result<u64> {
+        self.link.record_request(32 + rows_wire_size(rows));
+        self.inner.insert(table, rows)
+    }
+
+    fn delete_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<u64> {
+        self.link.record_request(32 + 8 * bookmarks.len() as u64);
+        self.inner.delete_by_bookmarks(table, bookmarks)
+    }
+
+    fn update_by_bookmarks(&mut self, table: &str, bookmarks: &[u64], updates: &[Row]) -> Result<u64> {
+        self.link.record_request(32 + 8 * bookmarks.len() as u64 + rows_wire_size(updates));
+        self.inner.update_by_bookmarks(table, bookmarks, updates)
+    }
+}
+
+struct NetworkedCommand {
+    inner: Box<dyn Command>,
+    link: NetworkLink,
+    text_len: u64,
+}
+
+impl Command for NetworkedCommand {
+    fn set_text(&mut self, text: &str) -> Result<()> {
+        self.text_len = text.len() as u64;
+        self.inner.set_text(text)
+    }
+
+    fn bind_parameter(&mut self, ordinal: usize, value: Value) -> Result<()> {
+        self.text_len += value.wire_size() as u64;
+        self.inner.bind_parameter(ordinal, value)
+    }
+
+    fn execute(&mut self) -> Result<CommandResult> {
+        // The command text crosses the wire on execute.
+        self.link.record_request(self.text_len.max(16));
+        match self.inner.execute()? {
+            CommandResult::Rowset(rs) => {
+                Ok(CommandResult::Rowset(Box::new(MeteredRowset { inner: rs, link: self.link.clone() })))
+            }
+            CommandResult::RowCount(n) => Ok(CommandResult::RowCount(n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::NetworkConfig;
+    use dhqp_oledb::RowsetExt;
+    use dhqp_storage::{LocalDataSource, StorageEngine, TableDef};
+    use dhqp_types::{Column, DataType};
+
+    fn networked() -> NetworkedDataSource {
+        let engine = Arc::new(StorageEngine::new("remote0"));
+        engine
+            .create_table(
+                TableDef::new("t", Schema::new(vec![Column::not_null("x", DataType::Int)]))
+                    .with_index("pk", &["x"], true),
+            )
+            .unwrap();
+        let rows: Vec<Row> = (0..10).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        engine.insert_rows("t", &rows).unwrap();
+        let link = NetworkLink::new("link-r0", NetworkConfig::untimed());
+        NetworkedDataSource::new(Arc::new(LocalDataSource::new(engine)), link)
+    }
+
+    #[test]
+    fn rowset_traffic_is_metered_per_row() {
+        let ds = networked();
+        let mut s = ds.create_session().unwrap();
+        let before = ds.link().snapshot();
+        let mut rs = s.open_rowset("t").unwrap();
+        assert_eq!(rs.count_rows().unwrap(), 10);
+        let delta = ds.link().snapshot().since(&before);
+        assert_eq!(delta.rows, 10);
+        assert_eq!(delta.requests, 1);
+        assert_eq!(delta.bytes, 33 + 10 * 16); // request header + 10 rows of (8 hdr + 8 int)
+    }
+
+    #[test]
+    fn index_open_counts_one_round_trip() {
+        let ds = networked();
+        let mut s = ds.create_session().unwrap();
+        let before = ds.link().snapshot();
+        let mut rs = s.open_index("t", "pk", &KeyRange::eq(vec![Value::Int(3)])).unwrap();
+        assert_eq!(rs.count_rows().unwrap(), 1);
+        let delta = ds.link().snapshot().since(&before);
+        assert_eq!(delta.requests, 1);
+        assert_eq!(delta.rows, 1);
+    }
+
+    #[test]
+    fn bookmark_fetch_meters_request_and_rows() {
+        let ds = networked();
+        let mut s = ds.create_session().unwrap();
+        let mut rs = s.open_rowset("t").unwrap();
+        let bm = rs.collect_rows().unwrap()[0].bookmark.unwrap();
+        let before = ds.link().snapshot();
+        let rows = s.fetch_by_bookmarks("t", &[bm]).unwrap();
+        assert_eq!(rows.len(), 1);
+        let delta = ds.link().snapshot().since(&before);
+        assert_eq!(delta.requests, 1);
+        assert_eq!(delta.rows, 1);
+    }
+
+    #[test]
+    fn capabilities_carry_link_latency() {
+        let engine = Arc::new(StorageEngine::new("r"));
+        let link = NetworkLink::new("l", NetworkConfig::lan());
+        let ds = NetworkedDataSource::new(Arc::new(LocalDataSource::new(engine)), link);
+        assert_eq!(ds.capabilities().latency_hint_us, 500);
+    }
+}

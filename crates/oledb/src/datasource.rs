@@ -1,0 +1,278 @@
+//! Data source, session and command objects (paper §3.1.1, Figure 3).
+//!
+//! The calling sequence mirrors OLE DB's: instantiate a data source
+//! (`CoCreateInstance` + `IDBInitialize`), create a session
+//! (`IDBCreateSession`), then either open a rowset directly on a named table
+//! (`IOpenRowset`) or create a command, set its text, and execute it
+//! (`IDBCreateCommand` → `ICommand::Execute`).
+//!
+//! Default method bodies return [`DhqpError::Unsupported`], so a *simple
+//! provider* in the sense of §3.3 only implements `open_rowset` and gets
+//! everything else — querying, indexing, statistics — layered on top by the
+//! DHQP, exactly as the paper prescribes.
+
+use crate::capabilities::ProviderCapabilities;
+use crate::rowset::Rowset;
+use crate::schema::TableInfo;
+use crate::statistics::Histogram;
+use dhqp_types::{DhqpError, Result, Row, Value};
+
+/// Identifier of a distributed transaction, handed out by the coordinator.
+pub type TxnId = u64;
+
+/// The connection abstraction: locate/activate a provider and describe it.
+pub trait DataSource: Send + Sync {
+    /// Linked-server-visible name of this data source instance.
+    fn name(&self) -> &str;
+
+    /// Capability set the optimizer plans against (`IDBProperties`/
+    /// `IDBInfo`).
+    fn capabilities(&self) -> ProviderCapabilities;
+
+    /// Table metadata (`IDBSchemaRowset`): every table this source exposes,
+    /// with columns, indexes and cardinality where known.
+    fn tables(&self) -> Result<Vec<TableInfo>>;
+
+    /// Create a unit-of-work session.
+    fn create_session(&self) -> Result<Box<dyn Session>>;
+
+    /// Convenience metadata lookup.
+    fn table(&self, name: &str) -> Result<TableInfo> {
+        self.tables()?
+            .into_iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                DhqpError::Catalog(format!("table '{}' not found in source '{}'", name, self.name()))
+            })
+    }
+}
+
+/// A seek range over an index (`IRowsetIndex::SetRange`): bounds are
+/// composite key prefixes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KeyRange {
+    /// Lower bound key prefix and whether it is inclusive.
+    pub low: Option<(Vec<Value>, bool)>,
+    /// Upper bound key prefix and whether it is inclusive.
+    pub high: Option<(Vec<Value>, bool)>,
+}
+
+impl KeyRange {
+    /// The unbounded range: full index scan in key order.
+    pub fn all() -> Self {
+        KeyRange::default()
+    }
+
+    /// Exact-match seek on a key prefix.
+    pub fn eq(key: Vec<Value>) -> Self {
+        KeyRange { low: Some((key.clone(), true)), high: Some((key, true)) }
+    }
+
+    /// Whether a key (compared column-wise on the shared prefix) falls in
+    /// the range.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        fn cmp_prefix(key: &[Value], bound: &[Value]) -> std::cmp::Ordering {
+            for (k, b) in key.iter().zip(bound.iter()) {
+                let o = k.total_cmp(b);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        }
+        if let Some((lo, inclusive)) = &self.low {
+            match cmp_prefix(key, lo) {
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Equal if !inclusive => return false,
+                _ => {}
+            }
+        }
+        if let Some((hi, inclusive)) = &self.high {
+            match cmp_prefix(key, hi) {
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Equal if !inclusive => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+}
+
+/// Result of executing a command: either tabular data or an affected-row
+/// count (DML).
+pub enum CommandResult {
+    Rowset(Box<dyn Rowset>),
+    RowCount(u64),
+}
+
+impl CommandResult {
+    pub fn into_rowset(self) -> Result<Box<dyn Rowset>> {
+        match self {
+            CommandResult::Rowset(r) => Ok(r),
+            CommandResult::RowCount(_) => {
+                Err(DhqpError::Provider("command returned a row count, expected a rowset".into()))
+            }
+        }
+    }
+
+    pub fn into_row_count(self) -> Result<u64> {
+        match self {
+            CommandResult::RowCount(n) => Ok(n),
+            CommandResult::Rowset(_) => {
+                Err(DhqpError::Provider("command returned a rowset, expected a row count".into()))
+            }
+        }
+    }
+}
+
+/// The command object (`ICommand`): a textual query in whatever language the
+/// provider speaks (Table 1 of the paper lists T-SQL, the Index Server
+/// query language, MDX, LDAP, ...).
+pub trait Command: Send {
+    /// Set the command text (`ICommandText::SetCommandText`).
+    fn set_text(&mut self, text: &str) -> Result<()>;
+
+    /// Bind a positional parameter (enables the *parameterization*
+    /// exploration rule of §4.1.2).
+    fn bind_parameter(&mut self, ordinal: usize, value: Value) -> Result<()> {
+        let _ = (ordinal, value);
+        Err(DhqpError::Unsupported("provider does not support command parameters".into()))
+    }
+
+    /// Execute and return rows or an affected count.
+    fn execute(&mut self) -> Result<CommandResult>;
+}
+
+/// The session object: transactional scope + rowset factory.
+#[allow(unused_variables)]
+pub trait Session: Send {
+    /// Open a rowset over a named base table (`IOpenRowset`). The one
+    /// mandatory data-access method: every provider supports it.
+    fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>>;
+
+    /// Create a command object, for providers with query support.
+    fn create_command(&mut self) -> Result<Box<dyn Command>> {
+        Err(DhqpError::Unsupported("provider has no command support".into()))
+    }
+
+    /// Open a rowset over an index restricted to a key range
+    /// (`IRowsetIndex`). Rows come back in key order carrying bookmarks.
+    fn open_index(&mut self, table: &str, index: &str, range: &KeyRange) -> Result<Box<dyn Rowset>> {
+        Err(DhqpError::Unsupported("provider has no index support".into()))
+    }
+
+    /// Fetch base-table rows by bookmark (`IRowsetLocate`), in the order
+    /// given; the basis of the *remote fetch* access path.
+    fn fetch_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<Vec<Row>> {
+        Err(DhqpError::Unsupported("provider has no bookmark support".into()))
+    }
+
+    /// Histogram over one column (the §3.2.4 statistics extension), `None`
+    /// when the provider keeps no statistics for it.
+    fn histogram(&mut self, table: &str, column: &str) -> Result<Option<Histogram>> {
+        Ok(None)
+    }
+
+    /// Enlist this session in a distributed transaction
+    /// (`ITransactionJoin::JoinTransaction`). Writes made through this
+    /// session then commit or abort with the coordinator's decision.
+    fn join_transaction(&mut self, txn: TxnId) -> Result<()> {
+        Err(DhqpError::Unsupported("provider cannot enlist in distributed transactions".into()))
+    }
+
+    /// 2PC phase one: promise to commit `txn`. Must be durable before
+    /// returning Ok.
+    fn prepare(&mut self, txn: TxnId) -> Result<()> {
+        Err(DhqpError::Unsupported("provider cannot prepare".into()))
+    }
+
+    /// 2PC phase two: make `txn`'s writes visible.
+    fn commit(&mut self, txn: TxnId) -> Result<()> {
+        Err(DhqpError::Unsupported("provider cannot commit".into()))
+    }
+
+    /// 2PC phase two (failure path): discard `txn`'s writes.
+    fn abort(&mut self, txn: TxnId) -> Result<()> {
+        Err(DhqpError::Unsupported("provider cannot abort".into()))
+    }
+
+    /// Insert rows into a base table. Providers that only support command
+    /// text can leave this unimplemented; the DHQP will send INSERT
+    /// statements instead.
+    fn insert(&mut self, table: &str, rows: &[Row]) -> Result<u64> {
+        Err(DhqpError::Unsupported("provider does not support direct inserts".into()))
+    }
+
+    /// Delete rows by bookmark. Returns the number deleted.
+    fn delete_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<u64> {
+        Err(DhqpError::Unsupported("provider does not support direct deletes".into()))
+    }
+
+    /// Update rows by bookmark: `updates[i]` replaces the row at
+    /// `bookmarks[i]`.
+    fn update_by_bookmarks(&mut self, table: &str, bookmarks: &[u64], updates: &[Row]) -> Result<u64> {
+        Err(DhqpError::Unsupported("provider does not support direct updates".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rowset::MemRowset;
+    use dhqp_types::Schema;
+
+    struct NullSession;
+    impl Session for NullSession {
+        fn open_rowset(&mut self, _table: &str) -> Result<Box<dyn Rowset>> {
+            Ok(Box::new(MemRowset::empty(Schema::empty())))
+        }
+    }
+
+    #[test]
+    fn defaults_are_unsupported() {
+        let mut s = NullSession;
+        assert!(s.open_rowset("t").is_ok());
+        assert!(matches!(s.create_command(), Err(DhqpError::Unsupported(_))));
+        assert!(matches!(s.open_index("t", "i", &KeyRange::all()), Err(DhqpError::Unsupported(_))));
+        assert!(matches!(s.fetch_by_bookmarks("t", &[1]), Err(DhqpError::Unsupported(_))));
+        assert!(s.histogram("t", "c").unwrap().is_none());
+        assert!(matches!(s.join_transaction(1), Err(DhqpError::Unsupported(_))));
+    }
+
+    #[test]
+    fn key_range_membership() {
+        let r = KeyRange {
+            low: Some((vec![Value::Int(10)], true)),
+            high: Some((vec![Value::Int(20)], false)),
+        };
+        assert!(!r.contains(&[Value::Int(9)]));
+        assert!(r.contains(&[Value::Int(10)]));
+        assert!(r.contains(&[Value::Int(19)]));
+        assert!(!r.contains(&[Value::Int(20)]));
+        assert!(KeyRange::all().contains(&[Value::Int(123)]));
+        let eq = KeyRange::eq(vec![Value::Int(5)]);
+        assert!(eq.contains(&[Value::Int(5)]));
+        assert!(!eq.contains(&[Value::Int(6)]));
+    }
+
+    #[test]
+    fn composite_key_prefix_comparison() {
+        // Range on (a) only; keys are (a, b).
+        let r = KeyRange {
+            low: Some((vec![Value::Int(3)], true)),
+            high: Some((vec![Value::Int(3)], true)),
+        };
+        assert!(r.contains(&[Value::Int(3), Value::Int(999)]));
+        assert!(!r.contains(&[Value::Int(4), Value::Int(0)]));
+    }
+
+    #[test]
+    fn command_result_accessors() {
+        let r = CommandResult::RowCount(3);
+        assert_eq!(r.into_row_count().unwrap(), 3);
+        let r = CommandResult::Rowset(Box::new(MemRowset::empty(Schema::empty())));
+        assert!(r.into_rowset().is_ok());
+        let r = CommandResult::RowCount(3);
+        assert!(r.into_rowset().is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! OLE DB-style provider abstractions (paper §3).
+//!
+//! OLE DB defines a small object hierarchy — *data source* → *session* →
+//! *command* → *rowset* (Figure 3 of the paper) — plus capability and
+//! statistics extensions that let a query processor discover how much work a
+//! source can do itself. This crate is the Rust rendering of that contract:
+//!
+//! | OLE DB                               | here                                   |
+//! |--------------------------------------|----------------------------------------|
+//! | `IDBInitialize` / `IDBCreateSession` | [`DataSource`]                         |
+//! | `IOpenRowset` / `IDBCreateCommand`   | [`Session`]                            |
+//! | `ICommand::Execute`                  | [`Command`]                            |
+//! | `IRowset`                            | [`Rowset`]                             |
+//! | `IRowsetIndex` (seek/range)          | [`Session::open_index`] + [`KeyRange`] |
+//! | `IRowsetLocate` (bookmarks)          | [`Session::fetch_by_bookmarks`]        |
+//! | `IDBSchemaRowset` / `TABLES_INFO`    | [`schema::TableInfo`] rowsets          |
+//! | histogram rowset extension           | [`statistics::Histogram`]              |
+//! | `DBPROP_SQLSUPPORT` etc.             | [`capabilities::ProviderCapabilities`] |
+//! | `ITransactionJoin`                   | [`Session::join_transaction`]          |
+//!
+//! Every data source in the system — including the engine's own local
+//! storage engine, exactly as in SQL Server — plugs in through these traits.
+
+pub mod capabilities;
+pub mod datasource;
+pub mod rowset;
+pub mod schema;
+pub mod statistics;
+
+pub use capabilities::{
+    DateLiteralStyle, Dialect, LimitSyntax, ProviderCapabilities, ProviderClass, SqlSupport,
+};
+pub use datasource::{Command, CommandResult, DataSource, KeyRange, Session, TxnId};
+pub use rowset::{MemRowset, Rowset, RowsetExt};
+pub use schema::{ColumnInfo, IndexInfo, SchemaRowsetKind, TableInfo};
+pub use statistics::{Histogram, HistogramBucket, TableStatistics};

@@ -1,0 +1,109 @@
+//! The rowset — OLE DB's unifying tabular abstraction (paper §3.1.2).
+//!
+//! "Base table providers present their data in the form of rowsets. Query
+//! processors present the result of queries in the form of rowsets." Every
+//! executor operator both consumes and produces this trait, so components
+//! layer freely regardless of where the rows came from.
+
+use dhqp_types::{Result, Row, Schema};
+
+/// A pull-based stream of rows with a fixed schema.
+pub trait Rowset: Send {
+    /// The shape of every row this rowset yields.
+    fn schema(&self) -> &Schema;
+
+    /// Fetch the next row, `None` at end of stream. Errors are sticky: after
+    /// an error the rowset is in an unspecified state.
+    fn next(&mut self) -> Result<Option<Row>>;
+}
+
+/// Extension helpers available on every rowset.
+pub trait RowsetExt: Rowset {
+    /// Drain the rowset into a vector.
+    fn collect_rows(&mut self) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    /// Count remaining rows without materializing them.
+    fn count_rows(&mut self) -> Result<u64> {
+        let mut n = 0;
+        while self.next()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+impl<T: Rowset + ?Sized> RowsetExt for T {}
+
+impl Rowset for Box<dyn Rowset> {
+    fn schema(&self) -> &Schema {
+        self.as_ref().schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        self.as_mut().next()
+    }
+}
+
+/// A fully materialized in-memory rowset; the workhorse for providers that
+/// compute results eagerly (schema rowsets, full-text results, spools).
+pub struct MemRowset {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl MemRowset {
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        MemRowset { schema, rows: rows.into_iter() }
+    }
+
+    pub fn empty(schema: Schema) -> Self {
+        MemRowset::new(schema, Vec::new())
+    }
+}
+
+impl Rowset for MemRowset {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.rows.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_types::{Column, DataType, Value};
+
+    fn rs() -> MemRowset {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let rows = (0..5).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        MemRowset::new(schema, rows)
+    }
+
+    #[test]
+    fn collect_drains_all_rows() {
+        let mut r = rs();
+        assert_eq!(r.collect_rows().unwrap().len(), 5);
+        assert!(r.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn count_rows() {
+        assert_eq!(rs().count_rows().unwrap(), 5);
+    }
+
+    #[test]
+    fn boxed_rowset_delegates() {
+        let mut b: Box<dyn Rowset> = Box::new(rs());
+        assert_eq!(b.schema().len(), 1);
+        assert_eq!(b.collect_rows().unwrap().len(), 5);
+    }
+}

@@ -1,0 +1,585 @@
+//! Logical property derivation: output columns, cardinality estimates, the
+//! constraint-domain framework, keys and row widths.
+//!
+//! Histograms fetched from providers (§3.2.4) ride along in the properties
+//! so every operator above a `Get` can refine estimates — this is the
+//! machinery experiment E7 turns off to measure the paper's
+//! "order of magnitude improvements on cardinality estimates" claim.
+
+use crate::logical::{JoinKind, LogicalOp};
+use crate::props::{ColumnId, ColumnRegistry, LogicalProps};
+use crate::scalar::{CmpOp, ScalarExpr};
+use dhqp_oledb::Histogram;
+use dhqp_types::{DataType, IntervalSet};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Default selectivities when no histogram can answer (classic
+/// System-R-style magic numbers).
+pub const SEL_EQ_DEFAULT: f64 = 0.05;
+pub const SEL_RANGE_DEFAULT: f64 = 1.0 / 3.0;
+pub const SEL_LIKE_DEFAULT: f64 = 0.25;
+pub const SEL_OTHER_DEFAULT: f64 = 0.5;
+const DEFAULT_NDV: f64 = 100.0;
+
+fn width_of(t: DataType) -> f64 {
+    match t {
+        DataType::Bool => 1.0,
+        DataType::Int | DataType::Float => 8.0,
+        DataType::Date => 4.0,
+        DataType::Str => 24.0,
+    }
+}
+
+/// Histograms available to an operator, keyed by column identity.
+pub type HistogramMap = BTreeMap<ColumnId, Arc<Histogram>>;
+
+/// Derive group properties for `op` given its children's properties.
+pub fn derive_props(
+    op: &LogicalOp,
+    children: &[&LogicalProps],
+    registry: &ColumnRegistry,
+) -> LogicalProps {
+    match op {
+        LogicalOp::Get { meta, columns } => {
+            let mut domains = BTreeMap::new();
+            for (pos, domain) in &meta.checks {
+                domains.insert(meta.column_id(*pos), domain.clone());
+            }
+            let mut histograms = BTreeMap::new();
+            if let Some(stats) = &meta.stats {
+                for (pos, col) in meta.schema.columns().iter().enumerate() {
+                    if let Some(h) = stats.histogram(&col.name) {
+                        histograms.insert(meta.column_id(pos), Arc::new(h.clone()));
+                    }
+                }
+            }
+            let keys = meta
+                .indexes
+                .iter()
+                .filter(|ix| ix.unique && ix.key_columns.len() == 1)
+                .filter_map(|ix| {
+                    meta.schema
+                        .index_of(&ix.key_columns[0])
+                        .map(|pos| meta.column_id(pos))
+                })
+                .collect();
+            let row_width =
+                columns.iter().map(|&c| width_of(registry.meta(c).data_type)).sum::<f64>() + 8.0;
+            LogicalProps {
+                columns: columns.clone(),
+                cardinality: meta.estimated_rows(),
+                row_width,
+                domains,
+                keys,
+                histograms,
+            }
+        }
+        LogicalOp::EmptyGet { columns } => LogicalProps {
+            columns: columns.clone(),
+            cardinality: 0.0,
+            row_width: 8.0,
+            domains: BTreeMap::new(),
+            keys: Vec::new(),
+            histograms: BTreeMap::new(),
+        },
+        LogicalOp::Values { columns, rows } => LogicalProps {
+            columns: columns.clone(),
+            cardinality: rows.len() as f64,
+            row_width: columns.iter().map(|&c| width_of(registry.meta(c).data_type)).sum::<f64>()
+                + 8.0,
+            domains: BTreeMap::new(),
+            keys: Vec::new(),
+            histograms: BTreeMap::new(),
+        },
+        LogicalOp::Filter { predicate } => {
+            let child = children[0];
+            let sel = predicate_selectivity(predicate, child);
+            let mut domains = child.domains.clone();
+            let mut contradiction = false;
+            for col in predicate.columns() {
+                let pred_dom = predicate.domain_for(col);
+                if !pred_dom.is_full() {
+                    let merged = child.domain_of(col).intersect(&pred_dom);
+                    contradiction |= merged.is_empty();
+                    domains.insert(col, merged);
+                }
+            }
+            let cardinality =
+                if contradiction { 0.0 } else { (child.cardinality * sel).max(0.0) };
+            LogicalProps {
+                columns: child.columns.clone(),
+                cardinality,
+                row_width: child.row_width,
+                domains,
+                keys: child.keys.clone(),
+                histograms: child.histograms.clone(),
+            }
+        }
+        LogicalOp::StartupFilter { .. } => {
+            let child = children[0];
+            child.clone()
+        }
+        LogicalOp::Project { outputs } => {
+            let child = children[0];
+            let mut domains = BTreeMap::new();
+            let mut keys = Vec::new();
+            let mut histograms = BTreeMap::new();
+            for (out, expr) in outputs {
+                if let ScalarExpr::Column(src) = expr {
+                    if let Some(d) = child.domains.get(src) {
+                        domains.insert(*out, d.clone());
+                    }
+                    if child.keys.contains(src) {
+                        keys.push(*out);
+                    }
+                    if let Some(h) = child.histograms.get(src) {
+                        histograms.insert(*out, Arc::clone(h));
+                    }
+                }
+            }
+            let row_width = outputs
+                .iter()
+                .map(|(c, _)| width_of(registry.meta(*c).data_type))
+                .sum::<f64>()
+                + 8.0;
+            LogicalProps {
+                columns: outputs.iter().map(|(c, _)| *c).collect(),
+                cardinality: child.cardinality,
+                row_width,
+                domains,
+                keys,
+                histograms,
+            }
+        }
+        LogicalOp::Join { kind, predicate } => {
+            let (l, r) = (children[0], children[1]);
+            let mut columns = l.columns.clone();
+            if kind.produces_right() {
+                columns.extend(r.columns.iter().copied());
+            }
+            let inner_card = join_cardinality(predicate.as_ref(), l, r);
+            let cardinality = match kind {
+                JoinKind::Inner => inner_card,
+                JoinKind::Cross => l.cardinality * r.cardinality,
+                JoinKind::LeftOuter => inner_card.max(l.cardinality),
+                JoinKind::Semi => (l.cardinality * 0.5).max(1.0).min(l.cardinality),
+                JoinKind::Anti => (l.cardinality * 0.5).max(0.0),
+            };
+            let mut domains = l.domains.clone();
+            let mut histograms = l.histograms.clone();
+            if kind.produces_right() {
+                domains.extend(r.domains.iter().map(|(k, v)| (*k, v.clone())));
+                histograms.extend(r.histograms.iter().map(|(k, v)| (*k, Arc::clone(v))));
+            }
+            // Equi-join transfers domain knowledge across sides.
+            if let Some(p) = predicate {
+                for (lc, rc) in equi_key_columns(p, l, r) {
+                    let merged = join_domains(&domains, l, r, lc, rc);
+                    domains.insert(lc, merged.clone());
+                    if kind.produces_right() {
+                        domains.insert(rc, merged);
+                    }
+                }
+            }
+            let keys = match kind {
+                JoinKind::Semi | JoinKind::Anti => l.keys.clone(),
+                _ => Vec::new(),
+            };
+            let row_width = l.row_width + if kind.produces_right() { r.row_width } else { 0.0 };
+            LogicalProps { columns, cardinality, row_width, domains, keys, histograms }
+        }
+        LogicalOp::Aggregate { group_by, aggs } => {
+            let child = children[0];
+            let mut columns = group_by.clone();
+            columns.extend(aggs.iter().map(|a| a.output));
+            let groups = if group_by.is_empty() {
+                1.0
+            } else {
+                let ndv: f64 = group_by
+                    .iter()
+                    .map(|c| {
+                        child
+                            .histograms
+                            .get(c)
+                            .map(|h| h.buckets.iter().map(|b| b.distinct).sum::<f64>())
+                            .unwrap_or(DEFAULT_NDV)
+                    })
+                    .product();
+                ndv.min(child.cardinality).max(1.0)
+            };
+            let mut domains = BTreeMap::new();
+            let mut keys = Vec::new();
+            for c in group_by {
+                if let Some(d) = child.domains.get(c) {
+                    domains.insert(*c, d.clone());
+                }
+            }
+            if group_by.len() == 1 {
+                keys.push(group_by[0]);
+            }
+            let row_width =
+                columns.iter().map(|&c| width_of(registry.meta(c).data_type)).sum::<f64>() + 8.0;
+            LogicalProps {
+                columns,
+                cardinality: groups,
+                row_width,
+                domains,
+                keys,
+                histograms: BTreeMap::new(),
+            }
+        }
+        LogicalOp::UnionAll { output } => {
+            let cardinality = children.iter().map(|c| c.cardinality).sum();
+            // Domain of output column i is the union of each child's i-th
+            // column domain — this is how a partitioned view's combined
+            // domain is known to the pruning rules.
+            let mut domains = BTreeMap::new();
+            for (i, out) in output.iter().enumerate() {
+                let mut dom: Option<IntervalSet> = None;
+                for child in children {
+                    let child_col = child.columns.get(i);
+                    let d = child_col
+                        .map(|c| child.domain_of(*c))
+                        .unwrap_or_else(IntervalSet::full);
+                    dom = Some(match dom {
+                        None => d,
+                        Some(acc) => acc.union(&d),
+                    });
+                }
+                if let Some(d) = dom {
+                    if !d.is_full() {
+                        domains.insert(*out, d);
+                    }
+                }
+            }
+            let row_width = children.first().map(|c| c.row_width).unwrap_or(8.0);
+            LogicalProps {
+                columns: output.clone(),
+                cardinality,
+                row_width,
+                domains,
+                keys: Vec::new(),
+                histograms: BTreeMap::new(),
+            }
+        }
+        LogicalOp::Limit { n } => {
+            let child = children[0];
+            LogicalProps {
+                cardinality: child.cardinality.min(*n as f64),
+                ..child.clone()
+            }
+        }
+    }
+}
+
+/// Merge the domains of two equi-joined columns.
+fn join_domains(
+    domains: &BTreeMap<ColumnId, IntervalSet>,
+    l: &LogicalProps,
+    r: &LogicalProps,
+    lc: ColumnId,
+    rc: ColumnId,
+) -> IntervalSet {
+    let ld = domains.get(&lc).cloned().unwrap_or_else(|| l.domain_of(lc));
+    let rd = domains.get(&rc).cloned().unwrap_or_else(|| r.domain_of(rc));
+    ld.intersect(&rd)
+}
+
+/// Extract `(left column, right column)` pairs from equality conjuncts that
+/// bridge the two sides.
+pub fn equi_key_columns(
+    predicate: &ScalarExpr,
+    l: &LogicalProps,
+    r: &LogicalProps,
+) -> Vec<(ColumnId, ColumnId)> {
+    let mut out = Vec::new();
+    for conj in predicate.conjuncts() {
+        if let ScalarExpr::Cmp { op: CmpOp::Eq, left, right } = &conj {
+            if let (ScalarExpr::Column(a), ScalarExpr::Column(b)) = (left.as_ref(), right.as_ref())
+            {
+                if l.columns.contains(a) && r.columns.contains(b) {
+                    out.push((*a, *b));
+                } else if l.columns.contains(b) && r.columns.contains(a) {
+                    out.push((*b, *a));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Estimated distinct values of a column.
+fn ndv(props: &LogicalProps, col: ColumnId) -> f64 {
+    if props.keys.contains(&col) {
+        return props.cardinality.max(1.0);
+    }
+    props
+        .histograms
+        .get(&col)
+        .map(|h| h.buckets.iter().map(|b| b.distinct).sum::<f64>())
+        .unwrap_or(DEFAULT_NDV)
+        .min(props.cardinality.max(1.0))
+}
+
+/// Inner-join cardinality estimate.
+fn join_cardinality(predicate: Option<&ScalarExpr>, l: &LogicalProps, r: &LogicalProps) -> f64 {
+    let cross = l.cardinality * r.cardinality;
+    let Some(p) = predicate else { return cross };
+    let keys = equi_key_columns(p, l, r);
+    let mut card = cross;
+    for (lc, rc) in &keys {
+        // When one side joins on its unique key, containment gives the
+        // classic FK estimate: one match per foreign-key row.
+        let divisor = if l.keys.contains(lc) {
+            ndv(l, *lc)
+        } else if r.keys.contains(rc) {
+            ndv(r, *rc)
+        } else {
+            ndv(l, *lc).max(ndv(r, *rc))
+        };
+        card /= divisor.max(1.0);
+    }
+    if keys.is_empty() {
+        card *= predicate_selectivity(p, l).max(0.01);
+    }
+    // Residual non-equi conjuncts.
+    let residual = p.conjuncts().len().saturating_sub(keys.len());
+    for _ in 0..residual.min(2) {
+        if !keys.is_empty() {
+            card *= 0.9;
+        }
+    }
+    card.max(0.0)
+}
+
+/// Selectivity of a filter predicate against its input.
+pub fn predicate_selectivity(predicate: &ScalarExpr, input: &LogicalProps) -> f64 {
+    let mut sel = 1.0;
+    for conj in predicate.conjuncts() {
+        sel *= conjunct_selectivity(&conj, input);
+    }
+    sel.clamp(0.0, 1.0)
+}
+
+fn conjunct_selectivity(conj: &ScalarExpr, input: &LogicalProps) -> f64 {
+    // Single-column predicates answerable from a histogram.
+    let cols = conj.columns();
+    if cols.len() == 1 {
+        let col = *cols.iter().next().expect("len checked");
+        let dom = conj.domain_for(col);
+        if !dom.is_full() {
+            if dom.is_empty() {
+                return 0.0;
+            }
+            if let Some(h) = input.histograms.get(&col) {
+                return h.selectivity(&dom).clamp(0.0001, 1.0);
+            }
+            // No histogram: shape-based defaults.
+            return match conj {
+                ScalarExpr::Cmp { op: CmpOp::Eq, .. } => SEL_EQ_DEFAULT,
+                ScalarExpr::Cmp { op: CmpOp::Neq, .. } => 1.0 - SEL_EQ_DEFAULT,
+                ScalarExpr::Cmp { .. } => SEL_RANGE_DEFAULT,
+                ScalarExpr::InList { list, .. } => {
+                    (SEL_EQ_DEFAULT * list.len() as f64).min(0.8)
+                }
+                _ => SEL_OTHER_DEFAULT,
+            };
+        }
+    }
+    match conj {
+        ScalarExpr::Like { .. } => SEL_LIKE_DEFAULT,
+        ScalarExpr::IsNull { negated, .. } => {
+            if *negated {
+                0.9
+            } else {
+                0.1
+            }
+        }
+        ScalarExpr::Cmp { op, .. } => {
+            if *op == CmpOp::Eq {
+                SEL_EQ_DEFAULT.max(0.01)
+            } else {
+                SEL_RANGE_DEFAULT
+            }
+        }
+        ScalarExpr::Or(list) => {
+            let mut pass = 0.0;
+            for e in list {
+                pass += conjunct_selectivity(e, input);
+            }
+            pass.min(1.0)
+        }
+        ScalarExpr::Literal(dhqp_types::Value::Bool(b)) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        _ => SEL_OTHER_DEFAULT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{test_table_meta, Locality, LogicalExpr, TableMeta};
+    use dhqp_oledb::TableStatistics;
+    use dhqp_types::Value;
+    use std::sync::Arc;
+
+    fn table_with_hist(reg: &mut ColumnRegistry) -> Arc<TableMeta> {
+        let meta = test_table_meta(
+            0,
+            "t",
+            Locality::Local,
+            &[("k", DataType::Int)],
+            reg,
+            1000,
+        );
+        let vals: Vec<Value> = (0..1000).map(Value::Int).collect();
+        let mut stats = TableStatistics { row_count: Some(1000), ..Default::default() };
+        stats.set_histogram("k", Histogram::build(&vals, 16, 0.0).unwrap());
+        let mut m = (*meta).clone();
+        m.stats = Some(stats);
+        Arc::new(m)
+    }
+
+    fn props_of(tree: &LogicalExpr, reg: &ColumnRegistry) -> LogicalProps {
+        let child_props: Vec<LogicalProps> =
+            tree.children.iter().map(|c| props_of(c, reg)).collect();
+        let refs: Vec<&LogicalProps> = child_props.iter().collect();
+        derive_props(&tree.op, &refs, reg)
+    }
+
+    #[test]
+    fn histogram_beats_default_selectivity() {
+        let mut reg = ColumnRegistry::new();
+        let meta = table_with_hist(&mut reg);
+        let col = meta.column_id(0);
+        // k < 100 is truly 10% selective.
+        let pred = ScalarExpr::cmp(
+            CmpOp::Lt,
+            ScalarExpr::Column(col),
+            ScalarExpr::literal(Value::Int(100)),
+        );
+        let tree = LogicalExpr::get(Arc::clone(&meta)).filter(pred.clone());
+        let props = props_of(&tree, &reg);
+        assert!(
+            (props.cardinality - 100.0).abs() < 30.0,
+            "histogram estimate {} should be near 100",
+            props.cardinality
+        );
+        // Without the histogram the default range guess (1/3) applies.
+        let mut bare = (*meta).clone();
+        bare.stats = None;
+        bare.id = 7;
+        let tree = LogicalExpr::get(Arc::new(bare)).filter(pred);
+        let props = props_of(&tree, &reg);
+        assert!((props.cardinality - 333.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn filter_narrows_domain_and_detects_contradiction() {
+        let mut reg = ColumnRegistry::new();
+        let meta = test_table_meta(0, "t", Locality::Local, &[("k", DataType::Int)], &mut reg, 100);
+        let col = meta.column_id(0);
+        let gt50 = ScalarExpr::cmp(
+            CmpOp::Gt,
+            ScalarExpr::Column(col),
+            ScalarExpr::literal(Value::Int(50)),
+        );
+        let eq20 = ScalarExpr::eq(ScalarExpr::Column(col), ScalarExpr::literal(Value::Int(20)));
+        let tree = LogicalExpr::get(meta).filter(gt50).filter(eq20);
+        let props = props_of(&tree, &reg);
+        assert!(props.domain_of(col).is_empty(), "50<k AND k=20 is contradictory");
+        assert_eq!(props.cardinality, 0.0);
+    }
+
+    #[test]
+    fn key_join_cardinality_is_fk_side() {
+        let mut reg = ColumnRegistry::new();
+        let mut nation =
+            (*test_table_meta(0, "nation", Locality::Local, &[("nk", DataType::Int)], &mut reg, 25))
+                .clone();
+        nation.indexes.push(dhqp_oledb::IndexInfo {
+            name: "pk".into(),
+            key_columns: vec!["nk".into()],
+            unique: true,
+        });
+        let nation = Arc::new(nation);
+        let cust = test_table_meta(
+            1,
+            "customer",
+            Locality::Local,
+            &[("ck", DataType::Int), ("cnk", DataType::Int)],
+            &mut reg,
+            1500,
+        );
+        let join = LogicalExpr::join(
+            crate::logical::JoinKind::Inner,
+            LogicalExpr::get(Arc::clone(&cust)),
+            LogicalExpr::get(Arc::clone(&nation)),
+            Some(ScalarExpr::eq(
+                ScalarExpr::Column(cust.column_id(1)),
+                ScalarExpr::Column(nation.column_id(0)),
+            )),
+        );
+        let props = props_of(&join, &reg);
+        // Joining to a key: about one match per customer.
+        assert!(
+            (props.cardinality - 1500.0).abs() < 300.0,
+            "estimate {} should be near 1500",
+            props.cardinality
+        );
+    }
+
+    #[test]
+    fn union_all_merges_partition_domains() {
+        let mut reg = ColumnRegistry::new();
+        let mk = |id: u32, lo: i64, hi: i64, reg: &mut ColumnRegistry| {
+            let mut m =
+                (*test_table_meta(id, &format!("p{id}"), Locality::Local, &[("k", DataType::Int)], reg, 100))
+                    .clone();
+            m.checks = vec![(
+                0,
+                IntervalSet::single(dhqp_types::Interval::between(Value::Int(lo), Value::Int(hi))),
+            )];
+            Arc::new(m)
+        };
+        let p1 = mk(0, 0, 9, &mut reg);
+        let p2 = mk(1, 10, 19, &mut reg);
+        let out = vec![reg.allocate("k", "v", DataType::Int, true)];
+        let union = LogicalExpr::new(
+            LogicalOp::UnionAll { output: out.clone() },
+            vec![LogicalExpr::get(p1), LogicalExpr::get(p2)],
+        );
+        let props = props_of(&union, &reg);
+        assert_eq!(props.cardinality, 200.0);
+        let dom = props.domain_of(out[0]);
+        assert!(dom.contains(&Value::Int(5)));
+        assert!(dom.contains(&Value::Int(15)));
+        assert!(!dom.contains(&Value::Int(25)));
+    }
+
+    #[test]
+    fn aggregate_groups_bounded_by_input() {
+        let mut reg = ColumnRegistry::new();
+        let meta = table_with_hist(&mut reg);
+        let col = meta.column_id(0);
+        let out = reg.allocate("cnt", "", DataType::Int, false);
+        let agg = LogicalExpr::get(meta).aggregate(
+            vec![col],
+            vec![crate::scalar::AggCall {
+                func: crate::scalar::AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+                output: out,
+            }],
+        );
+        let props = props_of(&agg, &reg);
+        assert!(props.cardinality <= 1000.0);
+        assert!(props.cardinality > 500.0, "k is unique-ish: {}", props.cardinality);
+    }
+}

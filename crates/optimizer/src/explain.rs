@@ -1,0 +1,46 @@
+//! EXPLAIN rendering: plan trees plus search telemetry.
+
+use crate::physical::PhysNode;
+use crate::search::OptimizerStats;
+
+/// A rendered explanation of one optimized query.
+#[derive(Debug, Clone)]
+pub struct ExplainPlan {
+    pub plan_text: String,
+    pub est_cost: f64,
+    pub est_rows: f64,
+    pub stats: OptimizerStats,
+}
+
+impl ExplainPlan {
+    pub fn new(plan: &PhysNode, stats: OptimizerStats) -> Self {
+        ExplainPlan {
+            plan_text: plan.display_indent(),
+            est_cost: plan.est_cost,
+            est_rows: plan.est_rows,
+            stats,
+        }
+    }
+
+    /// Full human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&self.plan_text);
+        s.push_str(&format!(
+            "-- est_rows={:.0} est_cost={:.0} memo: {} groups / {} exprs, {} rules fired\n",
+            self.est_rows, self.est_cost, self.stats.groups, self.stats.exprs, self.stats.rules_fired
+        ));
+        for (phase, cost, dur) in &self.stats.phases {
+            s.push_str(&format!(
+                "-- phase {}: best cost {:.0} in {:.2?}\n",
+                phase.name(),
+                cost,
+                dur
+            ));
+        }
+        if self.stats.early_exit {
+            s.push_str("-- early exit: phase threshold met\n");
+        }
+        s
+    }
+}

@@ -1,0 +1,282 @@
+//! The Memo: groups of equivalent expressions (paper §4.1.1).
+//!
+//! "Within the Memo, equivalent alternatives are stored in groups, and a
+//! query tree is represented using connections between groups instead of
+//! operators. [...] If the new alternative already exists in the Memo,
+//! nothing is inserted — more importantly, no extra work is required to
+//! re-search this portion of the possible query space."
+
+use crate::cardinality::derive_props;
+use crate::logical::{LogicalExpr, LogicalOp};
+use crate::physical::PhysNode;
+use crate::props::{ColumnRegistry, LogicalProps, RequiredProps};
+use std::collections::HashMap;
+
+/// Index of a group in the memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// Index of a logical multi-expression in the memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExprId(pub u32);
+
+/// A logical operator whose children are memo groups.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MExpr {
+    pub op: LogicalOp,
+    pub children: Vec<GroupId>,
+}
+
+/// The best plan found for a `(group, required properties)` pair — the
+/// "winner's circle".
+#[derive(Debug, Clone)]
+pub struct Winner {
+    pub cost: f64,
+    pub plan: PhysNode,
+}
+
+/// One equivalence class.
+#[derive(Debug)]
+pub struct Group {
+    pub id: GroupId,
+    /// Logical alternatives (original + rule-generated).
+    pub exprs: Vec<ExprId>,
+    /// Shared logical properties (identical across alternatives).
+    pub props: LogicalProps,
+    /// Winners keyed by required physical properties.
+    pub winners: HashMap<RequiredProps, Option<Winner>>,
+    /// Exploration pass bookkeeping: index of the next unexplored expr per
+    /// rule-set generation, so repeated passes only look at new exprs.
+    pub explored_upto: usize,
+}
+
+/// The memo structure.
+#[derive(Debug, Default)]
+pub struct Memo {
+    groups: Vec<Group>,
+    exprs: Vec<MExpr>,
+    expr_group: Vec<GroupId>,
+    dedup: HashMap<MExpr, ExprId>,
+}
+
+impl Memo {
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.0 as usize]
+    }
+
+    pub fn group_mut(&mut self, id: GroupId) -> &mut Group {
+        &mut self.groups[id.0 as usize]
+    }
+
+    pub fn expr(&self, id: ExprId) -> &MExpr {
+        &self.exprs[id.0 as usize]
+    }
+
+    pub fn group_of(&self, id: ExprId) -> GroupId {
+        self.expr_group[id.0 as usize]
+    }
+
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn expr_count(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Recursively insert a logical tree, returning the root group.
+    pub fn insert_tree(&mut self, tree: &LogicalExpr, registry: &ColumnRegistry) -> GroupId {
+        let children: Vec<GroupId> =
+            tree.children.iter().map(|c| self.insert_tree(c, registry)).collect();
+        let mexpr = MExpr { op: tree.op.clone(), children };
+        if let Some(&existing) = self.dedup.get(&mexpr) {
+            return self.group_of(existing);
+        }
+        let child_props: Vec<&LogicalProps> =
+            mexpr.children.iter().map(|&g| &self.groups[g.0 as usize].props).collect();
+        let props = derive_props(&mexpr.op, &child_props, registry);
+        let gid = GroupId(self.groups.len() as u32);
+        self.groups.push(Group {
+            id: gid,
+            exprs: Vec::new(),
+            props,
+            winners: HashMap::new(),
+            explored_upto: 0,
+        });
+        let eid = self.push_expr(mexpr, gid);
+        self.groups[gid.0 as usize].exprs.push(eid);
+        gid
+    }
+
+    /// Insert a rule-produced alternative into an existing group. Returns
+    /// the new expr id, or `None` when the expression is already known
+    /// (possibly in another group — in which case no work is queued, as in
+    /// the paper).
+    pub fn insert_alternative(
+        &mut self,
+        op: LogicalOp,
+        children: Vec<GroupId>,
+        group: GroupId,
+    ) -> Option<ExprId> {
+        let mexpr = MExpr { op, children };
+        if self.dedup.contains_key(&mexpr) {
+            return None;
+        }
+        let eid = self.push_expr(mexpr, group);
+        self.groups[group.0 as usize].exprs.push(eid);
+        Some(eid)
+    }
+
+    /// Insert a rule-produced subtree (new operators below the rewritten
+    /// root) and return its group: children of the produced tree may be
+    /// references to existing groups.
+    pub fn insert_subtree(
+        &mut self,
+        tree: &AltExpr,
+        registry: &ColumnRegistry,
+    ) -> GroupId {
+        match tree {
+            AltExpr::Group(g) => *g,
+            AltExpr::Op { op, children } => {
+                let child_groups: Vec<GroupId> =
+                    children.iter().map(|c| self.insert_subtree(c, registry)).collect();
+                let mexpr = MExpr { op: op.clone(), children: child_groups };
+                if let Some(&existing) = self.dedup.get(&mexpr) {
+                    return self.group_of(existing);
+                }
+                let child_props: Vec<&LogicalProps> =
+                    mexpr.children.iter().map(|&g| &self.groups[g.0 as usize].props).collect();
+                let props = derive_props(&mexpr.op, &child_props, registry);
+                let gid = GroupId(self.groups.len() as u32);
+                self.groups.push(Group {
+                    id: gid,
+                    exprs: Vec::new(),
+                    props,
+                    winners: HashMap::new(),
+                    explored_upto: 0,
+                });
+                let eid = self.push_expr(mexpr, gid);
+                self.groups[gid.0 as usize].exprs.push(eid);
+                gid
+            }
+        }
+    }
+
+    /// Insert a rule result whose root replaces `group`'s expressions and
+    /// whose internal nodes become new groups.
+    pub fn insert_alternative_tree(
+        &mut self,
+        tree: &AltExpr,
+        group: GroupId,
+        registry: &ColumnRegistry,
+    ) -> Option<ExprId> {
+        match tree {
+            // A bare group reference cannot be an alternative root.
+            AltExpr::Group(_) => None,
+            AltExpr::Op { op, children } => {
+                let child_groups: Vec<GroupId> =
+                    children.iter().map(|c| self.insert_subtree(c, registry)).collect();
+                self.insert_alternative(op.clone(), child_groups, group)
+            }
+        }
+    }
+
+    fn push_expr(&mut self, mexpr: MExpr, group: GroupId) -> ExprId {
+        let eid = ExprId(self.exprs.len() as u32);
+        self.dedup.insert(mexpr.clone(), eid);
+        self.exprs.push(mexpr);
+        self.expr_group.push(group);
+        eid
+    }
+}
+
+/// Rule output: a tree whose leaves may reference existing memo groups.
+#[derive(Debug, Clone)]
+pub enum AltExpr {
+    /// Reference to an existing group (a child kept as-is).
+    Group(GroupId),
+    /// A new operator over subtrees.
+    Op { op: LogicalOp, children: Vec<AltExpr> },
+}
+
+impl AltExpr {
+    pub fn op(op: LogicalOp, children: Vec<AltExpr>) -> Self {
+        AltExpr::Op { op, children }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{test_table_meta, JoinKind, Locality};
+    use crate::scalar::ScalarExpr;
+    use dhqp_types::DataType;
+    use std::sync::Arc;
+
+    fn join_tree() -> (ColumnRegistry, LogicalExpr) {
+        let mut reg = ColumnRegistry::new();
+        let a = test_table_meta(0, "a", Locality::Local, &[("x", DataType::Int)], &mut reg, 100);
+        let b = test_table_meta(1, "b", Locality::Local, &[("y", DataType::Int)], &mut reg, 50);
+        let tree = LogicalExpr::join(
+            JoinKind::Inner,
+            LogicalExpr::get(Arc::clone(&a)),
+            LogicalExpr::get(Arc::clone(&b)),
+            Some(ScalarExpr::eq(
+                ScalarExpr::Column(a.column_id(0)),
+                ScalarExpr::Column(b.column_id(0)),
+            )),
+        );
+        (reg, tree)
+    }
+
+    #[test]
+    fn insert_tree_creates_one_group_per_operator() {
+        let (reg, tree) = join_tree();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&tree, &reg);
+        assert_eq!(memo.group_count(), 3); // a, b, join
+        assert_eq!(memo.group(root).exprs.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insertion_is_detected() {
+        let (reg, tree) = join_tree();
+        let mut memo = Memo::new();
+        let g1 = memo.insert_tree(&tree, &reg);
+        let g2 = memo.insert_tree(&tree, &reg);
+        assert_eq!(g1, g2);
+        assert_eq!(memo.group_count(), 3);
+    }
+
+    #[test]
+    fn commuted_alternative_joins_same_group() {
+        let (reg, tree) = join_tree();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&tree, &reg);
+        let root_expr = memo.expr(memo.group(root).exprs[0]).clone();
+        // Insert B join A as an alternative of the same group.
+        let swapped = MExpr {
+            op: root_expr.op.clone(),
+            children: vec![root_expr.children[1], root_expr.children[0]],
+        };
+        let added = memo.insert_alternative(swapped.op.clone(), swapped.children.clone(), root);
+        assert!(added.is_some());
+        assert_eq!(memo.group(root).exprs.len(), 2);
+        // Re-inserting the same alternative is a no-op.
+        assert!(memo.insert_alternative(swapped.op, swapped.children, root).is_none());
+    }
+
+    #[test]
+    fn group_props_are_derived() {
+        let (reg, tree) = join_tree();
+        let mut memo = Memo::new();
+        let root = memo.insert_tree(&tree, &reg);
+        let props = &memo.group(root).props;
+        assert_eq!(props.columns.len(), 2);
+        assert!(props.cardinality > 0.0);
+    }
+}

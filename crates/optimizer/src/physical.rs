@@ -1,0 +1,283 @@
+//! Physical operators and the extracted plan tree handed to the executor.
+
+use crate::logical::{JoinKind, TableMeta};
+use crate::props::ColumnId;
+use crate::scalar::{AggCall, ScalarExpr};
+use dhqp_types::Value;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Runtime-evaluated index seek bounds (expressions must be column-free:
+/// literals, parameters or correlation parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexRangeSpec {
+    pub low: Option<(Vec<ScalarExpr>, bool)>,
+    pub high: Option<(Vec<ScalarExpr>, bool)>,
+}
+
+impl IndexRangeSpec {
+    pub fn all() -> Self {
+        IndexRangeSpec { low: None, high: None }
+    }
+
+    pub fn eq(keys: Vec<ScalarExpr>) -> Self {
+        IndexRangeSpec { low: Some((keys.clone(), true)), high: Some((keys, true)) }
+    }
+}
+
+/// Physical (implementable) operators. The remote family mirrors the
+/// paper's implementation rules: *build remote query*, *remote
+/// scan/range/fetch*, *spool over remote operation* (§4.1.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalOp {
+    /// Sequential scan of a local table.
+    TableScan { meta: Arc<TableMeta> },
+    /// Local index range access, delivering key order.
+    IndexRange { meta: Arc<TableMeta>, index: String, range: IndexRangeSpec },
+    Filter { predicate: ScalarExpr },
+    /// Column-free predicate evaluated once before opening the child
+    /// (runtime partition pruning, §4.1.5).
+    StartupFilter { predicate: ScalarExpr },
+    Project { outputs: Vec<(ColumnId, ScalarExpr)> },
+    /// Tuple-at-a-time join; inner child re-opened per outer row (with
+    /// correlation bindings when parameterized).
+    NestedLoopJoin { kind: JoinKind, predicate: Option<ScalarExpr> },
+    HashJoin {
+        kind: JoinKind,
+        left_keys: Vec<ScalarExpr>,
+        right_keys: Vec<ScalarExpr>,
+        residual: Option<ScalarExpr>,
+    },
+    /// Requires both inputs sorted on the key columns.
+    MergeJoin {
+        left_keys: Vec<ColumnId>,
+        right_keys: Vec<ColumnId>,
+        residual: Option<ScalarExpr>,
+    },
+    HashAggregate { group_by: Vec<ColumnId>, aggs: Vec<AggCall> },
+    /// Requires input sorted on the grouping columns.
+    StreamAggregate { group_by: Vec<ColumnId>, aggs: Vec<AggCall> },
+    Sort { keys: Vec<(ColumnId, bool)> },
+    Top { n: u64 },
+    /// `output[i]` is fed by `input_columns[k][i]` of child `k` (children
+    /// may deliver their columns in any physical order; the executor
+    /// permutes by column id).
+    UnionAll { output: Vec<ColumnId>, input_columns: Vec<Vec<ColumnId>> },
+    /// Materializes its child on first open; rescans replay the cache
+    /// without re-running the child (the *spool over remote* enforcer).
+    Spool,
+    /// A SQL statement pushed whole to a linked server — the product of the
+    /// *build remote query* rule. `params` are bound at open time.
+    RemoteQuery {
+        server: Arc<str>,
+        sql: String,
+        columns: Vec<ColumnId>,
+        params: Vec<RemoteParam>,
+    },
+    /// `IOpenRowset` against a remote base table.
+    RemoteScan { meta: Arc<TableMeta> },
+    /// `IRowsetIndex` range against a remote index (key order delivered).
+    RemoteRange { meta: Arc<TableMeta>, index: String, range: IndexRangeSpec },
+    /// `IRowsetLocate` fetch of base rows for bookmarks produced by the
+    /// child (typically a RemoteRange over a secondary index).
+    RemoteFetch { meta: Arc<TableMeta> },
+    Values { columns: Vec<ColumnId>, rows: Vec<Vec<Value>> },
+    /// Produces no rows (statically pruned).
+    Empty { columns: Vec<ColumnId> },
+}
+
+/// A parameter of a remote query: `@name` placeholders in the SQL text are
+/// bound from the session's query parameters or from the current outer row
+/// of a parameterized nested-loop join (the §4.1.2 parameterization rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteParam {
+    /// Placeholder name as it appears in the SQL text (without `@`).
+    pub name: String,
+    pub source: ParamSource,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamSource {
+    /// A column of the outer row (correlation).
+    OuterColumn(ColumnId),
+    /// A session query parameter.
+    QueryParam(String),
+}
+
+impl PhysicalOp {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOp::TableScan { .. } => "TableScan",
+            PhysicalOp::IndexRange { .. } => "IndexRange",
+            PhysicalOp::Filter { .. } => "Filter",
+            PhysicalOp::StartupFilter { .. } => "StartupFilter",
+            PhysicalOp::Project { .. } => "Project",
+            PhysicalOp::NestedLoopJoin { .. } => "NestedLoopJoin",
+            PhysicalOp::HashJoin { .. } => "HashJoin",
+            PhysicalOp::MergeJoin { .. } => "MergeJoin",
+            PhysicalOp::HashAggregate { .. } => "HashAggregate",
+            PhysicalOp::StreamAggregate { .. } => "StreamAggregate",
+            PhysicalOp::Sort { .. } => "Sort",
+            PhysicalOp::Top { .. } => "Top",
+            PhysicalOp::UnionAll { .. } => "UnionAll",
+            PhysicalOp::Spool => "Spool",
+            PhysicalOp::RemoteQuery { .. } => "RemoteQuery",
+            PhysicalOp::RemoteScan { .. } => "RemoteScan",
+            PhysicalOp::RemoteRange { .. } => "RemoteRange",
+            PhysicalOp::RemoteFetch { .. } => "RemoteFetch",
+            PhysicalOp::Values { .. } => "Values",
+            PhysicalOp::Empty { .. } => "Empty",
+        }
+    }
+
+    /// Whether this operator contacts a remote server when opened.
+    pub fn is_remote(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOp::RemoteQuery { .. }
+                | PhysicalOp::RemoteScan { .. }
+                | PhysicalOp::RemoteRange { .. }
+                | PhysicalOp::RemoteFetch { .. }
+        )
+    }
+}
+
+/// A node of the final physical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysNode {
+    pub op: PhysicalOp,
+    pub children: Vec<PhysNode>,
+    /// Output columns in order — the executor resolves [`ColumnId`]s to row
+    /// positions using these.
+    pub output: Vec<ColumnId>,
+    /// Optimizer estimates, kept for explain output and plan assertions.
+    pub est_rows: f64,
+    pub est_cost: f64,
+}
+
+impl PhysNode {
+    pub fn new(op: PhysicalOp, children: Vec<PhysNode>, output: Vec<ColumnId>) -> Self {
+        PhysNode { op, children, output, est_rows: 0.0, est_cost: 0.0 }
+    }
+
+    /// Count operators matching a predicate anywhere in the plan.
+    pub fn count_ops(&self, f: &mut impl FnMut(&PhysicalOp) -> bool) -> usize {
+        let mut n = usize::from(f(&self.op));
+        for c in &self.children {
+            n += c.count_ops(f);
+        }
+        n
+    }
+
+    /// Find the first node whose operator matches.
+    pub fn find_op(&self, f: &mut impl FnMut(&PhysicalOp) -> bool) -> Option<&PhysNode> {
+        if f(&self.op) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find_op(f))
+    }
+
+    /// Indented single-line-per-operator rendering (the engine's
+    /// `EXPLAIN`).
+    pub fn display_indent(&self) -> String {
+        let mut s = String::new();
+        self.fmt_indent(&mut s, 0);
+        s
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match &self.op {
+            PhysicalOp::TableScan { meta } => {
+                let _ = writeln!(out, "TableScan({})  rows={:.0}", meta.alias, self.est_rows);
+            }
+            PhysicalOp::IndexRange { meta, index, .. } => {
+                let _ =
+                    writeln!(out, "IndexRange({}.{index})  rows={:.0}", meta.alias, self.est_rows);
+            }
+            PhysicalOp::Filter { predicate } => {
+                let _ = writeln!(out, "Filter({predicate})  rows={:.0}", self.est_rows);
+            }
+            PhysicalOp::StartupFilter { predicate } => {
+                let _ = writeln!(out, "StartupFilter({predicate})");
+            }
+            PhysicalOp::NestedLoopJoin { kind, .. } => {
+                let _ = writeln!(out, "NestedLoopJoin[{kind:?}]  rows={:.0}", self.est_rows);
+            }
+            PhysicalOp::HashJoin { kind, .. } => {
+                let _ = writeln!(out, "HashJoin[{kind:?}]  rows={:.0}", self.est_rows);
+            }
+            PhysicalOp::MergeJoin { .. } => {
+                let _ = writeln!(out, "MergeJoin  rows={:.0}", self.est_rows);
+            }
+            PhysicalOp::RemoteQuery { server, sql, .. } => {
+                let _ = writeln!(out, "RemoteQuery(@{server}: {sql})  rows={:.0}", self.est_rows);
+            }
+            PhysicalOp::RemoteScan { meta } => {
+                let _ = writeln!(
+                    out,
+                    "RemoteScan(@{}.{})  rows={:.0}",
+                    meta.source.server_name().unwrap_or("?"),
+                    meta.table,
+                    self.est_rows
+                );
+            }
+            PhysicalOp::RemoteRange { meta, index, .. } => {
+                let _ = writeln!(
+                    out,
+                    "RemoteRange(@{}.{}.{index})  rows={:.0}",
+                    meta.source.server_name().unwrap_or("?"),
+                    meta.table,
+                    self.est_rows
+                );
+            }
+            PhysicalOp::RemoteFetch { meta } => {
+                let _ = writeln!(out, "RemoteFetch({})  rows={:.0}", meta.table, self.est_rows);
+            }
+            PhysicalOp::Sort { keys } => {
+                let _ = writeln!(out, "Sort({} keys)  rows={:.0}", keys.len(), self.est_rows);
+            }
+            other => {
+                let _ = writeln!(out, "{}  rows={:.0}", other.name(), self.est_rows);
+            }
+        }
+        for c in &self.children {
+            c.fmt_indent(out, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{test_table_meta, Locality};
+    use crate::props::ColumnRegistry;
+    use dhqp_types::DataType;
+
+    #[test]
+    fn plan_tree_search_helpers() {
+        let mut reg = ColumnRegistry::new();
+        let meta = test_table_meta(
+            0,
+            "t",
+            Locality::remote("r0"),
+            &[("a", DataType::Int)],
+            &mut reg,
+            10,
+        );
+        let scan = PhysNode::new(
+            PhysicalOp::RemoteScan { meta: Arc::clone(&meta) },
+            vec![],
+            meta.column_ids.clone(),
+        );
+        let spool = PhysNode::new(PhysicalOp::Spool, vec![scan], meta.column_ids.clone());
+        assert_eq!(spool.count_ops(&mut |op| op.is_remote()), 1);
+        assert!(spool.find_op(&mut |op| matches!(op, PhysicalOp::Spool)).is_some());
+        assert!(spool.find_op(&mut |op| matches!(op, PhysicalOp::Sort { .. })).is_none());
+        let text = spool.display_indent();
+        assert!(text.contains("Spool"));
+        assert!(text.contains("RemoteScan(@r0.t)"));
+    }
+}

@@ -1,0 +1,494 @@
+//! Implementation rules: logical → physical alternatives (paper §4.1.2).
+//!
+//! "Examples of remote implementation rules are: building SQL statements
+//! from trees to run on remote sources, building remote scan/range/fetch,
+//! adding spool on top of remote operations." The *build remote query* rule
+//! itself is driven from the search loop (it applies to whole groups via
+//! the decoder); everything else lives here.
+
+use crate::decoder::Decoder;
+use crate::logical::{JoinKind, LogicalOp, TableMeta};
+use crate::memo::{GroupId, MExpr, Memo};
+use crate::physical::{IndexRangeSpec, PhysicalOp};
+use crate::props::{ColumnId, PhysicalProps, RequiredProps};
+use crate::rules::exploration::group_localities;
+use crate::rules::{Delivered, PhysAlt, RuleContext};
+use crate::scalar::{CmpOp, ScalarExpr};
+use crate::search::OptimizationPhase;
+use std::sync::Arc;
+
+/// Generate all physical alternatives for one logical expression.
+pub fn implementations(
+    expr: &MExpr,
+    memo: &Memo,
+    ctx: &RuleContext<'_>,
+    required: &RequiredProps,
+    phase: OptimizationPhase,
+) -> Vec<PhysAlt> {
+    match &expr.op {
+        LogicalOp::Get { meta, .. } => implement_get(meta, memo, expr, required),
+        LogicalOp::EmptyGet { columns } => {
+            vec![PhysAlt::node(PhysicalOp::Empty { columns: columns.clone() }, vec![])]
+        }
+        LogicalOp::Values { columns, rows } => {
+            vec![PhysAlt::node(
+                PhysicalOp::Values { columns: columns.clone(), rows: rows.clone() },
+                vec![],
+            )
+            .with_rows(rows.len() as f64)]
+        }
+        LogicalOp::Filter { predicate } => implement_filter(predicate, expr, memo, required),
+        LogicalOp::StartupFilter { predicate } => {
+            vec![PhysAlt::node(
+                PhysicalOp::StartupFilter { predicate: predicate.clone() },
+                vec![PhysAlt::child_with(
+                    expr.children[0],
+                    RequiredProps::none(),
+                    ctx.config.cost.startup_pass_probability,
+                )],
+            )
+            .with_delivered(Delivered::Inherit(0))]
+        }
+        LogicalOp::Project { outputs } => {
+            vec![PhysAlt::node(
+                PhysicalOp::Project { outputs: outputs.clone() },
+                vec![PhysAlt::child(expr.children[0])],
+            )]
+        }
+        LogicalOp::Join { kind, predicate } => {
+            implement_join(*kind, predicate.as_ref(), expr, memo, ctx, required, phase)
+        }
+        LogicalOp::Aggregate { group_by, aggs } => {
+            let mut out = vec![PhysAlt::node(
+                PhysicalOp::HashAggregate { group_by: group_by.clone(), aggs: aggs.clone() },
+                vec![PhysAlt::child(expr.children[0])],
+            )];
+            if phase >= OptimizationPhase::Full && !group_by.is_empty() {
+                let ordering: Vec<(ColumnId, bool)> = group_by.iter().map(|&c| (c, true)).collect();
+                out.push(
+                    PhysAlt::node(
+                        PhysicalOp::StreamAggregate {
+                            group_by: group_by.clone(),
+                            aggs: aggs.clone(),
+                        },
+                        vec![PhysAlt::child_with(
+                            expr.children[0],
+                            PhysicalProps::ordered(ordering.clone()),
+                            1.0,
+                        )],
+                    )
+                    .with_delivered(Delivered::Keys(ordering)),
+                );
+            }
+            out
+        }
+        LogicalOp::Limit { n } => {
+            // TOP passes its parent's ordering requirement through to its
+            // child (ORDER BY + TOP) and preserves it.
+            vec![PhysAlt::node(
+                PhysicalOp::Top { n: *n },
+                vec![PhysAlt::child_with(expr.children[0], required.clone(), 1.0)],
+            )
+            .with_delivered(Delivered::Keys(required.ordering.clone()))]
+        }
+        LogicalOp::UnionAll { output } => {
+            let input_columns: Vec<Vec<ColumnId>> = expr
+                .children
+                .iter()
+                .map(|&g| memo.group(g).props.columns.clone())
+                .collect();
+            vec![PhysAlt::node(
+                PhysicalOp::UnionAll { output: output.clone(), input_columns },
+                expr.children.iter().map(|&g| PhysAlt::child(g)).collect(),
+            )]
+        }
+    }
+}
+
+fn implement_get(
+    meta: &Arc<TableMeta>,
+    _memo: &Memo,
+    _expr: &MExpr,
+    required: &RequiredProps,
+) -> Vec<PhysAlt> {
+    let mut out = Vec::new();
+    let remote = meta.source.is_remote();
+    if remote {
+        out.push(PhysAlt::node(PhysicalOp::RemoteScan { meta: Arc::clone(meta) }, vec![]));
+    } else {
+        out.push(PhysAlt::node(PhysicalOp::TableScan { meta: Arc::clone(meta) }, vec![]));
+    }
+    // An ordered full-index scan when it can satisfy the requirement
+    // directly (ascending key order only).
+    if !required.ordering.is_empty() && (!remote || meta.caps.index_support) {
+        if let Some(index) = index_delivering(meta, &required.ordering) {
+            let delivered = Delivered::Keys(required.ordering.clone());
+            let op = if remote {
+                PhysicalOp::RemoteRange {
+                    meta: Arc::clone(meta),
+                    index,
+                    range: IndexRangeSpec::all(),
+                }
+            } else {
+                PhysicalOp::IndexRange {
+                    meta: Arc::clone(meta),
+                    index,
+                    range: IndexRangeSpec::all(),
+                }
+            };
+            out.push(PhysAlt::node(op, vec![]).with_delivered(delivered));
+        }
+    }
+    out
+}
+
+/// Name of an index whose ascending key order satisfies `ordering`.
+fn index_delivering(meta: &TableMeta, ordering: &[(ColumnId, bool)]) -> Option<String> {
+    'ix: for ix in &meta.indexes {
+        if ix.key_columns.len() < ordering.len() {
+            continue;
+        }
+        for (i, (col, asc)) in ordering.iter().enumerate() {
+            if !asc {
+                continue 'ix;
+            }
+            let pos = meta.schema.index_of(&ix.key_columns[i]);
+            if pos.map(|p| meta.column_id(p)) != Some(*col) {
+                continue 'ix;
+            }
+        }
+        return Some(ix.name.clone());
+    }
+    None
+}
+
+fn implement_filter(
+    predicate: &ScalarExpr,
+    expr: &MExpr,
+    memo: &Memo,
+    _required: &RequiredProps,
+) -> Vec<PhysAlt> {
+    let mut out = Vec::new();
+    // Column-free predicates become startup filters ("the predicate can be
+    // evaluated before the subtree of the filter has been executed").
+    if predicate.is_column_free() {
+        out.push(
+            PhysAlt::node(
+                PhysicalOp::StartupFilter { predicate: predicate.clone() },
+                vec![PhysAlt::child_with(expr.children[0], RequiredProps::none(), 0.5)],
+            )
+            .with_delivered(Delivered::Inherit(0)),
+        );
+        return out;
+    }
+    out.push(
+        PhysAlt::node(
+            PhysicalOp::Filter { predicate: predicate.clone() },
+            vec![PhysAlt::child(expr.children[0])],
+        )
+        .with_delivered(Delivered::Inherit(0)),
+    );
+    // Index fusion: Filter ∘ Get → (residual Filter ∘) IndexRange.
+    let child_group = memo.group(expr.children[0]);
+    let child_card = child_group.props.cardinality;
+    for &eid in &child_group.exprs {
+        let child_expr = memo.expr(eid);
+        let LogicalOp::Get { meta, .. } = &child_expr.op else { continue };
+        let remote = meta.source.is_remote();
+        if remote && !meta.caps.index_support {
+            continue;
+        }
+        for ix in &meta.indexes {
+            let Some(lead_pos) = meta.schema.index_of(&ix.key_columns[0]) else { continue };
+            let lead_col = meta.column_id(lead_pos);
+            let Some((range, sel)) = sargable_range(predicate, lead_col, child_card) else {
+                continue;
+            };
+            let rows = (child_card * sel).max(1.0);
+            let access = if remote {
+                PhysicalOp::RemoteRange {
+                    meta: Arc::clone(meta),
+                    index: ix.name.clone(),
+                    range,
+                }
+            } else {
+                PhysicalOp::IndexRange { meta: Arc::clone(meta), index: ix.name.clone(), range }
+            };
+            // Residual re-check of the full predicate keeps this correct
+            // even when the range only partially covers it.
+            out.push(PhysAlt::node(
+                PhysicalOp::Filter { predicate: predicate.clone() },
+                vec![PhysAlt::node(access, vec![]).with_rows(rows)],
+            ));
+        }
+    }
+    out
+}
+
+/// Derive an index seek range on `col` from the predicate's conjuncts.
+/// Returns the range plus a selectivity guess for the range itself.
+fn sargable_range(
+    predicate: &ScalarExpr,
+    col: ColumnId,
+    _input_rows: f64,
+) -> Option<(IndexRangeSpec, f64)> {
+    let mut low: Option<(ScalarExpr, bool)> = None;
+    let mut high: Option<(ScalarExpr, bool)> = None;
+    let mut eq: Option<ScalarExpr> = None;
+    for conj in predicate.conjuncts() {
+        let ScalarExpr::Cmp { op, left, right } = &conj else { continue };
+        let (bound, op) = match (left.as_ref(), right.as_ref()) {
+            (ScalarExpr::Column(c), other) if *c == col && other.is_column_free() => {
+                (other.clone(), *op)
+            }
+            (other, ScalarExpr::Column(c)) if *c == col && other.is_column_free() => {
+                (other.clone(), op.flip())
+            }
+            _ => continue,
+        };
+        match op {
+            CmpOp::Eq => eq = Some(bound),
+            CmpOp::Gt => low = Some((bound, false)),
+            CmpOp::Ge => low = Some((bound, true)),
+            CmpOp::Lt => high = Some((bound, false)),
+            CmpOp::Le => high = Some((bound, true)),
+            CmpOp::Neq => {}
+        }
+    }
+    if let Some(b) = eq {
+        return Some((IndexRangeSpec::eq(vec![b]), 0.01));
+    }
+    match (low, high) {
+        (None, None) => None,
+        (lo, hi) => {
+            let sel = match (&lo, &hi) {
+                (Some(_), Some(_)) => 0.1,
+                _ => 1.0 / 3.0,
+            };
+            Some((
+                IndexRangeSpec {
+                    low: lo.map(|(e, inc)| (vec![e], inc)),
+                    high: hi.map(|(e, inc)| (vec![e], inc)),
+                },
+                sel,
+            ))
+        }
+    }
+}
+
+/// Distinct-value estimate for a column within a group.
+fn ndv_of(memo: &Memo, group: GroupId, col: ColumnId) -> f64 {
+    let props = &memo.group(group).props;
+    if props.keys.contains(&col) {
+        return props.cardinality.max(1.0);
+    }
+    props
+        .histograms
+        .get(&col)
+        .map(|h| h.buckets.iter().map(|b| b.distinct).sum::<f64>())
+        .unwrap_or(100.0)
+        .min(props.cardinality.max(1.0))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn implement_join(
+    kind: JoinKind,
+    predicate: Option<&ScalarExpr>,
+    expr: &MExpr,
+    memo: &Memo,
+    ctx: &RuleContext<'_>,
+    required: &RequiredProps,
+    phase: OptimizationPhase,
+) -> Vec<PhysAlt> {
+    let (lg, rg) = (expr.children[0], expr.children[1]);
+    let l_card = memo.group(lg).props.cardinality.max(1.0);
+    let r_card = memo.group(rg).props.cardinality.max(1.0);
+    let mut out = Vec::new();
+
+    // Plain nested loops: inner re-opened per outer row.
+    out.push(
+        PhysAlt::node(
+            PhysicalOp::NestedLoopJoin { kind, predicate: predicate.cloned() },
+            vec![PhysAlt::child(lg), PhysAlt::child_with(rg, RequiredProps::none(), l_card)],
+        )
+        .with_delivered(Delivered::Inherit(0)),
+    );
+    // Outer-ordered variant when the parent wants an order the outer side
+    // can deliver (nested loops preserve outer order).
+    if !required.ordering.is_empty() {
+        out.push(
+            PhysAlt::node(
+                PhysicalOp::NestedLoopJoin { kind, predicate: predicate.cloned() },
+                vec![
+                    PhysAlt::child_with(lg, required.clone(), 1.0),
+                    PhysAlt::child_with(rg, RequiredProps::none(), l_card),
+                ],
+            )
+            .with_delivered(Delivered::Keys(required.ordering.clone())),
+        );
+    }
+
+    if phase >= OptimizationPhase::QuickPlan {
+        // Spool over the inner child: materialize once, replay per rescan —
+        // "it is often beneficial to spool results from a remote source if
+        // multiple scans of the data are expected" (§4.1.4).
+        if ctx.config.enable_spool {
+            let spool_cost = r_card * ctx.config.cost.spool_write_row
+                + (l_card - 1.0).max(0.0) * r_card * ctx.config.cost.spool_read_row;
+            out.push(
+                PhysAlt::node(
+                    PhysicalOp::NestedLoopJoin { kind, predicate: predicate.cloned() },
+                    vec![
+                        PhysAlt::child(lg),
+                        PhysAlt::node(PhysicalOp::Spool, vec![PhysAlt::child(rg)])
+                            .with_rows(r_card)
+                            .with_extra_cost(spool_cost),
+                    ],
+                )
+                .with_delivered(Delivered::Inherit(0)),
+            );
+        }
+
+        let equi = predicate
+            .map(|p| crate::cardinality::equi_key_columns(p, &memo.group(lg).props, &memo.group(rg).props))
+            .unwrap_or_default();
+        if !equi.is_empty() && kind != JoinKind::Cross {
+            let left_keys: Vec<ScalarExpr> =
+                equi.iter().map(|(l, _)| ScalarExpr::Column(*l)).collect();
+            let right_keys: Vec<ScalarExpr> =
+                equi.iter().map(|(_, r)| ScalarExpr::Column(*r)).collect();
+            out.push(PhysAlt::node(
+                PhysicalOp::HashJoin {
+                    kind,
+                    left_keys,
+                    right_keys,
+                    residual: predicate.cloned(),
+                },
+                vec![PhysAlt::child(lg), PhysAlt::child(rg)],
+            ));
+            // Merge join needs both inputs sorted on the keys.
+            if phase >= OptimizationPhase::Full && kind == JoinKind::Inner {
+                let l_order: Vec<(ColumnId, bool)> = equi.iter().map(|(l, _)| (*l, true)).collect();
+                let r_order: Vec<(ColumnId, bool)> = equi.iter().map(|(_, r)| (*r, true)).collect();
+                out.push(
+                    PhysAlt::node(
+                        PhysicalOp::MergeJoin {
+                            left_keys: equi.iter().map(|(l, _)| *l).collect(),
+                            right_keys: equi.iter().map(|(_, r)| *r).collect(),
+                            residual: predicate.cloned(),
+                        },
+                        vec![
+                            PhysAlt::child_with(lg, PhysicalProps::ordered(l_order.clone()), 1.0),
+                            PhysAlt::child_with(rg, PhysicalProps::ordered(r_order), 1.0),
+                        ],
+                    )
+                    .with_delivered(Delivered::Keys(l_order)),
+                );
+            }
+            // Parameterized remote access (§4.1.2 "parameterization enables
+            // pushing parameters into the remote sources"): drive the inner
+            // remote side with the outer join key.
+            if ctx.config.enable_remote_param && matches!(kind, JoinKind::Inner | JoinKind::Semi) {
+                out.extend(param_remote_variants(
+                    kind, predicate, lg, rg, &equi, memo, ctx, l_card,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Build parameterized inner-side alternatives for a join whose inner group
+/// lives wholly on one remote server.
+#[allow(clippy::too_many_arguments)]
+fn param_remote_variants(
+    kind: JoinKind,
+    predicate: Option<&ScalarExpr>,
+    lg: GroupId,
+    rg: GroupId,
+    equi: &[(ColumnId, ColumnId)],
+    memo: &Memo,
+    ctx: &RuleContext<'_>,
+    l_card: f64,
+) -> Vec<PhysAlt> {
+    let locs = group_localities(memo, rg);
+    if locs.len() != 1 || !locs[0].is_remote() {
+        return Vec::new();
+    }
+    let server = locs[0].server_name().expect("remote locality").to_string();
+    let Some(caps) = ctx.config.server_caps.get(&server) else { return Vec::new() };
+    let (outer_col, inner_col) = equi[0];
+    let r_card = memo.group(rg).props.cardinality.max(1.0);
+    let per_probe = (r_card / ndv_of(memo, rg, inner_col)).max(1.0);
+    let mut out = Vec::new();
+
+    // (a) Remote query with a correlation parameter.
+    if caps.sql_support >= dhqp_oledb::SqlSupport::Minimum && !caps.proprietary_command {
+        let mut decoder = Decoder::new(memo, ctx.registry, caps, &server);
+        let corr = ScalarExpr::eq(
+            ScalarExpr::Column(inner_col),
+            ScalarExpr::Param("__corr0".into()),
+        );
+        if let Some(remote) =
+            decoder.build(rg, Some(&corr), &[("__corr0".into(), outer_col)], &[], None)
+        {
+            let inner = PhysAlt::node(
+                PhysicalOp::RemoteQuery {
+                    server: Arc::from(server.as_str()),
+                    sql: remote.sql,
+                    columns: remote.columns,
+                    params: remote.params,
+                },
+                vec![],
+            )
+            .with_rows(per_probe)
+            .with_multiplier(l_card);
+            out.push(
+                PhysAlt::node(
+                    PhysicalOp::NestedLoopJoin { kind, predicate: predicate.cloned() },
+                    vec![PhysAlt::child(lg), inner],
+                )
+                .with_delivered(Delivered::Inherit(0)),
+            );
+        }
+    }
+
+    // (b) Remote index range keyed by the outer column — works even for
+    // providers with no SQL support at all, as long as they expose indexes.
+    if caps.index_support {
+        for &eid in &memo.group(rg).exprs {
+            let LogicalOp::Get { meta, .. } = &memo.expr(eid).op else { continue };
+            let Some(ix) = meta
+                .indexes
+                .iter()
+                .find(|ix| {
+                    meta.schema
+                        .index_of(&ix.key_columns[0])
+                        .map(|p| meta.column_id(p))
+                        == Some(inner_col)
+                })
+            else {
+                continue;
+            };
+            let inner = PhysAlt::node(
+                PhysicalOp::RemoteRange {
+                    meta: Arc::clone(meta),
+                    index: ix.name.clone(),
+                    range: IndexRangeSpec::eq(vec![ScalarExpr::Column(outer_col)]),
+                },
+                vec![],
+            )
+            .with_rows(per_probe)
+            .with_multiplier(l_card);
+            out.push(
+                PhysAlt::node(
+                    PhysicalOp::NestedLoopJoin { kind, predicate: predicate.cloned() },
+                    vec![PhysAlt::child(lg), inner],
+                )
+                .with_delivered(Delivered::Inherit(0)),
+            );
+            break;
+        }
+    }
+    out
+}

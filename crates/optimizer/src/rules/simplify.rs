@@ -1,0 +1,982 @@
+//! Simplification: heuristic logical-tree rewrites run before memo
+//! insertion (paper §4.1.1 "Simplification Rules perform heuristic tree
+//! rewrites, generally early in the optimization process").
+//!
+//! Passes, in order:
+//! 1. **Predicate split & pushdown** — conjuncts migrate toward the leaves:
+//!    through projections (with substitution), into both sides of inner
+//!    joins, into the preserved side of outer joins, into every branch of a
+//!    UNION ALL (the partitioned-view path), merging adjacent filters. The
+//!    paper's *splitting/merging predicates based on remotability* falls
+//!    out of this: once split, each conjunct independently lands in the
+//!    largest remotable subtree.
+//! 2. **Constant folding** — literal-only predicates collapse to
+//!    TRUE/FALSE; a FALSE filter becomes an `EmptyGet`.
+//! 3. **Static partition pruning** (§4.1.5) — a filter contradicting a
+//!    `Get`'s CHECK-constraint domains reduces the subtree to `EmptyGet`;
+//!    empty UNION ALL branches are dropped.
+//! 4. **Startup-filter introduction** (§4.1.5) — parameterized equality
+//!    predicates over CHECK-constrained columns gain a column-free
+//!    `STARTUP(@p IN domain)` guard so pruning can happen at execution
+//!    time.
+//! 5. **Column pruning** — projections are pushed over base-table gets so
+//!    only the columns a query actually consumes are produced; for remote
+//!    tables this directly narrows the decoded SELECT list and therefore
+//!    the wire traffic the cost model minimizes.
+//! 6. **Partial aggregation through UNION ALL** — an aggregate over a
+//!    partitioned view splits into per-member partial aggregates combined
+//!    by a global aggregate, so each member ships one row per group
+//!    instead of its raw rows (COUNT becomes SUM of partial counts).
+
+use crate::logical::{JoinKind, LogicalExpr, LogicalOp};
+use crate::props::{ColumnId, ColumnRegistry};
+use crate::scalar::{AggCall, AggFunc, CmpOp, ScalarExpr};
+use dhqp_types::{DataType, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// Options controlling which simplification passes run (ablation hooks).
+#[derive(Debug, Clone)]
+pub struct SimplifyOptions {
+    pub pushdown: bool,
+    pub constraint_pruning: bool,
+    pub startup_filters: bool,
+    pub column_pruning: bool,
+    pub partial_aggregates: bool,
+}
+
+impl Default for SimplifyOptions {
+    fn default() -> Self {
+        SimplifyOptions {
+            pushdown: true,
+            constraint_pruning: true,
+            startup_filters: true,
+            column_pruning: true,
+            partial_aggregates: true,
+        }
+    }
+}
+
+/// Run all enabled simplification passes.
+pub fn simplify(
+    tree: LogicalExpr,
+    opts: &SimplifyOptions,
+    registry: &mut ColumnRegistry,
+) -> LogicalExpr {
+    let tree = if opts.pushdown { push_filters(tree) } else { tree };
+    let tree = fold_constants(tree);
+    let tree = if opts.constraint_pruning { prune_static(tree) } else { tree };
+    let tree = if opts.startup_filters { introduce_startup_filters(tree) } else { tree };
+    let tree =
+        if opts.partial_aggregates { split_union_aggregates(tree, registry) } else { tree };
+    if opts.column_pruning {
+        prune_columns(tree, None)
+    } else {
+        tree
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pass: partial aggregation through UNION ALL (partitioned views)
+// ---------------------------------------------------------------------------
+
+/// Split `Aggregate(UnionAll(b1..bn))` into
+/// `AggregateGlobal(UnionAll(AggregatePartial(b1)..))`.
+///
+/// Applies to COUNT(*)/COUNT/SUM/MIN/MAX without DISTINCT; AVG and
+/// DISTINCT aggregates keep the original shape. The payoff is the
+/// partitioned-view case: each (possibly remote) member computes its
+/// partial rows, so one row per group crosses each link instead of the
+/// member's raw rows.
+fn split_union_aggregates(tree: LogicalExpr, registry: &mut ColumnRegistry) -> LogicalExpr {
+    let LogicalExpr { op, children } = tree;
+    let mut children: Vec<LogicalExpr> =
+        children.into_iter().map(|c| split_union_aggregates(c, registry)).collect();
+    let LogicalOp::Aggregate { group_by, aggs } = op else {
+        return LogicalExpr { op, children };
+    };
+    let rebuild = |children: Vec<LogicalExpr>, group_by: Vec<ColumnId>, aggs: Vec<AggCall>| {
+        LogicalExpr::new(LogicalOp::Aggregate { group_by, aggs }, children)
+    };
+    // Only directly over a union with at least two branches.
+    let is_union =
+        matches!(children[0].op, LogicalOp::UnionAll { .. }) && children[0].children.len() >= 2;
+    if !is_union {
+        return rebuild(children, group_by, aggs);
+    }
+    let splittable = aggs.iter().all(|a| {
+        !a.distinct
+            && matches!(
+                a.func,
+                AggFunc::CountStar | AggFunc::Count | AggFunc::Sum | AggFunc::Min | AggFunc::Max
+            )
+    });
+    if !splittable {
+        return rebuild(children, group_by, aggs);
+    }
+    let union = children.pop().expect("aggregate child");
+    let LogicalOp::UnionAll { output: union_out } = &union.op else { unreachable!() };
+    let union_out = union_out.clone();
+    // Group columns must be plain union outputs (they are, by construction
+    // of the binder: group exprs get pre-projected).
+    let group_positions: Option<Vec<usize>> =
+        group_by.iter().map(|g| union_out.iter().position(|u| u == g)).collect();
+    let Some(group_positions) = group_positions else {
+        return rebuild(vec![union], group_by, aggs);
+    };
+    // Fresh ids for the partial-aggregate columns flowing through the new
+    // union.
+    let partial_ids: Vec<ColumnId> = aggs
+        .iter()
+        .map(|a| {
+            let ty = match a.func {
+                AggFunc::CountStar | AggFunc::Count => DataType::Int,
+                _ => a
+                    .arg
+                    .as_ref()
+                    .and_then(|e| crate::decoder::static_type(e, registry))
+                    .unwrap_or(DataType::Float),
+            };
+            registry.allocate(format!("partial_{}", a.output.0), "", ty, true)
+        })
+        .collect();
+    // Per-branch partial aggregates.
+    let mut new_branches = Vec::with_capacity(union.children.len());
+    for branch in union.children {
+        let branch_cols = branch.output_columns();
+        let map_col = |id: ColumnId| -> ScalarExpr {
+            match union_out.iter().position(|u| *u == id) {
+                Some(pos) => ScalarExpr::Column(branch_cols[pos]),
+                None => ScalarExpr::Column(id),
+            }
+        };
+        let branch_groups: Vec<ColumnId> =
+            group_positions.iter().map(|&p| branch_cols[p]).collect();
+        let branch_aggs: Vec<AggCall> = aggs
+            .iter()
+            .map(|a| {
+                // Partial output ids are per-union-level; each branch can
+                // reuse them because UnionAll maps children positionally.
+                AggCall {
+                    func: a.func,
+                    arg: a.arg.as_ref().map(|e| e.map_columns(&mut |c| map_col(c))),
+                    distinct: false,
+                    output: registry.allocate("bpartial", "", DataType::Float, true),
+                }
+            })
+            .collect();
+        new_branches.push(branch.aggregate(branch_groups, branch_aggs));
+    }
+    // Mid-level union: group columns keep their original (view-level) ids,
+    // partial aggregates get the fresh ids.
+    let mut mid_out: Vec<ColumnId> = group_by.clone();
+    mid_out.extend(partial_ids.iter().copied());
+    let mid_union = LogicalExpr::new(LogicalOp::UnionAll { output: mid_out }, new_branches);
+    // Global combination.
+    let global_aggs: Vec<AggCall> = aggs
+        .iter()
+        .zip(&partial_ids)
+        .map(|(a, &pid)| {
+            let func = match a.func {
+                AggFunc::CountStar | AggFunc::Count | AggFunc::Sum => AggFunc::Sum,
+                AggFunc::Min => AggFunc::Min,
+                AggFunc::Max => AggFunc::Max,
+                AggFunc::Avg => unreachable!("filtered above"),
+            };
+            AggCall {
+                func,
+                arg: Some(ScalarExpr::Column(pid)),
+                distinct: false,
+                output: a.output,
+            }
+        })
+        .collect();
+    mid_union.aggregate(group_by, global_aggs)
+}
+
+// ---------------------------------------------------------------------------
+// pass 5: column pruning
+// ---------------------------------------------------------------------------
+
+/// Narrow base-table outputs to the columns actually consumed above.
+/// `required = None` means "everything" (at the root, the caller's own
+/// projection defines its needs).
+fn prune_columns(tree: LogicalExpr, required: Option<&BTreeSet<ColumnId>>) -> LogicalExpr {
+    let LogicalExpr { op, children } = tree;
+    match op {
+        LogicalOp::Project { outputs } => {
+            let mut needed = BTreeSet::new();
+            for (_, e) in &outputs {
+                needed.extend(e.columns());
+            }
+            let child = children.into_iter().next().expect("project child");
+            LogicalExpr::new(
+                LogicalOp::Project { outputs },
+                vec![prune_columns(child, Some(&needed))],
+            )
+        }
+        LogicalOp::Filter { predicate } => {
+            let needed = required.map(|r| {
+                let mut n = r.clone();
+                n.extend(predicate.columns());
+                n
+            });
+            let child = children.into_iter().next().expect("filter child");
+            let pruned = prune_columns(child, needed.as_ref());
+            // Keep Filter directly over Get (index fusion relies on that
+            // shape): hoist a pruning projection above the filter instead
+            // of leaving it between them.
+            if let LogicalOp::Project { outputs } = &pruned.op {
+                if matches!(pruned.children[0].op, LogicalOp::Get { .. }) {
+                    let outputs = outputs.clone();
+                    let get = pruned.children.into_iter().next().expect("project child");
+                    return LogicalExpr::new(LogicalOp::Filter { predicate }, vec![get])
+                        .project(outputs);
+                }
+            }
+            LogicalExpr::new(LogicalOp::Filter { predicate }, vec![pruned])
+        }
+        LogicalOp::StartupFilter { predicate } => {
+            // Startup predicates are column-free; pass requirements through.
+            let child = children.into_iter().next().expect("startup child");
+            LogicalExpr::new(
+                LogicalOp::StartupFilter { predicate },
+                vec![prune_columns(child, required)],
+            )
+        }
+        LogicalOp::Limit { n } => {
+            let child = children.into_iter().next().expect("limit child");
+            LogicalExpr::new(LogicalOp::Limit { n }, vec![prune_columns(child, required)])
+        }
+        LogicalOp::Join { kind, predicate } => {
+            let needed = required.map(|r| {
+                let mut n = r.clone();
+                if let Some(p) = &predicate {
+                    n.extend(p.columns());
+                }
+                n
+            });
+            let pruned: Vec<LogicalExpr> = children
+                .into_iter()
+                .map(|c| prune_columns(c, needed.as_ref()))
+                .collect();
+            LogicalExpr::new(LogicalOp::Join { kind, predicate }, pruned)
+        }
+        LogicalOp::Aggregate { group_by, aggs } => {
+            let mut needed: BTreeSet<ColumnId> = group_by.iter().copied().collect();
+            for a in &aggs {
+                if let Some(arg) = &a.arg {
+                    needed.extend(arg.columns());
+                }
+            }
+            let child = children.into_iter().next().expect("aggregate child");
+            LogicalExpr::new(
+                LogicalOp::Aggregate { group_by, aggs },
+                vec![prune_columns(child, Some(&needed))],
+            )
+        }
+        LogicalOp::UnionAll { output } => {
+            // Do not narrow the view's own output (positional mapping);
+            // each branch still needs the columns feeding all outputs, but
+            // a branch may prune anything beyond its own column list —
+            // which is exactly its full list, so simply recurse with the
+            // per-branch feeding columns.
+            let pruned: Vec<LogicalExpr> = children
+                .into_iter()
+                .map(|branch| {
+                    let branch_cols: BTreeSet<ColumnId> =
+                        branch.output_columns().into_iter().collect();
+                    prune_columns(branch, Some(&branch_cols))
+                })
+                .collect();
+            LogicalExpr::new(LogicalOp::UnionAll { output }, pruned)
+        }
+        LogicalOp::Get { meta, columns } => {
+            let get = LogicalExpr::new(LogicalOp::Get { meta, columns: columns.clone() }, vec![]);
+            match required {
+                Some(req) if !columns.iter().all(|c| req.contains(c)) => {
+                    // Keep canonical (schema) order among the kept columns.
+                    let kept: Vec<(ColumnId, ScalarExpr)> = columns
+                        .iter()
+                        .filter(|c| req.contains(c))
+                        .map(|&c| (c, ScalarExpr::Column(c)))
+                        .collect();
+                    if kept.is_empty() {
+                        // Something above still needs a row count (e.g.
+                        // COUNT(*)): keep one narrow column.
+                        let first = columns[0];
+                        return get.project(vec![(first, ScalarExpr::Column(first))]);
+                    }
+                    get.project(kept)
+                }
+                _ => get,
+            }
+        }
+        other => LogicalExpr { op: other, children },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pass 1: predicate pushdown
+// ---------------------------------------------------------------------------
+
+fn push_filters(tree: LogicalExpr) -> LogicalExpr {
+    let LogicalExpr { op, children } = tree;
+    // Rewrite children first.
+    let mut children: Vec<LogicalExpr> = children.into_iter().map(push_filters).collect();
+    match op {
+        LogicalOp::Filter { predicate } => {
+            let child = children.pop().expect("filter has one child");
+            push_predicate_into(predicate.conjuncts(), child)
+        }
+        other => LogicalExpr { op: other, children },
+    }
+}
+
+/// Push a set of conjuncts into `child`, leaving what cannot sink as a
+/// Filter above it.
+fn push_predicate_into(conjuncts: Vec<ScalarExpr>, child: LogicalExpr) -> LogicalExpr {
+    match child.op.clone() {
+        LogicalOp::Filter { predicate } => {
+            // Merge with the lower filter and retry as one unit.
+            let mut all = predicate.conjuncts();
+            all.extend(conjuncts);
+            let grand = child.children.into_iter().next().expect("filter has one child");
+            push_predicate_into(all, grand)
+        }
+        LogicalOp::Project { outputs } => {
+            // Substitute projection definitions into the predicate, then
+            // push below.
+            let defs: HashMap<ColumnId, ScalarExpr> = outputs.iter().cloned().collect();
+            let substituted: Vec<ScalarExpr> = conjuncts
+                .iter()
+                .map(|c| {
+                    c.map_columns(&mut |id| {
+                        defs.get(&id).cloned().unwrap_or(ScalarExpr::Column(id))
+                    })
+                })
+                .collect();
+            let grand = child.children.into_iter().next().expect("project has one child");
+            let pushed = push_predicate_into(substituted, grand);
+            LogicalExpr::new(LogicalOp::Project { outputs }, vec![pushed])
+        }
+        LogicalOp::Join { kind, predicate } => {
+            let mut kids = child.children.into_iter();
+            let left = kids.next().expect("join has two children");
+            let right = kids.next().expect("join has two children");
+            let left_cols: BTreeSet<ColumnId> = left.output_columns().into_iter().collect();
+            let right_cols: BTreeSet<ColumnId> = right.output_columns().into_iter().collect();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut to_join = Vec::new();
+            let mut stay = Vec::new();
+            for c in conjuncts {
+                let cols = c.columns();
+                let only_left = cols.iter().all(|x| left_cols.contains(x));
+                let only_right = cols.iter().all(|x| right_cols.contains(x));
+                match kind {
+                    JoinKind::Inner | JoinKind::Cross => {
+                        if only_left && !cols.is_empty() {
+                            to_left.push(c);
+                        } else if only_right && !cols.is_empty() {
+                            to_right.push(c);
+                        } else {
+                            to_join.push(c);
+                        }
+                    }
+                    JoinKind::Semi | JoinKind::Anti => {
+                        // Output is left-only; all filter conjuncts reference
+                        // left columns (or are column-free).
+                        if only_left && !cols.is_empty() {
+                            to_left.push(c);
+                        } else {
+                            stay.push(c);
+                        }
+                    }
+                    JoinKind::LeftOuter => {
+                        if only_left && !cols.is_empty() {
+                            to_left.push(c);
+                        } else {
+                            // Pushing right/mixed predicates through a left
+                            // outer join is not semantics-preserving.
+                            stay.push(c);
+                        }
+                    }
+                }
+            }
+            let left = if to_left.is_empty() {
+                left
+            } else {
+                push_predicate_into(to_left, left)
+            };
+            let right = if to_right.is_empty() {
+                right
+            } else {
+                push_predicate_into(to_right, right)
+            };
+            // Merge join-spanning conjuncts into the join predicate; a
+            // cross join gaining a predicate becomes an inner join.
+            let (kind, predicate) = if to_join.is_empty() {
+                (kind, predicate)
+            } else {
+                let mut all = predicate.map(|p| p.conjuncts()).unwrap_or_default();
+                all.extend(to_join);
+                let kind = if kind == JoinKind::Cross { JoinKind::Inner } else { kind };
+                (kind, ScalarExpr::and(all))
+            };
+            let join = LogicalExpr::join(kind, left, right, predicate);
+            wrap_filter(join, stay)
+        }
+        LogicalOp::UnionAll { output } => {
+            // Clone the predicate into every branch, remapping the view's
+            // output columns to each member's columns by position.
+            let new_children: Vec<LogicalExpr> = child
+                .children
+                .into_iter()
+                .map(|branch| {
+                    let branch_cols = branch.output_columns();
+                    let remapped: Vec<ScalarExpr> = conjuncts
+                        .iter()
+                        .map(|c| {
+                            c.map_columns(&mut |id| {
+                                match output.iter().position(|&o| o == id) {
+                                    Some(pos) => ScalarExpr::Column(branch_cols[pos]),
+                                    None => ScalarExpr::Column(id),
+                                }
+                            })
+                        })
+                        .collect();
+                    push_predicate_into(remapped, branch)
+                })
+                .collect();
+            LogicalExpr::new(LogicalOp::UnionAll { output }, new_children)
+        }
+        // Leaves and everything else: the filter stays here.
+        _ => wrap_filter(child, conjuncts),
+    }
+}
+
+fn wrap_filter(child: LogicalExpr, conjuncts: Vec<ScalarExpr>) -> LogicalExpr {
+    match ScalarExpr::and(conjuncts) {
+        Some(p) => child.filter(p),
+        None => child,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pass 2: constant folding
+// ---------------------------------------------------------------------------
+
+/// Evaluate a literal-only boolean expression; `None` when it references
+/// columns/params or evaluates to UNKNOWN.
+fn const_eval(e: &ScalarExpr) -> Option<bool> {
+    match e {
+        ScalarExpr::Literal(Value::Bool(b)) => Some(*b),
+        ScalarExpr::Cmp { op, left, right } => {
+            let (ScalarExpr::Literal(l), ScalarExpr::Literal(r)) = (left.as_ref(), right.as_ref())
+            else {
+                return None;
+            };
+            let ord = l.sql_cmp(r)?;
+            Some(match op {
+                CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                CmpOp::Neq => ord != std::cmp::Ordering::Equal,
+                CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                CmpOp::Ge => ord != std::cmp::Ordering::Less,
+            })
+        }
+        ScalarExpr::Not(inner) => const_eval(inner).map(|b| !b),
+        ScalarExpr::And(list) => {
+            let vals: Vec<Option<bool>> = list.iter().map(const_eval).collect();
+            if vals.contains(&Some(false)) {
+                Some(false)
+            } else if vals.iter().all(|v| *v == Some(true)) {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        ScalarExpr::Or(list) => {
+            let vals: Vec<Option<bool>> = list.iter().map(const_eval).collect();
+            if vals.contains(&Some(true)) {
+                Some(true)
+            } else if vals.iter().all(|v| *v == Some(false)) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn fold_constants(tree: LogicalExpr) -> LogicalExpr {
+    let LogicalExpr { op, children } = tree;
+    let children: Vec<LogicalExpr> = children.into_iter().map(fold_constants).collect();
+    if let LogicalOp::Filter { predicate } = &op {
+        let mut kept = Vec::new();
+        for c in predicate.conjuncts() {
+            match const_eval(&c) {
+                Some(true) => {}
+                Some(false) => {
+                    let columns = children[0].output_columns();
+                    return LogicalExpr::new(LogicalOp::EmptyGet { columns }, vec![]);
+                }
+                None => kept.push(c),
+            }
+        }
+        let child = children.into_iter().next().expect("filter has one child");
+        return wrap_filter(child, kept);
+    }
+    LogicalExpr { op, children }
+}
+
+// ---------------------------------------------------------------------------
+// pass 3: static partition pruning (constraint property framework)
+// ---------------------------------------------------------------------------
+
+fn prune_static(tree: LogicalExpr) -> LogicalExpr {
+    let LogicalExpr { op, children } = tree;
+    let mut children: Vec<LogicalExpr> = children.into_iter().map(prune_static).collect();
+    match op {
+        LogicalOp::Filter { predicate } => {
+            let child = &children[0];
+            // Contradiction test: for each referenced column, intersect the
+            // predicate's implied domain with the child's CHECK domain.
+            if let Some(domains) = get_check_domains(child) {
+                for col in predicate.columns() {
+                    if let Some(check) = domains.get(&col) {
+                        let pred_dom = predicate.domain_for(col);
+                        if !check.intersects(&pred_dom) {
+                            let columns = child.output_columns();
+                            return LogicalExpr::new(LogicalOp::EmptyGet { columns }, vec![]);
+                        }
+                    }
+                }
+            }
+            LogicalExpr::new(LogicalOp::Filter { predicate }, children)
+        }
+        LogicalOp::UnionAll { output } => {
+            let live: Vec<LogicalExpr> = children
+                .drain(..)
+                .filter(|c| !matches!(c.op, LogicalOp::EmptyGet { .. }))
+                .collect();
+            match live.len() {
+                0 => LogicalExpr::new(LogicalOp::EmptyGet { columns: output }, vec![]),
+                // A single surviving member needs no union: a projection
+                // renames its columns to the view's outputs, leaving the
+                // member subtree free to be pushed whole to its server.
+                1 => {
+                    let branch = live.into_iter().next().expect("len checked");
+                    let branch_cols = branch.output_columns();
+                    let outputs = output
+                        .iter()
+                        .zip(branch_cols)
+                        .map(|(&o, b)| (o, ScalarExpr::Column(b)))
+                        .collect();
+                    branch.project(outputs)
+                }
+                _ => LogicalExpr::new(LogicalOp::UnionAll { output }, live),
+            }
+        }
+        LogicalOp::Join { kind, .. }
+            if matches!(kind, JoinKind::Inner | JoinKind::Cross | JoinKind::Semi)
+                && children.iter().any(|c| matches!(c.op, LogicalOp::EmptyGet { .. })) =>
+        {
+            let columns = LogicalExpr { op: LogicalOp::Join { kind, predicate: None }, children }
+                .output_columns();
+            LogicalExpr::new(LogicalOp::EmptyGet { columns }, vec![])
+        }
+        other => LogicalExpr { op: other, children },
+    }
+}
+
+/// CHECK-constraint domains visible at `tree` without running full property
+/// derivation: only `Get` (possibly under filters/startup filters) exposes
+/// them here.
+fn get_check_domains(tree: &LogicalExpr) -> Option<HashMap<ColumnId, dhqp_types::IntervalSet>> {
+    match &tree.op {
+        LogicalOp::Get { meta, .. } => Some(
+            meta.checks
+                .iter()
+                .map(|(pos, dom)| (meta.column_id(*pos), dom.clone()))
+                .collect(),
+        ),
+        LogicalOp::Filter { .. } | LogicalOp::StartupFilter { .. } => {
+            get_check_domains(&tree.children[0])
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pass 4: startup filters for runtime pruning
+// ---------------------------------------------------------------------------
+
+fn introduce_startup_filters(tree: LogicalExpr) -> LogicalExpr {
+    let LogicalExpr { op, children } = tree;
+    let children: Vec<LogicalExpr> = children.into_iter().map(introduce_startup_filters).collect();
+    if let LogicalOp::Filter { predicate } = &op {
+        if let Some(domains) = get_check_domains(&children[0]) {
+            let mut startup_preds = Vec::new();
+            for conj in predicate.conjuncts() {
+                // col = @param (either operand order) over a CHECK-constrained
+                // column: the subtree can only produce rows when the
+                // parameter falls in the column's domain.
+                if let ScalarExpr::Cmp { op: CmpOp::Eq, left, right } = &conj {
+                    let pair = match (left.as_ref(), right.as_ref()) {
+                        (ScalarExpr::Column(c), ScalarExpr::Param(p))
+                        | (ScalarExpr::Param(p), ScalarExpr::Column(c)) => Some((*c, p.clone())),
+                        _ => None,
+                    };
+                    if let Some((col, param)) = pair {
+                        if let Some(domain) = domains.get(&col) {
+                            startup_preds.push(ScalarExpr::ParamInDomain {
+                                param,
+                                domain: domain.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            if let Some(p) = ScalarExpr::and(startup_preds) {
+                let filtered = LogicalExpr { op, children };
+                return LogicalExpr::new(LogicalOp::StartupFilter { predicate: p }, vec![filtered]);
+            }
+        }
+    }
+    LogicalExpr { op, children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{test_table_meta, Locality, TableMeta};
+    use crate::props::ColumnRegistry;
+    use dhqp_types::{DataType, Interval, IntervalSet};
+    use std::sync::Arc;
+
+    fn two_tables() -> (ColumnRegistry, Arc<TableMeta>, Arc<TableMeta>) {
+        let mut reg = ColumnRegistry::new();
+        let a = test_table_meta(
+            0,
+            "a",
+            Locality::Local,
+            &[("x", DataType::Int), ("y", DataType::Int)],
+            &mut reg,
+            100,
+        );
+        let b = test_table_meta(1, "b", Locality::Local, &[("z", DataType::Int)], &mut reg, 100);
+        (reg, a, b)
+    }
+
+    fn eq_cc(l: ColumnId, r: ColumnId) -> ScalarExpr {
+        ScalarExpr::eq(ScalarExpr::Column(l), ScalarExpr::Column(r))
+    }
+
+    fn cmp_ci(c: ColumnId, op: CmpOp, v: i64) -> ScalarExpr {
+        ScalarExpr::cmp(op, ScalarExpr::Column(c), ScalarExpr::literal(Value::Int(v)))
+    }
+
+    #[test]
+    fn filter_splits_and_pushes_into_join_sides() {
+        let (_, a, b) = two_tables();
+        let pred = ScalarExpr::and(vec![
+            cmp_ci(a.column_id(0), CmpOp::Gt, 5),   // left only
+            cmp_ci(b.column_id(0), CmpOp::Lt, 9),   // right only
+            eq_cc(a.column_id(1), b.column_id(0)),  // join-spanning
+        ])
+        .unwrap();
+        let tree = LogicalExpr::join(
+            JoinKind::Cross,
+            LogicalExpr::get(Arc::clone(&a)),
+            LogicalExpr::get(Arc::clone(&b)),
+            None,
+        )
+        .filter(pred);
+        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        // Cross join became inner with the spanning conjunct.
+        match &out.op {
+            LogicalOp::Join { kind, predicate } => {
+                assert_eq!(*kind, JoinKind::Inner);
+                assert!(predicate.is_some());
+            }
+            other => panic!("expected join at root, got {other:?}"),
+        }
+        // Each side gained its pushed filter.
+        assert!(matches!(out.children[0].op, LogicalOp::Filter { .. }));
+        assert!(matches!(out.children[1].op, LogicalOp::Filter { .. }));
+    }
+
+    #[test]
+    fn left_outer_join_keeps_right_side_predicates_above() {
+        let (_, a, b) = two_tables();
+        let tree = LogicalExpr::join(
+            JoinKind::LeftOuter,
+            LogicalExpr::get(Arc::clone(&a)),
+            LogicalExpr::get(Arc::clone(&b)),
+            Some(eq_cc(a.column_id(1), b.column_id(0))),
+        )
+        .filter(cmp_ci(b.column_id(0), CmpOp::Gt, 3));
+        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        assert!(
+            matches!(out.op, LogicalOp::Filter { .. }),
+            "right-side predicate must stay above the outer join:\n{}",
+            out.display_tree()
+        );
+    }
+
+    #[test]
+    fn adjacent_filters_merge() {
+        let (_, a, _) = two_tables();
+        let tree = LogicalExpr::get(Arc::clone(&a))
+            .filter(cmp_ci(a.column_id(0), CmpOp::Gt, 1))
+            .filter(cmp_ci(a.column_id(0), CmpOp::Lt, 10));
+        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        match &out.op {
+            LogicalOp::Filter { predicate } => assert_eq!(predicate.conjuncts().len(), 2),
+            other => panic!("expected single merged filter, got {other:?}"),
+        }
+        assert!(matches!(out.children[0].op, LogicalOp::Get { .. }));
+    }
+
+    #[test]
+    fn predicate_substitutes_through_project() {
+        let (mut reg, a, _) = two_tables();
+        let derived = reg.allocate("double_x", "", DataType::Int, true);
+        let tree = LogicalExpr::get(Arc::clone(&a))
+            .project(vec![(
+                derived,
+                ScalarExpr::Arith {
+                    op: crate::scalar::ArithOp::Mul,
+                    left: Box::new(ScalarExpr::Column(a.column_id(0))),
+                    right: Box::new(ScalarExpr::literal(Value::Int(2))),
+                },
+            )])
+            .filter(cmp_ci(derived, CmpOp::Gt, 10));
+        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        assert!(matches!(out.op, LogicalOp::Project { .. }));
+        // Column pruning may add an extra pass-through projection; the
+        // filter must sit somewhere below the root project, directly over
+        // the Get, with the substituted base-column predicate.
+        let mut node = &out.children[0];
+        while let LogicalOp::Project { .. } = &node.op {
+            node = &node.children[0];
+        }
+        match &node.op {
+            LogicalOp::Filter { predicate } => {
+                assert!(predicate.columns().contains(&a.column_id(0)));
+                assert!(!predicate.columns().contains(&derived));
+                assert!(matches!(node.children[0].op, LogicalOp::Get { .. }));
+            }
+            other => panic!("filter should sink below project, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_false_folds_to_empty() {
+        let (_, a, _) = two_tables();
+        let tree = LogicalExpr::get(Arc::clone(&a)).filter(ScalarExpr::cmp(
+            CmpOp::Eq,
+            ScalarExpr::literal(Value::Int(1)),
+            ScalarExpr::literal(Value::Int(2)),
+        ));
+        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        assert!(matches!(out.op, LogicalOp::EmptyGet { .. }));
+        // TRUE conjuncts vanish.
+        let tree = LogicalExpr::get(Arc::clone(&a)).filter(ScalarExpr::cmp(
+            CmpOp::Lt,
+            ScalarExpr::literal(Value::Int(1)),
+            ScalarExpr::literal(Value::Int(2)),
+        ));
+        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        assert!(matches!(out.op, LogicalOp::Get { .. }));
+    }
+
+    fn partitioned_view(reg: &mut ColumnRegistry) -> (LogicalExpr, Vec<ColumnId>, Vec<Arc<TableMeta>>) {
+        // Three partitions of k: [0,9], [10,19], [20,29].
+        let mut members = Vec::new();
+        for i in 0..3u32 {
+            let mut m = (*test_table_meta(
+                i,
+                &format!("p{i}"),
+                Locality::Local,
+                &[("k", DataType::Int)],
+                reg,
+                100,
+            ))
+            .clone();
+            m.checks = vec![(
+                0,
+                IntervalSet::single(Interval::between(
+                    Value::Int(i as i64 * 10),
+                    Value::Int(i as i64 * 10 + 9),
+                )),
+            )];
+            members.push(Arc::new(m));
+        }
+        let out = vec![reg.allocate("k", "v", DataType::Int, true)];
+        let union = LogicalExpr::new(
+            LogicalOp::UnionAll { output: out.clone() },
+            members.iter().map(|m| LogicalExpr::get(Arc::clone(m))).collect(),
+        );
+        (union, out, members)
+    }
+
+    #[test]
+    fn static_partition_pruning_eliminates_branches() {
+        let mut reg = ColumnRegistry::new();
+        let (view, out, _) = partitioned_view(&mut reg);
+        // k = 15 touches only partition 1; a single survivor collapses to a
+        // renaming projection over the member (so the member subtree can be
+        // pushed whole).
+        let tree = view.filter(cmp_ci(out[0], CmpOp::Eq, 15));
+        let result = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let mut node = &result;
+        while let LogicalOp::Project { .. } = &node.op {
+            node = &node.children[0];
+        }
+        match &node.op {
+            LogicalOp::Filter { .. } => {
+                let LogicalOp::Get { meta, .. } = &node.children[0].op else {
+                    panic!("filter over member get: {}", result.display_tree());
+                };
+                assert_eq!(meta.alias, "p1");
+            }
+            other => panic!("expected collapsed member access, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruning_disabled_keeps_all_branches() {
+        let mut reg = ColumnRegistry::new();
+        let (view, out, _) = partitioned_view(&mut reg);
+        let tree = view.filter(cmp_ci(out[0], CmpOp::Eq, 15));
+        let opts = SimplifyOptions { constraint_pruning: false, ..Default::default() };
+        let result = simplify(tree, &opts, &mut ColumnRegistry::new());
+        match &result.op {
+            LogicalOp::UnionAll { .. } => assert_eq!(result.children.len(), 3),
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fully_contradictory_filter_prunes_whole_view() {
+        let mut reg = ColumnRegistry::new();
+        let (view, out, _) = partitioned_view(&mut reg);
+        let tree = view.filter(cmp_ci(out[0], CmpOp::Eq, 999));
+        let result = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        assert!(matches!(result.op, LogicalOp::EmptyGet { .. }));
+    }
+
+    #[test]
+    fn parameterized_filter_gains_startup_guards() {
+        let mut reg = ColumnRegistry::new();
+        let (view, out, members) = partitioned_view(&mut reg);
+        // k = @k: unknown at compile time — every branch survives but gets
+        // a startup filter guard.
+        let tree = view.filter(ScalarExpr::eq(
+            ScalarExpr::Column(out[0]),
+            ScalarExpr::Param("k".into()),
+        ));
+        let result = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        match &result.op {
+            LogicalOp::UnionAll { .. } => {
+                assert_eq!(result.children.len(), 3);
+                for (i, branch) in result.children.iter().enumerate() {
+                    match &branch.op {
+                        LogicalOp::StartupFilter { predicate } => {
+                            let ScalarExpr::ParamInDomain { param, domain } = predicate else {
+                                panic!("expected ParamInDomain, got {predicate}");
+                            };
+                            assert_eq!(param, "k");
+                            assert_eq!(domain, &members[i].checks[0].1);
+                        }
+                        other => panic!("branch {i} missing startup filter: {other:?}"),
+                    }
+                }
+            }
+            other => panic!("expected union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn column_pruning_narrows_gets() {
+        let (_, a, b) = two_tables();
+        // SELECT a.x FROM a, b WHERE a.y = b.z — a needs (x, y), b needs z.
+        let join = LogicalExpr::join(
+            JoinKind::Inner,
+            LogicalExpr::get(Arc::clone(&a)),
+            LogicalExpr::get(Arc::clone(&b)),
+            Some(eq_cc(a.column_id(1), b.column_id(0))),
+        );
+        let tree = join.project(vec![(a.column_id(0), ScalarExpr::Column(a.column_id(0)))]);
+        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        // `a` keeps both columns (x projected, y joins); `b` keeps its one.
+        let LogicalOp::Project { .. } = out.op else { panic!("root project") };
+        let join = &out.children[0];
+        assert!(matches!(join.op, LogicalOp::Join { .. }));
+        // No spurious projection over a (it needs all its columns)...
+        assert!(matches!(join.children[0].op, LogicalOp::Get { .. }));
+        // ...and none over b either (single column, fully needed).
+        assert!(matches!(join.children[1].op, LogicalOp::Get { .. }));
+
+        // Narrow case: only a.x consumed anywhere.
+        let tree = LogicalExpr::join(
+            JoinKind::Inner,
+            LogicalExpr::get(Arc::clone(&a)),
+            LogicalExpr::get(Arc::clone(&b)),
+            Some(eq_cc(a.column_id(0), b.column_id(0))),
+        )
+        .project(vec![(a.column_id(0), ScalarExpr::Column(a.column_id(0)))]);
+        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let join = &out.children[0];
+        match &join.children[0].op {
+            LogicalOp::Project { outputs } => {
+                assert_eq!(outputs.len(), 1, "a.y is not consumed and must be pruned");
+                assert_eq!(outputs[0].0, a.column_id(0));
+            }
+            other => panic!("expected pruning projection over a, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_star_keeps_one_column() {
+        let (mut reg, a, _) = two_tables();
+        let out_col = reg.allocate("cnt", "", DataType::Int, false);
+        let agg = LogicalExpr::get(Arc::clone(&a)).aggregate(
+            vec![],
+            vec![crate::scalar::AggCall {
+                func: crate::scalar::AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+                output: out_col,
+            }],
+        );
+        let tree = agg.project(vec![(out_col, ScalarExpr::Column(out_col))]);
+        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        // COUNT(*) needs no columns; pruning must still leave one so rows
+        // can be counted.
+        let agg_node = &out.children[0];
+        match &agg_node.children[0].op {
+            LogicalOp::Project { outputs } => assert_eq!(outputs.len(), 1),
+            other => panic!("expected single-column projection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semi_join_left_predicates_push_left() {
+        let (_, a, b) = two_tables();
+        let tree = LogicalExpr::join(
+            JoinKind::Semi,
+            LogicalExpr::get(Arc::clone(&a)),
+            LogicalExpr::get(Arc::clone(&b)),
+            Some(eq_cc(a.column_id(1), b.column_id(0))),
+        )
+        .filter(cmp_ci(a.column_id(0), CmpOp::Gt, 2));
+        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        assert!(matches!(out.op, LogicalOp::Join { kind: JoinKind::Semi, .. }));
+        assert!(matches!(out.children[0].op, LogicalOp::Filter { .. }));
+    }
+}

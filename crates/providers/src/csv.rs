@@ -1,0 +1,206 @@
+//! A *simple provider* (paper §3.3): comma-separated text files exposed as
+//! named rowsets. No command object — "DHQP provides all of the querying
+//! functionality on top of this base provider".
+
+use dhqp_oledb::{
+    ColumnInfo, DataSource, MemRowset, ProviderCapabilities, Rowset, Session, TableInfo,
+};
+use dhqp_types::{value::parse_date, DataType, DhqpError, Result, Row, Schema, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A parsed CSV "file".
+#[derive(Debug, Clone)]
+struct CsvTable {
+    info: TableInfo,
+    rows: Vec<Row>,
+}
+
+/// Data source over a set of in-memory CSV files (file name → table name).
+pub struct CsvProvider {
+    name: String,
+    tables: Arc<BTreeMap<String, CsvTable>>,
+}
+
+impl CsvProvider {
+    /// Create a provider; each `(name, text)` pair is one CSV file with a
+    /// header row. Column types are inferred from the data: INT, FLOAT,
+    /// DATE (ISO), else VARCHAR. Empty fields are NULL.
+    pub fn new(name: impl Into<String>, files: &[(&str, &str)]) -> Result<Self> {
+        let mut tables = BTreeMap::new();
+        for (fname, text) in files {
+            let table = parse_csv(fname, text)?;
+            tables.insert(fname.to_lowercase(), table);
+        }
+        Ok(CsvProvider { name: name.into(), tables: Arc::new(tables) })
+    }
+}
+
+fn split_line(line: &str) -> Vec<String> {
+    // Minimal quoting support: "a,b" fields with doubled quotes.
+    let mut out = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                field.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    out.push(field);
+    out
+}
+
+fn infer_type(samples: &[&str]) -> DataType {
+    let non_empty: Vec<&&str> = samples.iter().filter(|s| !s.is_empty()).collect();
+    if non_empty.is_empty() {
+        return DataType::Str;
+    }
+    if non_empty.iter().all(|s| s.parse::<i64>().is_ok()) {
+        return DataType::Int;
+    }
+    if non_empty.iter().all(|s| s.parse::<f64>().is_ok()) {
+        return DataType::Float;
+    }
+    if non_empty.iter().all(|s| parse_date(s).is_some()) {
+        return DataType::Date;
+    }
+    DataType::Str
+}
+
+fn parse_value(text: &str, ty: DataType) -> Result<Value> {
+    if text.is_empty() {
+        return Ok(Value::Null);
+    }
+    Value::Str(text.to_string()).cast(ty)
+}
+
+fn parse_csv(name: &str, text: &str) -> Result<CsvTable> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| DhqpError::Provider(format!("csv file '{name}' is empty")))?;
+    let columns_raw = split_line(header);
+    let data: Vec<Vec<String>> = lines.map(split_line).collect();
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != columns_raw.len() {
+            return Err(DhqpError::Provider(format!(
+                "csv file '{name}' line {} has {} fields, expected {}",
+                i + 2,
+                row.len(),
+                columns_raw.len()
+            )));
+        }
+    }
+    let mut columns = Vec::new();
+    for (c, col_name) in columns_raw.iter().enumerate() {
+        let samples: Vec<&str> = data.iter().map(|r| r[c].as_str()).collect();
+        columns.push(ColumnInfo::new(col_name.trim(), infer_type(&samples)));
+    }
+    let rows = data
+        .iter()
+        .enumerate()
+        .map(|(i, fields)| {
+            let values = fields
+                .iter()
+                .zip(&columns)
+                .map(|(f, col)| parse_value(f.trim(), col.data_type))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(Row::with_bookmark(values, i as u64))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let info = TableInfo {
+        name: name.to_string(),
+        columns,
+        indexes: Vec::new(),
+        cardinality: Some(rows.len() as u64),
+    };
+    Ok(CsvTable { info, rows })
+}
+
+impl DataSource for CsvProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capabilities(&self) -> ProviderCapabilities {
+        ProviderCapabilities::simple("DHQP-CSV")
+    }
+
+    fn tables(&self) -> Result<Vec<TableInfo>> {
+        Ok(self.tables.values().map(|t| t.info.clone()).collect())
+    }
+
+    fn create_session(&self) -> Result<Box<dyn Session>> {
+        Ok(Box::new(CsvSession { tables: Arc::clone(&self.tables) }))
+    }
+}
+
+struct CsvSession {
+    tables: Arc<BTreeMap<String, CsvTable>>,
+}
+
+impl Session for CsvSession {
+    fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
+        let t = self
+            .tables
+            .get(&table.to_lowercase())
+            .ok_or_else(|| DhqpError::Catalog(format!("no csv file '{table}'")))?;
+        let schema: Schema = t.info.schema();
+        Ok(Box::new(MemRowset::new(schema, t.rows.clone())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_oledb::{ProviderClass, RowsetExt};
+
+    const SAMPLE: &str = "id,name,score,joined\n1,alice,3.5,2004-01-15\n2,\"bob, jr\",4.0,2004-02-01\n3,carol,,2004-03-10\n";
+
+    fn provider() -> CsvProvider {
+        CsvProvider::new("files", &[("people.csv", SAMPLE)]).unwrap()
+    }
+
+    #[test]
+    fn schema_inference() {
+        let p = provider();
+        let t = p.table("people.csv").unwrap();
+        let types: Vec<DataType> = t.columns.iter().map(|c| c.data_type).collect();
+        assert_eq!(types, vec![DataType::Int, DataType::Str, DataType::Float, DataType::Date]);
+        assert_eq!(t.cardinality, Some(3));
+    }
+
+    #[test]
+    fn quoted_fields_and_nulls() {
+        let p = provider();
+        let mut s = p.create_session().unwrap();
+        let rows = s.open_rowset("PEOPLE.CSV").unwrap().collect_rows().unwrap();
+        assert_eq!(rows[1].get(1), &Value::Str("bob, jr".into()));
+        assert!(rows[2].get(2).is_null());
+        assert_eq!(rows[0].bookmark, Some(0));
+    }
+
+    #[test]
+    fn simple_provider_class_no_command() {
+        let p = provider();
+        assert_eq!(p.capabilities().class(), ProviderClass::Simple);
+        let mut s = p.create_session().unwrap();
+        assert!(s.create_command().is_err());
+        assert!(s.open_rowset("missing.csv").is_err());
+    }
+
+    #[test]
+    fn malformed_csv_errors() {
+        assert!(CsvProvider::new("f", &[("bad.csv", "a,b\n1\n")]).is_err());
+        assert!(CsvProvider::new("f", &[("empty.csv", "")]).is_err());
+    }
+}

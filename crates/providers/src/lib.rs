@@ -1,0 +1,26 @@
+//! Heterogeneous data-source providers (paper §2, §3.3).
+//!
+//! One provider per source family the paper's scenarios use:
+//!
+//! | Provider | §3.3 class | Stands in for |
+//! |---|---|---|
+//! | [`csv::CsvProvider`] | simple (rowsets only) | text files / ISAM data |
+//! | [`spreadsheet::SpreadsheetProvider`] | simple | Microsoft Excel |
+//! | [`mail::MailboxProvider`] | simple | Exchange mail files (§2.4) |
+//! | [`minisql::MiniSqlProvider`] | SQL (Minimum or ODBC Core) | Microsoft Access / desktop DBMSs |
+//!
+//! The fully capable "remote SQL Server" provider lives in the `dhqp` core
+//! crate (it wraps a whole engine); the full-text provider lives in
+//! `dhqp-fulltext`. Wrap any of these in
+//! `dhqp_netsim::NetworkedDataSource` to place them across a simulated
+//! link.
+
+pub mod csv;
+pub mod mail;
+pub mod minisql;
+pub mod spreadsheet;
+
+pub use csv::CsvProvider;
+pub use mail::{MailMessage, MailboxProvider};
+pub use minisql::MiniSqlProvider;
+pub use spreadsheet::{Sheet, SpreadsheetProvider};

@@ -1,0 +1,251 @@
+//! The mailbox provider — the Exchange/mail-file source of the paper's
+//! §2.4 salesman scenario: "MakeTable is a table-valued function that
+//! transforms the mail file (d:\mail\smith.mmf) into a stream of rows, each
+//! representing a message."
+//!
+//! The mail-file format here is a small mbox-like text format:
+//!
+//! ```text
+//! Msg-Id: <id>
+//! From: alice@example.com
+//! To: smith@corp.example
+//! Date: 2004-06-12
+//! Subject: order status
+//! In-Reply-To: <other-id>      (optional)
+//!
+//! body text until the next "Msg-Id:" line
+//! ```
+
+use dhqp_oledb::{
+    ColumnInfo, DataSource, MemRowset, ProviderCapabilities, Rowset, Session, TableInfo,
+};
+use dhqp_types::{value::parse_date, DataType, DhqpError, Result, Row, Schema, Value};
+use std::sync::Arc;
+
+/// One parsed message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MailMessage {
+    pub msg_id: String,
+    pub from_addr: String,
+    pub to_addr: String,
+    /// Days since epoch.
+    pub date: i32,
+    pub subject: String,
+    pub in_reply_to: Option<String>,
+    pub body: String,
+}
+
+impl MailMessage {
+    fn to_row(&self, bookmark: u64) -> Row {
+        Row::with_bookmark(
+            vec![
+                Value::Str(self.msg_id.clone()),
+                Value::Str(self.from_addr.clone()),
+                Value::Str(self.to_addr.clone()),
+                Value::Date(self.date),
+                Value::Str(self.subject.clone()),
+                self.in_reply_to.clone().map_or(Value::Null, Value::Str),
+                Value::Str(self.body.clone()),
+            ],
+            bookmark,
+        )
+    }
+}
+
+/// Columns of the `messages` rowset.
+fn message_columns() -> Vec<ColumnInfo> {
+    vec![
+        ColumnInfo::not_null("msgid", DataType::Str),
+        ColumnInfo::not_null("from_addr", DataType::Str),
+        ColumnInfo::not_null("to_addr", DataType::Str),
+        ColumnInfo::not_null("date", DataType::Date),
+        ColumnInfo::new("subject", DataType::Str),
+        ColumnInfo::new("inreplyto", DataType::Str),
+        ColumnInfo::new("body", DataType::Str),
+    ]
+}
+
+/// Parse a mail file's text into messages.
+pub fn parse_mail_file(text: &str) -> Result<Vec<MailMessage>> {
+    let mut messages = Vec::new();
+    let mut current: Option<MailMessage> = None;
+    let mut in_body = false;
+    for line in text.lines() {
+        if let Some(id) = line.strip_prefix("Msg-Id:") {
+            if let Some(m) = current.take() {
+                messages.push(m);
+            }
+            current = Some(MailMessage {
+                msg_id: id.trim().to_string(),
+                from_addr: String::new(),
+                to_addr: String::new(),
+                date: 0,
+                subject: String::new(),
+                in_reply_to: None,
+                body: String::new(),
+            });
+            in_body = false;
+            continue;
+        }
+        let Some(m) = current.as_mut() else {
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Err(DhqpError::Provider("mail file must start with a Msg-Id header".into()));
+        };
+        if in_body {
+            if !m.body.is_empty() {
+                m.body.push(' ');
+            }
+            m.body.push_str(line.trim());
+        } else if let Some(v) = line.strip_prefix("From:") {
+            m.from_addr = v.trim().to_string();
+        } else if let Some(v) = line.strip_prefix("To:") {
+            m.to_addr = v.trim().to_string();
+        } else if let Some(v) = line.strip_prefix("Date:") {
+            m.date = parse_date(v.trim()).ok_or_else(|| {
+                DhqpError::Provider(format!("bad Date header in message {}", m.msg_id))
+            })?;
+        } else if let Some(v) = line.strip_prefix("Subject:") {
+            m.subject = v.trim().to_string();
+        } else if let Some(v) = line.strip_prefix("In-Reply-To:") {
+            m.in_reply_to = Some(v.trim().to_string());
+        } else if line.trim().is_empty() {
+            in_body = true;
+        } else {
+            return Err(DhqpError::Provider(format!(
+                "unknown mail header '{line}' in message {}",
+                m.msg_id
+            )));
+        }
+    }
+    if let Some(m) = current {
+        messages.push(m);
+    }
+    Ok(messages)
+}
+
+/// Data source over one mail file, exposing the `messages` rowset.
+pub struct MailboxProvider {
+    /// The mail file path this provider was "opened" on.
+    path: String,
+    messages: Arc<Vec<MailMessage>>,
+}
+
+impl MailboxProvider {
+    pub fn from_text(path: impl Into<String>, text: &str) -> Result<Self> {
+        Ok(MailboxProvider { path: path.into(), messages: Arc::new(parse_mail_file(text)?) })
+    }
+
+    pub fn from_messages(path: impl Into<String>, messages: Vec<MailMessage>) -> Self {
+        MailboxProvider { path: path.into(), messages: Arc::new(messages) }
+    }
+
+    pub fn message_count(&self) -> usize {
+        self.messages.len()
+    }
+}
+
+impl DataSource for MailboxProvider {
+    fn name(&self) -> &str {
+        &self.path
+    }
+
+    fn capabilities(&self) -> ProviderCapabilities {
+        ProviderCapabilities::simple("DHQP-MAIL")
+    }
+
+    fn tables(&self) -> Result<Vec<TableInfo>> {
+        Ok(vec![TableInfo {
+            name: "messages".into(),
+            columns: message_columns(),
+            indexes: Vec::new(),
+            cardinality: Some(self.messages.len() as u64),
+        }])
+    }
+
+    fn create_session(&self) -> Result<Box<dyn Session>> {
+        Ok(Box::new(MailSession { messages: Arc::clone(&self.messages) }))
+    }
+}
+
+struct MailSession {
+    messages: Arc<Vec<MailMessage>>,
+}
+
+impl Session for MailSession {
+    fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
+        if !table.eq_ignore_ascii_case("messages") {
+            return Err(DhqpError::Catalog(format!(
+                "mailbox provider exposes only 'messages', not '{table}'"
+            )));
+        }
+        let schema = Schema::new(message_columns().iter().map(ColumnInfo::to_column).collect());
+        let rows = self
+            .messages
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.to_row(i as u64))
+            .collect();
+        Ok(Box::new(MemRowset::new(schema, rows)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_oledb::{ProviderClass, RowsetExt};
+
+    const MAILBOX: &str = "\
+Msg-Id: <m1@ext>
+From: buyer@seattle.example
+To: smith@corp.example
+Date: 2004-06-10
+Subject: quote request
+
+Please send a quote for 40 units.
+Thanks!
+
+Msg-Id: <m2@corp>
+From: smith@corp.example
+To: buyer@seattle.example
+Date: 2004-06-11
+Subject: RE: quote request
+In-Reply-To: <m1@ext>
+
+Quote attached.
+";
+
+    #[test]
+    fn parses_headers_and_bodies() {
+        let msgs = parse_mail_file(MAILBOX).unwrap();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].msg_id, "<m1@ext>");
+        assert_eq!(msgs[0].from_addr, "buyer@seattle.example");
+        assert!(msgs[0].body.contains("40 units"));
+        assert_eq!(msgs[0].in_reply_to, None);
+        assert_eq!(msgs[1].in_reply_to.as_deref(), Some("<m1@ext>"));
+        assert!(msgs[1].date > msgs[0].date);
+    }
+
+    #[test]
+    fn rowset_shape() {
+        let p = MailboxProvider::from_text("d:\\mail\\smith.mmf", MAILBOX).unwrap();
+        assert_eq!(p.capabilities().class(), ProviderClass::Simple);
+        let mut s = p.create_session().unwrap();
+        let mut rs = s.open_rowset("messages").unwrap();
+        assert_eq!(rs.schema().len(), 7);
+        let rows = rs.collect_rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].get(5).is_null(), "m1 has no In-Reply-To");
+        assert!(s.open_rowset("calendar").is_err());
+    }
+
+    #[test]
+    fn malformed_files_error() {
+        assert!(parse_mail_file("garbage first line").is_err());
+        assert!(parse_mail_file("Msg-Id: <a>\nDate: not-a-date\n").is_err());
+        assert!(parse_mail_file("Msg-Id: <a>\nX-Unknown: ?\n").is_err());
+        assert!(parse_mail_file("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! A spreadsheet provider — the Microsoft Excel analog of §2.1 ("other
+//! tabular data sources (Microsoft Excel, text files, ...)"). Each sheet is
+//! a named rowset; like Excel's OLE DB provider it is a *simple provider*:
+//! no query language, just tabular data.
+
+use dhqp_oledb::{
+    ColumnInfo, DataSource, MemRowset, ProviderCapabilities, Rowset, Session, TableInfo,
+};
+use dhqp_types::{DataType, DhqpError, Result, Row, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One worksheet: named, typed columns plus cell rows.
+#[derive(Debug, Clone)]
+pub struct Sheet {
+    pub name: String,
+    pub columns: Vec<(String, DataType)>,
+    pub cells: Vec<Vec<Value>>,
+}
+
+impl Sheet {
+    pub fn new(name: impl Into<String>, columns: Vec<(String, DataType)>) -> Self {
+        Sheet { name: name.into(), columns, cells: Vec::new() }
+    }
+
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(DhqpError::Provider(format!(
+                "sheet '{}' expects {} cells per row, got {}",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        self.cells.push(row);
+        Ok(())
+    }
+}
+
+/// A workbook exposed through the OLE DB-style traits.
+pub struct SpreadsheetProvider {
+    name: String,
+    sheets: Arc<BTreeMap<String, Sheet>>,
+}
+
+impl SpreadsheetProvider {
+    pub fn new(name: impl Into<String>, sheets: Vec<Sheet>) -> Self {
+        let map = sheets.into_iter().map(|s| (s.name.to_lowercase(), s)).collect();
+        SpreadsheetProvider { name: name.into(), sheets: Arc::new(map) }
+    }
+}
+
+impl DataSource for SpreadsheetProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capabilities(&self) -> ProviderCapabilities {
+        ProviderCapabilities::simple("DHQP-XLS")
+    }
+
+    fn tables(&self) -> Result<Vec<TableInfo>> {
+        Ok(self
+            .sheets
+            .values()
+            .map(|s| TableInfo {
+                name: s.name.clone(),
+                columns: s
+                    .columns
+                    .iter()
+                    .map(|(n, t)| ColumnInfo::new(n.clone(), *t))
+                    .collect(),
+                indexes: Vec::new(),
+                cardinality: Some(s.cells.len() as u64),
+            })
+            .collect())
+    }
+
+    fn create_session(&self) -> Result<Box<dyn Session>> {
+        Ok(Box::new(SheetSession { sheets: Arc::clone(&self.sheets) }))
+    }
+}
+
+struct SheetSession {
+    sheets: Arc<BTreeMap<String, Sheet>>,
+}
+
+impl Session for SheetSession {
+    fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
+        let sheet = self
+            .sheets
+            .get(&table.to_lowercase())
+            .ok_or_else(|| DhqpError::Catalog(format!("no sheet '{table}' in workbook")))?;
+        let schema = dhqp_types::Schema::new(
+            sheet
+                .columns
+                .iter()
+                .map(|(n, t)| dhqp_types::Column::new(n.clone(), *t))
+                .collect(),
+        );
+        let rows = sheet
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, cells)| Row::with_bookmark(cells.clone(), i as u64))
+            .collect();
+        Ok(Box::new(MemRowset::new(schema, rows)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_oledb::{ProviderClass, RowsetExt};
+
+    fn workbook() -> SpreadsheetProvider {
+        let mut budget = Sheet::new(
+            "Budget",
+            vec![("Quarter".into(), DataType::Str), ("Amount".into(), DataType::Float)],
+        );
+        budget.push_row(vec![Value::Str("Q1".into()), Value::Float(120_000.0)]).unwrap();
+        budget.push_row(vec![Value::Str("Q2".into()), Value::Float(95_500.5)]).unwrap();
+        SpreadsheetProvider::new("enterprise.xls", vec![budget])
+    }
+
+    #[test]
+    fn sheets_are_tables() {
+        let wb = workbook();
+        let tables = wb.tables().unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].name, "Budget");
+        assert_eq!(tables[0].cardinality, Some(2));
+    }
+
+    #[test]
+    fn rowset_access_case_insensitive() {
+        let wb = workbook();
+        let mut s = wb.create_session().unwrap();
+        let rows = s.open_rowset("budget").unwrap().collect_rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get(0), &Value::Str("Q2".into()));
+        assert!(s.open_rowset("ghost").is_err());
+    }
+
+    #[test]
+    fn simple_class() {
+        assert_eq!(workbook().capabilities().class(), ProviderClass::Simple);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut sheet = Sheet::new("s", vec![("a".into(), DataType::Int)]);
+        assert!(sheet.push_row(vec![Value::Int(1), Value::Int(2)]).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! Abstract syntax tree for the dialect.
+
+use dhqp_types::Value;
+use std::fmt;
+
+/// A possibly-qualified object name: up to four parts,
+/// `server.catalog.schema.object` (paper §2.1's linked-server convention).
+/// Empty middle parts (`server..table`) are allowed in the grammar and
+/// normalized away here.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectName(pub Vec<String>);
+
+impl ObjectName {
+    pub fn bare(name: impl Into<String>) -> Self {
+        ObjectName(vec![name.into()])
+    }
+
+    /// The unqualified object (last) part.
+    pub fn object(&self) -> &str {
+        self.0.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// The server (first) part when the name has all four parts.
+    pub fn server(&self) -> Option<&str> {
+        if self.0.len() == 4 {
+            Some(&self.0[0])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.join("."))
+    }
+}
+
+/// Top-level statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    Insert(InsertStmt),
+    Update(UpdateStmt),
+    Delete(DeleteStmt),
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    /// `SELECT TOP n`.
+    pub top: Option<u64>,
+    pub projections: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    /// ORDER BY applies after any UNION branches.
+    pub order_by: Vec<OrderByItem>,
+    /// Additional `UNION [ALL]` branches: `(branch, all)`. Branches carry
+    /// no ORDER BY of their own; this statement's `order_by`/`top` apply to
+    /// the combined result.
+    pub union_branches: Vec<(SelectStmt, bool)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub ascending: bool,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// Join kinds supported by the algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    RightOuter,
+    /// `CROSS JOIN` / comma syntax.
+    Cross,
+}
+
+/// FROM-clause items.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A (possibly four-part) table name with optional alias.
+    Named { name: ObjectName, alias: Option<String> },
+    /// An explicit ANSI join.
+    Join { left: Box<TableRef>, right: Box<TableRef>, kind: JoinKind, on: Option<Expr> },
+    /// `(SELECT ...) alias` derived table.
+    Derived { query: Box<SelectStmt>, alias: String },
+    /// `OPENROWSET('provider', 'datasource', 'query-or-table') [AS] alias` —
+    /// ad-hoc access to any provider (paper §2.2).
+    OpenRowset { provider: String, datasource: String, query: String, alias: Option<String> },
+    /// `OPENQUERY(linked_server, 'pass-through text')` — pass-through to a
+    /// query provider with proprietary syntax (paper §3.3).
+    OpenQuery { server: String, query: String, alias: Option<String> },
+}
+
+impl TableRef {
+    /// The alias under which this item's columns are visible.
+    pub fn binding_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { name, alias } => {
+                alias.as_deref().or_else(|| Some(name.object()))
+            }
+            TableRef::Derived { alias, .. } => Some(alias),
+            TableRef::OpenRowset { alias, .. } | TableRef::OpenQuery { alias, .. } => {
+                alias.as_deref()
+            }
+            TableRef::Join { .. } => None,
+        }
+    }
+}
+
+/// `INSERT INTO t [(cols)] VALUES ... | SELECT ...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    pub table: ObjectName,
+    pub columns: Vec<String>,
+    pub source: InsertSource,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    Values(Vec<Vec<Expr>>),
+    Select(Box<SelectStmt>),
+}
+
+/// `UPDATE t SET c = e, ... [WHERE p]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    pub table: ObjectName,
+    pub assignments: Vec<(String, Expr)>,
+    pub where_clause: Option<Expr>,
+}
+
+/// `DELETE FROM t [WHERE p]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    pub table: ObjectName,
+    pub where_clause: Option<Expr>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinaryOp {
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    pub fn sql_symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::Neq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        }
+    }
+
+    /// Mirror a comparison for operand swap: `a < b` ⇔ `b > a`.
+    pub fn flip(&self) -> BinaryOp {
+        match self {
+            BinaryOp::Lt => BinaryOp::Gt,
+            BinaryOp::Le => BinaryOp::Ge,
+            BinaryOp::Gt => BinaryOp::Lt,
+            BinaryOp::Ge => BinaryOp::Le,
+            other => *other,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    /// Possibly-qualified column reference: `c`, `t.c`.
+    Column(Vec<String>),
+    /// `@param`.
+    Param(String),
+    Unary { op: UnaryOp, operand: Box<Expr> },
+    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
+    /// `expr [NOT] IN (list)` or `expr [NOT] IN (subquery)`.
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InSubquery { expr: Box<Expr>, subquery: Box<SelectStmt>, negated: bool },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    /// `expr [NOT] LIKE pattern` (SQL `%`/`_` wildcards).
+    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists { subquery: Box<SelectStmt>, negated: bool },
+    /// Scalar subquery `(SELECT ...)` in expression position.
+    ScalarSubquery(Box<SelectStmt>),
+    /// Function call: aggregates (`COUNT`, `SUM`, ...), scalar functions
+    /// (`DATEDIFF`, ...), and the full-text predicate `CONTAINS(col, 'q')`.
+    Function { name: String, args: Vec<Expr>, distinct: bool },
+    /// `COUNT(*)`.
+    CountStar,
+    /// `CAST(expr AS type)`.
+    Cast { expr: Box<Expr>, type_name: String },
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(name.split('.').map(str::to_string).collect())
+    }
+
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// AND-combine a list of predicates; `None` for the empty list.
+    pub fn conjunction(preds: Vec<Expr>) -> Option<Expr> {
+        let mut iter = preds.into_iter();
+        let first = iter.next()?;
+        Some(iter.fold(first, |acc, p| Expr::binary(BinaryOp::And, acc, p)))
+    }
+
+    /// Split a predicate into its top-level AND conjuncts.
+    pub fn split_conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::Binary { op: BinaryOp::And, left, right } => {
+                let mut out = left.split_conjuncts();
+                out.extend(right.split_conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_name_parts() {
+        let n = ObjectName(vec!["remote0".into(), "tpch".into(), "dbo".into(), "customer".into()]);
+        assert_eq!(n.server(), Some("remote0"));
+        assert_eq!(n.object(), "customer");
+        assert_eq!(n.to_string(), "remote0.tpch.dbo.customer");
+        assert_eq!(ObjectName::bare("t").server(), None);
+    }
+
+    #[test]
+    fn conjunction_roundtrip() {
+        let preds = vec![
+            Expr::binary(BinaryOp::Gt, Expr::col("a"), Expr::lit(Value::Int(1))),
+            Expr::binary(BinaryOp::Lt, Expr::col("b"), Expr::lit(Value::Int(2))),
+            Expr::binary(BinaryOp::Eq, Expr::col("c"), Expr::lit(Value::Int(3))),
+        ];
+        let combined = Expr::conjunction(preds.clone()).unwrap();
+        assert_eq!(combined.split_conjuncts(), preds);
+        assert_eq!(Expr::conjunction(vec![]), None);
+    }
+
+    #[test]
+    fn flip_comparisons() {
+        assert_eq!(BinaryOp::Lt.flip(), BinaryOp::Gt);
+        assert_eq!(BinaryOp::Ge.flip(), BinaryOp::Le);
+        assert_eq!(BinaryOp::Eq.flip(), BinaryOp::Eq);
+        assert!(BinaryOp::Le.is_comparison());
+        assert!(!BinaryOp::And.is_comparison());
+    }
+
+    #[test]
+    fn binding_names() {
+        let named = TableRef::Named {
+            name: ObjectName(vec!["s".into(), "c".into(), "d".into(), "emp".into()]),
+            alias: None,
+        };
+        assert_eq!(named.binding_name(), Some("emp"));
+        let aliased = TableRef::Named { name: ObjectName::bare("emp"), alias: Some("e".into()) };
+        assert_eq!(aliased.binding_name(), Some("e"));
+    }
+}

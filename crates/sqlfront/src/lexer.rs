@@ -1,0 +1,473 @@
+//! Hand-written SQL lexer.
+//!
+//! Produces a flat token stream with byte positions for error reporting.
+//! Keywords are recognized case-insensitively at parse time (the lexer emits
+//! them as `Ident`; the parser matches on uppercased text), which keeps the
+//! token set small and lets identifiers shadow non-reserved words.
+
+use dhqp_types::{DhqpError, Result};
+use std::fmt;
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (unquoted, original case preserved).
+    Ident(String),
+    /// `[quoted]` or `"quoted"` identifier — never a keyword.
+    QuotedIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `'single quoted'` string with `''` unescaped.
+    Str(String),
+    /// `@name` parameter.
+    Param(String),
+    // punctuation / operators
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::QuotedIdent(s) => write!(f, "[{s}]"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Param(s) => write!(f, "@{s}"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Neq => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::Semicolon => f.write_str(";"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// The lexer: call [`Lexer::tokenize`] to get the full token vector.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// Lex the whole input. The last token is always `Eof`.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // -- line comment
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // /* block comment */
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(DhqpError::Parse(format!(
+                                    "unterminated block comment at offset {start}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia()?;
+        let offset = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, offset });
+        };
+        let kind = match b {
+            b',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                TokenKind::Dot
+            }
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b'*' => {
+                self.pos += 1;
+                TokenKind::Star
+            }
+            b'+' => {
+                self.pos += 1;
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                TokenKind::Minus
+            }
+            b'/' => {
+                self.pos += 1;
+                TokenKind::Slash
+            }
+            b'%' => {
+                self.pos += 1;
+                TokenKind::Percent
+            }
+            b';' => {
+                self.pos += 1;
+                TokenKind::Semicolon
+            }
+            b'=' => {
+                self.pos += 1;
+                TokenKind::Eq
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        TokenKind::Neq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Neq
+                } else {
+                    return Err(DhqpError::Parse(format!("unexpected '!' at offset {offset}")));
+                }
+            }
+            b'\'' => self.lex_string(offset)?,
+            b'[' => self.lex_bracket_ident(offset)?,
+            b'"' => self.lex_double_quoted_ident(offset)?,
+            b'@' => {
+                self.pos += 1;
+                let name = self.lex_ident_text();
+                if name.is_empty() {
+                    return Err(DhqpError::Parse(format!(
+                        "expected parameter name after '@' at offset {offset}"
+                    )));
+                }
+                TokenKind::Param(name)
+            }
+            b'0'..=b'9' => self.lex_number(offset)?,
+            b if b.is_ascii_alphabetic() || b == b'_' => TokenKind::Ident(self.lex_ident_text()),
+            other => {
+                return Err(DhqpError::Parse(format!(
+                    "unexpected character '{}' at offset {offset}",
+                    other as char
+                )))
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_ident_text(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.pos].to_string()
+    }
+
+    fn lex_string(&mut self, offset: usize) -> Result<TokenKind> {
+        self.pos += 1; // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        s.push('\'');
+                        self.pos += 1;
+                    } else {
+                        return Ok(TokenKind::Str(s));
+                    }
+                }
+                Some(b) => s.push(b as char),
+                None => {
+                    return Err(DhqpError::Parse(format!(
+                        "unterminated string literal at offset {offset}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn lex_bracket_ident(&mut self, offset: usize) -> Result<TokenKind> {
+        self.pos += 1; // '['
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b']') => {
+                    if self.peek() == Some(b']') {
+                        s.push(']');
+                        self.pos += 1;
+                    } else {
+                        return Ok(TokenKind::QuotedIdent(s));
+                    }
+                }
+                Some(b) => s.push(b as char),
+                None => {
+                    return Err(DhqpError::Parse(format!(
+                        "unterminated [identifier] at offset {offset}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn lex_double_quoted_ident(&mut self, offset: usize) -> Result<TokenKind> {
+        self.pos += 1; // '"'
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    if self.peek() == Some(b'"') {
+                        s.push('"');
+                        self.pos += 1;
+                    } else {
+                        return Ok(TokenKind::QuotedIdent(s));
+                    }
+                }
+                Some(b) => s.push(b as char),
+                None => {
+                    return Err(DhqpError::Parse(format!(
+                        "unterminated \"identifier\" at offset {offset}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self, offset: usize) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // A dot only makes this a float if followed by a digit; otherwise it
+        // is the member-access dot (e.g. `1.t` never occurs, but `a.1` won't
+        // parse anyway).
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                is_float = true;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            } else {
+                self.pos = save; // not an exponent; `10east` style
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| DhqpError::Parse(format!("bad float literal at offset {offset}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| DhqpError::Parse(format!("integer literal overflow at offset {offset}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        let k = kinds("SELECT a, b FROM t WHERE a >= 10;");
+        assert_eq!(k[0], TokenKind::Ident("SELECT".into()));
+        assert!(k.contains(&TokenKind::Ge));
+        assert!(k.contains(&TokenKind::Int(10)));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn strings_unescape_doubled_quotes() {
+        assert_eq!(kinds("'O''Brien'")[0], TokenKind::Str("O'Brien".into()));
+    }
+
+    #[test]
+    fn bracket_and_double_quoted_idents() {
+        assert_eq!(kinds("[Order Details]")[0], TokenKind::QuotedIdent("Order Details".into()));
+        assert_eq!(kinds("\"x\"\"y\"")[0], TokenKind::QuotedIdent("x\"y".into()));
+        assert_eq!(kinds("[a]]b]")[0], TokenKind::QuotedIdent("a]b".into()));
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("3.25")[0], TokenKind::Float(3.25));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5E-1")[0], TokenKind::Float(0.25));
+    }
+
+    #[test]
+    fn four_part_name_tokens() {
+        let k = kinds("remote0.tpch10g.dbo.customer");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("remote0".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("tpch10g".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("dbo".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("customer".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn params_and_comparisons() {
+        let k = kinds("@customerId <> 5 != 6 <= 7");
+        assert_eq!(k[0], TokenKind::Param("customerId".into()));
+        assert_eq!(k[1], TokenKind::Neq);
+        assert_eq!(k[3], TokenKind::Neq);
+        assert_eq!(k[5], TokenKind::Le);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("SELECT -- everything\n * /* really\n everything */ FROM t");
+        assert_eq!(k.len(), 5); // SELECT * FROM t EOF
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = Lexer::new("SELECT 'oops").tokenize().unwrap_err();
+        assert!(e.to_string().contains("offset 7"), "{e}");
+        assert!(Lexer::new("a ! b").tokenize().is_err());
+        assert!(Lexer::new("[never").tokenize().is_err());
+        assert!(Lexer::new("99999999999999999999").tokenize().is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! SQL frontend: lexer, AST and parser for the engine's T-SQL-flavoured
+//! dialect.
+//!
+//! The dialect covers what the paper's scenarios need: four-part names for
+//! linked servers (`remote0.tpch10g.dbo.customer`, §2.1), `OPENROWSET` /
+//! `OPENQUERY` for ad-hoc and pass-through access (§2.2, §3.3), `CONTAINS`
+//! full-text predicates (§2.3), parameters (`@customerId`, §4.1.5), plus
+//! ordinary SELECT/INSERT/UPDATE/DELETE with joins, subqueries, grouping,
+//! UNION \[ALL\] and TOP.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_expression, parse_statement, Parser};

@@ -1,0 +1,908 @@
+//! Recursive-descent parser.
+//!
+//! Grammar summary (keywords case-insensitive):
+//!
+//! ```text
+//! statement   := select | insert | update | delete
+//! select      := body (UNION [ALL] body)* [ORDER BY expr [ASC|DESC], ...]
+//! body        := SELECT [DISTINCT] [TOP int] items FROM refs
+//!                [WHERE expr] [GROUP BY exprs] [HAVING expr]
+//! refs        := ref (',' ref)*
+//! ref         := primary ( join_kind JOIN primary [ON expr] )*
+//! primary     := name4 [alias] | '(' select ')' alias
+//!              | OPENROWSET '(' str ',' str ',' str ')' [alias]
+//!              | OPENQUERY '(' ident ',' str ')' [alias]
+//! expr        := or-precedence expression grammar with IN / BETWEEN /
+//!                LIKE / IS NULL / EXISTS / scalar subqueries / CAST /
+//!                function calls
+//! ```
+
+use crate::ast::*;
+use crate::lexer::{Lexer, Token, TokenKind};
+use dhqp_types::{value::parse_date, DhqpError, Result, Value};
+
+/// Words that terminate an implicit alias position.
+const RESERVED: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "ON", "INNER", "LEFT", "RIGHT", "FULL",
+    "CROSS", "JOIN", "AND", "OR", "NOT", "AS", "INSERT", "UPDATE", "DELETE", "SET", "VALUES",
+    "TOP", "DISTINCT", "UNION", "ALL", "EXISTS", "BETWEEN", "LIKE", "IS", "NULL", "IN", "ASC", "DESC",
+    "INTO", "CASE", "WHEN", "THEN", "ELSE", "END",
+];
+
+/// Parse one statement (a trailing `;` is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut p = Parser::new(tokens);
+    let stmt = p.parse_statement()?;
+    p.eat(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a standalone scalar expression (used by tests and tools).
+pub fn parse_expression(sql: &str) -> Result<Expr> {
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut p = Parser::new(tokens);
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Token-stream parser. Construct with a token vector from [`Lexer`].
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{kind}'")))
+        }
+    }
+
+    fn error(&self, msg: &str) -> DhqpError {
+        DhqpError::Parse(format!("{msg}, found '{}' at offset {}", self.peek(), self.offset()))
+    }
+
+    /// Is the current token the given keyword?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error("expected end of statement"))
+        }
+    }
+
+    /// Any identifier (quoted or not).
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) | TokenKind::QuotedIdent(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn expect_string(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.error("expected string literal")),
+        }
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    pub fn parse_statement(&mut self) -> Result<Statement> {
+        if self.at_kw("SELECT") {
+            Ok(Statement::Select(self.parse_select()?))
+        } else if self.at_kw("INSERT") {
+            self.parse_insert().map(Statement::Insert)
+        } else if self.at_kw("UPDATE") {
+            self.parse_update().map(Statement::Update)
+        } else if self.at_kw("DELETE") {
+            self.parse_delete().map(Statement::Delete)
+        } else {
+            Err(self.error("expected SELECT, INSERT, UPDATE or DELETE"))
+        }
+    }
+
+    pub fn parse_select(&mut self) -> Result<SelectStmt> {
+        let mut stmt = self.parse_select_core()?;
+        while self.at_kw("UNION") {
+            if !stmt.order_by.is_empty() {
+                return Err(self.error("ORDER BY must follow the last UNION branch"));
+            }
+            self.bump();
+            let all = self.eat_kw("ALL");
+            let mut branch = self.parse_select_core()?;
+            if !branch.order_by.is_empty() && self.at_kw("UNION") {
+                return Err(self.error("ORDER BY must follow the last UNION branch"));
+            }
+            // A trailing ORDER BY binds to the whole union.
+            if !branch.order_by.is_empty() {
+                stmt.order_by = std::mem::take(&mut branch.order_by);
+            }
+            stmt.union_branches.push((branch, all));
+        }
+        Ok(stmt)
+    }
+
+    fn parse_select_core(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let top = if self.eat_kw("TOP") {
+            match self.bump() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                _ => return Err(self.error("expected non-negative integer after TOP")),
+            }
+        } else {
+            None
+        };
+        let mut projections = vec![self.parse_select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            projections.push(self.parse_select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("FROM") {
+            from.push(self.parse_table_ref()?);
+            while self.eat(&TokenKind::Comma) {
+                from.push(self.parse_table_ref()?);
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.parse_expr()?);
+            while self.eat(&TokenKind::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.parse_expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let ascending = if self.eat_kw("DESC") { false } else { self.eat_kw("ASC") | true };
+                order_by.push(OrderByItem { expr, ascending });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(SelectStmt {
+            distinct,
+            top,
+            projections,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            union_branches: Vec::new(),
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let TokenKind::Ident(name) | TokenKind::QuotedIdent(name) = self.peek().clone() {
+            if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::Dot)
+                && self.tokens.get(self.pos + 2).map(|t| &t.kind) == Some(&TokenKind::Star)
+            {
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_optional_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("AS") {
+            return self.expect_ident().map(Some);
+        }
+        match self.peek().clone() {
+            TokenKind::Ident(s) if !RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r)) => {
+                self.bump();
+                Ok(Some(s))
+            }
+            TokenKind::QuotedIdent(s) => {
+                self.bump();
+                Ok(Some(s))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    // ---- FROM clause ------------------------------------------------------
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let mut left = self.parse_table_primary()?;
+        loop {
+            let kind = if self.at_kw("JOIN") || self.at_kw("INNER") {
+                self.eat_kw("INNER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.at_kw("LEFT") {
+                self.bump();
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::LeftOuter
+            } else if self.at_kw("RIGHT") {
+                self.bump();
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::RightOuter
+            } else if self.at_kw("CROSS") {
+                self.bump();
+                self.expect_kw("JOIN")?;
+                JoinKind::Cross
+            } else {
+                return Ok(left);
+            };
+            let right = self.parse_table_primary()?;
+            let on = if kind == JoinKind::Cross {
+                None
+            } else {
+                self.expect_kw("ON")?;
+                Some(self.parse_expr()?)
+            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
+        }
+    }
+
+    fn parse_table_primary(&mut self) -> Result<TableRef> {
+        if self.at_kw("OPENROWSET") {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let provider = self.expect_string()?;
+            self.expect(&TokenKind::Comma)?;
+            let datasource = self.expect_string()?;
+            self.expect(&TokenKind::Comma)?;
+            let query = self.expect_string()?;
+            self.expect(&TokenKind::RParen)?;
+            let alias = self.parse_optional_alias()?;
+            return Ok(TableRef::OpenRowset { provider, datasource, query, alias });
+        }
+        if self.at_kw("OPENQUERY") {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let server = self.expect_ident()?;
+            self.expect(&TokenKind::Comma)?;
+            let query = self.expect_string()?;
+            self.expect(&TokenKind::RParen)?;
+            let alias = self.parse_optional_alias()?;
+            return Ok(TableRef::OpenQuery { server, query, alias });
+        }
+        if self.eat(&TokenKind::LParen) {
+            if self.at_kw("SELECT") {
+                let query = self.parse_select()?;
+                self.expect(&TokenKind::RParen)?;
+                self.eat_kw("AS");
+                let alias = self
+                    .parse_optional_alias()?
+                    .ok_or_else(|| self.error("derived table requires an alias"))?;
+                return Ok(TableRef::Derived { query: Box::new(query), alias });
+            }
+            // Parenthesized join tree.
+            let inner = self.parse_table_ref()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        let name = self.parse_object_name()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(TableRef::Named { name, alias })
+    }
+
+    /// Dotted name of 1..=4 parts; empty middle parts (`srv..t`) are
+    /// dropped, matching T-SQL's defaulting behaviour.
+    fn parse_object_name(&mut self) -> Result<ObjectName> {
+        let mut parts = vec![self.expect_ident()?];
+        while self.eat(&TokenKind::Dot) {
+            if self.peek() == &TokenKind::Dot {
+                continue; // empty part: server..table
+            }
+            parts.push(self.expect_ident()?);
+        }
+        if parts.len() > 4 {
+            return Err(self.error("object names have at most four parts"));
+        }
+        Ok(ObjectName(parts))
+    }
+
+    fn parse_insert(&mut self) -> Result<InsertStmt> {
+        self.expect_kw("INSERT")?;
+        self.eat_kw("INTO");
+        let table = self.parse_object_name()?;
+        let mut columns = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            columns.push(self.expect_ident()?);
+            while self.eat(&TokenKind::Comma) {
+                columns.push(self.expect_ident()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let source = if self.eat_kw("VALUES") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&TokenKind::LParen)?;
+                let mut row = vec![self.parse_expr()?];
+                while self.eat(&TokenKind::Comma) {
+                    row.push(self.parse_expr()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                rows.push(row);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.at_kw("SELECT") {
+            InsertSource::Select(Box::new(self.parse_select()?))
+        } else {
+            return Err(self.error("expected VALUES or SELECT"));
+        };
+        Ok(InsertStmt { table, columns, source })
+    }
+
+    fn parse_update(&mut self) -> Result<UpdateStmt> {
+        self.expect_kw("UPDATE")?;
+        let table = self.parse_object_name()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect(&TokenKind::Eq)?;
+            assignments.push((col, self.parse_expr()?));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        Ok(UpdateStmt { table, assignments, where_clause })
+    }
+
+    fn parse_delete(&mut self) -> Result<DeleteStmt> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.parse_object_name()?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        Ok(DeleteStmt { table, where_clause })
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let right = self.parse_and()?;
+            left = Expr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let right = self.parse_not()?;
+            left = Expr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            // NOT EXISTS folds into the Exists node.
+            if self.at_kw("EXISTS") {
+                return match self.parse_not()? {
+                    Expr::Exists { subquery, negated } => Ok(Expr::Exists { subquery, negated: !negated }),
+                    other => {
+                        Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(other) })
+                    }
+                };
+            }
+            let operand = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+        }
+        if self.at_kw("EXISTS") {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let sub = self.parse_select()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::Exists { subquery: Box::new(sub), negated: false });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // Comparison operators.
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinaryOp::Eq),
+            TokenKind::Neq => Some(BinaryOp::Neq),
+            TokenKind::Lt => Some(BinaryOp::Lt),
+            TokenKind::Le => Some(BinaryOp::Le),
+            TokenKind::Gt => Some(BinaryOp::Gt),
+            TokenKind::Ge => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        // Postfix predicate forms, optionally negated.
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("IN") {
+            self.expect(&TokenKind::LParen)?;
+            if self.at_kw("SELECT") {
+                let sub = self.parse_select()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(Expr::InSubquery { expr: Box::new(left), subquery: Box::new(sub), negated });
+            }
+            let mut list = vec![self.parse_expr()?];
+            while self.eat(&TokenKind::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_kw("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        if negated {
+            return Err(self.error("expected IN, BETWEEN or LIKE after NOT"));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                TokenKind::Percent => BinaryOp::Mod,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::binary(op, left, right);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            // Fold negation into numeric literals immediately.
+            return Ok(match self.parse_unary()? {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
+                other => Expr::Unary { op: UnaryOp::Neg, operand: Box::new(other) },
+            });
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::Param(p) => {
+                self.bump();
+                Ok(Expr::Param(p))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.at_kw("SELECT") {
+                    let sub = self.parse_select()?;
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(sub)));
+                }
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(word) if word.eq_ignore_ascii_case("NULL") => {
+                self.bump();
+                Ok(Expr::Literal(Value::Null))
+            }
+            TokenKind::Ident(word) if word.eq_ignore_ascii_case("TRUE") => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            TokenKind::Ident(word) if word.eq_ignore_ascii_case("FALSE") => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            // DATE '1992-01-01' typed literal.
+            TokenKind::Ident(word)
+                if word.eq_ignore_ascii_case("DATE")
+                    && matches!(
+                        self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                        Some(TokenKind::Str(_))
+                    ) =>
+            {
+                self.bump();
+                let s = self.expect_string()?;
+                let d = parse_date(&s)
+                    .ok_or_else(|| DhqpError::Parse(format!("invalid date literal '{s}'")))?;
+                Ok(Expr::Literal(Value::Date(d)))
+            }
+            TokenKind::Ident(word) if word.eq_ignore_ascii_case("CAST") => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let e = self.parse_expr()?;
+                self.expect_kw("AS")?;
+                let type_name = self.expect_ident()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Cast { expr: Box::new(e), type_name })
+            }
+            TokenKind::Ident(word)
+                if RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
+                    && self.tokens.get(self.pos + 1).map(|t| &t.kind)
+                        != Some(&TokenKind::LParen) =>
+            {
+                Err(self.error("expected expression"))
+            }
+            TokenKind::Ident(_) | TokenKind::QuotedIdent(_) => {
+                // Function call or column reference.
+                if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
+                    let name = self.expect_ident()?;
+                    self.bump(); // '('
+                    if name.eq_ignore_ascii_case("COUNT") && self.peek() == &TokenKind::Star {
+                        self.bump();
+                        self.expect(&TokenKind::RParen)?;
+                        return Ok(Expr::CountStar);
+                    }
+                    let distinct = self.eat_kw("DISTINCT");
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::RParen {
+                        args.push(self.parse_expr()?);
+                        while self.eat(&TokenKind::Comma) {
+                            args.push(self.parse_expr()?);
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Function { name: name.to_ascii_uppercase(), args, distinct });
+                }
+                // Column reference: ident(.ident)*
+                let mut parts = vec![self.expect_ident()?];
+                while self.eat(&TokenKind::Dot) {
+                    parts.push(self.expect_ident()?);
+                }
+                Ok(Expr::Column(parts))
+            }
+            _ => Err(self.error("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_1_parses() {
+        let s = sel("SELECT c.c_name, c.c_address, c.c_phone \
+                     FROM remote0.tpch10g.dbo.customer c, remote0.tpch10g.dbo.supplier s, nation n \
+                     WHERE c.c_nationkey = n.n_nationkey AND n.n_nationkey = s.s_nationkey");
+        assert_eq!(s.projections.len(), 3);
+        assert_eq!(s.from.len(), 3);
+        match &s.from[0] {
+            TableRef::Named { name, alias } => {
+                assert_eq!(name.server(), Some("remote0"));
+                assert_eq!(name.object(), "customer");
+                assert_eq!(alias.as_deref(), Some("c"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let conjuncts = s.where_clause.unwrap().split_conjuncts();
+        assert_eq!(conjuncts.len(), 2);
+    }
+
+    #[test]
+    fn ansi_joins_and_aliases() {
+        let s = sel("SELECT * FROM a INNER JOIN b ON a.x = b.x LEFT OUTER JOIN c ON b.y = c.y");
+        match &s.from[0] {
+            TableRef::Join { kind, left, .. } => {
+                assert_eq!(*kind, JoinKind::LeftOuter);
+                assert!(matches!(left.as_ref(), TableRef::Join { kind: JoinKind::Inner, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn openrowset_matches_paper_section_2_2() {
+        let s = sel("SELECT FS.path FROM OPENROWSET('MSIDXS','DQLiterature',\
+                     'Select Path from SCOPE() where CONTAINS(''x'')') AS FS");
+        match &s.from[0] {
+            TableRef::OpenRowset { provider, datasource, query, alias } => {
+                assert_eq!(provider, "MSIDXS");
+                assert_eq!(datasource, "DQLiterature");
+                assert!(query.contains("CONTAINS('x')"));
+                assert_eq!(alias.as_deref(), Some("FS"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn openquery_pass_through() {
+        let s = sel("SELECT * FROM OPENQUERY(ftsrv, 'title:database') q");
+        assert!(matches!(&s.from[0], TableRef::OpenQuery { server, .. } if server == "ftsrv"));
+    }
+
+    #[test]
+    fn subqueries_exists_in_scalar() {
+        let s = sel("SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.k = t.k) \
+                     AND t.x IN (SELECT y FROM v) AND t.z = (SELECT MAX(w) FROM m)");
+        let conj = s.where_clause.unwrap().split_conjuncts();
+        assert!(matches!(&conj[0], Expr::Exists { negated: true, .. }));
+        assert!(matches!(&conj[1], Expr::InSubquery { negated: false, .. }));
+        assert!(
+            matches!(&conj[2], Expr::Binary { right, .. } if matches!(right.as_ref(), Expr::ScalarSubquery(_)))
+        );
+    }
+
+    #[test]
+    fn group_by_having_order_top_distinct() {
+        let s = sel("SELECT DISTINCT TOP 10 dept, COUNT(*) AS n, SUM(sal) FROM emp \
+                     GROUP BY dept HAVING COUNT(*) > 3 ORDER BY n DESC, dept");
+        assert!(s.distinct);
+        assert_eq!(s.top, Some(10));
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].ascending);
+        assert!(s.order_by[1].ascending);
+        assert!(matches!(
+            &s.projections[1],
+            SelectItem::Expr { expr: Expr::CountStar, alias: Some(a) } if a == "n"
+        ));
+    }
+
+    #[test]
+    fn predicate_forms() {
+        let e = parse_expression("a BETWEEN 1 AND 10 AND b NOT IN (1,2) AND c LIKE 'x%' \
+                                  AND d IS NOT NULL AND e NOT BETWEEN 0 AND 1")
+            .unwrap();
+        let conj = e.split_conjuncts();
+        assert!(matches!(&conj[0], Expr::Between { negated: false, .. }));
+        assert!(matches!(&conj[1], Expr::InList { negated: true, .. }));
+        assert!(matches!(&conj[2], Expr::Like { negated: false, .. }));
+        assert!(matches!(&conj[3], Expr::IsNull { negated: true, .. }));
+        assert!(matches!(&conj[4], Expr::Between { negated: true, .. }));
+    }
+
+    #[test]
+    fn precedence_or_and_cmp_arith() {
+        // a = 1 OR b = 2 AND c = 3  =>  a=1 OR (b=2 AND c=3)
+        let e = parse_expression("a = 1 OR b = 2 AND c = 3").unwrap();
+        assert!(matches!(&e, Expr::Binary { op: BinaryOp::Or, .. }));
+        // 1 + 2 * 3 => 1 + (2*3)
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Add, right, .. } => {
+                assert!(matches!(right.as_ref(), Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn date_literals_and_negative_numbers() {
+        let e = parse_expression("d >= DATE '1992-01-01'").unwrap();
+        match e {
+            Expr::Binary { right, .. } => {
+                assert!(matches!(right.as_ref(), Expr::Literal(Value::Date(_))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(parse_expression("-5").unwrap(), Expr::Literal(Value::Int(-5)));
+        assert_eq!(parse_expression("-2.5").unwrap(), Expr::Literal(Value::Float(-2.5)));
+    }
+
+    #[test]
+    fn insert_update_delete() {
+        let i = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match i {
+            Statement::Insert(ins) => {
+                assert_eq!(ins.columns, vec!["a", "b"]);
+                assert!(matches!(ins.source, InsertSource::Values(ref v) if v.len() == 2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let u = parse_statement("UPDATE t SET a = a + 1 WHERE k = @id").unwrap();
+        assert!(matches!(u, Statement::Update(_)));
+        let d = parse_statement("DELETE FROM t WHERE a < 0").unwrap();
+        assert!(matches!(d, Statement::Delete(_)));
+        let i2 = parse_statement("INSERT INTO t SELECT * FROM s").unwrap();
+        match i2 {
+            Statement::Insert(ins) => assert!(matches!(ins.source, InsertSource::Select(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_table_requires_alias() {
+        assert!(parse_statement("SELECT * FROM (SELECT a FROM t)").is_err());
+        let s = sel("SELECT * FROM (SELECT a FROM t) d");
+        assert!(matches!(&s.from[0], TableRef::Derived { alias, .. } if alias == "d"));
+    }
+
+    #[test]
+    fn contains_predicate_is_a_function() {
+        let e = parse_expression("CONTAINS(body, '\"parallel database\" OR \"heterogeneous query\"')")
+            .unwrap();
+        match e {
+            Expr::Function { name, args, .. } => {
+                assert_eq!(name, "CONTAINS");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_and_functions_with_distinct() {
+        assert!(matches!(
+            parse_expression("CAST(a AS BIGINT)").unwrap(),
+            Expr::Cast { .. }
+        ));
+        assert!(matches!(
+            parse_expression("COUNT(DISTINCT x)").unwrap(),
+            Expr::Function { distinct: true, .. }
+        ));
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("FROB x").is_err());
+        assert!(parse_statement("SELECT a FROM a.b.c.d.e").is_err());
+        assert!(parse_statement("SELECT a FROM t WHERE a NOT 5").is_err());
+        assert!(parse_statement("SELECT a FROM t extra garbage !").is_err());
+        assert!(parse_expression("DATE 'not-a-date'").is_err());
+    }
+
+    #[test]
+    fn union_branches_and_trailing_order() {
+        let s = sel("SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v ORDER BY a");
+        assert_eq!(s.union_branches.len(), 2);
+        assert!(s.union_branches[0].1, "first branch is UNION ALL");
+        assert!(!s.union_branches[1].1, "second branch is plain UNION");
+        assert_eq!(s.order_by.len(), 1, "trailing ORDER BY belongs to the union");
+        assert!(s.union_branches[1].0.order_by.is_empty());
+        // ORDER BY before UNION is rejected.
+        assert!(parse_statement("SELECT a FROM t ORDER BY a UNION SELECT b FROM u").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_and_empty_parts() {
+        let s = sel("SELECT a FROM srv..t;");
+        match &s.from[0] {
+            TableRef::Named { name, .. } => assert_eq!(name.0, vec!["srv", "t"]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

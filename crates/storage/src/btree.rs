@@ -1,0 +1,227 @@
+//! Ordered secondary indexes with range seeks — the `IRowsetIndex`
+//! capability that makes a provider an *index provider* (paper §3.3).
+//!
+//! Entries map a composite key to the bookmarks of rows bearing it; range
+//! scans return `(key, bookmark)` pairs in key order so the optimizer can
+//! rely on the delivered sort order as a physical property.
+
+use dhqp_oledb::KeyRange;
+use dhqp_types::{DhqpError, Result, Value};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A composite key ordered by [`Value::total_cmp`] lexicographically.
+/// Shorter keys order before longer keys sharing the prefix, which makes
+/// prefix seeks natural.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexKey(pub Vec<Value>);
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            let o = a.total_cmp(b);
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A B-tree index over a table's key columns.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    pub name: String,
+    /// Positions of the key columns within the table schema, in key order.
+    pub key_positions: Vec<usize>,
+    pub unique: bool,
+    entries: BTreeMap<IndexKey, Vec<u64>>,
+    len: usize,
+}
+
+impl BTreeIndex {
+    pub fn new(name: impl Into<String>, key_positions: Vec<usize>, unique: bool) -> Self {
+        BTreeIndex {
+            name: name.into(),
+            key_positions,
+            unique,
+            entries: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Extract this index's key from a full table row.
+    pub fn key_of(&self, row: &[Value]) -> IndexKey {
+        IndexKey(self.key_positions.iter().map(|&i| row[i].clone()).collect())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn insert(&mut self, key: IndexKey, bookmark: u64) -> Result<()> {
+        let slot = self.entries.entry(key).or_default();
+        if self.unique && !slot.is_empty() {
+            return Err(DhqpError::Constraint(format!(
+                "duplicate key in unique index '{}'",
+                self.name
+            )));
+        }
+        slot.push(bookmark);
+        self.len += 1;
+        Ok(())
+    }
+
+    pub fn remove(&mut self, key: &IndexKey, bookmark: u64) {
+        if let Some(slot) = self.entries.get_mut(key) {
+            if let Some(pos) = slot.iter().position(|&b| b == bookmark) {
+                slot.swap_remove(pos);
+                self.len -= 1;
+            }
+            if slot.is_empty() {
+                self.entries.remove(key);
+            }
+        }
+    }
+
+    /// Range scan in key order; yields `(key, bookmark)`. Bound key prefixes
+    /// may be shorter than the full key (prefix seek).
+    pub fn range(&self, range: &KeyRange) -> Vec<(IndexKey, u64)> {
+        // Translate prefix bounds into full-key bounds: a prefix lower bound
+        // starts at the prefix itself (shorter keys sort first), a prefix
+        // upper bound must extend past every key sharing the prefix, which
+        // we achieve by using the exclusive successor semantics below.
+        let low: Bound<IndexKey> = match &range.low {
+            None => Bound::Unbounded,
+            Some((k, true)) => Bound::Included(IndexKey(k.clone())),
+            Some((k, false)) => Bound::Excluded(IndexKey(k.clone())),
+        };
+        let mut out = Vec::new();
+        let iter = self.entries.range((low, Bound::<IndexKey>::Unbounded));
+        for (key, bookmarks) in iter {
+            // Exclusive low on a *prefix* must also skip longer keys that
+            // share the prefix; delegate the fine-grained check to
+            // KeyRange::contains which compares on the shared prefix only.
+            if !range.contains(&key.0) {
+                // Keys are ordered; once past the high bound we can stop.
+                if let Some((hi, _)) = &range.high {
+                    let shared = key.0.len().min(hi.len());
+                    let cmp = IndexKey(key.0[..shared].to_vec()).cmp(&IndexKey(hi.clone()));
+                    if cmp == Ordering::Greater {
+                        break;
+                    }
+                }
+                continue;
+            }
+            for &b in bookmarks {
+                out.push((key.clone(), b));
+            }
+        }
+        out
+    }
+
+    /// Bookmarks for an exact key match.
+    pub fn seek(&self, key: &IndexKey) -> &[u64] {
+        self.entries.get(key).map_or(&[], |v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: i64) -> IndexKey {
+        IndexKey(vec![Value::Int(v)])
+    }
+
+    fn index_with(vals: &[i64]) -> BTreeIndex {
+        let mut ix = BTreeIndex::new("ix", vec![0], false);
+        for (i, &v) in vals.iter().enumerate() {
+            ix.insert(key(v), i as u64).unwrap();
+        }
+        ix
+    }
+
+    #[test]
+    fn range_scan_is_ordered_and_bounded() {
+        let ix = index_with(&[5, 3, 9, 1, 7]);
+        let r = KeyRange {
+            low: Some((vec![Value::Int(3)], true)),
+            high: Some((vec![Value::Int(7)], true)),
+        };
+        let hits: Vec<i64> = ix
+            .range(&r)
+            .iter()
+            .map(|(k, _)| match &k.0[0] {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(hits, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn unbounded_range_returns_everything_sorted() {
+        let ix = index_with(&[5, 3, 9]);
+        assert_eq!(ix.range(&KeyRange::all()).len(), 3);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut ix = BTreeIndex::new("u", vec![0], true);
+        ix.insert(key(1), 0).unwrap();
+        assert!(ix.insert(key(1), 1).is_err());
+    }
+
+    #[test]
+    fn duplicates_allowed_on_non_unique() {
+        let mut ix = BTreeIndex::new("n", vec![0], false);
+        ix.insert(key(1), 0).unwrap();
+        ix.insert(key(1), 1).unwrap();
+        assert_eq!(ix.seek(&key(1)).len(), 2);
+        ix.remove(&key(1), 0);
+        assert_eq!(ix.seek(&key(1)), &[1]);
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn exact_seek_via_keyrange_eq() {
+        let ix = index_with(&[2, 4, 4, 6]);
+        let hits = ix.range(&KeyRange::eq(vec![Value::Int(4)]));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn composite_prefix_seek() {
+        let mut ix = BTreeIndex::new("c", vec![0, 1], false);
+        for (i, (a, b)) in [(1, 10), (1, 20), (2, 10), (3, 10)].iter().enumerate() {
+            ix.insert(IndexKey(vec![Value::Int(*a), Value::Int(*b)]), i as u64).unwrap();
+        }
+        // Prefix seek on a = 1 must return both (1,10) and (1,20).
+        let hits = ix.range(&KeyRange::eq(vec![Value::Int(1)]));
+        assert_eq!(hits.len(), 2);
+        // Range a in [2, 3] returns the last two.
+        let r = KeyRange {
+            low: Some((vec![Value::Int(2)], true)),
+            high: Some((vec![Value::Int(3)], true)),
+        };
+        assert_eq!(ix.range(&r).len(), 2);
+    }
+
+    #[test]
+    fn shorter_key_sorts_before_extension() {
+        assert!(IndexKey(vec![Value::Int(1)]) < IndexKey(vec![Value::Int(1), Value::Int(0)]));
+    }
+}

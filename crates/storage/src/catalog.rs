@@ -1,0 +1,398 @@
+//! The storage engine catalog: named tables, constraints and statistics,
+//! plus the transactional write path.
+
+use crate::histogram::analyze_table;
+use crate::table::Table;
+use crate::txn::{PendingOp, TxnState};
+use dhqp_oledb::{TableStatistics, TxnId};
+use dhqp_types::{DhqpError, IntervalSet, Result, Row, Schema};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+
+/// A single-column CHECK constraint expressed as a value domain — the form
+/// the paper's constraint property framework consumes ("the range of values
+/// in each member table is enforced by a CHECK constraint on a column
+/// designated as the partitioning column", §4.1.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckConstraint {
+    pub name: String,
+    pub column: String,
+    pub domain: IntervalSet,
+}
+
+/// Declarative table definition used at creation time.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub name: String,
+    pub schema: Schema,
+    /// `(index name, key columns, unique)`.
+    pub indexes: Vec<(String, Vec<String>, bool)>,
+    pub checks: Vec<CheckConstraint>,
+}
+
+impl TableDef {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        TableDef { name: name.into(), schema, indexes: Vec::new(), checks: Vec::new() }
+    }
+
+    pub fn with_index(mut self, name: &str, columns: &[&str], unique: bool) -> Self {
+        self.indexes
+            .push((name.to_string(), columns.iter().map(|c| c.to_string()).collect(), unique));
+        self
+    }
+
+    pub fn with_check(mut self, check: CheckConstraint) -> Self {
+        self.checks.push(check);
+        self
+    }
+}
+
+/// An in-memory multi-table storage engine instance.
+///
+/// One `StorageEngine` plays the role of one server: the local SQL Server
+/// instance, or — wrapped behind a simulated network link — a remote linked
+/// server. Interior locking makes it shareable across sessions.
+pub struct StorageEngine {
+    name: String,
+    tables: RwLock<BTreeMap<String, Table>>,
+    stats: RwLock<HashMap<String, TableStatistics>>,
+    txns: Mutex<HashMap<TxnId, TxnState>>,
+    /// Test hook: when true, `prepare` fails (2PC failure injection).
+    fail_prepare: std::sync::atomic::AtomicBool,
+}
+
+impl StorageEngine {
+    pub fn new(name: impl Into<String>) -> Self {
+        StorageEngine {
+            name: name.into(),
+            tables: RwLock::new(BTreeMap::new()),
+            stats: RwLock::new(HashMap::new()),
+            txns: Mutex::new(HashMap::new()),
+            fail_prepare: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    pub fn create_table(&self, def: TableDef) -> Result<()> {
+        let key = Self::key(&def.name);
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(DhqpError::Catalog(format!("table '{}' already exists", def.name)));
+        }
+        let mut table = Table::new(def.name.clone(), def.schema);
+        table.checks = def.checks;
+        for (ix_name, cols, unique) in &def.indexes {
+            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            table.create_index(ix_name, &col_refs, *unique)?;
+        }
+        tables.insert(key, table);
+        Ok(())
+    }
+
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let key = Self::key(name);
+        self.tables
+            .write()
+            .remove(&key)
+            .map(|_| ())
+            .ok_or_else(|| DhqpError::Catalog(format!("table '{name}' does not exist")))?;
+        self.stats.write().remove(&key);
+        Ok(())
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().values().map(|t| t.name.clone()).collect()
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&Self::key(name))
+    }
+
+    /// Run `f` against a table under a read lock.
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> Result<R> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(&Self::key(name))
+            .ok_or_else(|| DhqpError::Catalog(format!("table '{name}' does not exist")))?;
+        Ok(f(t))
+    }
+
+    /// Run `f` against a table under a write lock.
+    pub fn with_table_mut<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> Result<R>) -> Result<R> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| DhqpError::Catalog(format!("table '{name}' does not exist")))?;
+        f(t)
+    }
+
+    // ---- autocommit DML --------------------------------------------------
+
+    pub fn insert_rows(&self, table: &str, rows: &[Row]) -> Result<u64> {
+        self.with_table_mut(table, |t| {
+            for r in rows {
+                t.insert(r.clone())?;
+            }
+            Ok(rows.len() as u64)
+        })
+    }
+
+    pub fn delete_bookmarks(&self, table: &str, bookmarks: &[u64]) -> Result<u64> {
+        self.with_table_mut(table, |t| {
+            for &b in bookmarks {
+                t.delete(b)?;
+            }
+            Ok(bookmarks.len() as u64)
+        })
+    }
+
+    pub fn update_bookmarks(&self, table: &str, bookmarks: &[u64], rows: &[Row]) -> Result<u64> {
+        if bookmarks.len() != rows.len() {
+            return Err(DhqpError::Execute("update bookmark/row arity mismatch".into()));
+        }
+        self.with_table_mut(table, |t| {
+            for (&b, r) in bookmarks.iter().zip(rows) {
+                t.update(b, r.clone())?;
+            }
+            Ok(bookmarks.len() as u64)
+        })
+    }
+
+    // ---- transactional write path (2PC participant) ----------------------
+
+    /// Buffer an insert under `txn`; CHECK constraints are validated
+    /// eagerly so the client learns of violations at statement time.
+    pub fn txn_insert(&self, txn: TxnId, table: &str, rows: &[Row]) -> Result<u64> {
+        self.with_table(table, |t| -> Result<()> {
+            for r in rows {
+                if r.len() != t.schema.len() {
+                    return Err(DhqpError::Execute(format!(
+                        "row arity {} does not match table '{}' arity {}",
+                        r.len(),
+                        t.name,
+                        t.schema.len()
+                    )));
+                }
+                t.validate_checks(r)?;
+            }
+            Ok(())
+        })??;
+        let mut txns = self.txns.lock();
+        let state = txns.entry(txn).or_insert_with(TxnState::active);
+        let ops = state.active_ops().ok_or_else(|| {
+            DhqpError::Transaction(format!("transaction {txn} is no longer active"))
+        })?;
+        for r in rows {
+            ops.push(PendingOp::Insert { table: table.to_string(), row: r.clone() });
+        }
+        Ok(rows.len() as u64)
+    }
+
+    /// Buffer deletes under `txn`.
+    pub fn txn_delete(&self, txn: TxnId, table: &str, bookmarks: &[u64]) -> Result<u64> {
+        let mut txns = self.txns.lock();
+        let state = txns.entry(txn).or_insert_with(TxnState::active);
+        let ops = state.active_ops().ok_or_else(|| {
+            DhqpError::Transaction(format!("transaction {txn} is no longer active"))
+        })?;
+        for &b in bookmarks {
+            ops.push(PendingOp::Delete { table: table.to_string(), bookmark: b });
+        }
+        Ok(bookmarks.len() as u64)
+    }
+
+    /// 2PC phase one. After `Ok`, this participant guarantees `commit_txn`
+    /// will succeed.
+    pub fn prepare_txn(&self, txn: TxnId) -> Result<()> {
+        if self.fail_prepare.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(DhqpError::Transaction(format!(
+                "injected prepare failure on '{}' for txn {txn}",
+                self.name
+            )));
+        }
+        let mut txns = self.txns.lock();
+        // A participant that only read (no buffered writes) prepares
+        // trivially.
+        let Some(state) = txns.get_mut(&txn) else {
+            return Ok(());
+        };
+        // Validate every buffered op against current state so commit cannot
+        // fail: replay against a scratch copy of the touched tables.
+        {
+            let ops = state
+                .active_ops()
+                .ok_or_else(|| DhqpError::Transaction(format!("transaction {txn} not active")))?;
+            let tables = self.tables.read();
+            let mut scratch: HashMap<String, Table> = HashMap::new();
+            for op in ops.iter() {
+                let key = Self::key(op.table());
+                if !scratch.contains_key(&key) {
+                    let t = tables.get(&key).ok_or_else(|| {
+                        DhqpError::Catalog(format!("table '{}' does not exist", op.table()))
+                    })?;
+                    scratch.insert(key.clone(), t.clone());
+                }
+                let t = scratch.get_mut(&key).expect("inserted above");
+                op.apply(t)?;
+            }
+        }
+        state.mark_prepared();
+        Ok(())
+    }
+
+    /// 2PC phase two: apply buffered writes. Unknown transactions commit
+    /// trivially (read-only participant).
+    pub fn commit_txn(&self, txn: TxnId) -> Result<()> {
+        let Some(state) = self.txns.lock().remove(&txn) else {
+            return Ok(());
+        };
+        let mut tables = self.tables.write();
+        for op in state.into_ops() {
+            let key = Self::key(op.table());
+            let t = tables
+                .get_mut(&key)
+                .ok_or_else(|| DhqpError::Catalog(format!("table '{}' vanished", op.table())))?;
+            // Prepared transactions were validated; a failure here is an
+            // engine invariant violation, not a user error.
+            op.apply(t)?;
+        }
+        Ok(())
+    }
+
+    /// 2PC phase two (failure path): discard buffered writes.
+    pub fn abort_txn(&self, txn: TxnId) -> Result<()> {
+        self.txns.lock().remove(&txn);
+        Ok(())
+    }
+
+    /// Whether a transaction has buffered state here.
+    pub fn has_txn(&self, txn: TxnId) -> bool {
+        self.txns.lock().contains_key(&txn)
+    }
+
+    /// Failure-injection hook for 2PC tests/benches.
+    pub fn set_fail_prepare(&self, fail: bool) {
+        self.fail_prepare.store(fail, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    // ---- statistics -------------------------------------------------------
+
+    /// Build (or rebuild) histogram statistics for a table.
+    pub fn analyze(&self, table: &str, buckets: usize) -> Result<()> {
+        let stats = self.with_table(table, |t| analyze_table(t, buckets))??;
+        self.stats.write().insert(Self::key(table), stats);
+        Ok(())
+    }
+
+    /// Statistics previously built by [`StorageEngine::analyze`].
+    pub fn statistics(&self, table: &str) -> Option<TableStatistics> {
+        self.stats.read().get(&Self::key(table)).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_types::{Column, DataType, Value};
+
+    fn engine() -> StorageEngine {
+        let e = StorageEngine::new("local");
+        e.create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("id", DataType::Int)]),
+        ))
+        .unwrap();
+        e
+    }
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn create_and_drop() {
+        let e = engine();
+        assert!(e.has_table("T"));
+        assert!(e.create_table(TableDef::new("t", Schema::empty())).is_err());
+        e.drop_table("t").unwrap();
+        assert!(!e.has_table("t"));
+        assert!(e.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn autocommit_dml_is_visible_immediately() {
+        let e = engine();
+        e.insert_rows("t", &[row(1), row(2)]).unwrap();
+        assert_eq!(e.with_table("t", |t| t.row_count()).unwrap(), 2);
+    }
+
+    #[test]
+    fn txn_writes_invisible_until_commit() {
+        let e = engine();
+        e.txn_insert(7, "t", &[row(1)]).unwrap();
+        assert_eq!(e.with_table("t", |t| t.row_count()).unwrap(), 0);
+        e.prepare_txn(7).unwrap();
+        e.commit_txn(7).unwrap();
+        assert_eq!(e.with_table("t", |t| t.row_count()).unwrap(), 1);
+        assert!(!e.has_txn(7));
+    }
+
+    #[test]
+    fn abort_discards_buffered_writes() {
+        let e = engine();
+        e.txn_insert(8, "t", &[row(1)]).unwrap();
+        e.abort_txn(8).unwrap();
+        assert_eq!(e.with_table("t", |t| t.row_count()).unwrap(), 0);
+    }
+
+    #[test]
+    fn prepare_failure_injection() {
+        let e = engine();
+        e.txn_insert(9, "t", &[row(1)]).unwrap();
+        e.set_fail_prepare(true);
+        assert!(e.prepare_txn(9).is_err());
+        e.set_fail_prepare(false);
+        e.abort_txn(9).unwrap();
+    }
+
+    #[test]
+    fn prepare_detects_unique_violation_across_buffered_ops() {
+        let e = StorageEngine::new("local");
+        e.create_table(
+            TableDef::new("u", Schema::new(vec![Column::not_null("id", DataType::Int)]))
+                .with_index("pk", &["id"], true),
+        )
+        .unwrap();
+        e.txn_insert(1, "u", &[row(5), row(5)]).unwrap();
+        assert!(e.prepare_txn(1).is_err(), "duplicate buffered keys must fail prepare");
+        e.abort_txn(1).unwrap();
+        assert_eq!(e.with_table("u", |t| t.row_count()).unwrap(), 0);
+    }
+
+    #[test]
+    fn no_writes_after_prepare() {
+        let e = engine();
+        e.txn_insert(3, "t", &[row(1)]).unwrap();
+        e.prepare_txn(3).unwrap();
+        assert!(e.txn_insert(3, "t", &[row(2)]).is_err());
+        e.commit_txn(3).unwrap();
+    }
+
+    #[test]
+    fn analyze_builds_statistics() {
+        let e = engine();
+        let rows: Vec<Row> = (0..100).map(row).collect();
+        e.insert_rows("t", &rows).unwrap();
+        e.analyze("t", 8).unwrap();
+        let stats = e.statistics("t").unwrap();
+        assert_eq!(stats.row_count, Some(100));
+        assert!(stats.histogram("id").is_some());
+    }
+}

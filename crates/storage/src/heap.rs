@@ -1,0 +1,135 @@
+//! Heap files: unordered row storage addressed by bookmark.
+//!
+//! A bookmark is a stable slot number — the storage-level identity OLE DB's
+//! `IRowsetLocate` exposes and the *remote fetch* access path uses to pull
+//! base rows located through an index.
+
+use dhqp_types::{DhqpError, Result, Row};
+
+/// An unordered collection of rows in stable slots.
+#[derive(Debug, Default, Clone)]
+pub struct Heap {
+    slots: Vec<Option<Row>>,
+    live: usize,
+}
+
+impl Heap {
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a row, returning its bookmark. Slots are never reused, so
+    /// bookmarks stay unique for the heap's lifetime (deleted bookmarks
+    /// dangle rather than aliasing new rows).
+    pub fn insert(&mut self, row: Row) -> u64 {
+        let bookmark = self.slots.len() as u64;
+        self.slots.push(Some(row));
+        self.live += 1;
+        bookmark
+    }
+
+    /// Fetch by bookmark.
+    pub fn get(&self, bookmark: u64) -> Option<&Row> {
+        self.slots.get(bookmark as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Delete by bookmark; returns the removed row.
+    pub fn delete(&mut self, bookmark: u64) -> Result<Row> {
+        let slot = self
+            .slots
+            .get_mut(bookmark as usize)
+            .ok_or_else(|| DhqpError::Execute(format!("invalid bookmark {bookmark}")))?;
+        let row = slot
+            .take()
+            .ok_or_else(|| DhqpError::Execute(format!("bookmark {bookmark} already deleted")))?;
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Replace the row at `bookmark`, returning the old row.
+    pub fn update(&mut self, bookmark: u64, row: Row) -> Result<Row> {
+        let slot = self
+            .slots
+            .get_mut(bookmark as usize)
+            .ok_or_else(|| DhqpError::Execute(format!("invalid bookmark {bookmark}")))?;
+        match slot {
+            Some(old) => Ok(std::mem::replace(old, row)),
+            None => Err(DhqpError::Execute(format!("bookmark {bookmark} already deleted"))),
+        }
+    }
+
+    /// Iterate live rows with their bookmarks, in slot order.
+    pub fn scan(&self) -> impl Iterator<Item = (u64, &Row)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i as u64, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_types::Value;
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn insert_assigns_increasing_bookmarks() {
+        let mut h = Heap::new();
+        assert_eq!(h.insert(row(1)), 0);
+        assert_eq!(h.insert(row(2)), 1);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn delete_frees_slot_without_reuse() {
+        let mut h = Heap::new();
+        let b = h.insert(row(1));
+        h.delete(b).unwrap();
+        assert!(h.get(b).is_none());
+        assert_eq!(h.len(), 0);
+        // New insert gets a fresh bookmark, never the deleted one.
+        assert_eq!(h.insert(row(2)), 1);
+        assert!(h.delete(b).is_err(), "double delete must fail");
+    }
+
+    #[test]
+    fn update_replaces_in_place() {
+        let mut h = Heap::new();
+        let b = h.insert(row(1));
+        let old = h.update(b, row(9)).unwrap();
+        assert_eq!(old.get(0), &Value::Int(1));
+        assert_eq!(h.get(b).unwrap().get(0), &Value::Int(9));
+    }
+
+    #[test]
+    fn scan_skips_deleted() {
+        let mut h = Heap::new();
+        let a = h.insert(row(1));
+        h.insert(row(2));
+        h.delete(a).unwrap();
+        let rows: Vec<_> = h.scan().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, 1);
+    }
+
+    #[test]
+    fn invalid_bookmark_errors() {
+        let mut h = Heap::new();
+        assert!(h.delete(42).is_err());
+        assert!(h.update(42, row(0)).is_err());
+        assert!(h.get(42).is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! The storage engine exposed through the OLE DB-style traits.
+//!
+//! SQL Server's relational engine talks to its *own* storage engine through
+//! OLE DB (paper Figure 1); `LocalDataSource` is that arrangement here. It
+//! is a *base table* provider: rowsets, indexes, bookmarks, statistics and
+//! transaction enlistment — but no command object (all query processing
+//! happens in the relational engine above it). The fully SQL-capable remote
+//! provider lives in `dhqp-providers` and wraps a whole engine.
+
+use crate::catalog::StorageEngine;
+use dhqp_oledb::{
+    ColumnInfo, DataSource, KeyRange, MemRowset, ProviderCapabilities, Rowset, Session, SqlSupport,
+    TableInfo, TxnId,
+};
+use dhqp_types::{DhqpError, Result, Row};
+use std::sync::Arc;
+
+/// An OLE DB-style data source over a [`StorageEngine`].
+pub struct LocalDataSource {
+    engine: Arc<StorageEngine>,
+}
+
+impl LocalDataSource {
+    pub fn new(engine: Arc<StorageEngine>) -> Self {
+        LocalDataSource { engine }
+    }
+
+    pub fn engine(&self) -> &Arc<StorageEngine> {
+        &self.engine
+    }
+}
+
+impl DataSource for LocalDataSource {
+    fn name(&self) -> &str {
+        self.engine.name()
+    }
+
+    fn capabilities(&self) -> ProviderCapabilities {
+        ProviderCapabilities {
+            provider_name: "NATIVE-STORAGE".into(),
+            sql_support: SqlSupport::None,
+            proprietary_command: false,
+            index_support: true,
+            statistics_support: true,
+            transaction_support: true,
+            dialect: Default::default(),
+            latency_hint_us: 0,
+        }
+    }
+
+    fn tables(&self) -> Result<Vec<TableInfo>> {
+        let mut out = Vec::new();
+        for name in self.engine.table_names() {
+            let info = self.engine.with_table(&name, |t| {
+                let columns = t
+                    .schema
+                    .columns()
+                    .iter()
+                    .map(|c| ColumnInfo {
+                        name: c.name.clone(),
+                        data_type: c.data_type,
+                        nullable: c.nullable,
+                    })
+                    .collect();
+                TableInfo {
+                    name: t.name.clone(),
+                    columns,
+                    indexes: t.index_infos(),
+                    cardinality: Some(t.row_count()),
+                }
+            })?;
+            out.push(info);
+        }
+        Ok(out)
+    }
+
+    fn create_session(&self) -> Result<Box<dyn Session>> {
+        Ok(Box::new(LocalSession { engine: Arc::clone(&self.engine), txn: None }))
+    }
+}
+
+/// A session over the local storage engine. When enlisted in a distributed
+/// transaction, DML is buffered in the engine's 2PC participant state.
+pub struct LocalSession {
+    engine: Arc<StorageEngine>,
+    txn: Option<TxnId>,
+}
+
+impl Session for LocalSession {
+    fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
+        let (schema, rows) =
+            self.engine.with_table(table, |t| (t.schema.clone(), t.scan_rows()))?;
+        Ok(Box::new(MemRowset::new(schema, rows)))
+    }
+
+    fn open_index(&mut self, table: &str, index: &str, range: &KeyRange) -> Result<Box<dyn Rowset>> {
+        let (schema, rows) = self
+            .engine
+            .with_table(table, |t| t.index_range(index, range).map(|rows| (t.schema.clone(), rows)))??;
+        Ok(Box::new(MemRowset::new(schema, rows)))
+    }
+
+    fn fetch_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<Vec<Row>> {
+        self.engine.with_table(table, |t| {
+            bookmarks
+                .iter()
+                .map(|&b| {
+                    t.heap
+                        .get(b)
+                        .map(|r| Row::with_bookmark(r.values.clone(), b))
+                        .ok_or_else(|| DhqpError::Execute(format!("dangling bookmark {b}")))
+                })
+                .collect::<Result<Vec<Row>>>()
+        })?
+    }
+
+    fn histogram(&mut self, table: &str, column: &str) -> Result<Option<dhqp_oledb::Histogram>> {
+        Ok(self.engine.statistics(table).and_then(|s| s.histogram(column).cloned()))
+    }
+
+    fn join_transaction(&mut self, txn: TxnId) -> Result<()> {
+        self.txn = Some(txn);
+        Ok(())
+    }
+
+    fn prepare(&mut self, txn: TxnId) -> Result<()> {
+        self.engine.prepare_txn(txn)
+    }
+
+    fn commit(&mut self, txn: TxnId) -> Result<()> {
+        self.engine.commit_txn(txn)?;
+        self.txn = None;
+        Ok(())
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Result<()> {
+        self.engine.abort_txn(txn)?;
+        self.txn = None;
+        Ok(())
+    }
+
+    fn insert(&mut self, table: &str, rows: &[Row]) -> Result<u64> {
+        match self.txn {
+            Some(txn) => self.engine.txn_insert(txn, table, rows),
+            None => self.engine.insert_rows(table, rows),
+        }
+    }
+
+    fn delete_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<u64> {
+        match self.txn {
+            Some(txn) => self.engine.txn_delete(txn, table, bookmarks),
+            None => self.engine.delete_bookmarks(table, bookmarks),
+        }
+    }
+
+    fn update_by_bookmarks(&mut self, table: &str, bookmarks: &[u64], updates: &[Row]) -> Result<u64> {
+        match self.txn {
+            // Model an update as delete+insert inside the buffer.
+            Some(txn) => {
+                self.engine.txn_delete(txn, table, bookmarks)?;
+                self.engine.txn_insert(txn, table, updates)
+            }
+            None => self.engine.update_bookmarks(table, bookmarks, updates),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableDef;
+    use dhqp_oledb::RowsetExt;
+    use dhqp_types::{Column, DataType, Schema, Value};
+
+    fn source() -> LocalDataSource {
+        let engine = Arc::new(StorageEngine::new("srv1"));
+        engine
+            .create_table(
+                TableDef::new(
+                    "emp",
+                    Schema::new(vec![
+                        Column::not_null("id", DataType::Int),
+                        Column::new("dept", DataType::Str),
+                    ]),
+                )
+                .with_index("pk_emp", &["id"], true),
+            )
+            .unwrap();
+        engine
+            .insert_rows(
+                "emp",
+                &[
+                    Row::new(vec![Value::Int(1), Value::Str("hr".into())]),
+                    Row::new(vec![Value::Int(2), Value::Str("eng".into())]),
+                    Row::new(vec![Value::Int(3), Value::Str("eng".into())]),
+                ],
+            )
+            .unwrap();
+        engine.analyze("emp", 4).unwrap();
+        LocalDataSource::new(engine)
+    }
+
+    #[test]
+    fn metadata_reports_indexes_and_cardinality() {
+        let ds = source();
+        let t = ds.table("EMP").unwrap();
+        assert_eq!(t.cardinality, Some(3));
+        assert_eq!(t.indexes.len(), 1);
+        assert!(ds.table("nope").is_err());
+    }
+
+    #[test]
+    fn session_opens_rowsets_and_indexes() {
+        let ds = source();
+        let mut s = ds.create_session().unwrap();
+        assert_eq!(s.open_rowset("emp").unwrap().count_rows().unwrap(), 3);
+        let mut idx = s.open_index("emp", "pk_emp", &KeyRange::eq(vec![Value::Int(2)])).unwrap();
+        let rows = idx.collect_rows().unwrap();
+        assert_eq!(rows.len(), 1);
+        let bm = rows[0].bookmark.unwrap();
+        let fetched = s.fetch_by_bookmarks("emp", &[bm]).unwrap();
+        assert_eq!(fetched[0].get(1), &Value::Str("eng".into()));
+    }
+
+    #[test]
+    fn histogram_flows_through_session() {
+        let ds = source();
+        let mut s = ds.create_session().unwrap();
+        assert!(s.histogram("emp", "id").unwrap().is_some());
+        assert!(s.histogram("emp", "ghost").unwrap().is_none());
+    }
+
+    #[test]
+    fn enlisted_session_buffers_until_commit() {
+        let ds = source();
+        let mut s = ds.create_session().unwrap();
+        s.join_transaction(42).unwrap();
+        s.insert("emp", &[Row::new(vec![Value::Int(9), Value::Null])]).unwrap();
+        assert_eq!(ds.engine().with_table("emp", |t| t.row_count()).unwrap(), 3);
+        s.prepare(42).unwrap();
+        s.commit(42).unwrap();
+        assert_eq!(ds.engine().with_table("emp", |t| t.row_count()).unwrap(), 4);
+    }
+
+    #[test]
+    fn capability_class_is_index_provider() {
+        let ds = source();
+        assert_eq!(ds.capabilities().class(), dhqp_oledb::ProviderClass::Index);
+        assert!(!ds.capabilities().has_command());
+    }
+}

@@ -1,0 +1,288 @@
+//! A table: heap + secondary indexes + CHECK constraints, kept consistent
+//! across DML.
+
+use crate::btree::BTreeIndex;
+use crate::catalog::CheckConstraint;
+use crate::heap::Heap;
+use dhqp_oledb::{IndexInfo, KeyRange};
+use dhqp_types::{DhqpError, Result, Row, Schema, Value};
+
+/// A base table in the storage engine.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub schema: Schema,
+    pub heap: Heap,
+    pub indexes: Vec<BTreeIndex>,
+    pub checks: Vec<CheckConstraint>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            heap: Heap::new(),
+            indexes: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> u64 {
+        self.heap.len() as u64
+    }
+
+    /// Add a secondary index over the named columns, populating it from
+    /// existing rows.
+    pub fn create_index(&mut self, name: &str, columns: &[&str], unique: bool) -> Result<()> {
+        if self.indexes.iter().any(|ix| ix.name.eq_ignore_ascii_case(name)) {
+            return Err(DhqpError::Catalog(format!("index '{name}' already exists")));
+        }
+        let mut positions = Vec::with_capacity(columns.len());
+        for c in columns {
+            positions.push(self.schema.index_of(c).ok_or_else(|| {
+                DhqpError::Catalog(format!("no column '{c}' in table '{}'", self.name))
+            })?);
+        }
+        let mut ix = BTreeIndex::new(name, positions, unique);
+        for (bookmark, row) in self.heap.scan() {
+            let key = ix.key_of(&row.values);
+            ix.insert(key, bookmark)?;
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Validate CHECK constraints for a candidate row. SQL semantics: a
+    /// constraint is violated only when it evaluates to FALSE; NULL passes.
+    pub fn validate_checks(&self, row: &Row) -> Result<()> {
+        for check in &self.checks {
+            let pos = self.schema.index_of(&check.column).ok_or_else(|| {
+                DhqpError::Catalog(format!(
+                    "check constraint '{}' references unknown column '{}'",
+                    check.name, check.column
+                ))
+            })?;
+            let v = row.get(pos);
+            if !v.is_null() && !check.domain.contains(v) {
+                return Err(DhqpError::Constraint(format!(
+                    "value {v} for column '{}' violates CHECK constraint '{}' (domain {})",
+                    check.column, check.name, check.domain
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert one row, maintaining indexes; returns its bookmark.
+    pub fn insert(&mut self, row: Row) -> Result<u64> {
+        if row.len() != self.schema.len() {
+            return Err(DhqpError::Execute(format!(
+                "row arity {} does not match table '{}' arity {}",
+                row.len(),
+                self.name,
+                self.schema.len()
+            )));
+        }
+        self.validate_checks(&row)?;
+        // Probe unique indexes before touching anything so a violation
+        // leaves the table unchanged.
+        for ix in &self.indexes {
+            if ix.unique {
+                let key = ix.key_of(&row.values);
+                if !ix.seek(&key).is_empty() {
+                    return Err(DhqpError::Constraint(format!(
+                        "duplicate key in unique index '{}' on '{}'",
+                        ix.name, self.name
+                    )));
+                }
+            }
+        }
+        let bookmark = self.heap.insert(row);
+        let row_ref = self.heap.get(bookmark).expect("row just inserted").clone();
+        for ix in &mut self.indexes {
+            let key = ix.key_of(&row_ref.values);
+            ix.insert(key, bookmark)?;
+        }
+        Ok(bookmark)
+    }
+
+    /// Delete by bookmark, maintaining indexes.
+    pub fn delete(&mut self, bookmark: u64) -> Result<Row> {
+        let row = self.heap.delete(bookmark)?;
+        for ix in &mut self.indexes {
+            let key = ix.key_of(&row.values);
+            ix.remove(&key, bookmark);
+        }
+        Ok(row)
+    }
+
+    /// Update by bookmark, maintaining indexes and constraints.
+    pub fn update(&mut self, bookmark: u64, new_row: Row) -> Result<Row> {
+        self.validate_checks(&new_row)?;
+        let old = self.heap.update(bookmark, new_row.clone())?;
+        for ix in &mut self.indexes {
+            let old_key = ix.key_of(&old.values);
+            let new_key = ix.key_of(&new_row.values);
+            if old_key != new_key {
+                ix.remove(&old_key, bookmark);
+                ix.insert(new_key, bookmark)?;
+            }
+        }
+        Ok(old)
+    }
+
+    /// All live rows with bookmarks attached (table scan order).
+    pub fn scan_rows(&self) -> Vec<Row> {
+        self.heap
+            .scan()
+            .map(|(b, r)| Row::with_bookmark(r.values.clone(), b))
+            .collect()
+    }
+
+    /// Index range scan: rows fetched through the named index in key order,
+    /// with bookmarks attached.
+    pub fn index_range(&self, index: &str, range: &KeyRange) -> Result<Vec<Row>> {
+        let ix = self
+            .indexes
+            .iter()
+            .find(|ix| ix.name.eq_ignore_ascii_case(index))
+            .ok_or_else(|| {
+                DhqpError::Catalog(format!("no index '{index}' on table '{}'", self.name))
+            })?;
+        Ok(ix
+            .range(range)
+            .into_iter()
+            .filter_map(|(_, b)| self.heap.get(b).map(|r| Row::with_bookmark(r.values.clone(), b)))
+            .collect())
+    }
+
+    /// Index metadata in provider form.
+    pub fn index_infos(&self) -> Vec<IndexInfo> {
+        self.indexes
+            .iter()
+            .map(|ix| IndexInfo {
+                name: ix.name.clone(),
+                key_columns: ix
+                    .key_positions
+                    .iter()
+                    .map(|&p| self.schema.column(p).name.clone())
+                    .collect(),
+                unique: ix.unique,
+            })
+            .collect()
+    }
+
+    /// Non-null values of one column, sorted — histogram input.
+    pub fn sorted_column_values(&self, column: &str) -> Result<Vec<Value>> {
+        let pos = self.schema.index_of(column).ok_or_else(|| {
+            DhqpError::Catalog(format!("no column '{column}' in table '{}'", self.name))
+        })?;
+        let mut vals: Vec<Value> = self
+            .heap
+            .scan()
+            .map(|(_, r)| r.get(pos).clone())
+            .filter(|v| !v.is_null())
+            .collect();
+        vals.sort_by(|a, b| a.total_cmp(b));
+        Ok(vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_types::{Column, DataType, Interval, IntervalSet};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("name", DataType::Str),
+        ]);
+        Table::new("t", schema)
+    }
+
+    fn row(id: i64, name: &str) -> Row {
+        Row::new(vec![Value::Int(id), Value::Str(name.into())])
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = table();
+        t.insert(row(1, "a")).unwrap();
+        t.insert(row(2, "b")).unwrap();
+        let rows = t.scan_rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].bookmark.is_some());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = table();
+        assert!(t.insert(Row::new(vec![Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn index_maintained_across_dml() {
+        let mut t = table();
+        let b1 = t.insert(row(5, "a")).unwrap();
+        t.insert(row(3, "b")).unwrap();
+        t.create_index("ix_id", &["id"], true).unwrap();
+        // New inserts hit the index.
+        t.insert(row(4, "c")).unwrap();
+        let hits = t.index_range("ix_id", &KeyRange::all()).unwrap();
+        let ids: Vec<i64> = hits
+            .iter()
+            .map(|r| match r.get(0) {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+        // Update moves the index entry.
+        t.update(b1, row(9, "a2")).unwrap();
+        let hits = t.index_range("ix_id", &KeyRange::eq(vec![Value::Int(9)])).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(t.index_range("ix_id", &KeyRange::eq(vec![Value::Int(5)])).unwrap().is_empty());
+        // Delete removes it.
+        t.delete(b1).unwrap();
+        assert!(t.index_range("ix_id", &KeyRange::eq(vec![Value::Int(9)])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unique_violation_leaves_table_unchanged() {
+        let mut t = table();
+        t.create_index("ix_id", &["id"], true).unwrap();
+        t.insert(row(1, "a")).unwrap();
+        assert!(t.insert(row(1, "dup")).is_err());
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.indexes[0].len(), 1);
+    }
+
+    #[test]
+    fn check_constraint_enforced_null_passes() {
+        let mut t = table();
+        t.checks.push(CheckConstraint {
+            name: "ck_id".into(),
+            column: "id".into(),
+            domain: IntervalSet::single(Interval::between(Value::Int(0), Value::Int(10))),
+        });
+        assert!(t.insert(row(5, "ok")).is_ok());
+        assert!(t.insert(row(50, "bad")).is_err());
+        // NULL passes a CHECK (SQL semantics).
+        let null_row = Row::new(vec![Value::Null, Value::Str("n".into())]);
+        assert!(t.validate_checks(&null_row).is_ok());
+    }
+
+    #[test]
+    fn sorted_column_values_excludes_nulls() {
+        let mut t = table();
+        t.insert(row(3, "a")).unwrap();
+        t.insert(Row::new(vec![Value::Int(1), Value::Null])).unwrap();
+        let vals = t.sorted_column_values("id").unwrap();
+        assert_eq!(vals, vec![Value::Int(1), Value::Int(3)]);
+        let names = t.sorted_column_values("name").unwrap();
+        assert_eq!(names.len(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Buffered transactional writes: the storage-side half of two-phase commit.
+//!
+//! A `StorageEngine` is a 2PC *participant*: the coordinator (the `dhqp-dtc`
+//! crate, standing in for Microsoft DTC) drives `prepare`/`commit`/`abort`
+//! across participants; each participant buffers its writes until the
+//! decision arrives.
+
+use crate::table::Table;
+use dhqp_types::{Result, Row};
+
+/// One buffered write operation.
+#[derive(Debug, Clone)]
+pub enum PendingOp {
+    Insert { table: String, row: Row },
+    Delete { table: String, bookmark: u64 },
+    Update { table: String, bookmark: u64, row: Row },
+}
+
+impl PendingOp {
+    pub fn table(&self) -> &str {
+        match self {
+            PendingOp::Insert { table, .. }
+            | PendingOp::Delete { table, .. }
+            | PendingOp::Update { table, .. } => table,
+        }
+    }
+
+    /// Apply the operation to a table (used both for prepare-time validation
+    /// against a scratch copy and for commit-time application).
+    pub fn apply(&self, t: &mut Table) -> Result<()> {
+        match self {
+            PendingOp::Insert { row, .. } => t.insert(row.clone()).map(|_| ()),
+            PendingOp::Delete { bookmark, .. } => t.delete(*bookmark).map(|_| ()),
+            PendingOp::Update { bookmark, row, .. } => t.update(*bookmark, row.clone()).map(|_| ()),
+        }
+    }
+}
+
+/// Participant-side transaction lifecycle.
+#[derive(Debug)]
+pub enum TxnState {
+    /// Accepting new operations.
+    Active(Vec<PendingOp>),
+    /// Voted yes; no further operations may be added.
+    Prepared(Vec<PendingOp>),
+}
+
+impl TxnState {
+    pub fn active() -> Self {
+        TxnState::Active(Vec::new())
+    }
+
+    /// Mutable op buffer while still active, `None` once prepared.
+    pub fn active_ops(&mut self) -> Option<&mut Vec<PendingOp>> {
+        match self {
+            TxnState::Active(ops) => Some(ops),
+            TxnState::Prepared(_) => None,
+        }
+    }
+
+    pub fn mark_prepared(&mut self) {
+        if let TxnState::Active(ops) = self {
+            *self = TxnState::Prepared(std::mem::take(ops));
+        }
+    }
+
+    pub fn into_ops(self) -> Vec<PendingOp> {
+        match self {
+            TxnState::Active(ops) | TxnState::Prepared(ops) => ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_types::{Column, DataType, Schema, Value};
+
+    #[test]
+    fn state_machine_transitions() {
+        let mut s = TxnState::active();
+        s.active_ops().unwrap().push(PendingOp::Delete { table: "t".into(), bookmark: 0 });
+        s.mark_prepared();
+        assert!(s.active_ops().is_none());
+        assert_eq!(s.into_ops().len(), 1);
+    }
+
+    #[test]
+    fn apply_round_trip() {
+        let mut t = Table::new("t", Schema::new(vec![Column::not_null("x", DataType::Int)]));
+        let ins = PendingOp::Insert { table: "t".into(), row: Row::new(vec![Value::Int(1)]) };
+        ins.apply(&mut t).unwrap();
+        assert_eq!(t.row_count(), 1);
+        let del = PendingOp::Delete { table: "t".into(), bookmark: 0 };
+        del.apply(&mut t).unwrap();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(ins.table(), "t");
+    }
+}

@@ -1,0 +1,118 @@
+//! The common error type used across all `dhqp` crates.
+
+use std::fmt;
+
+/// Convenient alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, DhqpError>;
+
+/// Unified error type for the whole engine.
+///
+/// Variants are grouped by the subsystem that typically raises them; the
+/// payload is always a human-readable message because errors cross the
+/// provider boundary (where, as in OLE DB, only a status and text survive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DhqpError {
+    /// Lexing / parsing failures, with a position hint when available.
+    Parse(String),
+    /// Name resolution / typing failures during algebrization.
+    Bind(String),
+    /// Failures inside the Cascades optimizer (no plan found, internal
+    /// invariant broken).
+    Optimize(String),
+    /// Runtime failures in the executor.
+    Execute(String),
+    /// Errors surfaced by a provider (connection, command, rowset).
+    Provider(String),
+    /// Type-system violations: invalid cast, incomparable values, etc.
+    Type(String),
+    /// Catalog problems: unknown table/column/linked server, duplicates.
+    Catalog(String),
+    /// Constraint violations (CHECK, partitioning ranges) during DML.
+    Constraint(String),
+    /// Transaction failures, including 2PC aborts.
+    Transaction(String),
+    /// Delayed schema validation failure: remote schema drifted between
+    /// plan compilation and execution (paper §4.1.5).
+    SchemaDrift(String),
+    /// Feature exists in the paper's system but is intentionally out of
+    /// scope here; raising it beats silently returning wrong answers.
+    Unsupported(String),
+}
+
+impl DhqpError {
+    /// Short machine-friendly category name, used by tests and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DhqpError::Parse(_) => "parse",
+            DhqpError::Bind(_) => "bind",
+            DhqpError::Optimize(_) => "optimize",
+            DhqpError::Execute(_) => "execute",
+            DhqpError::Provider(_) => "provider",
+            DhqpError::Type(_) => "type",
+            DhqpError::Catalog(_) => "catalog",
+            DhqpError::Constraint(_) => "constraint",
+            DhqpError::Transaction(_) => "transaction",
+            DhqpError::SchemaDrift(_) => "schema-drift",
+            DhqpError::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            DhqpError::Parse(m)
+            | DhqpError::Bind(m)
+            | DhqpError::Optimize(m)
+            | DhqpError::Execute(m)
+            | DhqpError::Provider(m)
+            | DhqpError::Type(m)
+            | DhqpError::Catalog(m)
+            | DhqpError::Constraint(m)
+            | DhqpError::Transaction(m)
+            | DhqpError::SchemaDrift(m)
+            | DhqpError::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for DhqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for DhqpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = DhqpError::Parse("unexpected token `FROM`".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token `FROM`");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token `FROM`");
+    }
+
+    #[test]
+    fn every_variant_has_distinct_kind() {
+        let variants = [
+            DhqpError::Parse(String::new()),
+            DhqpError::Bind(String::new()),
+            DhqpError::Optimize(String::new()),
+            DhqpError::Execute(String::new()),
+            DhqpError::Provider(String::new()),
+            DhqpError::Type(String::new()),
+            DhqpError::Catalog(String::new()),
+            DhqpError::Constraint(String::new()),
+            DhqpError::Transaction(String::new()),
+            DhqpError::SchemaDrift(String::new()),
+            DhqpError::Unsupported(String::new()),
+        ];
+        let mut kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), variants.len());
+    }
+}

@@ -1,0 +1,18 @@
+//! Core data model shared by every layer of the `dhqp` federated query
+//! engine: SQL values, rows, schemas, typed domain intervals (the substrate
+//! of the paper's *constraint property framework*), and the common error
+//! type.
+//!
+//! This crate deliberately has no knowledge of providers, plans or SQL text;
+//! everything above it (the OLE DB-style provider traits, the storage engine,
+//! the Cascades optimizer, the executor) speaks in these types.
+
+pub mod error;
+pub mod interval;
+pub mod row;
+pub mod value;
+
+pub use error::{DhqpError, Result};
+pub use interval::{Interval, IntervalBound, IntervalSet};
+pub use row::{Column, Row, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,74 @@
+//! Account tables for the federation/2PC scaling experiment (E11): a
+//! TPC-C-new-order-flavoured transfer workload over a federation of member
+//! engines, echoing the paper's §4.1.5 federated TPC-C result.
+
+use dhqp_storage::{CheckConstraint, StorageEngine, TableDef};
+use dhqp_types::{Column, DataType, Interval, IntervalSet, Result, Row, Schema, Value};
+
+/// Create an `accounts` member table holding ids `[lo, hi]` with an initial
+/// balance, CHECK-constrained to its range.
+pub fn create_account_partition(
+    engine: &StorageEngine,
+    table: &str,
+    lo: i64,
+    hi: i64,
+    balance: i64,
+) -> Result<IntervalSet> {
+    let domain = IntervalSet::single(Interval::between(Value::Int(lo), Value::Int(hi)));
+    engine.create_table(
+        TableDef::new(
+            table,
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::not_null("balance", DataType::Int),
+            ]),
+        )
+        .with_index(&format!("pk_{table}"), &["id"], true)
+        .with_check(CheckConstraint {
+            name: format!("ck_{table}"),
+            column: "id".into(),
+            domain: domain.clone(),
+        }),
+    )?;
+    let rows: Vec<Row> =
+        (lo..=hi).map(|id| Row::new(vec![Value::Int(id), Value::Int(balance)])).collect();
+    engine.insert_rows(table, &rows)?;
+    Ok(domain)
+}
+
+/// Total balance across member engines — the conservation invariant the
+/// 2PC tests assert.
+pub fn total_balance(members: &[(&StorageEngine, &str)]) -> Result<i64> {
+    let mut total = 0;
+    for (engine, table) in members {
+        total += engine.with_table(table, |t| {
+            t.scan_rows()
+                .iter()
+                .map(|r| match r.get(1) {
+                    Value::Int(b) => *b,
+                    _ => 0,
+                })
+                .sum::<i64>()
+        })?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_setup_and_invariant() {
+        let e1 = StorageEngine::new("s1");
+        let e2 = StorageEngine::new("s2");
+        let d1 = create_account_partition(&e1, "accounts_a", 0, 49, 100).unwrap();
+        let d2 = create_account_partition(&e2, "accounts_b", 50, 99, 100).unwrap();
+        assert!(!d1.intersects(&d2));
+        assert_eq!(total_balance(&[(&e1, "accounts_a"), (&e2, "accounts_b")]).unwrap(), 10_000);
+        // CHECK rejects out-of-range rows.
+        assert!(e1
+            .insert_rows("accounts_a", &[Row::new(vec![Value::Int(60), Value::Int(1)])])
+            .is_err());
+    }
+}

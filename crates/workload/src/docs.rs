@@ -1,0 +1,105 @@
+//! Synthetic document corpus for full-text experiments — the stand-in for
+//! the paper's `DQLiterature` catalog of database papers (§2.2).
+
+use dhqp_fulltext::Document;
+use dhqp_types::value::parse_date;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Topic vocabularies; each document draws most words from one topic so
+/// queries like `"parallel database"` have selective structure.
+const TOPICS: [(&str, &[&str]); 4] = [
+    (
+        "databases",
+        &[
+            "parallel", "database", "systems", "query", "optimization", "join", "index",
+            "transaction", "heterogeneous", "distributed", "federated", "partitioned",
+        ],
+    ),
+    (
+        "networks",
+        &[
+            "network", "latency", "bandwidth", "protocol", "routing", "packet", "congestion",
+            "throughput", "topology",
+        ],
+    ),
+    (
+        "compilers",
+        &[
+            "compiler", "parser", "grammar", "register", "allocation", "optimization",
+            "intermediate", "representation", "codegen",
+        ],
+    ),
+    (
+        "cooking",
+        &["pasta", "sauce", "garlic", "basil", "oven", "recipe", "tomato", "olive", "simmer"],
+    ),
+];
+
+const FILLER: &[&str] = &[
+    "the", "a", "of", "and", "for", "with", "over", "under", "into", "about", "results", "show",
+    "approach", "method", "paper", "work", "section",
+];
+
+/// Generate `n` deterministic documents. Document types rotate through
+/// txt/html/md so IFilter paths are exercised.
+pub fn generate_documents(n: usize, seed: u64) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base_date = parse_date("2004-01-01").expect("valid date");
+    (0..n)
+        .map(|i| {
+            let (topic, vocab) = TOPICS[i % TOPICS.len()];
+            let words = 60 + rng.gen_range(0..120);
+            let mut body = String::new();
+            for w in 0..words {
+                if w > 0 {
+                    body.push(' ');
+                }
+                if rng.gen_bool(0.55) {
+                    body.push_str(vocab[rng.gen_range(0..vocab.len())]);
+                } else {
+                    body.push_str(FILLER[rng.gen_range(0..FILLER.len())]);
+                }
+            }
+            let (doc_type, raw) = match i % 3 {
+                0 => ("txt", body.clone()),
+                1 => ("html", format!("<html><body><p>{body}</p></body></html>")),
+                _ => ("md", format!("# {topic} notes\n\n{body}")),
+            };
+            Document {
+                id: 0,
+                path: format!("d:\\lit\\{topic}\\doc{i:04}.{doc_type}"),
+                doc_type: doc_type.to_string(),
+                size: raw.len() as u64,
+                raw,
+                created: base_date + (i % 365) as i32,
+                modified: base_date + (i % 365) as i32 + 1,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_fulltext::SearchService;
+
+    #[test]
+    fn corpus_is_deterministic_and_topical() {
+        let a = generate_documents(40, 9);
+        let b = generate_documents(40, 9);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a[0].raw, b[0].raw);
+        // Index and check topical selectivity: "pasta" hits only cooking docs.
+        let svc = SearchService::new();
+        svc.create_catalog("lit").unwrap();
+        for d in a {
+            svc.index_document("lit", d).unwrap();
+        }
+        let pasta = svc.query_keys("lit", "pasta").unwrap();
+        assert!(!pasta.is_empty());
+        assert!(pasta.len() <= 10, "pasta should hit only cooking docs, got {}", pasta.len());
+        let database = svc.query_keys("lit", "database").unwrap();
+        assert!(database.len() >= pasta.len());
+    }
+}

@@ -1,0 +1,19 @@
+//! Deterministic workload generators for tests, examples and benchmarks.
+//!
+//! * [`tpch`] — a scaled-down TPC-H-style schema (the paper's Example 1 and
+//!   §4.1.5 partitioned `lineitem` run against this).
+//! * [`docs`] — a synthetic document corpus for full-text experiments
+//!   (stands in for the paper's `DQLiterature` catalog).
+//! * [`mailgen`] — mail-file text for the §2.4 salesman scenario.
+//! * [`accounts`] — bank-transfer style tables for the federation/2PC
+//!   scaling experiment (E11).
+//!
+//! All generators take an explicit seed and are deterministic, so paper
+//! figures regenerate identically across runs.
+
+pub mod accounts;
+pub mod docs;
+pub mod mailgen;
+pub mod tpch;
+
+pub use tpch::TpchScale;

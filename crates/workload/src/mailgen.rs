@@ -1,0 +1,92 @@
+//! Mail-file generation for the §2.4 salesman scenario: "find all email
+//! messages he has received from Seattle customers ... within the last two
+//! days to which he has not yet replied."
+
+use dhqp_types::value::format_date;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one generated mailbox.
+#[derive(Debug, Clone)]
+pub struct MailboxSpec {
+    /// The mailbox owner.
+    pub owner: String,
+    /// Customer e-mail addresses that may write in.
+    pub customers: Vec<String>,
+    /// Total inbound messages.
+    pub inbound: usize,
+    /// Fraction of inbound messages the owner has replied to.
+    pub reply_fraction: f64,
+    /// "Today" as days since the epoch; message dates fall in the 14 days
+    /// before it.
+    pub today: i32,
+}
+
+impl MailboxSpec {
+    pub fn customer_addresses(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("customer{i:03}@corp{}.example", i % 7)).collect()
+    }
+}
+
+/// Generate the mail-file text (parseable by
+/// `dhqp_providers::mail::parse_mail_file`).
+pub fn generate_mailbox(spec: &MailboxSpec, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let subjects = ["quote request", "order status", "invoice question", "renewal", "support"];
+    let mut out = String::new();
+    let mut msg_no = 0;
+    for i in 0..spec.inbound {
+        msg_no += 1;
+        let from = &spec.customers[rng.gen_range(0..spec.customers.len())];
+        let date = spec.today - rng.gen_range(0..14);
+        let subject = subjects[rng.gen_range(0..subjects.len())];
+        let in_id = format!("<in{i}@ext>");
+        out.push_str(&format!(
+            "Msg-Id: {in_id}\nFrom: {from}\nTo: {owner}\nDate: {date}\nSubject: {subject}\n\n\
+             Message {i} body about {subject}.\n\n",
+            owner = spec.owner,
+            date = format_date(date),
+        ));
+        if rng.gen_bool(spec.reply_fraction) {
+            msg_no += 1;
+            let reply_date = (date + rng.gen_range(0..2)).min(spec.today);
+            out.push_str(&format!(
+                "Msg-Id: <out{msg_no}@corp>\nFrom: {owner}\nTo: {from}\nDate: {rdate}\n\
+                 Subject: RE: {subject}\nIn-Reply-To: {in_id}\n\nReply to message {i}.\n\n",
+                owner = spec.owner,
+                rdate = format_date(reply_date),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_providers::mail::parse_mail_file;
+
+    #[test]
+    fn generated_mailbox_parses_and_has_replies() {
+        let spec = MailboxSpec {
+            owner: "smith@corp.example".into(),
+            customers: MailboxSpec::customer_addresses(10),
+            inbound: 30,
+            reply_fraction: 0.5,
+            today: 12_600,
+        };
+        let text = generate_mailbox(&spec, 3);
+        let msgs = parse_mail_file(&text).unwrap();
+        assert!(msgs.len() > 30, "inbound + replies");
+        let replies = msgs.iter().filter(|m| m.in_reply_to.is_some()).count();
+        assert!(replies > 5 && replies < 30);
+        // Determinism.
+        assert_eq!(text, generate_mailbox(&spec, 3));
+        // Replies reference existing messages.
+        for m in &msgs {
+            if let Some(parent) = &m.in_reply_to {
+                assert!(msgs.iter().any(|p| &p.msg_id == parent));
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The paper's §2.4 salesman scenario: unanswered e-mail from Seattle
+//! customers within the last two days, joining a mail file with an
+//! Access-style customer database.
+//!
+//! ```text
+//! cargo run --example email_salesman
+//! ```
+
+use dhqp::Engine;
+use dhqp_oledb::SqlSupport;
+use dhqp_providers::{MailboxProvider, MiniSqlProvider};
+use dhqp_storage::{StorageEngine, TableDef};
+use dhqp_types::{value::parse_date, Column, DataType, Row, Schema, Value};
+use dhqp_workload::mailgen::{generate_mailbox, MailboxSpec};
+use std::sync::Arc;
+
+fn main() -> dhqp_types::Result<()> {
+    let today = parse_date("2004-06-14").expect("valid date");
+    let engine = Engine::new("local");
+
+    // d:\mail\smith.mmf — the salesman's mail file.
+    let spec = MailboxSpec {
+        owner: "smith@corp.example".into(),
+        customers: MailboxSpec::customer_addresses(12),
+        inbound: 30,
+        reply_fraction: 0.6,
+        today,
+    };
+    let mailbox = MailboxProvider::from_text("d:\\mail\\smith.mmf", &generate_mailbox(&spec, 8))?;
+    println!("mailbox: {} messages parsed", mailbox.message_count());
+    engine.add_linked_server("mail", Arc::new(mailbox))?;
+
+    // d:\access\Enterprise.mdb — the Access customers database.
+    let mdb = Arc::new(StorageEngine::new("enterprise.mdb"));
+    mdb.create_table(TableDef::new(
+        "Customers",
+        Schema::new(vec![
+            Column::not_null("Emailaddr", DataType::Str),
+            Column::not_null("City", DataType::Str),
+            Column::new("Address", DataType::Str),
+        ]),
+    ))?;
+    let rows: Vec<Row> = spec
+        .customers
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            Row::new(vec![
+                Value::Str(addr.clone()),
+                Value::Str(if i % 2 == 0 { "Seattle" } else { "Portland" }.into()),
+                Value::Str(format!("{} Pine St", i + 1)),
+            ])
+        })
+        .collect();
+    mdb.insert_rows("Customers", &rows)?;
+    engine.add_linked_server(
+        "access",
+        Arc::new(MiniSqlProvider::new("Enterprise.mdb", mdb, SqlSupport::OdbcCore)?),
+    )?;
+
+    // The §2.4 query in the engine's dialect: MakeTable(Mail, ...) becomes
+    // the mailbox linked server; MakeTable(Access, ...) the Access one.
+    let sql = "SELECT m1.date, m1.from_addr, m1.subject, c.Address \
+               FROM mail.mbx.dbo.messages m1, access.db.dbo.Customers c \
+               WHERE m1.date >= DATE '2004-06-12' \
+                 AND m1.from_addr = c.Emailaddr \
+                 AND c.City = 'Seattle' \
+                 AND m1.to_addr = 'smith@corp.example' \
+                 AND NOT EXISTS (SELECT * FROM mail.mbx.dbo.messages m2 \
+                                 WHERE m2.inreplyto = m1.msgid) \
+               ORDER BY m1.date DESC";
+    println!("\n== unanswered Seattle mail from the last two days ==\n{sql}\n");
+    println!("-- plan\n{}", engine.explain(sql)?.render());
+    println!("-- result\n{}", engine.query(sql)?.to_table());
+    Ok(())
+}

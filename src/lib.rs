@@ -1,0 +1,5 @@
+//! Umbrella crate for the `dhqp` reproduction workspace: hosts the
+//! cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`). The library surface re-exports the engine crate.
+
+pub use dhqp::*;

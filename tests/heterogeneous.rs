@@ -1,0 +1,408 @@
+//! Heterogeneous-source integration tests: CSV files, spreadsheets, the
+//! Access-like SQL provider, mail files, full-text catalogs — the paper's
+//! §2.2–§2.4 scenarios end to end.
+
+use dhqp::{Engine, EngineDataSource};
+use dhqp_fulltext::FullTextProvider;
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
+use dhqp_oledb::{DataSource, SqlSupport};
+use dhqp_providers::{CsvProvider, MailboxProvider, MiniSqlProvider, Sheet, SpreadsheetProvider};
+use dhqp_storage::{StorageEngine, TableDef};
+use dhqp_types::{value::parse_date, Column, DataType, Row, Schema, Value};
+use dhqp_workload::docs::generate_documents;
+use dhqp_workload::mailgen::{generate_mailbox, MailboxSpec};
+use std::sync::Arc;
+
+#[test]
+fn csv_linked_server_queries() {
+    let engine = Engine::new("local");
+    let csv = CsvProvider::new(
+        "files",
+        &[("scores.csv", "player,score\nann,10\nbeth,25\ncleo,17\n")],
+    )
+    .unwrap();
+    engine.add_linked_server("files", Arc::new(csv)).unwrap();
+    let r = engine
+        .query("SELECT player FROM files.fs.dbo.[scores.csv] WHERE score > 15 ORDER BY score DESC")
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.value(0, 0), &Value::Str("beth".into()));
+    // Simple provider: everything is computed locally, but it still works.
+    let plan = engine.explain("SELECT COUNT(*) AS n FROM files.fs.dbo.[scores.csv]").unwrap();
+    assert!(!plan.plan_text.contains("RemoteQuery"), "{}", plan.plan_text);
+}
+
+#[test]
+fn spreadsheet_join_with_local_table() {
+    let engine = Engine::new("local");
+    engine
+        .create_table(TableDef::new(
+            "quota",
+            Schema::new(vec![
+                Column::not_null("quarter", DataType::Str),
+                Column::not_null("target", DataType::Float),
+            ]),
+        ))
+        .unwrap();
+    engine
+        .insert(
+            "quota",
+            &[
+                Row::new(vec![Value::Str("Q1".into()), Value::Float(100_000.0)]),
+                Row::new(vec![Value::Str("Q2".into()), Value::Float(120_000.0)]),
+            ],
+        )
+        .unwrap();
+    let mut sheet = Sheet::new(
+        "Actuals",
+        vec![("Quarter".into(), DataType::Str), ("Amount".into(), DataType::Float)],
+    );
+    sheet.push_row(vec![Value::Str("Q1".into()), Value::Float(110_000.0)]).unwrap();
+    sheet.push_row(vec![Value::Str("Q2".into()), Value::Float(90_000.0)]).unwrap();
+    engine
+        .add_linked_server("xls", Arc::new(SpreadsheetProvider::new("book.xls", vec![sheet])))
+        .unwrap();
+    let r = engine
+        .query(
+            "SELECT q.quarter FROM quota q, xls.book.dbo.Actuals a \
+             WHERE q.quarter = a.Quarter AND a.Amount >= q.target",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.value(0, 0), &Value::Str("Q1".into()));
+}
+
+#[test]
+fn minisql_provider_receives_pushdown_within_its_level() {
+    // An ODBC-Core provider gets single-statement pushdown for joins but
+    // the engine must handle GROUP BY itself.
+    let storage = Arc::new(StorageEngine::new("access"));
+    storage
+        .create_table(TableDef::new(
+            "Customers",
+            Schema::new(vec![
+                Column::not_null("Emailaddr", DataType::Str),
+                Column::not_null("City", DataType::Str),
+            ]),
+        ))
+        .unwrap();
+    let rows: Vec<Row> = (0..20)
+        .map(|i| {
+            Row::new(vec![
+                Value::Str(format!("c{i}@x.example")),
+                Value::Str(if i % 4 == 0 { "Seattle".into() } else { format!("City{}", i % 3) }),
+            ])
+        })
+        .collect();
+    storage.insert_rows("Customers", &rows).unwrap();
+    let provider = MiniSqlProvider::new("AccessDb", storage, SqlSupport::OdbcCore).unwrap();
+    let engine = Engine::new("local");
+    engine.add_linked_server("acc", Arc::new(provider)).unwrap();
+
+    // Filter pushdown works at ODBC Core.
+    let sql = "SELECT Emailaddr FROM acc.db.dbo.Customers WHERE City = 'Seattle'";
+    let plan = engine.explain(sql).unwrap();
+    assert!(plan.plan_text.contains("RemoteQuery"), "{}", plan.plan_text);
+    assert_eq!(engine.query(sql).unwrap().len(), 5);
+
+    // GROUP BY exceeds the level: stays local, still answers.
+    let sql = "SELECT City, COUNT(*) AS n FROM acc.db.dbo.Customers GROUP BY City";
+    let plan = engine.explain(sql).unwrap();
+    assert!(
+        plan.plan_text.contains("HashAggregate") || plan.plan_text.contains("StreamAggregate"),
+        "aggregate must run locally for an ODBC-Core source:\n{}",
+        plan.plan_text
+    );
+    assert_eq!(engine.query(sql).unwrap().len(), 4);
+}
+
+#[test]
+fn sql_minimum_provider_gets_only_simple_pushdown() {
+    let storage = Arc::new(StorageEngine::new("mini"));
+    storage
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![
+                Column::not_null("k", DataType::Int),
+                Column::not_null("v", DataType::Int),
+            ]),
+        ))
+        .unwrap();
+    let rows: Vec<Row> =
+        (0..50).map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 7)])).collect();
+    storage.insert_rows("t", &rows).unwrap();
+    let provider = MiniSqlProvider::new("minidb", storage, SqlSupport::Minimum).unwrap();
+    let engine = Engine::new("local");
+    engine.add_linked_server("mini", Arc::new(provider)).unwrap();
+
+    // Conjunctive comparison: pushable at SQL Minimum.
+    let sql = "SELECT k FROM mini.db.dbo.t WHERE k > 40 AND v = 1";
+    let plan = engine.explain(sql).unwrap();
+    assert!(plan.plan_text.contains("RemoteQuery"), "{}", plan.plan_text);
+    assert!(!engine.query(sql).unwrap().is_empty());
+
+    // OR exceeds SQL Minimum: the filter must run locally.
+    let sql = "SELECT k FROM mini.db.dbo.t WHERE k = 1 OR k = 2";
+    let plan = engine.explain(sql).unwrap();
+    assert!(
+        plan.plan_text.contains("Filter"),
+        "OR predicate stays local at SQL Minimum:\n{}",
+        plan.plan_text
+    );
+    assert_eq!(engine.query(sql).unwrap().len(), 2);
+}
+
+/// The §2.2 scenario: OPENROWSET against the MSIDXS full-text provider.
+#[test]
+fn openrowset_fulltext_documents() {
+    let engine = Engine::new("local");
+    let service = Arc::clone(engine.fulltext_service());
+    service.create_catalog("DQLiterature").unwrap();
+    for doc in generate_documents(40, 5) {
+        service.index_document("DQLiterature", doc).unwrap();
+    }
+    let svc = Arc::clone(&service);
+    engine.register_openrowset_provider(
+        "MSIDXS",
+        Arc::new(move |catalog: &str| {
+            Ok(Arc::new(FullTextProvider::new(Arc::clone(&svc), catalog))
+                as Arc<dyn DataSource>)
+        }),
+    );
+    // The paper's §2.2 query, modulo dialect details.
+    let r = engine
+        .query(
+            "SELECT FS.path FROM OPENROWSET('MSIDXS','DQLiterature',\
+             'Select Path, Directory, FileName, size, Create, Write from SCOPE() \
+              where CONTAINS(''\"parallel database\" OR \"heterogeneous query\"'')') AS FS",
+        )
+        .unwrap();
+    assert!(!r.is_empty());
+    for row in &r.rows {
+        let Value::Str(path) = row.get(0) else { panic!("path must be a string") };
+        assert!(path.contains("databases"), "only database-topic docs match: {path}");
+    }
+    // Rank-ordered TOP via the provider's rank column.
+    let r = engine
+        .query(
+            "SELECT FS.path, FS.rank FROM OPENROWSET('MSIDXS','DQLiterature',\
+             'Select path, rank from SCOPE() where CONTAINS(''database'')') AS FS \
+             WHERE FS.rank > 100",
+        )
+        .unwrap();
+    assert!(!r.is_empty());
+}
+
+/// The §2.3 scenario: CONTAINS over a relational table joined on row
+/// identity.
+#[test]
+fn contains_over_relational_table() {
+    let engine = Engine::new("local");
+    engine
+        .create_table(
+            TableDef::new(
+                "articles",
+                Schema::new(vec![
+                    Column::not_null("id", DataType::Int),
+                    Column::not_null("title", DataType::Str),
+                    Column::new("body", DataType::Str),
+                ]),
+            )
+            .with_index("pk_articles", &["id"], true),
+        )
+        .unwrap();
+    engine
+        .insert(
+            "articles",
+            &[
+                Row::new(vec![
+                    Value::Int(1),
+                    Value::Str("running guide".into()),
+                    Value::Str("The runner ran a marathon in the rain".into()),
+                ]),
+                Row::new(vec![
+                    Value::Int(2),
+                    Value::Str("db notes".into()),
+                    Value::Str("Parallel database systems overview".into()),
+                ]),
+                Row::new(vec![
+                    Value::Int(3),
+                    Value::Str("cooking".into()),
+                    Value::Str("Pasta with garlic".into()),
+                ]),
+            ],
+        )
+        .unwrap();
+    engine.create_fulltext_index("articles", "id", "body", "articles_ft").unwrap();
+
+    // Inflection folding: 'run' matches 'runner'/'ran' (§2.3).
+    let r = engine
+        .query("SELECT title FROM articles WHERE CONTAINS(body, 'run') ORDER BY title")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.value(0, 0), &Value::Str("running guide".into()));
+
+    // Full-text predicate combined with relational predicates.
+    let r = engine
+        .query("SELECT id FROM articles WHERE CONTAINS(body, 'database OR pasta') AND id > 2")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.value(0, 0), &Value::Int(3));
+
+    // Index maintenance after DML through the engine.
+    engine.execute("DELETE FROM articles WHERE id = 2").unwrap();
+    let r = engine.query("SELECT id FROM articles WHERE CONTAINS(body, 'database')").unwrap();
+    assert!(r.is_empty(), "deleted rows must leave the full-text index");
+}
+
+/// The §2.4 salesman scenario: unanswered mail from Seattle customers in
+/// the last two days, joining a mail file with an Access-style customer
+/// table.
+#[test]
+fn salesman_email_scenario() {
+    let today = parse_date("2004-06-14").unwrap();
+    let engine = Engine::new("local");
+
+    // Mail file provider (d:\mail\smith.mmf).
+    let spec = MailboxSpec {
+        owner: "smith@corp.example".into(),
+        customers: MailboxSpec::customer_addresses(12),
+        inbound: 40,
+        reply_fraction: 0.5,
+        today,
+    };
+    let mailbox = MailboxProvider::from_text("d:\\mail\\smith.mmf", &generate_mailbox(&spec, 21)).unwrap();
+    engine.add_linked_server("mail", Arc::new(mailbox)).unwrap();
+
+    // Access-style Customers table: half the customers are in Seattle.
+    let storage = Arc::new(StorageEngine::new("enterprise.mdb"));
+    storage
+        .create_table(TableDef::new(
+            "Customers",
+            Schema::new(vec![
+                Column::not_null("Emailaddr", DataType::Str),
+                Column::not_null("City", DataType::Str),
+                Column::new("Address", DataType::Str),
+            ]),
+        ))
+        .unwrap();
+    let rows: Vec<Row> = spec
+        .customers
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            Row::new(vec![
+                Value::Str(addr.clone()),
+                Value::Str(if i % 2 == 0 { "Seattle" } else { "Portland" }.into()),
+                Value::Str(format!("{i} Pine St")),
+            ])
+        })
+        .collect();
+    storage.insert_rows("Customers", &rows).unwrap();
+    engine
+        .add_linked_server(
+            "access",
+            Arc::new(MiniSqlProvider::new("enterprise.mdb", storage, SqlSupport::OdbcCore).unwrap()),
+        )
+        .unwrap();
+
+    // The paper's §2.4 query, in the engine's dialect.
+    let sql = "SELECT m1.msgid, m1.from_addr, c.Address \
+               FROM mail.mbx.dbo.messages m1, access.db.dbo.Customers c \
+               WHERE m1.date >= DATE '2004-06-12' \
+                 AND m1.from_addr = c.Emailaddr AND c.City = 'Seattle' \
+                 AND m1.to_addr = 'smith@corp.example' \
+                 AND NOT EXISTS (SELECT * FROM mail.mbx.dbo.messages m2 \
+                                 WHERE m2.inreplyto = m1.msgid)";
+    let r = engine.query(sql).unwrap();
+    assert!(!r.is_empty(), "some recent Seattle mail must be unanswered");
+    // Cross-check each result row against first principles.
+    let all_mail = engine.query("SELECT msgid, from_addr, date, inreplyto FROM mail.mbx.dbo.messages").unwrap();
+    for row in &r.rows {
+        let Value::Str(msgid) = row.get(0) else { panic!() };
+        let parent = all_mail
+            .rows
+            .iter()
+            .find(|m| matches!(m.get(0), Value::Str(s) if s == msgid))
+            .expect("result must be a real message");
+        assert!(matches!(parent.get(2), Value::Date(d) if *d >= today - 2));
+        let answered = all_mail
+            .rows
+            .iter()
+            .any(|m| matches!(m.get(3), Value::Str(s) if s == msgid));
+        assert!(!answered, "{msgid} was answered");
+    }
+}
+
+#[test]
+fn three_source_federated_join() {
+    // Local + remote engine + CSV in one statement.
+    let engine = Engine::new("local");
+    engine
+        .create_table(TableDef::new(
+            "regions",
+            Schema::new(vec![
+                Column::not_null("region_id", DataType::Int),
+                Column::not_null("region", DataType::Str),
+            ]),
+        ))
+        .unwrap();
+    engine
+        .insert(
+            "regions",
+            &[
+                Row::new(vec![Value::Int(1), Value::Str("west".into())]),
+                Row::new(vec![Value::Int(2), Value::Str("east".into())]),
+            ],
+        )
+        .unwrap();
+
+    let remote = Engine::new("sales-engine");
+    remote
+        .create_table(TableDef::new(
+            "sales",
+            Schema::new(vec![
+                Column::not_null("store_id", DataType::Int),
+                Column::not_null("amount", DataType::Int),
+            ]),
+        ))
+        .unwrap();
+    remote
+        .storage()
+        .insert_rows(
+            "sales",
+            &[
+                Row::new(vec![Value::Int(10), Value::Int(500)]),
+                Row::new(vec![Value::Int(11), Value::Int(700)]),
+                Row::new(vec![Value::Int(10), Value::Int(250)]),
+            ],
+        )
+        .unwrap();
+    let link = NetworkLink::new("sales-link", NetworkConfig::lan());
+    engine
+        .add_linked_server(
+            "salesrv",
+            Arc::new(NetworkedDataSource::new(Arc::new(EngineDataSource::new(remote)), link)),
+        )
+        .unwrap();
+
+    let csv = CsvProvider::new(
+        "files",
+        &[("stores.csv", "store_id,region_id\n10,1\n11,2\n")],
+    )
+    .unwrap();
+    engine.add_linked_server("files", Arc::new(csv)).unwrap();
+
+    let r = engine
+        .query(
+            "SELECT r.region, SUM(s.amount) AS total \
+             FROM regions r, files.fs.dbo.[stores.csv] st, salesrv.db.dbo.sales s \
+             WHERE r.region_id = st.region_id AND st.store_id = s.store_id \
+             GROUP BY r.region ORDER BY r.region",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.value(0, 0), &Value::Str("east".into()));
+    assert_eq!(r.value(0, 1), &Value::Int(700));
+    assert_eq!(r.value(1, 1), &Value::Int(750));
+}

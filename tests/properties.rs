@@ -1,0 +1,301 @@
+//! Property-based tests over the engine's core invariants.
+
+use dhqp::Engine;
+use dhqp_storage::TableDef;
+use dhqp_types::{
+    value::{format_date, like_match, parse_date},
+    Column, DataType, Interval, IntervalSet, Row, Schema, Value,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// value model
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        "[a-z]{0,6}".prop_map(Value::Str),
+        (-30000i32..30000).prop_map(Value::Date),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn total_order_is_total_and_antisymmetric(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        // Transitivity on a sorted triple.
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| x.total_cmp(y));
+        prop_assert_ne!(v[0].total_cmp(&v[1]), Ordering::Greater);
+        prop_assert_ne!(v[1].total_cmp(&v[2]), Ordering::Greater);
+        prop_assert_ne!(v[0].total_cmp(&v[2]), Ordering::Greater);
+    }
+
+    #[test]
+    fn sql_cmp_agrees_with_total_order_when_defined(a in arb_value(), b in arb_value()) {
+        // Whenever SQL comparison is defined, it matches the total order.
+        if let Some(ord) = a.sql_cmp(&b) {
+            prop_assert_eq!(ord, a.total_cmp(&b));
+        }
+    }
+
+    #[test]
+    fn equal_values_hash_equal(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    #[test]
+    fn date_roundtrip(days in -100_000i32..100_000) {
+        prop_assert_eq!(parse_date(&format_date(days)), Some(days));
+    }
+
+    #[test]
+    fn like_match_never_panics(s in ".{0,20}", p in "[a-z%_]{0,12}") {
+        let _ = like_match(&s, &p);
+    }
+
+    #[test]
+    fn like_percent_matches_everything(s in "[a-z]{0,12}") {
+        prop_assert!(like_match(&s, "%"));
+        let pat = format!("%{s}%");
+        prop_assert!(like_match(&s, &pat));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// interval algebra (the constraint property framework substrate)
+// ---------------------------------------------------------------------------
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (-50i64..50, 0i64..30, any::<bool>(), any::<bool>()).prop_map(|(lo, width, linc, hinc)| {
+        use dhqp_types::IntervalBound::*;
+        let low = if linc { Included(Value::Int(lo)) } else { Excluded(Value::Int(lo)) };
+        let high = if hinc {
+            Included(Value::Int(lo + width))
+        } else {
+            Excluded(Value::Int(lo + width))
+        };
+        Interval { low, high }
+    })
+}
+
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    prop::collection::vec(arb_interval(), 0..4).prop_map(IntervalSet::from_intervals)
+}
+
+proptest! {
+    #[test]
+    fn interval_ops_match_membership_oracle(
+        a in arb_set(),
+        b in arb_set(),
+        probe in -60i64..60,
+    ) {
+        let v = Value::Int(probe);
+        let in_a = a.contains(&v);
+        let in_b = b.contains(&v);
+        prop_assert_eq!(a.union(&b).contains(&v), in_a || in_b);
+        prop_assert_eq!(a.intersect(&b).contains(&v), in_a && in_b);
+        prop_assert_eq!(a.complement().contains(&v), !in_a);
+    }
+
+    #[test]
+    fn intersects_iff_shared_member(a in arb_set(), b in arb_set()) {
+        // Exhaustively check the bounded integer domain used above.
+        let shares = (-90i64..90).any(|i| {
+            let v = Value::Int(i);
+            a.contains(&v) && b.contains(&v)
+        });
+        // `intersects` may be true for non-integer overlap (e.g. (3,4)
+        // intervals with no integer member), so only assert one direction.
+        if shares {
+            prop_assert!(a.intersects(&b));
+        }
+        if !a.intersects(&b) {
+            prop_assert!(!shares);
+        }
+    }
+
+    #[test]
+    fn normalization_produces_disjoint_sorted_intervals(a in arb_set()) {
+        let intervals = a.intervals();
+        for w in intervals.windows(2) {
+            prop_assert!(w[0].intersect(&w[1]).is_none(), "{} overlaps {}", w[0], w[1]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// engine-level: SQL results vs a naive in-test oracle
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct DataSet {
+    rows: Vec<(i64, i64, Option<i64>)>,
+}
+
+fn arb_dataset() -> impl Strategy<Value = DataSet> {
+    prop::collection::vec(
+        (0i64..40, -20i64..20, prop::option::of(-5i64..5)),
+        0..60,
+    )
+    .prop_map(|rows| DataSet { rows })
+}
+
+fn engine_with(data: &DataSet) -> Engine {
+    let engine = Engine::new("prop");
+    engine
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![
+                Column::not_null("k", DataType::Int),
+                Column::not_null("a", DataType::Int),
+                Column::new("b", DataType::Int),
+            ]),
+        ))
+        .unwrap();
+    let rows: Vec<Row> = data
+        .rows
+        .iter()
+        .map(|(k, a, b)| {
+            Row::new(vec![
+                Value::Int(*k),
+                Value::Int(*a),
+                b.map_or(Value::Null, Value::Int),
+            ])
+        })
+        .collect();
+    engine.insert("t", &rows).unwrap();
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn filter_count_matches_oracle(data in arb_dataset(), lo in -20i64..20, hi in -20i64..20) {
+        let engine = engine_with(&data);
+        let sql = format!("SELECT COUNT(*) AS n FROM t WHERE a >= {lo} AND a < {hi}");
+        let got = match engine.query(&sql).unwrap().scalar().unwrap() {
+            Value::Int(n) => *n,
+            other => panic!("{other}"),
+        };
+        let want = data.rows.iter().filter(|(_, a, _)| *a >= lo && *a < hi).count() as i64;
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn null_predicates_match_oracle(data in arb_dataset(), x in -5i64..5) {
+        let engine = engine_with(&data);
+        // b = x: NULL b never matches (three-valued logic).
+        let got = engine
+            .query(&format!("SELECT COUNT(*) AS n FROM t WHERE b = {x}"))
+            .unwrap();
+        let want = data.rows.iter().filter(|(_, _, b)| *b == Some(x)).count() as i64;
+        prop_assert_eq!(got.scalar(), Some(&Value::Int(want)));
+        // IS NULL picks exactly the nulls.
+        let got = engine.query("SELECT COUNT(*) AS n FROM t WHERE b IS NULL").unwrap();
+        let want = data.rows.iter().filter(|(_, _, b)| b.is_none()).count() as i64;
+        prop_assert_eq!(got.scalar(), Some(&Value::Int(want)));
+    }
+
+    #[test]
+    fn group_by_sums_match_oracle(data in arb_dataset()) {
+        let engine = engine_with(&data);
+        let result = engine
+            .query("SELECT k, COUNT(*) AS n, SUM(a) AS s FROM t GROUP BY k ORDER BY k")
+            .unwrap();
+        use std::collections::BTreeMap;
+        let mut oracle: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+        for (k, a, _) in &data.rows {
+            let e = oracle.entry(*k).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += a;
+        }
+        prop_assert_eq!(result.len(), oracle.len());
+        for (row, (k, (n, s))) in result.rows.iter().zip(oracle) {
+            prop_assert_eq!(row.get(0), &Value::Int(k));
+            prop_assert_eq!(row.get(1), &Value::Int(n));
+            prop_assert_eq!(row.get(2), &Value::Int(s));
+        }
+    }
+
+    #[test]
+    fn self_join_matches_oracle(data in arb_dataset()) {
+        let engine = engine_with(&data);
+        let got = match engine
+            .query("SELECT COUNT(*) AS n FROM t x, t y WHERE x.k = y.k")
+            .unwrap()
+            .scalar()
+            .unwrap()
+        {
+            Value::Int(n) => *n,
+            other => panic!("{other}"),
+        };
+        let mut want = 0i64;
+        for (k1, ..) in &data.rows {
+            for (k2, ..) in &data.rows {
+                if k1 == k2 {
+                    want += 1;
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn order_by_is_sorted_and_complete(data in arb_dataset()) {
+        let engine = engine_with(&data);
+        let result = engine.query("SELECT a FROM t ORDER BY a DESC").unwrap();
+        prop_assert_eq!(result.len(), data.rows.len());
+        for w in result.rows.windows(2) {
+            let (Value::Int(x), Value::Int(y)) = (w[0].get(0), w[1].get(0)) else {
+                panic!("ints")
+            };
+            prop_assert!(x >= y);
+        }
+    }
+
+    #[test]
+    fn top_n_prefix_of_order(data in arb_dataset(), n in 0u64..10) {
+        let engine = engine_with(&data);
+        let all = engine.query("SELECT a FROM t ORDER BY a").unwrap();
+        let top = engine.query(&format!("SELECT TOP {n} a FROM t ORDER BY a")).unwrap();
+        prop_assert_eq!(top.len(), (n as usize).min(all.len()));
+        for (t, a) in top.rows.iter().zip(all.rows.iter()) {
+            prop_assert_eq!(t, a);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parser robustness
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn parser_never_panics(input in ".{0,80}") {
+        let _ = dhqp_sqlfront::parse_statement(&input);
+    }
+
+    #[test]
+    fn lexer_never_panics(input in ".{0,120}") {
+        let _ = dhqp_sqlfront::Lexer::new(&input).tokenize();
+    }
+}

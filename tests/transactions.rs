@@ -1,0 +1,158 @@
+//! Distributed transaction integration tests: 2PC across engine
+//! federations (the MSDTC role of paper §2), with the transfer workload of
+//! experiment E11.
+
+use dhqp::{Engine, EngineDataSource};
+use dhqp_dtc::Outcome;
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
+use dhqp_oledb::{DataSource, RowsetExt};
+use dhqp_types::{Row, Value};
+use dhqp_workload::accounts::{create_account_partition, total_balance};
+use std::sync::Arc;
+
+/// Two member engines behind links, each holding half the accounts, plus a
+/// head engine with the `accounts_all` DPV.
+struct Bank {
+    head: Engine,
+    members: Vec<Engine>,
+    sources: Vec<Arc<dyn DataSource>>,
+}
+
+fn bank() -> Bank {
+    let head = Engine::new("head");
+    let mut members = Vec::new();
+    let mut sources: Vec<Arc<dyn DataSource>> = Vec::new();
+    let mut view_members = Vec::new();
+    for i in 0..2 {
+        let member = Engine::new(format!("bank{i}-engine"));
+        let lo = i * 50;
+        let hi = lo + 49;
+        let table = format!("accounts_{i}");
+        let domain = create_account_partition(member.storage(), &table, lo, hi, 100).unwrap();
+        let link = NetworkLink::new(format!("bank{i}"), NetworkConfig::lan());
+        let source: Arc<dyn DataSource> = Arc::new(NetworkedDataSource::new(
+            Arc::new(EngineDataSource::new(member.clone())),
+            link,
+        ));
+        head.add_linked_server(&format!("bank{i}"), Arc::clone(&source)).unwrap();
+        view_members.push((Some(format!("bank{i}")), table, domain));
+        members.push(member);
+        sources.push(source);
+    }
+    head.define_partitioned_view("accounts_all", "id", view_members).unwrap();
+    Bank { head, members, sources }
+}
+
+fn balances(bank: &Bank) -> i64 {
+    total_balance(&[
+        (bank.members[0].storage(), "accounts_0"),
+        (bank.members[1].storage(), "accounts_1"),
+    ])
+    .unwrap()
+}
+
+/// Transfer `amount` between two accounts via explicit DTC enlistment —
+/// the programmatic MSDTC pattern.
+fn transfer(bank: &Bank, from: i64, to: i64, amount: i64) -> dhqp_types::Result<()> {
+    let dtc = bank.head.dtc();
+    let mut txn = dtc.begin();
+    for (i, source) in bank.sources.iter().enumerate() {
+        txn.enlist(format!("bank{i}"), source.create_session()?)?;
+    }
+    for (account, delta) in [(from, -amount), (to, amount)] {
+        let member = (account / 50) as usize;
+        let table = format!("accounts_{member}");
+        let session = txn.session_mut(&format!("bank{member}"))?;
+        // Read current balance, then buffer the update.
+        let rows = session.open_rowset(&table)?.collect_rows()?;
+        let row = rows
+            .iter()
+            .find(|r| r.get(0) == &Value::Int(account))
+            .expect("account exists")
+            .clone();
+        let Value::Int(balance) = row.get(1) else { panic!("balance type") };
+        let bookmark = row.bookmark.expect("bookmark");
+        session.update_by_bookmarks(
+            &table,
+            &[bookmark],
+            &[Row::new(vec![Value::Int(account), Value::Int(balance + delta)])],
+        )?;
+    }
+    txn.commit()
+}
+
+#[test]
+fn cross_server_transfer_commits_atomically() {
+    let bank = bank();
+    assert_eq!(balances(&bank), 10_000);
+    transfer(&bank, 10, 60, 30).unwrap();
+    assert_eq!(balances(&bank), 10_000, "money is conserved");
+    let r = bank.members[0]
+        .query("SELECT balance FROM accounts_0 WHERE id = 10")
+        .unwrap();
+    assert_eq!(r.value(0, 0), &Value::Int(70));
+    let r = bank.members[1]
+        .query("SELECT balance FROM accounts_1 WHERE id = 60")
+        .unwrap();
+    assert_eq!(r.value(0, 0), &Value::Int(130));
+    assert_eq!(bank.head.dtc().stats(), (1, 0));
+}
+
+#[test]
+fn prepare_failure_rolls_back_both_sides() {
+    let bank = bank();
+    bank.members[1].storage().set_fail_prepare(true);
+    let err = transfer(&bank, 10, 60, 30).unwrap_err();
+    assert_eq!(err.kind(), "transaction");
+    bank.members[1].storage().set_fail_prepare(false);
+    assert_eq!(balances(&bank), 10_000);
+    let r = bank.members[0].query("SELECT balance FROM accounts_0 WHERE id = 10").unwrap();
+    assert_eq!(r.value(0, 0), &Value::Int(100), "debit must be rolled back");
+    let log = bank.head.dtc().log();
+    assert_eq!(log[0].outcome, Outcome::Aborted);
+}
+
+#[test]
+fn many_transfers_conserve_total_balance() {
+    let bank = bank();
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut committed = 0;
+    for _ in 0..50 {
+        let from = rng.gen_range(0..100);
+        let to = rng.gen_range(0..100);
+        if from == to {
+            continue;
+        }
+        transfer(&bank, from, to, rng.gen_range(1..20)).unwrap();
+        committed += 1;
+    }
+    assert_eq!(balances(&bank), 10_000);
+    assert_eq!(bank.head.dtc().stats().0, committed);
+}
+
+#[test]
+fn dpv_update_transfers_through_sql() {
+    // The same conservation property via SQL against the federation view.
+    let bank = bank();
+    bank.head
+        .execute("UPDATE accounts_all SET balance = balance - 25 WHERE id = 5")
+        .unwrap();
+    bank.head
+        .execute("UPDATE accounts_all SET balance = balance + 25 WHERE id = 95")
+        .unwrap();
+    assert_eq!(balances(&bank), 10_000);
+    let r = bank.head.query("SELECT balance FROM accounts_all WHERE id = 5").unwrap();
+    assert_eq!(r.value(0, 0), &Value::Int(75));
+}
+
+#[test]
+fn federated_aggregate_over_view() {
+    let bank = bank();
+    let r = bank
+        .head
+        .query("SELECT COUNT(*) AS n, SUM(balance) AS total FROM accounts_all")
+        .unwrap();
+    assert_eq!(r.value(0, 0), &Value::Int(100));
+    assert_eq!(r.value(0, 1), &Value::Int(10_000));
+}
