@@ -17,7 +17,10 @@ const PARAM_SQL: &str = "SELECT COUNT(*) AS n FROM lineitem_all WHERE l_commitda
 fn bench(c: &mut Criterion) {
     let fed = dpv_federation(TpchScale::small(), 2, true);
     let mut params = HashMap::new();
-    params.insert("d".to_string(), Value::Date(parse_date("1994-06-15").expect("date")));
+    params.insert(
+        "d".to_string(),
+        Value::Date(parse_date("1994-06-15").expect("date")),
+    );
 
     // Warm + traffic report.
     fed.head.query(STATIC_SQL).unwrap();
@@ -41,24 +44,30 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("dpv_pruning");
     g.sample_size(10);
-    g.bench_function("static_pruned", |b| b.iter(|| fed.head.query(STATIC_SQL).unwrap()));
+    g.bench_function("static_pruned", |b| {
+        b.iter(|| fed.head.query(STATIC_SQL).unwrap())
+    });
     g.bench_function("runtime_startup_filters", |b| {
-        b.iter(|| fed.head.query_with_params(PARAM_SQL, params.clone()).unwrap())
+        b.iter(|| {
+            fed.head
+                .query_with_params(PARAM_SQL, params.clone())
+                .unwrap()
+        })
     });
     // Point query through routed member access.
     g.bench_function("point_query", |b| {
         b.iter(|| {
             fed.head
-                .query(
-                    "SELECT COUNT(*) AS n FROM lineitem_all WHERE l_commitdate = '1996-03-03'",
-                )
+                .query("SELECT COUNT(*) AS n FROM lineitem_all WHERE l_commitdate = '1996-03-03'")
                 .unwrap()
         })
     });
     // Ablation: both pruning mechanisms off.
     fed.head.set_optimizer_config(off);
     fed.head.query(STATIC_SQL).unwrap();
-    g.bench_function("ablation_no_pruning", |b| b.iter(|| fed.head.query(STATIC_SQL).unwrap()));
+    g.bench_function("ablation_no_pruning", |b| {
+        b.iter(|| fed.head.query(STATIC_SQL).unwrap())
+    });
     fed.head.set_optimizer_config(on);
     g.finish();
 }

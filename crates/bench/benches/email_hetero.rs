@@ -76,9 +76,11 @@ fn bench(c: &mut Criterion) {
         let engine = setup(inbound);
         let hits = engine.query(SALESMAN_SQL).unwrap().len();
         eprintln!("[email] inbound={inbound}: {hits} unanswered Seattle messages");
-        g.bench_with_input(BenchmarkId::new("salesman_query", inbound), &inbound, |b, _| {
-            b.iter(|| engine.query(SALESMAN_SQL).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("salesman_query", inbound),
+            &inbound,
+            |b, _| b.iter(|| engine.query(SALESMAN_SQL).unwrap()),
+        );
     }
     g.finish();
 }

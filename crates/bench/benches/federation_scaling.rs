@@ -37,7 +37,8 @@ fn federation(members: usize) -> Fed {
             Arc::new(EngineDataSource::new(member)),
             link,
         ));
-        head.add_linked_server(&format!("m{i}"), Arc::clone(&source)).unwrap();
+        head.add_linked_server(&format!("m{i}"), Arc::clone(&source))
+            .unwrap();
         sources.push(source);
     }
     Fed { head, sources }
@@ -58,12 +59,20 @@ fn transfer(fed: &Fed, from: i64, to: i64) -> dhqp_types::Result<()> {
         let table = format!("accounts_{member}");
         let session = txn.session_mut(&format!("m{member}"))?;
         let rows = session.open_rowset(&table)?.collect_rows()?;
-        let row = rows.iter().find(|r| r.get(0) == &Value::Int(account)).expect("account");
-        let Value::Int(balance) = row.get(1) else { panic!("balance") };
+        let row = rows
+            .iter()
+            .find(|r| r.get(0) == &Value::Int(account))
+            .expect("account");
+        let Value::Int(balance) = row.get(1) else {
+            panic!("balance")
+        };
         session.update_by_bookmarks(
             &table,
             &[row.bookmark.expect("bookmark")],
-            &[Row::new(vec![Value::Int(account), Value::Int(balance + delta)])],
+            &[Row::new(vec![
+                Value::Int(account),
+                Value::Int(balance + delta),
+            ])],
         )?;
     }
     txn.commit()
@@ -76,30 +85,38 @@ fn bench(c: &mut Criterion) {
         let fed = federation(members);
         // Same-site transfers: one participant, no cross-server 2PC cost.
         let e = &fed;
-        g.bench_with_input(BenchmarkId::new("same_site_txn", members), &members, |b, _| {
-            let mut i = 0i64;
-            b.iter(|| {
-                let base = (i % members as i64) * ACCOUNTS_PER_MEMBER;
-                transfer(e, base + (i % 50), base + 50 + (i % 50)).unwrap();
-                i += 1;
-            })
-        });
-        if members >= 2 {
-            // Cross-site transfers: two participants, full 2PC.
-            g.bench_with_input(BenchmarkId::new("cross_site_txn", members), &members, |b, _| {
+        g.bench_with_input(
+            BenchmarkId::new("same_site_txn", members),
+            &members,
+            |b, _| {
                 let mut i = 0i64;
                 b.iter(|| {
-                    let m1 = i % members as i64;
-                    let m2 = (i + 1) % members as i64;
-                    transfer(
-                        e,
-                        m1 * ACCOUNTS_PER_MEMBER + (i % 100),
-                        m2 * ACCOUNTS_PER_MEMBER + (i % 100),
-                    )
-                    .unwrap();
+                    let base = (i % members as i64) * ACCOUNTS_PER_MEMBER;
+                    transfer(e, base + (i % 50), base + 50 + (i % 50)).unwrap();
                     i += 1;
                 })
-            });
+            },
+        );
+        if members >= 2 {
+            // Cross-site transfers: two participants, full 2PC.
+            g.bench_with_input(
+                BenchmarkId::new("cross_site_txn", members),
+                &members,
+                |b, _| {
+                    let mut i = 0i64;
+                    b.iter(|| {
+                        let m1 = i % members as i64;
+                        let m2 = (i + 1) % members as i64;
+                        transfer(
+                            e,
+                            m1 * ACCOUNTS_PER_MEMBER + (i % 100),
+                            m2 * ACCOUNTS_PER_MEMBER + (i % 100),
+                        )
+                        .unwrap();
+                        i += 1;
+                    })
+                },
+            );
         }
         let (commits, aborts) = fed.head.dtc().stats();
         eprintln!("[federation] members={members}: {commits} commits, {aborts} aborts");

@@ -37,7 +37,9 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
     engine.insert("articles", &rows).unwrap();
-    engine.create_fulltext_index("articles", "id", "body", "articles_ft").unwrap();
+    engine
+        .create_fulltext_index("articles", "id", "body", "articles_ft")
+        .unwrap();
 
     let contains = "SELECT COUNT(*) AS n FROM articles \
                     WHERE CONTAINS(body, 'parallel AND database')";
@@ -56,11 +58,15 @@ fn bench(c: &mut Criterion) {
     g.bench_function("contains_via_search_service", |b| {
         b.iter(|| engine.query(contains).unwrap())
     });
-    g.bench_function("like_scan_baseline", |b| b.iter(|| engine.query(like).unwrap()));
+    g.bench_function("like_scan_baseline", |b| {
+        b.iter(|| engine.query(like).unwrap())
+    });
     // Phrase + rank-ordered variant (the §2.2-style query shape).
     let phrase = "SELECT COUNT(*) AS n FROM articles \
                   WHERE CONTAINS(body, '\"parallel database\" OR \"query optimization\"')";
-    g.bench_function("contains_phrases", |b| b.iter(|| engine.query(phrase).unwrap()));
+    g.bench_function("contains_phrases", |b| {
+        b.iter(|| engine.query(phrase).unwrap())
+    });
     g.finish();
 }
 

@@ -39,7 +39,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("spool_enabled", |b| b.iter(|| ex.local.query(SQL).unwrap()));
     ex.local.set_optimizer_config(off);
-    g.bench_function("spool_disabled", |b| b.iter(|| ex.local.query(SQL).unwrap()));
+    g.bench_function("spool_disabled", |b| {
+        b.iter(|| ex.local.query(SQL).unwrap())
+    });
     ex.local.set_optimizer_config(on);
     g.finish();
 }

@@ -67,9 +67,11 @@ fn bench(c: &mut Criterion) {
     let common_rows = "SELECT id FROM skew.db.dbo.events WHERE status = 0";
 
     // Estimate-error report: compare optimizer estimates to truth.
-    for (name, engine) in [("with-histograms", &with_stats), ("without", &without_stats)] {
-        for (qname, sql, count_sql) in
-            [("rare", rare_rows, rare), ("common", common_rows, common)]
+    for (name, engine) in [
+        ("with-histograms", &with_stats),
+        ("without", &without_stats),
+    ] {
+        for (qname, sql, count_sql) in [("rare", rare_rows, rare), ("common", common_rows, common)]
         {
             let plan = engine.explain(sql).unwrap();
             let truth = match engine.query(count_sql).unwrap().value(0, 0) {
@@ -95,7 +97,9 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("stats");
     g.sample_size(10);
-    g.bench_function("rare_with_histograms", |b| b.iter(|| with_stats.query(rare).unwrap()));
+    g.bench_function("rare_with_histograms", |b| {
+        b.iter(|| with_stats.query(rare).unwrap())
+    });
     g.bench_function("rare_without_histograms", |b| {
         b.iter(|| without_stats.query(rare).unwrap())
     });
@@ -107,17 +111,23 @@ fn bench(c: &mut Criterion) {
             Schema::new(vec![Column::not_null("status", DataType::Int)]),
         ))
         .unwrap();
-    with_stats.insert("watch", &[Row::new(vec![Value::Int(5)])]).unwrap();
+    with_stats
+        .insert("watch", &[Row::new(vec![Value::Int(5)])])
+        .unwrap();
     without_stats
         .create_table(TableDef::new(
             "watch",
             Schema::new(vec![Column::not_null("status", DataType::Int)]),
         ))
         .unwrap();
-    without_stats.insert("watch", &[Row::new(vec![Value::Int(5)])]).unwrap();
+    without_stats
+        .insert("watch", &[Row::new(vec![Value::Int(5)])])
+        .unwrap();
     let join = "SELECT COUNT(*) AS n FROM watch w, skew.db.dbo.events e \
                 WHERE w.status = e.status";
-    g.bench_function("join_with_histograms", |b| b.iter(|| with_stats.query(join).unwrap()));
+    g.bench_function("join_with_histograms", |b| {
+        b.iter(|| with_stats.query(join).unwrap())
+    });
     g.bench_function("join_without_histograms", |b| {
         b.iter(|| without_stats.query(join).unwrap())
     });

@@ -38,7 +38,8 @@ fn item_schema() -> Schema {
 
 fn storage_with_items(name: &str) -> Arc<StorageEngine> {
     let s = Arc::new(StorageEngine::new(name));
-    s.create_table(TableDef::new("items", item_schema())).unwrap();
+    s.create_table(TableDef::new("items", item_schema()))
+        .unwrap();
     s.insert_rows("items", &item_rows()).unwrap();
     s
 }
@@ -57,8 +58,13 @@ fn bench(c: &mut Criterion) {
 
     // Relational SQL Server class (Transact-SQL row of Table 1).
     let sql_server = Engine::new("sqlsrv-engine");
-    sql_server.create_table(TableDef::new("items", item_schema())).unwrap();
-    sql_server.storage().insert_rows("items", &item_rows()).unwrap();
+    sql_server
+        .create_table(TableDef::new("items", item_schema()))
+        .unwrap();
+    sql_server
+        .storage()
+        .insert_rows("items", &item_rows())
+        .unwrap();
     let l_sql = link("sqlsrv");
     engine
         .add_linked_server(
@@ -90,7 +96,10 @@ fn bench(c: &mut Criterion) {
     engine
         .add_linked_server(
             "files",
-            Arc::new(NetworkedDataSource::new(Arc::new(csv_items()), l_csv.clone())),
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(csv_items()),
+                l_csv.clone(),
+            )),
         )
         .unwrap();
 
@@ -128,15 +137,26 @@ fn bench(c: &mut Criterion) {
         l.reset();
         engine.query(&sql).unwrap();
         let t = l.snapshot();
-        eprintln!("[table1] {name}: {} rows / {} bytes shipped", t.rows, t.bytes);
+        eprintln!(
+            "[table1] {name}: {} rows / {} bytes shipped",
+            t.rows, t.bytes
+        );
     }
 
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
-    g.bench_function("relational_sql92", |b| b.iter(|| engine.query(&shape("sqlsrv")).unwrap()));
-    g.bench_function("desktop_odbc_core", |b| b.iter(|| engine.query(&shape("access")).unwrap()));
-    g.bench_function("simple_csv", |b| b.iter(|| engine.query(&shape("files")).unwrap()));
-    g.bench_function("fulltext_pass_through", |b| b.iter(|| engine.query(ft_query).unwrap()));
+    g.bench_function("relational_sql92", |b| {
+        b.iter(|| engine.query(&shape("sqlsrv")).unwrap())
+    });
+    g.bench_function("desktop_odbc_core", |b| {
+        b.iter(|| engine.query(&shape("access")).unwrap())
+    });
+    g.bench_function("simple_csv", |b| {
+        b.iter(|| engine.query(&shape("files")).unwrap())
+    });
+    g.bench_function("fulltext_pass_through", |b| {
+        b.iter(|| engine.query(ft_query).unwrap())
+    });
     g.finish();
 }
 

@@ -25,7 +25,13 @@ fn schema() -> Schema {
 
 fn rows() -> Vec<Row> {
     (0..N)
-        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 20), Value::Int(i * 7 % 500)]))
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 20),
+                Value::Int(i * 7 % 500),
+            ])
+        })
         .collect()
 }
 
@@ -50,7 +56,10 @@ fn bench(c: &mut Criterion) {
 
     // SQL Minimum and ODBC Core over identical storage.
     let mut links = vec![("simple", l_simple)];
-    for (name, level) in [("minimum", SqlSupport::Minimum), ("odbccore", SqlSupport::OdbcCore)] {
+    for (name, level) in [
+        ("minimum", SqlSupport::Minimum),
+        ("odbccore", SqlSupport::OdbcCore),
+    ] {
         let s = Arc::new(StorageEngine::new(name));
         s.create_table(TableDef::new("t", schema())).unwrap();
         s.insert_rows("t", &rows()).unwrap();
@@ -69,7 +78,8 @@ fn bench(c: &mut Criterion) {
 
     // SQL-92 + index provider: a full engine.
     let full = Engine::new("full-engine");
-    full.create_table(TableDef::new("t", schema()).with_index("pk_t", &["k"], true)).unwrap();
+    full.create_table(TableDef::new("t", schema()).with_index("pk_t", &["k"], true))
+        .unwrap();
     full.storage().insert_rows("t", &rows()).unwrap();
     full.storage().analyze("t", 16).unwrap();
     let l_full = NetworkLink::new("sql92", NetworkConfig::lan());
@@ -99,7 +109,10 @@ fn bench(c: &mut Criterion) {
         link.reset();
         engine.query(&q).unwrap();
         let t = link.snapshot();
-        eprintln!("[table2] {name}: {} rows / {} bytes shipped", t.rows, t.bytes);
+        eprintln!(
+            "[table2] {name}: {} rows / {} bytes shipped",
+            t.rows, t.bytes
+        );
     }
 
     let mut g = c.benchmark_group("table2");

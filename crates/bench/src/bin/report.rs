@@ -6,7 +6,9 @@
 //! ```
 
 use dhqp::{Engine, EngineDataSource, OptimizationPhase};
-use dhqp_bench::{dpv_federation, example1, reset_links, total_traffic, warm, EXAMPLE1_PLAN_A_SQL, EXAMPLE1_SQL};
+use dhqp_bench::{
+    dpv_federation, example1, reset_links, total_traffic, warm, EXAMPLE1_PLAN_A_SQL, EXAMPLE1_SQL,
+};
 use dhqp_fulltext::FullTextProvider;
 use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
 use dhqp_oledb::{DataSource, RowsetExt, SqlSupport};
@@ -41,14 +43,19 @@ fn e1_figure4() {
     println!("optimizer's plan for Example 1 (expect plan b):");
     print!("{}", ex.local.explain(EXAMPLE1_SQL).unwrap().plan_text);
     let mut rows = Vec::new();
-    for (name, sql) in [("plan (b) chosen", EXAMPLE1_SQL), ("plan (a) forced", EXAMPLE1_PLAN_A_SQL)]
-    {
+    for (name, sql) in [
+        ("plan (b) chosen", EXAMPLE1_SQL),
+        ("plan (a) forced", EXAMPLE1_PLAN_A_SQL),
+    ] {
         ex.link.reset();
         let (r, t) = timed(|| ex.local.query(sql).unwrap());
         let traffic = ex.link.snapshot();
         rows.push((name, r.len(), traffic.rows, traffic.bytes, t));
     }
-    println!("\n{:<18} {:>10} {:>12} {:>12} {:>12}", "plan", "result", "rows shipped", "bytes", "time");
+    println!(
+        "\n{:<18} {:>10} {:>12} {:>12} {:>12}",
+        "plan", "result", "rows shipped", "bytes", "time"
+    );
     for (name, result, shipped, bytes, t) in &rows {
         println!("{name:<18} {result:>10} {shipped:>12} {bytes:>12} {t:>12.2?}");
     }
@@ -76,18 +83,24 @@ fn e2_table1() {
         .collect();
 
     let sqlsrv = Engine::new("sqlsrv-engine");
-    sqlsrv.create_table(TableDef::new("items", schema.clone())).unwrap();
+    sqlsrv
+        .create_table(TableDef::new("items", schema.clone()))
+        .unwrap();
     sqlsrv.storage().insert_rows("items", &rows).unwrap();
     let l1 = NetworkLink::new("sqlsrv", NetworkConfig::lan());
     engine
         .add_linked_server(
             "sqlsrv",
-            Arc::new(NetworkedDataSource::new(Arc::new(EngineDataSource::new(sqlsrv)), l1.clone())),
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(sqlsrv)),
+                l1.clone(),
+            )),
         )
         .unwrap();
 
     let mdb = Arc::new(StorageEngine::new("mdb"));
-    mdb.create_table(TableDef::new("items", schema.clone())).unwrap();
+    mdb.create_table(TableDef::new("items", schema.clone()))
+        .unwrap();
     mdb.insert_rows("items", &rows).unwrap();
     let l2 = NetworkLink::new("access", NetworkConfig::lan());
     engine
@@ -148,7 +161,10 @@ fn e2_table1() {
         link.reset();
         let (_, t) = timed(|| engine.query(&q).unwrap());
         let tr = link.snapshot();
-        println!("{name:<26} {pushes:>10} {:>14} {:>12} {t:>12.2?}", tr.rows, tr.bytes);
+        println!(
+            "{name:<26} {pushes:>10} {:>14} {:>12} {t:>12.2?}",
+            tr.rows, tr.bytes
+        );
     }
     let ft = "SELECT FS.path FROM OPENROWSET('MSIDXS','lit',\
               'Select path, rank from SCOPE() where CONTAINS(''database'')') AS FS";
@@ -172,7 +188,13 @@ fn e3_table2() {
         Column::not_null("v", DataType::Int),
     ]);
     let rows: Vec<Row> = (0..n)
-        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 20), Value::Int(i * 7 % 500)]))
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Int(i % 20),
+                Value::Int(i * 7 % 500),
+            ])
+        })
         .collect();
     let mut entries: Vec<(&str, NetworkLink)> = Vec::new();
     let mut text = String::from("k,grp,v\n");
@@ -190,7 +212,10 @@ fn e3_table2() {
         )
         .unwrap();
     entries.push(("simple", l));
-    for (name, level) in [("minimum", SqlSupport::Minimum), ("odbccore", SqlSupport::OdbcCore)] {
+    for (name, level) in [
+        ("minimum", SqlSupport::Minimum),
+        ("odbccore", SqlSupport::OdbcCore),
+    ] {
         let s = Arc::new(StorageEngine::new(name));
         s.create_table(TableDef::new("t", schema.clone())).unwrap();
         s.insert_rows("t", &rows).unwrap();
@@ -207,14 +232,18 @@ fn e3_table2() {
         entries.push((name, l));
     }
     let full = Engine::new("full-engine");
-    full.create_table(TableDef::new("t", schema).with_index("pk_t", &["k"], true)).unwrap();
+    full.create_table(TableDef::new("t", schema).with_index("pk_t", &["k"], true))
+        .unwrap();
     full.storage().insert_rows("t", &rows).unwrap();
     full.storage().analyze("t", 16).unwrap();
     let l = NetworkLink::new("sql92", NetworkConfig::lan());
     engine
         .add_linked_server(
             "sql92",
-            Arc::new(NetworkedDataSource::new(Arc::new(EngineDataSource::new(full)), l.clone())),
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(full)),
+                l.clone(),
+            )),
         )
         .unwrap();
     entries.push(("sql92", l));
@@ -238,7 +267,10 @@ fn e3_table2() {
             "odbccore" => "filter pushed; agg local",
             _ => "whole statement pushed",
         };
-        println!("{name:<12} {:>14} {:>12} {t:>12.2?}   {notes}", tr.rows, tr.bytes);
+        println!(
+            "{name:<12} {:>14} {:>12} {t:>12.2?}   {notes}",
+            tr.rows, tr.bytes
+        );
     }
 }
 
@@ -264,14 +296,21 @@ fn e4_fulltext() {
         .map(|(i, d)| Row::new(vec![Value::Int(i as i64), Value::Str(d.raw.clone())]))
         .collect();
     engine.insert("articles", &rows).unwrap();
-    engine.create_fulltext_index("articles", "id", "body", "ft").unwrap();
-    let contains = "SELECT COUNT(*) AS n FROM articles WHERE CONTAINS(body, 'parallel AND database')";
+    engine
+        .create_fulltext_index("articles", "id", "body", "ft")
+        .unwrap();
+    let contains =
+        "SELECT COUNT(*) AS n FROM articles WHERE CONTAINS(body, 'parallel AND database')";
     let like = "SELECT COUNT(*) AS n FROM articles \
                 WHERE body LIKE '%parallel%' AND body LIKE '%database%'";
     let (rc, tc) = timed(|| engine.query(contains).unwrap());
     let (rl, tl) = timed(|| engine.query(like).unwrap());
     println!("{:<28} {:>8} {:>12}", "path", "matches", "time");
-    println!("{:<28} {:>8} {tc:>12.2?}", "CONTAINS via search service", rc.value(0, 0));
+    println!(
+        "{:<28} {:>8} {tc:>12.2?}",
+        "CONTAINS via search service",
+        rc.value(0, 0)
+    );
     println!("{:<28} {:>8} {tl:>12.2?}", "LIKE full scan", rl.value(0, 0));
     println!(
         "→ CONTAINS is {:.1}x faster and matches inflected forms the LIKE scan misses.",
@@ -338,7 +377,10 @@ fn e5_email() {
                                      WHERE m2.inreplyto = m1.msgid)";
         warm(&engine, sql);
         let (r, t) = timed(|| engine.query(sql).unwrap());
-        println!("inbound={inbound:<5} unanswered-seattle={:<4} time={t:.2?}", r.len());
+        println!(
+            "inbound={inbound:<5} unanswered-seattle={:<4} time={t:.2?}",
+            r.len()
+        );
     }
 }
 
@@ -351,20 +393,38 @@ fn e6_dpv() {
                       WHERE l_commitdate >= '1993-01-01' AND l_commitdate <= '1993-12-31'";
     let param_sql = "SELECT COUNT(*) AS n FROM lineitem_all WHERE l_commitdate = @d";
     let mut params = HashMap::new();
-    params.insert("d".to_string(), Value::Date(parse_date("1994-06-15").unwrap()));
+    params.insert(
+        "d".to_string(),
+        Value::Date(parse_date("1994-06-15").unwrap()),
+    );
 
-    println!("{:<26} {:>14} {:>10} {:>12}", "configuration", "rows shipped", "reqs", "time");
+    println!(
+        "{:<26} {:>14} {:>10} {:>12}",
+        "configuration", "rows shipped", "reqs", "time"
+    );
     warm(&fed.head, static_sql);
     reset_links(&fed.links);
     let (_, t) = timed(|| fed.head.query(static_sql).unwrap());
     let tr = total_traffic(&fed.links);
-    println!("{:<26} {:>14} {:>10} {t:>12.2?}", "static pruning", tr.rows, tr.requests);
+    println!(
+        "{:<26} {:>14} {:>10} {t:>12.2?}",
+        "static pruning", tr.rows, tr.requests
+    );
 
-    fed.head.query_with_params(param_sql, params.clone()).unwrap();
+    fed.head
+        .query_with_params(param_sql, params.clone())
+        .unwrap();
     reset_links(&fed.links);
-    let (_, t) = timed(|| fed.head.query_with_params(param_sql, params.clone()).unwrap());
+    let (_, t) = timed(|| {
+        fed.head
+            .query_with_params(param_sql, params.clone())
+            .unwrap()
+    });
     let tr = total_traffic(&fed.links);
-    println!("{:<26} {:>14} {:>10} {t:>12.2?}", "runtime startup filters", tr.rows, tr.requests);
+    println!(
+        "{:<26} {:>14} {:>10} {t:>12.2?}",
+        "runtime startup filters", tr.rows, tr.requests
+    );
 
     let mut off = fed.head.optimizer_config();
     off.simplify.constraint_pruning = false;
@@ -374,7 +434,10 @@ fn e6_dpv() {
     reset_links(&fed.links);
     let (_, t) = timed(|| fed.head.query(static_sql).unwrap());
     let tr = total_traffic(&fed.links);
-    println!("{:<26} {:>14} {:>10} {t:>12.2?}", "pruning disabled", tr.rows, tr.requests);
+    println!(
+        "{:<26} {:>14} {:>10} {t:>12.2?}",
+        "pruning disabled", tr.rows, tr.requests
+    );
 }
 
 fn e7_stats() {
@@ -411,8 +474,16 @@ fn e7_stats() {
             )
             .unwrap();
         for (qname, sql, truth) in [
-            ("status=5 (rare)", "SELECT id FROM skew.db.dbo.events WHERE status = 5", 143.0),
-            ("status=0 (common)", "SELECT id FROM skew.db.dbo.events WHERE status = 0", 19000.0),
+            (
+                "status=5 (rare)",
+                "SELECT id FROM skew.db.dbo.events WHERE status = 5",
+                143.0,
+            ),
+            (
+                "status=0 (common)",
+                "SELECT id FROM skew.db.dbo.events WHERE status = 0",
+                19000.0,
+            ),
         ] {
             let plan = local.explain(sql).unwrap();
             let est = plan
@@ -447,9 +518,18 @@ fn e8_spool() {
     ex.link.reset();
     let (_, t_off) = timed(|| ex.local.query(sql).unwrap());
     let off = ex.link.snapshot();
-    println!("{:<16} {:>14} {:>10} {:>12}", "spool", "rows shipped", "reqs", "time");
-    println!("{:<16} {:>14} {:>10} {t_on:>12.2?}", "enabled", on.rows, on.requests);
-    println!("{:<16} {:>14} {:>10} {t_off:>12.2?}", "disabled", off.rows, off.requests);
+    println!(
+        "{:<16} {:>14} {:>10} {:>12}",
+        "spool", "rows shipped", "reqs", "time"
+    );
+    println!(
+        "{:<16} {:>14} {:>10} {t_on:>12.2?}",
+        "enabled", on.rows, on.requests
+    );
+    println!(
+        "{:<16} {:>14} {:>10} {t_off:>12.2?}",
+        "disabled", off.rows, off.requests
+    );
     println!(
         "→ the spool fetches the remote table once instead of {}x.",
         off.rows / on.rows.max(1)
@@ -467,7 +547,10 @@ fn e9_phases() {
         dhqp_workload::tpch::create_lineitem(ex.local.storage(), &scale, &mut rng).unwrap();
     }
     let queries = [
-        ("point lookup", "SELECT c_name FROM remote0.tpch.dbo.customer WHERE c_custkey = 7".to_string()),
+        (
+            "point lookup",
+            "SELECT c_name FROM remote0.tpch.dbo.customer WHERE c_custkey = 7".to_string(),
+        ),
         ("3-way join", EXAMPLE1_SQL.to_string()),
         (
             "5-way join + agg",
@@ -566,7 +649,8 @@ fn e11_federation() {
                 Arc::new(EngineDataSource::new(m)),
                 NetworkLink::new(format!("m{i}"), NetworkConfig::lan_timed()),
             ));
-            head.add_linked_server(&format!("m{i}"), Arc::clone(&src)).unwrap();
+            head.add_linked_server(&format!("m{i}"), Arc::clone(&src))
+                .unwrap();
             sources.push(src);
         }
         let transfer = |from: i64, to: i64| {
@@ -576,20 +660,29 @@ fn e11_federation() {
             for m in [mf, mt] {
                 let name = format!("m{m}");
                 if !txn.participant_names().contains(&name) {
-                    txn.enlist(name, sources[m].create_session().unwrap()).unwrap();
+                    txn.enlist(name, sources[m].create_session().unwrap())
+                        .unwrap();
                 }
             }
             for (account, member, delta) in [(from, mf, -1i64), (to, mt, 1)] {
                 let table = format!("accounts_{member}");
                 let session = txn.session_mut(&format!("m{member}")).unwrap();
                 let rows = session.open_rowset(&table).unwrap().collect_rows().unwrap();
-                let row = rows.iter().find(|r| r.get(0) == &Value::Int(account)).unwrap();
-                let Value::Int(balance) = row.get(1) else { panic!() };
+                let row = rows
+                    .iter()
+                    .find(|r| r.get(0) == &Value::Int(account))
+                    .unwrap();
+                let Value::Int(balance) = row.get(1) else {
+                    panic!()
+                };
                 session
                     .update_by_bookmarks(
                         &table,
                         &[row.bookmark.unwrap()],
-                        &[Row::new(vec![Value::Int(account), Value::Int(balance + delta)])],
+                        &[Row::new(vec![
+                            Value::Int(account),
+                            Value::Int(balance + delta),
+                        ])],
                     )
                     .unwrap();
             }

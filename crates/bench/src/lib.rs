@@ -45,7 +45,11 @@ pub fn example1(scale: TpchScale, timed: bool) -> Example1 {
     let local = Engine::new("local");
     tpch::create_nation(local.storage(), &scale).expect("setup");
     local.analyze("nation", 8).expect("setup");
-    let config = if timed { NetworkConfig::lan_timed() } else { NetworkConfig::lan() };
+    let config = if timed {
+        NetworkConfig::lan_timed()
+    } else {
+        NetworkConfig::lan()
+    };
     let link = NetworkLink::new("link-remote0", config);
     local
         .add_linked_server(
@@ -70,12 +74,17 @@ pub struct DpvFederation {
 pub fn dpv_federation(scale: TpchScale, member_engines: usize, timed: bool) -> DpvFederation {
     assert!(member_engines >= 1);
     let head = Engine::new("head");
-    let members: Vec<Engine> =
-        (0..member_engines).map(|i| Engine::new(format!("member{}-engine", i + 1))).collect();
+    let members: Vec<Engine> = (0..member_engines)
+        .map(|i| Engine::new(format!("member{}-engine", i + 1)))
+        .collect();
     let mut engine_refs = vec![head.storage().as_ref()];
     engine_refs.extend(members.iter().map(|m| m.storage().as_ref()));
     let placed = tpch::create_lineitem_partitions(&engine_refs, &scale, 17).expect("setup");
-    let config = if timed { NetworkConfig::lan_timed() } else { NetworkConfig::lan() };
+    let config = if timed {
+        NetworkConfig::lan_timed()
+    } else {
+        NetworkConfig::lan()
+    };
     let mut links = Vec::new();
     for (i, member) in members.iter().enumerate() {
         let link = NetworkLink::new(format!("member{}", i + 1), config);
@@ -92,16 +101,32 @@ pub fn dpv_federation(scale: TpchScale, member_engines: usize, timed: bool) -> D
     let view_members: Vec<(Option<String>, String, IntervalSet)> = placed
         .into_iter()
         .map(|(idx, table, domain)| {
-            (if idx == 0 { None } else { Some(format!("member{idx}")) }, table, domain)
+            (
+                if idx == 0 {
+                    None
+                } else {
+                    Some(format!("member{idx}"))
+                },
+                table,
+                domain,
+            )
         })
         .collect();
-    head.define_partitioned_view("lineitem_all", "l_commitdate", view_members).expect("setup");
-    DpvFederation { head, members, links }
+    head.define_partitioned_view("lineitem_all", "l_commitdate", view_members)
+        .expect("setup");
+    DpvFederation {
+        head,
+        members,
+        links,
+    }
 }
 
 /// Sum of traffic over several links.
 pub fn total_traffic(links: &[NetworkLink]) -> TrafficSnapshot {
-    links.iter().map(|l| l.snapshot()).fold(TrafficSnapshot::default(), |a, b| a + b)
+    links
+        .iter()
+        .map(|l| l.snapshot())
+        .fold(TrafficSnapshot::default(), |a, b| a + b)
 }
 
 /// Reset a set of links.
@@ -126,7 +151,11 @@ mod tests {
         let ex1 = example1(TpchScale::tiny(), false);
         assert_eq!(ex1.local.query(EXAMPLE1_SQL).unwrap().schema.len(), 3);
         let fed = dpv_federation(TpchScale::tiny(), 2, false);
-        assert!(!fed.head.query("SELECT COUNT(*) AS n FROM lineitem_all").unwrap().is_empty());
+        assert!(!fed
+            .head
+            .query("SELECT COUNT(*) AS n FROM lineitem_all")
+            .unwrap()
+            .is_empty());
         assert_eq!(fed.links.len(), 2);
         reset_links(&fed.links);
         assert_eq!(total_traffic(&fed.links).bytes, 0);

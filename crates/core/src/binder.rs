@@ -12,11 +12,11 @@
 //! the paper's "no direct SQL corollary" situation.
 
 use crate::engine::Engine;
+use dhqp_oledb::{DataSource, Rowset, TableInfo};
 use dhqp_optimizer::logical::{JoinKind, LogicalExpr, LogicalOp, TableMeta};
 use dhqp_optimizer::props::{ColumnRegistry, PhysicalProps, RequiredProps};
 use dhqp_optimizer::scalar::{AggCall, AggFunc, ArithOp, CmpOp, ScalarExpr};
 use dhqp_optimizer::{ColumnId, Locality};
-use dhqp_oledb::{DataSource, Rowset, TableInfo};
 use dhqp_sqlfront as ast;
 use dhqp_types::{DataType, DhqpError, Result, Value};
 use std::collections::HashMap;
@@ -146,7 +146,10 @@ impl<'e> Binder<'e> {
 
     /// Bind expressions with no table scope (INSERT ... VALUES).
     pub fn bind_standalone_exprs(&mut self, exprs: &[ast::Expr]) -> Result<Vec<ScalarExpr>> {
-        let scope = Scope { bindings: vec![], outer: None };
+        let scope = Scope {
+            bindings: vec![],
+            outer: None,
+        };
         exprs.iter().map(|e| self.bind_expr(e, &scope)).collect()
     }
 
@@ -156,17 +159,31 @@ impl<'e> Binder<'e> {
     }
 
     /// Bind an expression against one table's columns (DML WHERE/SET).
-    pub fn bind_expr_in_table(&mut self, e: &ast::Expr, meta: &Arc<TableMeta>) -> Result<ScalarExpr> {
+    pub fn bind_expr_in_table(
+        &mut self,
+        e: &ast::Expr,
+        meta: &Arc<TableMeta>,
+    ) -> Result<ScalarExpr> {
         let columns = meta
             .schema
             .columns()
             .iter()
             .zip(&meta.column_ids)
-            .map(|(c, &id)| BoundColumn { name: c.name.clone(), id, data_type: c.data_type })
+            .map(|(c, &id)| BoundColumn {
+                name: c.name.clone(),
+                id,
+                data_type: c.data_type,
+            })
             .collect();
-        let binding =
-            Binding { alias: meta.alias.clone(), columns, table: Some(Arc::clone(meta)) };
-        let scope = Scope { bindings: vec![binding], outer: None };
+        let binding = Binding {
+            alias: meta.alias.clone(),
+            columns,
+            table: Some(Arc::clone(meta)),
+        };
+        let scope = Scope {
+            bindings: vec![binding],
+            outer: None,
+        };
         self.bind_expr(e, &scope)
     }
 
@@ -233,8 +250,7 @@ impl<'e> Binder<'e> {
             group_cols = groups;
             let _ = aggs;
             if let Some(having) = &stmt.having {
-                let pred =
-                    self.bind_agg_expr(having, &scope, &group_cols, &agg_outputs)?;
+                let pred = self.bind_agg_expr(having, &scope, &group_cols, &agg_outputs)?;
                 tree = tree.filter(pred);
             }
         }
@@ -276,7 +292,9 @@ impl<'e> Binder<'e> {
                         }
                         (ScalarExpr::Column(id), Some(a)) => (*id, a.clone()),
                         (_, alias) => {
-                            let name = alias.clone().unwrap_or_else(|| format!("col{}", outputs.len()));
+                            let name = alias
+                                .clone()
+                                .unwrap_or_else(|| format!("col{}", outputs.len()));
                             let ty = dhqp_optimizer::decoder::static_type(&bound, &self.registry)
                                 .unwrap_or(DataType::Str);
                             let id = self.registry.allocate(name.clone(), "", ty, true);
@@ -299,7 +317,10 @@ impl<'e> Binder<'e> {
             let id = match &item.expr {
                 ast::Expr::Column(parts) if parts.len() == 1 => {
                     // Prefer an output alias; fall back to scope.
-                    match visible.iter().find(|(n, _)| n.eq_ignore_ascii_case(&parts[0])) {
+                    match visible
+                        .iter()
+                        .find(|(n, _)| n.eq_ignore_ascii_case(&parts[0]))
+                    {
                         Some((_, id)) => *id,
                         None => scope.resolve(parts)?.id,
                     }
@@ -378,12 +399,18 @@ impl<'e> Binder<'e> {
         let mut visible = Vec::with_capacity(first_out.len());
         for (name, id) in &first_out {
             let m = self.registry.meta(*id).clone();
-            let out = self.registry.allocate(m.name.clone(), "", m.data_type, true);
+            let out = self
+                .registry
+                .allocate(m.name.clone(), "", m.data_type, true);
             out_cols.push(out);
             visible.push((name.clone(), out));
         }
-        let mut tree =
-            LogicalExpr::new(LogicalOp::UnionAll { output: out_cols.clone() }, branches);
+        let mut tree = LogicalExpr::new(
+            LogicalOp::UnionAll {
+                output: out_cols.clone(),
+            },
+            branches,
+        );
         if all_distinct || stmt.distinct {
             tree = tree.aggregate(out_cols.clone(), vec![]);
         }
@@ -410,11 +437,11 @@ impl<'e> Binder<'e> {
     }
 
     /// SELECT without FROM: a single constant row.
-    fn bind_table_less_select(
-        &mut self,
-        stmt: &ast::SelectStmt,
-    ) -> Result<BoundBlock> {
-        let scope = Scope { bindings: vec![], outer: None };
+    fn bind_table_less_select(&mut self, stmt: &ast::SelectStmt) -> Result<BoundBlock> {
+        let scope = Scope {
+            bindings: vec![],
+            outer: None,
+        };
         let mut columns = Vec::new();
         let mut exprs = Vec::new();
         let mut visible = Vec::new();
@@ -433,8 +460,13 @@ impl<'e> Binder<'e> {
         }
         let _ = columns;
         // One empty row to project constants over.
-        let one_row =
-            LogicalExpr::new(LogicalOp::Values { columns: vec![], rows: vec![vec![]] }, vec![]);
+        let one_row = LogicalExpr::new(
+            LogicalOp::Values {
+                columns: vec![],
+                rows: vec![vec![]],
+            },
+            vec![],
+        );
         let tree = one_row.project(exprs);
         Ok((tree, visible, PhysicalProps::none()))
     }
@@ -450,7 +482,12 @@ impl<'e> Binder<'e> {
     ) -> Result<(LogicalExpr, Vec<Binding>)> {
         match item {
             ast::TableRef::Named { name, alias } => self.bind_named_table(name, alias.as_deref()),
-            ast::TableRef::Join { left, right, kind, on } => {
+            ast::TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
                 let (ltree, lbind) = self.bind_table_ref(left, outer)?;
                 let (rtree, rbind) = self.bind_table_ref(right, outer)?;
                 let mut bindings = lbind;
@@ -469,12 +506,18 @@ impl<'e> Binder<'e> {
                 };
                 let predicate = match on {
                     Some(e) => {
-                        let scope = Scope { bindings: bindings.clone(), outer };
+                        let scope = Scope {
+                            bindings: bindings.clone(),
+                            outer,
+                        };
                         Some(self.bind_expr(e, &scope)?)
                     }
                     None => None,
                 };
-                Ok((LogicalExpr::join(join_kind, ltree, rtree, predicate), bindings))
+                Ok((
+                    LogicalExpr::join(join_kind, ltree, rtree, predicate),
+                    bindings,
+                ))
             }
             ast::TableRef::Derived { query, alias } => {
                 let (tree, output, _required) = self.bind_select_inner(query, None)?;
@@ -486,16 +529,32 @@ impl<'e> Binder<'e> {
                         data_type: self.registry.meta(*id).data_type,
                     })
                     .collect();
-                Ok((tree, vec![Binding { alias: alias.clone(), columns, table: None }]))
+                Ok((
+                    tree,
+                    vec![Binding {
+                        alias: alias.clone(),
+                        columns,
+                        table: None,
+                    }],
+                ))
             }
-            ast::TableRef::OpenRowset { provider, datasource, query, alias } => {
+            ast::TableRef::OpenRowset {
+                provider,
+                datasource,
+                query,
+                alias,
+            } => {
                 let source = self.engine.open_ad_hoc(provider, datasource)?;
                 let alias = alias
                     .clone()
                     .ok_or_else(|| DhqpError::Bind("OPENROWSET requires an alias".into()))?;
                 self.materialize_pass_through(&source, query, &alias)
             }
-            ast::TableRef::OpenQuery { server, query, alias } => {
+            ast::TableRef::OpenQuery {
+                server,
+                query,
+                alias,
+            } => {
                 let source = self.engine.linked_server(server)?;
                 let alias = alias.clone().unwrap_or_else(|| server.clone());
                 self.materialize_pass_through(&source, query, &alias)
@@ -533,12 +592,25 @@ impl<'e> Binder<'e> {
         let mut columns = Vec::new();
         let mut bound_cols = Vec::new();
         for c in schema.columns() {
-            let id = self.registry.allocate(c.name.clone(), alias, c.data_type, c.nullable);
+            let id = self
+                .registry
+                .allocate(c.name.clone(), alias, c.data_type, c.nullable);
             columns.push(id);
-            bound_cols.push(BoundColumn { name: c.name.clone(), id, data_type: c.data_type });
+            bound_cols.push(BoundColumn {
+                name: c.name.clone(),
+                id,
+                data_type: c.data_type,
+            });
         }
         let tree = LogicalExpr::new(LogicalOp::Values { columns, rows }, vec![]);
-        Ok((tree, vec![Binding { alias: alias.to_string(), columns: bound_cols, table: None }]))
+        Ok((
+            tree,
+            vec![Binding {
+                alias: alias.to_string(),
+                columns: bound_cols,
+                table: None,
+            }],
+        ))
     }
 
     fn bind_named_table(
@@ -554,16 +626,26 @@ impl<'e> Binder<'e> {
                 return self.bind_partitioned_view(&view, alias);
             }
         }
-        let alias = alias.map(str::to_string).unwrap_or_else(|| table_name.clone());
+        let alias = alias
+            .map(str::to_string)
+            .unwrap_or_else(|| table_name.clone());
         let meta = self.fetch_table_meta(server.as_deref(), &table_name, &alias)?;
         let columns = meta
             .schema
             .columns()
             .iter()
             .zip(&meta.column_ids)
-            .map(|(c, &id)| BoundColumn { name: c.name.clone(), id, data_type: c.data_type })
+            .map(|(c, &id)| BoundColumn {
+                name: c.name.clone(),
+                id,
+                data_type: c.data_type,
+            })
             .collect();
-        let binding = Binding { alias, columns, table: Some(Arc::clone(&meta)) };
+        let binding = Binding {
+            alias,
+            columns,
+            table: Some(Arc::clone(&meta)),
+        };
         Ok((LogicalExpr::get(meta), vec![binding]))
     }
 
@@ -580,7 +662,10 @@ impl<'e> Binder<'e> {
             .info
             .columns
             .iter()
-            .map(|c| self.registry.allocate(c.name.clone(), alias, c.data_type, c.nullable))
+            .map(|c| {
+                self.registry
+                    .allocate(c.name.clone(), alias, c.data_type, c.nullable)
+            })
             .collect();
         let id = self.next_table_id;
         self.next_table_id += 1;
@@ -609,7 +694,9 @@ impl<'e> Binder<'e> {
         view: &dhqp_federation::PartitionedView,
         alias: Option<&str>,
     ) -> Result<(LogicalExpr, Vec<Binding>)> {
-        let alias = alias.map(str::to_string).unwrap_or_else(|| view.name.clone());
+        let alias = alias
+            .map(str::to_string)
+            .unwrap_or_else(|| view.name.clone());
         let mut children = Vec::with_capacity(view.members.len());
         for (i, member) in view.members.iter().enumerate() {
             self.view_members.push((view.name.clone(), i));
@@ -622,7 +709,10 @@ impl<'e> Binder<'e> {
             let column_ids = info
                 .columns
                 .iter()
-                .map(|c| self.registry.allocate(c.name.clone(), &member_alias, c.data_type, c.nullable))
+                .map(|c| {
+                    self.registry
+                        .allocate(c.name.clone(), &member_alias, c.data_type, c.nullable)
+                })
                 .collect();
             let id = self.next_table_id;
             self.next_table_id += 1;
@@ -650,12 +740,25 @@ impl<'e> Binder<'e> {
         let mut out_cols = Vec::new();
         let mut bound_cols = Vec::new();
         for c in &first.columns {
-            let id = self.registry.allocate(c.name.clone(), &alias, c.data_type, c.nullable);
+            let id = self
+                .registry
+                .allocate(c.name.clone(), &alias, c.data_type, c.nullable);
             out_cols.push(id);
-            bound_cols.push(BoundColumn { name: c.name.clone(), id, data_type: c.data_type });
+            bound_cols.push(BoundColumn {
+                name: c.name.clone(),
+                id,
+                data_type: c.data_type,
+            });
         }
         let tree = LogicalExpr::new(LogicalOp::UnionAll { output: out_cols }, children);
-        Ok((tree, vec![Binding { alias, columns: bound_cols, table: None }]))
+        Ok((
+            tree,
+            vec![Binding {
+                alias,
+                columns: bound_cols,
+                table: None,
+            }],
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -671,15 +774,29 @@ impl<'e> Binder<'e> {
     ) -> Result<LogicalExpr> {
         match conj {
             ast::Expr::Exists { subquery, negated } => {
-                let kind = if negated { JoinKind::Anti } else { JoinKind::Semi };
+                let kind = if negated {
+                    JoinKind::Anti
+                } else {
+                    JoinKind::Semi
+                };
                 self.bind_subquery_join(tree, &subquery, kind, None, scope)
             }
-            ast::Expr::InSubquery { expr, subquery, negated } => {
+            ast::Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
                 let probe = self.bind_expr(&expr, scope)?;
-                let kind = if negated { JoinKind::Anti } else { JoinKind::Semi };
+                let kind = if negated {
+                    JoinKind::Anti
+                } else {
+                    JoinKind::Semi
+                };
                 self.bind_subquery_join(tree, &subquery, kind, Some(probe), scope)
             }
-            ast::Expr::Function { ref name, ref args, .. } if name == "CONTAINS" => {
+            ast::Expr::Function {
+                ref name, ref args, ..
+            } if name == "CONTAINS" => {
                 let pred = self.bind_contains(args, scope)?;
                 Ok(self.attach_fulltext_join(tree, pred)?)
             }
@@ -728,7 +845,9 @@ impl<'e> Binder<'e> {
             ));
         };
         let ast::Expr::Column(parts) = col_expr else {
-            return Err(DhqpError::Bind("CONTAINS requires a plain column reference".into()));
+            return Err(DhqpError::Bind(
+                "CONTAINS requires a plain column reference".into(),
+            ));
         };
         let bound = scope.resolve(parts)?.clone();
         let binding = scope
@@ -758,7 +877,11 @@ impl<'e> Binder<'e> {
 
     /// Join the (key, rank) full-text rowset against the base table — the
     /// relational-engine side of Figure 2.
-    fn attach_fulltext_join(&mut self, tree: LogicalExpr, pred: FtPredicate) -> Result<LogicalExpr> {
+    fn attach_fulltext_join(
+        &mut self,
+        tree: LogicalExpr,
+        pred: FtPredicate,
+    ) -> Result<LogicalExpr> {
         let hits = self.engine.fulltext_query(&pred.catalog, &pred.query)?;
         let key_id = self.registry.allocate("ftkey", "", DataType::Int, false);
         let rank_id = self.registry.allocate("rank", "", DataType::Int, false);
@@ -766,10 +889,21 @@ impl<'e> Binder<'e> {
             .into_iter()
             .map(|(k, rank)| vec![Value::Int(k as i64), Value::Int(rank)])
             .collect();
-        let values =
-            LogicalExpr::new(LogicalOp::Values { columns: vec![key_id, rank_id], rows }, vec![]);
-        let join_pred = ScalarExpr::eq(ScalarExpr::Column(pred.key_col), ScalarExpr::Column(key_id));
-        Ok(LogicalExpr::join(JoinKind::Semi, tree, values, Some(join_pred)))
+        let values = LogicalExpr::new(
+            LogicalOp::Values {
+                columns: vec![key_id, rank_id],
+                rows,
+            },
+            vec![],
+        );
+        let join_pred =
+            ScalarExpr::eq(ScalarExpr::Column(pred.key_col), ScalarExpr::Column(key_id));
+        Ok(LogicalExpr::join(
+            JoinKind::Semi,
+            tree,
+            values,
+            Some(join_pred),
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -799,7 +933,9 @@ impl<'e> Binder<'e> {
                 computed => {
                     let ty = dhqp_optimizer::decoder::static_type(&computed, &self.registry)
                         .unwrap_or(DataType::Str);
-                    let id = self.registry.allocate(format!("gexpr{}", group_cols.len()), "", ty, true);
+                    let id =
+                        self.registry
+                            .allocate(format!("gexpr{}", group_cols.len()), "", ty, true);
                     pre_project.push((id, computed));
                     group_cols.push(id);
                     need_pre_project = true;
@@ -812,9 +948,9 @@ impl<'e> Binder<'e> {
         // Aggregate calls: collect from projections and HAVING.
         let mut calls: Vec<AggCall> = Vec::new();
         let collect = |binder: &mut Binder<'_>,
-                           e: &ast::Expr,
-                           calls: &mut Vec<AggCall>,
-                           agg_outputs: &mut Vec<(ast::Expr, ColumnId)>|
+                       e: &ast::Expr,
+                       calls: &mut Vec<AggCall>,
+                       agg_outputs: &mut Vec<(ast::Expr, ColumnId)>|
          -> Result<()> {
             for agg_ast in find_aggregates(e) {
                 if agg_outputs.iter().any(|(seen, _)| seen == &agg_ast) {
@@ -822,7 +958,11 @@ impl<'e> Binder<'e> {
                 }
                 let (func, arg, distinct) = match &agg_ast {
                     ast::Expr::CountStar => (AggFunc::CountStar, None, false),
-                    ast::Expr::Function { name, args, distinct } => {
+                    ast::Expr::Function {
+                        name,
+                        args,
+                        distinct,
+                    } => {
                         let func = match name.as_str() {
                             "COUNT" => AggFunc::Count,
                             "SUM" => AggFunc::Sum,
@@ -830,22 +970,16 @@ impl<'e> Binder<'e> {
                             "MAX" => AggFunc::Max,
                             "AVG" => AggFunc::Avg,
                             other => {
-                                return Err(DhqpError::Bind(format!(
-                                    "unknown aggregate '{other}'"
-                                )))
+                                return Err(DhqpError::Bind(format!("unknown aggregate '{other}'")))
                             }
                         };
                         let arg = args
                             .first()
-                            .ok_or_else(|| {
-                                DhqpError::Bind(format!("{name} requires an argument"))
-                            })
+                            .ok_or_else(|| DhqpError::Bind(format!("{name} requires an argument")))
                             .and_then(|a| binder.bind_expr(a, scope))?;
                         (func, Some(arg), *distinct)
                     }
-                    other => {
-                        return Err(DhqpError::Bind(format!("not an aggregate: {other:?}")))
-                    }
+                    other => return Err(DhqpError::Bind(format!("not an aggregate: {other:?}"))),
                 };
                 let ty = match func {
                     AggFunc::CountStar | AggFunc::Count => DataType::Int,
@@ -855,9 +989,15 @@ impl<'e> Binder<'e> {
                         .and_then(|a| dhqp_optimizer::decoder::static_type(a, &binder.registry))
                         .unwrap_or(DataType::Float),
                 };
-                let out =
-                    binder.registry.allocate(format!("agg{}", calls.len()), "", ty, true);
-                calls.push(AggCall { func, arg, distinct, output: out });
+                let out = binder
+                    .registry
+                    .allocate(format!("agg{}", calls.len()), "", ty, true);
+                calls.push(AggCall {
+                    func,
+                    arg,
+                    distinct,
+                    output: out,
+                });
                 agg_outputs.push((agg_ast, out));
             }
             Ok(())
@@ -904,9 +1044,15 @@ impl<'e> Binder<'e> {
                 let r = self.bind_agg_expr(right, scope, group_cols, agg_outputs)?;
                 self.combine_binary(*op, l, r)
             }
-            ast::Expr::Unary { op: ast::UnaryOp::Not, operand } => Ok(ScalarExpr::Not(Box::new(
-                self.bind_agg_expr(operand, scope, group_cols, agg_outputs)?,
-            ))),
+            ast::Expr::Unary {
+                op: ast::UnaryOp::Not,
+                operand,
+            } => Ok(ScalarExpr::Not(Box::new(self.bind_agg_expr(
+                operand,
+                scope,
+                group_cols,
+                agg_outputs,
+            )?))),
             other => self.bind_expr(other, scope),
         }
     }
@@ -936,7 +1082,12 @@ impl<'e> Binder<'e> {
                 let r = self.bind_expr(right, scope)?;
                 self.combine_binary(*op, l, r)
             }
-            ast::Expr::Between { expr, low, high, negated } => {
+            ast::Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let v = self.bind_expr(expr, scope)?;
                 let lo = self.bind_expr(low, scope)?;
                 let hi = self.bind_expr(high, scope)?;
@@ -946,22 +1097,38 @@ impl<'e> Binder<'e> {
                     ScalarExpr::cmp(CmpOp::Ge, v3.clone(), lo),
                     ScalarExpr::cmp(CmpOp::Le, v3, hi),
                 ]);
-                Ok(if *negated { ScalarExpr::Not(Box::new(range)) } else { range })
+                Ok(if *negated {
+                    ScalarExpr::Not(Box::new(range))
+                } else {
+                    range
+                })
             }
-            ast::Expr::Like { expr, pattern, negated } => {
+            ast::Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = self.bind_expr(expr, scope)?;
                 let ast::Expr::Literal(Value::Str(p)) = pattern.as_ref() else {
                     return Err(DhqpError::Unsupported(
                         "LIKE patterns must be string literals".into(),
                     ));
                 };
-                Ok(ScalarExpr::Like { expr: Box::new(v), pattern: p.clone(), negated: *negated })
+                Ok(ScalarExpr::Like {
+                    expr: Box::new(v),
+                    pattern: p.clone(),
+                    negated: *negated,
+                })
             }
             ast::Expr::IsNull { expr, negated } => Ok(ScalarExpr::IsNull {
                 expr: Box::new(self.bind_expr(expr, scope)?),
                 negated: *negated,
             }),
-            ast::Expr::InList { expr, list, negated } => {
+            ast::Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = self.bind_expr(expr, scope)?;
                 let vtype = dhqp_optimizer::decoder::static_type(&v, &self.registry);
                 let values = list
@@ -973,7 +1140,11 @@ impl<'e> Binder<'e> {
                         )),
                     })
                     .collect::<Result<Vec<_>>>()?;
-                Ok(ScalarExpr::InList { expr: Box::new(v), list: values, negated: *negated })
+                Ok(ScalarExpr::InList {
+                    expr: Box::new(v),
+                    list: values,
+                    negated: *negated,
+                })
             }
             ast::Expr::ScalarSubquery(sub) => {
                 // Uncorrelated scalar subqueries evaluate eagerly at bind
@@ -985,9 +1156,9 @@ impl<'e> Binder<'e> {
             ast::Expr::Exists { .. } | ast::Expr::InSubquery { .. } => Err(DhqpError::Unsupported(
                 "EXISTS/IN subqueries are supported as top-level WHERE conjuncts".into(),
             )),
-            ast::Expr::CountStar => {
-                Err(DhqpError::Bind("COUNT(*) is only valid with GROUP BY context".into()))
-            }
+            ast::Expr::CountStar => Err(DhqpError::Bind(
+                "COUNT(*) is only valid with GROUP BY context".into(),
+            )),
             ast::Expr::Function { name, args, .. } => {
                 if matches!(name.as_str(), "COUNT" | "SUM" | "MIN" | "MAX" | "AVG") {
                     return Err(DhqpError::Bind(format!(
@@ -1003,7 +1174,10 @@ impl<'e> Binder<'e> {
                     .iter()
                     .map(|a| self.bind_expr(a, scope))
                     .collect::<Result<Vec<_>>>()?;
-                Ok(ScalarExpr::Func { name: name.clone(), args: bound })
+                Ok(ScalarExpr::Func {
+                    name: name.clone(),
+                    args: bound,
+                })
             }
             ast::Expr::Cast { expr, type_name } => {
                 let to = match type_name.to_ascii_uppercase().as_str() {
@@ -1016,12 +1190,20 @@ impl<'e> Binder<'e> {
                         return Err(DhqpError::Bind(format!("unknown type '{other}' in CAST")))
                     }
                 };
-                Ok(ScalarExpr::Cast { expr: Box::new(self.bind_expr(expr, scope)?), to })
+                Ok(ScalarExpr::Cast {
+                    expr: Box::new(self.bind_expr(expr, scope)?),
+                    to,
+                })
             }
         }
     }
 
-    fn combine_binary(&mut self, op: ast::BinaryOp, l: ScalarExpr, r: ScalarExpr) -> Result<ScalarExpr> {
+    fn combine_binary(
+        &mut self,
+        op: ast::BinaryOp,
+        l: ScalarExpr,
+        r: ScalarExpr,
+    ) -> Result<ScalarExpr> {
         use ast::BinaryOp as B;
         Ok(match op {
             B::And => ScalarExpr::and(vec![l, r]).expect("two operands"),
@@ -1034,7 +1216,11 @@ impl<'e> Binder<'e> {
                     B::Div => ArithOp::Div,
                     _ => ArithOp::Mod,
                 };
-                ScalarExpr::Arith { op: aop, left: Box::new(l), right: Box::new(r) }
+                ScalarExpr::Arith {
+                    op: aop,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
             }
             B::Eq | B::Neq | B::Lt | B::Le | B::Gt | B::Ge => {
                 let cop = match op {
@@ -1118,7 +1304,9 @@ fn collect_aggregates(e: &ast::Expr, out: &mut Vec<ast::Expr>) {
             collect_aggregates(right, out);
         }
         ast::Expr::Unary { operand, .. } => collect_aggregates(operand, out),
-        ast::Expr::Between { expr, low, high, .. } => {
+        ast::Expr::Between {
+            expr, low, high, ..
+        } => {
             collect_aggregates(expr, out);
             collect_aggregates(low, out);
             collect_aggregates(high, out);

@@ -32,7 +32,10 @@ fn resolve_target(engine: &Engine, name: &ast::ObjectName) -> Result<Target> {
             return Ok(Target::View(view));
         }
     }
-    Ok(Target::Table(name.server().map(str::to_string), name.object().to_string()))
+    Ok(Target::Table(
+        name.server().map(str::to_string),
+        name.object().to_string(),
+    ))
 }
 
 /// Key identifying one participant server in a multi-site statement.
@@ -99,12 +102,18 @@ fn run_write_set(
     keys.sort();
     keys.dedup();
     if keys.len() <= 1 {
-        let mut sessions = AutoCommitSessions { engine, sessions: HashMap::new() };
+        let mut sessions = AutoCommitSessions {
+            engine,
+            sessions: HashMap::new(),
+        };
         return work(&mut sessions);
     }
     let mut txn = engine.dtc().begin();
     let n = {
-        let mut sessions = TxnSessions { engine, txn: &mut txn };
+        let mut sessions = TxnSessions {
+            engine,
+            txn: &mut txn,
+        };
         work(&mut sessions)?
     };
     txn.commit()?;
@@ -156,7 +165,11 @@ fn arrange_row(
     table_columns: &[dhqp_oledb::ColumnInfo],
     values: Vec<Value>,
 ) -> Result<Row> {
-    let expected = if columns.is_empty() { table_columns.len() } else { columns.len() };
+    let expected = if columns.is_empty() {
+        table_columns.len()
+    } else {
+        columns.len()
+    };
     if values.len() != expected {
         return Err(DhqpError::Execute(format!(
             "INSERT supplies {} values for {} columns",
@@ -225,8 +238,10 @@ fn insert_into_view(
         let member = view.route(row.get(view.partition_column))?;
         routed.entry(member).or_default().push(row);
     }
-    let participants: Vec<Option<String>> =
-        routed.keys().map(|&m| view.members[m].server.clone()).collect();
+    let participants: Vec<Option<String>> = routed
+        .keys()
+        .map(|&m| view.members[m].server.clone())
+        .collect();
     run_write_set(engine, &participants, |sessions| {
         let mut n = 0;
         for (member, rows) in &routed {
@@ -250,7 +265,14 @@ pub fn run_delete(
     let n = match target {
         Target::Table(server, table) => {
             let n = run_write_set(engine, std::slice::from_ref(&server), |sessions| {
-                delete_matching(engine, sessions, &server, &table, stmt.where_clause.as_ref(), params)
+                delete_matching(
+                    engine,
+                    sessions,
+                    &server,
+                    &table,
+                    stmt.where_clause.as_ref(),
+                    params,
+                )
             })?;
             if server.is_none() {
                 engine.refresh_fulltext_index(&table)?;
@@ -259,8 +281,10 @@ pub fn run_delete(
         }
         Target::View(view) => {
             let members = prune_members(engine, &view, stmt.where_clause.as_ref(), params)?;
-            let participants: Vec<Option<String>> =
-                members.iter().map(|&m| view.members[m].server.clone()).collect();
+            let participants: Vec<Option<String>> = members
+                .iter()
+                .map(|&m| view.members[m].server.clone())
+                .collect();
             run_write_set(engine, &participants, |sessions| {
                 let mut n = 0;
                 for &m in &members {
@@ -331,12 +355,18 @@ fn matching_rows(
     let session = sessions.session(server)?;
     let mut rowset = session.open_rowset(table)?;
     let rows = rowset.collect_rows()?;
-    let Some(predicate) = predicate else { return Ok(rows) };
+    let Some(predicate) = predicate else {
+        return Ok(rows);
+    };
     let positions = positions_of(&meta.column_ids);
     let ctx = engine.exec_context(params.clone(), registry);
     let mut out = Vec::new();
     for row in rows {
-        let env = RowEnv { positions: &positions, row: &row, ctx: &ctx };
+        let env = RowEnv {
+            positions: &positions,
+            row: &row,
+            ctx: &ctx,
+        };
         if eval_predicate(&predicate, &env)? {
             out.push(row);
         }
@@ -355,12 +385,17 @@ fn delete_matching(
     let rows = matching_rows(engine, sessions, server, table, where_clause, params)?;
     let bookmarks: Vec<u64> = rows
         .iter()
-        .map(|r| r.bookmark.ok_or_else(|| DhqpError::Execute("row without bookmark".into())))
+        .map(|r| {
+            r.bookmark
+                .ok_or_else(|| DhqpError::Execute("row without bookmark".into()))
+        })
         .collect::<Result<Vec<_>>>()?;
     if bookmarks.is_empty() {
         return Ok(0);
     }
-    sessions.session(server)?.delete_by_bookmarks(table, &bookmarks)
+    sessions
+        .session(server)?
+        .delete_by_bookmarks(table, &bookmarks)
 }
 
 // ---------------------------------------------------------------------------
@@ -394,7 +429,10 @@ pub fn run_update(
             let participants: Vec<Option<String>> = if updates_partition_key {
                 view.members.iter().map(|m| m.server.clone()).collect()
             } else {
-                members.iter().map(|&m| view.members[m].server.clone()).collect()
+                members
+                    .iter()
+                    .map(|&m| view.members[m].server.clone())
+                    .collect()
             };
             run_write_set(engine, &participants, |sessions| {
                 let mut n = 0;
@@ -442,17 +480,28 @@ fn update_table(
         })
         .collect::<Result<Vec<_>>>()?;
     let registry = Arc::new(binder.registry_snapshot());
-    let rows =
-        matching_rows(engine, sessions, server, table, stmt.where_clause.as_ref(), params)?;
+    let rows = matching_rows(
+        engine,
+        sessions,
+        server,
+        table,
+        stmt.where_clause.as_ref(),
+        params,
+    )?;
     let positions = positions_of(&meta.column_ids);
     let ctx = engine.exec_context(params.clone(), registry);
     let mut in_place: (Vec<u64>, Vec<Row>) = (Vec::new(), Vec::new());
     let mut moves: Vec<(u64, usize, Row)> = Vec::new();
     for row in rows {
-        let bookmark =
-            row.bookmark.ok_or_else(|| DhqpError::Execute("row without bookmark".into()))?;
+        let bookmark = row
+            .bookmark
+            .ok_or_else(|| DhqpError::Execute("row without bookmark".into()))?;
         let mut new_row = row.clone();
-        let env = RowEnv { positions: &positions, row: &row, ctx: &ctx };
+        let env = RowEnv {
+            positions: &positions,
+            row: &row,
+            ctx: &ctx,
+        };
         for (pos, e) in &assignments {
             let mut v = eval_expr(e, &env)?;
             let declared = meta.schema.column(*pos).data_type;
@@ -476,13 +525,19 @@ fn update_table(
     }
     let mut n = 0;
     if !in_place.0.is_empty() {
-        n += sessions.session(server)?.update_by_bookmarks(table, &in_place.0, &in_place.1)?;
+        n += sessions
+            .session(server)?
+            .update_by_bookmarks(table, &in_place.0, &in_place.1)?;
     }
     for (bookmark, dest, new_row) in moves {
         let (view, _) = view_member.expect("moves only exist for views");
-        sessions.session(server)?.delete_by_bookmarks(table, &[bookmark])?;
+        sessions
+            .session(server)?
+            .delete_by_bookmarks(table, &[bookmark])?;
         let dest_member = &view.members[dest];
-        sessions.session(&dest_member.server)?.insert(&dest_member.table, &[new_row])?;
+        sessions
+            .session(&dest_member.server)?
+            .insert(&dest_member.table, &[new_row])?;
         n += 1;
     }
     Ok(n)

@@ -1,21 +1,24 @@
 //! The engine: catalog, query pipeline and public API.
 
+use crate::analyze::{text_result, AnalyzeReport};
 use crate::binder::{Binder, BoundSelect, FetchedTable};
 use crate::dml;
+use crate::metrics::{EngineMetrics, MetricsSnapshot, QuerySummary, StatementKind};
 use crate::result::QueryResult;
 use dhqp_dtc::TransactionCoordinator;
-use dhqp_executor::{ExecContext, SourceCatalog};
+use dhqp_executor::{ExecContext, RuntimeStatsCollector, SourceCatalog};
 use dhqp_federation::{LinkedServerRegistry, MemberTable, PartitionedView};
 use dhqp_fulltext::SearchService;
 use dhqp_oledb::{DataSource, RowsetExt, TableStatistics};
 use dhqp_optimizer::explain::ExplainPlan;
-use dhqp_optimizer::{Optimizer, OptimizerConfig};
+use dhqp_optimizer::{Optimizer, OptimizerConfig, PhysNode};
 use dhqp_sqlfront::{parse_statement, SelectStmt, Statement};
 use dhqp_storage::{LocalDataSource, StorageEngine, TableDef};
 use dhqp_types::{DhqpError, IntervalSet, Result, Row, Schema, Value};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The distributed/heterogeneous query processor. Cheap to clone; clones
 /// share all state.
@@ -38,6 +41,7 @@ pub(crate) struct Inner {
     meta_cache: RwLock<HashMap<(String, String), Arc<FetchedTable>>>,
     config: RwLock<OptimizerConfig>,
     dtc: Arc<TransactionCoordinator>,
+    metrics: EngineMetrics,
 }
 
 /// Builder for engines with non-default configuration.
@@ -48,7 +52,10 @@ pub struct EngineBuilder {
 
 impl EngineBuilder {
     pub fn new(name: impl Into<String>) -> Self {
-        EngineBuilder { name: name.into(), config: OptimizerConfig::default() }
+        EngineBuilder {
+            name: name.into(),
+            config: OptimizerConfig::default(),
+        }
     }
 
     pub fn optimizer_config(mut self, config: OptimizerConfig) -> Self {
@@ -71,6 +78,7 @@ impl EngineBuilder {
                 meta_cache: RwLock::new(HashMap::new()),
                 config: RwLock::new(self.config),
                 dtc: TransactionCoordinator::new(),
+                metrics: EngineMetrics::default(),
             }),
         }
     }
@@ -141,9 +149,20 @@ impl Engine {
         self.inner.storage.analyze(table, buckets)
     }
 
-    /// Define a linked server (paper §2.1).
+    /// Define a linked server (paper §2.1). Re-registering a name drops
+    /// any metadata cached for the old source — the new server may expose
+    /// different schemas under the same table names.
     pub fn add_linked_server(&self, name: &str, source: Arc<dyn DataSource>) -> Result<()> {
-        self.inner.registry.write().add_linked_server(name, source)
+        self.inner
+            .registry
+            .write()
+            .add_linked_server(name, source)?;
+        let key = name.to_lowercase();
+        self.inner
+            .meta_cache
+            .write()
+            .retain(|(server, _), _| server != &key);
+        Ok(())
     }
 
     pub fn linked_server(&self, name: &str) -> Result<Arc<dyn DataSource>> {
@@ -261,13 +280,18 @@ impl Engine {
     }
 
     pub(crate) fn fulltext_query(&self, catalog: &str, query: &str) -> Result<Vec<(u64, i64)>> {
+        self.inner.metrics.record_fulltext_search();
         self.inner.fulltext.query_keys(catalog, query)
     }
 
     // ---- metadata ----------------------------------------------------------
 
     /// Fetch a table's metadata bundle, caching remote entries.
-    pub(crate) fn table_metadata(&self, server: Option<&str>, table: &str) -> Result<Arc<FetchedTable>> {
+    pub(crate) fn table_metadata(
+        &self,
+        server: Option<&str>,
+        table: &str,
+    ) -> Result<Arc<FetchedTable>> {
         match server {
             None => {
                 let info = self.inner.local_source.table(table)?;
@@ -288,8 +312,10 @@ impl Engine {
             Some(server) => {
                 let key = (server.to_lowercase(), table.to_lowercase());
                 if let Some(hit) = self.inner.meta_cache.read().get(&key) {
+                    self.inner.metrics.record_meta_cache_hit();
                     return Ok(Arc::clone(hit));
                 }
+                self.inner.metrics.record_meta_cache_miss();
                 let source = self.linked_server(server)?;
                 let info = source.table(table)?;
                 let caps = source.capabilities();
@@ -308,9 +334,16 @@ impl Engine {
                 } else {
                     None
                 };
-                let fetched =
-                    Arc::new(FetchedTable { info, stats, caps, checks: Vec::new() });
-                self.inner.meta_cache.write().insert(key, Arc::clone(&fetched));
+                let fetched = Arc::new(FetchedTable {
+                    info,
+                    stats,
+                    caps,
+                    checks: Vec::new(),
+                });
+                self.inner
+                    .meta_cache
+                    .write()
+                    .insert(key, Arc::clone(&fetched));
                 Ok(fetched)
             }
         }
@@ -367,12 +400,48 @@ impl Engine {
         sql: &str,
         params: HashMap<String, Value>,
     ) -> Result<QueryResult> {
-        match parse_statement(sql)? {
+        let parsed = match parse_statement(sql) {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                self.inner.metrics.record_parse_error();
+                return Err(e);
+            }
+        };
+        let kind = match &parsed {
+            Statement::Select(_) => StatementKind::Select,
+            Statement::Insert(_) => StatementKind::Insert,
+            Statement::Update(_) => StatementKind::Update,
+            Statement::Delete(_) => StatementKind::Delete,
+            Statement::Explain { analyze: false, .. } => StatementKind::Explain,
+            Statement::Explain { analyze: true, .. } => StatementKind::ExplainAnalyze,
+        };
+        let start = Instant::now();
+        let result = match parsed {
             Statement::Select(stmt) => self.run_select(&stmt, params),
             Statement::Insert(stmt) => dml::run_insert(self, &stmt, &params),
             Statement::Update(stmt) => dml::run_update(self, &stmt, &params),
             Statement::Delete(stmt) => dml::run_delete(self, &stmt, &params),
-        }
+            Statement::Explain {
+                analyze: false,
+                stmt,
+            } => self
+                .explain_select(&stmt, &params)
+                .map(|plan| text_result(&plan.render())),
+            Statement::Explain {
+                analyze: true,
+                stmt,
+            } => self
+                .analyze_select(&stmt, params)
+                .map(|report| report.to_query_result()),
+        };
+        let rows = match &result {
+            Ok(r) => r.rows_affected.unwrap_or(r.rows.len() as u64),
+            Err(_) => 0,
+        };
+        self.inner
+            .metrics
+            .finish_statement(kind, sql, start.elapsed(), rows, result.is_ok());
+        result
     }
 
     /// Run a SELECT (alias of [`Engine::execute`] that asserts a rowset).
@@ -380,7 +449,11 @@ impl Engine {
         self.execute(sql)
     }
 
-    pub fn query_with_params(&self, sql: &str, params: HashMap<String, Value>) -> Result<QueryResult> {
+    pub fn query_with_params(
+        &self,
+        sql: &str,
+        params: HashMap<String, Value>,
+    ) -> Result<QueryResult> {
         self.execute_with_params(sql, params)
     }
 
@@ -394,24 +467,108 @@ impl Engine {
         sql: &str,
         params: HashMap<String, Value>,
     ) -> Result<ExplainPlan> {
-        let Statement::Select(stmt) = parse_statement(sql)? else {
-            return Err(DhqpError::Unsupported("EXPLAIN supports SELECT statements".into()));
+        let stmt = match parse_statement(sql)? {
+            Statement::Select(stmt) => stmt,
+            // Tolerate an explicit EXPLAIN wrapper.
+            Statement::Explain { stmt, .. } => *stmt,
+            _ => {
+                return Err(DhqpError::Unsupported(
+                    "EXPLAIN supports SELECT statements".into(),
+                ))
+            }
         };
-        let bound = Binder::new(self, &params).bind_select(&stmt)?;
+        self.explain_select(&stmt, &params)
+    }
+
+    fn explain_select(
+        &self,
+        stmt: &SelectStmt,
+        params: &HashMap<String, Value>,
+    ) -> Result<ExplainPlan> {
+        let bound = Binder::new(self, params).bind_select(stmt)?;
         let optimizer = Optimizer::new(self.optimizer_config());
         let mut registry = bound.registry;
         let (plan, stats) = optimizer.optimize(bound.tree, &mut registry, bound.required)?;
         Ok(ExplainPlan::new(&plan, stats))
     }
 
+    /// Execute a SELECT with per-operator runtime statistics attached and
+    /// return the full `EXPLAIN ANALYZE` report. Accepts a bare SELECT or
+    /// an `EXPLAIN [ANALYZE]` wrapper.
+    pub fn execute_analyze(&self, sql: &str) -> Result<AnalyzeReport> {
+        self.execute_analyze_with_params(sql, HashMap::new())
+    }
+
+    pub fn execute_analyze_with_params(
+        &self,
+        sql: &str,
+        params: HashMap<String, Value>,
+    ) -> Result<AnalyzeReport> {
+        let stmt = match parse_statement(sql)? {
+            Statement::Select(stmt) => stmt,
+            Statement::Explain { stmt, .. } => *stmt,
+            _ => {
+                return Err(DhqpError::Unsupported(
+                    "EXPLAIN ANALYZE supports SELECT statements".into(),
+                ))
+            }
+        };
+        self.analyze_select(&stmt, params)
+    }
+
+    fn analyze_select(
+        &self,
+        stmt: &SelectStmt,
+        params: HashMap<String, Value>,
+    ) -> Result<AnalyzeReport> {
+        let collector = Arc::new(RuntimeStatsCollector::new());
+        let (result, plan, stats) =
+            self.run_select_pipeline(stmt, params, Some(Arc::clone(&collector)))?;
+        let explain = ExplainPlan::new(&plan, stats);
+        Ok(AnalyzeReport {
+            result,
+            runtime: collector.snapshot(),
+            plan,
+            explain,
+        })
+    }
+
     fn run_select(&self, stmt: &SelectStmt, params: HashMap<String, Value>) -> Result<QueryResult> {
+        self.run_select_pipeline(stmt, params, None)
+            .map(|(result, _, _)| result)
+    }
+
+    /// Bind, optimize and execute one SELECT. When `stats` is given, every
+    /// operator is instrumented and flushes into the collector.
+    fn run_select_pipeline(
+        &self,
+        stmt: &SelectStmt,
+        params: HashMap<String, Value>,
+        stats: Option<Arc<RuntimeStatsCollector>>,
+    ) -> Result<(
+        QueryResult,
+        PhysNode,
+        dhqp_optimizer::search::OptimizerStats,
+    )> {
         let bound = Binder::new(self, &params).bind_select(stmt)?;
         let optimizer = Optimizer::new(self.optimizer_config());
-        let BoundSelect { tree, mut registry, output, required, view_members } = bound;
-        let (plan, _stats) = optimizer.optimize(tree, &mut registry, required)?;
+        let BoundSelect {
+            tree,
+            mut registry,
+            output,
+            required,
+            view_members,
+        } = bound;
+        let (plan, opt_stats) = optimizer.optimize(tree, &mut registry, required)?;
         let registry = Arc::new(registry);
-        let catalog = Arc::new(EngineCatalog { inner: Arc::clone(&self.inner) });
-        let ctx = ExecContext::new(catalog, params, Arc::clone(&registry));
+        let catalog = Arc::new(EngineCatalog {
+            inner: Arc::clone(&self.inner),
+        });
+        let mut ctx = ExecContext::new(catalog, params, Arc::clone(&registry))
+            .with_counters(self.inner.metrics.exec_counters());
+        if let Some(collector) = stats {
+            ctx = ctx.with_stats(collector);
+        }
         self.validate_view_schemas(&plan, &view_members, &ctx)?;
         let mut rowset = dhqp_executor::open(&plan, &ctx)?;
         let all_rows = rowset.collect_rows()?;
@@ -441,7 +598,18 @@ impl Engine {
             .into_iter()
             .map(|r| Row::new(positions.iter().map(|&p| r.values[p].clone()).collect()))
             .collect();
-        Ok(QueryResult { schema, rows, rows_affected: None })
+        // Drop the operator tree now so instrumented operators flush their
+        // runtime stats before the caller snapshots the collector.
+        drop(rowset);
+        Ok((
+            QueryResult {
+                schema,
+                rows,
+                rows_affected: None,
+            },
+            plan,
+            opt_stats,
+        ))
     }
 
     /// Delayed schema validation (§4.1.5): at execution time, re-check
@@ -484,7 +652,11 @@ impl Engine {
                 PhysicalOp::StartupFilter { predicate } => {
                     let positions = HashMap::new();
                     let row = Row::new(vec![]);
-                    let env = RowEnv { positions: &positions, row: &row, ctx };
+                    let env = RowEnv {
+                        positions: &positions,
+                        row: &row,
+                        ctx,
+                    };
                     if !eval_predicate(predicate, &env)? {
                         return Ok(()); // pruned at runtime: subtree never opens
                     }
@@ -525,7 +697,9 @@ impl Engine {
         let mut touched = Vec::new();
         collect(plan, ctx, &map, &mut touched)?;
         for (view_name, idx) in touched {
-            let Some(view) = self.partitioned_view(&view_name) else { continue };
+            let Some(view) = self.partitioned_view(&view_name) else {
+                continue;
+            };
             let member = &view.members[idx];
             let current = self.fresh_table_info(member.server.as_deref(), &member.table)?;
             view.validate_member(idx, &current)?;
@@ -550,12 +724,16 @@ impl Engine {
     ) -> Result<Value> {
         let result = self.run_select(stmt, params.clone())?;
         if result.schema.len() != 1 {
-            return Err(DhqpError::Bind("scalar subquery must select exactly one column".into()));
+            return Err(DhqpError::Bind(
+                "scalar subquery must select exactly one column".into(),
+            ));
         }
         match result.rows.len() {
             0 => Ok(Value::Null),
             1 => Ok(result.rows[0].get(0).clone()),
-            n => Err(DhqpError::Execute(format!("scalar subquery returned {n} rows"))),
+            n => Err(DhqpError::Execute(format!(
+                "scalar subquery returned {n} rows"
+            ))),
         }
     }
 
@@ -565,7 +743,25 @@ impl Engine {
         params: HashMap<String, Value>,
         registry: Arc<dhqp_optimizer::props::ColumnRegistry>,
     ) -> ExecContext {
-        let catalog = Arc::new(EngineCatalog { inner: Arc::clone(&self.inner) });
+        let catalog = Arc::new(EngineCatalog {
+            inner: Arc::clone(&self.inner),
+        });
         ExecContext::new(catalog, params, registry)
+            .with_counters(self.inner.metrics.exec_counters())
+    }
+
+    // ---- observability -----------------------------------------------------
+
+    /// Point-in-time copy of every engine counter: statements by kind,
+    /// metadata-cache hits/misses, spool-cache activity, remote round
+    /// trips, DTC commit/abort outcomes and full-text searches.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot(self.inner.dtc.stats())
+    }
+
+    /// The last [`crate::metrics::RECENT_QUERY_CAPACITY`] statement
+    /// summaries, oldest first.
+    pub fn recent_queries(&self) -> Vec<QuerySummary> {
+        self.inner.metrics.recent_queries()
     }
 }

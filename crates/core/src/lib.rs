@@ -19,13 +19,17 @@
 //! four-part names, `OPENROWSET`, full-text `CONTAINS`, partitioned views
 //! and distributed transactions.
 
+pub mod analyze;
 pub mod binder;
 pub(crate) mod dml;
 pub mod engine;
+pub mod metrics;
 pub mod remote;
 pub mod result;
 
+pub use analyze::AnalyzeReport;
 pub use engine::{Engine, EngineBuilder};
+pub use metrics::{MetricsSnapshot, QuerySummary, StatementKind};
 pub use remote::EngineDataSource;
 pub use result::QueryResult;
 

@@ -1,0 +1,235 @@
+//! Engine-wide observability: lock-free counters plus a bounded ring of
+//! recent query summaries.
+//!
+//! Counter updates on the query path are single relaxed atomic increments;
+//! the only lock is around the recent-query ring, taken once per statement
+//! (never per row). [`MetricsSnapshot`] is a plain-value copy safe to hold
+//! across further engine activity.
+
+use dhqp_executor::ExecCounters;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How many query summaries [`crate::Engine::recent_queries`] retains.
+pub const RECENT_QUERY_CAPACITY: usize = 32;
+
+/// Statement classification for the per-kind query counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementKind {
+    Select,
+    Insert,
+    Update,
+    Delete,
+    /// `EXPLAIN` (plan only).
+    Explain,
+    /// `EXPLAIN ANALYZE` (plan plus execution).
+    ExplainAnalyze,
+}
+
+/// One finished statement, as kept in the recent-query ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySummary {
+    /// The statement text as submitted.
+    pub sql: String,
+    pub kind: StatementKind,
+    /// Rows returned (queries) or affected (DML); 0 on error.
+    pub rows: u64,
+    /// End-to-end wall time including parse, bind, optimize and execute.
+    pub elapsed: Duration,
+    /// Whether the statement succeeded.
+    pub ok: bool,
+}
+
+/// Point-in-time copy of every engine counter. DTC commit/abort counts are
+/// read from the transaction coordinator at snapshot time; spool and remote
+/// counts come from the executor counters the engine shares with every
+/// execution context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub selects: u64,
+    pub inserts: u64,
+    pub updates: u64,
+    pub deletes: u64,
+    pub explains: u64,
+    pub explain_analyzes: u64,
+    /// Statements that failed (including parse errors).
+    pub statement_errors: u64,
+    pub meta_cache_hits: u64,
+    pub meta_cache_misses: u64,
+    pub fulltext_searches: u64,
+    pub spool_hits: u64,
+    pub spool_builds: u64,
+    pub remote_roundtrips: u64,
+    pub dtc_commits: u64,
+    pub dtc_aborts: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total statements counted, across every kind.
+    pub fn statements(&self) -> u64 {
+        self.selects
+            + self.inserts
+            + self.updates
+            + self.deletes
+            + self.explains
+            + self.explain_analyzes
+    }
+}
+
+/// The engine's live counters (one per [`crate::Engine`], shared by all
+/// clones).
+#[derive(Debug, Default)]
+pub(crate) struct EngineMetrics {
+    selects: AtomicU64,
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    deletes: AtomicU64,
+    explains: AtomicU64,
+    explain_analyzes: AtomicU64,
+    statement_errors: AtomicU64,
+    meta_cache_hits: AtomicU64,
+    meta_cache_misses: AtomicU64,
+    fulltext_searches: AtomicU64,
+    exec: Arc<ExecCounters>,
+    recent: Mutex<VecDeque<QuerySummary>>,
+}
+
+impl EngineMetrics {
+    /// The executor counters this engine shares with its execution
+    /// contexts, so spool/remote activity survives each execution.
+    pub fn exec_counters(&self) -> Arc<ExecCounters> {
+        Arc::clone(&self.exec)
+    }
+
+    pub fn record_parse_error(&self) {
+        self.statement_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_meta_cache_hit(&self) {
+        self.meta_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_meta_cache_miss(&self) {
+        self.meta_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_fulltext_search(&self) {
+        self.fulltext_searches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one finished statement and push its summary onto the ring.
+    pub fn finish_statement(
+        &self,
+        kind: StatementKind,
+        sql: &str,
+        elapsed: Duration,
+        rows: u64,
+        ok: bool,
+    ) {
+        let counter = match kind {
+            StatementKind::Select => &self.selects,
+            StatementKind::Insert => &self.inserts,
+            StatementKind::Update => &self.updates,
+            StatementKind::Delete => &self.deletes,
+            StatementKind::Explain => &self.explains,
+            StatementKind::ExplainAnalyze => &self.explain_analyzes,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.statement_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut recent = self.recent.lock();
+        if recent.len() == RECENT_QUERY_CAPACITY {
+            recent.pop_front();
+        }
+        recent.push_back(QuerySummary {
+            sql: sql.to_string(),
+            kind,
+            rows,
+            elapsed,
+            ok,
+        });
+    }
+
+    /// Most-recent-last copy of the query ring.
+    pub fn recent_queries(&self) -> Vec<QuerySummary> {
+        self.recent.lock().iter().cloned().collect()
+    }
+
+    pub fn snapshot(&self, dtc: (u64, u64)) -> MetricsSnapshot {
+        let exec = self.exec.snapshot();
+        MetricsSnapshot {
+            selects: self.selects.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            explains: self.explains.load(Ordering::Relaxed),
+            explain_analyzes: self.explain_analyzes.load(Ordering::Relaxed),
+            statement_errors: self.statement_errors.load(Ordering::Relaxed),
+            meta_cache_hits: self.meta_cache_hits.load(Ordering::Relaxed),
+            meta_cache_misses: self.meta_cache_misses.load(Ordering::Relaxed),
+            fulltext_searches: self.fulltext_searches.load(Ordering::Relaxed),
+            spool_hits: exec.spool_hits,
+            spool_builds: exec.spool_builds,
+            remote_roundtrips: exec.remote_roundtrips,
+            dtc_commits: dtc.0,
+            dtc_aborts: dtc.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let m = EngineMetrics::default();
+        for i in 0..(RECENT_QUERY_CAPACITY + 5) {
+            m.finish_statement(
+                StatementKind::Select,
+                &format!("SELECT {i}"),
+                Duration::from_millis(1),
+                i as u64,
+                true,
+            );
+        }
+        let recent = m.recent_queries();
+        assert_eq!(recent.len(), RECENT_QUERY_CAPACITY);
+        assert_eq!(recent.first().unwrap().sql, "SELECT 5");
+        assert_eq!(recent.last().unwrap().sql, "SELECT 36");
+        assert_eq!(
+            m.snapshot((0, 0)).selects,
+            (RECENT_QUERY_CAPACITY + 5) as u64
+        );
+    }
+
+    #[test]
+    fn snapshot_merges_exec_and_dtc_counters() {
+        let m = EngineMetrics::default();
+        m.exec_counters().add_remote_roundtrip();
+        m.record_meta_cache_miss();
+        m.record_meta_cache_hit();
+        m.record_fulltext_search();
+        m.finish_statement(
+            StatementKind::Delete,
+            "DELETE FROM t",
+            Duration::ZERO,
+            3,
+            false,
+        );
+        let s = m.snapshot((7, 2));
+        assert_eq!(s.remote_roundtrips, 1);
+        assert_eq!(s.meta_cache_hits, 1);
+        assert_eq!(s.meta_cache_misses, 1);
+        assert_eq!(s.fulltext_searches, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.statement_errors, 1);
+        assert_eq!(s.dtc_commits, 7);
+        assert_eq!(s.dtc_aborts, 2);
+        assert_eq!(s.statements(), 1);
+    }
+}

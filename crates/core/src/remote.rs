@@ -68,10 +68,18 @@ impl Session for EngineSession {
     }
 
     fn create_command(&mut self) -> Result<Box<dyn Command>> {
-        Ok(Box::new(EngineCommand { engine: self.engine.clone(), text: None }))
+        Ok(Box::new(EngineCommand {
+            engine: self.engine.clone(),
+            text: None,
+        }))
     }
 
-    fn open_index(&mut self, table: &str, index: &str, range: &KeyRange) -> Result<Box<dyn Rowset>> {
+    fn open_index(
+        &mut self,
+        table: &str,
+        index: &str,
+        range: &KeyRange,
+    ) -> Result<Box<dyn Rowset>> {
         self.storage_session.open_index(table, index, range)
     }
 
@@ -107,8 +115,14 @@ impl Session for EngineSession {
         self.storage_session.delete_by_bookmarks(table, bookmarks)
     }
 
-    fn update_by_bookmarks(&mut self, table: &str, bookmarks: &[u64], updates: &[Row]) -> Result<u64> {
-        self.storage_session.update_by_bookmarks(table, bookmarks, updates)
+    fn update_by_bookmarks(
+        &mut self,
+        table: &str,
+        bookmarks: &[u64],
+        updates: &[Row],
+    ) -> Result<u64> {
+        self.storage_session
+            .update_by_bookmarks(table, bookmarks, updates)
     }
 }
 
@@ -132,6 +146,9 @@ impl Command for EngineCommand {
         if let Some(n) = result.rows_affected {
             return Ok(CommandResult::RowCount(n));
         }
-        Ok(CommandResult::Rowset(Box::new(MemRowset::new(result.schema, result.rows))))
+        Ok(CommandResult::Rowset(Box::new(MemRowset::new(
+            result.schema,
+            result.rows,
+        ))))
     }
 }

@@ -15,7 +15,11 @@ pub struct QueryResult {
 
 impl QueryResult {
     pub fn rows_affected(n: u64) -> Self {
-        QueryResult { schema: Schema::empty(), rows: Vec::new(), rows_affected: Some(n) }
+        QueryResult {
+            schema: Schema::empty(),
+            rows: Vec::new(),
+            rows_affected: Some(n),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -47,8 +51,12 @@ impl QueryResult {
 
     /// Render as an aligned text table (examples and the bench report).
     pub fn to_table(&self) -> String {
-        let headers: Vec<String> =
-            self.schema.columns().iter().map(|c| c.name.clone()).collect();
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
         let rendered: Vec<Vec<String>> = self
             .rows

@@ -61,7 +61,10 @@ impl TransactionCoordinator {
 
     /// Committed/aborted counters (bench telemetry).
     pub fn stats(&self) -> (u64, u64) {
-        (self.commits.load(Ordering::Relaxed), self.aborts.load(Ordering::Relaxed))
+        (
+            self.commits.load(Ordering::Relaxed),
+            self.aborts.load(Ordering::Relaxed),
+        )
     }
 
     /// The outcome log, oldest first.
@@ -74,7 +77,11 @@ impl TransactionCoordinator {
             Outcome::Committed => self.commits.fetch_add(1, Ordering::Relaxed),
             Outcome::Aborted => self.aborts.fetch_add(1, Ordering::Relaxed),
         };
-        self.log.lock().push(LogRecord { txn, outcome, participants });
+        self.log.lock().push(LogRecord {
+            txn,
+            outcome,
+            participants,
+        });
     }
 }
 
@@ -96,7 +103,9 @@ impl DistributedTransaction {
     /// completion.
     pub fn enlist(&mut self, name: impl Into<String>, mut session: Box<dyn Session>) -> Result<()> {
         if self.finished {
-            return Err(DhqpError::Transaction("transaction already completed".into()));
+            return Err(DhqpError::Transaction(
+                "transaction already completed".into(),
+            ));
         }
         session.join_transaction(self.id)?;
         self.participants.push((name.into(), session));
@@ -121,7 +130,9 @@ impl DistributedTransaction {
     /// aborted and the prepare error is returned.
     pub fn commit(mut self) -> Result<()> {
         if self.finished {
-            return Err(DhqpError::Transaction("transaction already completed".into()));
+            return Err(DhqpError::Transaction(
+                "transaction already completed".into(),
+            ));
         }
         let names = self.participant_names();
         // Phase one: unanimous prepare.
@@ -204,7 +215,9 @@ mod tests {
     }
 
     fn session_for(e: &Arc<StorageEngine>) -> Box<dyn Session> {
-        LocalDataSource::new(Arc::clone(e)).create_session().unwrap()
+        LocalDataSource::new(Arc::clone(e))
+            .create_session()
+            .unwrap()
     }
 
     fn row(v: i64) -> Row {
@@ -218,8 +231,14 @@ mod tests {
         let mut txn = dtc.begin();
         txn.enlist("s1", session_for(&e1)).unwrap();
         txn.enlist("s2", session_for(&e2)).unwrap();
-        txn.session_mut("s1").unwrap().insert("t", &[row(1)]).unwrap();
-        txn.session_mut("s2").unwrap().insert("t", &[row(2)]).unwrap();
+        txn.session_mut("s1")
+            .unwrap()
+            .insert("t", &[row(1)])
+            .unwrap();
+        txn.session_mut("s2")
+            .unwrap()
+            .insert("t", &[row(2)])
+            .unwrap();
         // Invisible before commit.
         assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 0);
         txn.commit().unwrap();
@@ -238,8 +257,14 @@ mod tests {
         let mut txn = dtc.begin();
         txn.enlist("s1", session_for(&e1)).unwrap();
         txn.enlist("s2", session_for(&e2)).unwrap();
-        txn.session_mut("s1").unwrap().insert("t", &[row(1)]).unwrap();
-        txn.session_mut("s2").unwrap().insert("t", &[row(2)]).unwrap();
+        txn.session_mut("s1")
+            .unwrap()
+            .insert("t", &[row(1)])
+            .unwrap();
+        txn.session_mut("s2")
+            .unwrap()
+            .insert("t", &[row(2)])
+            .unwrap();
         let err = txn.commit().unwrap_err();
         assert!(err.to_string().contains("refused prepare"), "{err}");
         // Atomicity: neither side applied.
@@ -257,7 +282,10 @@ mod tests {
         let dtc = TransactionCoordinator::new();
         let mut txn = dtc.begin();
         txn.enlist("s1", session_for(&e1)).unwrap();
-        txn.session_mut("s1").unwrap().insert("t", &[row(1)]).unwrap();
+        txn.session_mut("s1")
+            .unwrap()
+            .insert("t", &[row(1)])
+            .unwrap();
         txn.abort().unwrap();
         assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 0);
         assert_eq!(dtc.stats(), (0, 1));
@@ -270,7 +298,10 @@ mod tests {
         {
             let mut txn = dtc.begin();
             txn.enlist("s1", session_for(&e1)).unwrap();
-            txn.session_mut("s1").unwrap().insert("t", &[row(1)]).unwrap();
+            txn.session_mut("s1")
+                .unwrap()
+                .insert("t", &[row(1)])
+                .unwrap();
             // dropped without commit
         }
         assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 0);

@@ -4,35 +4,107 @@ use crate::context::ExecContext;
 use crate::ops::agg::{HashAggregate, StreamAggregate};
 use crate::ops::filter::{open_startup_filter, FilterRowset, ProjectRowset};
 use crate::ops::join::{HashJoin, InnerFactory, MergeJoin, NestedLoopJoin};
-use crate::ops::remote::{open_remote_fetch, open_remote_query, open_remote_range, open_remote_scan};
+use crate::ops::remote::{
+    open_remote_fetch, open_remote_query, open_remote_range, open_remote_scan, remote_query_text,
+};
 use crate::ops::scan::{open_index_range, open_table_scan};
 use crate::ops::sort::{open_sort, open_spool, TopRowset, UnionAllRowset};
+use crate::stats::{RemoteProbe, StatsRowset};
 use dhqp_oledb::{MemRowset, Rowset};
 use dhqp_optimizer::{PhysNode, PhysicalOp};
 use dhqp_types::{Result, Row};
 use std::sync::Arc;
 
 /// Open a physical plan as a rowset. Re-entrant: nested-loop joins call
-/// back into `open` for every outer row, with fresh correlation bindings.
+/// back into the builder for every outer row, with fresh correlation
+/// bindings.
+///
+/// Every node is addressed by its **pre-order id** (root = 0, first child =
+/// 1, each later child follows the previous sibling's subtree). Ids key
+/// both the spool cache and the runtime stats collector; they are stable
+/// across rescans even though nested-loop joins clone their inner subtree.
 pub fn open(plan: &PhysNode, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
+    open_node(plan, ctx, 0)
+}
+
+/// Pre-order id of `plan.children[k]` given the parent's id.
+fn child_id(plan: &PhysNode, id: usize, k: usize) -> usize {
+    id + 1
+        + plan.children[..k]
+            .iter()
+            .map(PhysNode::subtree_size)
+            .sum::<usize>()
+}
+
+/// Open one node: build its rowset, then (only when a stats collector is
+/// attached) wrap it so rows/time — and, for remote operators, the shipped
+/// command text plus the wire-traffic delta — land on this node's id.
+fn open_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn Rowset>> {
+    let Some(collector) = ctx.stats() else {
+        return build_node(plan, ctx, id);
+    };
+    let collector = Arc::clone(collector);
+    // Snapshot the source's wire counters *before* the open: the open
+    // itself is a metered round trip that belongs to this node.
+    let probe = remote_probe(plan, ctx)?;
+    let inner = build_node(plan, ctx, id)?;
+    Ok(Box::new(StatsRowset::new(inner, id, collector, probe)))
+}
+
+/// For remote operators, resolve the target source and describe the exact
+/// request that will cross the link.
+fn remote_probe(plan: &PhysNode, ctx: &ExecContext) -> Result<Option<RemoteProbe>> {
+    let (server, request) = match &plan.op {
+        PhysicalOp::RemoteQuery {
+            server,
+            sql,
+            params,
+            ..
+        } => (server.to_string(), remote_query_text(sql, params, ctx)?),
+        PhysicalOp::RemoteScan { meta } => match meta.source.server_name() {
+            Some(s) => (s.to_string(), format!("IOpenRowset([{}])", meta.table)),
+            None => return Ok(None),
+        },
+        PhysicalOp::RemoteRange { meta, index, .. } => match meta.source.server_name() {
+            Some(s) => (
+                s.to_string(),
+                format!("IRowsetIndex([{}].[{index}] range)", meta.table),
+            ),
+            None => return Ok(None),
+        },
+        PhysicalOp::RemoteFetch { meta } => match meta.source.server_name() {
+            Some(s) => (
+                s.to_string(),
+                format!("IRowsetLocate([{}] bookmarks)", meta.table),
+            ),
+            None => return Ok(None),
+        },
+        _ => return Ok(None),
+    };
+    let source = ctx.catalog().linked(&server)?;
+    Ok(Some(RemoteProbe::new(source, &server, request)))
+}
+
+fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn Rowset>> {
     match &plan.op {
         PhysicalOp::TableScan { meta } => open_table_scan(meta, ctx),
-        PhysicalOp::IndexRange { meta, index, range } => {
-            open_index_range(meta, index, range, ctx)
-        }
+        PhysicalOp::IndexRange { meta, index, range } => open_index_range(meta, index, range, ctx),
         PhysicalOp::RemoteScan { meta } => open_remote_scan(meta, ctx),
         PhysicalOp::RemoteRange { meta, index, range } => {
             open_remote_range(meta, index, range, ctx)
         }
         PhysicalOp::RemoteFetch { meta } => {
-            let child = open(&plan.children[0], ctx)?;
+            let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
             open_remote_fetch(meta, child, ctx)
         }
-        PhysicalOp::RemoteQuery { server, sql, params, .. } => {
-            open_remote_query(server, sql, params, ctx)
-        }
+        PhysicalOp::RemoteQuery {
+            server,
+            sql,
+            params,
+            ..
+        } => open_remote_query(server, sql, params, ctx),
         PhysicalOp::Filter { predicate } => {
-            let child = open(&plan.children[0], ctx)?;
+            let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
             Ok(Box::new(FilterRowset::new(
                 child,
                 predicate.clone(),
@@ -43,10 +115,11 @@ pub fn open(plan: &PhysNode, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
         PhysicalOp::StartupFilter { predicate } => {
             let schema = ctx.schema_of(&plan.output);
             let child_plan = &plan.children[0];
-            open_startup_filter(predicate, schema, ctx, || open(child_plan, ctx))
+            let cid = child_id(plan, id, 0);
+            open_startup_filter(predicate, schema, ctx, || open_node(child_plan, ctx, cid))
         }
         PhysicalOp::Project { outputs } => {
-            let child = open(&plan.children[0], ctx)?;
+            let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
             let schema = ctx.schema_of(&plan.output);
             Ok(Box::new(ProjectRowset::new(
                 child,
@@ -57,11 +130,12 @@ pub fn open(plan: &PhysNode, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
             )))
         }
         PhysicalOp::NestedLoopJoin { kind, predicate } => {
-            let outer = open(&plan.children[0], ctx)?;
+            let outer = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
             let inner_plan = Arc::new(plan.children[1].clone());
+            let inner_id = child_id(plan, id, 1);
             let factory: InnerFactory = {
                 let inner_plan = Arc::clone(&inner_plan);
-                Box::new(move |child_ctx: &ExecContext| open(&inner_plan, child_ctx))
+                Box::new(move |child_ctx: &ExecContext| open_node(&inner_plan, child_ctx, inner_id))
             };
             let schema = ctx.schema_of(&plan.output);
             Ok(Box::new(NestedLoopJoin::new(
@@ -75,9 +149,14 @@ pub fn open(plan: &PhysNode, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
                 ctx.clone(),
             )))
         }
-        PhysicalOp::HashJoin { kind, left_keys, right_keys, residual } => {
-            let left = open(&plan.children[0], ctx)?;
-            let right = open(&plan.children[1], ctx)?;
+        PhysicalOp::HashJoin {
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let left = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
+            let right = open_node(&plan.children[1], ctx, child_id(plan, id, 1))?;
             let schema = ctx.schema_of(&plan.output);
             Ok(Box::new(HashJoin::new(
                 left,
@@ -92,9 +171,13 @@ pub fn open(plan: &PhysNode, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
                 ctx,
             )?))
         }
-        PhysicalOp::MergeJoin { left_keys, right_keys, residual } => {
-            let left = open(&plan.children[0], ctx)?;
-            let right = open(&plan.children[1], ctx)?;
+        PhysicalOp::MergeJoin {
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let left = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
+            let right = open_node(&plan.children[1], ctx, child_id(plan, id, 1))?;
             let schema = ctx.schema_of(&plan.output);
             Ok(Box::new(MergeJoin::new(
                 left,
@@ -109,7 +192,7 @@ pub fn open(plan: &PhysNode, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
             )?))
         }
         PhysicalOp::HashAggregate { group_by, aggs } => {
-            let child = open(&plan.children[0], ctx)?;
+            let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
             let schema = ctx.schema_of(&plan.output);
             Ok(Box::new(HashAggregate::new(
                 child,
@@ -121,7 +204,7 @@ pub fn open(plan: &PhysNode, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
             )?))
         }
         PhysicalOp::StreamAggregate { group_by, aggs } => {
-            let child = open(&plan.children[0], ctx)?;
+            let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
             let schema = ctx.schema_of(&plan.output);
             Ok(Box::new(StreamAggregate::new(
                 child,
@@ -133,27 +216,35 @@ pub fn open(plan: &PhysNode, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
             )?))
         }
         PhysicalOp::Sort { keys } => {
-            let child = open(&plan.children[0], ctx)?;
+            let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
             open_sort(child, keys, &plan.children[0].output)
         }
         PhysicalOp::Top { n } => {
-            let child = open(&plan.children[0], ctx)?;
+            let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
             Ok(Box::new(TopRowset::new(child, *n)))
         }
         PhysicalOp::UnionAll { input_columns, .. } => {
             let mut children = Vec::with_capacity(plan.children.len());
             let mut delivered = Vec::with_capacity(plan.children.len());
-            for c in &plan.children {
-                children.push(open(c, ctx)?);
+            for (k, c) in plan.children.iter().enumerate() {
+                children.push(open_node(c, ctx, child_id(plan, id, k))?);
                 delivered.push(c.output.clone());
             }
             let schema = ctx.schema_of(&plan.output);
-            Ok(Box::new(UnionAllRowset::new(children, &delivered, input_columns, schema)?))
+            Ok(Box::new(UnionAllRowset::new(
+                children,
+                &delivered,
+                input_columns,
+                schema,
+            )?))
         }
         PhysicalOp::Spool => {
-            let key = plan as *const PhysNode as usize;
+            // Keyed by pre-order node id: stable across the inner-subtree
+            // clones a nested-loop join makes per rescan (a raw pointer
+            // would not be).
             let child_plan = &plan.children[0];
-            open_spool(key, ctx, || open(child_plan, ctx))
+            let cid = child_id(plan, id, 0);
+            open_spool(id, ctx, || open_node(child_plan, ctx, cid))
         }
         PhysicalOp::Values { rows, .. } => {
             let schema = ctx.schema_of(&plan.output);
@@ -182,7 +273,11 @@ mod tests {
 
     /// Local engine with t(k, v) plus a "remote" engine r with the same
     /// table behind the catalog's linked-server map.
-    fn setup() -> (ExecContext, Arc<dhqp_optimizer::TableMeta>, Arc<dhqp_optimizer::TableMeta>) {
+    fn setup() -> (
+        ExecContext,
+        Arc<dhqp_optimizer::TableMeta>,
+        Arc<dhqp_optimizer::TableMeta>,
+    ) {
         let mut registry = ColumnRegistry::new();
         let local_engine = Arc::new(StorageEngine::new("local"));
         let remote_engine = Arc::new(StorageEngine::new("r-engine"));
@@ -239,9 +334,10 @@ mod tests {
             Arc::new(m2)
         };
         let mut catalog = TestCatalog::with_local(local_engine);
-        catalog
-            .remotes
-            .insert("r".into(), Arc::new(LocalDataSource::new(remote_engine)) as Arc<dyn DataSource>);
+        catalog.remotes.insert(
+            "r".into(),
+            Arc::new(LocalDataSource::new(remote_engine)) as Arc<dyn DataSource>,
+        );
         let ctx = ExecContext::new(Arc::new(catalog), HashMap::new(), Arc::new(registry));
         (ctx, local_meta, remote_meta)
     }
@@ -263,7 +359,9 @@ mod tests {
             remote.column_ids.clone(),
         );
         let fetch = PhysNode::new(
-            PhysicalOp::RemoteFetch { meta: Arc::clone(&remote) },
+            PhysicalOp::RemoteFetch {
+                meta: Arc::clone(&remote),
+            },
             vec![range],
             remote.column_ids.clone(),
         );
@@ -277,17 +375,24 @@ mod tests {
         let (ctx, local, remote) = setup();
         // NLJ: local t as outer (8 rows), spooled remote scan as inner.
         let outer = PhysNode::new(
-            PhysicalOp::TableScan { meta: Arc::clone(&local) },
+            PhysicalOp::TableScan {
+                meta: Arc::clone(&local),
+            },
             vec![],
             local.column_ids.clone(),
         );
         let inner_scan = PhysNode::new(
-            PhysicalOp::RemoteScan { meta: Arc::clone(&remote) },
+            PhysicalOp::RemoteScan {
+                meta: Arc::clone(&remote),
+            },
             vec![],
             remote.column_ids.clone(),
         );
-        let spool =
-            PhysNode::new(PhysicalOp::Spool, vec![inner_scan], remote.column_ids.clone());
+        let spool = PhysNode::new(
+            PhysicalOp::Spool,
+            vec![inner_scan],
+            remote.column_ids.clone(),
+        );
         let pred = ScalarExpr::eq(
             ScalarExpr::Column(local.column_id(0)),
             ScalarExpr::Column(remote.column_id(0)),
@@ -295,7 +400,10 @@ mod tests {
         let mut out_cols = local.column_ids.clone();
         out_cols.extend(remote.column_ids.iter().copied());
         let join = PhysNode::new(
-            PhysicalOp::NestedLoopJoin { kind: JoinKind::Inner, predicate: Some(pred) },
+            PhysicalOp::NestedLoopJoin {
+                kind: JoinKind::Inner,
+                predicate: Some(pred),
+            },
             vec![outer, spool],
             out_cols,
         );
@@ -307,7 +415,9 @@ mod tests {
     fn startup_filter_gates_whole_subtree() {
         let (ctx, local, _) = setup();
         let scan = PhysNode::new(
-            PhysicalOp::TableScan { meta: Arc::clone(&local) },
+            PhysicalOp::TableScan {
+                meta: Arc::clone(&local),
+            },
             vec![],
             local.column_ids.clone(),
         );
@@ -320,7 +430,9 @@ mod tests {
         );
         assert_eq!(open(&blocked, &ctx).unwrap().count_rows().unwrap(), 0);
         let passed = PhysNode::new(
-            PhysicalOp::StartupFilter { predicate: ScalarExpr::literal(Value::Bool(true)) },
+            PhysicalOp::StartupFilter {
+                predicate: ScalarExpr::literal(Value::Bool(true)),
+            },
             vec![scan],
             local.column_ids.clone(),
         );
@@ -331,12 +443,16 @@ mod tests {
     fn union_all_permutes_mismatched_child_orders() {
         let (ctx, local, remote) = setup();
         let child1 = PhysNode::new(
-            PhysicalOp::TableScan { meta: Arc::clone(&local) },
+            PhysicalOp::TableScan {
+                meta: Arc::clone(&local),
+            },
             vec![],
             local.column_ids.clone(),
         );
         let child2 = PhysNode::new(
-            PhysicalOp::RemoteScan { meta: Arc::clone(&remote) },
+            PhysicalOp::RemoteScan {
+                meta: Arc::clone(&remote),
+            },
             vec![],
             remote.column_ids.clone(),
         );

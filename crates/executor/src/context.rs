@@ -1,6 +1,7 @@
 //! Execution context: parameter values, correlation bindings, data-source
 //! resolution and the shared spool cache.
 
+use crate::stats::{ExecCounters, RuntimeStatsCollector};
 use dhqp_oledb::DataSource;
 use dhqp_optimizer::props::ColumnRegistry;
 use dhqp_optimizer::ColumnId;
@@ -36,6 +37,13 @@ pub struct ExecContext {
     /// Column metadata snapshot from binding, used to build operator
     /// output schemas.
     registry: Arc<ColumnRegistry>,
+    /// Engine-wide lock-free counters (remote round trips, spool cache
+    /// activity). The engine passes its own shared instance so counts
+    /// survive the execution.
+    counters: Arc<ExecCounters>,
+    /// Per-node runtime stats, attached only for `EXPLAIN ANALYZE` (or
+    /// tests); `None` keeps the plain execution path unchanged.
+    stats: Option<Arc<RuntimeStatsCollector>>,
 }
 
 impl ExecContext {
@@ -50,7 +58,29 @@ impl ExecContext {
             bindings: Arc::new(HashMap::new()),
             spools: Arc::new(Mutex::new(HashMap::new())),
             registry,
+            counters: Arc::new(ExecCounters::default()),
+            stats: None,
         }
+    }
+
+    /// Share the engine's lock-free execution counters with this context.
+    pub fn with_counters(mut self, counters: Arc<ExecCounters>) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// Attach a per-node runtime stats collector (`EXPLAIN ANALYZE`).
+    pub fn with_stats(mut self, stats: Arc<RuntimeStatsCollector>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    pub fn counters(&self) -> &Arc<ExecCounters> {
+        &self.counters
+    }
+
+    pub fn stats(&self) -> Option<&Arc<RuntimeStatsCollector>> {
+        self.stats.as_ref()
     }
 
     /// Build the runtime schema for a list of output columns.
@@ -60,7 +90,11 @@ impl ExecContext {
                 .iter()
                 .map(|&c| {
                     let m = self.registry.meta(c);
-                    Column { name: m.name.clone(), data_type: m.data_type, nullable: m.nullable }
+                    Column {
+                        name: m.name.clone(),
+                        data_type: m.data_type,
+                        nullable: m.nullable,
+                    }
                 })
                 .collect(),
         )
@@ -90,14 +124,21 @@ impl ExecContext {
             bindings: Arc::new(bindings),
             spools: Arc::clone(&self.spools),
             registry: Arc::clone(&self.registry),
+            counters: Arc::clone(&self.counters),
+            stats: self.stats.clone(),
         }
     }
 
     pub fn cached_spool(&self, key: usize) -> Option<SpoolData> {
-        self.spools.lock().expect("spool lock").get(&key).cloned()
+        let cached = self.spools.lock().expect("spool lock").get(&key).cloned();
+        if cached.is_some() {
+            self.counters.add_spool_hit();
+        }
+        cached
     }
 
     pub fn store_spool(&self, key: usize, data: SpoolData) {
+        self.counters.add_spool_build();
         self.spools.lock().expect("spool lock").insert(key, data);
     }
 }

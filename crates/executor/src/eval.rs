@@ -120,7 +120,11 @@ fn eval_bool(expr: &ScalarExpr, env: &RowEnv<'_>) -> Result<Option<bool>> {
             let v = eval_expr(expr, env)?;
             Ok(Some(v.is_null() != *negated))
         }
-        ScalarExpr::Like { expr, pattern, negated } => {
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval_expr(expr, env)?;
             match v {
                 Value::Null => Ok(None),
@@ -131,7 +135,11 @@ fn eval_bool(expr: &ScalarExpr, env: &RowEnv<'_>) -> Result<Option<bool>> {
                 ))),
             }
         }
-        ScalarExpr::InList { expr, list, negated } => {
+        ScalarExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval_expr(expr, env)?;
             if v.is_null() {
                 return Ok(None);
@@ -176,23 +184,35 @@ fn eval_function(name: &str, args: &[ScalarExpr], env: &RowEnv<'_>) -> Result<Va
         "UPPER" => match eval_arg(0)? {
             Value::Null => Ok(Value::Null),
             Value::Str(s) => Ok(Value::Str(s.to_uppercase())),
-            v => Err(DhqpError::Type(format!("UPPER requires a string, got {}", v.type_name()))),
+            v => Err(DhqpError::Type(format!(
+                "UPPER requires a string, got {}",
+                v.type_name()
+            ))),
         },
         "LOWER" => match eval_arg(0)? {
             Value::Null => Ok(Value::Null),
             Value::Str(s) => Ok(Value::Str(s.to_lowercase())),
-            v => Err(DhqpError::Type(format!("LOWER requires a string, got {}", v.type_name()))),
+            v => Err(DhqpError::Type(format!(
+                "LOWER requires a string, got {}",
+                v.type_name()
+            ))),
         },
         "ABS" => match eval_arg(0)? {
             Value::Null => Ok(Value::Null),
             Value::Int(i) => Ok(Value::Int(i.abs())),
             Value::Float(f) => Ok(Value::Float(f.abs())),
-            v => Err(DhqpError::Type(format!("ABS requires a number, got {}", v.type_name()))),
+            v => Err(DhqpError::Type(format!(
+                "ABS requires a number, got {}",
+                v.type_name()
+            ))),
         },
         "LEN" => match eval_arg(0)? {
             Value::Null => Ok(Value::Null),
             Value::Str(s) => Ok(Value::Int(s.len() as i64)),
-            v => Err(DhqpError::Type(format!("LEN requires a string, got {}", v.type_name()))),
+            v => Err(DhqpError::Type(format!(
+                "LEN requires a string, got {}",
+                v.type_name()
+            ))),
         },
         // DATE(d, n): shift a date by n days (the paper's §2.4 helper).
         "DATE" => {
@@ -215,8 +235,9 @@ mod tests {
     use std::sync::Arc;
 
     fn ctx() -> ExecContext {
-        let catalog =
-            Arc::new(TestCatalog::with_local(Arc::new(StorageEngine::new("local"))));
+        let catalog = Arc::new(TestCatalog::with_local(Arc::new(StorageEngine::new(
+            "local",
+        ))));
         let mut params = HashMap::new();
         params.insert("p".to_string(), Value::Int(60));
         ExecContext::new(
@@ -231,7 +252,11 @@ mod tests {
         row: &'a Row,
         ctx: &'a ExecContext,
     ) -> RowEnv<'a> {
-        RowEnv { positions, row, ctx }
+        RowEnv {
+            positions,
+            row,
+            ctx,
+        }
     }
 
     #[test]
@@ -281,8 +306,7 @@ mod tests {
         let or = ScalarExpr::Or(vec![t, unknown.clone()]);
         assert_eq!(eval_bool(&or, &env).unwrap(), Some(true));
         // TRUE AND UNKNOWN = UNKNOWN.
-        let and2 =
-            ScalarExpr::And(vec![ScalarExpr::literal(Value::Bool(true)), unknown]);
+        let and2 = ScalarExpr::And(vec![ScalarExpr::literal(Value::Bool(true)), unknown]);
         assert_eq!(eval_bool(&and2, &env).unwrap(), None);
     }
 
@@ -318,10 +342,16 @@ mod tests {
         let env = env_for(&positions, &row, &ctx);
         // @p = 60; domain (50, +inf) passes.
         let dom = IntervalSet::single(dhqp_types::Interval::greater_than(Value::Int(50)));
-        let e = ScalarExpr::ParamInDomain { param: "p".into(), domain: dom };
+        let e = ScalarExpr::ParamInDomain {
+            param: "p".into(),
+            domain: dom,
+        };
         assert!(eval_predicate(&e, &env).unwrap());
         let dom = IntervalSet::single(dhqp_types::Interval::less_than(Value::Int(50)));
-        let e = ScalarExpr::ParamInDomain { param: "p".into(), domain: dom };
+        let e = ScalarExpr::ParamInDomain {
+            param: "p".into(),
+            domain: dom,
+        };
         assert!(!eval_predicate(&e, &env).unwrap());
     }
 
@@ -373,7 +403,10 @@ mod tests {
             ],
         };
         assert_eq!(eval_expr(&date, &env).unwrap(), Value::Date(98));
-        let nope = ScalarExpr::Func { name: "FROBNICATE".into(), args: vec![] };
+        let nope = ScalarExpr::Func {
+            name: "FROBNICATE".into(),
+            args: vec![],
+        };
         assert!(eval_expr(&nope, &env).is_err());
     }
 

@@ -12,7 +12,11 @@ pub mod build;
 pub mod context;
 pub mod eval;
 pub mod ops;
+pub mod stats;
 
 pub use build::open;
 pub use context::{ExecContext, SourceCatalog};
 pub use eval::{eval_expr, eval_predicate, RowEnv};
+pub use stats::{
+    ExecCounterSnapshot, ExecCounters, NodeRuntime, RemoteTrace, RuntimeStatsCollector,
+};

@@ -48,7 +48,11 @@ impl Accumulator {
         self.count += 1;
         match self.func {
             AggFunc::Sum | AggFunc::Avg => {
-                self.sum = if self.sum.is_null() { v.clone() } else { self.sum.add(&v)? };
+                self.sum = if self.sum.is_null() {
+                    v.clone()
+                } else {
+                    self.sum.add(&v)?
+                };
             }
             AggFunc::Min => {
                 if self.min.is_null() || v.sql_cmp(&self.min) == Some(std::cmp::Ordering::Less) {
@@ -75,18 +79,16 @@ impl Accumulator {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    self.sum.cast(dhqp_types::DataType::Float)?.div(&Value::Int(self.count))?
+                    self.sum
+                        .cast(dhqp_types::DataType::Float)?
+                        .div(&Value::Int(self.count))?
                 }
             }
         })
     }
 }
 
-fn update_group(
-    accs: &mut [Accumulator],
-    aggs: &[AggCall],
-    env: &RowEnv<'_>,
-) -> Result<()> {
+fn update_group(accs: &mut [Accumulator], aggs: &[AggCall], env: &RowEnv<'_>) -> Result<()> {
     for (acc, agg) in accs.iter_mut().zip(aggs) {
         let v = match &agg.arg {
             Some(e) => eval_expr(e, env)?,
@@ -134,17 +136,25 @@ impl HashAggregate {
         let mut order: Vec<Vec<Value>> = Vec::new();
         while let Some(row) = input.next()? {
             let key: Vec<Value> = group_pos.iter().map(|&p| row.values[p].clone()).collect();
-            let env = RowEnv { positions: &positions, row: &row, ctx };
+            let env = RowEnv {
+                positions: &positions,
+                row: &row,
+                ctx,
+            };
             let accs = groups.entry(key.clone()).or_insert_with(|| {
                 order.push(key);
-                aggs.iter().map(|a| Accumulator::new(a.func, a.distinct)).collect()
+                aggs.iter()
+                    .map(|a| Accumulator::new(a.func, a.distinct))
+                    .collect()
             });
             update_group(accs, aggs, &env)?;
         }
         // Scalar aggregate over an empty input still yields one row.
         if group_by.is_empty() && groups.is_empty() {
-            let accs: Vec<Accumulator> =
-                aggs.iter().map(|a| Accumulator::new(a.func, a.distinct)).collect();
+            let accs: Vec<Accumulator> = aggs
+                .iter()
+                .map(|a| Accumulator::new(a.func, a.distinct))
+                .collect();
             groups.insert(Vec::new(), accs);
             order.push(Vec::new());
         }
@@ -153,7 +163,10 @@ impl HashAggregate {
             let accs = groups.remove(&key).expect("group recorded in order list");
             out.push(finish_group(key, &accs)?);
         }
-        Ok(HashAggregate { schema, output: out.into_iter() })
+        Ok(HashAggregate {
+            schema,
+            output: out.into_iter(),
+        })
     }
 }
 
@@ -215,7 +228,10 @@ impl StreamAggregate {
     }
 
     fn fresh_accs(&self) -> Vec<Accumulator> {
-        self.aggs.iter().map(|a| Accumulator::new(a.func, a.distinct)).collect()
+        self.aggs
+            .iter()
+            .map(|a| Accumulator::new(a.func, a.distinct))
+            .collect()
     }
 }
 
@@ -231,8 +247,11 @@ impl Rowset for StreamAggregate {
         loop {
             match self.input.next()? {
                 Some(row) => {
-                    let key: Vec<Value> =
-                        self.group_pos.iter().map(|&p| row.values[p].clone()).collect();
+                    let key: Vec<Value> = self
+                        .group_pos
+                        .iter()
+                        .map(|&p| row.values[p].clone())
+                        .collect();
                     let boundary = self.current_key.as_ref().is_some_and(|k| *k != key);
                     let finished = if boundary {
                         let prev_key = self.current_key.take().expect("boundary implies key");
@@ -245,7 +264,11 @@ impl Rowset for StreamAggregate {
                         self.current_key = Some(key);
                         self.current_accs = self.fresh_accs();
                     }
-                    let env = RowEnv { positions: &self.positions, row: &row, ctx: &self.ctx };
+                    let env = RowEnv {
+                        positions: &self.positions,
+                        row: &row,
+                        ctx: &self.ctx,
+                    };
                     update_group(&mut self.current_accs, &self.aggs, &env)?;
                     if let Some(done_row) = finished {
                         self.emitted_any = true;
@@ -294,9 +317,7 @@ mod tests {
         ]);
         let rows = rows
             .into_iter()
-            .map(|(g, v)| {
-                Row::new(vec![Value::Int(g), v.map_or(Value::Null, Value::Int)])
-            })
+            .map(|(g, v)| Row::new(vec![Value::Int(g), v.map_or(Value::Null, Value::Int)]))
             .collect();
         Box::new(MemRowset::new(schema, rows))
     }
@@ -311,7 +332,12 @@ mod tests {
 
     fn calls() -> Vec<AggCall> {
         vec![
-            AggCall { func: AggFunc::CountStar, arg: None, distinct: false, output: ColumnId(10) },
+            AggCall {
+                func: AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+                output: ColumnId(10),
+            },
             AggCall {
                 func: AggFunc::Sum,
                 arg: Some(ScalarExpr::Column(ColumnId(1))),
@@ -323,7 +349,13 @@ mod tests {
 
     #[test]
     fn hash_aggregate_groups_and_ignores_nulls() {
-        let rows = vec![(1, Some(10)), (2, Some(5)), (1, None), (1, Some(20)), (2, Some(5))];
+        let rows = vec![
+            (1, Some(10)),
+            (2, Some(5)),
+            (1, None),
+            (1, Some(20)),
+            (2, Some(5)),
+        ];
         let mut agg = HashAggregate::new(
             input(rows),
             &[ColumnId(0)],
@@ -336,8 +368,14 @@ mod tests {
         let out = agg.collect_rows().unwrap();
         assert_eq!(out.len(), 2);
         // Group 1: count 3 (COUNT(*) counts null rows), sum 30.
-        assert_eq!(out[0].values, vec![Value::Int(1), Value::Int(3), Value::Int(30)]);
-        assert_eq!(out[1].values, vec![Value::Int(2), Value::Int(2), Value::Int(10)]);
+        assert_eq!(
+            out[0].values,
+            vec![Value::Int(1), Value::Int(3), Value::Int(30)]
+        );
+        assert_eq!(
+            out[1].values,
+            vec![Value::Int(2), Value::Int(2), Value::Int(10)]
+        );
     }
 
     #[test]

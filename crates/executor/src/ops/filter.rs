@@ -22,7 +22,12 @@ impl FilterRowset {
         input_columns: &[ColumnId],
         ctx: ExecContext,
     ) -> Self {
-        FilterRowset { inner, predicate, positions: positions_of(input_columns), ctx }
+        FilterRowset {
+            inner,
+            predicate,
+            positions: positions_of(input_columns),
+            ctx,
+        }
     }
 }
 
@@ -33,7 +38,11 @@ impl Rowset for FilterRowset {
 
     fn next(&mut self) -> Result<Option<Row>> {
         while let Some(row) = self.inner.next()? {
-            let env = RowEnv { positions: &self.positions, row: &row, ctx: &self.ctx };
+            let env = RowEnv {
+                positions: &self.positions,
+                row: &row,
+                ctx: &self.ctx,
+            };
             if eval_predicate(&self.predicate, &env)? {
                 return Ok(Some(row));
             }
@@ -54,7 +63,11 @@ pub fn open_startup_filter(
 ) -> Result<Box<dyn Rowset>> {
     let positions: HashMap<ColumnId, usize> = HashMap::new();
     let row = Row::new(vec![]);
-    let env = RowEnv { positions: &positions, row: &row, ctx };
+    let env = RowEnv {
+        positions: &positions,
+        row: &row,
+        ctx,
+    };
     if eval_predicate(predicate, &env)? {
         open_child()
     } else {
@@ -79,7 +92,13 @@ impl ProjectRowset {
         schema: Schema,
         ctx: ExecContext,
     ) -> Self {
-        ProjectRowset { inner, outputs, positions: positions_of(input_columns), schema, ctx }
+        ProjectRowset {
+            inner,
+            outputs,
+            positions: positions_of(input_columns),
+            schema,
+            ctx,
+        }
     }
 }
 
@@ -89,8 +108,14 @@ impl Rowset for ProjectRowset {
     }
 
     fn next(&mut self) -> Result<Option<Row>> {
-        let Some(row) = self.inner.next()? else { return Ok(None) };
-        let env = RowEnv { positions: &self.positions, row: &row, ctx: &self.ctx };
+        let Some(row) = self.inner.next()? else {
+            return Ok(None);
+        };
+        let env = RowEnv {
+            positions: &self.positions,
+            row: &row,
+            ctx: &self.ctx,
+        };
         let values = self
             .outputs
             .iter()
@@ -156,7 +181,10 @@ mod tests {
         })
         .unwrap();
         assert_eq!(rs.count_rows().unwrap(), 0);
-        assert!(!opened, "child must not be opened when startup predicate fails");
+        assert!(
+            !opened,
+            "child must not be opened when startup predicate fails"
+        );
         // Domain [10,19] passes.
         let pred = ScalarExpr::ParamInDomain {
             param: "k".into(),

@@ -86,7 +86,9 @@ impl Rowset for NestedLoopJoin {
     fn next(&mut self) -> Result<Option<Row>> {
         loop {
             if self.current_outer.is_none() {
-                let Some(outer_row) = self.outer.next()? else { return Ok(None) };
+                let Some(outer_row) = self.outer.next()? else {
+                    return Ok(None);
+                };
                 let child_ctx = self.rebind(&outer_row);
                 self.current_inner = Some((self.inner_factory)(&child_ctx)?);
                 self.current_outer = Some(outer_row);
@@ -179,7 +181,9 @@ impl HashJoin {
         ctx: &ExecContext,
     ) -> Result<Self> {
         if left_keys.len() != right_keys.len() || left_keys.is_empty() {
-            return Err(DhqpError::Execute("hash join requires matching key lists".into()));
+            return Err(DhqpError::Execute(
+                "hash join requires matching key lists".into(),
+            ));
         }
         let left_pos = positions_of(left_columns);
         let right_pos = positions_of(right_columns);
@@ -190,8 +194,15 @@ impl HashJoin {
         // Build phase: hash the right input (null keys never match).
         let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
         while let Some(row) = right.next()? {
-            let env = RowEnv { positions: &right_pos, row: &row, ctx };
-            let key = right_keys.iter().map(|k| eval_expr(k, &env)).collect::<Result<Vec<_>>>()?;
+            let env = RowEnv {
+                positions: &right_pos,
+                row: &row,
+                ctx,
+            };
+            let key = right_keys
+                .iter()
+                .map(|k| eval_expr(k, &env))
+                .collect::<Result<Vec<_>>>()?;
             if key.iter().any(Value::is_null) {
                 continue;
             }
@@ -202,8 +213,15 @@ impl HashJoin {
         let right_width = right_columns.len();
         let mut out = Vec::new();
         while let Some(lrow) = left.next()? {
-            let env = RowEnv { positions: &left_pos, row: &lrow, ctx };
-            let key = left_keys.iter().map(|k| eval_expr(k, &env)).collect::<Result<Vec<_>>>()?;
+            let env = RowEnv {
+                positions: &left_pos,
+                row: &lrow,
+                ctx,
+            };
+            let key = left_keys
+                .iter()
+                .map(|k| eval_expr(k, &env))
+                .collect::<Result<Vec<_>>>()?;
             let candidates: &[Row] = if key.iter().any(Value::is_null) {
                 &[]
             } else {
@@ -215,8 +233,11 @@ impl HashJoin {
                 let passes = match residual {
                     None => true,
                     Some(p) => {
-                        let env =
-                            RowEnv { positions: &combined_pos, row: &combined, ctx };
+                        let env = RowEnv {
+                            positions: &combined_pos,
+                            row: &combined,
+                            ctx,
+                        };
                         eval_predicate(p, &env)?
                     }
                 };
@@ -225,9 +246,7 @@ impl HashJoin {
                 }
                 matched = true;
                 match kind {
-                    JoinKind::Inner | JoinKind::Cross | JoinKind::LeftOuter => {
-                        out.push(combined)
-                    }
+                    JoinKind::Inner | JoinKind::Cross | JoinKind::LeftOuter => out.push(combined),
                     JoinKind::Semi => break,
                     JoinKind::Anti => break,
                 }
@@ -243,7 +262,10 @@ impl HashJoin {
                 _ => {}
             }
         }
-        Ok(HashJoin { schema, output: out.into_iter() })
+        Ok(HashJoin {
+            schema,
+            output: out.into_iter(),
+        })
     }
 }
 
@@ -371,7 +393,10 @@ impl MergeJoin {
                 }
             }
         }
-        Ok(MergeJoin { schema, output: out.into_iter() })
+        Ok(MergeJoin {
+            schema,
+            output: out.into_iter(),
+        })
     }
 }
 
@@ -403,16 +428,25 @@ mod tests {
 
     fn ints(vals: &[i64]) -> (Box<dyn Rowset>, Schema) {
         let schema = Schema::new(vec![Column::new("v", DataType::Int)]);
-        let rows = vals.iter().map(|&i| Row::new(vec![Value::Int(i)])).collect();
+        let rows = vals
+            .iter()
+            .map(|&i| Row::new(vec![Value::Int(i)]))
+            .collect();
         (Box::new(MemRowset::new(schema.clone(), rows)), schema)
     }
 
     fn join_schema() -> Schema {
-        Schema::new(vec![Column::new("l", DataType::Int), Column::new("r", DataType::Int)])
+        Schema::new(vec![
+            Column::new("l", DataType::Int),
+            Column::new("r", DataType::Int),
+        ])
     }
 
     fn eq_pred() -> ScalarExpr {
-        ScalarExpr::eq(ScalarExpr::Column(ColumnId(0)), ScalarExpr::Column(ColumnId(1)))
+        ScalarExpr::eq(
+            ScalarExpr::Column(ColumnId(0)),
+            ScalarExpr::Column(ColumnId(1)),
+        )
     }
 
     fn nlj(kind: JoinKind, left: &[i64], right: &'static [i64]) -> Vec<Row> {

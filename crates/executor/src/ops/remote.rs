@@ -19,15 +19,12 @@ use std::collections::HashMap;
 fn param_value(p: &RemoteParam, ctx: &ExecContext) -> Result<Value> {
     match &p.source {
         ParamSource::QueryParam(name) => ctx.param(name).cloned(),
-        ParamSource::OuterColumn(col) => ctx
-            .binding(col.0)
-            .cloned()
-            .ok_or_else(|| {
-                DhqpError::Execute(format!(
-                    "no outer binding for correlation column #{} (parameter @{})",
-                    col.0, p.name
-                ))
-            }),
+        ParamSource::OuterColumn(col) => ctx.binding(col.0).cloned().ok_or_else(|| {
+            DhqpError::Execute(format!(
+                "no outer binding for correlation column #{} (parameter @{})",
+                col.0, p.name
+            ))
+        }),
     }
 }
 
@@ -43,6 +40,16 @@ pub fn substitute_params(sql: &str, params: &[(String, Value)]) -> String {
     out
 }
 
+/// The exact text a remote query ships for the current parameter values —
+/// what `EXPLAIN ANALYZE` reports as the decoder-emitted SQL.
+pub fn remote_query_text(sql: &str, params: &[RemoteParam], ctx: &ExecContext) -> Result<String> {
+    let bound: Vec<(String, Value)> = params
+        .iter()
+        .map(|p| Ok((p.name.clone(), param_value(p, ctx)?)))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(substitute_params(sql, &bound))
+}
+
 /// Execute a pushed-down SQL statement on a linked server.
 pub fn open_remote_query(
     server: &str,
@@ -53,12 +60,9 @@ pub fn open_remote_query(
     let source = ctx.catalog().linked(server)?;
     let mut session = source.create_session()?;
     let mut command = session.create_command()?;
-    let bound: Vec<(String, Value)> = params
-        .iter()
-        .map(|p| Ok((p.name.clone(), param_value(p, ctx)?)))
-        .collect::<Result<Vec<_>>>()?;
-    let text = substitute_params(sql, &bound);
+    let text = remote_query_text(sql, params, ctx)?;
     command.set_text(&text)?;
+    ctx.counters().add_remote_roundtrip();
     command.execute()?.into_rowset()
 }
 
@@ -70,6 +74,7 @@ pub fn open_remote_scan(meta: &TableMeta, ctx: &ExecContext) -> Result<Box<dyn R
         .ok_or_else(|| DhqpError::Execute("remote scan of a local table".into()))?;
     let source = ctx.catalog().linked(server)?;
     let mut session = source.create_session()?;
+    ctx.counters().add_remote_roundtrip();
     session.open_rowset(&meta.table)
 }
 
@@ -87,6 +92,7 @@ pub fn open_remote_range(
     let range = resolve_range(spec, ctx)?;
     let source = ctx.catalog().linked(server)?;
     let mut session = source.create_session()?;
+    ctx.counters().add_remote_roundtrip();
     session.open_index(&meta.table, index, &range)
 }
 
@@ -109,15 +115,23 @@ pub fn open_remote_fetch(
     }
     let source = ctx.catalog().linked(server)?;
     let mut session = source.create_session()?;
+    ctx.counters().add_remote_roundtrip();
     let rows = session.fetch_by_bookmarks(&meta.table, &bookmarks)?;
     Ok(Box::new(MemRowset::new(meta.schema.clone(), rows)))
 }
 
 /// Evaluate a list of column-free expressions (used by DML routing).
-pub fn eval_standalone(exprs: &[dhqp_optimizer::ScalarExpr], ctx: &ExecContext) -> Result<Vec<Value>> {
+pub fn eval_standalone(
+    exprs: &[dhqp_optimizer::ScalarExpr],
+    ctx: &ExecContext,
+) -> Result<Vec<Value>> {
     let positions: HashMap<ColumnId, usize> = HashMap::new();
     let row = Row::new(vec![]);
-    let env = RowEnv { positions: &positions, row: &row, ctx };
+    let env = RowEnv {
+        positions: &positions,
+        row: &row,
+        ctx,
+    };
     exprs.iter().map(|e| eval_expr(e, &env)).collect()
 }
 

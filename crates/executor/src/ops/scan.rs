@@ -21,7 +21,11 @@ pub fn open_table_scan(meta: &TableMeta, ctx: &ExecContext) -> Result<Box<dyn Ro
 pub fn resolve_range(spec: &IndexRangeSpec, ctx: &ExecContext) -> Result<KeyRange> {
     let empty_positions: HashMap<ColumnId, usize> = HashMap::new();
     let empty_row = Row::new(vec![]);
-    let env = RowEnv { positions: &empty_positions, row: &empty_row, ctx };
+    let env = RowEnv {
+        positions: &empty_positions,
+        row: &empty_row,
+        ctx,
+    };
     let eval_bound = |bound: &Option<(Vec<dhqp_optimizer::ScalarExpr>, bool)>| -> Result<Option<(Vec<Value>, bool)>> {
         match bound {
             None => Ok(None),
@@ -31,7 +35,10 @@ pub fn resolve_range(spec: &IndexRangeSpec, ctx: &ExecContext) -> Result<KeyRang
             }
         }
     };
-    Ok(KeyRange { low: eval_bound(&spec.low)?, high: eval_bound(&spec.high)? })
+    Ok(KeyRange {
+        low: eval_bound(&spec.low)?,
+        high: eval_bound(&spec.high)?,
+    })
 }
 
 /// Open a local index range access (delivers key order, carries bookmarks).
@@ -62,11 +69,8 @@ mod tests {
         let engine = Arc::new(StorageEngine::new("local"));
         engine
             .create_table(
-                TableDef::new(
-                    "t",
-                    Schema::new(vec![Column::not_null("k", DataType::Int)]),
-                )
-                .with_index("pk", &["k"], true),
+                TableDef::new("t", Schema::new(vec![Column::not_null("k", DataType::Int)]))
+                    .with_index("pk", &["k"], true),
             )
             .unwrap();
         let rows: Vec<Row> = (0..20).map(|i| Row::new(vec![Value::Int(i)])).collect();

@@ -15,15 +15,14 @@ pub fn open_sort(
     input_columns: &[ColumnId],
 ) -> Result<Box<dyn Rowset>> {
     let positions = positions_of(input_columns);
-    let key_pos: Vec<(usize, bool)> = keys
-        .iter()
-        .map(|(c, asc)| {
-            positions
-                .get(c)
-                .map(|&p| (p, *asc))
-                .ok_or_else(|| DhqpError::Execute(format!("sort key #{} missing from input", c.0)))
-        })
-        .collect::<Result<Vec<_>>>()?;
+    let key_pos: Vec<(usize, bool)> =
+        keys.iter()
+            .map(|(c, asc)| {
+                positions.get(c).map(|&p| (p, *asc)).ok_or_else(|| {
+                    DhqpError::Execute(format!("sort key #{} missing from input", c.0))
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
     let schema = input.schema().clone();
     let mut rows = input.collect_rows()?;
     rows.sort_by(|a, b| {
@@ -46,7 +45,10 @@ pub struct TopRowset {
 
 impl TopRowset {
     pub fn new(inner: Box<dyn Rowset>, n: u64) -> Self {
-        TopRowset { inner, remaining: n }
+        TopRowset {
+            inner,
+            remaining: n,
+        }
     }
 }
 
@@ -109,7 +111,12 @@ impl UnionAllRowset {
                 .collect::<Result<Vec<_>>>()?;
             perms.push(perm);
         }
-        Ok(UnionAllRowset { children, perms, current: 0, schema })
+        Ok(UnionAllRowset {
+            children,
+            perms,
+            current: 0,
+            schema,
+        })
     }
 }
 
@@ -172,7 +179,10 @@ mod tests {
 
     fn ints(vals: &[i64]) -> Box<dyn Rowset> {
         let schema = Schema::new(vec![Column::new("v", DataType::Int)]);
-        let rows = vals.iter().map(|&i| Row::new(vec![Value::Int(i)])).collect();
+        let rows = vals
+            .iter()
+            .map(|&i| Row::new(vec![Value::Int(i)]))
+            .collect();
         Box::new(MemRowset::new(schema, rows))
     }
 
@@ -185,8 +195,7 @@ mod tests {
             Row::new(vec![Value::Int(1)]),
         ];
         let input: Box<dyn Rowset> = Box::new(MemRowset::new(schema, rows));
-        let mut sorted =
-            open_sort(input, &[(ColumnId(0), true)], &[ColumnId(0)]).unwrap();
+        let mut sorted = open_sort(input, &[(ColumnId(0), true)], &[ColumnId(0)]).unwrap();
         let out = sorted.collect_rows().unwrap();
         assert!(out[0].get(0).is_null());
         assert_eq!(out[1].get(0), &Value::Int(1));

@@ -1,0 +1,283 @@
+//! Per-operator runtime statistics (the `EXPLAIN ANALYZE` substrate) and
+//! engine-wide execution counters.
+//!
+//! Collection is designed to stay off the per-row hot path: each opened
+//! operator accumulates its row count and cursor time in plain local fields
+//! inside [`StatsRowset`] and flushes them into the shared collector exactly
+//! once, on drop. The only synchronized operations happen at open/close
+//! (one mutex acquisition per operator open) and the engine-level counters
+//! are lock-free atomics bumped at open time, never per row.
+
+use dhqp_oledb::{DataSource, Rowset, TrafficSnapshot};
+use dhqp_types::{Result, Row, Schema};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Lock-free counters shared between one engine and every execution it
+/// runs. Snapshot with [`ExecCounters::snapshot`].
+#[derive(Debug, Default)]
+pub struct ExecCounters {
+    /// Remote opens: one per `IOpenRowset`/`IRowsetIndex`/`IRowsetLocate`/
+    /// command execution issued against a linked server.
+    pub remote_roundtrips: AtomicU64,
+    /// Spool rescans served from the in-memory cache instead of re-running
+    /// (and possibly re-shipping) the child.
+    pub spool_hits: AtomicU64,
+    /// Spool first-time materializations.
+    pub spool_builds: AtomicU64,
+}
+
+impl ExecCounters {
+    pub fn add_remote_roundtrip(&self) {
+        self.remote_roundtrips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_spool_hit(&self) {
+        self.spool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_spool_build(&self) {
+        self.spool_builds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ExecCounterSnapshot {
+        ExecCounterSnapshot {
+            remote_roundtrips: self.remote_roundtrips.load(Ordering::Relaxed),
+            spool_hits: self.spool_hits.load(Ordering::Relaxed),
+            spool_builds: self.spool_builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ExecCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounterSnapshot {
+    pub remote_roundtrips: u64,
+    pub spool_hits: u64,
+    pub spool_builds: u64,
+}
+
+/// What one remote plan node actually did on the wire.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RemoteTrace {
+    /// Linked-server name the node talked to.
+    pub server: String,
+    /// Exact command text shipped (decoder-emitted SQL with parameters
+    /// substituted), or a rowset-interface description for scan/range/fetch
+    /// access paths.
+    pub sql: String,
+    /// Requests/rows/bytes attributed to this node, summed over rescans.
+    pub traffic: TrafficSnapshot,
+}
+
+/// Runtime facts about one plan node, keyed by its pre-order id.
+#[derive(Debug, Clone, Default)]
+pub struct NodeRuntime {
+    /// Successful opens; values above 1 are rescans (nested-loop inners,
+    /// spool replays).
+    pub opens: u64,
+    /// Rows produced, summed over all opens.
+    pub rows: u64,
+    /// Cumulative wall time spent inside this operator's `next` (includes
+    /// children's time, as in SQL Server showplan).
+    pub next_time: Duration,
+    /// Wire activity for remote nodes.
+    pub remote: Option<RemoteTrace>,
+}
+
+/// Collects per-node runtime stats for one query execution. Cheap enough
+/// to attach only when `EXPLAIN ANALYZE` (or a test) asks for it.
+#[derive(Debug, Default)]
+pub struct RuntimeStatsCollector {
+    nodes: Mutex<HashMap<usize, NodeRuntime>>,
+}
+
+impl RuntimeStatsCollector {
+    pub fn new() -> Self {
+        RuntimeStatsCollector::default()
+    }
+
+    pub fn record_open(&self, node: usize) {
+        self.nodes
+            .lock()
+            .expect("stats lock")
+            .entry(node)
+            .or_default()
+            .opens += 1;
+    }
+
+    /// Merge one operator's accumulated row count and cursor time
+    /// (called once per open, from `StatsRowset::drop`).
+    pub fn flush(&self, node: usize, rows: u64, next_time: Duration) {
+        let mut nodes = self.nodes.lock().expect("stats lock");
+        let entry = nodes.entry(node).or_default();
+        entry.rows += rows;
+        entry.next_time += next_time;
+    }
+
+    /// Attribute a traffic delta (and the shipped command text) to a remote
+    /// node. Traffic accumulates over rescans; the text of the last open
+    /// wins, which only matters for parameterized rescans where each open
+    /// ships different literals.
+    pub fn record_remote(&self, node: usize, server: &str, sql: String, delta: TrafficSnapshot) {
+        let mut nodes = self.nodes.lock().expect("stats lock");
+        let entry = nodes.entry(node).or_default();
+        match &mut entry.remote {
+            Some(trace) => {
+                trace.traffic = trace.traffic + delta;
+                trace.sql = sql;
+            }
+            None => {
+                entry.remote = Some(RemoteTrace {
+                    server: server.to_string(),
+                    sql,
+                    traffic: delta,
+                })
+            }
+        }
+    }
+
+    /// Stats for one node, if it ever opened.
+    pub fn node(&self, node: usize) -> Option<NodeRuntime> {
+        self.nodes.lock().expect("stats lock").get(&node).cloned()
+    }
+
+    /// Full copy of the per-node map.
+    pub fn snapshot(&self) -> HashMap<usize, NodeRuntime> {
+        self.nodes.lock().expect("stats lock").clone()
+    }
+}
+
+/// Pending wire-traffic attribution for a remote operator: the source's
+/// counters at open time, diffed at close.
+pub struct RemoteProbe {
+    pub source: Arc<dyn DataSource>,
+    pub server: String,
+    pub sql: String,
+    pub start: TrafficSnapshot,
+}
+
+impl RemoteProbe {
+    pub fn new(source: Arc<dyn DataSource>, server: &str, sql: String) -> Self {
+        let start = source.traffic().unwrap_or_default();
+        RemoteProbe {
+            source,
+            server: server.to_string(),
+            sql,
+            start,
+        }
+    }
+}
+
+/// Decorator recording rows produced and cumulative `next` time for one
+/// operator open. All accumulation is in local fields; the collector is
+/// touched once, on drop.
+pub struct StatsRowset {
+    inner: Box<dyn Rowset>,
+    node: usize,
+    collector: Arc<RuntimeStatsCollector>,
+    rows: u64,
+    next_time: Duration,
+    remote: Option<RemoteProbe>,
+}
+
+impl StatsRowset {
+    pub fn new(
+        inner: Box<dyn Rowset>,
+        node: usize,
+        collector: Arc<RuntimeStatsCollector>,
+        remote: Option<RemoteProbe>,
+    ) -> Self {
+        collector.record_open(node);
+        StatsRowset {
+            inner,
+            node,
+            collector,
+            rows: 0,
+            next_time: Duration::ZERO,
+            remote,
+        }
+    }
+}
+
+impl Rowset for StatsRowset {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        let start = Instant::now();
+        let row = self.inner.next();
+        self.next_time += start.elapsed();
+        if let Ok(Some(_)) = &row {
+            self.rows += 1;
+        }
+        row
+    }
+}
+
+impl Drop for StatsRowset {
+    fn drop(&mut self) {
+        self.collector.flush(self.node, self.rows, self.next_time);
+        if let Some(probe) = self.remote.take() {
+            let delta = probe
+                .source
+                .traffic()
+                .unwrap_or_default()
+                .since(&probe.start);
+            self.collector
+                .record_remote(self.node, &probe.server, probe.sql, delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_oledb::MemRowset;
+    use dhqp_types::{Column, DataType, Value};
+
+    fn three_rows() -> Box<dyn Rowset> {
+        let schema = Schema::new(vec![Column::not_null("x", DataType::Int)]);
+        let rows = (0..3).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        Box::new(MemRowset::new(schema, rows))
+    }
+
+    #[test]
+    fn stats_flush_on_drop_and_accumulate_over_opens() {
+        let collector = Arc::new(RuntimeStatsCollector::new());
+        for _ in 0..2 {
+            let mut rs = StatsRowset::new(three_rows(), 5, Arc::clone(&collector), None);
+            while rs.next().unwrap().is_some() {}
+        }
+        let node = collector.node(5).unwrap();
+        assert_eq!(node.opens, 2);
+        assert_eq!(node.rows, 6);
+        assert!(collector.node(99).is_none());
+    }
+
+    #[test]
+    fn partial_consumption_counts_only_produced_rows() {
+        let collector = Arc::new(RuntimeStatsCollector::new());
+        {
+            let mut rs = StatsRowset::new(three_rows(), 0, Arc::clone(&collector), None);
+            rs.next().unwrap();
+        }
+        assert_eq!(collector.node(0).unwrap().rows, 1);
+    }
+
+    #[test]
+    fn counters_snapshot() {
+        let c = ExecCounters::default();
+        c.add_remote_roundtrip();
+        c.add_spool_build();
+        c.add_spool_hit();
+        c.add_spool_hit();
+        let s = c.snapshot();
+        assert_eq!(s.remote_roundtrips, 1);
+        assert_eq!(s.spool_builds, 1);
+        assert_eq!(s.spool_hits, 2);
+    }
+}

@@ -53,8 +53,12 @@ impl PartitionedView {
         let first = &members[0].schema_snapshot;
         let columns: Vec<String> = first.columns.iter().map(|c| c.name.clone()).collect();
         for m in &members[1..] {
-            let cols: Vec<String> =
-                m.schema_snapshot.columns.iter().map(|c| c.name.clone()).collect();
+            let cols: Vec<String> = m
+                .schema_snapshot
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect();
             if cols.len() != columns.len()
                 || !cols
                     .iter()
@@ -97,7 +101,12 @@ impl PartitionedView {
                 }
             }
         }
-        Ok(PartitionedView { name, columns, partition_column: partition_column_pos, members })
+        Ok(PartitionedView {
+            name,
+            columns,
+            partition_column: partition_column_pos,
+            members,
+        })
     }
 
     /// Route a partitioning-column value to its member table (INSERT
@@ -137,12 +146,11 @@ impl PartitionedView {
     /// execution, never at compile time — that is the point.
     pub fn validate_member(&self, member: usize, current: &TableInfo) -> Result<()> {
         let snap = &self.members[member].schema_snapshot;
-        let same = current.columns.len() == snap.columns.len()
-            && current
-                .columns
-                .iter()
-                .zip(&snap.columns)
-                .all(|(a, b)| a.name.eq_ignore_ascii_case(&b.name) && a.data_type == b.data_type);
+        let same =
+            current.columns.len() == snap.columns.len()
+                && current.columns.iter().zip(&snap.columns).all(|(a, b)| {
+                    a.name.eq_ignore_ascii_case(&b.name) && a.data_type == b.data_type
+                });
         if !same {
             return Err(DhqpError::SchemaDrift(format!(
                 "member '{}' of view '{}' changed schema since the plan was compiled",
@@ -203,8 +211,7 @@ mod tests {
     #[test]
     fn define_validates_schemas_and_column() {
         let mut odd = member(None, "odd", 30, 39);
-        odd.schema_snapshot =
-            TableInfo::new("odd", vec![ColumnInfo::not_null("k", DataType::Int)]);
+        odd.schema_snapshot = TableInfo::new("odd", vec![ColumnInfo::not_null("k", DataType::Int)]);
         assert!(PartitionedView::define("v", "k", vec![member(None, "a", 0, 9), odd]).is_err());
         assert!(PartitionedView::define("v", "ghost", vec![member(None, "a", 0, 9)]).is_err());
         assert!(PartitionedView::define("v", "k", vec![]).is_err());

@@ -23,13 +23,10 @@ impl LinkedServerRegistry {
     }
 
     /// Define a linked server name → data source association
-    /// (`sp_addlinkedserver`).
+    /// (`sp_addlinkedserver`). Re-registering a name replaces the old
+    /// association; callers caching metadata per server must invalidate it.
     pub fn add_linked_server(&mut self, name: &str, source: Arc<dyn DataSource>) -> Result<()> {
-        let key = name.to_lowercase();
-        if self.servers.contains_key(&key) {
-            return Err(DhqpError::Catalog(format!("linked server '{name}' already defined")));
-        }
-        self.servers.insert(key, source);
+        self.servers.insert(name.to_lowercase(), source);
         Ok(())
     }
 
@@ -61,9 +58,12 @@ impl LinkedServerRegistry {
 
     /// Open an ad-hoc connection: `OPENROWSET('provider', 'datasource', ...)`.
     pub fn open_ad_hoc(&self, provider: &str, datasource: &str) -> Result<Arc<dyn DataSource>> {
-        let factory = self.providers.get(&provider.to_lowercase()).ok_or_else(|| {
-            DhqpError::Catalog(format!("no OLE DB provider registered as '{provider}'"))
-        })?;
+        let factory = self
+            .providers
+            .get(&provider.to_lowercase())
+            .ok_or_else(|| {
+                DhqpError::Catalog(format!("no OLE DB provider registered as '{provider}'"))
+            })?;
         factory(datasource)
     }
 }
@@ -80,9 +80,15 @@ mod tests {
     #[test]
     fn add_resolve_drop() {
         let mut reg = LinkedServerRegistry::new();
-        reg.add_linked_server("DeptSQLSrvr", source("dept")).unwrap();
-        assert!(reg.linked_server("deptsqlsrvr").is_ok(), "names are case-insensitive");
-        assert!(reg.add_linked_server("DEPTSQLSRVR", source("x")).is_err());
+        reg.add_linked_server("DeptSQLSrvr", source("dept"))
+            .unwrap();
+        assert!(
+            reg.linked_server("deptsqlsrvr").is_ok(),
+            "names are case-insensitive"
+        );
+        // Re-registration replaces the association.
+        reg.add_linked_server("DEPTSQLSRVR", source("x")).unwrap();
+        assert_eq!(reg.linked_server("deptsqlsrvr").unwrap().name(), "x");
         assert_eq!(reg.server_names(), vec!["deptsqlsrvr"]);
         reg.drop_linked_server("DeptSQLSrvr").unwrap();
         assert!(reg.linked_server("DeptSQLSrvr").is_err());

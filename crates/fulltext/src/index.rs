@@ -68,13 +68,19 @@ impl InvertedIndex {
         if words.is_empty() {
             return out;
         }
-        let Some(first) = self.lookup(&words[0]) else { return out };
+        let Some(first) = self.lookup(&words[0]) else {
+            return out;
+        };
         'docs: for (&doc, first_positions) in first {
             let mut count = 0u32;
             'starts: for &start in first_positions {
                 for (offset, w) in words.iter().enumerate().skip(1) {
-                    let Some(postings) = self.lookup(w) else { continue 'docs };
-                    let Some(positions) = postings.get(&doc) else { continue 'docs };
+                    let Some(postings) = self.lookup(w) else {
+                        continue 'docs;
+                    };
+                    let Some(positions) = postings.get(&doc) else {
+                        continue 'docs;
+                    };
                     if !positions.contains(&(start + offset as u32)) {
                         continue 'starts;
                     }
@@ -91,7 +97,9 @@ impl InvertedIndex {
     /// Documents where `a` and `b` occur within `distance` words.
     pub fn near_docs(&self, a: &str, b: &str, distance: u32) -> BTreeMap<u64, u32> {
         let mut out = BTreeMap::new();
-        let (Some(pa), Some(pb)) = (self.lookup(a), self.lookup(b)) else { return out };
+        let (Some(pa), Some(pb)) = (self.lookup(a), self.lookup(b)) else {
+            return out;
+        };
         for (&doc, pos_a) in pa {
             let Some(pos_b) = pb.get(&doc) else { continue };
             let mut hits = 0u32;
@@ -170,7 +178,9 @@ mod tests {
     fn near_within_distance() {
         let ix = sample();
         // "heterogeneous" and "processing" are 2 words apart in doc 2.
-        assert!(ix.near_docs("heterogeneous", "processing", 2).contains_key(&2));
+        assert!(ix
+            .near_docs("heterogeneous", "processing", 2)
+            .contains_key(&2));
         assert!(ix.near_docs("heterogeneous", "processing", 1).is_empty());
     }
 
@@ -179,10 +189,15 @@ mod tests {
         let mut ix = sample();
         ix.remove_document(1);
         assert_eq!(ix.doc_count(), 2);
-        assert!(!ix.lookup("parallel").map(|p| p.contains_key(&1)).unwrap_or(false));
+        assert!(!ix
+            .lookup("parallel")
+            .map(|p| p.contains_key(&1))
+            .unwrap_or(false));
         // Re-adding replaces cleanly.
         ix.add_document(2, "entirely new words");
-        assert!(ix.lookup("federated").is_none() || !ix.lookup("federated").unwrap().contains_key(&2));
+        assert!(
+            ix.lookup("federated").is_none() || !ix.lookup("federated").unwrap().contains_key(&2)
+        );
     }
 
     #[test]

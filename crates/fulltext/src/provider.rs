@@ -39,7 +39,10 @@ pub struct FullTextProvider {
 
 impl FullTextProvider {
     pub fn new(service: Arc<SearchService>, catalog: impl Into<String>) -> Self {
-        FullTextProvider { service, catalog: catalog.into() }
+        FullTextProvider {
+            service,
+            catalog: catalog.into(),
+        }
     }
 
     pub fn service(&self) -> &Arc<SearchService> {
@@ -67,7 +70,9 @@ impl DataSource for FullTextProvider {
 
     fn tables(&self) -> Result<Vec<TableInfo>> {
         // The catalog's document listing is exposed as one named rowset.
-        let cardinality = self.service.with_catalog(&self.catalog, |c| c.doc_count() as u64)?;
+        let cardinality = self
+            .service
+            .with_catalog(&self.catalog, |c| c.doc_count() as u64)?;
         Ok(vec![TableInfo {
             name: "SCOPE".into(),
             columns: SCOPE_COLUMNS
@@ -101,7 +106,9 @@ impl Session for FtSession {
         }
         // Unfiltered listing: every document, rank 0.
         let rows = self.service.with_catalog(&self.catalog, |cat| {
-            cat.documents_iter().map(|d| doc_row(d, 0, SCOPE_COLUMNS)).collect::<Vec<Row>>()
+            cat.documents_iter()
+                .map(|d| doc_row(d, 0, SCOPE_COLUMNS))
+                .collect::<Vec<Row>>()
         })?;
         Ok(Box::new(MemRowset::new(scope_schema(SCOPE_COLUMNS), rows)))
     }
@@ -153,7 +160,10 @@ impl Command for FtCommand {
                 })
                 .collect::<Vec<Row>>()
         })?;
-        Ok(CommandResult::Rowset(Box::new(MemRowset::new(scope_schema(&columns), rows))))
+        Ok(CommandResult::Rowset(Box::new(MemRowset::new(
+            scope_schema(&columns),
+            rows,
+        ))))
     }
 }
 
@@ -196,8 +206,14 @@ fn parse_scope_query(text: &str) -> Result<(Vec<(&'static str, DataType)>, Strin
     let from_pos = upper
         .find("FROM")
         .ok_or_else(|| DhqpError::Parse("full-text command missing FROM SCOPE()".into()))?;
-    if !upper[from_pos..].trim_start_matches("FROM").trim_start().starts_with("SCOPE()") {
-        return Err(DhqpError::Parse("full-text command must select FROM SCOPE()".into()));
+    if !upper[from_pos..]
+        .trim_start_matches("FROM")
+        .trim_start()
+        .starts_with("SCOPE()")
+    {
+        return Err(DhqpError::Parse(
+            "full-text command must select FROM SCOPE()".into(),
+        ));
     }
     let col_text = &text[select_pos + 6..from_pos];
     let mut columns = Vec::new();
@@ -214,7 +230,9 @@ fn parse_scope_query(text: &str) -> Result<(Vec<(&'static str, DataType)>, Strin
         columns.push(*known);
     }
     if columns.is_empty() {
-        return Err(DhqpError::Parse("full-text command selects no columns".into()));
+        return Err(DhqpError::Parse(
+            "full-text command selects no columns".into(),
+        ));
     }
     // Extract CONTAINS('...') — quotes inside are already unescaped by the
     // outer SQL parser when this arrived via OPENROWSET.
@@ -282,7 +300,10 @@ mod tests {
     #[test]
     fn capability_class_is_pass_through() {
         let p = provider();
-        assert_eq!(p.capabilities().class(), dhqp_oledb::ProviderClass::QueryPassThrough);
+        assert_eq!(
+            p.capabilities().class(),
+            dhqp_oledb::ProviderClass::QueryPassThrough
+        );
         assert!(p.capabilities().has_command());
     }
 
@@ -308,7 +329,8 @@ mod tests {
         let p = provider();
         let mut s = p.create_session().unwrap();
         let mut cmd = s.create_command().unwrap();
-        cmd.set_text("SELECT path, rank FROM SCOPE() WHERE CONTAINS('database OR query')").unwrap();
+        cmd.set_text("SELECT path, rank FROM SCOPE() WHERE CONTAINS('database OR query')")
+            .unwrap();
         let mut rs = cmd.execute().unwrap().into_rowset().unwrap();
         let rows = rs.collect_rows().unwrap();
         assert!(!rows.is_empty());
@@ -338,9 +360,11 @@ mod tests {
         let p = provider();
         let mut s = p.create_session().unwrap();
         let mut cmd = s.create_command().unwrap();
-        cmd.set_text("SELECT nope FROM SCOPE() WHERE CONTAINS('x')").unwrap();
+        cmd.set_text("SELECT nope FROM SCOPE() WHERE CONTAINS('x')")
+            .unwrap();
         assert!(cmd.execute().is_err());
-        cmd.set_text("SELECT path FROM elsewhere WHERE CONTAINS('x')").unwrap();
+        cmd.set_text("SELECT path FROM elsewhere WHERE CONTAINS('x')")
+            .unwrap();
         assert!(cmd.execute().is_err());
         cmd.set_text("SELECT path FROM SCOPE()").unwrap();
         assert!(cmd.execute().is_err());

@@ -19,7 +19,11 @@ use std::collections::BTreeMap;
 pub enum FtQuery {
     Word(String),
     Phrase(Vec<String>),
-    Near { left: String, right: String, distance: u32 },
+    Near {
+        left: String,
+        right: String,
+        distance: u32,
+    },
     And(Vec<FtQuery>),
     Or(Vec<FtQuery>),
     Not(Box<FtQuery>),
@@ -66,7 +70,11 @@ impl FtQuery {
                 }
                 Ok(out)
             }
-            FtQuery::Near { left, right, distance } => {
+            FtQuery::Near {
+                left,
+                right,
+                distance,
+            } => {
                 let mut out = BTreeMap::new();
                 for (doc, hits) in index.near_docs(left, right, *distance) {
                     let score = index.tf_idf(left, doc, hits) + index.tf_idf(right, doc, hits);
@@ -204,7 +212,11 @@ impl QParser {
             self.pos += 1;
             parts.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("len checked") } else { FtQuery::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            FtQuery::Or(parts)
+        })
     }
 
     fn parse_and(&mut self) -> Result<FtQuery> {
@@ -216,14 +228,20 @@ impl QParser {
                     parts.push(self.parse_unary()?);
                 }
                 // Implicit AND between adjacent terms.
-                Some(&QToken::Word(_)) | Some(&QToken::Phrase(_)) | Some(&QToken::Not)
+                Some(&QToken::Word(_))
+                | Some(&QToken::Phrase(_))
+                | Some(&QToken::Not)
                 | Some(&QToken::LParen) => {
                     parts.push(self.parse_unary()?);
                 }
                 _ => break,
             }
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("len checked") } else { FtQuery::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            FtQuery::And(parts)
+        })
     }
 
     fn parse_unary(&mut self) -> Result<FtQuery> {
@@ -244,7 +262,11 @@ impl QParser {
                         return Err(DhqpError::Parse("NEAR requires a word on each side".into()));
                     };
                     self.pos += 1;
-                    return Ok(FtQuery::Near { left: w, right, distance: 8 });
+                    return Ok(FtQuery::Near {
+                        left: w,
+                        right,
+                        distance: 8,
+                    });
                 }
                 Ok(FtQuery::Word(w))
             }
@@ -305,7 +327,10 @@ mod tests {
         assert!(hits.contains_key(&1));
         assert!(!hits.contains_key(&2));
         // Bare NOT is invalid.
-        assert!(FtQuery::parse("NOT pasta").unwrap().evaluate(&index()).is_err());
+        assert!(FtQuery::parse("NOT pasta")
+            .unwrap()
+            .evaluate(&index())
+            .is_err());
     }
 
     #[test]
@@ -321,7 +346,10 @@ mod tests {
     fn ranking_orders_by_relevance() {
         let mut ix = InvertedIndex::new();
         ix.add_document(1, "database database database and more");
-        ix.add_document(2, "a database appears once in this long text about many things");
+        ix.add_document(
+            2,
+            "a database appears once in this long text about many things",
+        );
         let q = FtQuery::parse("database").unwrap();
         let hits = q.evaluate(&ix).unwrap();
         assert!(hits[&1] > hits[&2]);

@@ -66,7 +66,10 @@ impl IFilter for HtmlFilter {
                 _ => {}
             }
         }
-        out.replace("&amp;", "&").replace("&lt;", "<").replace("&gt;", ">").replace("&nbsp;", " ")
+        out.replace("&amp;", "&")
+            .replace("&lt;", "<")
+            .replace("&gt;", ">")
+            .replace("&nbsp;", " ")
     }
 }
 
@@ -75,7 +78,15 @@ pub struct MarkdownFilter;
 
 impl IFilter for MarkdownFilter {
     fn extract(&self, raw: &str) -> String {
-        raw.chars().map(|c| if matches!(c, '#' | '*' | '`' | '_' | '[' | ']' | '(' | ')') { ' ' } else { c }).collect()
+        raw.chars()
+            .map(|c| {
+                if matches!(c, '#' | '*' | '`' | '_' | '[' | ']' | '(' | ')') {
+                    ' '
+                } else {
+                    c
+                }
+            })
+            .collect()
     }
 }
 
@@ -91,7 +102,10 @@ pub struct FullTextCatalog {
 
 impl FullTextCatalog {
     pub fn new(name: impl Into<String>) -> Self {
-        FullTextCatalog { name: name.into(), ..Default::default() }
+        FullTextCatalog {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Index text for a row key directly (the §2.3 relational path: the
@@ -127,7 +141,16 @@ impl FullTextCatalog {
         let max = scores.values().cloned().fold(0.0f64, f64::max);
         let mut ranked: Vec<(u64, i64)> = scores
             .into_iter()
-            .map(|(doc, s)| (doc, if max > 0.0 { (s / max * 1000.0) as i64 } else { 0 }))
+            .map(|(doc, s)| {
+                (
+                    doc,
+                    if max > 0.0 {
+                        (s / max * 1000.0) as i64
+                    } else {
+                        0
+                    },
+                )
+            })
             .collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(ranked)
@@ -155,7 +178,10 @@ impl SearchService {
         filters.insert("html".into(), Box::new(HtmlFilter));
         filters.insert("htm".into(), Box::new(HtmlFilter));
         filters.insert("md".into(), Box::new(MarkdownFilter));
-        SearchService { catalogs: RwLock::new(HashMap::new()), filters }
+        SearchService {
+            catalogs: RwLock::new(HashMap::new()),
+            filters,
+        }
     }
 
     /// Install an additional IFilter for a document type.
@@ -166,7 +192,9 @@ impl SearchService {
     pub fn create_catalog(&self, name: &str) -> Result<()> {
         let mut catalogs = self.catalogs.write();
         if catalogs.contains_key(&name.to_lowercase()) {
-            return Err(DhqpError::Catalog(format!("full-text catalog '{name}' already exists")));
+            return Err(DhqpError::Catalog(format!(
+                "full-text catalog '{name}' already exists"
+            )));
         }
         catalogs.insert(name.to_lowercase(), FullTextCatalog::new(name));
         Ok(())
@@ -179,12 +207,15 @@ impl SearchService {
     /// Index one document into a catalog, running it through the installed
     /// IFilter for its type. Unknown types fail, as in the real service.
     pub fn index_document(&self, catalog: &str, mut doc: Document) -> Result<u64> {
-        let filter = self.filters.get(&doc.doc_type.to_lowercase()).ok_or_else(|| {
-            DhqpError::Unsupported(format!(
-                "no IFilter installed for document type '{}'",
-                doc.doc_type
-            ))
-        })?;
+        let filter = self
+            .filters
+            .get(&doc.doc_type.to_lowercase())
+            .ok_or_else(|| {
+                DhqpError::Unsupported(format!(
+                    "no IFilter installed for document type '{}'",
+                    doc.doc_type
+                ))
+            })?;
         let text = filter.extract(&doc.raw);
         let mut catalogs = self.catalogs.write();
         let cat = catalogs
@@ -195,7 +226,8 @@ impl SearchService {
             doc.id = cat.next_id;
         }
         let id = doc.id;
-        cat.index.add_document(id, &format!("{} {}", doc.path, text));
+        cat.index
+            .add_document(id, &format!("{} {}", doc.path, text));
         cat.documents.insert(id, doc);
         Ok(id)
     }
@@ -230,7 +262,11 @@ impl SearchService {
     }
 
     /// Run `f` against a catalog under the read lock.
-    pub fn with_catalog<R>(&self, catalog: &str, f: impl FnOnce(&FullTextCatalog) -> R) -> Result<R> {
+    pub fn with_catalog<R>(
+        &self,
+        catalog: &str,
+        f: impl FnOnce(&FullTextCatalog) -> R,
+    ) -> Result<R> {
         let catalogs = self.catalogs.read();
         let cat = catalogs
             .get(&catalog.to_lowercase())
@@ -260,16 +296,27 @@ mod tests {
         svc.create_catalog("DQLiterature").unwrap();
         svc.index_document(
             "DQLiterature",
-            doc("d:\\docs\\parallel.txt", "txt", "Parallel database systems survey"),
+            doc(
+                "d:\\docs\\parallel.txt",
+                "txt",
+                "Parallel database systems survey",
+            ),
         )
         .unwrap();
         svc.index_document(
             "DQLiterature",
-            doc("d:\\docs\\hetero.html", "html", "<h1>Heterogeneous query</h1> processing notes"),
+            doc(
+                "d:\\docs\\hetero.html",
+                "html",
+                "<h1>Heterogeneous query</h1> processing notes",
+            ),
         )
         .unwrap();
-        svc.index_document("DQLiterature", doc("d:\\docs\\misc.md", "md", "# Cooking *pasta*"))
-            .unwrap();
+        svc.index_document(
+            "DQLiterature",
+            doc("d:\\docs\\misc.md", "md", "# Cooking *pasta*"),
+        )
+        .unwrap();
         svc
     }
 
@@ -277,7 +324,10 @@ mod tests {
     fn paper_scenario_query_over_catalog() {
         let svc = service_with_docs();
         let hits = svc
-            .query_keys("dqliterature", "\"Parallel database\" OR \"heterogeneous query\"")
+            .query_keys(
+                "dqliterature",
+                "\"Parallel database\" OR \"heterogeneous query\"",
+            )
             .unwrap();
         assert_eq!(hits.len(), 2);
         // Ranks are scaled 0..=1000, descending.
@@ -290,13 +340,20 @@ mod tests {
         let svc = service_with_docs();
         // "h1" is markup, not content: must not be indexed.
         assert!(svc.query_keys("DQLiterature", "h1").unwrap().is_empty());
-        assert_eq!(svc.query_keys("DQLiterature", "heterogeneous").unwrap().len(), 1);
+        assert_eq!(
+            svc.query_keys("DQLiterature", "heterogeneous")
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn unknown_doc_type_requires_ifilter() {
         let svc = service_with_docs();
-        let err = svc.index_document("DQLiterature", doc("x.pdf", "pdf", "binaryish")).unwrap_err();
+        let err = svc
+            .index_document("DQLiterature", doc("x.pdf", "pdf", "binaryish"))
+            .unwrap_err();
         assert_eq!(err.kind(), "unsupported");
     }
 
@@ -305,7 +362,9 @@ mod tests {
         let mut svc = SearchService::new();
         svc.install_filter("pdf", Box::new(PlainTextFilter));
         svc.create_catalog("c").unwrap();
-        assert!(svc.index_document("c", doc("x.pdf", "pdf", "now indexable")).is_ok());
+        assert!(svc
+            .index_document("c", doc("x.pdf", "pdf", "now indexable"))
+            .is_ok());
         assert_eq!(svc.query_keys("c", "indexable").unwrap().len(), 1);
     }
 
@@ -313,7 +372,8 @@ mod tests {
     fn relational_row_indexing_and_maintenance() {
         let svc = SearchService::new();
         svc.create_catalog("articles").unwrap();
-        svc.index_row("articles", 100, "distributed query optimization").unwrap();
+        svc.index_row("articles", 100, "distributed query optimization")
+            .unwrap();
         svc.index_row("articles", 200, "cooking").unwrap();
         let hits = svc.query_keys("articles", "query").unwrap();
         assert_eq!(hits, vec![(100, 1000)]);
@@ -326,7 +386,10 @@ mod tests {
         let svc = SearchService::new();
         assert!(svc.query_keys("ghost", "x").is_err());
         svc.create_catalog("c").unwrap();
-        assert!(svc.create_catalog("C").is_err(), "catalog names are case-insensitive");
+        assert!(
+            svc.create_catalog("C").is_err(),
+            "catalog names are case-insensitive"
+        );
     }
 
     #[test]

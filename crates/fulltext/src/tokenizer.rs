@@ -17,13 +17,19 @@ pub fn tokenize(text: &str) -> Vec<Token> {
         if c.is_alphanumeric() || c == '\'' {
             current.extend(c.to_lowercase());
         } else if !current.is_empty() {
-            out.push(Token { term: strip_apostrophes(&current), position });
+            out.push(Token {
+                term: strip_apostrophes(&current),
+                position,
+            });
             position += 1;
             current.clear();
         }
     }
     if !current.is_empty() {
-        out.push(Token { term: strip_apostrophes(&current), position });
+        out.push(Token {
+            term: strip_apostrophes(&current),
+            position,
+        });
     }
     out
 }
@@ -31,9 +37,10 @@ pub fn tokenize(text: &str) -> Vec<Token> {
 /// Drop possessive apostrophes (`server's` → `servers` would be wrong; we
 /// strip the suffix instead: `server's` → `server`).
 fn strip_apostrophes(term: &str) -> String {
-    term.trim_matches('\'').strip_suffix("'s").map(str::to_string).unwrap_or_else(|| {
-        term.trim_matches('\'').replace('\'', "")
-    })
+    term.trim_matches('\'')
+        .strip_suffix("'s")
+        .map(str::to_string)
+        .unwrap_or_else(|| term.trim_matches('\'').replace('\'', ""))
 }
 
 #[cfg(test)]
@@ -46,7 +53,10 @@ mod tests {
 
     #[test]
     fn splits_and_lowercases() {
-        assert_eq!(terms("Parallel Database Systems!"), vec!["parallel", "database", "systems"]);
+        assert_eq!(
+            terms("Parallel Database Systems!"),
+            vec!["parallel", "database", "systems"]
+        );
     }
 
     #[test]
@@ -57,7 +67,10 @@ mod tests {
 
     #[test]
     fn numbers_and_mixed() {
-        assert_eq!(terms("SQL Server 2000, v2.0"), vec!["sql", "server", "2000", "v2", "0"]);
+        assert_eq!(
+            terms("SQL Server 2000, v2.0"),
+            vec!["sql", "server", "2000", "v2", "0"]
+        );
     }
 
     #[test]

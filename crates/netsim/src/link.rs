@@ -1,5 +1,6 @@
 //! Link configuration, accounting and delay model.
 
+pub use dhqp_oledb::TrafficSnapshot;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,23 +21,38 @@ pub struct NetworkConfig {
 impl NetworkConfig {
     /// A fast LAN: 0.5 ms round trips, ~100 MB/s, accounting only.
     pub fn lan() -> Self {
-        NetworkConfig { latency_us: 500, bytes_per_ms: 100_000, simulate_delay: false }
+        NetworkConfig {
+            latency_us: 500,
+            bytes_per_ms: 100_000,
+            simulate_delay: false,
+        }
     }
 
     /// A LAN with delay simulation enabled — used by benches so network
     /// traffic shows up in wall time.
     pub fn lan_timed() -> Self {
-        NetworkConfig { simulate_delay: true, ..NetworkConfig::lan() }
+        NetworkConfig {
+            simulate_delay: true,
+            ..NetworkConfig::lan()
+        }
     }
 
     /// A slow WAN: 20 ms round trips, ~2 MB/s.
     pub fn wan_timed() -> Self {
-        NetworkConfig { latency_us: 20_000, bytes_per_ms: 2_000, simulate_delay: true }
+        NetworkConfig {
+            latency_us: 20_000,
+            bytes_per_ms: 2_000,
+            simulate_delay: true,
+        }
     }
 
     /// Accounting-only link with zero parameters (unit tests).
     pub fn untimed() -> Self {
-        NetworkConfig { latency_us: 0, bytes_per_ms: 0, simulate_delay: false }
+        NetworkConfig {
+            latency_us: 0,
+            bytes_per_ms: 0,
+            simulate_delay: false,
+        }
     }
 
     /// Simulated wire time for a payload of `bytes`.
@@ -56,36 +72,9 @@ pub struct LinkStats {
     pub bytes: AtomicU64,
 }
 
-/// A point-in-time copy of link counters; subtract two to get per-query
-/// traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct TrafficSnapshot {
-    pub requests: u64,
-    pub rows: u64,
-    pub bytes: u64,
-}
-
-impl TrafficSnapshot {
-    /// Traffic that happened between `earlier` and `self`.
-    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
-        TrafficSnapshot {
-            requests: self.requests - earlier.requests,
-            rows: self.rows - earlier.rows,
-            bytes: self.bytes - earlier.bytes,
-        }
-    }
-}
-
-impl std::ops::Add for TrafficSnapshot {
-    type Output = TrafficSnapshot;
-    fn add(self, rhs: TrafficSnapshot) -> TrafficSnapshot {
-        TrafficSnapshot {
-            requests: self.requests + rhs.requests,
-            rows: self.rows + rhs.rows,
-            bytes: self.bytes + rhs.bytes,
-        }
-    }
-}
+// `TrafficSnapshot` lives in `dhqp_oledb` (re-exported above) so the
+// executor can read per-source traffic through `DataSource::traffic`
+// without depending on the network simulator.
 
 /// A shared handle to one simulated link.
 #[derive(Clone)]
@@ -97,7 +86,11 @@ pub struct NetworkLink {
 
 impl NetworkLink {
     pub fn new(name: impl Into<String>, config: NetworkConfig) -> Self {
-        NetworkLink { name: name.into().into(), config, stats: Arc::new(LinkStats::default()) }
+        NetworkLink {
+            name: name.into().into(),
+            config,
+            stats: Arc::new(LinkStats::default()),
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -188,6 +181,34 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_diff_across_reset_saturates() {
+        // Regression: `since` across a link reset (or with arguments in the
+        // wrong order) used to underflow and panic; it must clamp to zero.
+        let link = NetworkLink::new("r0", NetworkConfig::untimed());
+        link.record_request(100);
+        link.record_rows(10, 800);
+        let before = link.snapshot();
+        link.reset();
+        link.record_rows(2, 20);
+        let delta = link.snapshot().since(&before);
+        assert_eq!(
+            delta,
+            TrafficSnapshot {
+                requests: 0,
+                rows: 0,
+                bytes: 0
+            }
+        );
+        // Wrong-order subtraction clamps too.
+        let newer = {
+            link.record_rows(5, 50);
+            link.snapshot()
+        };
+        let older = TrafficSnapshot::default();
+        assert_eq!(older.since(&newer), TrafficSnapshot::default());
+    }
+
+    #[test]
     fn clones_share_counters() {
         let a = NetworkLink::new("r0", NetworkConfig::untimed());
         let b = a.clone();
@@ -198,15 +219,26 @@ mod tests {
 
     #[test]
     fn transfer_time_scales_with_bytes() {
-        let cfg = NetworkConfig { latency_us: 0, bytes_per_ms: 1000, simulate_delay: false };
+        let cfg = NetworkConfig {
+            latency_us: 0,
+            bytes_per_ms: 1000,
+            simulate_delay: false,
+        };
         assert_eq!(cfg.transfer_time(1000), Duration::from_millis(1));
         assert_eq!(cfg.transfer_time(0), Duration::ZERO);
-        assert_eq!(NetworkConfig::untimed().transfer_time(1_000_000), Duration::ZERO);
+        assert_eq!(
+            NetworkConfig::untimed().transfer_time(1_000_000),
+            Duration::ZERO
+        );
     }
 
     #[test]
     fn timed_link_sleeps_for_latency() {
-        let cfg = NetworkConfig { latency_us: 2000, bytes_per_ms: 0, simulate_delay: true };
+        let cfg = NetworkConfig {
+            latency_us: 2000,
+            bytes_per_ms: 0,
+            simulate_delay: true,
+        };
         let link = NetworkLink::new("slow", cfg);
         let t0 = std::time::Instant::now();
         link.record_request(0);

@@ -9,7 +9,7 @@
 use crate::link::NetworkLink;
 use dhqp_oledb::{
     Command, CommandResult, DataSource, Histogram, KeyRange, ProviderCapabilities, Rowset, Session,
-    TableInfo, TxnId,
+    TableInfo, TrafficSnapshot, TxnId,
 };
 use dhqp_types::{Result, Row, Schema, Value};
 use std::sync::Arc;
@@ -41,6 +41,10 @@ impl DataSource for NetworkedDataSource {
         // sees it (connection property, §4.1.3).
         caps.latency_hint_us = caps.latency_hint_us.max(self.link.config().latency_us);
         caps
+    }
+
+    fn traffic(&self) -> Option<TrafficSnapshot> {
+        Some(self.link.snapshot())
     }
 
     fn tables(&self) -> Result<Vec<TableInfo>> {
@@ -91,7 +95,10 @@ fn rows_wire_size(rows: &[Row]) -> u64 {
 impl Session for NetworkedSession {
     fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
         self.link.record_request(32 + table.len() as u64);
-        Ok(Box::new(MeteredRowset { inner: self.inner.open_rowset(table)?, link: self.link.clone() }))
+        Ok(Box::new(MeteredRowset {
+            inner: self.inner.open_rowset(table)?,
+            link: self.link.clone(),
+        }))
     }
 
     fn create_command(&mut self) -> Result<Box<dyn Command>> {
@@ -102,8 +109,14 @@ impl Session for NetworkedSession {
         }))
     }
 
-    fn open_index(&mut self, table: &str, index: &str, range: &KeyRange) -> Result<Box<dyn Rowset>> {
-        self.link.record_request(48 + table.len() as u64 + index.len() as u64);
+    fn open_index(
+        &mut self,
+        table: &str,
+        index: &str,
+        range: &KeyRange,
+    ) -> Result<Box<dyn Rowset>> {
+        self.link
+            .record_request(48 + table.len() as u64 + index.len() as u64);
         Ok(Box::new(MeteredRowset {
             inner: self.inner.open_index(table, index, range)?,
             link: self.link.clone(),
@@ -113,7 +126,8 @@ impl Session for NetworkedSession {
     fn fetch_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<Vec<Row>> {
         self.link.record_request(32 + 8 * bookmarks.len() as u64);
         let rows = self.inner.fetch_by_bookmarks(table, bookmarks)?;
-        self.link.record_rows(rows.len() as u64, rows_wire_size(&rows));
+        self.link
+            .record_rows(rows.len() as u64, rows_wire_size(&rows));
         Ok(rows)
     }
 
@@ -122,7 +136,8 @@ impl Session for NetworkedSession {
         let h = self.inner.histogram(table, column)?;
         if let Some(h) = &h {
             // A histogram ships one (upper, rows, distinct) triple per step.
-            self.link.record_rows(h.buckets.len() as u64, 24 * h.buckets.len() as u64);
+            self.link
+                .record_rows(h.buckets.len() as u64, 24 * h.buckets.len() as u64);
         }
         Ok(h)
     }
@@ -157,8 +172,14 @@ impl Session for NetworkedSession {
         self.inner.delete_by_bookmarks(table, bookmarks)
     }
 
-    fn update_by_bookmarks(&mut self, table: &str, bookmarks: &[u64], updates: &[Row]) -> Result<u64> {
-        self.link.record_request(32 + 8 * bookmarks.len() as u64 + rows_wire_size(updates));
+    fn update_by_bookmarks(
+        &mut self,
+        table: &str,
+        bookmarks: &[u64],
+        updates: &[Row],
+    ) -> Result<u64> {
+        self.link
+            .record_request(32 + 8 * bookmarks.len() as u64 + rows_wire_size(updates));
         self.inner.update_by_bookmarks(table, bookmarks, updates)
     }
 }
@@ -184,9 +205,10 @@ impl Command for NetworkedCommand {
         // The command text crosses the wire on execute.
         self.link.record_request(self.text_len.max(16));
         match self.inner.execute()? {
-            CommandResult::Rowset(rs) => {
-                Ok(CommandResult::Rowset(Box::new(MeteredRowset { inner: rs, link: self.link.clone() })))
-            }
+            CommandResult::Rowset(rs) => Ok(CommandResult::Rowset(Box::new(MeteredRowset {
+                inner: rs,
+                link: self.link.clone(),
+            }))),
             CommandResult::RowCount(n) => Ok(CommandResult::RowCount(n)),
         }
     }
@@ -232,7 +254,9 @@ mod tests {
         let ds = networked();
         let mut s = ds.create_session().unwrap();
         let before = ds.link().snapshot();
-        let mut rs = s.open_index("t", "pk", &KeyRange::eq(vec![Value::Int(3)])).unwrap();
+        let mut rs = s
+            .open_index("t", "pk", &KeyRange::eq(vec![Value::Int(3)]))
+            .unwrap();
         assert_eq!(rs.count_rows().unwrap(), 1);
         let delta = ds.link().snapshot().since(&before);
         assert_eq!(delta.requests, 1);

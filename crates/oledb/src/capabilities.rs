@@ -256,7 +256,11 @@ mod tests {
         let d = Dialect::default();
         assert_eq!(d.quote_ident("Order Details"), "[Order Details]");
         assert_eq!(d.quote_ident("a]b"), "[a]]b]");
-        let dq = Dialect { quote_open: '"', quote_close: '"', ..Dialect::default() };
+        let dq = Dialect {
+            quote_open: '"',
+            quote_close: '"',
+            ..Dialect::default()
+        };
         assert_eq!(dq.quote_ident("x\"y"), "\"x\"\"y\"");
     }
 

@@ -16,9 +16,50 @@ use crate::rowset::Rowset;
 use crate::schema::TableInfo;
 use crate::statistics::Histogram;
 use dhqp_types::{DhqpError, Result, Row, Value};
+use serde::{Deserialize, Serialize};
 
 /// Identifier of a distributed transaction, handed out by the coordinator.
 pub type TxnId = u64;
+
+/// A point-in-time copy of a source's wire counters; subtract two to get
+/// per-query traffic. Defined here (rather than in the network simulator)
+/// so the executor can attribute traffic to plan nodes through the
+/// [`DataSource::traffic`] seam without knowing how a source is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficSnapshot {
+    pub requests: u64,
+    pub rows: u64,
+    pub bytes: u64,
+}
+
+impl TrafficSnapshot {
+    /// Traffic that happened between `earlier` and `self`. Saturating:
+    /// snapshots taken across a link reset (or passed in the wrong order)
+    /// clamp to zero instead of panicking on underflow.
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            requests: self.requests.saturating_sub(earlier.requests),
+            rows: self.rows.saturating_sub(earlier.rows),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+
+    /// True when no traffic at all was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == TrafficSnapshot::default()
+    }
+}
+
+impl std::ops::Add for TrafficSnapshot {
+    type Output = TrafficSnapshot;
+    fn add(self, rhs: TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            requests: self.requests + rhs.requests,
+            rows: self.rows + rhs.rows,
+            bytes: self.bytes + rhs.bytes,
+        }
+    }
+}
 
 /// The connection abstraction: locate/activate a provider and describe it.
 pub trait DataSource: Send + Sync {
@@ -36,13 +77,25 @@ pub trait DataSource: Send + Sync {
     /// Create a unit-of-work session.
     fn create_session(&self) -> Result<Box<dyn Session>>;
 
+    /// Cumulative wire-traffic counters for reaching this source, when it is
+    /// metered (e.g. wrapped in a simulated network link). Local sources
+    /// return `None`; the executor uses snapshot deltas to attribute
+    /// requests/rows/bytes to individual remote plan nodes.
+    fn traffic(&self) -> Option<TrafficSnapshot> {
+        None
+    }
+
     /// Convenience metadata lookup.
     fn table(&self, name: &str) -> Result<TableInfo> {
         self.tables()?
             .into_iter()
             .find(|t| t.name.eq_ignore_ascii_case(name))
             .ok_or_else(|| {
-                DhqpError::Catalog(format!("table '{}' not found in source '{}'", name, self.name()))
+                DhqpError::Catalog(format!(
+                    "table '{}' not found in source '{}'",
+                    name,
+                    self.name()
+                ))
             })
     }
 }
@@ -65,7 +118,10 @@ impl KeyRange {
 
     /// Exact-match seek on a key prefix.
     pub fn eq(key: Vec<Value>) -> Self {
-        KeyRange { low: Some((key.clone(), true)), high: Some((key, true)) }
+        KeyRange {
+            low: Some((key.clone(), true)),
+            high: Some((key, true)),
+        }
     }
 
     /// Whether a key (compared column-wise on the shared prefix) falls in
@@ -109,18 +165,18 @@ impl CommandResult {
     pub fn into_rowset(self) -> Result<Box<dyn Rowset>> {
         match self {
             CommandResult::Rowset(r) => Ok(r),
-            CommandResult::RowCount(_) => {
-                Err(DhqpError::Provider("command returned a row count, expected a rowset".into()))
-            }
+            CommandResult::RowCount(_) => Err(DhqpError::Provider(
+                "command returned a row count, expected a rowset".into(),
+            )),
         }
     }
 
     pub fn into_row_count(self) -> Result<u64> {
         match self {
             CommandResult::RowCount(n) => Ok(n),
-            CommandResult::Rowset(_) => {
-                Err(DhqpError::Provider("command returned a rowset, expected a row count".into()))
-            }
+            CommandResult::Rowset(_) => Err(DhqpError::Provider(
+                "command returned a rowset, expected a row count".into(),
+            )),
         }
     }
 }
@@ -136,7 +192,9 @@ pub trait Command: Send {
     /// exploration rule of §4.1.2).
     fn bind_parameter(&mut self, ordinal: usize, value: Value) -> Result<()> {
         let _ = (ordinal, value);
-        Err(DhqpError::Unsupported("provider does not support command parameters".into()))
+        Err(DhqpError::Unsupported(
+            "provider does not support command parameters".into(),
+        ))
     }
 
     /// Execute and return rows or an affected count.
@@ -152,19 +210,30 @@ pub trait Session: Send {
 
     /// Create a command object, for providers with query support.
     fn create_command(&mut self) -> Result<Box<dyn Command>> {
-        Err(DhqpError::Unsupported("provider has no command support".into()))
+        Err(DhqpError::Unsupported(
+            "provider has no command support".into(),
+        ))
     }
 
     /// Open a rowset over an index restricted to a key range
     /// (`IRowsetIndex`). Rows come back in key order carrying bookmarks.
-    fn open_index(&mut self, table: &str, index: &str, range: &KeyRange) -> Result<Box<dyn Rowset>> {
-        Err(DhqpError::Unsupported("provider has no index support".into()))
+    fn open_index(
+        &mut self,
+        table: &str,
+        index: &str,
+        range: &KeyRange,
+    ) -> Result<Box<dyn Rowset>> {
+        Err(DhqpError::Unsupported(
+            "provider has no index support".into(),
+        ))
     }
 
     /// Fetch base-table rows by bookmark (`IRowsetLocate`), in the order
     /// given; the basis of the *remote fetch* access path.
     fn fetch_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<Vec<Row>> {
-        Err(DhqpError::Unsupported("provider has no bookmark support".into()))
+        Err(DhqpError::Unsupported(
+            "provider has no bookmark support".into(),
+        ))
     }
 
     /// Histogram over one column (the §3.2.4 statistics extension), `None`
@@ -177,7 +246,9 @@ pub trait Session: Send {
     /// (`ITransactionJoin::JoinTransaction`). Writes made through this
     /// session then commit or abort with the coordinator's decision.
     fn join_transaction(&mut self, txn: TxnId) -> Result<()> {
-        Err(DhqpError::Unsupported("provider cannot enlist in distributed transactions".into()))
+        Err(DhqpError::Unsupported(
+            "provider cannot enlist in distributed transactions".into(),
+        ))
     }
 
     /// 2PC phase one: promise to commit `txn`. Must be durable before
@@ -200,18 +271,29 @@ pub trait Session: Send {
     /// text can leave this unimplemented; the DHQP will send INSERT
     /// statements instead.
     fn insert(&mut self, table: &str, rows: &[Row]) -> Result<u64> {
-        Err(DhqpError::Unsupported("provider does not support direct inserts".into()))
+        Err(DhqpError::Unsupported(
+            "provider does not support direct inserts".into(),
+        ))
     }
 
     /// Delete rows by bookmark. Returns the number deleted.
     fn delete_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<u64> {
-        Err(DhqpError::Unsupported("provider does not support direct deletes".into()))
+        Err(DhqpError::Unsupported(
+            "provider does not support direct deletes".into(),
+        ))
     }
 
     /// Update rows by bookmark: `updates[i]` replaces the row at
     /// `bookmarks[i]`.
-    fn update_by_bookmarks(&mut self, table: &str, bookmarks: &[u64], updates: &[Row]) -> Result<u64> {
-        Err(DhqpError::Unsupported("provider does not support direct updates".into()))
+    fn update_by_bookmarks(
+        &mut self,
+        table: &str,
+        bookmarks: &[u64],
+        updates: &[Row],
+    ) -> Result<u64> {
+        Err(DhqpError::Unsupported(
+            "provider does not support direct updates".into(),
+        ))
     }
 }
 
@@ -233,10 +315,19 @@ mod tests {
         let mut s = NullSession;
         assert!(s.open_rowset("t").is_ok());
         assert!(matches!(s.create_command(), Err(DhqpError::Unsupported(_))));
-        assert!(matches!(s.open_index("t", "i", &KeyRange::all()), Err(DhqpError::Unsupported(_))));
-        assert!(matches!(s.fetch_by_bookmarks("t", &[1]), Err(DhqpError::Unsupported(_))));
+        assert!(matches!(
+            s.open_index("t", "i", &KeyRange::all()),
+            Err(DhqpError::Unsupported(_))
+        ));
+        assert!(matches!(
+            s.fetch_by_bookmarks("t", &[1]),
+            Err(DhqpError::Unsupported(_))
+        ));
         assert!(s.histogram("t", "c").unwrap().is_none());
-        assert!(matches!(s.join_transaction(1), Err(DhqpError::Unsupported(_))));
+        assert!(matches!(
+            s.join_transaction(1),
+            Err(DhqpError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod statistics;
 pub use capabilities::{
     DateLiteralStyle, Dialect, LimitSyntax, ProviderCapabilities, ProviderClass, SqlSupport,
 };
-pub use datasource::{Command, CommandResult, DataSource, KeyRange, Session, TxnId};
+pub use datasource::{
+    Command, CommandResult, DataSource, KeyRange, Session, TrafficSnapshot, TxnId,
+};
 pub use rowset::{MemRowset, Rowset, RowsetExt};
 pub use schema::{ColumnInfo, IndexInfo, SchemaRowsetKind, TableInfo};
 pub use statistics::{Histogram, HistogramBucket, TableStatistics};

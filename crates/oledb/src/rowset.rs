@@ -59,7 +59,10 @@ pub struct MemRowset {
 
 impl MemRowset {
     pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
-        MemRowset { schema, rows: rows.into_iter() }
+        MemRowset {
+            schema,
+            rows: rows.into_iter(),
+        }
     }
 
     pub fn empty(schema: Schema) -> Self {

@@ -21,15 +21,27 @@ pub struct ColumnInfo {
 
 impl ColumnInfo {
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        ColumnInfo { name: name.into(), data_type, nullable: true }
+        ColumnInfo {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
     }
 
     pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
-        ColumnInfo { name: name.into(), data_type, nullable: false }
+        ColumnInfo {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
     }
 
     pub fn to_column(&self) -> Column {
-        Column { name: self.name.clone(), data_type: self.data_type, nullable: self.nullable }
+        Column {
+            name: self.name.clone(),
+            data_type: self.data_type,
+            nullable: self.nullable,
+        }
     }
 }
 
@@ -55,7 +67,12 @@ pub struct TableInfo {
 
 impl TableInfo {
     pub fn new(name: impl Into<String>, columns: Vec<ColumnInfo>) -> Self {
-        TableInfo { name: name.into(), columns, indexes: Vec::new(), cardinality: None }
+        TableInfo {
+            name: name.into(),
+            columns,
+            indexes: Vec::new(),
+            cardinality: None,
+        }
     }
 
     pub fn with_cardinality(mut self, n: u64) -> Self {
@@ -75,14 +92,18 @@ impl TableInfo {
 
     /// Case-insensitive column lookup.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Find an index whose leading key column is `column`.
     pub fn index_on(&self, column: &str) -> Option<&IndexInfo> {
-        self.indexes
-            .iter()
-            .find(|ix| ix.key_columns.first().is_some_and(|k| k.eq_ignore_ascii_case(column)))
+        self.indexes.iter().find(|ix| {
+            ix.key_columns
+                .first()
+                .is_some_and(|k| k.eq_ignore_ascii_case(column))
+        })
     }
 }
 

@@ -139,7 +139,10 @@ impl Histogram {
 
     /// Estimated rows whose value lies in any interval of `set`.
     pub fn estimate_set(&self, set: &IntervalSet) -> f64 {
-        set.intervals().iter().map(|i| self.estimate_interval(i)).sum()
+        set.intervals()
+            .iter()
+            .map(|i| self.estimate_interval(i))
+            .sum()
     }
 
     /// Selectivity (fraction of all rows, nulls excluded by predicates).
@@ -243,7 +246,10 @@ mod tests {
         let h = Histogram::build(&ints(0..1000), 10, 0.0).unwrap();
         let set = IntervalSet::single(Interval::between(Value::Int(0), Value::Int(249)));
         let est = h.estimate_set(&set);
-        assert!((est - 250.0).abs() < 30.0, "estimate {est} should be near 250");
+        assert!(
+            (est - 250.0).abs() < 30.0,
+            "estimate {est} should be near 250"
+        );
         assert!((h.selectivity(&set) - 0.25).abs() < 0.05);
     }
 
@@ -261,10 +267,14 @@ mod tests {
     #[test]
     fn disjoint_set_estimates_add() {
         let h = Histogram::build(&ints(0..1000), 10, 0.0).unwrap();
-        let set = IntervalSet::single(Interval::between(Value::Int(0), Value::Int(99)))
-            .union(&IntervalSet::single(Interval::between(Value::Int(500), Value::Int(599))));
+        let set = IntervalSet::single(Interval::between(Value::Int(0), Value::Int(99))).union(
+            &IntervalSet::single(Interval::between(Value::Int(500), Value::Int(599))),
+        );
         let est = h.estimate_set(&set);
-        assert!((est - 200.0).abs() < 40.0, "estimate {est} should be near 200");
+        assert!(
+            (est - 200.0).abs() < 40.0,
+            "estimate {est} should be near 200"
+        );
     }
 
     #[test]
@@ -275,7 +285,10 @@ mod tests {
     #[test]
     fn table_statistics_lookup_is_case_insensitive() {
         let mut stats = TableStatistics::default();
-        stats.set_histogram("C_NationKey", Histogram::build(&ints(0..25), 5, 0.0).unwrap());
+        stats.set_histogram(
+            "C_NationKey",
+            Histogram::build(&ints(0..25), 5, 0.0).unwrap(),
+        );
         assert!(stats.histogram("c_nationkey").is_some());
         assert!(stats.histogram("C_NATIONKEY").is_some());
         assert!(stats.histogram("missing").is_none());

@@ -64,8 +64,11 @@ pub fn derive_props(
                         .map(|pos| meta.column_id(pos))
                 })
                 .collect();
-            let row_width =
-                columns.iter().map(|&c| width_of(registry.meta(c).data_type)).sum::<f64>() + 8.0;
+            let row_width = columns
+                .iter()
+                .map(|&c| width_of(registry.meta(c).data_type))
+                .sum::<f64>()
+                + 8.0;
             LogicalProps {
                 columns: columns.clone(),
                 cardinality: meta.estimated_rows(),
@@ -86,7 +89,10 @@ pub fn derive_props(
         LogicalOp::Values { columns, rows } => LogicalProps {
             columns: columns.clone(),
             cardinality: rows.len() as f64,
-            row_width: columns.iter().map(|&c| width_of(registry.meta(c).data_type)).sum::<f64>()
+            row_width: columns
+                .iter()
+                .map(|&c| width_of(registry.meta(c).data_type))
+                .sum::<f64>()
                 + 8.0,
             domains: BTreeMap::new(),
             keys: Vec::new(),
@@ -105,8 +111,11 @@ pub fn derive_props(
                     domains.insert(col, merged);
                 }
             }
-            let cardinality =
-                if contradiction { 0.0 } else { (child.cardinality * sel).max(0.0) };
+            let cardinality = if contradiction {
+                0.0
+            } else {
+                (child.cardinality * sel).max(0.0)
+            };
             LogicalProps {
                 columns: child.columns.clone(),
                 cardinality,
@@ -186,8 +195,20 @@ pub fn derive_props(
                 JoinKind::Semi | JoinKind::Anti => l.keys.clone(),
                 _ => Vec::new(),
             };
-            let row_width = l.row_width + if kind.produces_right() { r.row_width } else { 0.0 };
-            LogicalProps { columns, cardinality, row_width, domains, keys, histograms }
+            let row_width = l.row_width
+                + if kind.produces_right() {
+                    r.row_width
+                } else {
+                    0.0
+                };
+            LogicalProps {
+                columns,
+                cardinality,
+                row_width,
+                domains,
+                keys,
+                histograms,
+            }
         }
         LogicalOp::Aggregate { group_by, aggs } => {
             let child = children[0];
@@ -218,8 +239,11 @@ pub fn derive_props(
             if group_by.len() == 1 {
                 keys.push(group_by[0]);
             }
-            let row_width =
-                columns.iter().map(|&c| width_of(registry.meta(c).data_type)).sum::<f64>() + 8.0;
+            let row_width = columns
+                .iter()
+                .map(|&c| width_of(registry.meta(c).data_type))
+                .sum::<f64>()
+                + 8.0;
             LogicalProps {
                 columns,
                 cardinality: groups,
@@ -295,7 +319,12 @@ pub fn equi_key_columns(
 ) -> Vec<(ColumnId, ColumnId)> {
     let mut out = Vec::new();
     for conj in predicate.conjuncts() {
-        if let ScalarExpr::Cmp { op: CmpOp::Eq, left, right } = &conj {
+        if let ScalarExpr::Cmp {
+            op: CmpOp::Eq,
+            left,
+            right,
+        } = &conj
+        {
             if let (ScalarExpr::Column(a), ScalarExpr::Column(b)) = (left.as_ref(), right.as_ref())
             {
                 if l.columns.contains(a) && r.columns.contains(b) {
@@ -380,9 +409,7 @@ fn conjunct_selectivity(conj: &ScalarExpr, input: &LogicalProps) -> f64 {
                 ScalarExpr::Cmp { op: CmpOp::Eq, .. } => SEL_EQ_DEFAULT,
                 ScalarExpr::Cmp { op: CmpOp::Neq, .. } => 1.0 - SEL_EQ_DEFAULT,
                 ScalarExpr::Cmp { .. } => SEL_RANGE_DEFAULT,
-                ScalarExpr::InList { list, .. } => {
-                    (SEL_EQ_DEFAULT * list.len() as f64).min(0.8)
-                }
+                ScalarExpr::InList { list, .. } => (SEL_EQ_DEFAULT * list.len() as f64).min(0.8),
                 _ => SEL_OTHER_DEFAULT,
             };
         }
@@ -430,16 +457,12 @@ mod tests {
     use std::sync::Arc;
 
     fn table_with_hist(reg: &mut ColumnRegistry) -> Arc<TableMeta> {
-        let meta = test_table_meta(
-            0,
-            "t",
-            Locality::Local,
-            &[("k", DataType::Int)],
-            reg,
-            1000,
-        );
+        let meta = test_table_meta(0, "t", Locality::Local, &[("k", DataType::Int)], reg, 1000);
         let vals: Vec<Value> = (0..1000).map(Value::Int).collect();
-        let mut stats = TableStatistics { row_count: Some(1000), ..Default::default() };
+        let mut stats = TableStatistics {
+            row_count: Some(1000),
+            ..Default::default()
+        };
         stats.set_histogram("k", Histogram::build(&vals, 16, 0.0).unwrap());
         let mut m = (*meta).clone();
         m.stats = Some(stats);
@@ -483,7 +506,14 @@ mod tests {
     #[test]
     fn filter_narrows_domain_and_detects_contradiction() {
         let mut reg = ColumnRegistry::new();
-        let meta = test_table_meta(0, "t", Locality::Local, &[("k", DataType::Int)], &mut reg, 100);
+        let meta = test_table_meta(
+            0,
+            "t",
+            Locality::Local,
+            &[("k", DataType::Int)],
+            &mut reg,
+            100,
+        );
         let col = meta.column_id(0);
         let gt50 = ScalarExpr::cmp(
             CmpOp::Gt,
@@ -493,16 +523,25 @@ mod tests {
         let eq20 = ScalarExpr::eq(ScalarExpr::Column(col), ScalarExpr::literal(Value::Int(20)));
         let tree = LogicalExpr::get(meta).filter(gt50).filter(eq20);
         let props = props_of(&tree, &reg);
-        assert!(props.domain_of(col).is_empty(), "50<k AND k=20 is contradictory");
+        assert!(
+            props.domain_of(col).is_empty(),
+            "50<k AND k=20 is contradictory"
+        );
         assert_eq!(props.cardinality, 0.0);
     }
 
     #[test]
     fn key_join_cardinality_is_fk_side() {
         let mut reg = ColumnRegistry::new();
-        let mut nation =
-            (*test_table_meta(0, "nation", Locality::Local, &[("nk", DataType::Int)], &mut reg, 25))
-                .clone();
+        let mut nation = (*test_table_meta(
+            0,
+            "nation",
+            Locality::Local,
+            &[("nk", DataType::Int)],
+            &mut reg,
+            25,
+        ))
+        .clone();
         nation.indexes.push(dhqp_oledb::IndexInfo {
             name: "pk".into(),
             key_columns: vec!["nk".into()],
@@ -539,12 +578,21 @@ mod tests {
     fn union_all_merges_partition_domains() {
         let mut reg = ColumnRegistry::new();
         let mk = |id: u32, lo: i64, hi: i64, reg: &mut ColumnRegistry| {
-            let mut m =
-                (*test_table_meta(id, &format!("p{id}"), Locality::Local, &[("k", DataType::Int)], reg, 100))
-                    .clone();
+            let mut m = (*test_table_meta(
+                id,
+                &format!("p{id}"),
+                Locality::Local,
+                &[("k", DataType::Int)],
+                reg,
+                100,
+            ))
+            .clone();
             m.checks = vec![(
                 0,
-                IntervalSet::single(dhqp_types::Interval::between(Value::Int(lo), Value::Int(hi))),
+                IntervalSet::single(dhqp_types::Interval::between(
+                    Value::Int(lo),
+                    Value::Int(hi),
+                )),
             )];
             Arc::new(m)
         };
@@ -552,7 +600,9 @@ mod tests {
         let p2 = mk(1, 10, 19, &mut reg);
         let out = vec![reg.allocate("k", "v", DataType::Int, true)];
         let union = LogicalExpr::new(
-            LogicalOp::UnionAll { output: out.clone() },
+            LogicalOp::UnionAll {
+                output: out.clone(),
+            },
             vec![LogicalExpr::get(p1), LogicalExpr::get(p2)],
         );
         let props = props_of(&union, &reg);
@@ -580,6 +630,10 @@ mod tests {
         );
         let props = props_of(&agg, &reg);
         assert!(props.cardinality <= 1000.0);
-        assert!(props.cardinality > 500.0, "k is unique-ish: {}", props.cardinality);
+        assert!(
+            props.cardinality > 500.0,
+            "k is unique-ish: {}",
+            props.cardinality
+        );
     }
 }

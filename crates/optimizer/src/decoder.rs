@@ -52,7 +52,10 @@ impl SqlQuery {
     }
 
     fn fragment_of(&self, id: ColumnId) -> Option<&str> {
-        self.select.iter().find(|(c, _)| *c == id).map(|(_, f)| f.as_str())
+        self.select
+            .iter()
+            .find(|(c, _)| *c == id)
+            .map(|(_, f)| f.as_str())
     }
 
     fn colmap(&self) -> HashMap<ColumnId, String> {
@@ -80,7 +83,10 @@ impl SqlQuery {
                 sql.push_str(", ");
             }
             let frag = self.fragment_of(*id)?;
-            sql.push_str(&format!("{frag} AS {}", dialect.quote_ident(&format!("c{}", id.0))));
+            sql.push_str(&format!(
+                "{frag} AS {}",
+                dialect.quote_ident(&format!("c{}", id.0))
+            ));
         }
         sql.push_str(" FROM ");
         sql.push_str(&self.from);
@@ -168,7 +174,8 @@ impl<'a> Decoder<'a> {
             ordering
                 .iter()
                 .map(|(c, asc)| {
-                    map.get(c).map(|f| format!("{f} {}", if *asc { "ASC" } else { "DESC" }))
+                    map.get(c)
+                        .map(|f| format!("{f} {}", if *asc { "ASC" } else { "DESC" }))
                 })
                 .collect::<Option<Vec<_>>>()?
         };
@@ -185,11 +192,18 @@ impl<'a> Decoder<'a> {
                     .find(|(n, _)| n == name)
                     .map(|(_, col)| ParamSource::OuterColumn(*col))
                     .unwrap_or_else(|| ParamSource::QueryParam(name.clone()));
-                RemoteParam { name: name.clone(), source }
+                RemoteParam {
+                    name: name.clone(),
+                    source,
+                }
             })
             .collect();
         params.sort_by(|a, b| a.name.cmp(&b.name));
-        Some(RemoteSql { sql, params, columns: out_cols })
+        Some(RemoteSql {
+            sql,
+            params,
+            columns: out_cols,
+        })
     }
 
     /// Decode a group by trying each logical alternative until one works —
@@ -239,7 +253,13 @@ impl<'a> Decoder<'a> {
                         ))
                     })
                     .collect::<Option<Vec<_>>>()?;
-                Some(SqlQuery { select, from, wheres: Vec::new(), group_by: Vec::new(), aggregated: false })
+                Some(SqlQuery {
+                    select,
+                    from,
+                    wheres: Vec::new(),
+                    group_by: Vec::new(),
+                    aggregated: false,
+                })
             }
             LogicalOp::Filter { predicate } => {
                 let mut q = self.decode_group(children[0])?;
@@ -301,7 +321,13 @@ impl<'a> Decoder<'a> {
                 } else {
                     format!("{} {join_word} {} ON {on}", l.from, r.from)
                 };
-                Some(SqlQuery { select, from, wheres, group_by: Vec::new(), aggregated: false })
+                Some(SqlQuery {
+                    select,
+                    from,
+                    wheres,
+                    group_by: Vec::new(),
+                    aggregated: false,
+                })
             }
             LogicalOp::Aggregate { group_by, aggs } => {
                 if !self.caps.sql_support.supports_group_by() {
@@ -363,7 +389,13 @@ impl<'a> Decoder<'a> {
         let select = cols
             .iter()
             .map(|&c| {
-                (c, format!("{quoted}.{}", self.caps.dialect.quote_ident(&format!("c{}", c.0))))
+                (
+                    c,
+                    format!(
+                        "{quoted}.{}",
+                        self.caps.dialect.quote_ident(&format!("c{}", c.0))
+                    ),
+                )
             })
             .collect();
         Some(SqlQuery {
@@ -407,16 +439,20 @@ impl<'a> Decoder<'a> {
                 )
             }
             ScalarExpr::And(list) => {
-                let parts: Vec<String> =
-                    list.iter().map(|p| self.render_expr(p, map)).collect::<Option<_>>()?;
+                let parts: Vec<String> = list
+                    .iter()
+                    .map(|p| self.render_expr(p, map))
+                    .collect::<Option<_>>()?;
                 format!("({})", parts.join(" AND "))
             }
             ScalarExpr::Or(list) => {
                 if minimum {
                     return None;
                 }
-                let parts: Vec<String> =
-                    list.iter().map(|p| self.render_expr(p, map)).collect::<Option<_>>()?;
+                let parts: Vec<String> = list
+                    .iter()
+                    .map(|p| self.render_expr(p, map))
+                    .collect::<Option<_>>()?;
                 format!("({})", parts.join(" OR "))
             }
             ScalarExpr::Not(inner) => {
@@ -435,7 +471,11 @@ impl<'a> Decoder<'a> {
                     if *negated { "NOT " } else { "" }
                 )
             }
-            ScalarExpr::Like { expr, pattern, negated } => {
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 if minimum {
                     return None;
                 }
@@ -446,7 +486,11 @@ impl<'a> Decoder<'a> {
                     pattern.replace('\'', "''")
                 )
             }
-            ScalarExpr::InList { expr, list, negated } => {
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 if minimum {
                     return None;
                 }
@@ -463,15 +507,21 @@ impl<'a> Decoder<'a> {
                 if minimum || !matches!(name.as_str(), "UPPER" | "LOWER" | "ABS" | "LEN") {
                     return None;
                 }
-                let parts: Vec<String> =
-                    args.iter().map(|a| self.render_expr(a, map)).collect::<Option<_>>()?;
+                let parts: Vec<String> = args
+                    .iter()
+                    .map(|a| self.render_expr(a, map))
+                    .collect::<Option<_>>()?;
                 format!("{name}({})", parts.join(", "))
             }
             ScalarExpr::Cast { expr, to } => {
                 if minimum {
                     return None;
                 }
-                format!("CAST({} AS {})", self.render_expr(expr, map)?, to.sql_name())
+                format!(
+                    "CAST({} AS {})",
+                    self.render_expr(expr, map)?,
+                    to.sql_name()
+                )
             }
             // Startup predicates are evaluated by the local executor only.
             ScalarExpr::ParamInDomain { .. } => return None,
@@ -480,7 +530,10 @@ impl<'a> Decoder<'a> {
 
     fn render_literal(&self, v: &Value) -> String {
         match v {
-            Value::Date(d) => self.caps.dialect.date_literal(&dhqp_types::value::format_date(*d)),
+            Value::Date(d) => self
+                .caps
+                .dialect
+                .date_literal(&dhqp_types::value::format_date(*d)),
             other => other.to_sql_literal(),
         }
     }
@@ -525,7 +578,13 @@ mod tests {
     use crate::scalar::CmpOp;
     use std::sync::Arc;
 
-    fn remote_pair() -> (ColumnRegistry, Memo, GroupId, Arc<TableMeta>, Arc<TableMeta>) {
+    fn remote_pair() -> (
+        ColumnRegistry,
+        Memo,
+        GroupId,
+        Arc<TableMeta>,
+        Arc<TableMeta>,
+    ) {
         let mut reg = ColumnRegistry::new();
         let c = test_table_meta(
             0,
@@ -580,7 +639,10 @@ mod tests {
         let mut caps = ProviderCapabilities::sql_server("EXCELISH");
         caps.sql_support = SqlSupport::Minimum;
         let mut d = Decoder::new(&memo, &reg, &caps, "remote0");
-        assert!(d.build(root, None, &[], &[], None).is_none(), "joins exceed SQL Minimum");
+        assert!(
+            d.build(root, None, &[], &[], None).is_none(),
+            "joins exceed SQL Minimum"
+        );
 
         // A single-table select with a simple comparison decodes.
         let mut memo2 = Memo::new();
@@ -597,8 +659,14 @@ mod tests {
         // ...but an OR predicate exceeds Minimum.
         let mut memo3 = Memo::new();
         let or_filter = LogicalExpr::get(Arc::clone(&c)).filter(ScalarExpr::Or(vec![
-            ScalarExpr::eq(ScalarExpr::Column(c.column_id(0)), ScalarExpr::literal(Value::Int(1))),
-            ScalarExpr::eq(ScalarExpr::Column(c.column_id(0)), ScalarExpr::literal(Value::Int(2))),
+            ScalarExpr::eq(
+                ScalarExpr::Column(c.column_id(0)),
+                ScalarExpr::literal(Value::Int(1)),
+            ),
+            ScalarExpr::eq(
+                ScalarExpr::Column(c.column_id(0)),
+                ScalarExpr::literal(Value::Int(2)),
+            ),
         ]));
         let g3 = memo3.insert_tree(&or_filter, &reg);
         let mut d = Decoder::new(&memo3, &reg, &caps, "remote0");
@@ -623,7 +691,13 @@ mod tests {
             ScalarExpr::Param("__corr0".into()),
         );
         let out = d
-            .build(root, Some(&corr), &[("__corr0".into(), ColumnId(99))], &[], None)
+            .build(
+                root,
+                Some(&corr),
+                &[("__corr0".into(), ColumnId(99))],
+                &[],
+                None,
+            )
             .unwrap();
         assert!(out.sql.contains("([t0].[c_custkey] = @__corr0)"));
         assert_eq!(out.params.len(), 1);
@@ -635,7 +709,9 @@ mod tests {
         let (reg, memo, root, c, _) = remote_pair();
         let caps = ProviderCapabilities::sql_server("SQLOLEDB");
         let mut d = Decoder::new(&memo, &reg, &caps, "remote0");
-        let out = d.build(root, None, &[], &[(c.column_id(0), false)], Some(10)).unwrap();
+        let out = d
+            .build(root, None, &[], &[(c.column_id(0), false)], Some(10))
+            .unwrap();
         assert!(out.sql.starts_with("SELECT TOP 10 "));
         assert!(out.sql.ends_with("ORDER BY [t0].[c_custkey] DESC"));
     }
@@ -672,14 +748,31 @@ mod tests {
         let mut odbc = caps.clone();
         odbc.sql_support = SqlSupport::OdbcCore;
         let mut d = Decoder::new(&memo, &reg, &odbc, "r");
-        assert!(d.build(g, None, &[], &[], None).is_none(), "GROUP BY exceeds ODBC Core");
+        assert!(
+            d.build(g, None, &[], &[], None).is_none(),
+            "GROUP BY exceeds ODBC Core"
+        );
     }
 
     #[test]
     fn semi_join_has_no_sql_corollary() {
         let mut reg = ColumnRegistry::new();
-        let a = test_table_meta(0, "a", Locality::remote("r"), &[("x", DataType::Int)], &mut reg, 10);
-        let b = test_table_meta(1, "b", Locality::remote("r"), &[("y", DataType::Int)], &mut reg, 10);
+        let a = test_table_meta(
+            0,
+            "a",
+            Locality::remote("r"),
+            &[("x", DataType::Int)],
+            &mut reg,
+            10,
+        );
+        let b = test_table_meta(
+            1,
+            "b",
+            Locality::remote("r"),
+            &[("y", DataType::Int)],
+            &mut reg,
+            10,
+        );
         let semi = LogicalExpr::join(
             JoinKind::Semi,
             LogicalExpr::get(Arc::clone(&a)),
@@ -715,20 +808,30 @@ mod tests {
         let root = memo.insert_tree(&semi, &reg);
         let caps = ProviderCapabilities::sql_server("SQLOLEDB");
         let mut d = Decoder::new(&memo, &reg, &caps, "remote0");
-        assert!(d.build(root, None, &[], &[], None).is_none(), "semi join alone is undecodable");
+        assert!(
+            d.build(root, None, &[], &[], None).is_none(),
+            "semi join alone is undecodable"
+        );
 
         // Insert an inner-join alternative into the same group (the test
         // stands in for a rule that produced it).
         let root_expr = memo.expr(memo.group(root).exprs[0]).clone();
-        let LogicalOp::Join { predicate, .. } = &root_expr.op else { panic!("join") };
+        let LogicalOp::Join { predicate, .. } = &root_expr.op else {
+            panic!("join")
+        };
         memo.insert_alternative(
-            LogicalOp::Join { kind: JoinKind::Inner, predicate: predicate.clone() },
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                predicate: predicate.clone(),
+            },
             root_expr.children.clone(),
             root,
         )
         .expect("new alternative");
         let mut d = Decoder::new(&memo, &reg, &caps, "remote0");
-        let out = d.build(root, None, &[], &[], None).expect("second alternative decodes");
+        let out = d
+            .build(root, None, &[], &[], None)
+            .expect("second alternative decodes");
         assert!(out.sql.contains("INNER JOIN"));
     }
 
@@ -746,7 +849,9 @@ mod tests {
         let pred = ScalarExpr::cmp(
             CmpOp::Ge,
             ScalarExpr::Column(t.column_id(0)),
-            ScalarExpr::literal(Value::Date(dhqp_types::value::parse_date("1992-01-01").unwrap())),
+            ScalarExpr::literal(Value::Date(
+                dhqp_types::value::parse_date("1992-01-01").unwrap(),
+            )),
         );
         let tree = LogicalExpr::get(Arc::clone(&t)).filter(pred);
         let mut memo = Memo::new();

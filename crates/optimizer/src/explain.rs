@@ -28,7 +28,11 @@ impl ExplainPlan {
         s.push_str(&self.plan_text);
         s.push_str(&format!(
             "-- est_rows={:.0} est_cost={:.0} memo: {} groups / {} exprs, {} rules fired\n",
-            self.est_rows, self.est_cost, self.stats.groups, self.stats.exprs, self.stats.rules_fired
+            self.est_rows,
+            self.est_cost,
+            self.stats.groups,
+            self.stats.exprs,
+            self.stats.rules_fired
         ));
         for (phase, cost, dur) in &self.stats.phases {
             s.push_str(&format!(

@@ -69,7 +69,10 @@ impl JoinKind {
 
     /// Whether the join's output includes right-side columns.
     pub fn produces_right(&self) -> bool {
-        matches!(self, JoinKind::Inner | JoinKind::Cross | JoinKind::LeftOuter)
+        matches!(
+            self,
+            JoinKind::Inner | JoinKind::Cross | JoinKind::LeftOuter
+        )
     }
 }
 
@@ -133,7 +136,10 @@ impl Hash for TableMeta {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum LogicalOp {
     /// Scan of a base table (local or remote — same operator, §4.1.3).
-    Get { meta: Arc<TableMeta>, columns: Vec<ColumnId> },
+    Get {
+        meta: Arc<TableMeta>,
+        columns: Vec<ColumnId>,
+    },
     /// A statically pruned subtree: produces no rows (constraint framework
     /// reduced a predicate to constant false, §4.1.5).
     EmptyGet { columns: Vec<ColumnId> },
@@ -143,18 +149,29 @@ pub enum LogicalOp {
     /// partition pruning, §4.1.5). One child.
     StartupFilter { predicate: ScalarExpr },
     /// Computed projection defining new column ids. One child.
-    Project { outputs: Vec<(ColumnId, ScalarExpr)> },
+    Project {
+        outputs: Vec<(ColumnId, ScalarExpr)>,
+    },
     /// Binary join. Two children.
-    Join { kind: JoinKind, predicate: Option<ScalarExpr> },
+    Join {
+        kind: JoinKind,
+        predicate: Option<ScalarExpr>,
+    },
     /// Grouped aggregation. One child.
-    Aggregate { group_by: Vec<ColumnId>, aggs: Vec<AggCall> },
+    Aggregate {
+        group_by: Vec<ColumnId>,
+        aggs: Vec<AggCall>,
+    },
     /// Bag union; `output[i]` is fed by each child's i-th column. N children
     /// (the partitioned-view expansion, §4.1.5).
     UnionAll { output: Vec<ColumnId> },
     /// First-n. One child.
     Limit { n: u64 },
     /// Constant rows (INSERT ... VALUES, tests).
-    Values { columns: Vec<ColumnId>, rows: Vec<Vec<Value>> },
+    Values {
+        columns: Vec<ColumnId>,
+        rows: Vec<Vec<Value>>,
+    },
 }
 
 impl LogicalOp {
@@ -177,7 +194,9 @@ impl LogicalOp {
     /// Number of children this operator requires, `None` for variadic.
     pub fn arity(&self) -> Option<usize> {
         match self {
-            LogicalOp::Get { .. } | LogicalOp::EmptyGet { .. } | LogicalOp::Values { .. } => Some(0),
+            LogicalOp::Get { .. } | LogicalOp::EmptyGet { .. } | LogicalOp::Values { .. } => {
+                Some(0)
+            }
             LogicalOp::Filter { .. }
             | LogicalOp::StartupFilter { .. }
             | LogicalOp::Project { .. }
@@ -199,7 +218,10 @@ pub struct LogicalExpr {
 
 impl LogicalExpr {
     pub fn new(op: LogicalOp, children: Vec<LogicalExpr>) -> Self {
-        debug_assert!(op.arity().is_none_or(|a| a == children.len()), "arity mismatch for {op:?}");
+        debug_assert!(
+            op.arity().is_none_or(|a| a == children.len()),
+            "arity mismatch for {op:?}"
+        );
         LogicalExpr { op, children }
     }
 
@@ -216,7 +238,12 @@ impl LogicalExpr {
         LogicalExpr::new(LogicalOp::Project { outputs }, vec![self])
     }
 
-    pub fn join(kind: JoinKind, left: LogicalExpr, right: LogicalExpr, predicate: Option<ScalarExpr>) -> Self {
+    pub fn join(
+        kind: JoinKind,
+        left: LogicalExpr,
+        right: LogicalExpr,
+        predicate: Option<ScalarExpr>,
+    ) -> Self {
         LogicalExpr::new(LogicalOp::Join { kind, predicate }, vec![left, right])
     }
 
@@ -234,9 +261,9 @@ impl LogicalExpr {
             LogicalOp::Get { columns, .. }
             | LogicalOp::EmptyGet { columns }
             | LogicalOp::Values { columns, .. } => columns.clone(),
-            LogicalOp::Filter { .. } | LogicalOp::StartupFilter { .. } | LogicalOp::Limit { .. } => {
-                self.children[0].output_columns()
-            }
+            LogicalOp::Filter { .. }
+            | LogicalOp::StartupFilter { .. }
+            | LogicalOp::Limit { .. } => self.children[0].output_columns(),
             LogicalOp::Project { outputs } => outputs.iter().map(|(c, _)| *c).collect(),
             LogicalOp::Join { kind, .. } => {
                 let mut cols = self.children[0].output_columns();
@@ -332,7 +359,10 @@ pub fn test_table_meta(
 ) -> Arc<TableMeta> {
     use dhqp_types::Column;
     let schema = Schema::new(
-        columns.iter().map(|(n, t)| Column::new(*n, *t)).collect::<Vec<_>>(),
+        columns
+            .iter()
+            .map(|(n, t)| Column::new(*n, *t))
+            .collect::<Vec<_>>(),
     );
     let column_ids = columns
         .iter()

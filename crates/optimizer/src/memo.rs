@@ -90,14 +90,23 @@ impl Memo {
 
     /// Recursively insert a logical tree, returning the root group.
     pub fn insert_tree(&mut self, tree: &LogicalExpr, registry: &ColumnRegistry) -> GroupId {
-        let children: Vec<GroupId> =
-            tree.children.iter().map(|c| self.insert_tree(c, registry)).collect();
-        let mexpr = MExpr { op: tree.op.clone(), children };
+        let children: Vec<GroupId> = tree
+            .children
+            .iter()
+            .map(|c| self.insert_tree(c, registry))
+            .collect();
+        let mexpr = MExpr {
+            op: tree.op.clone(),
+            children,
+        };
         if let Some(&existing) = self.dedup.get(&mexpr) {
             return self.group_of(existing);
         }
-        let child_props: Vec<&LogicalProps> =
-            mexpr.children.iter().map(|&g| &self.groups[g.0 as usize].props).collect();
+        let child_props: Vec<&LogicalProps> = mexpr
+            .children
+            .iter()
+            .map(|&g| &self.groups[g.0 as usize].props)
+            .collect();
         let props = derive_props(&mexpr.op, &child_props, registry);
         let gid = GroupId(self.groups.len() as u32);
         self.groups.push(Group {
@@ -134,22 +143,26 @@ impl Memo {
     /// Insert a rule-produced subtree (new operators below the rewritten
     /// root) and return its group: children of the produced tree may be
     /// references to existing groups.
-    pub fn insert_subtree(
-        &mut self,
-        tree: &AltExpr,
-        registry: &ColumnRegistry,
-    ) -> GroupId {
+    pub fn insert_subtree(&mut self, tree: &AltExpr, registry: &ColumnRegistry) -> GroupId {
         match tree {
             AltExpr::Group(g) => *g,
             AltExpr::Op { op, children } => {
-                let child_groups: Vec<GroupId> =
-                    children.iter().map(|c| self.insert_subtree(c, registry)).collect();
-                let mexpr = MExpr { op: op.clone(), children: child_groups };
+                let child_groups: Vec<GroupId> = children
+                    .iter()
+                    .map(|c| self.insert_subtree(c, registry))
+                    .collect();
+                let mexpr = MExpr {
+                    op: op.clone(),
+                    children: child_groups,
+                };
                 if let Some(&existing) = self.dedup.get(&mexpr) {
                     return self.group_of(existing);
                 }
-                let child_props: Vec<&LogicalProps> =
-                    mexpr.children.iter().map(|&g| &self.groups[g.0 as usize].props).collect();
+                let child_props: Vec<&LogicalProps> = mexpr
+                    .children
+                    .iter()
+                    .map(|&g| &self.groups[g.0 as usize].props)
+                    .collect();
                 let props = derive_props(&mexpr.op, &child_props, registry);
                 let gid = GroupId(self.groups.len() as u32);
                 self.groups.push(Group {
@@ -178,8 +191,10 @@ impl Memo {
             // A bare group reference cannot be an alternative root.
             AltExpr::Group(_) => None,
             AltExpr::Op { op, children } => {
-                let child_groups: Vec<GroupId> =
-                    children.iter().map(|c| self.insert_subtree(c, registry)).collect();
+                let child_groups: Vec<GroupId> = children
+                    .iter()
+                    .map(|c| self.insert_subtree(c, registry))
+                    .collect();
                 self.insert_alternative(op.clone(), child_groups, group)
             }
         }
@@ -200,7 +215,10 @@ pub enum AltExpr {
     /// Reference to an existing group (a child kept as-is).
     Group(GroupId),
     /// A new operator over subtrees.
-    Op { op: LogicalOp, children: Vec<AltExpr> },
+    Op {
+        op: LogicalOp,
+        children: Vec<AltExpr>,
+    },
 }
 
 impl AltExpr {
@@ -219,8 +237,22 @@ mod tests {
 
     fn join_tree() -> (ColumnRegistry, LogicalExpr) {
         let mut reg = ColumnRegistry::new();
-        let a = test_table_meta(0, "a", Locality::Local, &[("x", DataType::Int)], &mut reg, 100);
-        let b = test_table_meta(1, "b", Locality::Local, &[("y", DataType::Int)], &mut reg, 50);
+        let a = test_table_meta(
+            0,
+            "a",
+            Locality::Local,
+            &[("x", DataType::Int)],
+            &mut reg,
+            100,
+        );
+        let b = test_table_meta(
+            1,
+            "b",
+            Locality::Local,
+            &[("y", DataType::Int)],
+            &mut reg,
+            50,
+        );
         let tree = LogicalExpr::join(
             JoinKind::Inner,
             LogicalExpr::get(Arc::clone(&a)),
@@ -267,7 +299,9 @@ mod tests {
         assert!(added.is_some());
         assert_eq!(memo.group(root).exprs.len(), 2);
         // Re-inserting the same alternative is a no-op.
-        assert!(memo.insert_alternative(swapped.op, swapped.children, root).is_none());
+        assert!(memo
+            .insert_alternative(swapped.op, swapped.children, root)
+            .is_none());
     }
 
     #[test]

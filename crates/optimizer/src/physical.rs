@@ -17,11 +17,17 @@ pub struct IndexRangeSpec {
 
 impl IndexRangeSpec {
     pub fn all() -> Self {
-        IndexRangeSpec { low: None, high: None }
+        IndexRangeSpec {
+            low: None,
+            high: None,
+        }
     }
 
     pub fn eq(keys: Vec<ScalarExpr>) -> Self {
-        IndexRangeSpec { low: Some((keys.clone(), true)), high: Some((keys, true)) }
+        IndexRangeSpec {
+            low: Some((keys.clone(), true)),
+            high: Some((keys, true)),
+        }
     }
 }
 
@@ -31,17 +37,32 @@ impl IndexRangeSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalOp {
     /// Sequential scan of a local table.
-    TableScan { meta: Arc<TableMeta> },
+    TableScan {
+        meta: Arc<TableMeta>,
+    },
     /// Local index range access, delivering key order.
-    IndexRange { meta: Arc<TableMeta>, index: String, range: IndexRangeSpec },
-    Filter { predicate: ScalarExpr },
+    IndexRange {
+        meta: Arc<TableMeta>,
+        index: String,
+        range: IndexRangeSpec,
+    },
+    Filter {
+        predicate: ScalarExpr,
+    },
     /// Column-free predicate evaluated once before opening the child
     /// (runtime partition pruning, §4.1.5).
-    StartupFilter { predicate: ScalarExpr },
-    Project { outputs: Vec<(ColumnId, ScalarExpr)> },
+    StartupFilter {
+        predicate: ScalarExpr,
+    },
+    Project {
+        outputs: Vec<(ColumnId, ScalarExpr)>,
+    },
     /// Tuple-at-a-time join; inner child re-opened per outer row (with
     /// correlation bindings when parameterized).
-    NestedLoopJoin { kind: JoinKind, predicate: Option<ScalarExpr> },
+    NestedLoopJoin {
+        kind: JoinKind,
+        predicate: Option<ScalarExpr>,
+    },
     HashJoin {
         kind: JoinKind,
         left_keys: Vec<ScalarExpr>,
@@ -54,15 +75,28 @@ pub enum PhysicalOp {
         right_keys: Vec<ColumnId>,
         residual: Option<ScalarExpr>,
     },
-    HashAggregate { group_by: Vec<ColumnId>, aggs: Vec<AggCall> },
+    HashAggregate {
+        group_by: Vec<ColumnId>,
+        aggs: Vec<AggCall>,
+    },
     /// Requires input sorted on the grouping columns.
-    StreamAggregate { group_by: Vec<ColumnId>, aggs: Vec<AggCall> },
-    Sort { keys: Vec<(ColumnId, bool)> },
-    Top { n: u64 },
+    StreamAggregate {
+        group_by: Vec<ColumnId>,
+        aggs: Vec<AggCall>,
+    },
+    Sort {
+        keys: Vec<(ColumnId, bool)>,
+    },
+    Top {
+        n: u64,
+    },
     /// `output[i]` is fed by `input_columns[k][i]` of child `k` (children
     /// may deliver their columns in any physical order; the executor
     /// permutes by column id).
-    UnionAll { output: Vec<ColumnId>, input_columns: Vec<Vec<ColumnId>> },
+    UnionAll {
+        output: Vec<ColumnId>,
+        input_columns: Vec<Vec<ColumnId>>,
+    },
     /// Materializes its child on first open; rescans replay the cache
     /// without re-running the child (the *spool over remote* enforcer).
     Spool,
@@ -75,15 +109,28 @@ pub enum PhysicalOp {
         params: Vec<RemoteParam>,
     },
     /// `IOpenRowset` against a remote base table.
-    RemoteScan { meta: Arc<TableMeta> },
+    RemoteScan {
+        meta: Arc<TableMeta>,
+    },
     /// `IRowsetIndex` range against a remote index (key order delivered).
-    RemoteRange { meta: Arc<TableMeta>, index: String, range: IndexRangeSpec },
+    RemoteRange {
+        meta: Arc<TableMeta>,
+        index: String,
+        range: IndexRangeSpec,
+    },
     /// `IRowsetLocate` fetch of base rows for bookmarks produced by the
     /// child (typically a RemoteRange over a secondary index).
-    RemoteFetch { meta: Arc<TableMeta> },
-    Values { columns: Vec<ColumnId>, rows: Vec<Vec<Value>> },
+    RemoteFetch {
+        meta: Arc<TableMeta>,
+    },
+    Values {
+        columns: Vec<ColumnId>,
+        rows: Vec<Vec<Value>>,
+    },
     /// Produces no rows (statically pruned).
-    Empty { columns: Vec<ColumnId> },
+    Empty {
+        columns: Vec<ColumnId>,
+    },
 }
 
 /// A parameter of a remote query: `@name` placeholders in the SQL text are
@@ -157,7 +204,54 @@ pub struct PhysNode {
 
 impl PhysNode {
     pub fn new(op: PhysicalOp, children: Vec<PhysNode>, output: Vec<ColumnId>) -> Self {
-        PhysNode { op, children, output, est_rows: 0.0, est_cost: 0.0 }
+        PhysNode {
+            op,
+            children,
+            output,
+            est_rows: 0.0,
+            est_cost: 0.0,
+        }
+    }
+
+    /// Number of nodes in this subtree (self included). Pre-order node ids
+    /// used by runtime stats are derived from subtree sizes: a node at id
+    /// `i` has its first child at `i + 1`, and each later child follows the
+    /// previous sibling's whole subtree.
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(PhysNode::subtree_size)
+            .sum::<usize>()
+    }
+
+    /// One-line operator label (no estimates, no indent) — shared between
+    /// `EXPLAIN` and `EXPLAIN ANALYZE` rendering.
+    pub fn describe(&self) -> String {
+        match &self.op {
+            PhysicalOp::TableScan { meta } => format!("TableScan({})", meta.alias),
+            PhysicalOp::IndexRange { meta, index, .. } => {
+                format!("IndexRange({}.{index})", meta.alias)
+            }
+            PhysicalOp::Filter { predicate } => format!("Filter({predicate})"),
+            PhysicalOp::StartupFilter { predicate } => format!("StartupFilter({predicate})"),
+            PhysicalOp::NestedLoopJoin { kind, .. } => format!("NestedLoopJoin[{kind:?}]"),
+            PhysicalOp::HashJoin { kind, .. } => format!("HashJoin[{kind:?}]"),
+            PhysicalOp::RemoteQuery { server, sql, .. } => format!("RemoteQuery(@{server}: {sql})"),
+            PhysicalOp::RemoteScan { meta } => format!(
+                "RemoteScan(@{}.{})",
+                meta.source.server_name().unwrap_or("?"),
+                meta.table
+            ),
+            PhysicalOp::RemoteRange { meta, index, .. } => format!(
+                "RemoteRange(@{}.{}.{index})",
+                meta.source.server_name().unwrap_or("?"),
+                meta.table
+            ),
+            PhysicalOp::RemoteFetch { meta } => format!("RemoteFetch({})", meta.table),
+            PhysicalOp::Sort { keys } => format!("Sort({} keys)", keys.len()),
+            other => other.name().to_string(),
+        }
     }
 
     /// Count operators matching a predicate anywhere in the plan.
@@ -189,59 +283,12 @@ impl PhysNode {
         for _ in 0..depth {
             out.push_str("  ");
         }
-        match &self.op {
-            PhysicalOp::TableScan { meta } => {
-                let _ = writeln!(out, "TableScan({})  rows={:.0}", meta.alias, self.est_rows);
-            }
-            PhysicalOp::IndexRange { meta, index, .. } => {
-                let _ =
-                    writeln!(out, "IndexRange({}.{index})  rows={:.0}", meta.alias, self.est_rows);
-            }
-            PhysicalOp::Filter { predicate } => {
-                let _ = writeln!(out, "Filter({predicate})  rows={:.0}", self.est_rows);
-            }
-            PhysicalOp::StartupFilter { predicate } => {
-                let _ = writeln!(out, "StartupFilter({predicate})");
-            }
-            PhysicalOp::NestedLoopJoin { kind, .. } => {
-                let _ = writeln!(out, "NestedLoopJoin[{kind:?}]  rows={:.0}", self.est_rows);
-            }
-            PhysicalOp::HashJoin { kind, .. } => {
-                let _ = writeln!(out, "HashJoin[{kind:?}]  rows={:.0}", self.est_rows);
-            }
-            PhysicalOp::MergeJoin { .. } => {
-                let _ = writeln!(out, "MergeJoin  rows={:.0}", self.est_rows);
-            }
-            PhysicalOp::RemoteQuery { server, sql, .. } => {
-                let _ = writeln!(out, "RemoteQuery(@{server}: {sql})  rows={:.0}", self.est_rows);
-            }
-            PhysicalOp::RemoteScan { meta } => {
-                let _ = writeln!(
-                    out,
-                    "RemoteScan(@{}.{})  rows={:.0}",
-                    meta.source.server_name().unwrap_or("?"),
-                    meta.table,
-                    self.est_rows
-                );
-            }
-            PhysicalOp::RemoteRange { meta, index, .. } => {
-                let _ = writeln!(
-                    out,
-                    "RemoteRange(@{}.{}.{index})  rows={:.0}",
-                    meta.source.server_name().unwrap_or("?"),
-                    meta.table,
-                    self.est_rows
-                );
-            }
-            PhysicalOp::RemoteFetch { meta } => {
-                let _ = writeln!(out, "RemoteFetch({})  rows={:.0}", meta.table, self.est_rows);
-            }
-            PhysicalOp::Sort { keys } => {
-                let _ = writeln!(out, "Sort({} keys)  rows={:.0}", keys.len(), self.est_rows);
-            }
-            other => {
-                let _ = writeln!(out, "{}  rows={:.0}", other.name(), self.est_rows);
-            }
+        if matches!(self.op, PhysicalOp::StartupFilter { .. }) {
+            // Startup filters pass their child through unchanged; an
+            // estimate would just repeat the child's.
+            let _ = writeln!(out, "{}", self.describe());
+        } else {
+            let _ = writeln!(out, "{}  rows={:.0}", self.describe(), self.est_rows);
         }
         for c in &self.children {
             c.fmt_indent(out, depth + 1);
@@ -268,14 +315,20 @@ mod tests {
             10,
         );
         let scan = PhysNode::new(
-            PhysicalOp::RemoteScan { meta: Arc::clone(&meta) },
+            PhysicalOp::RemoteScan {
+                meta: Arc::clone(&meta),
+            },
             vec![],
             meta.column_ids.clone(),
         );
         let spool = PhysNode::new(PhysicalOp::Spool, vec![scan], meta.column_ids.clone());
         assert_eq!(spool.count_ops(&mut |op| op.is_remote()), 1);
-        assert!(spool.find_op(&mut |op| matches!(op, PhysicalOp::Spool)).is_some());
-        assert!(spool.find_op(&mut |op| matches!(op, PhysicalOp::Sort { .. })).is_none());
+        assert!(spool
+            .find_op(&mut |op| matches!(op, PhysicalOp::Spool))
+            .is_some());
+        assert!(spool
+            .find_op(&mut |op| matches!(op, PhysicalOp::Sort { .. }))
+            .is_none());
         let text = spool.display_indent();
         assert!(text.contains("Spool"));
         assert!(text.contains("RemoteScan(@r0.t)"));

@@ -105,7 +105,10 @@ pub struct LogicalProps {
 
 impl LogicalProps {
     pub fn domain_of(&self, id: ColumnId) -> IntervalSet {
-        self.domains.get(&id).cloned().unwrap_or_else(IntervalSet::full)
+        self.domains
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(IntervalSet::full)
     }
 }
 

@@ -20,8 +20,13 @@ pub trait ExplorationRule: Sync {
     /// Guidance: can this rule possibly match the operator?
     fn matches(&self, op: &LogicalOp) -> bool;
     /// Produce alternative expressions for `expr` (which lives in `group`).
-    fn apply(&self, expr: &MExpr, group: GroupId, memo: &Memo, ctx: &RuleContext<'_>)
-        -> Vec<AltExpr>;
+    fn apply(
+        &self,
+        expr: &MExpr,
+        group: GroupId,
+        memo: &Memo,
+        ctx: &RuleContext<'_>,
+    ) -> Vec<AltExpr>;
 }
 
 /// `A ⋈ B ≡ B ⋈ A` for inner/cross joins.
@@ -51,8 +56,14 @@ impl ExplorationRule for JoinCommute {
             return vec![];
         };
         vec![AltExpr::op(
-            LogicalOp::Join { kind: *kind, predicate: predicate.clone() },
-            vec![AltExpr::Group(expr.children[1]), AltExpr::Group(expr.children[0])],
+            LogicalOp::Join {
+                kind: *kind,
+                predicate: predicate.clone(),
+            },
+            vec![
+                AltExpr::Group(expr.children[1]),
+                AltExpr::Group(expr.children[0]),
+            ],
         )]
     }
 }
@@ -108,7 +119,13 @@ impl ExplorationRule for JoinAssociate {
     }
 
     fn matches(&self, op: &LogicalOp) -> bool {
-        matches!(op, LogicalOp::Join { kind: JoinKind::Inner | JoinKind::Cross, .. })
+        matches!(
+            op,
+            LogicalOp::Join {
+                kind: JoinKind::Inner | JoinKind::Cross,
+                ..
+            }
+        )
     }
 
     fn apply(
@@ -118,7 +135,11 @@ impl ExplorationRule for JoinAssociate {
         memo: &Memo,
         ctx: &RuleContext<'_>,
     ) -> Vec<AltExpr> {
-        let LogicalOp::Join { kind: top_kind, predicate: top_pred } = &expr.op else {
+        let LogicalOp::Join {
+            kind: top_kind,
+            predicate: top_pred,
+        } = &expr.op
+        else {
             return vec![];
         };
         if !matches!(top_kind, JoinKind::Inner | JoinKind::Cross) {
@@ -131,7 +152,11 @@ impl ExplorationRule for JoinAssociate {
         // (A ⋈ B) ⋈ C  →  A ⋈ (B ⋈ C)
         for &left_eid in &memo.group(left_group).exprs {
             let left_expr = memo.expr(left_eid).clone();
-            let LogicalOp::Join { kind: lkind, predicate: lpred } = &left_expr.op else {
+            let LogicalOp::Join {
+                kind: lkind,
+                predicate: lpred,
+            } = &left_expr.op
+            else {
                 continue;
             };
             if !matches!(lkind, JoinKind::Inner | JoinKind::Cross) {
@@ -157,24 +182,39 @@ impl ExplorationRule for JoinAssociate {
                 if !ctx.config.enable_locality_grouping {
                     continue;
                 }
-                let (Some(lb), Some(lc)) =
-                    (Self::sole_remote(memo, b_group), Self::sole_remote(memo, c_group))
-                else {
+                let (Some(lb), Some(lc)) = (
+                    Self::sole_remote(memo, b_group),
+                    Self::sole_remote(memo, c_group),
+                ) else {
                     continue;
                 };
                 if lb != lc {
                     continue;
                 }
             }
-            let inner_kind = if inner_connected { JoinKind::Inner } else { JoinKind::Cross };
+            let inner_kind = if inner_connected {
+                JoinKind::Inner
+            } else {
+                JoinKind::Cross
+            };
             let inner_join = AltExpr::op(
-                LogicalOp::Join { kind: inner_kind, predicate: ScalarExpr::and(inner) },
+                LogicalOp::Join {
+                    kind: inner_kind,
+                    predicate: ScalarExpr::and(inner),
+                },
                 vec![AltExpr::Group(b_group), AltExpr::Group(c_group)],
             );
             let outer_pred = ScalarExpr::and(outer);
-            let outer_kind = if outer_pred.is_some() { JoinKind::Inner } else { JoinKind::Cross };
+            let outer_kind = if outer_pred.is_some() {
+                JoinKind::Inner
+            } else {
+                JoinKind::Cross
+            };
             out.push(AltExpr::op(
-                LogicalOp::Join { kind: outer_kind, predicate: outer_pred },
+                LogicalOp::Join {
+                    kind: outer_kind,
+                    predicate: outer_pred,
+                },
                 vec![AltExpr::Group(a_group), inner_join],
             ));
         }
@@ -199,8 +239,10 @@ pub fn group_localities(memo: &Memo, group: GroupId) -> Vec<Locality> {
             }
         }
         // Values/EmptyGet contribute Local (they run locally).
-        if matches!(expr.op, LogicalOp::Values { .. } | LogicalOp::EmptyGet { .. })
-            && !out.contains(&Locality::Local)
+        if matches!(
+            expr.op,
+            LogicalOp::Values { .. } | LogicalOp::EmptyGet { .. }
+        ) && !out.contains(&Locality::Local)
         {
             out.push(Locality::Local);
         }
@@ -231,18 +273,29 @@ mod tests {
     use dhqp_types::DataType;
     use std::sync::Arc;
 
-    fn ctx_with<'a>(
-        registry: &'a ColumnRegistry,
-        config: &'a OptimizerConfig,
-    ) -> RuleContext<'a> {
+    fn ctx_with<'a>(registry: &'a ColumnRegistry, config: &'a OptimizerConfig) -> RuleContext<'a> {
         RuleContext { registry, config }
     }
 
     #[test]
     fn commute_swaps_children() {
         let mut reg = ColumnRegistry::new();
-        let a = test_table_meta(0, "a", Locality::Local, &[("x", DataType::Int)], &mut reg, 10);
-        let b = test_table_meta(1, "b", Locality::Local, &[("y", DataType::Int)], &mut reg, 10);
+        let a = test_table_meta(
+            0,
+            "a",
+            Locality::Local,
+            &[("x", DataType::Int)],
+            &mut reg,
+            10,
+        );
+        let b = test_table_meta(
+            1,
+            "b",
+            Locality::Local,
+            &[("y", DataType::Int)],
+            &mut reg,
+            10,
+        );
         let tree = LogicalExpr::join(
             JoinKind::Inner,
             LogicalExpr::get(Arc::clone(&a)),
@@ -269,8 +322,16 @@ mod tests {
 
     fn three_way(reg: &mut ColumnRegistry, remote_bc: bool) -> (Memo, GroupId) {
         // A(x) ⋈[x=y] B(y) ⋈[a-connected? no: only A-B predicate] C(z)
-        let loc_b = if remote_bc { Locality::remote("r0") } else { Locality::Local };
-        let loc_c = if remote_bc { Locality::remote("r0") } else { Locality::Local };
+        let loc_b = if remote_bc {
+            Locality::remote("r0")
+        } else {
+            Locality::Local
+        };
+        let loc_c = if remote_bc {
+            Locality::remote("r0")
+        } else {
+            Locality::Local
+        };
         let a = test_table_meta(0, "a", Locality::Local, &[("x", DataType::Int)], reg, 10);
         let b = test_table_meta(1, "b", loc_b, &[("y", DataType::Int)], reg, 10);
         let c = test_table_meta(2, "c", loc_c, &[("z", DataType::Int)], reg, 10);
@@ -319,7 +380,10 @@ mod tests {
         let alts = JoinAssociate.apply(&expr, root, &memo, &ctx_with(&reg, &config));
         assert_eq!(alts.len(), 1, "B⋈C share remote0, grouping is allowed");
         // With the flag off the alternative disappears.
-        let config = OptimizerConfig { enable_locality_grouping: false, ..Default::default() };
+        let config = OptimizerConfig {
+            enable_locality_grouping: false,
+            ..Default::default()
+        };
         let alts = JoinAssociate.apply(&expr, root, &memo, &ctx_with(&reg, &config));
         assert!(alts.is_empty());
     }
@@ -339,6 +403,9 @@ mod tests {
             kind: JoinKind::LeftOuter,
             predicate: None
         }));
-        assert!(JoinCommute.matches(&LogicalOp::Join { kind: JoinKind::Cross, predicate: None }));
+        assert!(JoinCommute.matches(&LogicalOp::Join {
+            kind: JoinKind::Cross,
+            predicate: None
+        }));
     }
 }

@@ -28,11 +28,19 @@ pub fn implementations(
     match &expr.op {
         LogicalOp::Get { meta, .. } => implement_get(meta, memo, expr, required),
         LogicalOp::EmptyGet { columns } => {
-            vec![PhysAlt::node(PhysicalOp::Empty { columns: columns.clone() }, vec![])]
+            vec![PhysAlt::node(
+                PhysicalOp::Empty {
+                    columns: columns.clone(),
+                },
+                vec![],
+            )]
         }
         LogicalOp::Values { columns, rows } => {
             vec![PhysAlt::node(
-                PhysicalOp::Values { columns: columns.clone(), rows: rows.clone() },
+                PhysicalOp::Values {
+                    columns: columns.clone(),
+                    rows: rows.clone(),
+                },
                 vec![],
             )
             .with_rows(rows.len() as f64)]
@@ -40,7 +48,9 @@ pub fn implementations(
         LogicalOp::Filter { predicate } => implement_filter(predicate, expr, memo, required),
         LogicalOp::StartupFilter { predicate } => {
             vec![PhysAlt::node(
-                PhysicalOp::StartupFilter { predicate: predicate.clone() },
+                PhysicalOp::StartupFilter {
+                    predicate: predicate.clone(),
+                },
                 vec![PhysAlt::child_with(
                     expr.children[0],
                     RequiredProps::none(),
@@ -51,7 +61,9 @@ pub fn implementations(
         }
         LogicalOp::Project { outputs } => {
             vec![PhysAlt::node(
-                PhysicalOp::Project { outputs: outputs.clone() },
+                PhysicalOp::Project {
+                    outputs: outputs.clone(),
+                },
                 vec![PhysAlt::child(expr.children[0])],
             )]
         }
@@ -60,7 +72,10 @@ pub fn implementations(
         }
         LogicalOp::Aggregate { group_by, aggs } => {
             let mut out = vec![PhysAlt::node(
-                PhysicalOp::HashAggregate { group_by: group_by.clone(), aggs: aggs.clone() },
+                PhysicalOp::HashAggregate {
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                },
                 vec![PhysAlt::child(expr.children[0])],
             )];
             if phase >= OptimizationPhase::Full && !group_by.is_empty() {
@@ -98,7 +113,10 @@ pub fn implementations(
                 .map(|&g| memo.group(g).props.columns.clone())
                 .collect();
             vec![PhysAlt::node(
-                PhysicalOp::UnionAll { output: output.clone(), input_columns },
+                PhysicalOp::UnionAll {
+                    output: output.clone(),
+                    input_columns,
+                },
                 expr.children.iter().map(|&g| PhysAlt::child(g)).collect(),
             )]
         }
@@ -114,9 +132,19 @@ fn implement_get(
     let mut out = Vec::new();
     let remote = meta.source.is_remote();
     if remote {
-        out.push(PhysAlt::node(PhysicalOp::RemoteScan { meta: Arc::clone(meta) }, vec![]));
+        out.push(PhysAlt::node(
+            PhysicalOp::RemoteScan {
+                meta: Arc::clone(meta),
+            },
+            vec![],
+        ));
     } else {
-        out.push(PhysAlt::node(PhysicalOp::TableScan { meta: Arc::clone(meta) }, vec![]));
+        out.push(PhysAlt::node(
+            PhysicalOp::TableScan {
+                meta: Arc::clone(meta),
+            },
+            vec![],
+        ));
     }
     // An ordered full-index scan when it can satisfy the requirement
     // directly (ascending key order only).
@@ -174,8 +202,14 @@ fn implement_filter(
     if predicate.is_column_free() {
         out.push(
             PhysAlt::node(
-                PhysicalOp::StartupFilter { predicate: predicate.clone() },
-                vec![PhysAlt::child_with(expr.children[0], RequiredProps::none(), 0.5)],
+                PhysicalOp::StartupFilter {
+                    predicate: predicate.clone(),
+                },
+                vec![PhysAlt::child_with(
+                    expr.children[0],
+                    RequiredProps::none(),
+                    0.5,
+                )],
             )
             .with_delivered(Delivered::Inherit(0)),
         );
@@ -183,7 +217,9 @@ fn implement_filter(
     }
     out.push(
         PhysAlt::node(
-            PhysicalOp::Filter { predicate: predicate.clone() },
+            PhysicalOp::Filter {
+                predicate: predicate.clone(),
+            },
             vec![PhysAlt::child(expr.children[0])],
         )
         .with_delivered(Delivered::Inherit(0)),
@@ -193,13 +229,17 @@ fn implement_filter(
     let child_card = child_group.props.cardinality;
     for &eid in &child_group.exprs {
         let child_expr = memo.expr(eid);
-        let LogicalOp::Get { meta, .. } = &child_expr.op else { continue };
+        let LogicalOp::Get { meta, .. } = &child_expr.op else {
+            continue;
+        };
         let remote = meta.source.is_remote();
         if remote && !meta.caps.index_support {
             continue;
         }
         for ix in &meta.indexes {
-            let Some(lead_pos) = meta.schema.index_of(&ix.key_columns[0]) else { continue };
+            let Some(lead_pos) = meta.schema.index_of(&ix.key_columns[0]) else {
+                continue;
+            };
             let lead_col = meta.column_id(lead_pos);
             let Some((range, sel)) = sargable_range(predicate, lead_col, child_card) else {
                 continue;
@@ -212,12 +252,18 @@ fn implement_filter(
                     range,
                 }
             } else {
-                PhysicalOp::IndexRange { meta: Arc::clone(meta), index: ix.name.clone(), range }
+                PhysicalOp::IndexRange {
+                    meta: Arc::clone(meta),
+                    index: ix.name.clone(),
+                    range,
+                }
             };
             // Residual re-check of the full predicate keeps this correct
             // even when the range only partially covers it.
             out.push(PhysAlt::node(
-                PhysicalOp::Filter { predicate: predicate.clone() },
+                PhysicalOp::Filter {
+                    predicate: predicate.clone(),
+                },
                 vec![PhysAlt::node(access, vec![]).with_rows(rows)],
             ));
         }
@@ -236,7 +282,9 @@ fn sargable_range(
     let mut high: Option<(ScalarExpr, bool)> = None;
     let mut eq: Option<ScalarExpr> = None;
     for conj in predicate.conjuncts() {
-        let ScalarExpr::Cmp { op, left, right } = &conj else { continue };
+        let ScalarExpr::Cmp { op, left, right } = &conj else {
+            continue;
+        };
         let (bound, op) = match (left.as_ref(), right.as_ref()) {
             (ScalarExpr::Column(c), other) if *c == col && other.is_column_free() => {
                 (other.clone(), *op)
@@ -308,8 +356,14 @@ fn implement_join(
     // Plain nested loops: inner re-opened per outer row.
     out.push(
         PhysAlt::node(
-            PhysicalOp::NestedLoopJoin { kind, predicate: predicate.cloned() },
-            vec![PhysAlt::child(lg), PhysAlt::child_with(rg, RequiredProps::none(), l_card)],
+            PhysicalOp::NestedLoopJoin {
+                kind,
+                predicate: predicate.cloned(),
+            },
+            vec![
+                PhysAlt::child(lg),
+                PhysAlt::child_with(rg, RequiredProps::none(), l_card),
+            ],
         )
         .with_delivered(Delivered::Inherit(0)),
     );
@@ -318,7 +372,10 @@ fn implement_join(
     if !required.ordering.is_empty() {
         out.push(
             PhysAlt::node(
-                PhysicalOp::NestedLoopJoin { kind, predicate: predicate.cloned() },
+                PhysicalOp::NestedLoopJoin {
+                    kind,
+                    predicate: predicate.cloned(),
+                },
                 vec![
                     PhysAlt::child_with(lg, required.clone(), 1.0),
                     PhysAlt::child_with(rg, RequiredProps::none(), l_card),
@@ -337,7 +394,10 @@ fn implement_join(
                 + (l_card - 1.0).max(0.0) * r_card * ctx.config.cost.spool_read_row;
             out.push(
                 PhysAlt::node(
-                    PhysicalOp::NestedLoopJoin { kind, predicate: predicate.cloned() },
+                    PhysicalOp::NestedLoopJoin {
+                        kind,
+                        predicate: predicate.cloned(),
+                    },
                     vec![
                         PhysAlt::child(lg),
                         PhysAlt::node(PhysicalOp::Spool, vec![PhysAlt::child(rg)])
@@ -350,7 +410,13 @@ fn implement_join(
         }
 
         let equi = predicate
-            .map(|p| crate::cardinality::equi_key_columns(p, &memo.group(lg).props, &memo.group(rg).props))
+            .map(|p| {
+                crate::cardinality::equi_key_columns(
+                    p,
+                    &memo.group(lg).props,
+                    &memo.group(rg).props,
+                )
+            })
             .unwrap_or_default();
         if !equi.is_empty() && kind != JoinKind::Cross {
             let left_keys: Vec<ScalarExpr> =
@@ -416,7 +482,9 @@ fn param_remote_variants(
         return Vec::new();
     }
     let server = locs[0].server_name().expect("remote locality").to_string();
-    let Some(caps) = ctx.config.server_caps.get(&server) else { return Vec::new() };
+    let Some(caps) = ctx.config.server_caps.get(&server) else {
+        return Vec::new();
+    };
     let (outer_col, inner_col) = equi[0];
     let r_card = memo.group(rg).props.cardinality.max(1.0);
     let per_probe = (r_card / ndv_of(memo, rg, inner_col)).max(1.0);
@@ -445,7 +513,10 @@ fn param_remote_variants(
             .with_multiplier(l_card);
             out.push(
                 PhysAlt::node(
-                    PhysicalOp::NestedLoopJoin { kind, predicate: predicate.cloned() },
+                    PhysicalOp::NestedLoopJoin {
+                        kind,
+                        predicate: predicate.cloned(),
+                    },
                     vec![PhysAlt::child(lg), inner],
                 )
                 .with_delivered(Delivered::Inherit(0)),
@@ -457,17 +528,15 @@ fn param_remote_variants(
     // providers with no SQL support at all, as long as they expose indexes.
     if caps.index_support {
         for &eid in &memo.group(rg).exprs {
-            let LogicalOp::Get { meta, .. } = &memo.expr(eid).op else { continue };
-            let Some(ix) = meta
-                .indexes
-                .iter()
-                .find(|ix| {
-                    meta.schema
-                        .index_of(&ix.key_columns[0])
-                        .map(|p| meta.column_id(p))
-                        == Some(inner_col)
-                })
-            else {
+            let LogicalOp::Get { meta, .. } = &memo.expr(eid).op else {
+                continue;
+            };
+            let Some(ix) = meta.indexes.iter().find(|ix| {
+                meta.schema
+                    .index_of(&ix.key_columns[0])
+                    .map(|p| meta.column_id(p))
+                    == Some(inner_col)
+            }) else {
                 continue;
             };
             let inner = PhysAlt::node(
@@ -482,7 +551,10 @@ fn param_remote_variants(
             .with_multiplier(l_card);
             out.push(
                 PhysAlt::node(
-                    PhysicalOp::NestedLoopJoin { kind, predicate: predicate.cloned() },
+                    PhysicalOp::NestedLoopJoin {
+                        kind,
+                        predicate: predicate.cloned(),
+                    },
                     vec![PhysAlt::child(lg), inner],
                 )
                 .with_delivered(Delivered::Inherit(0)),

@@ -55,7 +55,11 @@ pub enum PhysAlt {
     },
     /// A child still to be optimized: `(group, required properties,
     /// rescan multiplier)`.
-    ChildRef { group: GroupId, required: RequiredProps, multiplier: f64 },
+    ChildRef {
+        group: GroupId,
+        required: RequiredProps,
+        multiplier: f64,
+    },
 }
 
 impl PhysAlt {
@@ -71,11 +75,19 @@ impl PhysAlt {
     }
 
     pub fn child(group: GroupId) -> PhysAlt {
-        PhysAlt::ChildRef { group, required: RequiredProps::none(), multiplier: 1.0 }
+        PhysAlt::ChildRef {
+            group,
+            required: RequiredProps::none(),
+            multiplier: 1.0,
+        }
     }
 
     pub fn child_with(group: GroupId, required: RequiredProps, multiplier: f64) -> PhysAlt {
-        PhysAlt::ChildRef { group, required, multiplier }
+        PhysAlt::ChildRef {
+            group,
+            required,
+            multiplier,
+        }
     }
 
     pub fn with_delivered(mut self, d: Delivered) -> PhysAlt {

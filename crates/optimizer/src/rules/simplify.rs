@@ -62,12 +62,27 @@ pub fn simplify(
     opts: &SimplifyOptions,
     registry: &mut ColumnRegistry,
 ) -> LogicalExpr {
-    let tree = if opts.pushdown { push_filters(tree) } else { tree };
+    let tree = if opts.pushdown {
+        push_filters(tree)
+    } else {
+        tree
+    };
     let tree = fold_constants(tree);
-    let tree = if opts.constraint_pruning { prune_static(tree) } else { tree };
-    let tree = if opts.startup_filters { introduce_startup_filters(tree) } else { tree };
-    let tree =
-        if opts.partial_aggregates { split_union_aggregates(tree, registry) } else { tree };
+    let tree = if opts.constraint_pruning {
+        prune_static(tree)
+    } else {
+        tree
+    };
+    let tree = if opts.startup_filters {
+        introduce_startup_filters(tree)
+    } else {
+        tree
+    };
+    let tree = if opts.partial_aggregates {
+        split_union_aggregates(tree, registry)
+    } else {
+        tree
+    };
     if opts.column_pruning {
         prune_columns(tree, None)
     } else {
@@ -89,8 +104,10 @@ pub fn simplify(
 /// member's raw rows.
 fn split_union_aggregates(tree: LogicalExpr, registry: &mut ColumnRegistry) -> LogicalExpr {
     let LogicalExpr { op, children } = tree;
-    let mut children: Vec<LogicalExpr> =
-        children.into_iter().map(|c| split_union_aggregates(c, registry)).collect();
+    let mut children: Vec<LogicalExpr> = children
+        .into_iter()
+        .map(|c| split_union_aggregates(c, registry))
+        .collect();
     let LogicalOp::Aggregate { group_by, aggs } = op else {
         return LogicalExpr { op, children };
     };
@@ -114,12 +131,16 @@ fn split_union_aggregates(tree: LogicalExpr, registry: &mut ColumnRegistry) -> L
         return rebuild(children, group_by, aggs);
     }
     let union = children.pop().expect("aggregate child");
-    let LogicalOp::UnionAll { output: union_out } = &union.op else { unreachable!() };
+    let LogicalOp::UnionAll { output: union_out } = &union.op else {
+        unreachable!()
+    };
     let union_out = union_out.clone();
     // Group columns must be plain union outputs (they are, by construction
     // of the binder: group exprs get pre-projected).
-    let group_positions: Option<Vec<usize>> =
-        group_by.iter().map(|g| union_out.iter().position(|u| u == g)).collect();
+    let group_positions: Option<Vec<usize>> = group_by
+        .iter()
+        .map(|g| union_out.iter().position(|u| u == g))
+        .collect();
     let Some(group_positions) = group_positions else {
         return rebuild(vec![union], group_by, aggs);
     };
@@ -291,7 +312,13 @@ fn prune_columns(tree: LogicalExpr, required: Option<&BTreeSet<ColumnId>>) -> Lo
             LogicalExpr::new(LogicalOp::UnionAll { output }, pruned)
         }
         LogicalOp::Get { meta, columns } => {
-            let get = LogicalExpr::new(LogicalOp::Get { meta, columns: columns.clone() }, vec![]);
+            let get = LogicalExpr::new(
+                LogicalOp::Get {
+                    meta,
+                    columns: columns.clone(),
+                },
+                vec![],
+            );
             match required {
                 Some(req) if !columns.iter().all(|c| req.contains(c)) => {
                     // Keep canonical (schema) order among the kept columns.
@@ -311,7 +338,10 @@ fn prune_columns(tree: LogicalExpr, required: Option<&BTreeSet<ColumnId>>) -> Lo
                 _ => get,
             }
         }
-        other => LogicalExpr { op: other, children },
+        other => LogicalExpr {
+            op: other,
+            children,
+        },
     }
 }
 
@@ -328,7 +358,10 @@ fn push_filters(tree: LogicalExpr) -> LogicalExpr {
             let child = children.pop().expect("filter has one child");
             push_predicate_into(predicate.conjuncts(), child)
         }
-        other => LogicalExpr { op: other, children },
+        other => LogicalExpr {
+            op: other,
+            children,
+        },
     }
 }
 
@@ -340,7 +373,11 @@ fn push_predicate_into(conjuncts: Vec<ScalarExpr>, child: LogicalExpr) -> Logica
             // Merge with the lower filter and retry as one unit.
             let mut all = predicate.conjuncts();
             all.extend(conjuncts);
-            let grand = child.children.into_iter().next().expect("filter has one child");
+            let grand = child
+                .children
+                .into_iter()
+                .next()
+                .expect("filter has one child");
             push_predicate_into(all, grand)
         }
         LogicalOp::Project { outputs } => {
@@ -355,7 +392,11 @@ fn push_predicate_into(conjuncts: Vec<ScalarExpr>, child: LogicalExpr) -> Logica
                     })
                 })
                 .collect();
-            let grand = child.children.into_iter().next().expect("project has one child");
+            let grand = child
+                .children
+                .into_iter()
+                .next()
+                .expect("project has one child");
             let pushed = push_predicate_into(substituted, grand);
             LogicalExpr::new(LogicalOp::Project { outputs }, vec![pushed])
         }
@@ -420,7 +461,11 @@ fn push_predicate_into(conjuncts: Vec<ScalarExpr>, child: LogicalExpr) -> Logica
             } else {
                 let mut all = predicate.map(|p| p.conjuncts()).unwrap_or_default();
                 all.extend(to_join);
-                let kind = if kind == JoinKind::Cross { JoinKind::Inner } else { kind };
+                let kind = if kind == JoinKind::Cross {
+                    JoinKind::Inner
+                } else {
+                    kind
+                };
                 (kind, ScalarExpr::and(all))
             };
             let join = LogicalExpr::join(kind, left, right, predicate);
@@ -437,11 +482,9 @@ fn push_predicate_into(conjuncts: Vec<ScalarExpr>, child: LogicalExpr) -> Logica
                     let remapped: Vec<ScalarExpr> = conjuncts
                         .iter()
                         .map(|c| {
-                            c.map_columns(&mut |id| {
-                                match output.iter().position(|&o| o == id) {
-                                    Some(pos) => ScalarExpr::Column(branch_cols[pos]),
-                                    None => ScalarExpr::Column(id),
-                                }
+                            c.map_columns(&mut |id| match output.iter().position(|&o| o == id) {
+                                Some(pos) => ScalarExpr::Column(branch_cols[pos]),
+                                None => ScalarExpr::Column(id),
                             })
                         })
                         .collect();
@@ -582,13 +625,24 @@ fn prune_static(tree: LogicalExpr) -> LogicalExpr {
         }
         LogicalOp::Join { kind, .. }
             if matches!(kind, JoinKind::Inner | JoinKind::Cross | JoinKind::Semi)
-                && children.iter().any(|c| matches!(c.op, LogicalOp::EmptyGet { .. })) =>
+                && children
+                    .iter()
+                    .any(|c| matches!(c.op, LogicalOp::EmptyGet { .. })) =>
         {
-            let columns = LogicalExpr { op: LogicalOp::Join { kind, predicate: None }, children }
-                .output_columns();
+            let columns = LogicalExpr {
+                op: LogicalOp::Join {
+                    kind,
+                    predicate: None,
+                },
+                children,
+            }
+            .output_columns();
             LogicalExpr::new(LogicalOp::EmptyGet { columns }, vec![])
         }
-        other => LogicalExpr { op: other, children },
+        other => LogicalExpr {
+            op: other,
+            children,
+        },
     }
 }
 
@@ -616,7 +670,10 @@ fn get_check_domains(tree: &LogicalExpr) -> Option<HashMap<ColumnId, dhqp_types:
 
 fn introduce_startup_filters(tree: LogicalExpr) -> LogicalExpr {
     let LogicalExpr { op, children } = tree;
-    let children: Vec<LogicalExpr> = children.into_iter().map(introduce_startup_filters).collect();
+    let children: Vec<LogicalExpr> = children
+        .into_iter()
+        .map(introduce_startup_filters)
+        .collect();
     if let LogicalOp::Filter { predicate } = &op {
         if let Some(domains) = get_check_domains(&children[0]) {
             let mut startup_preds = Vec::new();
@@ -624,7 +681,12 @@ fn introduce_startup_filters(tree: LogicalExpr) -> LogicalExpr {
                 // col = @param (either operand order) over a CHECK-constrained
                 // column: the subtree can only produce rows when the
                 // parameter falls in the column's domain.
-                if let ScalarExpr::Cmp { op: CmpOp::Eq, left, right } = &conj {
+                if let ScalarExpr::Cmp {
+                    op: CmpOp::Eq,
+                    left,
+                    right,
+                } = &conj
+                {
                     let pair = match (left.as_ref(), right.as_ref()) {
                         (ScalarExpr::Column(c), ScalarExpr::Param(p))
                         | (ScalarExpr::Param(p), ScalarExpr::Column(c)) => Some((*c, p.clone())),
@@ -667,7 +729,14 @@ mod tests {
             &mut reg,
             100,
         );
-        let b = test_table_meta(1, "b", Locality::Local, &[("z", DataType::Int)], &mut reg, 100);
+        let b = test_table_meta(
+            1,
+            "b",
+            Locality::Local,
+            &[("z", DataType::Int)],
+            &mut reg,
+            100,
+        );
         (reg, a, b)
     }
 
@@ -676,16 +745,20 @@ mod tests {
     }
 
     fn cmp_ci(c: ColumnId, op: CmpOp, v: i64) -> ScalarExpr {
-        ScalarExpr::cmp(op, ScalarExpr::Column(c), ScalarExpr::literal(Value::Int(v)))
+        ScalarExpr::cmp(
+            op,
+            ScalarExpr::Column(c),
+            ScalarExpr::literal(Value::Int(v)),
+        )
     }
 
     #[test]
     fn filter_splits_and_pushes_into_join_sides() {
         let (_, a, b) = two_tables();
         let pred = ScalarExpr::and(vec![
-            cmp_ci(a.column_id(0), CmpOp::Gt, 5),   // left only
-            cmp_ci(b.column_id(0), CmpOp::Lt, 9),   // right only
-            eq_cc(a.column_id(1), b.column_id(0)),  // join-spanning
+            cmp_ci(a.column_id(0), CmpOp::Gt, 5),  // left only
+            cmp_ci(b.column_id(0), CmpOp::Lt, 9),  // right only
+            eq_cc(a.column_id(1), b.column_id(0)), // join-spanning
         ])
         .unwrap();
         let tree = LogicalExpr::join(
@@ -695,7 +768,11 @@ mod tests {
             None,
         )
         .filter(pred);
-        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let out = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         // Cross join became inner with the spanning conjunct.
         match &out.op {
             LogicalOp::Join { kind, predicate } => {
@@ -719,7 +796,11 @@ mod tests {
             Some(eq_cc(a.column_id(1), b.column_id(0))),
         )
         .filter(cmp_ci(b.column_id(0), CmpOp::Gt, 3));
-        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let out = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         assert!(
             matches!(out.op, LogicalOp::Filter { .. }),
             "right-side predicate must stay above the outer join:\n{}",
@@ -733,7 +814,11 @@ mod tests {
         let tree = LogicalExpr::get(Arc::clone(&a))
             .filter(cmp_ci(a.column_id(0), CmpOp::Gt, 1))
             .filter(cmp_ci(a.column_id(0), CmpOp::Lt, 10));
-        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let out = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         match &out.op {
             LogicalOp::Filter { predicate } => assert_eq!(predicate.conjuncts().len(), 2),
             other => panic!("expected single merged filter, got {other:?}"),
@@ -755,7 +840,11 @@ mod tests {
                 },
             )])
             .filter(cmp_ci(derived, CmpOp::Gt, 10));
-        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let out = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         assert!(matches!(out.op, LogicalOp::Project { .. }));
         // Column pruning may add an extra pass-through projection; the
         // filter must sit somewhere below the root project, directly over
@@ -782,7 +871,11 @@ mod tests {
             ScalarExpr::literal(Value::Int(1)),
             ScalarExpr::literal(Value::Int(2)),
         ));
-        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let out = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         assert!(matches!(out.op, LogicalOp::EmptyGet { .. }));
         // TRUE conjuncts vanish.
         let tree = LogicalExpr::get(Arc::clone(&a)).filter(ScalarExpr::cmp(
@@ -790,11 +883,17 @@ mod tests {
             ScalarExpr::literal(Value::Int(1)),
             ScalarExpr::literal(Value::Int(2)),
         ));
-        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let out = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         assert!(matches!(out.op, LogicalOp::Get { .. }));
     }
 
-    fn partitioned_view(reg: &mut ColumnRegistry) -> (LogicalExpr, Vec<ColumnId>, Vec<Arc<TableMeta>>) {
+    fn partitioned_view(
+        reg: &mut ColumnRegistry,
+    ) -> (LogicalExpr, Vec<ColumnId>, Vec<Arc<TableMeta>>) {
         // Three partitions of k: [0,9], [10,19], [20,29].
         let mut members = Vec::new();
         for i in 0..3u32 {
@@ -818,8 +917,13 @@ mod tests {
         }
         let out = vec![reg.allocate("k", "v", DataType::Int, true)];
         let union = LogicalExpr::new(
-            LogicalOp::UnionAll { output: out.clone() },
-            members.iter().map(|m| LogicalExpr::get(Arc::clone(m))).collect(),
+            LogicalOp::UnionAll {
+                output: out.clone(),
+            },
+            members
+                .iter()
+                .map(|m| LogicalExpr::get(Arc::clone(m)))
+                .collect(),
         );
         (union, out, members)
     }
@@ -832,7 +936,11 @@ mod tests {
         // renaming projection over the member (so the member subtree can be
         // pushed whole).
         let tree = view.filter(cmp_ci(out[0], CmpOp::Eq, 15));
-        let result = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let result = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         let mut node = &result;
         while let LogicalOp::Project { .. } = &node.op {
             node = &node.children[0];
@@ -853,7 +961,10 @@ mod tests {
         let mut reg = ColumnRegistry::new();
         let (view, out, _) = partitioned_view(&mut reg);
         let tree = view.filter(cmp_ci(out[0], CmpOp::Eq, 15));
-        let opts = SimplifyOptions { constraint_pruning: false, ..Default::default() };
+        let opts = SimplifyOptions {
+            constraint_pruning: false,
+            ..Default::default()
+        };
         let result = simplify(tree, &opts, &mut ColumnRegistry::new());
         match &result.op {
             LogicalOp::UnionAll { .. } => assert_eq!(result.children.len(), 3),
@@ -866,7 +977,11 @@ mod tests {
         let mut reg = ColumnRegistry::new();
         let (view, out, _) = partitioned_view(&mut reg);
         let tree = view.filter(cmp_ci(out[0], CmpOp::Eq, 999));
-        let result = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let result = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         assert!(matches!(result.op, LogicalOp::EmptyGet { .. }));
     }
 
@@ -880,7 +995,11 @@ mod tests {
             ScalarExpr::Column(out[0]),
             ScalarExpr::Param("k".into()),
         ));
-        let result = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let result = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         match &result.op {
             LogicalOp::UnionAll { .. } => {
                 assert_eq!(result.children.len(), 3);
@@ -912,9 +1031,15 @@ mod tests {
             Some(eq_cc(a.column_id(1), b.column_id(0))),
         );
         let tree = join.project(vec![(a.column_id(0), ScalarExpr::Column(a.column_id(0)))]);
-        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let out = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         // `a` keeps both columns (x projected, y joins); `b` keeps its one.
-        let LogicalOp::Project { .. } = out.op else { panic!("root project") };
+        let LogicalOp::Project { .. } = out.op else {
+            panic!("root project")
+        };
         let join = &out.children[0];
         assert!(matches!(join.op, LogicalOp::Join { .. }));
         // No spurious projection over a (it needs all its columns)...
@@ -930,7 +1055,11 @@ mod tests {
             Some(eq_cc(a.column_id(0), b.column_id(0))),
         )
         .project(vec![(a.column_id(0), ScalarExpr::Column(a.column_id(0)))]);
-        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let out = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         let join = &out.children[0];
         match &join.children[0].op {
             LogicalOp::Project { outputs } => {
@@ -955,7 +1084,11 @@ mod tests {
             }],
         );
         let tree = agg.project(vec![(out_col, ScalarExpr::Column(out_col))]);
-        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
+        let out = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
         // COUNT(*) needs no columns; pruning must still leave one so rows
         // can be counted.
         let agg_node = &out.children[0];
@@ -975,8 +1108,18 @@ mod tests {
             Some(eq_cc(a.column_id(1), b.column_id(0))),
         )
         .filter(cmp_ci(a.column_id(0), CmpOp::Gt, 2));
-        let out = simplify(tree, &SimplifyOptions::default(), &mut ColumnRegistry::new());
-        assert!(matches!(out.op, LogicalOp::Join { kind: JoinKind::Semi, .. }));
+        let out = simplify(
+            tree,
+            &SimplifyOptions::default(),
+            &mut ColumnRegistry::new(),
+        );
+        assert!(matches!(
+            out.op,
+            LogicalOp::Join {
+                kind: JoinKind::Semi,
+                ..
+            }
+        ));
         assert!(matches!(out.children[0].op, LogicalOp::Filter { .. }));
     }
 }

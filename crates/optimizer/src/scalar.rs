@@ -110,24 +110,52 @@ pub enum ScalarExpr {
     Column(ColumnId),
     /// `@name` query parameter, bound at execution start.
     Param(String),
-    Cmp { op: CmpOp, left: Box<ScalarExpr>, right: Box<ScalarExpr> },
-    Arith { op: ArithOp, left: Box<ScalarExpr>, right: Box<ScalarExpr> },
+    Cmp {
+        op: CmpOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    Arith {
+        op: ArithOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
     /// N-ary conjunction (flattened for conjunct-level manipulation).
     And(Vec<ScalarExpr>),
     Or(Vec<ScalarExpr>),
     Not(Box<ScalarExpr>),
-    IsNull { expr: Box<ScalarExpr>, negated: bool },
+    IsNull {
+        expr: Box<ScalarExpr>,
+        negated: bool,
+    },
     /// `expr LIKE 'pattern'` with a constant pattern.
-    Like { expr: Box<ScalarExpr>, pattern: String, negated: bool },
+    Like {
+        expr: Box<ScalarExpr>,
+        pattern: String,
+        negated: bool,
+    },
     /// `expr IN (v1, v2, ...)` over constants.
-    InList { expr: Box<ScalarExpr>, list: Vec<Value>, negated: bool },
+    InList {
+        expr: Box<ScalarExpr>,
+        list: Vec<Value>,
+        negated: bool,
+    },
     /// Scalar function call evaluated row-at-a-time (`UPPER`, `ABS`, ...).
-    Func { name: String, args: Vec<ScalarExpr> },
-    Cast { expr: Box<ScalarExpr>, to: DataType },
+    Func {
+        name: String,
+        args: Vec<ScalarExpr>,
+    },
+    Cast {
+        expr: Box<ScalarExpr>,
+        to: DataType,
+    },
     /// Runtime-pruning predicate: true iff the parameter's value lies in
     /// `domain`. This is what a *startup filter* evaluates before its
     /// subtree runs (paper §4.1.5); it never references input columns.
-    ParamInDomain { param: String, domain: IntervalSet },
+    ParamInDomain {
+        param: String,
+        domain: IntervalSet,
+    },
 }
 
 impl ScalarExpr {
@@ -140,7 +168,11 @@ impl ScalarExpr {
     }
 
     pub fn cmp(op: CmpOp, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
-        ScalarExpr::Cmp { op, left: Box::new(left), right: Box::new(right) }
+        ScalarExpr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     pub fn eq(left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
@@ -213,9 +245,9 @@ impl ScalarExpr {
                     e.visit(f);
                 }
             }
-            ScalarExpr::Not(e) | ScalarExpr::IsNull { expr: e, .. } | ScalarExpr::Cast { expr: e, .. } => {
-                e.visit(f)
-            }
+            ScalarExpr::Not(e)
+            | ScalarExpr::IsNull { expr: e, .. }
+            | ScalarExpr::Cast { expr: e, .. } => e.visit(f),
             ScalarExpr::Like { expr, .. } | ScalarExpr::InList { expr, .. } => expr.visit(f),
             ScalarExpr::Func { args, .. } => {
                 for a in args {
@@ -236,9 +268,10 @@ impl ScalarExpr {
             ScalarExpr::Column(c) => map(*c),
             ScalarExpr::Literal(v) => ScalarExpr::Literal(v.clone()),
             ScalarExpr::Param(p) => ScalarExpr::Param(p.clone()),
-            ScalarExpr::ParamInDomain { param, domain } => {
-                ScalarExpr::ParamInDomain { param: param.clone(), domain: domain.clone() }
-            }
+            ScalarExpr::ParamInDomain { param, domain } => ScalarExpr::ParamInDomain {
+                param: param.clone(),
+                domain: domain.clone(),
+            },
             ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
                 op: *op,
                 left: Box::new(left.map_columns(map)),
@@ -249,18 +282,31 @@ impl ScalarExpr {
                 left: Box::new(left.map_columns(map)),
                 right: Box::new(right.map_columns(map)),
             },
-            ScalarExpr::And(list) => ScalarExpr::And(list.iter().map(|e| e.map_columns(map)).collect()),
-            ScalarExpr::Or(list) => ScalarExpr::Or(list.iter().map(|e| e.map_columns(map)).collect()),
-            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.map_columns(map))),
-            ScalarExpr::IsNull { expr, negated } => {
-                ScalarExpr::IsNull { expr: Box::new(expr.map_columns(map)), negated: *negated }
+            ScalarExpr::And(list) => {
+                ScalarExpr::And(list.iter().map(|e| e.map_columns(map)).collect())
             }
-            ScalarExpr::Like { expr, pattern, negated } => ScalarExpr::Like {
+            ScalarExpr::Or(list) => {
+                ScalarExpr::Or(list.iter().map(|e| e.map_columns(map)).collect())
+            }
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.map_columns(map))),
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.map_columns(map)),
+                negated: *negated,
+            },
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => ScalarExpr::Like {
                 expr: Box::new(expr.map_columns(map)),
                 pattern: pattern.clone(),
                 negated: *negated,
             },
-            ScalarExpr::InList { expr, list, negated } => ScalarExpr::InList {
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => ScalarExpr::InList {
                 expr: Box::new(expr.map_columns(map)),
                 list: list.clone(),
                 negated: *negated,
@@ -269,9 +315,10 @@ impl ScalarExpr {
                 name: name.clone(),
                 args: args.iter().map(|e| e.map_columns(map)).collect(),
             },
-            ScalarExpr::Cast { expr, to } => {
-                ScalarExpr::Cast { expr: Box::new(expr.map_columns(map)), to: *to }
-            }
+            ScalarExpr::Cast { expr, to } => ScalarExpr::Cast {
+                expr: Box::new(expr.map_columns(map)),
+                to: *to,
+            },
         }
     }
 
@@ -306,7 +353,11 @@ impl ScalarExpr {
                     CmpOp::Ge => IntervalSet::single(Interval::at_least(lit.clone())),
                 }
             }
-            ScalarExpr::InList { expr, list, negated } => match expr.as_ref() {
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => match expr.as_ref() {
                 ScalarExpr::Column(c) if *c == column => {
                     let set = list
                         .iter()
@@ -322,9 +373,9 @@ impl ScalarExpr {
                 }
                 _ => IntervalSet::full(),
             },
-            ScalarExpr::And(list) => list
-                .iter()
-                .fold(IntervalSet::full(), |acc, p| acc.intersect(&p.domain_for(column))),
+            ScalarExpr::And(list) => list.iter().fold(IntervalSet::full(), |acc, p| {
+                acc.intersect(&p.domain_for(column))
+            }),
             ScalarExpr::Or(list) => list
                 .iter()
                 .map(|p| p.domain_for(column))
@@ -371,10 +422,22 @@ impl fmt::Display for ScalarExpr {
             ScalarExpr::IsNull { expr, negated } => {
                 write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
             }
-            ScalarExpr::Like { expr, pattern, negated } => {
-                write!(f, "{expr} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "{expr} {}LIKE '{pattern}'",
+                    if *negated { "NOT " } else { "" }
+                )
             }
-            ScalarExpr::InList { expr, list, negated } => {
+            ScalarExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, v) in list.iter().enumerate() {
                     if i > 0 {
@@ -418,7 +481,10 @@ mod tests {
     fn and_flattens() {
         let a = ScalarExpr::and(vec![
             ScalarExpr::eq(col(0), lit(1)),
-            ScalarExpr::And(vec![ScalarExpr::eq(col(1), lit(2)), ScalarExpr::eq(col(2), lit(3))]),
+            ScalarExpr::And(vec![
+                ScalarExpr::eq(col(1), lit(2)),
+                ScalarExpr::eq(col(2), lit(3)),
+            ]),
         ])
         .unwrap();
         assert_eq!(a.conjuncts().len(), 3);
@@ -442,8 +508,11 @@ mod tests {
     fn param_detection() {
         assert!(ScalarExpr::eq(col(0), ScalarExpr::Param("p".into())).has_params());
         assert!(!ScalarExpr::eq(col(0), lit(1)).has_params());
-        assert!(ScalarExpr::ParamInDomain { param: "p".into(), domain: IntervalSet::full() }
-            .has_params());
+        assert!(ScalarExpr::ParamInDomain {
+            param: "p".into(),
+            domain: IntervalSet::full()
+        }
+        .has_params());
     }
 
     #[test]
@@ -522,7 +591,11 @@ mod tests {
     fn display_forms() {
         let e = ScalarExpr::and(vec![
             ScalarExpr::cmp(CmpOp::Ge, col(0), lit(1)),
-            ScalarExpr::Like { expr: Box::new(col(1)), pattern: "x%".into(), negated: false },
+            ScalarExpr::Like {
+                expr: Box::new(col(1)),
+                pattern: "x%".into(),
+                negated: false,
+            },
         ])
         .unwrap();
         assert_eq!(e.to_string(), "((#0 >= 1) AND #1 LIKE 'x%')");

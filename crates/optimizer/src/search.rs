@@ -49,9 +49,10 @@ impl OptimizationPhase {
     fn exploration_rules(&self) -> Vec<Box<dyn ExplorationRule>> {
         match self {
             OptimizationPhase::TransactionProcessing => Vec::new(),
-            OptimizationPhase::QuickPlan => {
-                all_rules().into_iter().filter(|r| r.name() == "JoinCommute").collect()
-            }
+            OptimizationPhase::QuickPlan => all_rules()
+                .into_iter()
+                .filter(|r| r.name() == "JoinCommute")
+                .collect(),
             OptimizationPhase::Full => all_rules(),
         }
     }
@@ -189,9 +190,8 @@ impl Optimizer {
         }
         stats.groups = memo.group_count();
         stats.exprs = memo.expr_count();
-        let best = best.ok_or_else(|| {
-            DhqpError::Optimize("no physical plan found for query".into())
-        })?;
+        let best =
+            best.ok_or_else(|| DhqpError::Optimize("no physical plan found for query".into()))?;
         let mut plan = best.plan;
         plan.est_cost = best.cost;
         Ok((plan, stats))
@@ -203,7 +203,8 @@ impl Optimizer {
 fn collect_server_caps(tree: &LogicalExpr, out: &mut HashMap<String, ProviderCapabilities>) {
     for meta in tree.leaf_tables() {
         if let Some(server) = meta.source.server_name() {
-            out.entry(server.to_string()).or_insert_with(|| meta.caps.clone());
+            out.entry(server.to_string())
+                .or_insert_with(|| meta.caps.clone());
         }
     }
 }
@@ -226,7 +227,10 @@ impl<'a> SearchDriver<'a> {
         if rules.is_empty() {
             return;
         }
-        let ctx = RuleContext { registry: self.registry, config: self.config };
+        let ctx = RuleContext {
+            registry: self.registry,
+            config: self.config,
+        };
         for _pass in 0..self.config.max_exploration_passes {
             let mut changed = false;
             let group_count = self.memo.group_count();
@@ -295,10 +299,16 @@ impl<'a> SearchDriver<'a> {
             return cached.clone();
         }
         // In-progress marker (also memoizes failure).
-        self.memo.group_mut(group).winners.insert(required.clone(), None);
+        self.memo
+            .group_mut(group)
+            .winners
+            .insert(required.clone(), None);
 
         let mut best: Option<Winner> = None;
-        let ctx = RuleContext { registry: self.registry, config: self.config };
+        let ctx = RuleContext {
+            registry: self.registry,
+            config: self.config,
+        };
 
         // Implementation rules over every logical alternative.
         let expr_ids = self.memo.group(group).exprs.clone();
@@ -348,7 +358,9 @@ impl<'a> SearchDriver<'a> {
                 if best.as_ref().is_none_or(|b| cost < b.cost) {
                     let output = unordered.plan.output.clone();
                     let mut node = PhysNode::new(
-                        PhysicalOp::Sort { keys: required.ordering.clone() },
+                        PhysicalOp::Sort {
+                            keys: required.ordering.clone(),
+                        },
                         vec![unordered.plan],
                         output,
                     );
@@ -359,7 +371,10 @@ impl<'a> SearchDriver<'a> {
             }
         }
 
-        self.memo.group_mut(group).winners.insert(required.clone(), best.clone());
+        self.memo
+            .group_mut(group)
+            .winners
+            .insert(required.clone(), best.clone());
         best
     }
 
@@ -376,7 +391,10 @@ impl<'a> SearchDriver<'a> {
         let props = &self.memo.group(group).props;
         let (card, width) = (props.cardinality, props.row_width);
         let leaf_rows = self.leaf_rows(group);
-        let cost = self.config.cost.remote_result(&caps, card, width, leaf_rows);
+        let cost = self
+            .config
+            .cost
+            .remote_result(&caps, card, width, leaf_rows);
         let mut node = PhysNode::new(
             PhysicalOp::RemoteQuery {
                 server: std::sync::Arc::from(server.as_str()),
@@ -395,11 +413,22 @@ impl<'a> SearchDriver<'a> {
     /// Recursively cost and materialize a physical alternative.
     fn build_alt(&mut self, alt: &PhysAlt, group: GroupId) -> Option<(f64, PhysNode)> {
         match alt {
-            PhysAlt::ChildRef { group: g, required, multiplier } => {
+            PhysAlt::ChildRef {
+                group: g,
+                required,
+                multiplier,
+            } => {
                 let w = self.optimize_group(*g, required)?;
                 Some((w.cost * multiplier, w.plan))
             }
-            PhysAlt::Node { op, est_rows, extra_cost, multiplier, children, .. } => {
+            PhysAlt::Node {
+                op,
+                est_rows,
+                extra_cost,
+                multiplier,
+                children,
+                ..
+            } => {
                 let mut child_nodes = Vec::with_capacity(children.len());
                 let mut child_cost_sum = 0.0;
                 for c in children {
@@ -408,7 +437,11 @@ impl<'a> SearchDriver<'a> {
                     child_nodes.push(node);
                 }
                 let props = &self.memo.group(group).props;
-                let rows = if *est_rows > 0.0 { *est_rows } else { props.cardinality };
+                let rows = if *est_rows > 0.0 {
+                    *est_rows
+                } else {
+                    props.cardinality
+                };
                 let width = props.row_width;
                 let local = self.op_cost(op, rows, width, &child_nodes) + extra_cost;
                 let cost = (local + child_cost_sum) * multiplier;
@@ -477,12 +510,14 @@ impl<'a> SearchDriver<'a> {
 fn alt_delivered(alt: &PhysAlt) -> RequiredProps {
     match alt {
         PhysAlt::ChildRef { required, .. } => required.clone(),
-        PhysAlt::Node { delivered, children, .. } => match delivered {
+        PhysAlt::Node {
+            delivered,
+            children,
+            ..
+        } => match delivered {
             Delivered::None => RequiredProps::none(),
             Delivered::Keys(k) => RequiredProps::ordered(k.clone()),
-            Delivered::Inherit(i) => {
-                children.get(*i).map(alt_delivered).unwrap_or_default()
-            }
+            Delivered::Inherit(i) => children.get(*i).map(alt_delivered).unwrap_or_default(),
         },
     }
 }
@@ -567,7 +602,12 @@ mod tests {
             &mut registry,
             200,
         );
-        Fixture { registry, local, remote_a, remote_b }
+        Fixture {
+            registry,
+            local,
+            remote_a,
+            remote_b,
+        }
     }
 
     fn eq(l: ColumnId, r: ColumnId) -> ScalarExpr {
@@ -640,9 +680,9 @@ mod tests {
             .optimize(tree, &mut f.registry.clone(), RequiredProps::none())
             .unwrap();
         let text = plan.display_indent();
-        let remote_joins = plan.count_ops(&mut |op| {
-            matches!(op, PhysicalOp::RemoteQuery { sql, .. } if sql.contains("JOIN"))
-        });
+        let remote_joins = plan.count_ops(
+            &mut |op| matches!(op, PhysicalOp::RemoteQuery { sql, .. } if sql.contains("JOIN")),
+        );
         assert_eq!(remote_joins, 0, "no pushed customer⋈supplier:\n{text}");
         assert!(stats.phases.len() >= 2, "remote plans escalate past TP");
     }
@@ -651,13 +691,16 @@ mod tests {
     fn ordering_requirement_is_enforced_or_delivered() {
         let f = fixture();
         let tree = LogicalExpr::get(Arc::clone(&f.local));
-        let required =
-            PhysicalProps::ordered(vec![(f.local.column_id(1), true)]);
+        let required = PhysicalProps::ordered(vec![(f.local.column_id(1), true)]);
         let (plan, _) = Optimizer::with_defaults()
             .optimize(tree, &mut f.registry.clone(), required)
             .unwrap();
         // No index on nname: a Sort enforcer must appear at the root.
-        assert!(matches!(plan.op, PhysicalOp::Sort { .. }), "{}", plan.display_indent());
+        assert!(
+            matches!(plan.op, PhysicalOp::Sort { .. }),
+            "{}",
+            plan.display_indent()
+        );
     }
 
     #[test]
@@ -684,7 +727,12 @@ mod tests {
         let out = registry.allocate("cnt", "", DataType::Int, false);
         let tree = LogicalExpr::get(Arc::clone(&f.local)).aggregate(
             vec![f.local.column_id(1)],
-            vec![AggCall { func: AggFunc::CountStar, arg: None, distinct: false, output: out }],
+            vec![AggCall {
+                func: AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+                output: out,
+            }],
         );
         let (plan, _) = Optimizer::with_defaults()
             .optimize(tree, &mut registry, RequiredProps::none())
@@ -713,9 +761,13 @@ mod tests {
                 LogicalExpr::get(Arc::clone(&f.remote_b)),
                 Some(eq(f.local.column_id(0), f.remote_b.column_id(1))),
             );
-            let config = OptimizerConfig { forced_phase: Some(phase), ..Default::default() };
-            let (plan, stats) =
-                Optimizer::new(config).optimize(tree, &mut f.registry.clone(), RequiredProps::none()).unwrap();
+            let config = OptimizerConfig {
+                forced_phase: Some(phase),
+                ..Default::default()
+            };
+            let (plan, stats) = Optimizer::new(config)
+                .optimize(tree, &mut f.registry.clone(), RequiredProps::none())
+                .unwrap();
             assert!(plan.est_cost.is_finite());
             assert_eq!(stats.phases.len(), 1);
         }
@@ -741,7 +793,10 @@ mod tests {
             OptimizationPhase::QuickPlan,
             OptimizationPhase::Full,
         ] {
-            let config = OptimizerConfig { forced_phase: Some(phase), ..Default::default() };
+            let config = OptimizerConfig {
+                forced_phase: Some(phase),
+                ..Default::default()
+            };
             let (plan, _) = Optimizer::new(config)
                 .optimize(tree.clone(), &mut f.registry.clone(), RequiredProps::none())
                 .unwrap();
@@ -781,14 +836,21 @@ mod tests {
         let (plan, _) = Optimizer::with_defaults()
             .optimize(tree, &mut f.registry.clone(), RequiredProps::none())
             .unwrap();
-        assert!(matches!(plan.op, PhysicalOp::Empty { .. }), "{}", plan.display_indent());
+        assert!(
+            matches!(plan.op, PhysicalOp::Empty { .. }),
+            "{}",
+            plan.display_indent()
+        );
     }
 
     #[test]
     fn disabled_remote_query_falls_back_to_scans() {
         let f = fixture();
         let tree = LogicalExpr::get(Arc::clone(&f.remote_a));
-        let config = OptimizerConfig { enable_remote_query: false, ..Default::default() };
+        let config = OptimizerConfig {
+            enable_remote_query: false,
+            ..Default::default()
+        };
         let (plan, _) = Optimizer::new(config)
             .optimize(tree, &mut f.registry.clone(), RequiredProps::none())
             .unwrap();

@@ -32,7 +32,10 @@ impl CsvProvider {
             let table = parse_csv(fname, text)?;
             tables.insert(fname.to_lowercase(), table);
         }
-        Ok(CsvProvider { name: name.into(), tables: Arc::new(tables) })
+        Ok(CsvProvider {
+            name: name.into(),
+            tables: Arc::new(tables),
+        })
     }
 }
 
@@ -140,7 +143,9 @@ impl DataSource for CsvProvider {
     }
 
     fn create_session(&self) -> Result<Box<dyn Session>> {
-        Ok(Box::new(CsvSession { tables: Arc::clone(&self.tables) }))
+        Ok(Box::new(CsvSession {
+            tables: Arc::clone(&self.tables),
+        }))
     }
 }
 
@@ -175,7 +180,15 @@ mod tests {
         let p = provider();
         let t = p.table("people.csv").unwrap();
         let types: Vec<DataType> = t.columns.iter().map(|c| c.data_type).collect();
-        assert_eq!(types, vec![DataType::Int, DataType::Str, DataType::Float, DataType::Date]);
+        assert_eq!(
+            types,
+            vec![
+                DataType::Int,
+                DataType::Str,
+                DataType::Float,
+                DataType::Date
+            ]
+        );
         assert_eq!(t.cardinality, Some(3));
     }
 

@@ -91,7 +91,9 @@ pub fn parse_mail_file(text: &str) -> Result<Vec<MailMessage>> {
             if line.trim().is_empty() {
                 continue;
             }
-            return Err(DhqpError::Provider("mail file must start with a Msg-Id header".into()));
+            return Err(DhqpError::Provider(
+                "mail file must start with a Msg-Id header".into(),
+            ));
         };
         if in_body {
             if !m.body.is_empty() {
@@ -134,11 +136,17 @@ pub struct MailboxProvider {
 
 impl MailboxProvider {
     pub fn from_text(path: impl Into<String>, text: &str) -> Result<Self> {
-        Ok(MailboxProvider { path: path.into(), messages: Arc::new(parse_mail_file(text)?) })
+        Ok(MailboxProvider {
+            path: path.into(),
+            messages: Arc::new(parse_mail_file(text)?),
+        })
     }
 
     pub fn from_messages(path: impl Into<String>, messages: Vec<MailMessage>) -> Self {
-        MailboxProvider { path: path.into(), messages: Arc::new(messages) }
+        MailboxProvider {
+            path: path.into(),
+            messages: Arc::new(messages),
+        }
     }
 
     pub fn message_count(&self) -> usize {
@@ -165,7 +173,9 @@ impl DataSource for MailboxProvider {
     }
 
     fn create_session(&self) -> Result<Box<dyn Session>> {
-        Ok(Box::new(MailSession { messages: Arc::clone(&self.messages) }))
+        Ok(Box::new(MailSession {
+            messages: Arc::clone(&self.messages),
+        }))
     }
 }
 
@@ -180,7 +190,12 @@ impl Session for MailSession {
                 "mailbox provider exposes only 'messages', not '{table}'"
             )));
         }
-        let schema = Schema::new(message_columns().iter().map(ColumnInfo::to_column).collect());
+        let schema = Schema::new(
+            message_columns()
+                .iter()
+                .map(ColumnInfo::to_column)
+                .collect(),
+        );
         let rows = self
             .messages
             .iter()

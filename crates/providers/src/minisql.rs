@@ -34,13 +34,21 @@ pub struct MiniSqlProvider {
 impl MiniSqlProvider {
     /// `level` must be `Minimum` or `OdbcCore`; full SQL-92 sources are the
     /// engine-wrapping provider in the core crate.
-    pub fn new(name: impl Into<String>, engine: Arc<StorageEngine>, level: SqlSupport) -> Result<Self> {
+    pub fn new(
+        name: impl Into<String>,
+        engine: Arc<StorageEngine>,
+        level: SqlSupport,
+    ) -> Result<Self> {
         if !matches!(level, SqlSupport::Minimum | SqlSupport::OdbcCore) {
             return Err(DhqpError::Provider(
                 "MiniSqlProvider supports SQL Minimum or ODBC Core levels only".into(),
             ));
         }
-        Ok(MiniSqlProvider { name: name.into(), engine, level })
+        Ok(MiniSqlProvider {
+            name: name.into(),
+            engine,
+            level,
+        })
     }
 
     pub fn engine(&self) -> &Arc<StorageEngine> {
@@ -80,7 +88,11 @@ impl DataSource for MiniSqlProvider {
                     .schema
                     .columns()
                     .iter()
-                    .map(|c| ColumnInfo { name: c.name.clone(), data_type: c.data_type, nullable: c.nullable })
+                    .map(|c| ColumnInfo {
+                        name: c.name.clone(),
+                        data_type: c.data_type,
+                        nullable: c.nullable,
+                    })
                     .collect(),
                 indexes: Vec::new(),
                 cardinality: Some(t.row_count()),
@@ -91,7 +103,10 @@ impl DataSource for MiniSqlProvider {
     }
 
     fn create_session(&self) -> Result<Box<dyn Session>> {
-        Ok(Box::new(MiniSession { engine: Arc::clone(&self.engine), level: self.level }))
+        Ok(Box::new(MiniSession {
+            engine: Arc::clone(&self.engine),
+            level: self.level,
+        }))
     }
 }
 
@@ -102,13 +117,21 @@ struct MiniSession {
 
 impl Session for MiniSession {
     fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
-        let (schema, rows) =
-            self.engine.with_table(table, |t| (t.schema.clone(), t.scan_rows()))?;
+        let (schema, rows) = self
+            .engine
+            .with_table(table, |t| (t.schema.clone(), t.scan_rows()))?;
         Ok(Box::new(MemRowset::new(schema, rows)))
     }
 
-    fn open_index(&mut self, _table: &str, _index: &str, _range: &KeyRange) -> Result<Box<dyn Rowset>> {
-        Err(DhqpError::Unsupported("MiniSqlProvider exposes no indexes".into()))
+    fn open_index(
+        &mut self,
+        _table: &str,
+        _index: &str,
+        _range: &KeyRange,
+    ) -> Result<Box<dyn Rowset>> {
+        Err(DhqpError::Unsupported(
+            "MiniSqlProvider exposes no indexes".into(),
+        ))
     }
 
     fn create_command(&mut self) -> Result<Box<dyn Command>> {
@@ -139,9 +162,15 @@ impl Command for MiniCommand {
             .ok_or_else(|| DhqpError::Provider("command has no text".into()))?;
         let stmt = parse_statement(text)?;
         let Statement::Select(select) = stmt else {
-            return Err(DhqpError::Unsupported("MiniSqlProvider executes SELECT only".into()));
+            return Err(DhqpError::Unsupported(
+                "MiniSqlProvider executes SELECT only".into(),
+            ));
         };
-        let rowset = Interpreter { engine: &self.engine, level: self.level }.run(&select)?;
+        let rowset = Interpreter {
+            engine: &self.engine,
+            level: self.level,
+        }
+        .run(&select)?;
         Ok(CommandResult::Rowset(rowset))
     }
 }
@@ -166,10 +195,14 @@ impl<'a> Interpreter<'a> {
             ));
         }
         if !select.union_branches.is_empty() {
-            return Err(DhqpError::Unsupported("provider does not support UNION".into()));
+            return Err(DhqpError::Unsupported(
+                "provider does not support UNION".into(),
+            ));
         }
         if select.from.is_empty() {
-            return Err(DhqpError::Unsupported("provider requires a FROM clause".into()));
+            return Err(DhqpError::Unsupported(
+                "provider requires a FROM clause".into(),
+            ));
         }
         // Flatten FROM into bindings + join predicates.
         let mut bindings = Vec::new();
@@ -178,20 +211,26 @@ impl<'a> Interpreter<'a> {
             self.flatten(r, &mut bindings, &mut predicates)?;
         }
         if bindings.len() > 1 && !self.level.supports_joins() {
-            return Err(DhqpError::Unsupported("provider does not support joins".into()));
+            return Err(DhqpError::Unsupported(
+                "provider does not support joins".into(),
+            ));
         }
         if let Some(w) = &select.where_clause {
             self.check_level(w)?;
             predicates.push(w.clone());
         }
         if !select.order_by.is_empty() && !self.level.supports_order_by() {
-            return Err(DhqpError::Unsupported("provider does not support ORDER BY".into()));
+            return Err(DhqpError::Unsupported(
+                "provider does not support ORDER BY".into(),
+            ));
         }
 
         // Nested-loop evaluation over the cartesian space with all
         // predicates applied (good enough for a desktop-DBMS stand-in).
-        let env_schema: Vec<(String, Schema)> =
-            bindings.iter().map(|b| (b.alias.clone(), b.schema.clone())).collect();
+        let env_schema: Vec<(String, Schema)> = bindings
+            .iter()
+            .map(|b| (b.alias.clone(), b.schema.clone()))
+            .collect();
         let mut current: Vec<Row> = vec![Row::new(vec![])];
         for b in &bindings {
             let mut next = Vec::new();
@@ -249,8 +288,7 @@ impl<'a> Interpreter<'a> {
                     for (alias, schema) in &env_schema {
                         for c in schema.columns() {
                             out_columns.push(c.clone());
-                            projections
-                                .push(Expr::Column(vec![alias.clone(), c.name.clone()]));
+                            projections.push(Expr::Column(vec![alias.clone(), c.name.clone()]));
                         }
                     }
                 }
@@ -310,8 +348,9 @@ impl<'a> Interpreter<'a> {
                     ));
                 }
                 let table = name.object().to_string();
-                let (schema, rows) =
-                    self.engine.with_table(&table, |t| (t.schema.clone(), t.scan_rows()))?;
+                let (schema, rows) = self
+                    .engine
+                    .with_table(&table, |t| (t.schema.clone(), t.scan_rows()))?;
                 bindings.push(Binding {
                     alias: alias.clone().unwrap_or(table),
                     schema,
@@ -319,9 +358,16 @@ impl<'a> Interpreter<'a> {
                 });
                 Ok(())
             }
-            TableRef::Join { left, right, kind, on } => {
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
                 if !self.level.supports_joins() {
-                    return Err(DhqpError::Unsupported("provider does not support joins".into()));
+                    return Err(DhqpError::Unsupported(
+                        "provider does not support joins".into(),
+                    ));
                 }
                 if !matches!(kind, JoinKind::Inner | JoinKind::Cross) {
                     return Err(DhqpError::Unsupported(
@@ -337,7 +383,9 @@ impl<'a> Interpreter<'a> {
                 Ok(())
             }
             TableRef::Derived { .. } | TableRef::OpenRowset { .. } | TableRef::OpenQuery { .. } => {
-                Err(DhqpError::Unsupported("provider does not support derived tables".into()))
+                Err(DhqpError::Unsupported(
+                    "provider does not support derived tables".into(),
+                ))
             }
         }
     }
@@ -378,7 +426,9 @@ fn check_no_subqueries(e: &Expr) -> Result<()> {
             check_no_subqueries(right)
         }
         Expr::Unary { operand, .. } => check_no_subqueries(operand),
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             check_no_subqueries(expr)?;
             check_no_subqueries(low)?;
             check_no_subqueries(high)
@@ -421,7 +471,9 @@ fn resolve(parts: &[String], env: &[(String, Schema)], row: &Row) -> Result<Valu
             }
             Err(DhqpError::Bind(format!("unknown alias '{alias}'")))
         }
-        other => Err(DhqpError::Bind(format!("unsupported column reference {other:?}"))),
+        other => Err(DhqpError::Bind(format!(
+            "unsupported column reference {other:?}"
+        ))),
     }
 }
 
@@ -430,11 +482,16 @@ fn eval_expr(e: &Expr, env: &[(String, Schema)], row: &Row) -> Result<Value> {
     match e {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column(parts) => resolve(parts, env, row),
-        Expr::Unary { op: UnaryOp::Neg, operand } => {
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            operand,
+        } => {
             let v = eval_expr(operand, env, row)?;
             Value::Int(0).sub(&v).or_else(|_| Value::Float(0.0).sub(&v))
         }
-        Expr::Binary { op, left, right } if !op.is_comparison() && *op != BinaryOp::And && *op != BinaryOp::Or => {
+        Expr::Binary { op, left, right }
+            if !op.is_comparison() && *op != BinaryOp::And && *op != BinaryOp::Or =>
+        {
             let l = eval_expr(left, env, row)?;
             let r = eval_expr(right, env, row)?;
             match op {
@@ -479,7 +536,11 @@ fn eval_bool(e: &Expr, env: &[(String, Schema)], row: &Row) -> Result<Option<boo
                 _ => unreachable!("comparison guarded"),
             }))
         }
-        Expr::Binary { op: BinaryOp::And, left, right } => {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
             let l = eval_bool(left, env, row)?;
             let r = eval_bool(right, env, row)?;
             Ok(match (l, r) {
@@ -488,7 +549,11 @@ fn eval_bool(e: &Expr, env: &[(String, Schema)], row: &Row) -> Result<Option<boo
                 _ => None,
             })
         }
-        Expr::Binary { op: BinaryOp::Or, left, right } => {
+        Expr::Binary {
+            op: BinaryOp::Or,
+            left,
+            right,
+        } => {
             let l = eval_bool(left, env, row)?;
             let r = eval_bool(right, env, row)?;
             Ok(match (l, r) {
@@ -497,8 +562,16 @@ fn eval_bool(e: &Expr, env: &[(String, Schema)], row: &Row) -> Result<Option<boo
                 _ => None,
             })
         }
-        Expr::Unary { op: UnaryOp::Not, operand } => Ok(eval_bool(operand, env, row)?.map(|b| !b)),
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Unary {
+            op: UnaryOp::Not,
+            operand,
+        } => Ok(eval_bool(operand, env, row)?.map(|b| !b)),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval_expr(expr, env, row)?;
             let lo = eval_expr(low, env, row)?;
             let hi = eval_expr(high, env, row)?;
@@ -508,7 +581,11 @@ fn eval_bool(e: &Expr, env: &[(String, Schema)], row: &Row) -> Result<Option<boo
             };
             Ok(in_range.map(|b| b != *negated))
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval_expr(expr, env, row)?;
             if v.is_null() {
                 return Ok(None);
@@ -524,7 +601,11 @@ fn eval_bool(e: &Expr, env: &[(String, Schema)], row: &Row) -> Result<Option<boo
             }
             Ok(if unknown { None } else { Some(*negated) })
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval_expr(expr, env, row)?;
             let p = eval_expr(pattern, env, row)?;
             match (v, p) {
@@ -594,8 +675,14 @@ mod tests {
             .insert_rows(
                 "Orders",
                 &[
-                    Row::new(vec![Value::Str("buyer@seattle.example".into()), Value::Int(250)]),
-                    Row::new(vec![Value::Str("buyer@seattle.example".into()), Value::Int(90)]),
+                    Row::new(vec![
+                        Value::Str("buyer@seattle.example".into()),
+                        Value::Int(250),
+                    ]),
+                    Row::new(vec![
+                        Value::Str("buyer@seattle.example".into()),
+                        Value::Int(90),
+                    ]),
                 ],
             )
             .unwrap();
@@ -619,8 +706,11 @@ mod tests {
     #[test]
     fn single_table_select_where() {
         let p = access_db(SqlSupport::Minimum);
-        let rows =
-            run(&p, "SELECT Emailaddr, Address FROM Customers WHERE City = 'Seattle'").unwrap();
+        let rows = run(
+            &p,
+            "SELECT Emailaddr, Address FROM Customers WHERE City = 'Seattle'",
+        )
+        .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(1), &Value::Str("12 Pine St".into()));
     }
@@ -628,8 +718,11 @@ mod tests {
     #[test]
     fn minimum_level_rejects_joins_or_and_order() {
         let p = access_db(SqlSupport::Minimum);
-        assert!(run(&p, "SELECT * FROM Customers c, Orders o WHERE c.Emailaddr = o.Emailaddr")
-            .is_err());
+        assert!(run(
+            &p,
+            "SELECT * FROM Customers c, Orders o WHERE c.Emailaddr = o.Emailaddr"
+        )
+        .is_err());
         assert!(run(&p, "SELECT * FROM Customers WHERE City = 'a' OR City = 'b'").is_err());
         assert!(run(&p, "SELECT * FROM Customers ORDER BY City").is_err());
     }
@@ -671,12 +764,23 @@ mod tests {
     #[test]
     fn like_between_in_at_odbc_core() {
         let p = access_db(SqlSupport::OdbcCore);
-        let rows = run(&p, "SELECT City FROM Customers WHERE Emailaddr LIKE '%seattle%'").unwrap();
+        let rows = run(
+            &p,
+            "SELECT City FROM Customers WHERE Emailaddr LIKE '%seattle%'",
+        )
+        .unwrap();
         assert_eq!(rows.len(), 1);
-        let rows =
-            run(&p, "SELECT Total FROM Orders WHERE Total BETWEEN 100 AND 300").unwrap();
+        let rows = run(
+            &p,
+            "SELECT Total FROM Orders WHERE Total BETWEEN 100 AND 300",
+        )
+        .unwrap();
         assert_eq!(rows.len(), 1);
-        let rows = run(&p, "SELECT City FROM Customers WHERE City IN ('Seattle', 'Boise')").unwrap();
+        let rows = run(
+            &p,
+            "SELECT City FROM Customers WHERE City IN ('Seattle', 'Boise')",
+        )
+        .unwrap();
         assert_eq!(rows.len(), 1);
     }
 

@@ -20,7 +20,11 @@ pub struct Sheet {
 
 impl Sheet {
     pub fn new(name: impl Into<String>, columns: Vec<(String, DataType)>) -> Self {
-        Sheet { name: name.into(), columns, cells: Vec::new() }
+        Sheet {
+            name: name.into(),
+            columns,
+            cells: Vec::new(),
+        }
     }
 
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
@@ -45,8 +49,14 @@ pub struct SpreadsheetProvider {
 
 impl SpreadsheetProvider {
     pub fn new(name: impl Into<String>, sheets: Vec<Sheet>) -> Self {
-        let map = sheets.into_iter().map(|s| (s.name.to_lowercase(), s)).collect();
-        SpreadsheetProvider { name: name.into(), sheets: Arc::new(map) }
+        let map = sheets
+            .into_iter()
+            .map(|s| (s.name.to_lowercase(), s))
+            .collect();
+        SpreadsheetProvider {
+            name: name.into(),
+            sheets: Arc::new(map),
+        }
     }
 }
 
@@ -77,7 +87,9 @@ impl DataSource for SpreadsheetProvider {
     }
 
     fn create_session(&self) -> Result<Box<dyn Session>> {
-        Ok(Box::new(SheetSession { sheets: Arc::clone(&self.sheets) }))
+        Ok(Box::new(SheetSession {
+            sheets: Arc::clone(&self.sheets),
+        }))
     }
 }
 
@@ -116,10 +128,17 @@ mod tests {
     fn workbook() -> SpreadsheetProvider {
         let mut budget = Sheet::new(
             "Budget",
-            vec![("Quarter".into(), DataType::Str), ("Amount".into(), DataType::Float)],
+            vec![
+                ("Quarter".into(), DataType::Str),
+                ("Amount".into(), DataType::Float),
+            ],
         );
-        budget.push_row(vec![Value::Str("Q1".into()), Value::Float(120_000.0)]).unwrap();
-        budget.push_row(vec![Value::Str("Q2".into()), Value::Float(95_500.5)]).unwrap();
+        budget
+            .push_row(vec![Value::Str("Q1".into()), Value::Float(120_000.0)])
+            .unwrap();
+        budget
+            .push_row(vec![Value::Str("Q2".into()), Value::Float(95_500.5)])
+            .unwrap();
         SpreadsheetProvider::new("enterprise.xls", vec![budget])
     }
 

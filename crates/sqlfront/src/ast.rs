@@ -43,6 +43,12 @@ pub enum Statement {
     Insert(InsertStmt),
     Update(UpdateStmt),
     Delete(DeleteStmt),
+    /// `EXPLAIN [ANALYZE] <select>`: render the optimized plan; with
+    /// `ANALYZE`, also execute it and report per-operator runtime stats.
+    Explain {
+        analyze: bool,
+        stmt: Box<SelectStmt>,
+    },
 }
 
 /// A SELECT query.
@@ -94,26 +100,44 @@ pub enum JoinKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum TableRef {
     /// A (possibly four-part) table name with optional alias.
-    Named { name: ObjectName, alias: Option<String> },
+    Named {
+        name: ObjectName,
+        alias: Option<String>,
+    },
     /// An explicit ANSI join.
-    Join { left: Box<TableRef>, right: Box<TableRef>, kind: JoinKind, on: Option<Expr> },
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: JoinKind,
+        on: Option<Expr>,
+    },
     /// `(SELECT ...) alias` derived table.
-    Derived { query: Box<SelectStmt>, alias: String },
+    Derived {
+        query: Box<SelectStmt>,
+        alias: String,
+    },
     /// `OPENROWSET('provider', 'datasource', 'query-or-table') [AS] alias` —
     /// ad-hoc access to any provider (paper §2.2).
-    OpenRowset { provider: String, datasource: String, query: String, alias: Option<String> },
+    OpenRowset {
+        provider: String,
+        datasource: String,
+        query: String,
+        alias: Option<String>,
+    },
     /// `OPENQUERY(linked_server, 'pass-through text')` — pass-through to a
     /// query provider with proprietary syntax (paper §3.3).
-    OpenQuery { server: String, query: String, alias: Option<String> },
+    OpenQuery {
+        server: String,
+        query: String,
+        alias: Option<String>,
+    },
 }
 
 impl TableRef {
     /// The alias under which this item's columns are visible.
     pub fn binding_name(&self) -> Option<&str> {
         match self {
-            TableRef::Named { name, alias } => {
-                alias.as_deref().or_else(|| Some(name.object()))
-            }
+            TableRef::Named { name, alias } => alias.as_deref().or_else(|| Some(name.object())),
             TableRef::Derived { alias, .. } => Some(alias),
             TableRef::OpenRowset { alias, .. } | TableRef::OpenQuery { alias, .. } => {
                 alias.as_deref()
@@ -174,7 +198,12 @@ impl BinaryOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+            BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
         )
     }
 
@@ -222,28 +251,65 @@ pub enum Expr {
     Column(Vec<String>),
     /// `@param`.
     Param(String),
-    Unary { op: UnaryOp, operand: Box<Expr> },
-    Binary { op: BinaryOp, left: Box<Expr>, right: Box<Expr> },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+    },
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// `expr [NOT] IN (list)` or `expr [NOT] IN (subquery)`.
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
-    InSubquery { expr: Box<Expr>, subquery: Box<SelectStmt>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        subquery: Box<SelectStmt>,
+        negated: bool,
+    },
     /// `expr [NOT] BETWEEN low AND high`.
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
     /// `expr [NOT] LIKE pattern` (SQL `%`/`_` wildcards).
-    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
     /// `expr IS [NOT] NULL`.
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// `[NOT] EXISTS (subquery)`.
-    Exists { subquery: Box<SelectStmt>, negated: bool },
+    Exists {
+        subquery: Box<SelectStmt>,
+        negated: bool,
+    },
     /// Scalar subquery `(SELECT ...)` in expression position.
     ScalarSubquery(Box<SelectStmt>),
     /// Function call: aggregates (`COUNT`, `SUM`, ...), scalar functions
     /// (`DATEDIFF`, ...), and the full-text predicate `CONTAINS(col, 'q')`.
-    Function { name: String, args: Vec<Expr>, distinct: bool },
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+    },
     /// `COUNT(*)`.
     CountStar,
     /// `CAST(expr AS type)`.
-    Cast { expr: Box<Expr>, type_name: String },
+    Cast {
+        expr: Box<Expr>,
+        type_name: String,
+    },
 }
 
 impl Expr {
@@ -256,7 +322,11 @@ impl Expr {
     }
 
     pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// AND-combine a list of predicates; `None` for the empty list.
@@ -269,7 +339,11 @@ impl Expr {
     /// Split a predicate into its top-level AND conjuncts.
     pub fn split_conjuncts(self) -> Vec<Expr> {
         match self {
-            Expr::Binary { op: BinaryOp::And, left, right } => {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+            } => {
                 let mut out = left.split_conjuncts();
                 out.extend(right.split_conjuncts());
                 out
@@ -285,7 +359,12 @@ mod tests {
 
     #[test]
     fn object_name_parts() {
-        let n = ObjectName(vec!["remote0".into(), "tpch".into(), "dbo".into(), "customer".into()]);
+        let n = ObjectName(vec![
+            "remote0".into(),
+            "tpch".into(),
+            "dbo".into(),
+            "customer".into(),
+        ]);
         assert_eq!(n.server(), Some("remote0"));
         assert_eq!(n.object(), "customer");
         assert_eq!(n.to_string(), "remote0.tpch.dbo.customer");
@@ -320,7 +399,10 @@ mod tests {
             alias: None,
         };
         assert_eq!(named.binding_name(), Some("emp"));
-        let aliased = TableRef::Named { name: ObjectName::bare("emp"), alias: Some("e".into()) };
+        let aliased = TableRef::Named {
+            name: ObjectName::bare("emp"),
+            alias: Some("e".into()),
+        };
         assert_eq!(aliased.binding_name(), Some("e"));
     }
 }

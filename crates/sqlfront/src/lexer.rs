@@ -90,7 +90,11 @@ pub struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Lex the whole input. The last token is always `Eof`.
@@ -163,7 +167,10 @@ impl<'a> Lexer<'a> {
         self.skip_trivia()?;
         let offset = self.pos;
         let Some(b) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, offset });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
         };
         let kind = match b {
             b',' => {
@@ -239,7 +246,9 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                     TokenKind::Neq
                 } else {
-                    return Err(DhqpError::Parse(format!("unexpected '!' at offset {offset}")));
+                    return Err(DhqpError::Parse(format!(
+                        "unexpected '!' at offset {offset}"
+                    )));
                 }
             }
             b'\'' => self.lex_string(offset)?,
@@ -385,9 +394,9 @@ impl<'a> Lexer<'a> {
                 .map(TokenKind::Float)
                 .map_err(|_| DhqpError::Parse(format!("bad float literal at offset {offset}")))
         } else {
-            text.parse::<i64>()
-                .map(TokenKind::Int)
-                .map_err(|_| DhqpError::Parse(format!("integer literal overflow at offset {offset}")))
+            text.parse::<i64>().map(TokenKind::Int).map_err(|_| {
+                DhqpError::Parse(format!("integer literal overflow at offset {offset}"))
+            })
         }
     }
 }
@@ -397,7 +406,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -416,8 +430,14 @@ mod tests {
 
     #[test]
     fn bracket_and_double_quoted_idents() {
-        assert_eq!(kinds("[Order Details]")[0], TokenKind::QuotedIdent("Order Details".into()));
-        assert_eq!(kinds("\"x\"\"y\"")[0], TokenKind::QuotedIdent("x\"y".into()));
+        assert_eq!(
+            kinds("[Order Details]")[0],
+            TokenKind::QuotedIdent("Order Details".into())
+        );
+        assert_eq!(
+            kinds("\"x\"\"y\"")[0],
+            TokenKind::QuotedIdent("x\"y".into())
+        );
         assert_eq!(kinds("[a]]b]")[0], TokenKind::QuotedIdent("a]b".into()));
     }
 

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! statement   := select | insert | update | delete
+//!              | EXPLAIN [ANALYZE] select
 //! select      := body (UNION [ALL] body)* [ORDER BY expr [ASC|DESC], ...]
 //! body        := SELECT [DISTINCT] [TOP int] items FROM refs
 //!                [WHERE expr] [GROUP BY exprs] [HAVING expr]
@@ -25,8 +26,8 @@ use dhqp_types::{value::parse_date, DhqpError, Result, Value};
 const RESERVED: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "ON", "INNER", "LEFT", "RIGHT", "FULL",
     "CROSS", "JOIN", "AND", "OR", "NOT", "AS", "INSERT", "UPDATE", "DELETE", "SET", "VALUES",
-    "TOP", "DISTINCT", "UNION", "ALL", "EXISTS", "BETWEEN", "LIKE", "IS", "NULL", "IN", "ASC", "DESC",
-    "INTO", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "TOP", "DISTINCT", "UNION", "ALL", "EXISTS", "BETWEEN", "LIKE", "IS", "NULL", "IN", "ASC",
+    "DESC", "INTO", "CASE", "WHEN", "THEN", "ELSE", "END", "EXPLAIN", "ANALYZE",
 ];
 
 /// Parse one statement (a trailing `;` is allowed).
@@ -68,7 +69,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -93,7 +96,11 @@ impl Parser {
     }
 
     fn error(&self, msg: &str) -> DhqpError {
-        DhqpError::Parse(format!("{msg}, found '{}' at offset {}", self.peek(), self.offset()))
+        DhqpError::Parse(format!(
+            "{msg}, found '{}' at offset {}",
+            self.peek(),
+            self.offset()
+        ))
     }
 
     /// Is the current token the given keyword?
@@ -150,7 +157,14 @@ impl Parser {
     // ---- statements -------------------------------------------------------
 
     pub fn parse_statement(&mut self) -> Result<Statement> {
-        if self.at_kw("SELECT") {
+        if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
+            if !self.at_kw("SELECT") {
+                return Err(self.error("EXPLAIN supports SELECT statements only"));
+            }
+            let stmt = Box::new(self.parse_select()?);
+            Ok(Statement::Explain { analyze, stmt })
+        } else if self.at_kw("SELECT") {
             Ok(Statement::Select(self.parse_select()?))
         } else if self.at_kw("INSERT") {
             self.parse_insert().map(Statement::Insert)
@@ -206,7 +220,11 @@ impl Parser {
                 from.push(self.parse_table_ref()?);
             }
         }
-        let where_clause = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("GROUP") {
             self.expect_kw("BY")?;
@@ -215,13 +233,21 @@ impl Parser {
                 group_by.push(self.parse_expr()?);
             }
         }
-        let having = if self.eat_kw("HAVING") { Some(self.parse_expr()?) } else { None };
+        let having = if self.eat_kw("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw("ORDER") {
             self.expect_kw("BY")?;
             loop {
                 let expr = self.parse_expr()?;
-                let ascending = if self.eat_kw("DESC") { false } else { self.eat_kw("ASC") | true };
+                let ascending = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC") | true
+                };
                 order_by.push(OrderByItem { expr, ascending });
                 if !self.eat(&TokenKind::Comma) {
                     break;
@@ -311,7 +337,12 @@ impl Parser {
                 self.expect_kw("ON")?;
                 Some(self.parse_expr()?)
             };
-            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
+            left = TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
         }
     }
 
@@ -326,7 +357,12 @@ impl Parser {
             let query = self.expect_string()?;
             self.expect(&TokenKind::RParen)?;
             let alias = self.parse_optional_alias()?;
-            return Ok(TableRef::OpenRowset { provider, datasource, query, alias });
+            return Ok(TableRef::OpenRowset {
+                provider,
+                datasource,
+                query,
+                alias,
+            });
         }
         if self.at_kw("OPENQUERY") {
             self.bump();
@@ -336,7 +372,11 @@ impl Parser {
             let query = self.expect_string()?;
             self.expect(&TokenKind::RParen)?;
             let alias = self.parse_optional_alias()?;
-            return Ok(TableRef::OpenQuery { server, query, alias });
+            return Ok(TableRef::OpenQuery {
+                server,
+                query,
+                alias,
+            });
         }
         if self.eat(&TokenKind::LParen) {
             if self.at_kw("SELECT") {
@@ -346,7 +386,10 @@ impl Parser {
                 let alias = self
                     .parse_optional_alias()?
                     .ok_or_else(|| self.error("derived table requires an alias"))?;
-                return Ok(TableRef::Derived { query: Box::new(query), alias });
+                return Ok(TableRef::Derived {
+                    query: Box::new(query),
+                    alias,
+                });
             }
             // Parenthesized join tree.
             let inner = self.parse_table_ref()?;
@@ -406,7 +449,11 @@ impl Parser {
         } else {
             return Err(self.error("expected VALUES or SELECT"));
         };
-        Ok(InsertStmt { table, columns, source })
+        Ok(InsertStmt {
+            table,
+            columns,
+            source,
+        })
     }
 
     fn parse_update(&mut self) -> Result<UpdateStmt> {
@@ -422,16 +469,31 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
-        Ok(UpdateStmt { table, assignments, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(UpdateStmt {
+            table,
+            assignments,
+            where_clause,
+        })
     }
 
     fn parse_delete(&mut self) -> Result<DeleteStmt> {
         self.expect_kw("DELETE")?;
         self.expect_kw("FROM")?;
         let table = self.parse_object_name()?;
-        let where_clause = if self.eat_kw("WHERE") { Some(self.parse_expr()?) } else { None };
-        Ok(DeleteStmt { table, where_clause })
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(DeleteStmt {
+            table,
+            where_clause,
+        })
     }
 
     // ---- expressions --------------------------------------------------------
@@ -463,21 +525,31 @@ impl Parser {
             // NOT EXISTS folds into the Exists node.
             if self.at_kw("EXISTS") {
                 return match self.parse_not()? {
-                    Expr::Exists { subquery, negated } => Ok(Expr::Exists { subquery, negated: !negated }),
-                    other => {
-                        Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(other) })
-                    }
+                    Expr::Exists { subquery, negated } => Ok(Expr::Exists {
+                        subquery,
+                        negated: !negated,
+                    }),
+                    other => Ok(Expr::Unary {
+                        op: UnaryOp::Not,
+                        operand: Box::new(other),
+                    }),
                 };
             }
             let operand = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
         }
         if self.at_kw("EXISTS") {
             self.bump();
             self.expect(&TokenKind::LParen)?;
             let sub = self.parse_select()?;
             self.expect(&TokenKind::RParen)?;
-            return Ok(Expr::Exists { subquery: Box::new(sub), negated: false });
+            return Ok(Expr::Exists {
+                subquery: Box::new(sub),
+                negated: false,
+            });
         }
         self.parse_comparison()
     }
@@ -506,14 +578,22 @@ impl Parser {
             if self.at_kw("SELECT") {
                 let sub = self.parse_select()?;
                 self.expect(&TokenKind::RParen)?;
-                return Ok(Expr::InSubquery { expr: Box::new(left), subquery: Box::new(sub), negated });
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(sub),
+                    negated,
+                });
             }
             let mut list = vec![self.parse_expr()?];
             while self.eat(&TokenKind::Comma) {
                 list.push(self.parse_expr()?);
             }
             self.expect(&TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_kw("BETWEEN") {
             let low = self.parse_additive()?;
@@ -528,12 +608,19 @@ impl Parser {
         }
         if self.eat_kw("LIKE") {
             let pattern = self.parse_additive()?;
-            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
         }
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         if negated {
             return Err(self.error("expected IN, BETWEEN or LIKE after NOT"));
@@ -576,7 +663,10 @@ impl Parser {
             return Ok(match self.parse_unary()? {
                 Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
                 Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
-                other => Expr::Unary { op: UnaryOp::Neg, operand: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    operand: Box::new(other),
+                },
             });
         }
         if self.eat(&TokenKind::Plus) {
@@ -647,7 +737,10 @@ impl Parser {
                 self.expect_kw("AS")?;
                 let type_name = self.expect_ident()?;
                 self.expect(&TokenKind::RParen)?;
-                Ok(Expr::Cast { expr: Box::new(e), type_name })
+                Ok(Expr::Cast {
+                    expr: Box::new(e),
+                    type_name,
+                })
             }
             TokenKind::Ident(word)
                 if RESERVED.iter().any(|r| word.eq_ignore_ascii_case(r))
@@ -675,7 +768,11 @@ impl Parser {
                         }
                     }
                     self.expect(&TokenKind::RParen)?;
-                    return Ok(Expr::Function { name: name.to_ascii_uppercase(), args, distinct });
+                    return Ok(Expr::Function {
+                        name: name.to_ascii_uppercase(),
+                        args,
+                        distinct,
+                    });
                 }
                 // Column reference: ident(.ident)*
                 let mut parts = vec![self.expect_ident()?];
@@ -725,7 +822,13 @@ mod tests {
         match &s.from[0] {
             TableRef::Join { kind, left, .. } => {
                 assert_eq!(*kind, JoinKind::LeftOuter);
-                assert!(matches!(left.as_ref(), TableRef::Join { kind: JoinKind::Inner, .. }));
+                assert!(matches!(
+                    left.as_ref(),
+                    TableRef::Join {
+                        kind: JoinKind::Inner,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -736,7 +839,12 @@ mod tests {
         let s = sel("SELECT FS.path FROM OPENROWSET('MSIDXS','DQLiterature',\
                      'Select Path from SCOPE() where CONTAINS(''x'')') AS FS");
         match &s.from[0] {
-            TableRef::OpenRowset { provider, datasource, query, alias } => {
+            TableRef::OpenRowset {
+                provider,
+                datasource,
+                query,
+                alias,
+            } => {
                 assert_eq!(provider, "MSIDXS");
                 assert_eq!(datasource, "DQLiterature");
                 assert!(query.contains("CONTAINS('x')"));
@@ -754,8 +862,10 @@ mod tests {
 
     #[test]
     fn subqueries_exists_in_scalar() {
-        let s = sel("SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.k = t.k) \
-                     AND t.x IN (SELECT y FROM v) AND t.z = (SELECT MAX(w) FROM m)");
+        let s = sel(
+            "SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.k = t.k) \
+                     AND t.x IN (SELECT y FROM v) AND t.z = (SELECT MAX(w) FROM m)",
+        );
         let conj = s.where_clause.unwrap().split_conjuncts();
         assert!(matches!(&conj[0], Expr::Exists { negated: true, .. }));
         assert!(matches!(&conj[1], Expr::InSubquery { negated: false, .. }));
@@ -766,8 +876,10 @@ mod tests {
 
     #[test]
     fn group_by_having_order_top_distinct() {
-        let s = sel("SELECT DISTINCT TOP 10 dept, COUNT(*) AS n, SUM(sal) FROM emp \
-                     GROUP BY dept HAVING COUNT(*) > 3 ORDER BY n DESC, dept");
+        let s = sel(
+            "SELECT DISTINCT TOP 10 dept, COUNT(*) AS n, SUM(sal) FROM emp \
+                     GROUP BY dept HAVING COUNT(*) > 3 ORDER BY n DESC, dept",
+        );
         assert!(s.distinct);
         assert_eq!(s.top, Some(10));
         assert_eq!(s.group_by.len(), 1);
@@ -783,9 +895,11 @@ mod tests {
 
     #[test]
     fn predicate_forms() {
-        let e = parse_expression("a BETWEEN 1 AND 10 AND b NOT IN (1,2) AND c LIKE 'x%' \
-                                  AND d IS NOT NULL AND e NOT BETWEEN 0 AND 1")
-            .unwrap();
+        let e = parse_expression(
+            "a BETWEEN 1 AND 10 AND b NOT IN (1,2) AND c LIKE 'x%' \
+                                  AND d IS NOT NULL AND e NOT BETWEEN 0 AND 1",
+        )
+        .unwrap();
         let conj = e.split_conjuncts();
         assert!(matches!(&conj[0], Expr::Between { negated: false, .. }));
         assert!(matches!(&conj[1], Expr::InList { negated: true, .. }));
@@ -798,12 +912,28 @@ mod tests {
     fn precedence_or_and_cmp_arith() {
         // a = 1 OR b = 2 AND c = 3  =>  a=1 OR (b=2 AND c=3)
         let e = parse_expression("a = 1 OR b = 2 AND c = 3").unwrap();
-        assert!(matches!(&e, Expr::Binary { op: BinaryOp::Or, .. }));
+        assert!(matches!(
+            &e,
+            Expr::Binary {
+                op: BinaryOp::Or,
+                ..
+            }
+        ));
         // 1 + 2 * 3 => 1 + (2*3)
         let e = parse_expression("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinaryOp::Add, right, .. } => {
-                assert!(matches!(right.as_ref(), Expr::Binary { op: BinaryOp::Mul, .. }));
+            Expr::Binary {
+                op: BinaryOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    right.as_ref(),
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -818,8 +948,14 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(parse_expression("-5").unwrap(), Expr::Literal(Value::Int(-5)));
-        assert_eq!(parse_expression("-2.5").unwrap(), Expr::Literal(Value::Float(-2.5)));
+        assert_eq!(
+            parse_expression("-5").unwrap(),
+            Expr::Literal(Value::Int(-5))
+        );
+        assert_eq!(
+            parse_expression("-2.5").unwrap(),
+            Expr::Literal(Value::Float(-2.5))
+        );
     }
 
     #[test]
@@ -852,8 +988,9 @@ mod tests {
 
     #[test]
     fn contains_predicate_is_a_function() {
-        let e = parse_expression("CONTAINS(body, '\"parallel database\" OR \"heterogeneous query\"')")
-            .unwrap();
+        let e =
+            parse_expression("CONTAINS(body, '\"parallel database\" OR \"heterogeneous query\"')")
+                .unwrap();
         match e {
             Expr::Function { name, args, .. } => {
                 assert_eq!(name, "CONTAINS");
@@ -876,6 +1013,25 @@ mod tests {
     }
 
     #[test]
+    fn explain_and_explain_analyze() {
+        match parse_statement("EXPLAIN SELECT a FROM t").unwrap() {
+            Statement::Explain { analyze, stmt } => {
+                assert!(!analyze);
+                assert_eq!(stmt.projections.len(), 1);
+            }
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        match parse_statement("explain analyze SELECT a FROM t WHERE a > 1;").unwrap() {
+            Statement::Explain { analyze, .. } => assert!(analyze),
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        // EXPLAIN wraps SELECT only, and ANALYZE alone is not a statement.
+        assert!(parse_statement("EXPLAIN DELETE FROM t").is_err());
+        assert!(parse_statement("ANALYZE SELECT a FROM t").is_err());
+        assert!(parse_statement("EXPLAIN ANALYZE").is_err());
+    }
+
+    #[test]
     fn error_paths() {
         assert!(parse_statement("SELECT FROM").is_err());
         assert!(parse_statement("FROB x").is_err());
@@ -891,7 +1047,11 @@ mod tests {
         assert_eq!(s.union_branches.len(), 2);
         assert!(s.union_branches[0].1, "first branch is UNION ALL");
         assert!(!s.union_branches[1].1, "second branch is plain UNION");
-        assert_eq!(s.order_by.len(), 1, "trailing ORDER BY belongs to the union");
+        assert_eq!(
+            s.order_by.len(),
+            1,
+            "trailing ORDER BY belongs to the union"
+        );
         assert!(s.union_branches[1].0.order_by.is_empty());
         // ORDER BY before UNION is rejected.
         assert!(parse_statement("SELECT a FROM t ORDER BY a UNION SELECT b FROM u").is_err());

@@ -207,7 +207,8 @@ mod tests {
     fn composite_prefix_seek() {
         let mut ix = BTreeIndex::new("c", vec![0, 1], false);
         for (i, (a, b)) in [(1, 10), (1, 20), (2, 10), (3, 10)].iter().enumerate() {
-            ix.insert(IndexKey(vec![Value::Int(*a), Value::Int(*b)]), i as u64).unwrap();
+            ix.insert(IndexKey(vec![Value::Int(*a), Value::Int(*b)]), i as u64)
+                .unwrap();
         }
         // Prefix seek on a = 1 must return both (1,10) and (1,20).
         let hits = ix.range(&KeyRange::eq(vec![Value::Int(1)]));

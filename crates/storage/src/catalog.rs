@@ -32,12 +32,20 @@ pub struct TableDef {
 
 impl TableDef {
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        TableDef { name: name.into(), schema, indexes: Vec::new(), checks: Vec::new() }
+        TableDef {
+            name: name.into(),
+            schema,
+            indexes: Vec::new(),
+            checks: Vec::new(),
+        }
     }
 
     pub fn with_index(mut self, name: &str, columns: &[&str], unique: bool) -> Self {
-        self.indexes
-            .push((name.to_string(), columns.iter().map(|c| c.to_string()).collect(), unique));
+        self.indexes.push((
+            name.to_string(),
+            columns.iter().map(|c| c.to_string()).collect(),
+            unique,
+        ));
         self
     }
 
@@ -84,7 +92,10 @@ impl StorageEngine {
         let key = Self::key(&def.name);
         let mut tables = self.tables.write();
         if tables.contains_key(&key) {
-            return Err(DhqpError::Catalog(format!("table '{}' already exists", def.name)));
+            return Err(DhqpError::Catalog(format!(
+                "table '{}' already exists",
+                def.name
+            )));
         }
         let mut table = Table::new(def.name.clone(), def.schema);
         table.checks = def.checks;
@@ -108,7 +119,11 @@ impl StorageEngine {
     }
 
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().values().map(|t| t.name.clone()).collect()
+        self.tables
+            .read()
+            .values()
+            .map(|t| t.name.clone())
+            .collect()
     }
 
     pub fn has_table(&self, name: &str) -> bool {
@@ -125,7 +140,11 @@ impl StorageEngine {
     }
 
     /// Run `f` against a table under a write lock.
-    pub fn with_table_mut<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> Result<R>) -> Result<R> {
+    pub fn with_table_mut<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Table) -> Result<R>,
+    ) -> Result<R> {
         let mut tables = self.tables.write();
         let t = tables
             .get_mut(&Self::key(name))
@@ -155,7 +174,9 @@ impl StorageEngine {
 
     pub fn update_bookmarks(&self, table: &str, bookmarks: &[u64], rows: &[Row]) -> Result<u64> {
         if bookmarks.len() != rows.len() {
-            return Err(DhqpError::Execute("update bookmark/row arity mismatch".into()));
+            return Err(DhqpError::Execute(
+                "update bookmark/row arity mismatch".into(),
+            ));
         }
         self.with_table_mut(table, |t| {
             for (&b, r) in bookmarks.iter().zip(rows) {
@@ -190,7 +211,10 @@ impl StorageEngine {
             DhqpError::Transaction(format!("transaction {txn} is no longer active"))
         })?;
         for r in rows {
-            ops.push(PendingOp::Insert { table: table.to_string(), row: r.clone() });
+            ops.push(PendingOp::Insert {
+                table: table.to_string(),
+                row: r.clone(),
+            });
         }
         Ok(rows.len() as u64)
     }
@@ -203,7 +227,10 @@ impl StorageEngine {
             DhqpError::Transaction(format!("transaction {txn} is no longer active"))
         })?;
         for &b in bookmarks {
-            ops.push(PendingOp::Delete { table: table.to_string(), bookmark: b });
+            ops.push(PendingOp::Delete {
+                table: table.to_string(),
+                bookmark: b,
+            });
         }
         Ok(bookmarks.len() as u64)
     }
@@ -279,7 +306,8 @@ impl StorageEngine {
 
     /// Failure-injection hook for 2PC tests/benches.
     pub fn set_fail_prepare(&self, fail: bool) {
-        self.fail_prepare.store(fail, std::sync::atomic::Ordering::Relaxed);
+        self.fail_prepare
+            .store(fail, std::sync::atomic::Ordering::Relaxed);
     }
 
     // ---- statistics -------------------------------------------------------
@@ -366,12 +394,18 @@ mod tests {
     fn prepare_detects_unique_violation_across_buffered_ops() {
         let e = StorageEngine::new("local");
         e.create_table(
-            TableDef::new("u", Schema::new(vec![Column::not_null("id", DataType::Int)]))
-                .with_index("pk", &["id"], true),
+            TableDef::new(
+                "u",
+                Schema::new(vec![Column::not_null("id", DataType::Int)]),
+            )
+            .with_index("pk", &["id"], true),
         )
         .unwrap();
         e.txn_insert(1, "u", &[row(5), row(5)]).unwrap();
-        assert!(e.prepare_txn(1).is_err(), "duplicate buffered keys must fail prepare");
+        assert!(
+            e.prepare_txn(1).is_err(),
+            "duplicate buffered keys must fail prepare"
+        );
         e.abort_txn(1).unwrap();
         assert_eq!(e.with_table("u", |t| t.row_count()).unwrap(), 0);
     }

@@ -63,7 +63,9 @@ impl Heap {
             .ok_or_else(|| DhqpError::Execute(format!("invalid bookmark {bookmark}")))?;
         match slot {
             Some(old) => Ok(std::mem::replace(old, row)),
-            None => Err(DhqpError::Execute(format!("bookmark {bookmark} already deleted"))),
+            None => Err(DhqpError::Execute(format!(
+                "bookmark {bookmark} already deleted"
+            ))),
         }
     }
 

@@ -11,7 +11,10 @@ use dhqp_types::Result;
 /// Columns whose values are all NULL get no histogram (there is nothing to
 /// bucket), but their null counts still shape `row_count`.
 pub fn analyze_table(table: &Table, buckets: usize) -> Result<TableStatistics> {
-    let mut stats = TableStatistics { row_count: Some(table.row_count()), ..Default::default() };
+    let mut stats = TableStatistics {
+        row_count: Some(table.row_count()),
+        ..Default::default()
+    };
     let total = table.row_count() as f64;
     for col in table.schema.columns() {
         let values = table.sorted_column_values(&col.name)?;
@@ -37,7 +40,11 @@ mod tests {
             ]),
         );
         for i in 0..n {
-            let maybe = if i % 2 == 0 { Value::Int(i * 10) } else { Value::Null };
+            let maybe = if i % 2 == 0 {
+                Value::Int(i * 10)
+            } else {
+                Value::Null
+            };
             t.insert(Row::new(vec![Value::Int(i), maybe])).unwrap();
         }
         t
@@ -59,7 +66,10 @@ mod tests {
         let h = stats.histogram("id").unwrap();
         let half = IntervalSet::single(Interval::less_than(Value::Int(500)));
         let est = h.estimate_set(&half);
-        assert!((est - 500.0).abs() < 70.0, "estimate {est} should be near 500");
+        assert!(
+            (est - 500.0).abs() < 70.0,
+            "estimate {est} should be near 500"
+        );
     }
 
     #[test]

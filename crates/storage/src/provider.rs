@@ -75,7 +75,10 @@ impl DataSource for LocalDataSource {
     }
 
     fn create_session(&self) -> Result<Box<dyn Session>> {
-        Ok(Box::new(LocalSession { engine: Arc::clone(&self.engine), txn: None }))
+        Ok(Box::new(LocalSession {
+            engine: Arc::clone(&self.engine),
+            txn: None,
+        }))
     }
 }
 
@@ -88,15 +91,22 @@ pub struct LocalSession {
 
 impl Session for LocalSession {
     fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
-        let (schema, rows) =
-            self.engine.with_table(table, |t| (t.schema.clone(), t.scan_rows()))?;
+        let (schema, rows) = self
+            .engine
+            .with_table(table, |t| (t.schema.clone(), t.scan_rows()))?;
         Ok(Box::new(MemRowset::new(schema, rows)))
     }
 
-    fn open_index(&mut self, table: &str, index: &str, range: &KeyRange) -> Result<Box<dyn Rowset>> {
-        let (schema, rows) = self
-            .engine
-            .with_table(table, |t| t.index_range(index, range).map(|rows| (t.schema.clone(), rows)))??;
+    fn open_index(
+        &mut self,
+        table: &str,
+        index: &str,
+        range: &KeyRange,
+    ) -> Result<Box<dyn Rowset>> {
+        let (schema, rows) = self.engine.with_table(table, |t| {
+            t.index_range(index, range)
+                .map(|rows| (t.schema.clone(), rows))
+        })??;
         Ok(Box::new(MemRowset::new(schema, rows)))
     }
 
@@ -115,7 +125,10 @@ impl Session for LocalSession {
     }
 
     fn histogram(&mut self, table: &str, column: &str) -> Result<Option<dhqp_oledb::Histogram>> {
-        Ok(self.engine.statistics(table).and_then(|s| s.histogram(column).cloned()))
+        Ok(self
+            .engine
+            .statistics(table)
+            .and_then(|s| s.histogram(column).cloned()))
     }
 
     fn join_transaction(&mut self, txn: TxnId) -> Result<()> {
@@ -153,7 +166,12 @@ impl Session for LocalSession {
         }
     }
 
-    fn update_by_bookmarks(&mut self, table: &str, bookmarks: &[u64], updates: &[Row]) -> Result<u64> {
+    fn update_by_bookmarks(
+        &mut self,
+        table: &str,
+        bookmarks: &[u64],
+        updates: &[Row],
+    ) -> Result<u64> {
         match self.txn {
             // Model an update as delete+insert inside the buffer.
             Some(txn) => {
@@ -214,7 +232,9 @@ mod tests {
         let ds = source();
         let mut s = ds.create_session().unwrap();
         assert_eq!(s.open_rowset("emp").unwrap().count_rows().unwrap(), 3);
-        let mut idx = s.open_index("emp", "pk_emp", &KeyRange::eq(vec![Value::Int(2)])).unwrap();
+        let mut idx = s
+            .open_index("emp", "pk_emp", &KeyRange::eq(vec![Value::Int(2)]))
+            .unwrap();
         let rows = idx.collect_rows().unwrap();
         assert_eq!(rows.len(), 1);
         let bm = rows[0].bookmark.unwrap();
@@ -235,7 +255,8 @@ mod tests {
         let ds = source();
         let mut s = ds.create_session().unwrap();
         s.join_transaction(42).unwrap();
-        s.insert("emp", &[Row::new(vec![Value::Int(9), Value::Null])]).unwrap();
+        s.insert("emp", &[Row::new(vec![Value::Int(9), Value::Null])])
+            .unwrap();
         assert_eq!(ds.engine().with_table("emp", |t| t.row_count()).unwrap(), 3);
         s.prepare(42).unwrap();
         s.commit(42).unwrap();

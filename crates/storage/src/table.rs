@@ -36,7 +36,11 @@ impl Table {
     /// Add a secondary index over the named columns, populating it from
     /// existing rows.
     pub fn create_index(&mut self, name: &str, columns: &[&str], unique: bool) -> Result<()> {
-        if self.indexes.iter().any(|ix| ix.name.eq_ignore_ascii_case(name)) {
+        if self
+            .indexes
+            .iter()
+            .any(|ix| ix.name.eq_ignore_ascii_case(name))
+        {
             return Err(DhqpError::Catalog(format!("index '{name}' already exists")));
         }
         let mut positions = Vec::with_capacity(columns.len());
@@ -154,7 +158,11 @@ impl Table {
         Ok(ix
             .range(range)
             .into_iter()
-            .filter_map(|(_, b)| self.heap.get(b).map(|r| Row::with_bookmark(r.values.clone(), b)))
+            .filter_map(|(_, b)| {
+                self.heap
+                    .get(b)
+                    .map(|r| Row::with_bookmark(r.values.clone(), b))
+            })
             .collect())
     }
 
@@ -242,12 +250,20 @@ mod tests {
         assert_eq!(ids, vec![3, 4, 5]);
         // Update moves the index entry.
         t.update(b1, row(9, "a2")).unwrap();
-        let hits = t.index_range("ix_id", &KeyRange::eq(vec![Value::Int(9)])).unwrap();
+        let hits = t
+            .index_range("ix_id", &KeyRange::eq(vec![Value::Int(9)]))
+            .unwrap();
         assert_eq!(hits.len(), 1);
-        assert!(t.index_range("ix_id", &KeyRange::eq(vec![Value::Int(5)])).unwrap().is_empty());
+        assert!(t
+            .index_range("ix_id", &KeyRange::eq(vec![Value::Int(5)]))
+            .unwrap()
+            .is_empty());
         // Delete removes it.
         t.delete(b1).unwrap();
-        assert!(t.index_range("ix_id", &KeyRange::eq(vec![Value::Int(9)])).unwrap().is_empty());
+        assert!(t
+            .index_range("ix_id", &KeyRange::eq(vec![Value::Int(9)]))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -279,7 +295,8 @@ mod tests {
     fn sorted_column_values_excludes_nulls() {
         let mut t = table();
         t.insert(row(3, "a")).unwrap();
-        t.insert(Row::new(vec![Value::Int(1), Value::Null])).unwrap();
+        t.insert(Row::new(vec![Value::Int(1), Value::Null]))
+            .unwrap();
         let vals = t.sorted_column_values("id").unwrap();
         assert_eq!(vals, vec![Value::Int(1), Value::Int(3)]);
         let names = t.sorted_column_values("name").unwrap();

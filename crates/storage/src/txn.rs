@@ -11,9 +11,19 @@ use dhqp_types::{Result, Row};
 /// One buffered write operation.
 #[derive(Debug, Clone)]
 pub enum PendingOp {
-    Insert { table: String, row: Row },
-    Delete { table: String, bookmark: u64 },
-    Update { table: String, bookmark: u64, row: Row },
+    Insert {
+        table: String,
+        row: Row,
+    },
+    Delete {
+        table: String,
+        bookmark: u64,
+    },
+    Update {
+        table: String,
+        bookmark: u64,
+        row: Row,
+    },
 }
 
 impl PendingOp {
@@ -79,7 +89,10 @@ mod tests {
     #[test]
     fn state_machine_transitions() {
         let mut s = TxnState::active();
-        s.active_ops().unwrap().push(PendingOp::Delete { table: "t".into(), bookmark: 0 });
+        s.active_ops().unwrap().push(PendingOp::Delete {
+            table: "t".into(),
+            bookmark: 0,
+        });
         s.mark_prepared();
         assert!(s.active_ops().is_none());
         assert_eq!(s.into_ops().len(), 1);
@@ -88,10 +101,16 @@ mod tests {
     #[test]
     fn apply_round_trip() {
         let mut t = Table::new("t", Schema::new(vec![Column::not_null("x", DataType::Int)]));
-        let ins = PendingOp::Insert { table: "t".into(), row: Row::new(vec![Value::Int(1)]) };
+        let ins = PendingOp::Insert {
+            table: "t".into(),
+            row: Row::new(vec![Value::Int(1)]),
+        };
         ins.apply(&mut t).unwrap();
         assert_eq!(t.row_count(), 1);
-        let del = PendingOp::Delete { table: "t".into(), bookmark: 0 };
+        let del = PendingOp::Delete {
+            table: "t".into(),
+            bookmark: 0,
+        };
         del.apply(&mut t).unwrap();
         assert_eq!(t.row_count(), 0);
         assert_eq!(ins.table(), "t");

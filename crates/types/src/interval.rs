@@ -77,37 +77,58 @@ fn cmp_high(a: &IntervalBound, b: &IntervalBound) -> Ordering {
 impl Interval {
     /// The full domain `(-∞, +∞)`.
     pub fn full() -> Self {
-        Interval { low: IntervalBound::Unbounded, high: IntervalBound::Unbounded }
+        Interval {
+            low: IntervalBound::Unbounded,
+            high: IntervalBound::Unbounded,
+        }
     }
 
     /// The single point `[v, v]`.
     pub fn point(v: Value) -> Self {
-        Interval { low: IntervalBound::Included(v.clone()), high: IntervalBound::Included(v) }
+        Interval {
+            low: IntervalBound::Included(v.clone()),
+            high: IntervalBound::Included(v),
+        }
     }
 
     /// `[v, +∞)`.
     pub fn at_least(v: Value) -> Self {
-        Interval { low: IntervalBound::Included(v), high: IntervalBound::Unbounded }
+        Interval {
+            low: IntervalBound::Included(v),
+            high: IntervalBound::Unbounded,
+        }
     }
 
     /// `(v, +∞)`.
     pub fn greater_than(v: Value) -> Self {
-        Interval { low: IntervalBound::Excluded(v), high: IntervalBound::Unbounded }
+        Interval {
+            low: IntervalBound::Excluded(v),
+            high: IntervalBound::Unbounded,
+        }
     }
 
     /// `(-∞, v]`.
     pub fn at_most(v: Value) -> Self {
-        Interval { low: IntervalBound::Unbounded, high: IntervalBound::Included(v) }
+        Interval {
+            low: IntervalBound::Unbounded,
+            high: IntervalBound::Included(v),
+        }
     }
 
     /// `(-∞, v)`.
     pub fn less_than(v: Value) -> Self {
-        Interval { low: IntervalBound::Unbounded, high: IntervalBound::Excluded(v) }
+        Interval {
+            low: IntervalBound::Unbounded,
+            high: IntervalBound::Excluded(v),
+        }
     }
 
     /// Closed range `[lo, hi]` (SQL BETWEEN).
     pub fn between(lo: Value, hi: Value) -> Self {
-        Interval { low: IntervalBound::Included(lo), high: IntervalBound::Included(hi) }
+        Interval {
+            low: IntervalBound::Included(lo),
+            high: IntervalBound::Included(hi),
+        }
     }
 
     /// An interval is empty when its low bound exceeds its high bound, or
@@ -210,12 +231,16 @@ pub struct IntervalSet {
 impl IntervalSet {
     /// The empty domain: no value satisfies the constraints.
     pub fn empty() -> Self {
-        IntervalSet { intervals: Vec::new() }
+        IntervalSet {
+            intervals: Vec::new(),
+        }
     }
 
     /// The unconstrained domain.
     pub fn full() -> Self {
-        IntervalSet { intervals: vec![Interval::full()] }
+        IntervalSet {
+            intervals: vec![Interval::full()],
+        }
     }
 
     pub fn single(interval: Interval) -> Self {
@@ -304,7 +329,10 @@ impl IntervalSet {
                 IntervalBound::Excluded(v) => Some(IntervalBound::Included(v.clone())),
             };
             if let Some(high) = gap_high {
-                let gap = Interval { low: cursor.clone(), high };
+                let gap = Interval {
+                    low: cursor.clone(),
+                    high,
+                };
                 if !gap.is_empty() {
                     out.push(gap);
                 }
@@ -315,7 +343,10 @@ impl IntervalSet {
                 IntervalBound::Excluded(v) => IntervalBound::Included(v.clone()),
             };
         }
-        out.push(Interval { low: cursor, high: IntervalBound::Unbounded });
+        out.push(Interval {
+            low: cursor,
+            high: IntervalBound::Unbounded,
+        });
         IntervalSet::from_intervals(out)
     }
 }
@@ -370,7 +401,8 @@ mod tests {
     #[test]
     fn filter_narrows_domain() {
         // CustomerId > 50 moves [-inf,+inf] to (50,+inf].
-        let dom = IntervalSet::full().intersect(&IntervalSet::single(Interval::greater_than(int(50))));
+        let dom =
+            IntervalSet::full().intersect(&IntervalSet::single(Interval::greater_than(int(50))));
         assert!(!dom.contains(&int(50)));
         assert!(dom.contains(&int(51)));
     }
@@ -389,7 +421,10 @@ mod tests {
     fn adjacent_touching_intervals_merge() {
         // [1, 5) U [5, 9] => [1, 9]
         let set = IntervalSet::from_intervals(vec![
-            Interval { low: IntervalBound::Included(int(1)), high: IntervalBound::Excluded(int(5)) },
+            Interval {
+                low: IntervalBound::Included(int(1)),
+                high: IntervalBound::Excluded(int(5)),
+            },
             Interval::between(int(5), int(9)),
         ]);
         assert_eq!(set.intervals().len(), 1);
@@ -400,8 +435,14 @@ mod tests {
     fn exclusive_adjacency_does_not_merge() {
         // [1, 5) U (5, 9] leaves a hole at 5.
         let set = IntervalSet::from_intervals(vec![
-            Interval { low: IntervalBound::Included(int(1)), high: IntervalBound::Excluded(int(5)) },
-            Interval { low: IntervalBound::Excluded(int(5)), high: IntervalBound::Included(int(9)) },
+            Interval {
+                low: IntervalBound::Included(int(1)),
+                high: IntervalBound::Excluded(int(5)),
+            },
+            Interval {
+                low: IntervalBound::Excluded(int(5)),
+                high: IntervalBound::Included(int(9)),
+            },
         ]);
         assert_eq!(set.intervals().len(), 2);
         assert!(!set.contains(&int(5)));

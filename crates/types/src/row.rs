@@ -15,11 +15,19 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Column { name: name.into(), data_type, nullable: true }
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
     }
 
     pub fn not_null(name: impl Into<String>, data_type: DataType) -> Self {
-        Column { name: name.into(), data_type, nullable: false }
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
     }
 }
 
@@ -31,7 +39,9 @@ pub struct Schema {
 
 impl Schema {
     pub fn new(columns: Vec<Column>) -> Self {
-        Schema { columns: Arc::new(columns) }
+        Schema {
+            columns: Arc::new(columns),
+        }
     }
 
     pub fn empty() -> Self {
@@ -56,7 +66,9 @@ impl Schema {
 
     /// Case-insensitive lookup by column name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Concatenate two schemas (used by join operators).
@@ -112,11 +124,17 @@ pub struct Row {
 
 impl Row {
     pub fn new(values: Vec<Value>) -> Self {
-        Row { values, bookmark: None }
+        Row {
+            values,
+            bookmark: None,
+        }
     }
 
     pub fn with_bookmark(values: Vec<Value>, bookmark: u64) -> Self {
-        Row { values, bookmark: Some(bookmark) }
+        Row {
+            values,
+            bookmark: Some(bookmark),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -136,7 +154,10 @@ impl Row {
         let mut values = Vec::with_capacity(self.values.len() + right.values.len());
         values.extend_from_slice(&self.values);
         values.extend_from_slice(&right.values);
-        Row { values, bookmark: None }
+        Row {
+            values,
+            bookmark: None,
+        }
     }
 
     /// Total wire size of the row in bytes.
@@ -164,7 +185,10 @@ mod tests {
     use super::*;
 
     fn schema_ab() -> Schema {
-        Schema::new(vec![Column::new("a", DataType::Int), Column::new("B", DataType::Str)])
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("B", DataType::Str),
+        ])
     }
 
     #[test]

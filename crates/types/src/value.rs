@@ -201,7 +201,11 @@ impl Value {
     pub fn cast(&self, to: DataType) -> crate::Result<Value> {
         use Value::*;
         let err = || {
-            crate::DhqpError::Type(format!("cannot cast {} to {}", self.type_name(), to.sql_name()))
+            crate::DhqpError::Type(format!(
+                "cannot cast {} to {}",
+                self.type_name(),
+                to.sql_name()
+            ))
         };
         Ok(match (self, to) {
             (Null, _) => Null,
@@ -376,8 +380,14 @@ mod tests {
 
     #[test]
     fn mixed_numeric_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -395,7 +405,10 @@ mod tests {
 
     #[test]
     fn arithmetic_promotes_and_propagates_null() {
-        assert_eq!(Value::Int(2).add(&Value::Float(0.5)).unwrap(), Value::Float(2.5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
         assert!(Value::Null.add(&Value::Int(1)).unwrap().is_null());
         assert!(Value::Int(1).div(&Value::Int(0)).is_err());
     }
@@ -415,7 +428,13 @@ mod tests {
 
     #[test]
     fn date_roundtrip() {
-        for s in ["1970-01-01", "1992-01-01", "2000-02-29", "1969-12-31", "2026-07-08"] {
+        for s in [
+            "1970-01-01",
+            "1992-01-01",
+            "2000-02-29",
+            "1969-12-31",
+            "2026-07-08",
+        ] {
             let d = parse_date(s).unwrap();
             assert_eq!(format_date(d), s, "roundtrip {s}");
         }
@@ -425,9 +444,14 @@ mod tests {
 
     #[test]
     fn casts() {
-        assert_eq!(Value::Str(" 42 ".into()).cast(DataType::Int).unwrap(), Value::Int(42));
         assert_eq!(
-            Value::Str("1992-01-01".into()).cast(DataType::Date).unwrap(),
+            Value::Str(" 42 ".into()).cast(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::Str("1992-01-01".into())
+                .cast(DataType::Date)
+                .unwrap(),
             Value::Date(parse_date("1992-01-01").unwrap())
         );
         assert!(Value::Str("abc".into()).cast(DataType::Int).is_err());

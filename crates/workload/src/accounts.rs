@@ -30,8 +30,9 @@ pub fn create_account_partition(
             domain: domain.clone(),
         }),
     )?;
-    let rows: Vec<Row> =
-        (lo..=hi).map(|id| Row::new(vec![Value::Int(id), Value::Int(balance)])).collect();
+    let rows: Vec<Row> = (lo..=hi)
+        .map(|id| Row::new(vec![Value::Int(id), Value::Int(balance)]))
+        .collect();
     engine.insert_rows(table, &rows)?;
     Ok(domain)
 }
@@ -65,10 +66,16 @@ mod tests {
         let d1 = create_account_partition(&e1, "accounts_a", 0, 49, 100).unwrap();
         let d2 = create_account_partition(&e2, "accounts_b", 50, 99, 100).unwrap();
         assert!(!d1.intersects(&d2));
-        assert_eq!(total_balance(&[(&e1, "accounts_a"), (&e2, "accounts_b")]).unwrap(), 10_000);
+        assert_eq!(
+            total_balance(&[(&e1, "accounts_a"), (&e2, "accounts_b")]).unwrap(),
+            10_000
+        );
         // CHECK rejects out-of-range rows.
         assert!(e1
-            .insert_rows("accounts_a", &[Row::new(vec![Value::Int(60), Value::Int(1)])])
+            .insert_rows(
+                "accounts_a",
+                &[Row::new(vec![Value::Int(60), Value::Int(1)])]
+            )
             .is_err());
     }
 }

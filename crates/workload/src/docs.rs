@@ -12,27 +12,53 @@ const TOPICS: [(&str, &[&str]); 4] = [
     (
         "databases",
         &[
-            "parallel", "database", "systems", "query", "optimization", "join", "index",
-            "transaction", "heterogeneous", "distributed", "federated", "partitioned",
+            "parallel",
+            "database",
+            "systems",
+            "query",
+            "optimization",
+            "join",
+            "index",
+            "transaction",
+            "heterogeneous",
+            "distributed",
+            "federated",
+            "partitioned",
         ],
     ),
     (
         "networks",
         &[
-            "network", "latency", "bandwidth", "protocol", "routing", "packet", "congestion",
-            "throughput", "topology",
+            "network",
+            "latency",
+            "bandwidth",
+            "protocol",
+            "routing",
+            "packet",
+            "congestion",
+            "throughput",
+            "topology",
         ],
     ),
     (
         "compilers",
         &[
-            "compiler", "parser", "grammar", "register", "allocation", "optimization",
-            "intermediate", "representation", "codegen",
+            "compiler",
+            "parser",
+            "grammar",
+            "register",
+            "allocation",
+            "optimization",
+            "intermediate",
+            "representation",
+            "codegen",
         ],
     ),
     (
         "cooking",
-        &["pasta", "sauce", "garlic", "basil", "oven", "recipe", "tomato", "olive", "simmer"],
+        &[
+            "pasta", "sauce", "garlic", "basil", "oven", "recipe", "tomato", "olive", "simmer",
+        ],
     ),
 ];
 
@@ -98,7 +124,11 @@ mod tests {
         }
         let pasta = svc.query_keys("lit", "pasta").unwrap();
         assert!(!pasta.is_empty());
-        assert!(pasta.len() <= 10, "pasta should hit only cooking docs, got {}", pasta.len());
+        assert!(
+            pasta.len() <= 10,
+            "pasta should hit only cooking docs, got {}",
+            pasta.len()
+        );
         let database = svc.query_keys("lit", "database").unwrap();
         assert!(database.len() >= pasta.len());
     }

@@ -24,7 +24,9 @@ pub struct MailboxSpec {
 
 impl MailboxSpec {
     pub fn customer_addresses(n: usize) -> Vec<String> {
-        (0..n).map(|i| format!("customer{i:03}@corp{}.example", i % 7)).collect()
+        (0..n)
+            .map(|i| format!("customer{i:03}@corp{}.example", i % 7))
+            .collect()
     }
 }
 
@@ -32,7 +34,13 @@ impl MailboxSpec {
 /// `dhqp_providers::mail::parse_mail_file`).
 pub fn generate_mailbox(spec: &MailboxSpec, seed: u64) -> String {
     let mut rng = StdRng::seed_from_u64(seed);
-    let subjects = ["quote request", "order status", "invoice question", "renewal", "support"];
+    let subjects = [
+        "quote request",
+        "order status",
+        "invoice question",
+        "renewal",
+        "support",
+    ];
     let mut out = String::new();
     let mut msg_no = 0;
     for i in 0..spec.inbound {

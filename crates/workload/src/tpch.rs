@@ -23,7 +23,13 @@ pub struct TpchScale {
 impl TpchScale {
     /// Tiny data for unit tests.
     pub fn tiny() -> Self {
-        TpchScale { nations: 5, customers: 60, suppliers: 12, orders: 120, lineitems_per_order: 3 }
+        TpchScale {
+            nations: 5,
+            customers: 60,
+            suppliers: 12,
+            orders: 120,
+            lineitems_per_order: 3,
+        }
     }
 
     /// Bench-sized data: large enough for plan effects, small enough for
@@ -40,15 +46,38 @@ impl TpchScale {
 }
 
 const NATION_NAMES: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
-    "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU",
-    "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 
 const REGION_NAMES: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
-const CITIES: [&str; 8] =
-    ["Seattle", "Portland", "Redmond", "Tacoma", "Spokane", "Boise", "Eugene", "Olympia"];
+const CITIES: [&str; 8] = [
+    "Seattle", "Portland", "Redmond", "Tacoma", "Spokane", "Boise", "Eugene", "Olympia",
+];
 
 /// Create the `region` table (five rows, as in TPC-H).
 pub fn create_region(engine: &StorageEngine) -> Result<()> {
@@ -121,7 +150,11 @@ pub fn create_customer(engine: &StorageEngine, scale: &TpchScale, rng: &mut StdR
                 Value::Int(i as i64),
                 Value::Str(format!("Customer#{i:06}")),
                 Value::Str(format!("{} Main St", rng.gen_range(1..999))),
-                Value::Str(format!("25-{:03}-{:04}", rng.gen_range(100..999), rng.gen_range(1000..9999))),
+                Value::Str(format!(
+                    "25-{:03}-{:04}",
+                    rng.gen_range(100..999),
+                    rng.gen_range(1000..9999)
+                )),
                 Value::Int(rng.gen_range(0..scale.nations) as i64),
                 Value::Str(CITIES[rng.gen_range(0..CITIES.len())].to_string()),
                 Value::Float((rng.gen_range(-99_999..999_999) as f64) / 100.0),
@@ -243,7 +276,9 @@ pub fn load_all(engine: &StorageEngine, scale: &TpchScale, seed: u64) -> Result<
     create_supplier(engine, scale, &mut rng)?;
     create_orders(engine, scale, &mut rng)?;
     create_lineitem(engine, scale, &mut rng)?;
-    for t in ["region", "nation", "customer", "supplier", "orders", "lineitem"] {
+    for t in [
+        "region", "nation", "customer", "supplier", "orders", "lineitem",
+    ] {
         engine.analyze(t, 24)?;
     }
     Ok(())
@@ -324,7 +359,11 @@ mod tests {
             e.with_table("lineitem", |t| t.row_count()).unwrap(),
             (scale.orders * scale.lineitems_per_order) as u64
         );
-        assert!(e.statistics("customer").unwrap().histogram("c_nationkey").is_some());
+        assert!(e
+            .statistics("customer")
+            .unwrap()
+            .histogram("c_nationkey")
+            .is_some());
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl DataSource for ChangelogProvider {
     }
 
     fn create_session(&self) -> Result<Box<dyn Session>> {
-        Ok(Box::new(ChangelogSession { log: Arc::clone(&self.log) }))
+        Ok(Box::new(ChangelogSession {
+            log: Arc::clone(&self.log),
+        }))
     }
 }
 
@@ -63,7 +65,9 @@ struct ChangelogSession {
 impl Session for ChangelogSession {
     fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
         if !table.eq_ignore_ascii_case("events") {
-            return Err(DhqpError::Catalog(format!("changelog has no table '{table}'")));
+            return Err(DhqpError::Catalog(format!(
+                "changelog has no table '{table}'"
+            )));
         }
         let schema = Schema::new(vec![
             Column::not_null("seq", DataType::Int),

@@ -55,7 +55,11 @@ fn main() -> dhqp_types::Result<()> {
     mdb.insert_rows("Customers", &rows)?;
     engine.add_linked_server(
         "access",
-        Arc::new(MiniSqlProvider::new("Enterprise.mdb", mdb, SqlSupport::OdbcCore)?),
+        Arc::new(MiniSqlProvider::new(
+            "Enterprise.mdb",
+            mdb,
+            SqlSupport::OdbcCore,
+        )?),
     )?;
 
     // The §2.4 query in the engine's dialect: MakeTable(Mail, ...) becomes

@@ -64,7 +64,10 @@ fn main() -> dhqp_types::Result<()> {
     let forced_traffic = link.snapshot();
 
     assert_eq!(chosen.len(), forced.len());
-    println!("== traffic comparison (same {} result rows) ==", chosen.len());
+    println!(
+        "== traffic comparison (same {} result rows) ==",
+        chosen.len()
+    );
     println!(
         "plan (b) optimizer-chosen : {:>9} bytes, {:>6} rows shipped, {:>10.2?}",
         chosen_traffic.bytes, chosen_traffic.rows, chosen_time

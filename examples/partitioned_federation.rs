@@ -18,7 +18,11 @@ fn main() -> dhqp_types::Result<()> {
     let head = Engine::new("head");
     let m1 = Engine::new("member1-engine");
     let m2 = Engine::new("member2-engine");
-    let engines = [head.storage().as_ref(), m1.storage().as_ref(), m2.storage().as_ref()];
+    let engines = [
+        head.storage().as_ref(),
+        m1.storage().as_ref(),
+        m2.storage().as_ref(),
+    ];
     let members = tpch::create_lineitem_partitions(&engines, &scale, 3)?;
 
     let mut links = Vec::new();
@@ -39,7 +43,15 @@ fn main() -> dhqp_types::Result<()> {
         members
             .into_iter()
             .map(|(idx, table, domain)| {
-                (if idx == 0 { None } else { Some(format!("member{idx}")) }, table, domain)
+                (
+                    if idx == 0 {
+                        None
+                    } else {
+                        Some(format!("member{idx}"))
+                    },
+                    table,
+                    domain,
+                )
             })
             .collect(),
     )?;
@@ -60,9 +72,15 @@ fn main() -> dhqp_types::Result<()> {
     // compile time — guarded by startup filters (Figure in §4.1.5).
     let sql = "SELECT COUNT(*) AS n FROM lineitem_all WHERE l_commitdate = @d";
     let mut params = HashMap::new();
-    params.insert("d".to_string(), Value::Date(parse_date("1996-07-04").expect("valid date")));
+    params.insert(
+        "d".to_string(),
+        Value::Date(parse_date("1996-07-04").expect("valid date")),
+    );
     println!("== runtime pruning via startup filters ==\n{sql}  (@d = 1996-07-04)\n");
-    println!("{}", head.explain_with_params(sql, params.clone())?.render());
+    println!(
+        "{}",
+        head.explain_with_params(sql, params.clone())?.render()
+    );
     head.query_with_params(sql, params.clone())?; // warm metadata
     for l in &links {
         l.reset();
@@ -70,7 +88,12 @@ fn main() -> dhqp_types::Result<()> {
     println!("{}", head.query_with_params(sql, params)?.to_table());
     for (i, l) in links.iter().enumerate() {
         let s = l.snapshot();
-        println!("member{}: {} round trips, {} rows shipped", i + 1, s.requests, s.rows);
+        println!(
+            "member{}: {} round trips, {} rows shipped",
+            i + 1,
+            s.requests,
+            s.rows
+        );
     }
 
     // Routed DML with 2PC across members.
@@ -83,8 +106,10 @@ fn main() -> dhqp_types::Result<()> {
     )?;
     let (commits, aborts) = head.dtc().stats();
     println!("dtc: {commits} committed, {aborts} aborted");
-    let check = head.query("SELECT l_linenumber, l_commitdate FROM lineitem_all \
-                            WHERE l_orderkey = 777001 ORDER BY l_linenumber")?;
+    let check = head.query(
+        "SELECT l_linenumber, l_commitdate FROM lineitem_all \
+                            WHERE l_orderkey = 777001 ORDER BY l_linenumber",
+    )?;
     println!("{}", check.to_table());
     Ok(())
 }

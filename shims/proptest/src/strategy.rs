@@ -1,0 +1,272 @@
+//! Value-generation strategies for the offline proptest shim.
+
+use std::ops::Range;
+
+/// Deterministic splitmix64 generator driving case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        if range.is_empty() {
+            return range.start;
+        }
+        range.start + (self.next_u64() as usize) % (range.end - range.start)
+    }
+}
+
+/// Stand-in for `proptest::strategy::Strategy`.
+pub trait Strategy {
+    type Value;
+
+    /// Produce one value. (Upstream separates trees/shrinking; the shim
+    /// generates directly.)
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.usize_in(0..self.branches.len());
+        self.branches[idx].generate(rng)
+    }
+}
+
+/// `any::<bool>()`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 0
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategy from a small regex-literal subset: `X{lo,hi}` where `X`
+/// is `.` (any printable char, never `\n`) or a char class like `[a-z%_]`.
+/// Anything else is treated as a literal string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_pattern(self) {
+            Some((class, lo, hi)) => {
+                let len = rng.usize_in(lo..hi + 1);
+                (0..len).map(|_| class.sample(rng)).collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+enum CharClass {
+    /// `.` — printable char sampled from a mixed pool (ASCII-heavy with a
+    /// few multi-byte code points to stress UTF-8 handling).
+    Any,
+    /// `[...]` — explicit set, ranges expanded.
+    Set(Vec<char>),
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Any => {
+                const EXTRA: &[char] = &['\t', 'é', 'Ω', '語', '☃'];
+                let roll = rng.usize_in(0..100);
+                if roll < 92 {
+                    // Printable ASCII 0x20..=0x7E.
+                    char::from_u32(0x20 + rng.next_u64() as u32 % 95).unwrap()
+                } else {
+                    EXTRA[rng.usize_in(0..EXTRA.len())]
+                }
+            }
+            CharClass::Set(chars) => chars[rng.usize_in(0..chars.len())],
+        }
+    }
+}
+
+/// Parse `.{lo,hi}` or `[class]{lo,hi}`; `None` means "not a pattern".
+fn parse_pattern(pat: &str) -> Option<(CharClass, usize, usize)> {
+    let (class, rest) = if let Some(rest) = pat.strip_prefix('[') {
+        let close = rest.find(']')?;
+        let inner: Vec<char> = rest[..close].chars().collect();
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < inner.len() {
+            if i + 2 < inner.len() && inner[i + 1] == '-' {
+                let (a, b) = (inner[i], inner[i + 2]);
+                for c in a..=b {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(inner[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        (CharClass::Set(chars), &rest[close + 1..])
+    } else if let Some(rest) = pat.strip_prefix('.') {
+        (CharClass::Any, rest)
+    } else {
+        return None;
+    };
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    Some((class, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_parsing_and_sampling() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-z]{0,6}".generate(&mut rng);
+            assert!(
+                s.len() <= 6 && s.chars().all(|c| c.is_ascii_lowercase()),
+                "{s:?}"
+            );
+            let t = "[a-z%_]{0,12}".generate(&mut rng);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '%' || c == '_'));
+            let any = ".{0,20}".generate(&mut rng);
+            assert!(any.chars().count() <= 20);
+            assert!(!any.contains('\n'));
+        }
+        assert_eq!("not a pattern".generate(&mut rng), "not a pattern");
+    }
+
+    #[test]
+    fn ranges_and_unions() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..500 {
+            let v = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&v));
+            let u = crate::prop_oneof![Just(1i64), Just(2), (10i64..20)].generate(&mut rng);
+            assert!(u == 1 || u == 2 || (10..20).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline drop-in shim for the slice of `rand` 0.8 this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range` over
+//! half-open integer ranges, and `Rng::gen_bool`.
+//!
+//! The generator is splitmix64 — deterministic, seedable, and plenty for
+//! workload generation and randomized tests. It is NOT the same stream as
+//! upstream rand's StdRng, so seeded datasets differ from a registry build;
+//! all in-repo tests derive expectations from the generated data itself.
+
+use std::ops::Range;
+
+/// Core RNG abstraction (stand-in for `rand::RngCore`).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Stand-in for `rand::SeedableRng` (only `seed_from_u64` is used here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods (stand-in for `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from a half-open integer range. Panics if empty,
+    /// like upstream.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), range)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        // 53 high bits -> uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Integer types samplable from a `Range` by `gen_range`.
+pub trait SampleRange: Copy {
+    fn sample(raw: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(raw: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let off = (raw as u128) % span;
+                (range.start as i128 + off as i128) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: i64 = a.gen_range(-5..17);
+            assert_eq!(x, b.gen_range(-5..17));
+            assert!((-5..17).contains(&x));
+            let u: usize = a.gen_range(0..3);
+            assert!(u < 3);
+            assert_eq!(u, b.gen_range(0..3));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(7);
+        assert!(!(0..100).map(|_| r.gen_bool(0.0)).any(|b| b));
+        assert!((0..100).map(|_| r.gen_bool(1.0)).all(|b| b));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "{heads}");
+    }
+}

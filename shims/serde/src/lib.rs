@@ -1,0 +1,28 @@
+//! Offline drop-in shim for the slice of `serde` this workspace touches.
+//!
+//! The codebase derives `Serialize`/`Deserialize` on a handful of plain data
+//! types but never serializes through a format crate, so marker traits plus
+//! no-op derive macros (see `shims/serde_derive`) satisfy every use site
+//! without registry access. The `derive` and `rc` features exist because the
+//! workspace dependency requests them.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives backing the offline serde shim.
+//!
+//! Nothing in the workspace bounds on the serde traits or serializes through
+//! a format crate, so the derives expand to nothing. `attributes(serde)` is
+//! declared so any future `#[serde(...)]` field attribute still parses.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -25,9 +25,10 @@ fn example1_setup(scale: TpchScale) -> (Engine, NetworkLink) {
     tpch::create_nation(local.storage(), &scale).unwrap();
     local.analyze("nation", 8).unwrap();
     let link = NetworkLink::new("link-remote0", NetworkConfig::lan());
-    let networked =
-        NetworkedDataSource::new(Arc::new(EngineDataSource::new(remote)), link.clone());
-    local.add_linked_server("remote0", Arc::new(networked)).unwrap();
+    let networked = NetworkedDataSource::new(Arc::new(EngineDataSource::new(remote)), link.clone());
+    local
+        .add_linked_server("remote0", Arc::new(networked))
+        .unwrap();
     (local, link)
 }
 
@@ -45,7 +46,9 @@ fn warm(engine: &Engine, sql: &str) {
 fn four_part_names_reach_linked_servers() {
     let (local, link) = example1_setup(TpchScale::tiny());
     let before = link.snapshot();
-    let r = local.query("SELECT COUNT(*) AS n FROM remote0.tpch.dbo.customer").unwrap();
+    let r = local
+        .query("SELECT COUNT(*) AS n FROM remote0.tpch.dbo.customer")
+        .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(60)));
     let delta = link.snapshot().since(&before);
     assert!(delta.requests > 0, "query must cross the link");
@@ -64,7 +67,10 @@ fn remote_filter_is_pushed_as_sql() {
     );
     assert!(plan.plan_text.contains("WHERE"), "{}", plan.plan_text);
     // Execution ships only the matching rows.
-    warm(&local, "SELECT c_name FROM remote0.tpch.dbo.customer WHERE c_custkey < 5");
+    warm(
+        &local,
+        "SELECT c_name FROM remote0.tpch.dbo.customer WHERE c_custkey < 5",
+    );
     link.reset();
     let r = local
         .query("SELECT c_name FROM remote0.tpch.dbo.customer WHERE c_custkey < 5")
@@ -142,7 +148,11 @@ fn whole_remote_query_collapses_to_one_statement() {
              WHERE c.c_nationkey = s.s_nationkey AND s.s_suppkey = 3",
         )
         .unwrap();
-    assert!(plan.plan_text.trim_start().starts_with("RemoteQuery"), "{}", plan.plan_text);
+    assert!(
+        plan.plan_text.trim_start().starts_with("RemoteQuery"),
+        "{}",
+        plan.plan_text
+    );
     let r = local
         .query(
             "SELECT c.c_name FROM remote0.tpch.dbo.customer c, remote0.tpch.dbo.supplier s \
@@ -167,7 +177,11 @@ fn remote_group_by_pushdown() {
     let r = local.query(sql).unwrap();
     assert!(r.len() <= 5, "tiny scale has 5 nations");
     let traffic = link.snapshot();
-    assert!(traffic.rows <= 6, "only aggregated rows cross the wire, got {}", traffic.rows);
+    assert!(
+        traffic.rows <= 6,
+        "only aggregated rows cross the wire, got {}",
+        traffic.rows
+    );
 }
 
 #[test]
@@ -215,10 +229,22 @@ fn ablation_disable_remote_query_ships_rows() {
     link.reset();
     let r = local.query(sql).unwrap();
     assert!(!r.is_empty(), "answers stay correct without pushdown");
-    assert_eq!(r.len() as u64, pushed.rows, "pushdown shipped exactly the matches");
+    assert_eq!(
+        r.len() as u64,
+        pushed.rows,
+        "pushdown shipped exactly the matches"
+    );
     let shipped = link.snapshot();
-    assert_eq!(shipped.rows, 60, "row shipping moves the whole customer table");
-    assert!(shipped.rows > pushed.rows * 3, "pushed={} shipped={}", pushed.rows, shipped.rows);
+    assert_eq!(
+        shipped.rows, 60,
+        "row shipping moves the whole customer table"
+    );
+    assert!(
+        shipped.rows > pushed.rows * 3,
+        "pushed={} shipped={}",
+        pushed.rows,
+        shipped.rows
+    );
 }
 
 #[test]
@@ -257,7 +283,10 @@ fn spool_prevents_remote_rescans() {
     let r1 = local.query(sql).unwrap();
     let with_spool = link.snapshot();
 
-    let config = OptimizerConfig { enable_spool: false, ..Default::default() };
+    let config = OptimizerConfig {
+        enable_spool: false,
+        ..Default::default()
+    };
     local.set_optimizer_config(config);
     warm(&local, sql);
     link.reset();
@@ -312,7 +341,9 @@ fn remote_dml_through_linked_server() {
         .execute("UPDATE remote0.tpch.dbo.supplier SET s_acctbal = 75.0 WHERE s_suppkey = 999")
         .unwrap();
     assert_eq!(n.rows_affected, Some(1));
-    let n = local.execute("DELETE FROM remote0.tpch.dbo.supplier WHERE s_suppkey = 999").unwrap();
+    let n = local
+        .execute("DELETE FROM remote0.tpch.dbo.supplier WHERE s_suppkey = 999")
+        .unwrap();
     assert_eq!(n.rows_affected, Some(1));
 }
 
@@ -329,10 +360,14 @@ fn results_match_local_execution() {
     // load_all uses the same seed but interleaves nation first, so compare
     // aggregates that do not depend on the row-level rng stream.
     let d = distributed
-        .query("SELECT COUNT(*) AS n FROM remote0.tpch.dbo.customer c, nation n \
-                WHERE c.c_nationkey = n.n_nationkey")
+        .query(
+            "SELECT COUNT(*) AS n FROM remote0.tpch.dbo.customer c, nation n \
+                WHERE c.c_nationkey = n.n_nationkey",
+        )
         .unwrap();
-    let c = distributed.query("SELECT COUNT(*) AS n FROM remote0.tpch.dbo.customer").unwrap();
+    let c = distributed
+        .query("SELECT COUNT(*) AS n FROM remote0.tpch.dbo.customer")
+        .unwrap();
     // Every customer has a valid nation, so the join preserves the count.
     assert_eq!(d.scalar(), c.scalar());
 }

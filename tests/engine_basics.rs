@@ -55,7 +55,9 @@ fn select_star() {
 #[test]
 fn filter_and_projection() {
     let e = engine_with_emp();
-    let r = e.query("SELECT name, salary FROM emp WHERE dept = 'eng' AND salary > 100").unwrap();
+    let r = e
+        .query("SELECT name, salary FROM emp WHERE dept = 'eng' AND salary > 100")
+        .unwrap();
     assert_eq!(r.len(), 1);
     assert_eq!(r.value(0, 0), &Value::Str("alice".into()));
 }
@@ -63,7 +65,9 @@ fn filter_and_projection() {
 #[test]
 fn order_by_and_top() {
     let e = engine_with_emp();
-    let r = e.query("SELECT TOP 2 name FROM emp ORDER BY salary DESC").unwrap();
+    let r = e
+        .query("SELECT TOP 2 name FROM emp ORDER BY salary DESC")
+        .unwrap();
     assert_eq!(r.len(), 2);
     assert_eq!(r.value(0, 0), &Value::Str("alice".into()));
     assert_eq!(r.value(1, 0), &Value::Str("erin".into()));
@@ -87,7 +91,9 @@ fn group_by_having() {
 #[test]
 fn distinct() {
     let e = engine_with_emp();
-    let r = e.query("SELECT DISTINCT dept FROM emp ORDER BY dept").unwrap();
+    let r = e
+        .query("SELECT DISTINCT dept FROM emp ORDER BY dept")
+        .unwrap();
     assert_eq!(r.len(), 3);
 }
 
@@ -136,7 +142,9 @@ fn in_subquery_and_scalar_subquery() {
         .query("SELECT name FROM emp WHERE dept IN (SELECT dept FROM emp WHERE salary >= 110)")
         .unwrap();
     assert_eq!(r.len(), 3); // eng x2 + sales
-    let r = e.query("SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)").unwrap();
+    let r = e
+        .query("SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)")
+        .unwrap();
     assert_eq!(r.len(), 1);
     assert_eq!(r.value(0, 0), &Value::Str("alice".into()));
 }
@@ -146,28 +154,39 @@ fn parameters_and_startup_semantics() {
     let e = engine_with_emp();
     let mut params = std::collections::HashMap::new();
     params.insert("d".to_string(), Value::Str("hr".into()));
-    let r = e.query_with_params("SELECT COUNT(*) AS n FROM emp WHERE dept = @d", params).unwrap();
+    let r = e
+        .query_with_params("SELECT COUNT(*) AS n FROM emp WHERE dept = @d", params)
+        .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(2)));
 }
 
 #[test]
 fn dml_insert_update_delete() {
     let e = engine_with_emp();
-    let r = e.execute("INSERT INTO emp (id, name, dept, salary) VALUES (6, 'frank', 'eng', 95)").unwrap();
+    let r = e
+        .execute("INSERT INTO emp (id, name, dept, salary) VALUES (6, 'frank', 'eng', 95)")
+        .unwrap();
     assert_eq!(r.rows_affected, Some(1));
-    let r = e.execute("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'").unwrap();
+    let r = e
+        .execute("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'")
+        .unwrap();
     assert_eq!(r.rows_affected, Some(3));
     let check = e.query("SELECT salary FROM emp WHERE id = 6").unwrap();
     assert_eq!(check.value(0, 0), &Value::Int(105));
     let r = e.execute("DELETE FROM emp WHERE salary < 100").unwrap();
     assert_eq!(r.rows_affected, Some(2)); // dave 80, carol 90
-    assert_eq!(e.query("SELECT COUNT(*) AS n FROM emp").unwrap().scalar(), Some(&Value::Int(4)));
+    assert_eq!(
+        e.query("SELECT COUNT(*) AS n FROM emp").unwrap().scalar(),
+        Some(&Value::Int(4))
+    );
 }
 
 #[test]
 fn unique_index_enforced_via_sql() {
     let e = engine_with_emp();
-    let err = e.execute("INSERT INTO emp (id, name) VALUES (1, 'dup')").unwrap_err();
+    let err = e
+        .execute("INSERT INTO emp (id, name) VALUES (1, 'dup')")
+        .unwrap_err();
     assert_eq!(err.kind(), "constraint");
 }
 
@@ -192,9 +211,14 @@ fn select_without_from() {
 fn errors_surface_cleanly() {
     let e = engine_with_emp();
     assert_eq!(e.query("SELECT nope FROM emp").unwrap_err().kind(), "bind");
-    assert_eq!(e.query("SELECT * FROM ghost").unwrap_err().kind(), "catalog");
+    assert_eq!(
+        e.query("SELECT * FROM ghost").unwrap_err().kind(),
+        "catalog"
+    );
     assert_eq!(e.query("SELEKT").unwrap_err().kind(), "parse");
     // Missing parameter value.
-    let err = e.query("SELECT * FROM emp WHERE id = @missing").unwrap_err();
+    let err = e
+        .query("SELECT * FROM emp WHERE id = @missing")
+        .unwrap_err();
     assert_eq!(err.kind(), "execute");
 }

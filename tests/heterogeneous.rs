@@ -28,8 +28,14 @@ fn csv_linked_server_queries() {
     assert_eq!(r.len(), 2);
     assert_eq!(r.value(0, 0), &Value::Str("beth".into()));
     // Simple provider: everything is computed locally, but it still works.
-    let plan = engine.explain("SELECT COUNT(*) AS n FROM files.fs.dbo.[scores.csv]").unwrap();
-    assert!(!plan.plan_text.contains("RemoteQuery"), "{}", plan.plan_text);
+    let plan = engine
+        .explain("SELECT COUNT(*) AS n FROM files.fs.dbo.[scores.csv]")
+        .unwrap();
+    assert!(
+        !plan.plan_text.contains("RemoteQuery"),
+        "{}",
+        plan.plan_text
+    );
 }
 
 #[test]
@@ -55,12 +61,22 @@ fn spreadsheet_join_with_local_table() {
         .unwrap();
     let mut sheet = Sheet::new(
         "Actuals",
-        vec![("Quarter".into(), DataType::Str), ("Amount".into(), DataType::Float)],
+        vec![
+            ("Quarter".into(), DataType::Str),
+            ("Amount".into(), DataType::Float),
+        ],
     );
-    sheet.push_row(vec![Value::Str("Q1".into()), Value::Float(110_000.0)]).unwrap();
-    sheet.push_row(vec![Value::Str("Q2".into()), Value::Float(90_000.0)]).unwrap();
+    sheet
+        .push_row(vec![Value::Str("Q1".into()), Value::Float(110_000.0)])
+        .unwrap();
+    sheet
+        .push_row(vec![Value::Str("Q2".into()), Value::Float(90_000.0)])
+        .unwrap();
     engine
-        .add_linked_server("xls", Arc::new(SpreadsheetProvider::new("book.xls", vec![sheet])))
+        .add_linked_server(
+            "xls",
+            Arc::new(SpreadsheetProvider::new("book.xls", vec![sheet])),
+        )
         .unwrap();
     let r = engine
         .query(
@@ -90,7 +106,11 @@ fn minisql_provider_receives_pushdown_within_its_level() {
         .map(|i| {
             Row::new(vec![
                 Value::Str(format!("c{i}@x.example")),
-                Value::Str(if i % 4 == 0 { "Seattle".into() } else { format!("City{}", i % 3) }),
+                Value::Str(if i % 4 == 0 {
+                    "Seattle".into()
+                } else {
+                    format!("City{}", i % 3)
+                }),
             ])
         })
         .collect();
@@ -128,12 +148,15 @@ fn sql_minimum_provider_gets_only_simple_pushdown() {
             ]),
         ))
         .unwrap();
-    let rows: Vec<Row> =
-        (0..50).map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 7)])).collect();
+    let rows: Vec<Row> = (0..50)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 7)]))
+        .collect();
     storage.insert_rows("t", &rows).unwrap();
     let provider = MiniSqlProvider::new("minidb", storage, SqlSupport::Minimum).unwrap();
     let engine = Engine::new("local");
-    engine.add_linked_server("mini", Arc::new(provider)).unwrap();
+    engine
+        .add_linked_server("mini", Arc::new(provider))
+        .unwrap();
 
     // Conjunctive comparison: pushable at SQL Minimum.
     let sql = "SELECT k FROM mini.db.dbo.t WHERE k > 40 AND v = 1";
@@ -165,8 +188,7 @@ fn openrowset_fulltext_documents() {
     engine.register_openrowset_provider(
         "MSIDXS",
         Arc::new(move |catalog: &str| {
-            Ok(Arc::new(FullTextProvider::new(Arc::clone(&svc), catalog))
-                as Arc<dyn DataSource>)
+            Ok(Arc::new(FullTextProvider::new(Arc::clone(&svc), catalog)) as Arc<dyn DataSource>)
         }),
     );
     // The paper's §2.2 query, modulo dialect details.
@@ -179,8 +201,13 @@ fn openrowset_fulltext_documents() {
         .unwrap();
     assert!(!r.is_empty());
     for row in &r.rows {
-        let Value::Str(path) = row.get(0) else { panic!("path must be a string") };
-        assert!(path.contains("databases"), "only database-topic docs match: {path}");
+        let Value::Str(path) = row.get(0) else {
+            panic!("path must be a string")
+        };
+        assert!(
+            path.contains("databases"),
+            "only database-topic docs match: {path}"
+        );
     }
     // Rank-ordered TOP via the provider's rank column.
     let r = engine
@@ -233,7 +260,9 @@ fn contains_over_relational_table() {
             ],
         )
         .unwrap();
-    engine.create_fulltext_index("articles", "id", "body", "articles_ft").unwrap();
+    engine
+        .create_fulltext_index("articles", "id", "body", "articles_ft")
+        .unwrap();
 
     // Inflection folding: 'run' matches 'runner'/'ran' (§2.3).
     let r = engine
@@ -251,7 +280,9 @@ fn contains_over_relational_table() {
 
     // Index maintenance after DML through the engine.
     engine.execute("DELETE FROM articles WHERE id = 2").unwrap();
-    let r = engine.query("SELECT id FROM articles WHERE CONTAINS(body, 'database')").unwrap();
+    let r = engine
+        .query("SELECT id FROM articles WHERE CONTAINS(body, 'database')")
+        .unwrap();
     assert!(r.is_empty(), "deleted rows must leave the full-text index");
 }
 
@@ -271,7 +302,8 @@ fn salesman_email_scenario() {
         reply_fraction: 0.5,
         today,
     };
-    let mailbox = MailboxProvider::from_text("d:\\mail\\smith.mmf", &generate_mailbox(&spec, 21)).unwrap();
+    let mailbox =
+        MailboxProvider::from_text("d:\\mail\\smith.mmf", &generate_mailbox(&spec, 21)).unwrap();
     engine.add_linked_server("mail", Arc::new(mailbox)).unwrap();
 
     // Access-style Customers table: half the customers are in Seattle.
@@ -302,7 +334,9 @@ fn salesman_email_scenario() {
     engine
         .add_linked_server(
             "access",
-            Arc::new(MiniSqlProvider::new("enterprise.mdb", storage, SqlSupport::OdbcCore).unwrap()),
+            Arc::new(
+                MiniSqlProvider::new("enterprise.mdb", storage, SqlSupport::OdbcCore).unwrap(),
+            ),
         )
         .unwrap();
 
@@ -317,9 +351,13 @@ fn salesman_email_scenario() {
     let r = engine.query(sql).unwrap();
     assert!(!r.is_empty(), "some recent Seattle mail must be unanswered");
     // Cross-check each result row against first principles.
-    let all_mail = engine.query("SELECT msgid, from_addr, date, inreplyto FROM mail.mbx.dbo.messages").unwrap();
+    let all_mail = engine
+        .query("SELECT msgid, from_addr, date, inreplyto FROM mail.mbx.dbo.messages")
+        .unwrap();
     for row in &r.rows {
-        let Value::Str(msgid) = row.get(0) else { panic!() };
+        let Value::Str(msgid) = row.get(0) else {
+            panic!()
+        };
         let parent = all_mail
             .rows
             .iter()
@@ -382,7 +420,10 @@ fn three_source_federated_join() {
     engine
         .add_linked_server(
             "salesrv",
-            Arc::new(NetworkedDataSource::new(Arc::new(EngineDataSource::new(remote)), link)),
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(remote)),
+                link,
+            )),
         )
         .unwrap();
 

@@ -1,0 +1,327 @@
+//! Observability integration tests: `EXPLAIN ANALYZE` over distributed
+//! plans, the engine metrics registry and the recent-query ring.
+
+use dhqp::{Engine, EngineDataSource, StatementKind};
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
+use dhqp_storage::TableDef;
+use dhqp_types::{Column, DataType, Row, Schema, Value};
+use dhqp_workload::tpch::{self, TpchScale};
+use std::sync::Arc;
+
+/// Local engine + two remote servers: remote0 holds customer, remote1
+/// holds supplier, nation stays local — the Figure 4 layout split across
+/// two links so a join must touch both servers.
+fn two_server_setup(scale: TpchScale) -> (Engine, NetworkLink, NetworkLink) {
+    use rand::SeedableRng;
+    let remote0 = Engine::new("remote0-engine");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    tpch::create_customer(remote0.storage(), &scale, &mut rng).unwrap();
+    remote0.storage().analyze("customer", 24).unwrap();
+
+    let remote1 = Engine::new("remote1-engine");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    tpch::create_supplier(remote1.storage(), &scale, &mut rng).unwrap();
+    remote1.storage().analyze("supplier", 24).unwrap();
+
+    let local = Engine::new("local");
+    tpch::create_nation(local.storage(), &scale).unwrap();
+    local.analyze("nation", 8).unwrap();
+
+    let link0 = NetworkLink::new("link-remote0", NetworkConfig::lan());
+    let link1 = NetworkLink::new("link-remote1", NetworkConfig::lan());
+    local
+        .add_linked_server(
+            "remote0",
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(remote0)),
+                link0.clone(),
+            )),
+        )
+        .unwrap();
+    local
+        .add_linked_server(
+            "remote1",
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(remote1)),
+                link1.clone(),
+            )),
+        )
+        .unwrap();
+    (local, link0, link1)
+}
+
+const TWO_SERVER_JOIN: &str = "SELECT c.c_name, c.c_address, c.c_phone \
+     FROM remote0.tpch.dbo.customer c, remote1.tpch.dbo.supplier s, nation n \
+     WHERE c.c_nationkey = n.n_nationkey AND n.n_nationkey = s.s_nationkey";
+
+#[test]
+fn explain_analyze_distributed_join_reports_wire_activity() {
+    let (local, _l0, _l1) = two_server_setup(TpchScale::tiny());
+    let expected_rows = local.query(TWO_SERVER_JOIN).unwrap().len();
+    assert!(expected_rows > 0, "scenario must produce rows");
+
+    let report = local.execute_analyze(TWO_SERVER_JOIN).unwrap();
+    assert_eq!(
+        report.result.len(),
+        expected_rows,
+        "ANALYZE returns the query's own rows"
+    );
+
+    // The root operator's actual row count matches what came back.
+    let root = report.node(0).expect("root node executed");
+    assert_eq!(root.rows, expected_rows as u64);
+
+    // Both servers appear as remote nodes with shipped text and nonzero
+    // traffic deltas.
+    let remotes = report.remote_nodes();
+    let servers: Vec<&str> = remotes
+        .iter()
+        .map(|(_, rt)| rt.remote.as_ref().unwrap().server.as_str())
+        .collect();
+    assert!(servers.contains(&"remote0"), "remote0 missing: {servers:?}");
+    assert!(servers.contains(&"remote1"), "remote1 missing: {servers:?}");
+    for (id, rt) in &remotes {
+        let trace = rt.remote.as_ref().unwrap();
+        assert!(!trace.sql.is_empty(), "node {id} has no shipped text");
+        assert!(trace.traffic.requests > 0, "node {id} recorded no requests");
+        assert!(trace.traffic.bytes > 0, "node {id} recorded no bytes");
+        assert!(rt.rows > 0, "node {id} produced no rows");
+    }
+
+    // The rendered report carries the wire and SQL annotations.
+    let rendered = report.render();
+    assert!(rendered.contains("actual_rows="), "{rendered}");
+    assert!(rendered.contains("[wire @remote0:"), "{rendered}");
+    assert!(rendered.contains("[wire @remote1:"), "{rendered}");
+    assert!(rendered.contains("[shipped: "), "{rendered}");
+    assert!(
+        rendered.contains("rules fired"),
+        "optimizer telemetry missing:\n{rendered}"
+    );
+}
+
+#[test]
+fn figure4_cardinality_estimates_within_bounds() {
+    // Satellite: cardinality sanity over the Figure 4 remote-join plan.
+    // With fresh statistics on every table, the root estimate must land
+    // within an order of magnitude of the actual row count.
+    let (local, _l0, _l1) = two_server_setup(TpchScale::small());
+    let report = local.execute_analyze(TWO_SERVER_JOIN).unwrap();
+    let actual = report.node(0).unwrap().rows as f64;
+    let est = report.plan.est_rows;
+    assert!(actual > 0.0);
+    assert!(
+        est <= actual * 10.0 && est >= actual / 10.0,
+        "root estimate off by more than 10x: est={est:.0} actual={actual:.0}\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn explain_and_explain_analyze_through_execute() {
+    let (local, _l0, _l1) = two_server_setup(TpchScale::tiny());
+
+    let r = local.execute("EXPLAIN SELECT n_name FROM nation").unwrap();
+    assert_eq!(r.schema.columns()[0].name, "plan");
+    let text: Vec<String> = r.rows.iter().map(|row| row.get(0).to_string()).collect();
+    assert!(text.iter().any(|l| l.contains("est_rows")), "{text:?}");
+    assert!(
+        !text.iter().any(|l| l.contains("actual_rows")),
+        "plain EXPLAIN must not execute: {text:?}"
+    );
+
+    let r = local
+        .execute("EXPLAIN ANALYZE SELECT n_name FROM nation")
+        .unwrap();
+    let text: Vec<String> = r.rows.iter().map(|row| row.get(0).to_string()).collect();
+    assert!(text.iter().any(|l| l.contains("actual_rows=")), "{text:?}");
+
+    let m = local.metrics();
+    assert_eq!(m.explains, 1);
+    assert_eq!(m.explain_analyzes, 1);
+}
+
+#[test]
+fn metrics_count_statements_and_recent_queries() {
+    let engine = Engine::new("local");
+    engine
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+
+    engine.execute("INSERT INTO t (a) VALUES (1)").unwrap();
+    engine.execute("INSERT INTO t (a) VALUES (2)").unwrap();
+    engine.execute("UPDATE t SET a = 3 WHERE a = 2").unwrap();
+    engine.execute("SELECT a FROM t").unwrap();
+    engine.execute("DELETE FROM t WHERE a = 3").unwrap();
+    assert!(engine.execute("FROB GARBAGE").is_err());
+    assert!(engine.execute("SELECT missing_col FROM t").is_err());
+
+    let m = engine.metrics();
+    assert_eq!(m.inserts, 2);
+    assert_eq!(m.updates, 1);
+    assert_eq!(m.selects, 2, "failed binds still count as SELECT attempts");
+    assert_eq!(m.deletes, 1);
+    assert_eq!(m.statement_errors, 2, "one parse error + one bind error");
+    assert_eq!(m.statements(), 6, "parse failures are not classified");
+
+    let recent = engine.recent_queries();
+    assert_eq!(recent.len(), 6, "unparseable text never reaches the ring");
+    assert_eq!(recent[0].kind, StatementKind::Insert);
+    assert_eq!(recent[0].rows, 1);
+    assert!(recent[0].ok);
+    let last = recent.last().unwrap();
+    assert_eq!(last.kind, StatementKind::Select);
+    assert_eq!(last.sql, "SELECT missing_col FROM t");
+    assert!(!last.ok);
+}
+
+#[test]
+fn metadata_cache_hits_on_repeat_queries() {
+    let (local, _l0, _l1) = two_server_setup(TpchScale::tiny());
+    let sql = "SELECT COUNT(*) AS n FROM remote0.tpch.dbo.customer";
+
+    local.query(sql).unwrap();
+    let first = local.metrics();
+    assert!(
+        first.meta_cache_misses > 0,
+        "first query must fetch remote metadata"
+    );
+
+    local.query(sql).unwrap();
+    local.query(sql).unwrap();
+    let after = local.metrics();
+    assert_eq!(
+        after.meta_cache_misses, first.meta_cache_misses,
+        "repeat queries must not re-fetch metadata"
+    );
+    assert!(
+        after.meta_cache_hits > first.meta_cache_hits,
+        "repeat queries hit the cache"
+    );
+}
+
+#[test]
+fn linked_server_reregistration_invalidates_stale_metadata() {
+    let local = Engine::new("local");
+
+    let old = Engine::new("old-remote");
+    old.create_table(TableDef::new(
+        "t",
+        Schema::new(vec![Column::not_null("a", DataType::Int)]),
+    ))
+    .unwrap();
+    old.insert("t", &[Row::new(vec![Value::Int(1)])]).unwrap();
+    local
+        .add_linked_server("srv", Arc::new(EngineDataSource::new(old)))
+        .unwrap();
+    local.query("SELECT a FROM srv.db.dbo.t").unwrap();
+    // The old schema has no column b.
+    assert!(local.query("SELECT b FROM srv.db.dbo.t").is_err());
+
+    // Re-point 'srv' at an engine whose t has an extra column. Without
+    // invalidation the cached single-column schema would still bind.
+    let new = Engine::new("new-remote");
+    new.create_table(TableDef::new(
+        "t",
+        Schema::new(vec![
+            Column::not_null("a", DataType::Int),
+            Column::not_null("b", DataType::Str),
+        ]),
+    ))
+    .unwrap();
+    new.insert(
+        "t",
+        &[Row::new(vec![Value::Int(2), Value::Str("x".into())])],
+    )
+    .unwrap();
+    local
+        .add_linked_server("srv", Arc::new(EngineDataSource::new(new)))
+        .unwrap();
+
+    let r = local.query("SELECT b FROM srv.db.dbo.t").unwrap();
+    assert_eq!(r.value(0, 0), &Value::Str("x".into()));
+}
+
+#[test]
+fn dtc_outcomes_surface_in_metrics() {
+    let engine = Engine::new("local");
+    let remote = Engine::new("remote");
+    remote
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+    let source: Arc<dyn dhqp_oledb::DataSource> = Arc::new(EngineDataSource::new(remote));
+
+    let mut txn = engine.dtc().begin();
+    txn.enlist("srv", source.create_session().unwrap()).unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = engine.dtc().begin();
+    txn.enlist("srv", source.create_session().unwrap()).unwrap();
+    txn.abort().unwrap();
+
+    let m = engine.metrics();
+    assert_eq!(m.dtc_commits, 1);
+    assert_eq!(m.dtc_aborts, 1);
+}
+
+#[test]
+fn fulltext_searches_are_counted() {
+    let engine = Engine::new("local");
+    engine
+        .create_table(
+            TableDef::new(
+                "docs",
+                Schema::new(vec![
+                    Column::not_null("id", DataType::Int),
+                    Column::new("body", DataType::Str),
+                ]),
+            )
+            .with_index("pk_docs", &["id"], true),
+        )
+        .unwrap();
+    engine
+        .insert(
+            "docs",
+            &[Row::new(vec![
+                Value::Int(1),
+                Value::Str("distributed query processing".into()),
+            ])],
+        )
+        .unwrap();
+    engine
+        .create_fulltext_index("docs", "id", "body", "docs_ft")
+        .unwrap();
+    assert_eq!(engine.metrics().fulltext_searches, 0);
+
+    let r = engine
+        .query("SELECT id FROM docs WHERE CONTAINS(body, 'query')")
+        .unwrap();
+    assert_eq!(r.len(), 1);
+    assert!(engine.metrics().fulltext_searches >= 1);
+}
+
+#[test]
+fn spool_hits_and_remote_roundtrips_are_counted() {
+    let (local, _l0, _l1) = two_server_setup(TpchScale::tiny());
+    // Outer join pins the remote table on the inner side; the spool
+    // answers every rescan after the first from its cache.
+    let sql = "SELECT COUNT(*) AS n FROM nation n LEFT OUTER JOIN remote1.tpch.dbo.supplier s \
+               ON s.s_suppkey > n.n_nationkey";
+    local.query(sql).unwrap();
+    let m = local.metrics();
+    assert!(
+        m.remote_roundtrips > 0,
+        "the supplier fetch crosses the link"
+    );
+    assert!(m.spool_builds >= 1, "the inner subtree is spooled");
+    assert!(
+        m.spool_hits >= 1,
+        "rescans are served from the spool: {m:?}"
+    );
+}

@@ -22,7 +22,11 @@ fn dpv_setup(scale: TpchScale) -> Federation {
     let r1 = Engine::new("member1-engine");
     let r2 = Engine::new("member2-engine");
     // Partition years 1992..=1998 over [local, r1, r2] round robin.
-    let engines = [local.storage().as_ref(), r1.storage().as_ref(), r2.storage().as_ref()];
+    let engines = [
+        local.storage().as_ref(),
+        r1.storage().as_ref(),
+        r2.storage().as_ref(),
+    ];
     let members = tpch::create_lineitem_partitions(&engines, &scale, 17).unwrap();
 
     let mut links = Vec::new();
@@ -49,18 +53,29 @@ fn dpv_setup(scale: TpchScale) -> Federation {
             (server, table, domain)
         })
         .collect();
-    local.define_partitioned_view("lineitem_all", "l_commitdate", view_members).unwrap();
-    Federation { local, remotes: vec![r1, r2], links }
+    local
+        .define_partitioned_view("lineitem_all", "l_commitdate", view_members)
+        .unwrap();
+    Federation {
+        local,
+        remotes: vec![r1, r2],
+        links,
+    }
 }
 
 #[test]
 fn view_unions_all_partitions() {
     let fed = dpv_setup(TpchScale::tiny());
     let scale = TpchScale::tiny();
-    let r = fed.local.query("SELECT COUNT(*) AS n FROM lineitem_all").unwrap();
+    let r = fed
+        .local
+        .query("SELECT COUNT(*) AS n FROM lineitem_all")
+        .unwrap();
     assert_eq!(
         r.scalar(),
-        Some(&Value::Int((scale.orders * scale.lineitems_per_order) as i64))
+        Some(&Value::Int(
+            (scale.orders * scale.lineitems_per_order) as i64
+        ))
     );
 }
 
@@ -73,7 +88,11 @@ fn static_pruning_touches_one_partition() {
     // 1995 lives on exactly one member; the others are pruned at compile
     // time, so the plan touches a single lineitem_95 access.
     let touched = plan.plan_text.matches("lineitem_9").count();
-    assert_eq!(touched, 1, "static pruning must leave one member:\n{}", plan.plan_text);
+    assert_eq!(
+        touched, 1,
+        "static pruning must leave one member:\n{}",
+        plan.plan_text
+    );
     assert!(plan.plan_text.contains("lineitem_95"), "{}", plan.plan_text);
     // And it answers correctly.
     let n = fed.local.query(sql).unwrap();
@@ -88,11 +107,17 @@ fn pruning_ablation_touches_everything() {
     fed.local.set_optimizer_config(config);
     let plan = fed
         .local
-        .explain("SELECT COUNT(*) AS n FROM lineitem_all WHERE l_commitdate >= '1995-01-01' \
-                  AND l_commitdate <= '1995-12-31'")
+        .explain(
+            "SELECT COUNT(*) AS n FROM lineitem_all WHERE l_commitdate >= '1995-01-01' \
+                  AND l_commitdate <= '1995-12-31'",
+        )
         .unwrap();
     let touched = plan.plan_text.matches("lineitem_9").count();
-    assert_eq!(touched, 7, "without pruning all members are scanned:\n{}", plan.plan_text);
+    assert_eq!(
+        touched, 7,
+        "without pruning all members are scanned:\n{}",
+        plan.plan_text
+    );
 }
 
 #[test]
@@ -121,7 +146,10 @@ fn runtime_pruning_with_startup_filters() {
     // Parameterized date: compile-time pruning is impossible; the plan
     // carries startup filters instead (§4.1.5).
     let mut params = HashMap::new();
-    params.insert("d".to_string(), Value::Date(parse_date("1994-06-15").unwrap()));
+    params.insert(
+        "d".to_string(),
+        Value::Date(parse_date("1994-06-15").unwrap()),
+    );
     let plan = fed.local.explain_with_params(sql, params.clone()).unwrap();
     assert!(
         plan.plan_text.contains("StartupFilter"),
@@ -138,7 +166,10 @@ fn runtime_pruning_with_startup_filters() {
     // 1994 is year index 2 → engine index 2 % 3 = 2 → member2 (links[1]).
     let m1 = fed.links[0].snapshot();
     let m2 = fed.links[1].snapshot();
-    assert_eq!(m1.requests, 0, "member1 must be skipped by its startup filter");
+    assert_eq!(
+        m1.requests, 0,
+        "member1 must be skipped by its startup filter"
+    );
     assert!(m2.requests > 0, "member2 holds 1994 and must run");
 }
 
@@ -178,19 +209,28 @@ fn insert_routes_to_member_by_partition_value() {
 #[test]
 fn delete_through_view_prunes_members() {
     let fed = dpv_setup(TpchScale::tiny());
-    let before = fed.local.query("SELECT COUNT(*) AS n FROM lineitem_all").unwrap();
+    let before = fed
+        .local
+        .query("SELECT COUNT(*) AS n FROM lineitem_all")
+        .unwrap();
     let deleted = fed
         .local
         .execute("DELETE FROM lineitem_all WHERE l_commitdate < '1993-01-01'")
         .unwrap();
     assert!(deleted.rows_affected.unwrap() > 0);
-    let after = fed.local.query("SELECT COUNT(*) AS n FROM lineitem_all").unwrap();
+    let after = fed
+        .local
+        .query("SELECT COUNT(*) AS n FROM lineitem_all")
+        .unwrap();
     let (Some(Value::Int(b)), Some(Value::Int(a))) = (before.scalar(), after.scalar()) else {
         panic!("counts");
     };
     assert_eq!(a + deleted.rows_affected.unwrap() as i64, *b);
     // 1992 partition is now empty.
-    let r = fed.local.query("SELECT COUNT(*) AS n FROM lineitem_92").unwrap();
+    let r = fed
+        .local
+        .query("SELECT COUNT(*) AS n FROM lineitem_92")
+        .unwrap();
     assert_eq!(r.scalar(), Some(&Value::Int(0)));
 }
 
@@ -209,12 +249,17 @@ fn update_moving_partition_key_relocates_row() {
         .execute("UPDATE lineitem_all SET l_commitdate = '1996-06-01' WHERE l_orderkey = 7777")
         .unwrap();
     assert_eq!(n.rows_affected, Some(1));
-    let gone = fed.local.query("SELECT COUNT(*) AS n FROM lineitem_92 WHERE l_orderkey = 7777").unwrap();
+    let gone = fed
+        .local
+        .query("SELECT COUNT(*) AS n FROM lineitem_92 WHERE l_orderkey = 7777")
+        .unwrap();
     assert_eq!(gone.scalar(), Some(&Value::Int(0)));
     let moved = fed
         .local
-        .query("SELECT COUNT(*) AS n FROM lineitem_all WHERE l_orderkey = 7777 \
-                AND l_commitdate = '1996-06-01'")
+        .query(
+            "SELECT COUNT(*) AS n FROM lineitem_all WHERE l_orderkey = 7777 \
+                AND l_commitdate = '1996-06-01'",
+        )
         .unwrap();
     assert_eq!(moved.scalar(), Some(&Value::Int(1)));
 }
@@ -222,7 +267,10 @@ fn update_moving_partition_key_relocates_row() {
 #[test]
 fn multi_member_dml_is_atomic_under_failure() {
     let fed = dpv_setup(TpchScale::tiny());
-    let before = fed.local.query("SELECT COUNT(*) AS n FROM lineitem_all").unwrap();
+    let before = fed
+        .local
+        .query("SELECT COUNT(*) AS n FROM lineitem_all")
+        .unwrap();
     // Inject a prepare failure on member1's engine, then attempt an insert
     // spanning local + member1 + member2.
     fed.remotes[0].storage().set_fail_prepare(true);
@@ -239,7 +287,10 @@ fn multi_member_dml_is_atomic_under_failure() {
     assert_eq!(err.kind(), "transaction");
     fed.remotes[0].storage().set_fail_prepare(false);
     // Atomicity: nothing was applied anywhere.
-    let after = fed.local.query("SELECT COUNT(*) AS n FROM lineitem_all").unwrap();
+    let after = fed
+        .local
+        .query("SELECT COUNT(*) AS n FROM lineitem_all")
+        .unwrap();
     assert_eq!(before.scalar(), after.scalar());
     let (commits, aborts) = fed.local.dtc().stats();
     assert_eq!((commits, aborts), (0, 1));
@@ -249,7 +300,9 @@ fn multi_member_dml_is_atomic_under_failure() {
 fn delayed_schema_validation_detects_drift() {
     let fed = dpv_setup(TpchScale::tiny());
     // Plans compile against the definition-time snapshot...
-    fed.local.query("SELECT COUNT(*) AS n FROM lineitem_all").unwrap();
+    fed.local
+        .query("SELECT COUNT(*) AS n FROM lineitem_all")
+        .unwrap();
     // ...then a member's schema changes behind the federation's back.
     fed.remotes[0].storage().drop_table("lineitem_93").unwrap();
     fed.remotes[0]
@@ -260,7 +313,10 @@ fn delayed_schema_validation_detects_drift() {
         ))
         .unwrap();
     fed.local.clear_metadata_cache();
-    let err = fed.local.query("SELECT COUNT(*) AS n FROM lineitem_all").unwrap_err();
+    let err = fed
+        .local
+        .query("SELECT COUNT(*) AS n FROM lineitem_all")
+        .unwrap_err();
     assert_eq!(err.kind(), "schema-drift", "{err}");
 }
 
@@ -294,24 +350,43 @@ fn local_partitioned_view_works_without_servers() {
             "all_k",
             "k",
             vec![
-                (None, "p_low".into(), dhqp_types::IntervalSet::single(
-                    dhqp_types::Interval::between(Value::Int(0), Value::Int(99)),
-                )),
-                (None, "p_high".into(), dhqp_types::IntervalSet::single(
-                    dhqp_types::Interval::between(Value::Int(100), Value::Int(199)),
-                )),
+                (
+                    None,
+                    "p_low".into(),
+                    dhqp_types::IntervalSet::single(dhqp_types::Interval::between(
+                        Value::Int(0),
+                        Value::Int(99),
+                    )),
+                ),
+                (
+                    None,
+                    "p_high".into(),
+                    dhqp_types::IntervalSet::single(dhqp_types::Interval::between(
+                        Value::Int(100),
+                        Value::Int(199),
+                    )),
+                ),
             ],
         )
         .unwrap();
-    engine.execute("INSERT INTO all_k (k, v) VALUES (5, 'a'), (150, 'b')").unwrap();
+    engine
+        .execute("INSERT INTO all_k (k, v) VALUES (5, 'a'), (150, 'b')")
+        .unwrap();
     assert_eq!(
-        engine.query("SELECT COUNT(*) AS n FROM p_low").unwrap().scalar(),
+        engine
+            .query("SELECT COUNT(*) AS n FROM p_low")
+            .unwrap()
+            .scalar(),
         Some(&Value::Int(1))
     );
     let r = engine.query("SELECT v FROM all_k WHERE k = 150").unwrap();
     assert_eq!(r.value(0, 0), &Value::Str("b".into()));
     let plan = engine.explain("SELECT v FROM all_k WHERE k = 150").unwrap();
-    assert!(!plan.plan_text.contains("p_low"), "pruned:\n{}", plan.plan_text);
+    assert!(
+        !plan.plan_text.contains("p_low"),
+        "pruned:\n{}",
+        plan.plan_text
+    );
 }
 
 #[test]
@@ -363,8 +438,11 @@ fn grouped_aggregate_over_view_is_correct() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         let scale = TpchScale::tiny();
         let rows = tpch::lineitem_rows(&scale, &mut rng);
-        mono.create_table(dhqp_storage::TableDef::new("lineitem", tpch::lineitem_schema()))
-            .unwrap();
+        mono.create_table(dhqp_storage::TableDef::new(
+            "lineitem",
+            tpch::lineitem_schema(),
+        ))
+        .unwrap();
         mono.insert("lineitem", &rows).unwrap();
     }
     let want = mono
@@ -397,8 +475,11 @@ fn avg_and_distinct_aggregates_stay_unsplit_but_correct() {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         let rows = tpch::lineitem_rows(&TpchScale::tiny(), &mut rng);
-        mono.create_table(dhqp_storage::TableDef::new("lineitem", tpch::lineitem_schema()))
-            .unwrap();
+        mono.create_table(dhqp_storage::TableDef::new(
+            "lineitem",
+            tpch::lineitem_schema(),
+        ))
+        .unwrap();
         mono.insert("lineitem", &rows).unwrap();
     }
     let want = mono

@@ -86,7 +86,11 @@ proptest! {
 fn arb_interval() -> impl Strategy<Value = Interval> {
     (-50i64..50, 0i64..30, any::<bool>(), any::<bool>()).prop_map(|(lo, width, linc, hinc)| {
         use dhqp_types::IntervalBound::*;
-        let low = if linc { Included(Value::Int(lo)) } else { Excluded(Value::Int(lo)) };
+        let low = if linc {
+            Included(Value::Int(lo))
+        } else {
+            Excluded(Value::Int(lo))
+        };
         let high = if hinc {
             Included(Value::Int(lo + width))
         } else {
@@ -151,11 +155,8 @@ struct DataSet {
 }
 
 fn arb_dataset() -> impl Strategy<Value = DataSet> {
-    prop::collection::vec(
-        (0i64..40, -20i64..20, prop::option::of(-5i64..5)),
-        0..60,
-    )
-    .prop_map(|rows| DataSet { rows })
+    prop::collection::vec((0i64..40, -20i64..20, prop::option::of(-5i64..5)), 0..60)
+        .prop_map(|rows| DataSet { rows })
 }
 
 fn engine_with(data: &DataSet) -> Engine {

@@ -62,7 +62,10 @@ fn left_and_right_outer_joins() {
         .query("SELECT a.id, b.score FROM a RIGHT OUTER JOIN b ON a.id = b.id ORDER BY b.score")
         .unwrap();
     assert_eq!(r.len(), 3);
-    assert!(r.rows.iter().any(|row| row.get(0).is_null()), "b.id=4 keeps a NULL a side");
+    assert!(
+        r.rows.iter().any(|row| row.get(0).is_null()),
+        "b.id=4 keeps a NULL a side"
+    );
 }
 
 #[test]
@@ -87,7 +90,9 @@ fn date_string_coercion_and_between() {
     )
     .unwrap();
     // Plain string literals coerce against DATE columns (T-SQL style).
-    let r = e.query("SELECT id FROM ev WHERE day >= '2004-06-01'").unwrap();
+    let r = e
+        .query("SELECT id FROM ev WHERE day >= '2004-06-01'")
+        .unwrap();
     assert_eq!(r.len(), 2);
     let r = e
         .query("SELECT id FROM ev WHERE day BETWEEN '2004-02-01' AND '2004-07-01'")
@@ -99,13 +104,21 @@ fn date_string_coercion_and_between() {
 #[test]
 fn in_list_cast_and_arithmetic() {
     let e = engine_ab();
-    let r = e.query("SELECT id FROM b WHERE id IN (2, 4, 9) ORDER BY id").unwrap();
+    let r = e
+        .query("SELECT id FROM b WHERE id IN (2, 4, 9) ORDER BY id")
+        .unwrap();
     assert_eq!(r.len(), 2);
-    let r = e.query("SELECT CAST(score AS VARCHAR) AS s FROM b WHERE id = 2").unwrap();
+    let r = e
+        .query("SELECT CAST(score AS VARCHAR) AS s FROM b WHERE id = 2")
+        .unwrap();
     assert_eq!(r.value(0, 0), &Value::Str("20".into()));
-    let r = e.query("SELECT score * 2 + 1 AS x FROM b WHERE id = 3").unwrap();
+    let r = e
+        .query("SELECT score * 2 + 1 AS x FROM b WHERE id = 3")
+        .unwrap();
     assert_eq!(r.value(0, 0), &Value::Int(61));
-    let r = e.query("SELECT score FROM b WHERE score % 3 = 0 ORDER BY score").unwrap();
+    let r = e
+        .query("SELECT score FROM b WHERE score % 3 = 0 ORDER BY score")
+        .unwrap();
     assert_eq!(r.len(), 1); // 30
 }
 
@@ -124,13 +137,18 @@ fn halloween_protection_each_row_updated_once() {
         ]),
     ))
     .unwrap();
-    let rows: Vec<Row> =
-        (0..20).map(|i| Row::new(vec![Value::Int(i), Value::Int(50 + i)])).collect();
+    let rows: Vec<Row> = (0..20)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int(50 + i)]))
+        .collect();
     e.insert("pay", &rows).unwrap();
-    let n = e.execute("UPDATE pay SET salary = salary + 100 WHERE salary < 1000").unwrap();
+    let n = e
+        .execute("UPDATE pay SET salary = salary + 100 WHERE salary < 1000")
+        .unwrap();
     assert_eq!(n.rows_affected, Some(20));
     // Every salary rose by exactly 100 — no row was revisited.
-    let r = e.query("SELECT MIN(salary) AS lo, MAX(salary) AS hi FROM pay").unwrap();
+    let r = e
+        .query("SELECT MIN(salary) AS lo, MAX(salary) AS hi FROM pay")
+        .unwrap();
     assert_eq!(r.value(0, 0), &Value::Int(150));
     assert_eq!(r.value(0, 1), &Value::Int(169));
 }
@@ -176,8 +194,14 @@ fn chained_federation_via_openquery() {
         Schema::new(vec![Column::not_null("v", DataType::Int)]),
     ))
     .unwrap();
-    far.insert("secrets", &[Row::new(vec![Value::Int(41)]), Row::new(vec![Value::Int(42)])])
-        .unwrap();
+    far.insert(
+        "secrets",
+        &[
+            Row::new(vec![Value::Int(41)]),
+            Row::new(vec![Value::Int(42)]),
+        ],
+    )
+    .unwrap();
 
     let mid = Engine::new("mid-engine");
     mid.add_linked_server(
@@ -219,11 +243,15 @@ fn chained_federation_via_openquery() {
 #[test]
 fn qualified_wildcard_and_aliases() {
     let e = engine_ab();
-    let r = e.query("SELECT b.* FROM a, b WHERE a.id = b.id ORDER BY b.id").unwrap();
+    let r = e
+        .query("SELECT b.* FROM a, b WHERE a.id = b.id ORDER BY b.id")
+        .unwrap();
     assert_eq!(r.schema.len(), 2);
     assert_eq!(r.len(), 2);
     // Output alias usable in ORDER BY.
-    let r = e.query("SELECT score * 10 AS big FROM b ORDER BY big DESC").unwrap();
+    let r = e
+        .query("SELECT score * 10 AS big FROM b ORDER BY big DESC")
+        .unwrap();
     assert_eq!(r.value(0, 0), &Value::Int(400));
 }
 
@@ -231,13 +259,12 @@ fn qualified_wildcard_and_aliases() {
 fn error_paths_across_features() {
     let e = engine_ab();
     // Ambiguous column.
-    assert_eq!(
-        e.query("SELECT id FROM a, b").unwrap_err().kind(),
-        "bind"
-    );
+    assert_eq!(e.query("SELECT id FROM a, b").unwrap_err().kind(), "bind");
     // CONTAINS without a full-text index.
     assert_eq!(
-        e.query("SELECT id FROM a WHERE CONTAINS(tag, 'x')").unwrap_err().kind(),
+        e.query("SELECT id FROM a WHERE CONTAINS(tag, 'x')")
+            .unwrap_err()
+            .kind(),
         "bind"
     );
     // Unknown linked server in a four-part name.
@@ -247,17 +274,23 @@ fn error_paths_across_features() {
     );
     // Scalar subquery with more than one row.
     assert_eq!(
-        e.query("SELECT id FROM a WHERE id = (SELECT id FROM b)").unwrap_err().kind(),
+        e.query("SELECT id FROM a WHERE id = (SELECT id FROM b)")
+            .unwrap_err()
+            .kind(),
         "execute"
     );
     // GROUP BY violation.
     assert_eq!(
-        e.query("SELECT tag, COUNT(*) AS n FROM a GROUP BY id").unwrap_err().kind(),
+        e.query("SELECT tag, COUNT(*) AS n FROM a GROUP BY id")
+            .unwrap_err()
+            .kind(),
         "bind"
     );
     // Division by zero at runtime.
     assert_eq!(
-        e.query("SELECT 1 / (id - id) AS boom FROM a").unwrap_err().kind(),
+        e.query("SELECT 1 / (id - id) AS boom FROM a")
+            .unwrap_err()
+            .kind(),
         "execute"
     );
 }
@@ -265,10 +298,15 @@ fn error_paths_across_features() {
 #[test]
 fn distinct_interacts_with_order_and_top() {
     let e = engine_ab();
-    e.insert("b", &[Row::new(vec![Value::Int(9), Value::Int(20)])]).unwrap();
-    let r = e.query("SELECT DISTINCT score FROM b ORDER BY score").unwrap();
+    e.insert("b", &[Row::new(vec![Value::Int(9), Value::Int(20)])])
+        .unwrap();
+    let r = e
+        .query("SELECT DISTINCT score FROM b ORDER BY score")
+        .unwrap();
     assert_eq!(r.len(), 3); // 20, 30, 40
-    let r = e.query("SELECT DISTINCT TOP 2 score FROM b ORDER BY score DESC").unwrap();
+    let r = e
+        .query("SELECT DISTINCT TOP 2 score FROM b ORDER BY score DESC")
+        .unwrap();
     assert_eq!(r.len(), 2);
     assert_eq!(r.value(0, 0), &Value::Int(40));
 }
@@ -276,10 +314,14 @@ fn distinct_interacts_with_order_and_top() {
 #[test]
 fn scalar_functions() {
     let e = engine_ab();
-    let r = e.query("SELECT UPPER(tag) AS u, LEN(tag) AS l FROM a WHERE id = 1").unwrap();
+    let r = e
+        .query("SELECT UPPER(tag) AS u, LEN(tag) AS l FROM a WHERE id = 1")
+        .unwrap();
     assert_eq!(r.value(0, 0), &Value::Str("X".into()));
     assert_eq!(r.value(0, 1), &Value::Int(1));
-    let r = e.query("SELECT ABS(0 - score) AS m FROM b WHERE id = 2").unwrap();
+    let r = e
+        .query("SELECT ABS(0 - score) AS m FROM b WHERE id = 2")
+        .unwrap();
     assert_eq!(r.value(0, 0), &Value::Int(20));
 }
 
@@ -290,7 +332,9 @@ fn union_all_and_union_distinct() {
         .query("SELECT id FROM a UNION ALL SELECT id FROM b ORDER BY id")
         .unwrap();
     assert_eq!(r.len(), 6); // 1,2,3 + 2,3,4
-    let r = e.query("SELECT id FROM a UNION SELECT id FROM b ORDER BY id").unwrap();
+    let r = e
+        .query("SELECT id FROM a UNION SELECT id FROM b ORDER BY id")
+        .unwrap();
     assert_eq!(r.len(), 4); // 1,2,3,4 deduplicated
     assert_eq!(r.value(0, 0), &Value::Int(1));
     assert_eq!(r.value(3, 0), &Value::Int(4));
@@ -302,7 +346,9 @@ fn union_all_and_union_distinct() {
     assert_eq!(r.value(0, 0), &Value::Int(4));
     // Arity mismatch errors.
     assert_eq!(
-        e.query("SELECT id, tag FROM a UNION ALL SELECT id FROM b").unwrap_err().kind(),
+        e.query("SELECT id, tag FROM a UNION ALL SELECT id FROM b")
+            .unwrap_err()
+            .kind(),
         "bind"
     );
 }
@@ -316,7 +362,9 @@ fn union_spans_local_and_remote() {
             Schema::new(vec![Column::not_null("v", DataType::Int)]),
         ))
         .unwrap();
-    remote.insert("t", &[Row::new(vec![Value::Int(100)])]).unwrap();
+    remote
+        .insert("t", &[Row::new(vec![Value::Int(100)])])
+        .unwrap();
     let local = engine_ab();
     local
         .add_linked_server(
@@ -337,7 +385,8 @@ fn union_spans_local_and_remote() {
 #[test]
 fn count_distinct_through_engine() {
     let e = engine_ab();
-    e.insert("b", &[Row::new(vec![Value::Int(9), Value::Int(20)])]).unwrap();
+    e.insert("b", &[Row::new(vec![Value::Int(9), Value::Int(20)])])
+        .unwrap();
     let r = e
         .query("SELECT COUNT(DISTINCT score) AS d, COUNT(score) AS c FROM b")
         .unwrap();
@@ -348,8 +397,12 @@ fn count_distinct_through_engine() {
 #[test]
 fn having_without_group_by() {
     let e = engine_ab();
-    let r = e.query("SELECT COUNT(*) AS n FROM b HAVING COUNT(*) > 2").unwrap();
+    let r = e
+        .query("SELECT COUNT(*) AS n FROM b HAVING COUNT(*) > 2")
+        .unwrap();
     assert_eq!(r.len(), 1);
-    let r = e.query("SELECT COUNT(*) AS n FROM b HAVING COUNT(*) > 5").unwrap();
+    let r = e
+        .query("SELECT COUNT(*) AS n FROM b HAVING COUNT(*) > 5")
+        .unwrap();
     assert_eq!(r.len(), 0);
 }

@@ -34,13 +34,19 @@ fn bank() -> Bank {
             Arc::new(EngineDataSource::new(member.clone())),
             link,
         ));
-        head.add_linked_server(&format!("bank{i}"), Arc::clone(&source)).unwrap();
+        head.add_linked_server(&format!("bank{i}"), Arc::clone(&source))
+            .unwrap();
         view_members.push((Some(format!("bank{i}")), table, domain));
         members.push(member);
         sources.push(source);
     }
-    head.define_partitioned_view("accounts_all", "id", view_members).unwrap();
-    Bank { head, members, sources }
+    head.define_partitioned_view("accounts_all", "id", view_members)
+        .unwrap();
+    Bank {
+        head,
+        members,
+        sources,
+    }
 }
 
 fn balances(bank: &Bank) -> i64 {
@@ -70,12 +76,17 @@ fn transfer(bank: &Bank, from: i64, to: i64, amount: i64) -> dhqp_types::Result<
             .find(|r| r.get(0) == &Value::Int(account))
             .expect("account exists")
             .clone();
-        let Value::Int(balance) = row.get(1) else { panic!("balance type") };
+        let Value::Int(balance) = row.get(1) else {
+            panic!("balance type")
+        };
         let bookmark = row.bookmark.expect("bookmark");
         session.update_by_bookmarks(
             &table,
             &[bookmark],
-            &[Row::new(vec![Value::Int(account), Value::Int(balance + delta)])],
+            &[Row::new(vec![
+                Value::Int(account),
+                Value::Int(balance + delta),
+            ])],
         )?;
     }
     txn.commit()
@@ -106,7 +117,9 @@ fn prepare_failure_rolls_back_both_sides() {
     assert_eq!(err.kind(), "transaction");
     bank.members[1].storage().set_fail_prepare(false);
     assert_eq!(balances(&bank), 10_000);
-    let r = bank.members[0].query("SELECT balance FROM accounts_0 WHERE id = 10").unwrap();
+    let r = bank.members[0]
+        .query("SELECT balance FROM accounts_0 WHERE id = 10")
+        .unwrap();
     assert_eq!(r.value(0, 0), &Value::Int(100), "debit must be rolled back");
     let log = bank.head.dtc().log();
     assert_eq!(log[0].outcome, Outcome::Aborted);
@@ -142,7 +155,10 @@ fn dpv_update_transfers_through_sql() {
         .execute("UPDATE accounts_all SET balance = balance + 25 WHERE id = 95")
         .unwrap();
     assert_eq!(balances(&bank), 10_000);
-    let r = bank.head.query("SELECT balance FROM accounts_all WHERE id = 5").unwrap();
+    let r = bank
+        .head
+        .query("SELECT balance FROM accounts_all WHERE id = 5")
+        .unwrap();
     assert_eq!(r.value(0, 0), &Value::Int(75));
 }
 
