@@ -4,11 +4,13 @@
 //! federation grows, cross-site transactions pay the 2PC round trips.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dhqp::{Engine, EngineDataSource};
+use dhqp::{Engine, EngineDataSource, ParallelConfig};
+use dhqp_bench::{remote_dpv_federation, warm};
 use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
 use dhqp_oledb::{DataSource, RowsetExt};
 use dhqp_types::{Row, Value};
 use dhqp_workload::accounts::create_account_partition;
+use dhqp_workload::tpch::TpchScale;
 use std::sync::Arc;
 
 const ACCOUNTS_PER_MEMBER: i64 = 100;
@@ -124,5 +126,35 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// Serial union vs parallel exchange over a latency-simulated DPV: the
+/// same seven-branch scan with branch dispatch and prefetch on or off.
+fn bench_parallel_dispatch(c: &mut Criterion) {
+    let scale = TpchScale {
+        nations: 10,
+        customers: 300,
+        suppliers: 50,
+        orders: 1000,
+        lineitems_per_order: 3,
+    };
+    let fed = remote_dpv_federation(scale, 4, NetworkConfig::wan_timed());
+    let sql = "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem_all";
+    warm(&fed.head, sql);
+    let mut g = c.benchmark_group("parallel_dpv_scan");
+    g.sample_size(10);
+    for (name, config) in [
+        ("serial_union", ParallelConfig::serial()),
+        ("parallel_exchange", ParallelConfig::parallel()),
+    ] {
+        fed.head.set_parallel_config(config);
+        g.bench_function(name, |b| b.iter(|| fed.head.query(sql).unwrap()));
+    }
+    g.finish();
+    let m = fed.head.metrics();
+    eprintln!(
+        "[parallel] exchanges={} workers={} prefetches={}",
+        m.parallel_exchanges, m.exchange_workers, m.remote_prefetches
+    );
+}
+
+criterion_group!(benches, bench, bench_parallel_dispatch);
 criterion_main!(benches);

@@ -121,6 +121,49 @@ pub fn dpv_federation(scale: TpchScale, member_engines: usize, timed: bool) -> D
     }
 }
 
+/// Like [`dpv_federation`] but every partition lives on a member engine —
+/// the head owns no lineitem data, so a full view scan is pure remote
+/// dispatch — and the link parameters are the caller's (the parallel
+/// exchange experiments use WAN-class links so network time dominates).
+pub fn remote_dpv_federation(
+    scale: TpchScale,
+    member_engines: usize,
+    config: NetworkConfig,
+) -> DpvFederation {
+    assert!(member_engines >= 1);
+    let head = Engine::new("head");
+    let members: Vec<Engine> = (0..member_engines)
+        .map(|i| Engine::new(format!("member{}-engine", i + 1)))
+        .collect();
+    let engine_refs: Vec<&dhqp_storage::StorageEngine> =
+        members.iter().map(|m| m.storage().as_ref()).collect();
+    let placed = tpch::create_lineitem_partitions(&engine_refs, &scale, 17).expect("setup");
+    let mut links = Vec::new();
+    for (i, member) in members.iter().enumerate() {
+        let link = NetworkLink::new(format!("member{}", i + 1), config);
+        head.add_linked_server(
+            &format!("member{}", i + 1),
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(member.clone())),
+                link.clone(),
+            )),
+        )
+        .expect("setup");
+        links.push(link);
+    }
+    let view_members: Vec<(Option<String>, String, IntervalSet)> = placed
+        .into_iter()
+        .map(|(idx, table, domain)| (Some(format!("member{}", idx + 1)), table, domain))
+        .collect();
+    head.define_partitioned_view("lineitem_all", "l_commitdate", view_members)
+        .expect("setup");
+    DpvFederation {
+        head,
+        members,
+        links,
+    }
+}
+
 /// Sum of traffic over several links.
 pub fn total_traffic(links: &[NetworkLink]) -> TrafficSnapshot {
     links

@@ -124,6 +124,16 @@ fn render_node(
                     node.est_rows, rt.rows, rt.next_time
                 );
             }
+            if let Some(ex) = &rt.exchange {
+                let _ = writeln!(
+                    out,
+                    "{pad}    [exchange: workers={} busy={:.2?} wall={:.2?} overlap={:.2?}]",
+                    ex.workers,
+                    ex.busy,
+                    ex.wall,
+                    ex.overlap()
+                );
+            }
             if let Some(remote) = &rt.remote {
                 let _ = writeln!(
                     out,

@@ -6,7 +6,7 @@ use crate::dml;
 use crate::metrics::{EngineMetrics, MetricsSnapshot, QuerySummary, StatementKind};
 use crate::result::QueryResult;
 use dhqp_dtc::TransactionCoordinator;
-use dhqp_executor::{ExecContext, RuntimeStatsCollector, SourceCatalog};
+use dhqp_executor::{ExecContext, ParallelConfig, RuntimeStatsCollector, SourceCatalog};
 use dhqp_federation::{LinkedServerRegistry, MemberTable, PartitionedView};
 use dhqp_fulltext::SearchService;
 use dhqp_oledb::{DataSource, RowsetExt, TableStatistics};
@@ -40,6 +40,7 @@ pub(crate) struct Inner {
     /// tables are never cached (they are cheap and always fresh).
     meta_cache: RwLock<HashMap<(String, String), Arc<FetchedTable>>>,
     config: RwLock<OptimizerConfig>,
+    parallel: RwLock<ParallelConfig>,
     dtc: Arc<TransactionCoordinator>,
     metrics: EngineMetrics,
 }
@@ -48,6 +49,7 @@ pub(crate) struct Inner {
 pub struct EngineBuilder {
     name: String,
     config: OptimizerConfig,
+    parallel: ParallelConfig,
 }
 
 impl EngineBuilder {
@@ -55,11 +57,20 @@ impl EngineBuilder {
         EngineBuilder {
             name: name.into(),
             config: OptimizerConfig::default(),
+            parallel: ParallelConfig::from_env(),
         }
     }
 
     pub fn optimizer_config(mut self, config: OptimizerConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Parallel remote execution knobs (exchange workers, prefetch). Also
+    /// switches the optimizer's parallel-union rule to match.
+    pub fn parallel_config(mut self, parallel: ParallelConfig) -> Self {
+        self.config.enable_parallel_union = parallel.enabled;
+        self.parallel = parallel;
         self
     }
 
@@ -77,6 +88,7 @@ impl EngineBuilder {
                 ft_bindings: RwLock::new(HashMap::new()),
                 meta_cache: RwLock::new(HashMap::new()),
                 config: RwLock::new(self.config),
+                parallel: RwLock::new(self.parallel),
                 dtc: TransactionCoordinator::new(),
                 metrics: EngineMetrics::default(),
             }),
@@ -387,6 +399,18 @@ impl Engine {
         *self.inner.config.write() = config;
     }
 
+    pub fn parallel_config(&self) -> ParallelConfig {
+        self.inner.parallel.read().clone()
+    }
+
+    /// Set the parallel remote-execution knobs. Keeps the optimizer's
+    /// parallel-union rule in sync with the master switch, so plans and
+    /// runtime agree on whether exchanges are wanted.
+    pub fn set_parallel_config(&self, parallel: ParallelConfig) {
+        self.inner.config.write().enable_parallel_union = parallel.enabled;
+        *self.inner.parallel.write() = parallel;
+    }
+
     // ---- query pipeline ----------------------------------------------------
 
     /// Run any statement without parameters.
@@ -565,7 +589,8 @@ impl Engine {
             inner: Arc::clone(&self.inner),
         });
         let mut ctx = ExecContext::new(catalog, params, Arc::clone(&registry))
-            .with_counters(self.inner.metrics.exec_counters());
+            .with_counters(self.inner.metrics.exec_counters())
+            .with_parallel(self.parallel_config());
         if let Some(collector) = stats {
             ctx = ctx.with_stats(collector);
         }
@@ -748,6 +773,7 @@ impl Engine {
         });
         ExecContext::new(catalog, params, registry)
             .with_counters(self.inner.metrics.exec_counters())
+            .with_parallel(self.parallel_config())
     }
 
     // ---- observability -----------------------------------------------------

@@ -33,4 +33,5 @@ pub use metrics::{MetricsSnapshot, QuerySummary, StatementKind};
 pub use remote::EngineDataSource;
 pub use result::QueryResult;
 
+pub use dhqp_executor::ParallelConfig;
 pub use dhqp_optimizer::{OptimizationPhase, OptimizerConfig};

@@ -63,6 +63,12 @@ pub struct MetricsSnapshot {
     pub spool_hits: u64,
     pub spool_builds: u64,
     pub remote_roundtrips: u64,
+    /// Exchange operators that ran with parallel branch dispatch.
+    pub parallel_exchanges: u64,
+    /// Worker threads those exchanges spawned, summed.
+    pub exchange_workers: u64,
+    /// Remote rowsets that ran behind a prefetching decorator.
+    pub remote_prefetches: u64,
     pub dtc_commits: u64,
     pub dtc_aborts: u64,
 }
@@ -175,6 +181,9 @@ impl EngineMetrics {
             spool_hits: exec.spool_hits,
             spool_builds: exec.spool_builds,
             remote_roundtrips: exec.remote_roundtrips,
+            parallel_exchanges: exec.parallel_exchanges,
+            exchange_workers: exec.exchange_workers,
+            remote_prefetches: exec.remote_prefetches,
             dtc_commits: dtc.0,
             dtc_aborts: dtc.1,
         }

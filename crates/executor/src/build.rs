@@ -2,6 +2,7 @@
 
 use crate::context::ExecContext;
 use crate::ops::agg::{HashAggregate, StreamAggregate};
+use crate::ops::exchange::{BranchFactory, ExchangeRowset, PrefetchRowset};
 use crate::ops::filter::{open_startup_filter, FilterRowset, ProjectRowset};
 use crate::ops::join::{HashJoin, InnerFactory, MergeJoin, NestedLoopJoin};
 use crate::ops::remote::{
@@ -85,24 +86,45 @@ fn remote_probe(plan: &PhysNode, ctx: &ExecContext) -> Result<Option<RemoteProbe
     Ok(Some(RemoteProbe::new(source, &server, request)))
 }
 
+/// Wrap a remote rowset in a prefetching decorator when the context asks
+/// for it: a background worker pipelines the next batch across the link
+/// while the consumer drains the current one.
+fn maybe_prefetch(inner: Box<dyn Rowset>, ctx: &ExecContext) -> Box<dyn Rowset> {
+    let cfg = ctx.parallel();
+    if cfg.enabled && cfg.prefetch {
+        ctx.counters().add_remote_prefetch();
+        Box::new(PrefetchRowset::new(
+            inner,
+            cfg.prefetch_batch,
+            cfg.prefetch_queue,
+        ))
+    } else {
+        inner
+    }
+}
+
 fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn Rowset>> {
     match &plan.op {
         PhysicalOp::TableScan { meta } => open_table_scan(meta, ctx),
         PhysicalOp::IndexRange { meta, index, range } => open_index_range(meta, index, range, ctx),
-        PhysicalOp::RemoteScan { meta } => open_remote_scan(meta, ctx),
-        PhysicalOp::RemoteRange { meta, index, range } => {
-            open_remote_range(meta, index, range, ctx)
-        }
+        PhysicalOp::RemoteScan { meta } => Ok(maybe_prefetch(open_remote_scan(meta, ctx)?, ctx)),
+        PhysicalOp::RemoteRange { meta, index, range } => Ok(maybe_prefetch(
+            open_remote_range(meta, index, range, ctx)?,
+            ctx,
+        )),
         PhysicalOp::RemoteFetch { meta } => {
             let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
-            open_remote_fetch(meta, child, ctx)
+            Ok(maybe_prefetch(open_remote_fetch(meta, child, ctx)?, ctx))
         }
         PhysicalOp::RemoteQuery {
             server,
             sql,
             params,
             ..
-        } => open_remote_query(server, sql, params, ctx),
+        } => Ok(maybe_prefetch(
+            open_remote_query(server, sql, params, ctx)?,
+            ctx,
+        )),
         PhysicalOp::Filter { predicate } => {
             let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
             Ok(Box::new(FilterRowset::new(
@@ -236,6 +258,48 @@ fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn R
                 &delivered,
                 input_columns,
                 schema,
+            )?))
+        }
+        PhysicalOp::Exchange { input_columns, .. } => {
+            let schema = ctx.schema_of(&plan.output);
+            let delivered: Vec<Vec<dhqp_optimizer::ColumnId>> =
+                plan.children.iter().map(|c| c.output.clone()).collect();
+            if !ctx.parallel().enabled {
+                // Serial fallback: identical semantics to UnionAll, same
+                // deterministic branch-by-branch row order.
+                let mut children = Vec::with_capacity(plan.children.len());
+                for (k, c) in plan.children.iter().enumerate() {
+                    children.push(open_node(c, ctx, child_id(plan, id, k))?);
+                }
+                return Ok(Box::new(UnionAllRowset::new(
+                    children,
+                    &delivered,
+                    input_columns,
+                    schema,
+                )?));
+            }
+            let branches: Vec<BranchFactory> = plan
+                .children
+                .iter()
+                .enumerate()
+                .map(|(k, c)| {
+                    // Workers re-enter the builder with the branch's own
+                    // pre-order id, so per-branch instrumentation (stats,
+                    // wire probes) lands on the right node.
+                    let branch_plan = Arc::new(c.clone());
+                    let branch_id = child_id(plan, id, k);
+                    Box::new(move |cx: &ExecContext| open_node(&branch_plan, cx, branch_id))
+                        as BranchFactory
+                })
+                .collect();
+            Ok(Box::new(ExchangeRowset::new(
+                branches,
+                &delivered,
+                input_columns,
+                schema,
+                ctx.parallel(),
+                ctx,
+                id,
             )?))
         }
         PhysicalOp::Spool => {

@@ -22,6 +22,72 @@ pub trait SourceCatalog: Send + Sync {
 /// A materialized spool, shared across rescans of the same plan node.
 pub type SpoolData = Arc<(Schema, Vec<Row>)>;
 
+/// Knobs for intra-query parallel remote execution: exchange worker fan-out
+/// and remote-rowset prefetching. Threaded through [`ExecContext`] so every
+/// operator open sees the same settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Master switch. Off, Exchange nodes drain their branches serially
+    /// (UnionAll semantics) and no prefetch workers are spawned.
+    pub enabled: bool,
+    /// Maximum worker threads per exchange; branches are distributed
+    /// round-robin when there are more branches than workers.
+    pub max_workers: usize,
+    /// Bounded-channel capacity (rows) between exchange workers and the
+    /// consumer cursor — the backpressure window.
+    pub exchange_queue: usize,
+    /// Pipeline remote rowsets: a background worker pulls the next batch
+    /// while the consumer drains the current one.
+    pub prefetch: bool,
+    /// Rows per prefetched batch.
+    pub prefetch_batch: usize,
+    /// Batches buffered ahead of the consumer.
+    pub prefetch_queue: usize,
+}
+
+impl ParallelConfig {
+    /// Everything off: the single-threaded pull pipeline.
+    pub fn serial() -> Self {
+        ParallelConfig {
+            enabled: false,
+            max_workers: 8,
+            exchange_queue: 256,
+            prefetch: false,
+            prefetch_batch: 64,
+            prefetch_queue: 2,
+        }
+    }
+
+    /// Exchange dispatch and prefetching on, with default sizing.
+    pub fn parallel() -> Self {
+        ParallelConfig {
+            enabled: true,
+            prefetch: true,
+            ..ParallelConfig::serial()
+        }
+    }
+
+    /// [`ParallelConfig::parallel`] when the `DHQP_PARALLEL` environment
+    /// switch is set (to anything but `0`), [`ParallelConfig::serial`]
+    /// otherwise.
+    pub fn from_env() -> Self {
+        let on = std::env::var("DHQP_PARALLEL")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        if on {
+            ParallelConfig::parallel()
+        } else {
+            ParallelConfig::serial()
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig::from_env()
+    }
+}
+
 /// Per-execution state threaded through every operator.
 #[derive(Clone)]
 pub struct ExecContext {
@@ -44,6 +110,8 @@ pub struct ExecContext {
     /// Per-node runtime stats, attached only for `EXPLAIN ANALYZE` (or
     /// tests); `None` keeps the plain execution path unchanged.
     stats: Option<Arc<RuntimeStatsCollector>>,
+    /// Intra-query parallelism knobs (exchange workers, prefetch).
+    parallel: Arc<ParallelConfig>,
 }
 
 impl ExecContext {
@@ -60,6 +128,7 @@ impl ExecContext {
             registry,
             counters: Arc::new(ExecCounters::default()),
             stats: None,
+            parallel: Arc::new(ParallelConfig::from_env()),
         }
     }
 
@@ -73,6 +142,16 @@ impl ExecContext {
     pub fn with_stats(mut self, stats: Arc<RuntimeStatsCollector>) -> Self {
         self.stats = Some(stats);
         self
+    }
+
+    /// Override the parallel-execution knobs for this execution.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = Arc::new(parallel);
+        self
+    }
+
+    pub fn parallel(&self) -> &ParallelConfig {
+        &self.parallel
     }
 
     pub fn counters(&self) -> &Arc<ExecCounters> {
@@ -126,6 +205,7 @@ impl ExecContext {
             registry: Arc::clone(&self.registry),
             counters: Arc::clone(&self.counters),
             stats: self.stats.clone(),
+            parallel: Arc::clone(&self.parallel),
         }
     }
 

@@ -7,6 +7,10 @@
 //! `RemoteRange`, `RemoteFetch`), the rescannable spool operator and the
 //! [`ops::filter`] startup filter implement the physical side of §4.1.2's
 //! distributed implementation rules.
+//!
+//! Remote work can run concurrently: the [`ops::exchange`] module hosts the
+//! parallel union (`Exchange`) and the remote-rowset prefetcher, both
+//! governed by the [`ParallelConfig`] knobs on the execution context.
 
 pub mod build;
 pub mod context;
@@ -15,8 +19,9 @@ pub mod ops;
 pub mod stats;
 
 pub use build::open;
-pub use context::{ExecContext, SourceCatalog};
+pub use context::{ExecContext, ParallelConfig, SourceCatalog};
 pub use eval::{eval_expr, eval_predicate, RowEnv};
 pub use stats::{
-    ExecCounterSnapshot, ExecCounters, NodeRuntime, RemoteTrace, RuntimeStatsCollector,
+    ExchangeRuntime, ExecCounterSnapshot, ExecCounters, NodeRuntime, RemoteTrace,
+    RuntimeStatsCollector,
 };

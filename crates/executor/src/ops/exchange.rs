@@ -1,0 +1,482 @@
+//! Intra-query parallelism for remote work: the exchange operator and the
+//! remote-rowset prefetcher.
+//!
+//! The paper's distributed partitioned views (§4.1.5) assume member servers
+//! work concurrently, but a single-threaded pull pipeline pays every link's
+//! latency in sequence. [`ExchangeRowset`] runs each union branch on a
+//! worker thread, funneling rows through one bounded channel to the
+//! consumer cursor; [`PrefetchRowset`] pipelines the next batch of a remote
+//! rowset on a background worker while the consumer drains the current one.
+//!
+//! Error contract: the first branch error to reach the channel is the one
+//! the consumer surfaces (original [`dhqp_types::DhqpError`], not a wrapper);
+//! after that the cursor is done and remaining workers unwind cleanly —
+//! dropping the receiver makes their blocked sends fail, and the drop path
+//! joins every worker before returning.
+
+use crate::context::{ExecContext, ParallelConfig};
+use crate::ops::sort::union_perms;
+use crate::stats::RuntimeStatsCollector;
+use dhqp_oledb::Rowset;
+use dhqp_optimizer::ColumnId;
+use dhqp_types::{Result, Row, Schema};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Opens one exchange branch. Boxed so the builder can capture the branch's
+/// plan subtree and pre-order id; `Send` because it runs on a worker thread.
+pub type BranchFactory = Box<dyn FnOnce(&ExecContext) -> Result<Box<dyn Rowset>> + Send>;
+
+/// Parallel bag union: branches open and drain on worker threads, the
+/// consumer pulls merged rows (arrival order) from a bounded channel.
+pub struct ExchangeRowset {
+    rx: Option<Receiver<Result<Row>>>,
+    workers: Vec<JoinHandle<Duration>>,
+    worker_count: usize,
+    opened: Instant,
+    schema: Schema,
+    done: bool,
+    stats: Option<(usize, Arc<RuntimeStatsCollector>)>,
+}
+
+impl ExchangeRowset {
+    /// Spawn workers immediately: branch k goes to worker `k % n` where
+    /// `n = min(branches, max_workers)`, so every branch's provider SQL is
+    /// dispatched concurrently up to the worker cap.
+    pub fn new(
+        branches: Vec<BranchFactory>,
+        child_delivered: &[Vec<ColumnId>],
+        input_columns: &[Vec<ColumnId>],
+        schema: Schema,
+        cfg: &ParallelConfig,
+        ctx: &ExecContext,
+        node: usize,
+    ) -> Result<ExchangeRowset> {
+        let perms = union_perms(child_delivered, input_columns)?;
+        let n = branches.len().min(cfg.max_workers).max(1);
+        let (tx, rx) = sync_channel::<Result<Row>>(cfg.exchange_queue.max(1));
+        let mut assigned: Vec<Vec<(BranchFactory, Vec<usize>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (k, (open, perm)) in branches.into_iter().zip(perms).enumerate() {
+            assigned[k % n].push((open, perm));
+        }
+        let workers: Vec<JoinHandle<Duration>> = assigned
+            .into_iter()
+            .map(|work| {
+                let tx = tx.clone();
+                let wctx = ctx.clone();
+                std::thread::spawn(move || run_branches(work, &wctx, &tx))
+            })
+            .collect();
+        // Only worker-held senders remain: the channel disconnects exactly
+        // when the last branch finishes.
+        drop(tx);
+        ctx.counters().add_parallel_exchange(n as u64);
+        let stats = ctx.stats().map(|c| (node, Arc::clone(c)));
+        Ok(ExchangeRowset {
+            rx: Some(rx),
+            workers,
+            worker_count: n,
+            opened: Instant::now(),
+            schema,
+            done: false,
+            stats,
+        })
+    }
+
+    /// Drop the receiver (failing any blocked sends), join every worker and
+    /// record the exchange runtime. Idempotent.
+    fn shutdown(&mut self) {
+        self.rx = None;
+        let mut busy = Duration::ZERO;
+        for handle in self.workers.drain(..) {
+            if let Ok(worker_busy) = handle.join() {
+                busy += worker_busy;
+            }
+        }
+        if let Some((node, collector)) = self.stats.take() {
+            collector.record_exchange(node, self.worker_count as u64, busy, self.opened.elapsed());
+        }
+    }
+}
+
+/// Worker body: open and drain each assigned branch in turn, permuting rows
+/// to the output column order. Returns the worker's busy time. A send
+/// failure means the consumer hung up — stop quietly.
+fn run_branches(
+    work: Vec<(BranchFactory, Vec<usize>)>,
+    ctx: &ExecContext,
+    tx: &SyncSender<Result<Row>>,
+) -> Duration {
+    let start = Instant::now();
+    'branches: for (open, perm) in work {
+        let mut rowset = match open(ctx) {
+            Ok(rs) => rs,
+            Err(e) => {
+                let _ = tx.send(Err(e));
+                break 'branches;
+            }
+        };
+        loop {
+            match rowset.next() {
+                Ok(Some(row)) => {
+                    let values = perm.iter().map(|&p| row.values[p].clone()).collect();
+                    if tx.send(Ok(Row::new(values))).is_err() {
+                        break 'branches;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    break 'branches;
+                }
+            }
+        }
+    }
+    start.elapsed()
+}
+
+impl Rowset for ExchangeRowset {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(rx) = &self.rx else {
+            return Ok(None);
+        };
+        match rx.recv() {
+            Ok(Ok(row)) => Ok(Some(row)),
+            // First error wins: surface it once, then the cursor is done
+            // (shutdown cancels the remaining workers).
+            Ok(Err(e)) => {
+                self.done = true;
+                self.shutdown();
+                Err(e)
+            }
+            // All senders gone: every branch drained.
+            Err(_) => {
+                self.done = true;
+                self.shutdown();
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Drop for ExchangeRowset {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Pipelines a (typically remote) rowset: a background worker pulls rows in
+/// batches so link latency and transfer time overlap with consumer work.
+/// Row order is preserved — batches flow through a FIFO channel.
+pub struct PrefetchRowset {
+    rx: Option<Receiver<Result<Vec<Row>>>>,
+    worker: Option<JoinHandle<()>>,
+    buffer: std::vec::IntoIter<Row>,
+    schema: Schema,
+    done: bool,
+}
+
+impl PrefetchRowset {
+    pub fn new(mut inner: Box<dyn Rowset>, batch_rows: usize, queue_depth: usize) -> Self {
+        let schema = inner.schema().clone();
+        let batch_rows = batch_rows.max(1);
+        let (tx, rx) = sync_channel::<Result<Vec<Row>>>(queue_depth.max(1));
+        let worker = std::thread::spawn(move || loop {
+            let mut batch = Vec::with_capacity(batch_rows);
+            let finished = loop {
+                match inner.next() {
+                    Ok(Some(row)) => {
+                        batch.push(row);
+                        if batch.len() == batch_rows {
+                            break false;
+                        }
+                    }
+                    Ok(None) => break true,
+                    Err(e) => {
+                        if !batch.is_empty() {
+                            let _ = tx.send(Ok(batch));
+                        }
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            };
+            if !batch.is_empty() && tx.send(Ok(batch)).is_err() {
+                return;
+            }
+            if finished {
+                return;
+            }
+        });
+        PrefetchRowset {
+            rx: Some(rx),
+            worker: Some(worker),
+            buffer: Vec::new().into_iter(),
+            schema,
+            done: false,
+        }
+    }
+}
+
+impl Rowset for PrefetchRowset {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(row) = self.buffer.next() {
+            return Ok(Some(row));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        let Some(rx) = &self.rx else {
+            return Ok(None);
+        };
+        match rx.recv() {
+            Ok(Ok(batch)) => {
+                self.buffer = batch.into_iter();
+                Ok(self.buffer.next())
+            }
+            Ok(Err(e)) => {
+                self.done = true;
+                Err(e)
+            }
+            Err(_) => {
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Drop for PrefetchRowset {
+    fn drop(&mut self) {
+        // Hang up first so a worker blocked on a full queue exits, then
+        // join it — all wire traffic is accounted before the drop returns.
+        self.rx = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_support::TestCatalog;
+    use dhqp_oledb::{MemRowset, RowsetExt};
+    use dhqp_optimizer::props::ColumnRegistry;
+    use dhqp_storage::StorageEngine;
+    use dhqp_types::{Column, DataType, DhqpError, Value};
+    use std::collections::HashMap;
+
+    fn ctx() -> ExecContext {
+        let catalog = Arc::new(TestCatalog::with_local(Arc::new(StorageEngine::new("l"))));
+        ExecContext::new(catalog, HashMap::new(), Arc::new(ColumnRegistry::new()))
+    }
+
+    fn int_schema() -> Schema {
+        Schema::new(vec![Column::new("v", DataType::Int)])
+    }
+
+    fn ints(vals: Vec<i64>) -> BranchFactory {
+        Box::new(move |_| {
+            let rows = vals
+                .iter()
+                .map(|&i| Row::new(vec![Value::Int(i)]))
+                .collect();
+            Ok(Box::new(MemRowset::new(int_schema(), rows)) as Box<dyn Rowset>)
+        })
+    }
+
+    /// Yields `ok` rows, then fails with a provider error.
+    struct FaultyRowset {
+        schema: Schema,
+        remaining: usize,
+    }
+
+    impl Rowset for FaultyRowset {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+
+        fn next(&mut self) -> Result<Option<Row>> {
+            if self.remaining == 0 {
+                return Err(DhqpError::Provider("link reset mid-stream".into()));
+            }
+            self.remaining -= 1;
+            Ok(Some(Row::new(vec![Value::Int(self.remaining as i64)])))
+        }
+    }
+
+    fn exchange(branches: Vec<BranchFactory>, cfg: &ParallelConfig) -> ExchangeRowset {
+        let cols = vec![vec![ColumnId(0)]; branches.len()];
+        ExchangeRowset::new(branches, &cols, &cols, int_schema(), cfg, &ctx(), 0).unwrap()
+    }
+
+    #[test]
+    fn merges_branches_as_a_multiset() {
+        let mut rs = exchange(
+            vec![ints(vec![1, 2]), ints(vec![3]), ints(vec![4, 5, 6])],
+            &ParallelConfig::parallel(),
+        );
+        let mut got: Vec<i64> = rs
+            .collect_rows()
+            .unwrap()
+            .iter()
+            .map(|r| match r.get(0) {
+                Value::Int(i) => *i,
+                other => panic!("unexpected value {other:?}"),
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6]);
+        // Exhausted cursor stays exhausted.
+        assert!(rs.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn more_branches_than_workers_still_covers_all() {
+        let cfg = ParallelConfig {
+            max_workers: 2,
+            ..ParallelConfig::parallel()
+        };
+        let branches: Vec<BranchFactory> = (0..7).map(|i| ints(vec![i])).collect();
+        let mut rs = exchange(branches, &cfg);
+        assert_eq!(rs.count_rows().unwrap(), 7);
+    }
+
+    #[test]
+    fn first_error_wins_and_workers_unwind() {
+        let faulty: BranchFactory = Box::new(|_| {
+            Ok(Box::new(FaultyRowset {
+                schema: int_schema(),
+                remaining: 2,
+            }) as Box<dyn Rowset>)
+        });
+        let mut rs = exchange(
+            vec![ints((0..100).collect()), faulty, ints((0..100).collect())],
+            &ParallelConfig {
+                exchange_queue: 4,
+                ..ParallelConfig::parallel()
+            },
+        );
+        let err = loop {
+            match rs.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("stream ended without surfacing the branch error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(&err, DhqpError::Provider(m) if m.contains("link reset")),
+            "original provider error must surface, got {err:?}"
+        );
+        // After the error the cursor is done, not wedged.
+        assert!(rs.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn open_failure_propagates() {
+        let bad: BranchFactory =
+            Box::new(|_| Err(DhqpError::Provider("connection refused".into())));
+        let mut rs = exchange(vec![bad], &ParallelConfig::parallel());
+        let err = rs.next().unwrap_err();
+        assert!(matches!(&err, DhqpError::Provider(m) if m.contains("connection refused")));
+    }
+
+    #[test]
+    fn exchange_records_runtime_stats() {
+        let collector = Arc::new(RuntimeStatsCollector::new());
+        let ctx = ctx().with_stats(Arc::clone(&collector));
+        let cols = vec![vec![ColumnId(0)]; 2];
+        let branches = vec![ints(vec![1]), ints(vec![2])];
+        let mut rs = ExchangeRowset::new(
+            branches,
+            &cols,
+            &cols,
+            int_schema(),
+            &ParallelConfig::parallel(),
+            &ctx,
+            7,
+        )
+        .unwrap();
+        assert_eq!(rs.count_rows().unwrap(), 2);
+        drop(rs);
+        let ex = collector.node(7).unwrap().exchange.unwrap();
+        assert_eq!(ex.workers, 2);
+        assert_eq!(ctx.counters().snapshot().parallel_exchanges, 1);
+        assert_eq!(ctx.counters().snapshot().exchange_workers, 2);
+    }
+
+    #[test]
+    fn early_drop_cancels_workers() {
+        let branches: Vec<BranchFactory> = (0..4).map(|_| ints((0..10_000).collect())).collect();
+        let mut rs = exchange(
+            branches,
+            &ParallelConfig {
+                exchange_queue: 2,
+                ..ParallelConfig::parallel()
+            },
+        );
+        // Take a couple of rows, then drop with workers blocked on the full
+        // channel; Drop must join them without deadlocking.
+        rs.next().unwrap();
+        rs.next().unwrap();
+        drop(rs);
+    }
+
+    #[test]
+    fn prefetch_preserves_order_and_completes() {
+        let rows: Vec<Row> = (0..103).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let inner: Box<dyn Rowset> = Box::new(MemRowset::new(int_schema(), rows));
+        let mut rs = PrefetchRowset::new(inner, 16, 2);
+        let got = rs.collect_rows().unwrap();
+        assert_eq!(got.len(), 103);
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.get(0) == &Value::Int(i as i64)));
+        assert!(rs.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn prefetch_surfaces_buffered_rows_before_error() {
+        let inner: Box<dyn Rowset> = Box::new(FaultyRowset {
+            schema: int_schema(),
+            remaining: 3,
+        });
+        let mut rs = PrefetchRowset::new(inner, 2, 2);
+        let mut seen = 0;
+        let err = loop {
+            match rs.next() {
+                Ok(Some(_)) => seen += 1,
+                Ok(None) => panic!("error swallowed"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(seen, 3, "rows before the fault must be delivered");
+        assert!(matches!(err, DhqpError::Provider(_)));
+        assert!(rs.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn prefetch_early_drop_joins_worker() {
+        let rows: Vec<Row> = (0..10_000).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let inner: Box<dyn Rowset> = Box::new(MemRowset::new(int_schema(), rows));
+        let mut rs = PrefetchRowset::new(inner, 8, 1);
+        rs.next().unwrap();
+        drop(rs);
+    }
+}

@@ -1,6 +1,7 @@
 //! Physical operator implementations.
 
 pub mod agg;
+pub mod exchange;
 pub mod filter;
 pub mod join;
 pub mod remote;

@@ -28,15 +28,33 @@ fn param_value(p: &RemoteParam, ctx: &ExecContext) -> Result<Value> {
     }
 }
 
-/// Substitute `@name` placeholders with SQL literals. Longest names first
-/// so `@p10` is never clobbered by `@p1`.
+/// Substitute `@name` placeholders with SQL literals in one left-to-right
+/// scan. At each `@` the longest matching parameter name wins (so `@p10` is
+/// never clobbered by `@p1`), and substituted literals are never rescanned —
+/// a string value containing `@name` cannot be re-substituted.
 pub fn substitute_params(sql: &str, params: &[(String, Value)]) -> String {
     let mut ordered: Vec<&(String, Value)> = params.iter().collect();
     ordered.sort_by_key(|(n, _)| std::cmp::Reverse(n.len()));
-    let mut out = sql.to_string();
-    for (name, value) in ordered {
-        out = out.replace(&format!("@{name}"), &value.to_sql_literal());
+    let mut out = String::with_capacity(sql.len());
+    let mut rest = sql;
+    while let Some(at) = rest.find('@') {
+        out.push_str(&rest[..at]);
+        let after = &rest[at + 1..];
+        match ordered
+            .iter()
+            .find(|(name, _)| after.starts_with(name.as_str()))
+        {
+            Some((name, value)) => {
+                out.push_str(&value.to_sql_literal());
+                rest = &after[name.len()..];
+            }
+            None => {
+                out.push('@');
+                rest = after;
+            }
+        }
     }
+    out.push_str(rest);
     out
 }
 
@@ -156,5 +174,25 @@ mod tests {
             &[("name".into(), Value::Str("O'Brien".into()))],
         );
         assert_eq!(out, "WHERE n = 'O''Brien'");
+    }
+
+    #[test]
+    fn substitution_never_rescans_substituted_literals() {
+        // A string literal containing "@q" must not be re-substituted when
+        // @q is bound too (the old repeated-replace implementation did).
+        let out = substitute_params(
+            "SELECT @p, @q",
+            &[
+                ("p".into(), Value::Str("@q".into())),
+                ("q".into(), Value::Int(1)),
+            ],
+        );
+        assert_eq!(out, "SELECT '@q', 1");
+    }
+
+    #[test]
+    fn substitution_leaves_unknown_placeholders_and_trailing_text() {
+        let out = substitute_params("a = @p AND b = @unknown @", &[("p".into(), Value::Int(5))]);
+        assert_eq!(out, "a = 5 AND b = @unknown @");
     }
 }

@@ -74,6 +74,34 @@ impl Rowset for TopRowset {
     }
 }
 
+/// Per-branch permutations for a union: `perms[k][i]` is the position
+/// within branch k's row that feeds output column i. `child_delivered[k]`
+/// is branch k's actual output column order; `input_columns[k]` is the
+/// column list whose i-th entry feeds output column i.
+pub(crate) fn union_perms(
+    child_delivered: &[Vec<ColumnId>],
+    input_columns: &[Vec<ColumnId>],
+) -> Result<Vec<Vec<usize>>> {
+    child_delivered
+        .iter()
+        .zip(input_columns)
+        .map(|(delivered, wanted)| {
+            let pos = positions_of(delivered);
+            wanted
+                .iter()
+                .map(|c| {
+                    pos.get(c).copied().ok_or_else(|| {
+                        DhqpError::Execute(format!(
+                            "union input column #{} missing from child output",
+                            c.0
+                        ))
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Bag union over children, permuting each child's physical column order to
 /// the view's output order (children may deliver equivalent plans whose
 /// column order differs).
@@ -95,22 +123,7 @@ impl UnionAllRowset {
         input_columns: &[Vec<ColumnId>],
         schema: Schema,
     ) -> Result<Self> {
-        let mut perms = Vec::with_capacity(children.len());
-        for (delivered, wanted) in child_delivered.iter().zip(input_columns) {
-            let pos = positions_of(delivered);
-            let perm: Vec<usize> = wanted
-                .iter()
-                .map(|c| {
-                    pos.get(c).copied().ok_or_else(|| {
-                        DhqpError::Execute(format!(
-                            "union input column #{} missing from child output",
-                            c.0
-                        ))
-                    })
-                })
-                .collect::<Result<Vec<_>>>()?;
-            perms.push(perm);
-        }
+        let perms = union_perms(child_delivered, input_columns)?;
         Ok(UnionAllRowset {
             children,
             perms,

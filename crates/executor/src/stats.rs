@@ -27,6 +27,13 @@ pub struct ExecCounters {
     pub spool_hits: AtomicU64,
     /// Spool first-time materializations.
     pub spool_builds: AtomicU64,
+    /// Exchange operators that opened with parallel dispatch (the serial
+    /// fallback does not count).
+    pub parallel_exchanges: AtomicU64,
+    /// Worker threads spawned by parallel exchanges, summed.
+    pub exchange_workers: AtomicU64,
+    /// Remote rowsets wrapped in a prefetching decorator.
+    pub remote_prefetches: AtomicU64,
 }
 
 impl ExecCounters {
@@ -42,11 +49,23 @@ impl ExecCounters {
         self.spool_builds.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_parallel_exchange(&self, workers: u64) {
+        self.parallel_exchanges.fetch_add(1, Ordering::Relaxed);
+        self.exchange_workers.fetch_add(workers, Ordering::Relaxed);
+    }
+
+    pub fn add_remote_prefetch(&self) {
+        self.remote_prefetches.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> ExecCounterSnapshot {
         ExecCounterSnapshot {
             remote_roundtrips: self.remote_roundtrips.load(Ordering::Relaxed),
             spool_hits: self.spool_hits.load(Ordering::Relaxed),
             spool_builds: self.spool_builds.load(Ordering::Relaxed),
+            parallel_exchanges: self.parallel_exchanges.load(Ordering::Relaxed),
+            exchange_workers: self.exchange_workers.load(Ordering::Relaxed),
+            remote_prefetches: self.remote_prefetches.load(Ordering::Relaxed),
         }
     }
 }
@@ -57,6 +76,9 @@ pub struct ExecCounterSnapshot {
     pub remote_roundtrips: u64,
     pub spool_hits: u64,
     pub spool_builds: u64,
+    pub parallel_exchanges: u64,
+    pub exchange_workers: u64,
+    pub remote_prefetches: u64,
 }
 
 /// What one remote plan node actually did on the wire.
@@ -72,6 +94,27 @@ pub struct RemoteTrace {
     pub traffic: TrafficSnapshot,
 }
 
+/// What one parallel exchange open actually did: how many workers it ran
+/// and how their busy time overlapped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeRuntime {
+    /// Worker threads the exchange spawned (max over rescans).
+    pub workers: u64,
+    /// Per-worker busy time (spawn to exit), summed over workers and opens.
+    pub busy: Duration,
+    /// Wall time from open to the last worker's exit, summed over opens.
+    pub wall: Duration,
+}
+
+impl ExchangeRuntime {
+    /// Time saved by concurrency: how much of the workers' combined busy
+    /// time ran in parallel rather than stretching the wall clock. Zero for
+    /// a single worker (or a fully serialized schedule).
+    pub fn overlap(&self) -> Duration {
+        self.busy.saturating_sub(self.wall)
+    }
+}
+
 /// Runtime facts about one plan node, keyed by its pre-order id.
 #[derive(Debug, Clone, Default)]
 pub struct NodeRuntime {
@@ -85,6 +128,8 @@ pub struct NodeRuntime {
     pub next_time: Duration,
     /// Wire activity for remote nodes.
     pub remote: Option<RemoteTrace>,
+    /// Worker fan-out and overlap for parallel exchange nodes.
+    pub exchange: Option<ExchangeRuntime>,
 }
 
 /// Collects per-node runtime stats for one query execution. Cheap enough
@@ -137,6 +182,20 @@ impl RuntimeStatsCollector {
                 })
             }
         }
+    }
+
+    /// Attribute one parallel exchange run (worker count, combined busy
+    /// time, wall time) to its node. Accumulates over rescans.
+    pub fn record_exchange(&self, node: usize, workers: u64, busy: Duration, wall: Duration) {
+        let mut nodes = self.nodes.lock().expect("stats lock");
+        let entry = nodes
+            .entry(node)
+            .or_default()
+            .exchange
+            .get_or_insert_with(ExchangeRuntime::default);
+        entry.workers = entry.workers.max(workers);
+        entry.busy += busy;
+        entry.wall += wall;
     }
 
     /// Stats for one node, if it ever opened.

@@ -149,6 +149,39 @@ mod tests {
     use super::*;
 
     #[test]
+    fn link_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetworkLink>();
+        assert_send_sync::<LinkStats>();
+        assert_send_sync::<NetworkConfig>();
+    }
+
+    #[test]
+    fn concurrent_accounting_stays_exact() {
+        // Parallel exchange branches meter the same link from several
+        // worker threads; the atomic counters must not lose updates.
+        let link = NetworkLink::new("r0", NetworkConfig::untimed());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let link = link.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        link.record_request(10);
+                        link.record_rows(3, 48);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = link.snapshot();
+        assert_eq!(s.requests, 4000);
+        assert_eq!(s.rows, 12_000);
+        assert_eq!(s.bytes, 4000 * 10 + 4000 * 48);
+    }
+
+    #[test]
     fn accounting_accumulates() {
         let link = NetworkLink::new("r0", NetworkConfig::untimed());
         link.record_request(100);

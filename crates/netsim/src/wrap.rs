@@ -237,6 +237,19 @@ mod tests {
     }
 
     #[test]
+    fn networked_decorators_cross_threads() {
+        // Exchange workers open sessions and drain metered rowsets off the
+        // consumer thread; the whole decorator stack must be Send (and the
+        // shared source Sync).
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<NetworkedDataSource>();
+        assert_send::<NetworkedSession>();
+        assert_send::<MeteredRowset>();
+        assert_send::<NetworkedCommand>();
+    }
+
+    #[test]
     fn rowset_traffic_is_metered_per_row() {
         let ds = networked();
         let mut s = ds.create_session().unwrap();

@@ -311,6 +311,21 @@ mod tests {
     }
 
     #[test]
+    fn trait_objects_cross_threads() {
+        // The executor's exchange workers and prefetchers move sessions,
+        // commands and rowsets onto worker threads while sharing the data
+        // source itself — the trait bounds must guarantee it.
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send_sync::<dyn DataSource>();
+        assert_send::<dyn Session>();
+        assert_send::<dyn Command>();
+        assert_send::<dyn Rowset>();
+        assert_send::<Box<dyn Rowset>>();
+        assert_send_sync::<std::sync::Arc<dyn DataSource>>();
+    }
+
+    #[test]
     fn defaults_are_unsupported() {
         let mut s = NullSession;
         assert!(s.open_rowset("t").is_ok());

@@ -97,6 +97,16 @@ pub enum PhysicalOp {
         output: Vec<ColumnId>,
         input_columns: Vec<Vec<ColumnId>>,
     },
+    /// Parallel bag union: every child runs on its own worker thread and
+    /// rows funnel through a bounded channel to the single consumer cursor.
+    /// Inserted above unions whose branches open remote sources, so member
+    /// servers of a partitioned view work concurrently (§4.1.5) instead of
+    /// paying each link's latency in sequence. Column semantics match
+    /// [`PhysicalOp::UnionAll`]; row order across branches is unspecified.
+    Exchange {
+        output: Vec<ColumnId>,
+        input_columns: Vec<Vec<ColumnId>>,
+    },
     /// Materializes its child on first open; rescans replay the cache
     /// without re-running the child (the *spool over remote* enforcer).
     Spool,
@@ -167,6 +177,7 @@ impl PhysicalOp {
             PhysicalOp::Sort { .. } => "Sort",
             PhysicalOp::Top { .. } => "Top",
             PhysicalOp::UnionAll { .. } => "UnionAll",
+            PhysicalOp::Exchange { .. } => "Exchange",
             PhysicalOp::Spool => "Spool",
             PhysicalOp::RemoteQuery { .. } => "RemoteQuery",
             PhysicalOp::RemoteScan { .. } => "RemoteScan",
@@ -250,6 +261,7 @@ impl PhysNode {
             ),
             PhysicalOp::RemoteFetch { meta } => format!("RemoteFetch({})", meta.table),
             PhysicalOp::Sort { keys } => format!("Sort({} keys)", keys.len()),
+            PhysicalOp::Exchange { .. } => format!("Exchange({} branches)", self.children.len()),
             other => other.name().to_string(),
         }
     }

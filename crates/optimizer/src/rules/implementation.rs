@@ -7,7 +7,7 @@
 //! the decoder); everything else lives here.
 
 use crate::decoder::Decoder;
-use crate::logical::{JoinKind, LogicalOp, TableMeta};
+use crate::logical::{JoinKind, Locality, LogicalOp, TableMeta};
 use crate::memo::{GroupId, MExpr, Memo};
 use crate::physical::{IndexRangeSpec, PhysicalOp};
 use crate::props::{ColumnId, PhysicalProps, RequiredProps};
@@ -112,11 +112,30 @@ pub fn implementations(
                 .iter()
                 .map(|&g| memo.group(g).props.columns.clone())
                 .collect();
-            vec![PhysAlt::node(
+            // Parallel-union rule: when two or more branches reach remote
+            // sources, dispatch them concurrently through an Exchange so
+            // member servers work in parallel (§4.1.5) instead of paying
+            // each link's latency in sequence. The Exchange *replaces* the
+            // serial UnionAll (same cost formula) so plan choice stays
+            // deterministic under the switch.
+            let remote_branches = expr
+                .children
+                .iter()
+                .filter(|&&g| group_localities(memo, g).iter().any(Locality::is_remote))
+                .count();
+            let op = if ctx.config.enable_parallel_union && remote_branches >= 2 {
+                PhysicalOp::Exchange {
+                    output: output.clone(),
+                    input_columns,
+                }
+            } else {
                 PhysicalOp::UnionAll {
                     output: output.clone(),
                     input_columns,
-                },
+                }
+            };
+            vec![PhysAlt::node(
+                op,
                 expr.children.iter().map(|&g| PhysAlt::child(g)).collect(),
             )]
         }

@@ -73,6 +73,13 @@ pub struct OptimizerConfig {
     /// The *build remote query* rule; off forces row shipping via remote
     /// scans (E1/E3 ablation).
     pub enable_remote_query: bool,
+    /// Implement unions with two or more remote branches as an [`Exchange`]
+    /// (parallel dispatch) instead of a serial [`UnionAll`]. Defaults to
+    /// the `DHQP_PARALLEL` environment switch.
+    ///
+    /// [`Exchange`]: PhysicalOp::Exchange
+    /// [`UnionAll`]: PhysicalOp::UnionAll
+    pub enable_parallel_union: bool,
     pub simplify: SimplifyOptions,
     pub cost: CostModel,
     /// Capabilities per linked server (merged with what tree leaves carry).
@@ -84,6 +91,15 @@ pub struct OptimizerConfig {
     pub max_exploration_passes: usize,
 }
 
+/// The `DHQP_PARALLEL` environment switch: set (to anything but `0` or the
+/// empty string) forces parallel remote execution on by default — CI runs
+/// the whole suite once this way to exercise the concurrent path.
+pub fn parallel_env_default() -> bool {
+    std::env::var("DHQP_PARALLEL")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
 impl Default for OptimizerConfig {
     fn default() -> Self {
         OptimizerConfig {
@@ -92,6 +108,7 @@ impl Default for OptimizerConfig {
             enable_locality_grouping: true,
             enable_remote_param: true,
             enable_remote_query: true,
+            enable_parallel_union: parallel_env_default(),
             simplify: SimplifyOptions::default(),
             cost: CostModel::default(),
             server_caps: HashMap::new(),
@@ -497,7 +514,7 @@ impl<'a> SearchDriver<'a> {
             PhysicalOp::StreamAggregate { .. } => c0 * m.cpu_row,
             PhysicalOp::Sort { .. } => m.sort(c0),
             PhysicalOp::Top { .. } => rows * m.cpu_row,
-            PhysicalOp::UnionAll { .. } => {
+            PhysicalOp::UnionAll { .. } | PhysicalOp::Exchange { .. } => {
                 children.iter().map(|c| c.est_rows).sum::<f64>() * m.cpu_row * 0.1
             }
             PhysicalOp::Spool => 0.0, // charged via extra_cost
@@ -555,7 +572,7 @@ fn node_output(op: &PhysicalOp, children: &[PhysNode]) -> Vec<ColumnId> {
             out.extend(aggs.iter().map(|a| a.output));
             out
         }
-        PhysicalOp::UnionAll { output, .. } => output.clone(),
+        PhysicalOp::UnionAll { output, .. } | PhysicalOp::Exchange { output, .. } => output.clone(),
         PhysicalOp::Values { columns, .. } | PhysicalOp::Empty { columns } => columns.clone(),
     }
 }

@@ -24,3 +24,20 @@ pub use csv::CsvProvider;
 pub use mail::{MailMessage, MailboxProvider};
 pub use minisql::MiniSqlProvider;
 pub use spreadsheet::{Sheet, SpreadsheetProvider};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    #[test]
+    fn providers_are_shareable_across_threads() {
+        // Parallel exchange branches open provider sessions from worker
+        // threads, so every provider must satisfy `DataSource`'s
+        // `Send + Sync` bound as a concrete type too.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CsvProvider>();
+        assert_send_sync::<SpreadsheetProvider>();
+        assert_send_sync::<MailboxProvider>();
+        assert_send_sync::<MiniSqlProvider>();
+    }
+}

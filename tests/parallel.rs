@@ -1,0 +1,315 @@
+//! Parallel remote execution (§4.1.5): the exchange operator dispatches
+//! DPV member branches concurrently, prefetching overlaps remote fetches
+//! with consumption, and errors from any branch surface unchanged.
+
+use dhqp::{Engine, EngineDataSource, ParallelConfig};
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
+use dhqp_oledb::{
+    Command, CommandResult, DataSource, Histogram, KeyRange, ProviderCapabilities, Rowset, Session,
+    TableInfo, TrafficSnapshot, TxnId,
+};
+use dhqp_types::{DhqpError, Result, Row, Schema, Value};
+use dhqp_workload::tpch::{self, TpchScale};
+use std::sync::Arc;
+
+/// Head engine federating four remote members that hold all seven
+/// `lineitem_9x` partitions; `wrap` lets a test decorate each member's
+/// data source (e.g. to inject faults) before it goes behind its link.
+fn federation_with(
+    wrap: impl Fn(Arc<dyn DataSource>, usize) -> Arc<dyn DataSource>,
+) -> (Engine, Vec<NetworkLink>) {
+    let head = Engine::new("head");
+    let members: Vec<Engine> = (1..=4)
+        .map(|i| Engine::new(format!("member{i}-engine")))
+        .collect();
+    let engines: Vec<&dhqp_storage::StorageEngine> =
+        members.iter().map(|e| e.storage().as_ref()).collect();
+    let parts = tpch::create_lineitem_partitions(&engines, &TpchScale::tiny(), 17).unwrap();
+
+    let mut links = Vec::new();
+    for (i, m) in members.iter().enumerate() {
+        let link = NetworkLink::new(format!("member{}", i + 1), NetworkConfig::lan());
+        let inner = wrap(Arc::new(EngineDataSource::new(m.clone())), i);
+        head.add_linked_server(
+            &format!("member{}", i + 1),
+            Arc::new(NetworkedDataSource::new(inner, link.clone())),
+        )
+        .unwrap();
+        links.push(link);
+    }
+    let view_members = parts
+        .into_iter()
+        .map(|(idx, table, domain)| (Some(format!("member{}", idx + 1)), table, domain))
+        .collect();
+    head.define_partitioned_view("lineitem_all", "l_commitdate", view_members)
+        .unwrap();
+    (head, links)
+}
+
+fn federation() -> (Engine, Vec<NetworkLink>) {
+    federation_with(|ds, _| ds)
+}
+
+/// Rows of a result as sorted value vectors (bag comparison independent of
+/// delivery order, which an exchange does not preserve).
+fn multiset(rows: &[Row], width: usize) -> Vec<Vec<Value>> {
+    let mut out: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|r| (0..width).map(|i| r.get(i).clone()).collect())
+        .collect();
+    out.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    out
+}
+
+const SCAN: &str = "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem_all";
+
+#[test]
+fn parallel_dpv_union_matches_serial_multiset() {
+    let (head, _links) = federation();
+    let scale = TpchScale::tiny();
+
+    head.set_parallel_config(ParallelConfig::serial());
+    let serial_plan = head.explain(SCAN).unwrap().plan_text;
+    assert!(serial_plan.contains("UnionAll"), "{serial_plan}");
+    assert!(!serial_plan.contains("Exchange"), "{serial_plan}");
+    let serial = head.query(SCAN).unwrap();
+    assert_eq!(serial.len(), scale.orders * scale.lineitems_per_order);
+
+    head.set_parallel_config(ParallelConfig::parallel());
+    let parallel_plan = head.explain(SCAN).unwrap().plan_text;
+    assert!(
+        parallel_plan.contains("Exchange(7 branches)"),
+        "parallel plans must dispatch DPV members through an exchange:\n{parallel_plan}"
+    );
+    let parallel = head.query(SCAN).unwrap();
+
+    assert_eq!(multiset(&serial.rows, 3), multiset(&parallel.rows, 3));
+}
+
+#[test]
+fn exchange_reports_workers_and_traffic_stays_exact() {
+    let (head, links) = federation();
+    // Warm the metadata cache so both measured runs bind identically.
+    head.set_parallel_config(ParallelConfig::serial());
+    head.query(SCAN).unwrap();
+
+    let measure = |links: &[NetworkLink]| -> Vec<TrafficSnapshot> {
+        links.iter().map(NetworkLink::snapshot).collect()
+    };
+
+    for l in &links {
+        l.reset();
+    }
+    head.execute_analyze(SCAN).unwrap();
+    let serial_traffic = measure(&links);
+    let total_rows: u64 = serial_traffic.iter().map(|t| t.rows).sum();
+    let scale = TpchScale::tiny();
+    assert_eq!(
+        total_rows,
+        (scale.orders * scale.lineitems_per_order) as u64
+    );
+
+    head.set_parallel_config(ParallelConfig::parallel());
+    for l in &links {
+        l.reset();
+    }
+    let report = head.execute_analyze(SCAN).unwrap();
+    let parallel_traffic = measure(&links);
+
+    // Concurrency must not change what crosses each wire: per-link request,
+    // row and byte counts are identical to the serial execution.
+    assert_eq!(serial_traffic, parallel_traffic);
+
+    // The report carries the exchange runtime: seven branches, one worker
+    // each (under the default eight-worker cap).
+    let exchange = report
+        .runtime
+        .values()
+        .find_map(|rt| rt.exchange)
+        .expect("parallel run records exchange runtime");
+    assert_eq!(exchange.workers, 7);
+    let rendered = report.render();
+    assert!(rendered.contains("Exchange(7 branches)"), "{rendered}");
+    assert!(rendered.contains("[exchange: workers=7"), "{rendered}");
+
+    let m = head.metrics();
+    assert!(m.parallel_exchanges >= 1, "{m:?}");
+    assert!(m.exchange_workers >= 7, "{m:?}");
+    assert!(m.remote_prefetches >= 7, "{m:?}");
+}
+
+#[test]
+fn exchange_plan_falls_back_to_serial_execution() {
+    // Plan with an Exchange but execute with parallelism disabled (e.g. a
+    // cached plan after the knob was turned off): the operator degrades to
+    // an in-line union, spawning no workers.
+    let (head, _links) = federation();
+    head.set_parallel_config(ParallelConfig::serial());
+    let mut config = head.optimizer_config();
+    config.enable_parallel_union = true;
+    head.set_optimizer_config(config);
+
+    let plan = head.explain(SCAN).unwrap().plan_text;
+    assert!(plan.contains("Exchange"), "{plan}");
+    let before = head.metrics().parallel_exchanges;
+    let r = head.query(SCAN).unwrap();
+    let scale = TpchScale::tiny();
+    assert_eq!(r.len(), scale.orders * scale.lineitems_per_order);
+    assert_eq!(head.metrics().parallel_exchanges, before);
+}
+
+// --- fault injection -------------------------------------------------------
+
+/// Decorates a member so every rowset it serves fails after `fail_after`
+/// rows, as a dropped connection mid-stream would.
+struct FaultySource {
+    inner: Arc<dyn DataSource>,
+    fail_after: usize,
+}
+
+const FAULT: &str = "simulated link reset mid-stream";
+
+impl DataSource for FaultySource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn capabilities(&self) -> ProviderCapabilities {
+        self.inner.capabilities()
+    }
+
+    fn traffic(&self) -> Option<TrafficSnapshot> {
+        self.inner.traffic()
+    }
+
+    fn tables(&self) -> Result<Vec<TableInfo>> {
+        self.inner.tables()
+    }
+
+    fn create_session(&self) -> Result<Box<dyn Session>> {
+        Ok(Box::new(FaultySession {
+            inner: self.inner.create_session()?,
+            fail_after: self.fail_after,
+        }))
+    }
+}
+
+struct FaultySession {
+    inner: Box<dyn Session>,
+    fail_after: usize,
+}
+
+impl FaultySession {
+    fn wrap(&self, rs: Box<dyn Rowset>) -> Box<dyn Rowset> {
+        Box::new(FaultyRowset {
+            inner: rs,
+            remaining: self.fail_after,
+        })
+    }
+}
+
+impl Session for FaultySession {
+    fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
+        let rs = self.inner.open_rowset(table)?;
+        Ok(self.wrap(rs))
+    }
+
+    fn open_index(
+        &mut self,
+        table: &str,
+        index: &str,
+        range: &KeyRange,
+    ) -> Result<Box<dyn Rowset>> {
+        let rs = self.inner.open_index(table, index, range)?;
+        Ok(self.wrap(rs))
+    }
+
+    fn create_command(&mut self) -> Result<Box<dyn Command>> {
+        Ok(Box::new(FaultyCommand {
+            inner: self.inner.create_command()?,
+            fail_after: self.fail_after,
+        }))
+    }
+
+    fn fetch_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<Vec<Row>> {
+        self.inner.fetch_by_bookmarks(table, bookmarks)
+    }
+
+    fn histogram(&mut self, table: &str, column: &str) -> Result<Option<Histogram>> {
+        self.inner.histogram(table, column)
+    }
+
+    fn join_transaction(&mut self, txn: TxnId) -> Result<()> {
+        self.inner.join_transaction(txn)
+    }
+}
+
+struct FaultyCommand {
+    inner: Box<dyn Command>,
+    fail_after: usize,
+}
+
+impl Command for FaultyCommand {
+    fn set_text(&mut self, text: &str) -> Result<()> {
+        self.inner.set_text(text)
+    }
+
+    fn bind_parameter(&mut self, ordinal: usize, value: Value) -> Result<()> {
+        self.inner.bind_parameter(ordinal, value)
+    }
+
+    fn execute(&mut self) -> Result<CommandResult> {
+        match self.inner.execute()? {
+            CommandResult::Rowset(rs) => Ok(CommandResult::Rowset(Box::new(FaultyRowset {
+                inner: rs,
+                remaining: self.fail_after,
+            }))),
+            CommandResult::RowCount(n) => Ok(CommandResult::RowCount(n)),
+        }
+    }
+}
+
+struct FaultyRowset {
+    inner: Box<dyn Rowset>,
+    remaining: usize,
+}
+
+impl Rowset for FaultyRowset {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.remaining == 0 {
+            return Err(DhqpError::Provider(FAULT.into()));
+        }
+        self.remaining -= 1;
+        self.inner.next()
+    }
+}
+
+#[test]
+fn branch_fault_surfaces_original_error_through_exchange() {
+    // Member 3 drops its connection three rows into every result stream.
+    let (head, _links) = federation_with(|ds, i| {
+        if i == 2 {
+            Arc::new(FaultySource {
+                inner: ds,
+                fail_after: 3,
+            })
+        } else {
+            ds
+        }
+    });
+    head.set_parallel_config(ParallelConfig::parallel());
+
+    let err = head.query(SCAN).unwrap_err();
+    assert_eq!(err.kind(), "provider", "{err}");
+    assert!(err.message().contains(FAULT), "{err}");
+
+    // The failure cancels cleanly: healthy members still answer afterwards.
+    let r = head
+        .query("SELECT l_orderkey FROM lineitem_all WHERE l_commitdate < '1993-01-01'")
+        .unwrap();
+    assert!(!r.is_empty());
+}
