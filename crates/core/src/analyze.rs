@@ -124,6 +124,9 @@ fn render_node(
                     node.est_rows, rt.rows, rt.next_time
                 );
             }
+            if rt.retries > 0 {
+                let _ = writeln!(out, "{pad}    [retries={}]", rt.retries);
+            }
             if let Some(ex) = &rt.exchange {
                 let _ = writeln!(
                     out,

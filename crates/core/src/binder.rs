@@ -12,6 +12,8 @@
 //! the paper's "no direct SQL corollary" situation.
 
 use crate::engine::Engine;
+use dhqp_executor::ops::retry::{open_with_retries, ReopenFactory};
+use dhqp_executor::RetryPolicy;
 use dhqp_oledb::{DataSource, Rowset, TableInfo};
 use dhqp_optimizer::logical::{JoinKind, LogicalExpr, LogicalOp, TableMeta};
 use dhqp_optimizer::props::{ColumnRegistry, PhysicalProps, RequiredProps};
@@ -574,16 +576,35 @@ impl<'e> Binder<'e> {
         query: &str,
         alias: &str,
     ) -> Result<(LogicalExpr, Vec<Binding>)> {
-        let caps = source.capabilities();
-        let mut session = source.create_session()?;
-        let mut rowset: Box<dyn Rowset> = if caps.has_command() {
-            let mut cmd = session.create_command()?;
-            cmd.set_text(query)?;
-            cmd.execute()?.into_rowset()?
+        let has_command = source.capabilities().has_command();
+        // Pass-through text we can prove is a read (or a plain table open)
+        // may be re-sent on transient link faults; anything else runs once.
+        let idempotent = !has_command
+            || query
+                .trim_start()
+                .get(..6)
+                .is_some_and(|head| head.eq_ignore_ascii_case("select"));
+        let policy = if idempotent {
+            self.engine.retry_policy()
         } else {
-            // Simple provider: the "query" is a table name.
-            session.open_rowset(query.trim())?
+            RetryPolicy::no_retry()
         };
+        let factory: ReopenFactory = {
+            let source = Arc::clone(source);
+            let query = query.to_string();
+            Box::new(move || {
+                let mut session = source.create_session()?;
+                if has_command {
+                    let mut cmd = session.create_command()?;
+                    cmd.set_text(&query)?;
+                    cmd.execute()?.into_rowset()
+                } else {
+                    // Simple provider: the "query" is a table name.
+                    session.open_rowset(query.trim())
+                }
+            })
+        };
+        let mut rowset = open_with_retries(factory, &policy, &self.engine.exec_counters(), None)?;
         let schema = rowset.schema().clone();
         let mut rows = Vec::new();
         while let Some(r) = rowset.next()? {

@@ -9,6 +9,7 @@ use crate::engine::Engine;
 use crate::result::QueryResult;
 use dhqp_dtc::DistributedTransaction;
 use dhqp_executor::eval::{eval_expr, eval_predicate, positions_of, RowEnv};
+use dhqp_executor::ops::retry::with_retries;
 use dhqp_federation::PartitionedView;
 use dhqp_oledb::{DataSource, RowsetExt, Session};
 use dhqp_optimizer::logical::TableMeta;
@@ -353,8 +354,12 @@ fn matching_rows(
     let (meta, predicate, registry) =
         bind_dml_predicate(engine, server, table, where_clause, params)?;
     let session = sessions.session(server)?;
-    let mut rowset = session.open_rowset(table)?;
-    let rows = rowset.collect_rows()?;
+    // The row-location scan is a read: a transient fault here is absorbed
+    // by re-reading, while the bookmark write that follows never retries.
+    let rows = with_retries(&engine.retry_policy(), &engine.exec_counters(), || {
+        let mut rowset = session.open_rowset(table)?;
+        rowset.collect_rows()
+    })?;
     let Some(predicate) = predicate else {
         return Ok(rows);
     };

@@ -6,7 +6,9 @@ use crate::dml;
 use crate::metrics::{EngineMetrics, MetricsSnapshot, QuerySummary, StatementKind};
 use crate::result::QueryResult;
 use dhqp_dtc::TransactionCoordinator;
-use dhqp_executor::{ExecContext, ParallelConfig, RuntimeStatsCollector, SourceCatalog};
+use dhqp_executor::{
+    ExecContext, ParallelConfig, RetryPolicy, RuntimeStatsCollector, SourceCatalog,
+};
 use dhqp_federation::{LinkedServerRegistry, MemberTable, PartitionedView};
 use dhqp_fulltext::SearchService;
 use dhqp_oledb::{DataSource, RowsetExt, TableStatistics};
@@ -41,6 +43,7 @@ pub(crate) struct Inner {
     meta_cache: RwLock<HashMap<(String, String), Arc<FetchedTable>>>,
     config: RwLock<OptimizerConfig>,
     parallel: RwLock<ParallelConfig>,
+    retry: RwLock<RetryPolicy>,
     dtc: Arc<TransactionCoordinator>,
     metrics: EngineMetrics,
 }
@@ -50,6 +53,7 @@ pub struct EngineBuilder {
     name: String,
     config: OptimizerConfig,
     parallel: ParallelConfig,
+    retry: RetryPolicy,
 }
 
 impl EngineBuilder {
@@ -58,6 +62,7 @@ impl EngineBuilder {
             name: name.into(),
             config: OptimizerConfig::default(),
             parallel: ParallelConfig::from_env(),
+            retry: RetryPolicy::from_env(),
         }
     }
 
@@ -71,6 +76,12 @@ impl EngineBuilder {
     pub fn parallel_config(mut self, parallel: ParallelConfig) -> Self {
         self.config.enable_parallel_union = parallel.enabled;
         self.parallel = parallel;
+        self
+    }
+
+    /// Retry/backoff policy for remote opens and mid-stream rewinds.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -89,6 +100,7 @@ impl EngineBuilder {
                 meta_cache: RwLock::new(HashMap::new()),
                 config: RwLock::new(self.config),
                 parallel: RwLock::new(self.parallel),
+                retry: RwLock::new(self.retry),
                 dtc: TransactionCoordinator::new(),
                 metrics: EngineMetrics::default(),
             }),
@@ -411,6 +423,16 @@ impl Engine {
         *self.inner.parallel.write() = parallel;
     }
 
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.inner.retry.read().clone()
+    }
+
+    /// Set the retry/backoff policy applied to remote opens and mid-stream
+    /// rewinds on transient transport faults.
+    pub fn set_retry_policy(&self, retry: RetryPolicy) {
+        *self.inner.retry.write() = retry;
+    }
+
     // ---- query pipeline ----------------------------------------------------
 
     /// Run any statement without parameters.
@@ -590,7 +612,8 @@ impl Engine {
         });
         let mut ctx = ExecContext::new(catalog, params, Arc::clone(&registry))
             .with_counters(self.inner.metrics.exec_counters())
-            .with_parallel(self.parallel_config());
+            .with_parallel(self.parallel_config())
+            .with_retry(self.retry_policy());
         if let Some(collector) = stats {
             ctx = ctx.with_stats(collector);
         }
@@ -762,6 +785,12 @@ impl Engine {
         }
     }
 
+    /// The executor counters shared with every execution context (used by
+    /// bind-time pass-through reads so their retries are counted too).
+    pub(crate) fn exec_counters(&self) -> Arc<dhqp_executor::ExecCounters> {
+        self.inner.metrics.exec_counters()
+    }
+
     /// Build an execution context for internal evaluation (DML paths).
     pub(crate) fn exec_context(
         &self,
@@ -774,6 +803,7 @@ impl Engine {
         ExecContext::new(catalog, params, registry)
             .with_counters(self.inner.metrics.exec_counters())
             .with_parallel(self.parallel_config())
+            .with_retry(self.retry_policy())
     }
 
     // ---- observability -----------------------------------------------------
@@ -782,7 +812,7 @@ impl Engine {
     /// metadata-cache hits/misses, spool-cache activity, remote round
     /// trips, DTC commit/abort outcomes and full-text searches.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.inner.metrics.snapshot(self.inner.dtc.stats())
+        self.inner.metrics.snapshot(self.inner.dtc.telemetry())
     }
 
     /// The last [`crate::metrics::RECENT_QUERY_CAPACITY`] statement

@@ -33,5 +33,7 @@ pub use metrics::{MetricsSnapshot, QuerySummary, StatementKind};
 pub use remote::EngineDataSource;
 pub use result::QueryResult;
 
-pub use dhqp_executor::ParallelConfig;
+pub use dhqp_dtc::{DtcStats, RecoveryReport};
+pub use dhqp_executor::{ParallelConfig, RetryPolicy};
+pub use dhqp_netsim::FaultConfig;
 pub use dhqp_optimizer::{OptimizationPhase, OptimizerConfig};

@@ -6,6 +6,7 @@
 //! (never per row). [`MetricsSnapshot`] is a plain-value copy safe to hold
 //! across further engine activity.
 
+use dhqp_dtc::DtcStats;
 use dhqp_executor::ExecCounters;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -69,8 +70,21 @@ pub struct MetricsSnapshot {
     pub exchange_workers: u64,
     /// Remote rowsets that ran behind a prefetching decorator.
     pub remote_prefetches: u64,
+    /// Remote attempts re-issued after a transient transport fault.
+    pub remote_retries: u64,
+    /// Transient transport faults observed on the remote path (whether or
+    /// not a retry ultimately succeeded).
+    pub remote_transient_errors: u64,
+    /// Remote attempts abandoned because a per-attempt or per-query
+    /// deadline expired.
+    pub remote_deadline_hits: u64,
     pub dtc_commits: u64,
     pub dtc_aborts: u64,
+    /// Distributed transactions currently in doubt (decision logged,
+    /// delivery pending at some participant).
+    pub dtc_in_doubt: u64,
+    /// In-doubt transactions resolved by `recover()`.
+    pub dtc_recovered: u64,
 }
 
 impl MetricsSnapshot {
@@ -165,7 +179,7 @@ impl EngineMetrics {
         self.recent.lock().iter().cloned().collect()
     }
 
-    pub fn snapshot(&self, dtc: (u64, u64)) -> MetricsSnapshot {
+    pub fn snapshot(&self, dtc: DtcStats) -> MetricsSnapshot {
         let exec = self.exec.snapshot();
         MetricsSnapshot {
             selects: self.selects.load(Ordering::Relaxed),
@@ -184,8 +198,13 @@ impl EngineMetrics {
             parallel_exchanges: exec.parallel_exchanges,
             exchange_workers: exec.exchange_workers,
             remote_prefetches: exec.remote_prefetches,
-            dtc_commits: dtc.0,
-            dtc_aborts: dtc.1,
+            remote_retries: exec.remote_retries,
+            remote_transient_errors: exec.remote_transient_errors,
+            remote_deadline_hits: exec.remote_deadline_hits,
+            dtc_commits: dtc.commits,
+            dtc_aborts: dtc.aborts,
+            dtc_in_doubt: dtc.in_doubt,
+            dtc_recovered: dtc.recovered,
         }
     }
 }
@@ -211,7 +230,7 @@ mod tests {
         assert_eq!(recent.first().unwrap().sql, "SELECT 5");
         assert_eq!(recent.last().unwrap().sql, "SELECT 36");
         assert_eq!(
-            m.snapshot((0, 0)).selects,
+            m.snapshot(DtcStats::default()).selects,
             (RECENT_QUERY_CAPACITY + 5) as u64
         );
     }
@@ -230,8 +249,21 @@ mod tests {
             3,
             false,
         );
-        let s = m.snapshot((7, 2));
+        m.exec_counters().add_remote_retry();
+        m.exec_counters().add_remote_transient_error();
+        m.exec_counters().add_remote_deadline_hit();
+        let s = m.snapshot(DtcStats {
+            commits: 7,
+            aborts: 2,
+            in_doubt: 1,
+            recovered: 4,
+        });
         assert_eq!(s.remote_roundtrips, 1);
+        assert_eq!(s.remote_retries, 1);
+        assert_eq!(s.remote_transient_errors, 1);
+        assert_eq!(s.remote_deadline_hits, 1);
+        assert_eq!(s.dtc_in_doubt, 1);
+        assert_eq!(s.dtc_recovered, 4);
         assert_eq!(s.meta_cache_hits, 1);
         assert_eq!(s.meta_cache_misses, 1);
         assert_eq!(s.fulltext_searches, 1);

@@ -142,7 +142,21 @@ impl Command for EngineCommand {
             .text
             .as_deref()
             .ok_or_else(|| dhqp_types::DhqpError::Provider("command has no text".into()))?;
-        let result = self.engine.execute(text)?;
+        let read_only =
+            text.trim_start().len() >= 6 && text.trim_start()[..6].eq_ignore_ascii_case("select");
+        let result = match self.engine.execute(text) {
+            Ok(result) => result,
+            // A pushed-down statement that *writes* may have partially
+            // applied before the failure; re-sending it is not idempotent.
+            // Strip the retryable classification so no upstream retry
+            // layer blindly re-issues it.
+            Err(e) if !read_only && e.is_retryable() => {
+                return Err(dhqp_types::DhqpError::Provider(format!(
+                    "remote statement is not idempotent, refusing retry: {e}"
+                )));
+            }
+            Err(e) => return Err(e),
+        };
         if let Some(n) = result.rows_affected {
             return Ok(CommandResult::RowCount(n));
         }

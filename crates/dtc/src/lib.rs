@@ -10,8 +10,15 @@
 //! 2. **Commit/Abort**: the decision is logged, then delivered to all
 //!    participants.
 //!
-//! Failure injection in the storage engine (`set_fail_prepare`) lets tests
-//! and benches exercise the abort path.
+//! Failure injection in the storage engine (`set_fail_prepare`,
+//! `set_fail_commit`) lets tests and benches exercise the abort path and
+//! the in-doubt/recovery path.
+//!
+//! A participant that fails *after* the decision was logged leaves the
+//! transaction **in doubt**: the coordinator keeps the participant's session
+//! in an in-doubt store, and [`TransactionCoordinator::recover`] replays the
+//! persisted outcome (presumed abort when no `Committed` record exists)
+//! until every participant has acknowledged the decision.
 
 use dhqp_oledb::{Session, TxnId};
 use dhqp_types::{DhqpError, Result};
@@ -34,13 +41,46 @@ pub struct LogRecord {
     pub participants: Vec<String>,
 }
 
+/// Coordinator counters, including in-doubt/recovery telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DtcStats {
+    /// Transactions whose outcome was logged `Committed`.
+    pub commits: u64,
+    /// Transactions whose outcome was logged `Aborted`.
+    pub aborts: u64,
+    /// Transactions currently in doubt (decision logged, delivery pending).
+    pub in_doubt: u64,
+    /// In-doubt transactions fully resolved by [`TransactionCoordinator::recover`].
+    pub recovered: u64,
+}
+
+/// What one [`TransactionCoordinator::recover`] pass accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// In-doubt transactions whose every participant acknowledged the
+    /// logged outcome during this pass.
+    pub resolved: u64,
+    /// In-doubt transactions with at least one participant still failing.
+    pub still_in_doubt: u64,
+}
+
+/// An in-doubt transaction: the decision is durable in the log, but at
+/// least one participant has not acknowledged it. The coordinator keeps the
+/// unacknowledged sessions so recovery can re-deliver the outcome.
+struct InDoubt {
+    txn: TxnId,
+    participants: Vec<(String, Box<dyn Session>)>,
+}
+
 /// The coordinator: allocates transaction ids and keeps the outcome log.
 #[derive(Default)]
 pub struct TransactionCoordinator {
     next_txn: AtomicU64,
     log: Mutex<Vec<LogRecord>>,
+    in_doubt: Mutex<Vec<InDoubt>>,
     commits: AtomicU64,
     aborts: AtomicU64,
+    recovered: AtomicU64,
 }
 
 impl TransactionCoordinator {
@@ -67,9 +107,73 @@ impl TransactionCoordinator {
         )
     }
 
+    /// Full coordinator telemetry, including the in-doubt/recovery counters.
+    pub fn telemetry(&self) -> DtcStats {
+        DtcStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            in_doubt: self.in_doubt.lock().len() as u64,
+            recovered: self.recovered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Transaction ids currently in doubt, oldest first.
+    pub fn in_doubt_txns(&self) -> Vec<TxnId> {
+        self.in_doubt.lock().iter().map(|d| d.txn).collect()
+    }
+
     /// The outcome log, oldest first.
     pub fn log(&self) -> Vec<LogRecord> {
         self.log.lock().clone()
+    }
+
+    /// Resolve in-doubt transactions from the persisted outcome log.
+    ///
+    /// For each in-doubt transaction the logged decision is re-delivered to
+    /// every unacknowledged participant: `Committed` re-sends the commit;
+    /// anything else — including a missing record — presumes abort, the
+    /// classic presumed-abort recovery rule. Participants that fail again
+    /// stay in the in-doubt store for a later pass.
+    pub fn recover(&self) -> RecoveryReport {
+        let pending = std::mem::take(&mut *self.in_doubt.lock());
+        let mut report = RecoveryReport::default();
+        let mut still = Vec::new();
+        for entry in pending {
+            let outcome = self
+                .log
+                .lock()
+                .iter()
+                .rev()
+                .find(|r| r.txn == entry.txn)
+                .map(|r| r.outcome);
+            let mut failed = Vec::new();
+            for (name, mut session) in entry.participants {
+                let delivery = match outcome {
+                    Some(Outcome::Committed) => session.commit(entry.txn),
+                    // Presumed abort: no commit record means roll back.
+                    _ => session.abort(entry.txn),
+                };
+                if delivery.is_err() {
+                    failed.push((name, session));
+                }
+            }
+            if failed.is_empty() {
+                report.resolved += 1;
+                self.recovered.fetch_add(1, Ordering::Relaxed);
+            } else {
+                report.still_in_doubt += 1;
+                still.push(InDoubt {
+                    txn: entry.txn,
+                    participants: failed,
+                });
+            }
+        }
+        self.in_doubt.lock().extend(still);
+        report
+    }
+
+    fn mark_in_doubt(&self, txn: TxnId, participants: Vec<(String, Box<dyn Session>)>) {
+        self.in_doubt.lock().push(InDoubt { txn, participants });
     }
 
     fn record(&self, txn: TxnId, outcome: Outcome, participants: Vec<String>) {
@@ -157,29 +261,50 @@ impl DistributedTransaction {
         // Decision is durable before phase two.
         self.coordinator.record(self.id, Outcome::Committed, names);
         self.finished = true;
-        // Phase two: deliver commit. Prepared participants guaranteed
-        // success; an error here is an engine invariant violation.
-        for (name, session) in self.participants.iter_mut() {
-            session.commit(self.id).map_err(|e| {
-                DhqpError::Transaction(format!(
-                    "prepared participant '{name}' failed to commit (log has Committed): {e}"
-                ))
-            })?;
+        // Phase two: deliver commit to *every* participant even when some
+        // fail — a prepared participant that missed the decision must still
+        // receive it eventually. Failures leave the transaction in doubt.
+        let mut failed = Vec::new();
+        let mut causes = Vec::new();
+        for (name, mut session) in std::mem::take(&mut self.participants) {
+            match session.commit(self.id) {
+                Ok(()) => {}
+                Err(e) => {
+                    causes.push(format!("'{name}': {e}"));
+                    failed.push((name, session));
+                }
+            }
         }
-        Ok(())
+        if failed.is_empty() {
+            return Ok(());
+        }
+        self.coordinator.mark_in_doubt(self.id, failed);
+        Err(DhqpError::Transaction(format!(
+            "transaction {} is in doubt: log has Committed but commit delivery failed for {} \
+             (run recover() to resolve)",
+            self.id,
+            causes.join(", ")
+        )))
     }
 
-    /// Abort everywhere.
+    /// Abort everywhere. Participants that fail to acknowledge the abort go
+    /// to the in-doubt store; recovery presumes abort and re-delivers.
     pub fn abort(mut self) -> Result<()> {
         if self.finished {
             return Ok(());
         }
         let names = self.participant_names();
-        for (_, session) in self.participants.iter_mut() {
-            let _ = session.abort(self.id);
-        }
         self.finished = true;
         self.coordinator.record(self.id, Outcome::Aborted, names);
+        let mut failed = Vec::new();
+        for (name, mut session) in std::mem::take(&mut self.participants) {
+            if session.abort(self.id).is_err() {
+                failed.push((name, session));
+            }
+        }
+        if !failed.is_empty() {
+            self.coordinator.mark_in_doubt(self.id, failed);
+        }
         Ok(())
     }
 }
@@ -189,10 +314,16 @@ impl Drop for DistributedTransaction {
         // Presumed abort: a dropped in-flight transaction rolls back.
         if !self.finished {
             let names = self.participant_names();
-            for (_, session) in self.participants.iter_mut() {
-                let _ = session.abort(self.id);
-            }
             self.coordinator.record(self.id, Outcome::Aborted, names);
+            let mut failed = Vec::new();
+            for (name, mut session) in std::mem::take(&mut self.participants) {
+                if session.abort(self.id).is_err() {
+                    failed.push((name, session));
+                }
+            }
+            if !failed.is_empty() {
+                self.coordinator.mark_in_doubt(self.id, failed);
+            }
         }
     }
 }
@@ -306,6 +437,100 @@ mod tests {
         }
         assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 0);
         assert_eq!(dtc.stats(), (0, 1));
+    }
+
+    #[test]
+    fn commit_phase_failure_leaves_transaction_in_doubt() {
+        let (e1, e2) = (engine("s1"), engine("s2"));
+        e2.set_fail_commit(true);
+        let dtc = TransactionCoordinator::new();
+        let mut txn = dtc.begin();
+        txn.enlist("s1", session_for(&e1)).unwrap();
+        txn.enlist("s2", session_for(&e2)).unwrap();
+        txn.session_mut("s1")
+            .unwrap()
+            .insert("t", &[row(1)])
+            .unwrap();
+        txn.session_mut("s2")
+            .unwrap()
+            .insert("t", &[row(2)])
+            .unwrap();
+        let id = txn.id();
+        let err = txn.commit().unwrap_err();
+        assert!(err.to_string().contains("in doubt"), "{err}");
+        // The decision is durable: the log says Committed and the healthy
+        // participant applied its writes.
+        assert_eq!(dtc.log()[0].outcome, Outcome::Committed);
+        assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 1);
+        // The failed participant still buffers its state for recovery.
+        assert!(e2.has_txn(id));
+        assert_eq!(dtc.in_doubt_txns(), vec![id]);
+        assert_eq!(dtc.telemetry().in_doubt, 1);
+    }
+
+    #[test]
+    fn recover_redelivers_commit_from_the_log() {
+        let (e1, e2) = (engine("s1"), engine("s2"));
+        e2.set_fail_commit(true);
+        let dtc = TransactionCoordinator::new();
+        let mut txn = dtc.begin();
+        txn.enlist("s1", session_for(&e1)).unwrap();
+        txn.enlist("s2", session_for(&e2)).unwrap();
+        txn.session_mut("s2")
+            .unwrap()
+            .insert("t", &[row(2)])
+            .unwrap();
+        txn.commit().unwrap_err();
+
+        // While the participant is still down, recovery makes no progress.
+        let stuck = dtc.recover();
+        assert_eq!(
+            stuck,
+            RecoveryReport {
+                resolved: 0,
+                still_in_doubt: 1
+            }
+        );
+
+        // Participant heals; recovery replays the Committed outcome.
+        e2.set_fail_commit(false);
+        let healed = dtc.recover();
+        assert_eq!(
+            healed,
+            RecoveryReport {
+                resolved: 1,
+                still_in_doubt: 0
+            }
+        );
+        assert_eq!(e2.with_table("t", |t| t.row_count()).unwrap(), 1);
+        assert!(dtc.in_doubt_txns().is_empty());
+        let stats = dtc.telemetry();
+        assert_eq!((stats.in_doubt, stats.recovered), (0, 1));
+        // The commit/abort counters are unchanged by recovery.
+        assert_eq!(dtc.stats(), (1, 0));
+    }
+
+    #[test]
+    fn recover_presumes_abort_without_a_commit_record() {
+        // Forge an in-doubt entry with no log record at all (a coordinator
+        // that crashed before logging): presumed abort must roll it back.
+        let e1 = engine("s1");
+        let dtc = TransactionCoordinator::new();
+        let mut session = session_for(&e1);
+        session.join_transaction(99).unwrap();
+        session.insert("t", &[row(1)]).unwrap();
+        assert!(e1.has_txn(99));
+        dtc.mark_in_doubt(99, vec![("s1".into(), session)]);
+        let report = dtc.recover();
+        assert_eq!(
+            report,
+            RecoveryReport {
+                resolved: 1,
+                still_in_doubt: 0
+            }
+        );
+        assert!(!e1.has_txn(99));
+        assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 0);
     }
 
     #[test]

@@ -107,14 +107,19 @@ fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn R
     match &plan.op {
         PhysicalOp::TableScan { meta } => open_table_scan(meta, ctx),
         PhysicalOp::IndexRange { meta, index, range } => open_index_range(meta, index, range, ctx),
-        PhysicalOp::RemoteScan { meta } => Ok(maybe_prefetch(open_remote_scan(meta, ctx)?, ctx)),
+        PhysicalOp::RemoteScan { meta } => {
+            Ok(maybe_prefetch(open_remote_scan(meta, ctx, id)?, ctx))
+        }
         PhysicalOp::RemoteRange { meta, index, range } => Ok(maybe_prefetch(
-            open_remote_range(meta, index, range, ctx)?,
+            open_remote_range(meta, index, range, ctx, id)?,
             ctx,
         )),
         PhysicalOp::RemoteFetch { meta } => {
             let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
-            Ok(maybe_prefetch(open_remote_fetch(meta, child, ctx)?, ctx))
+            Ok(maybe_prefetch(
+                open_remote_fetch(meta, child, ctx, id)?,
+                ctx,
+            ))
         }
         PhysicalOp::RemoteQuery {
             server,
@@ -122,7 +127,7 @@ fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn R
             params,
             ..
         } => Ok(maybe_prefetch(
-            open_remote_query(server, sql, params, ctx)?,
+            open_remote_query(server, sql, params, ctx, id)?,
             ctx,
         )),
         PhysicalOp::Filter { predicate } => {

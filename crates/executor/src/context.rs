@@ -1,6 +1,7 @@
 //! Execution context: parameter values, correlation bindings, data-source
 //! resolution and the shared spool cache.
 
+use crate::ops::retry::RetryPolicy;
 use crate::stats::{ExecCounters, RuntimeStatsCollector};
 use dhqp_oledb::DataSource;
 use dhqp_optimizer::props::ColumnRegistry;
@@ -112,6 +113,8 @@ pub struct ExecContext {
     stats: Option<Arc<RuntimeStatsCollector>>,
     /// Intra-query parallelism knobs (exchange workers, prefetch).
     parallel: Arc<ParallelConfig>,
+    /// Retry/backoff policy for idempotent remote reads.
+    retry: Arc<RetryPolicy>,
 }
 
 impl ExecContext {
@@ -129,6 +132,7 @@ impl ExecContext {
             counters: Arc::new(ExecCounters::default()),
             stats: None,
             parallel: Arc::new(ParallelConfig::from_env()),
+            retry: Arc::new(RetryPolicy::from_env()),
         }
     }
 
@@ -150,8 +154,18 @@ impl ExecContext {
         self
     }
 
+    /// Override the retry policy for this execution.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Arc::new(retry);
+        self
+    }
+
     pub fn parallel(&self) -> &ParallelConfig {
         &self.parallel
+    }
+
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     pub fn counters(&self) -> &Arc<ExecCounters> {
@@ -206,6 +220,7 @@ impl ExecContext {
             counters: Arc::clone(&self.counters),
             stats: self.stats.clone(),
             parallel: Arc::clone(&self.parallel),
+            retry: Arc::clone(&self.retry),
         }
     }
 

@@ -21,6 +21,7 @@ pub mod stats;
 pub use build::open;
 pub use context::{ExecContext, ParallelConfig, SourceCatalog};
 pub use eval::{eval_expr, eval_predicate, RowEnv};
+pub use ops::retry::RetryPolicy;
 pub use stats::{
     ExchangeRuntime, ExecCounterSnapshot, ExecCounters, NodeRuntime, RemoteTrace,
     RuntimeStatsCollector,

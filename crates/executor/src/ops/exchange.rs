@@ -87,13 +87,21 @@ impl ExchangeRowset {
     }
 
     /// Drop the receiver (failing any blocked sends), join every worker and
-    /// record the exchange runtime. Idempotent.
+    /// record the exchange runtime. Idempotent. A worker panic is re-raised
+    /// on the consumer thread (unless it is already unwinding) — branch
+    /// errors travel through the channel, so a panicking worker is a bug
+    /// that must not be swallowed by the join.
     fn shutdown(&mut self) {
         self.rx = None;
         let mut busy = Duration::ZERO;
         for handle in self.workers.drain(..) {
-            if let Ok(worker_busy) = handle.join() {
-                busy += worker_busy;
+            match handle.join() {
+                Ok(worker_busy) => busy += worker_busy,
+                Err(panic) => {
+                    if !std::thread::panicking() {
+                        std::panic::resume_unwind(panic);
+                    }
+                }
             }
         }
         if let Some((node, collector)) = self.stats.take() {
@@ -418,6 +426,45 @@ mod tests {
         assert_eq!(ex.workers, 2);
         assert_eq!(ctx.counters().snapshot().parallel_exchanges, 1);
         assert_eq!(ctx.counters().snapshot().exchange_workers, 2);
+    }
+
+    /// Yields one row, dawdles, then fails — by which time the consumer in
+    /// the regression test below has already hung up.
+    struct SlowFaultyRowset {
+        schema: Schema,
+        yielded: bool,
+    }
+
+    impl Rowset for SlowFaultyRowset {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+
+        fn next(&mut self) -> Result<Option<Row>> {
+            if self.yielded {
+                std::thread::sleep(Duration::from_millis(50));
+                return Err(DhqpError::Provider("late link reset".into()));
+            }
+            self.yielded = true;
+            Ok(Some(Row::new(vec![Value::Int(0)])))
+        }
+    }
+
+    #[test]
+    fn branch_error_after_consumer_drop_is_silent() {
+        // The branch fails only after the consumer dropped the receiver.
+        // The worker's error send fails; that result must be dropped — not
+        // unwrapped — so the unwind stays clean (shutdown re-raises worker
+        // panics, so a spurious panic here would fail this test).
+        let slow: BranchFactory = Box::new(|_| {
+            Ok(Box::new(SlowFaultyRowset {
+                schema: int_schema(),
+                yielded: false,
+            }) as Box<dyn Rowset>)
+        });
+        let mut rs = exchange(vec![slow], &ParallelConfig::parallel());
+        assert!(rs.next().unwrap().is_some());
+        drop(rs);
     }
 
     #[test]

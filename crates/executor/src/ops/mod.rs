@@ -5,5 +5,6 @@ pub mod exchange;
 pub mod filter;
 pub mod join;
 pub mod remote;
+pub mod retry;
 pub mod scan;
 pub mod sort;

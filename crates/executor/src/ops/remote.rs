@@ -8,12 +8,15 @@
 
 use crate::context::ExecContext;
 use crate::eval::{eval_expr, RowEnv};
+use crate::ops::retry::{open_with_retries, ReopenFactory};
 use crate::ops::scan::resolve_range;
+use crate::stats::RuntimeStatsCollector;
 use dhqp_oledb::{MemRowset, Rowset};
 use dhqp_optimizer::physical::{IndexRangeSpec, ParamSource, RemoteParam};
 use dhqp_optimizer::{ColumnId, TableMeta};
 use dhqp_types::{DhqpError, Result, Row, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Resolve one remote parameter to a concrete value.
 fn param_value(p: &RemoteParam, ctx: &ExecContext) -> Result<Value> {
@@ -68,32 +71,59 @@ pub fn remote_query_text(sql: &str, params: &[RemoteParam], ctx: &ExecContext) -
     Ok(substitute_params(sql, &bound))
 }
 
-/// Execute a pushed-down SQL statement on a linked server.
+/// Per-node retry attribution, attached only when a stats collector is.
+fn retry_stats(ctx: &ExecContext, node: usize) -> Option<(usize, Arc<RuntimeStatsCollector>)> {
+    ctx.stats().map(|c| (node, Arc::clone(c)))
+}
+
+/// Execute a pushed-down SQL statement on a linked server. The open (and
+/// any mid-stream rewind) is retried on transient transport faults: a
+/// pushed-down SELECT is idempotent, so re-issuing the same text is safe.
 pub fn open_remote_query(
     server: &str,
     sql: &str,
     params: &[RemoteParam],
     ctx: &ExecContext,
+    node: usize,
 ) -> Result<Box<dyn Rowset>> {
     let source = ctx.catalog().linked(server)?;
-    let mut session = source.create_session()?;
-    let mut command = session.create_command()?;
     let text = remote_query_text(sql, params, ctx)?;
-    command.set_text(&text)?;
-    ctx.counters().add_remote_roundtrip();
-    command.execute()?.into_rowset()
+    let counters = Arc::clone(ctx.counters());
+    let factory: ReopenFactory = {
+        let counters = Arc::clone(&counters);
+        Box::new(move || {
+            let mut session = source.create_session()?;
+            let mut command = session.create_command()?;
+            command.set_text(&text)?;
+            counters.add_remote_roundtrip();
+            command.execute()?.into_rowset()
+        })
+    };
+    open_with_retries(factory, ctx.retry(), &counters, retry_stats(ctx, node))
 }
 
 /// `IOpenRowset` against a remote base table (ships the whole table).
-pub fn open_remote_scan(meta: &TableMeta, ctx: &ExecContext) -> Result<Box<dyn Rowset>> {
+pub fn open_remote_scan(
+    meta: &TableMeta,
+    ctx: &ExecContext,
+    node: usize,
+) -> Result<Box<dyn Rowset>> {
     let server = meta
         .source
         .server_name()
         .ok_or_else(|| DhqpError::Execute("remote scan of a local table".into()))?;
     let source = ctx.catalog().linked(server)?;
-    let mut session = source.create_session()?;
-    ctx.counters().add_remote_roundtrip();
-    session.open_rowset(&meta.table)
+    let table = meta.table.clone();
+    let counters = Arc::clone(ctx.counters());
+    let factory: ReopenFactory = {
+        let counters = Arc::clone(&counters);
+        Box::new(move || {
+            let mut session = source.create_session()?;
+            counters.add_remote_roundtrip();
+            session.open_rowset(&table)
+        })
+    };
+    open_with_retries(factory, ctx.retry(), &counters, retry_stats(ctx, node))
 }
 
 /// `IRowsetIndex` range against a remote index.
@@ -102,6 +132,7 @@ pub fn open_remote_range(
     index: &str,
     spec: &IndexRangeSpec,
     ctx: &ExecContext,
+    node: usize,
 ) -> Result<Box<dyn Rowset>> {
     let server = meta
         .source
@@ -109,9 +140,18 @@ pub fn open_remote_range(
         .ok_or_else(|| DhqpError::Execute("remote range of a local table".into()))?;
     let range = resolve_range(spec, ctx)?;
     let source = ctx.catalog().linked(server)?;
-    let mut session = source.create_session()?;
-    ctx.counters().add_remote_roundtrip();
-    session.open_index(&meta.table, index, &range)
+    let table = meta.table.clone();
+    let index = index.to_string();
+    let counters = Arc::clone(ctx.counters());
+    let factory: ReopenFactory = {
+        let counters = Arc::clone(&counters);
+        Box::new(move || {
+            let mut session = source.create_session()?;
+            counters.add_remote_roundtrip();
+            session.open_index(&table, &index, &range)
+        })
+    };
+    open_with_retries(factory, ctx.retry(), &counters, retry_stats(ctx, node))
 }
 
 /// `IRowsetLocate` fetch: pull base rows for the bookmarks produced by a
@@ -120,6 +160,7 @@ pub fn open_remote_fetch(
     meta: &TableMeta,
     mut child: Box<dyn Rowset>,
     ctx: &ExecContext,
+    node: usize,
 ) -> Result<Box<dyn Rowset>> {
     let server = meta
         .source
@@ -132,10 +173,19 @@ pub fn open_remote_fetch(
         })?);
     }
     let source = ctx.catalog().linked(server)?;
-    let mut session = source.create_session()?;
-    ctx.counters().add_remote_roundtrip();
-    let rows = session.fetch_by_bookmarks(&meta.table, &bookmarks)?;
-    Ok(Box::new(MemRowset::new(meta.schema.clone(), rows)))
+    let table = meta.table.clone();
+    let schema = meta.schema.clone();
+    let counters = Arc::clone(ctx.counters());
+    let factory: ReopenFactory = {
+        let counters = Arc::clone(&counters);
+        Box::new(move || {
+            let mut session = source.create_session()?;
+            counters.add_remote_roundtrip();
+            let rows = session.fetch_by_bookmarks(&table, &bookmarks)?;
+            Ok(Box::new(MemRowset::new(schema.clone(), rows)) as Box<dyn Rowset>)
+        })
+    };
+    open_with_retries(factory, ctx.retry(), &counters, retry_stats(ctx, node))
 }
 
 /// Evaluate a list of column-free expressions (used by DML routing).

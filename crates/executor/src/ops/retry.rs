@@ -1,0 +1,488 @@
+//! Transparent retry for idempotent remote reads.
+//!
+//! Remote opens (scans, ranges, bookmark fetches, pushed-down queries) are
+//! read-only and deterministic, so a transient transport fault —
+//! [`DhqpError::Unavailable`], [`DhqpError::Timeout`] — can be absorbed by
+//! re-issuing the operation: bounded attempts, deterministic exponential
+//! backoff, and an optional per-query deadline. Mid-stream faults rewind by
+//! re-opening the rowset and skipping the rows already delivered (provider
+//! row order is deterministic for the same request).
+//!
+//! Permanent errors — anything the provider said about the request itself —
+//! are never retried; DML and enlisted-transaction traffic never reaches
+//! this layer (the DTC owns those failure semantics, and the fault injector
+//! exempts them too).
+
+use crate::stats::{ExecCounters, RuntimeStatsCollector};
+use dhqp_oledb::Rowset;
+use dhqp_types::{DhqpError, Result, Row, Schema};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Retry knobs, threaded through the execution context like
+/// [`crate::ParallelConfig`] so every remote open sees the same policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included). `1` disables
+    /// retrying entirely.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt after that.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Wall-clock ceiling for one attempt: a failing attempt that ran
+    /// longer than this is reported as a deadline hit (and the error
+    /// becomes [`DhqpError::Timeout`]).
+    pub attempt_deadline: Option<Duration>,
+    /// Wall-clock budget across *all* attempts of one operation; once a
+    /// retry would exceed it, the operation fails with a timeout instead
+    /// of backing off again.
+    pub query_deadline: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// Three attempts, 10 ms → 100 ms deterministic exponential backoff,
+    /// no deadlines.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            attempt_deadline: None,
+            query_deadline: None,
+        }
+    }
+
+    /// Single attempt: transient errors surface immediately.
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::standard()
+        }
+    }
+
+    /// [`RetryPolicy::standard`] overridden by the environment:
+    /// `DHQP_RETRY_ATTEMPTS`, `DHQP_RETRY_BACKOFF_MS`,
+    /// `DHQP_RETRY_MAX_BACKOFF_MS`, `DHQP_RETRY_DEADLINE_MS` (per query).
+    pub fn from_env() -> Self {
+        fn env_u64(name: &str) -> Option<u64> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        let mut p = RetryPolicy::standard();
+        if let Some(n) = env_u64("DHQP_RETRY_ATTEMPTS") {
+            p.max_attempts = (n as u32).max(1);
+        }
+        if let Some(ms) = env_u64("DHQP_RETRY_BACKOFF_MS") {
+            p.base_backoff = Duration::from_millis(ms);
+        }
+        if let Some(ms) = env_u64("DHQP_RETRY_MAX_BACKOFF_MS") {
+            p.max_backoff = Duration::from_millis(ms);
+        }
+        if let Some(ms) = env_u64("DHQP_RETRY_DEADLINE_MS") {
+            p.query_deadline = Some(Duration::from_millis(ms));
+        }
+        p
+    }
+
+    /// Deterministic backoff before attempt `attempt + 1` (attempts are
+    /// 1-based): `base * 2^(attempt-1)`, capped at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::from_env()
+    }
+}
+
+/// Append the attempt count to a transient error that exhausted its
+/// retries, preserving the variant (and hence `kind()`).
+fn give_up(e: DhqpError, attempts: u32) -> DhqpError {
+    let note = format!(" (giving up after {attempts} attempts)");
+    match e {
+        DhqpError::Unavailable(m) => DhqpError::Unavailable(m + &note),
+        DhqpError::Timeout(m) => DhqpError::Timeout(m + &note),
+        other => other,
+    }
+}
+
+/// Shared bookkeeping for one retried operation: the attempt counter, the
+/// operation's start instant, and where retries/faults are counted.
+struct RetryState {
+    policy: RetryPolicy,
+    counters: Arc<ExecCounters>,
+    stats: Option<(usize, Arc<RuntimeStatsCollector>)>,
+    started: Instant,
+    attempt: u32,
+}
+
+impl RetryState {
+    fn new(
+        policy: RetryPolicy,
+        counters: Arc<ExecCounters>,
+        stats: Option<(usize, Arc<RuntimeStatsCollector>)>,
+    ) -> Self {
+        RetryState {
+            policy,
+            counters,
+            stats,
+            started: Instant::now(),
+            attempt: 1,
+        }
+    }
+
+    /// Account one transient failure of the current attempt (which took
+    /// `attempt_elapsed`) and decide: `Ok(())` to back off and retry, or
+    /// the final error to surface.
+    fn absorb(&mut self, error: DhqpError, attempt_elapsed: Duration) -> Result<()> {
+        self.counters.add_remote_transient_error();
+        let error = match self.policy.attempt_deadline {
+            Some(limit) if attempt_elapsed >= limit => {
+                self.counters.add_remote_deadline_hit();
+                DhqpError::Timeout(format!(
+                    "attempt deadline ({limit:?}) exceeded: {}",
+                    error.message()
+                ))
+            }
+            _ => error,
+        };
+        if self.attempt >= self.policy.max_attempts {
+            return Err(give_up(error, self.attempt));
+        }
+        let backoff = self.policy.backoff(self.attempt);
+        if let Some(deadline) = self.policy.query_deadline {
+            if self.started.elapsed() + backoff >= deadline {
+                self.counters.add_remote_deadline_hit();
+                return Err(DhqpError::Timeout(format!(
+                    "query deadline ({deadline:?}) exceeded after {} attempts: {}",
+                    self.attempt,
+                    error.message()
+                )));
+            }
+        }
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        self.attempt += 1;
+        self.counters.add_remote_retry();
+        if let Some((node, collector)) = &self.stats {
+            collector.record_retries(*node, 1);
+        }
+        Ok(())
+    }
+}
+
+/// Re-opens a remote rowset from scratch. `FnMut` because a rewind can
+/// re-open any number of times; `Send` because exchange workers and the
+/// prefetcher move rowsets across threads.
+pub type ReopenFactory = Box<dyn FnMut() -> Result<Box<dyn Rowset>> + Send>;
+
+/// Open a remote rowset with retries, and keep retrying transparently on
+/// mid-stream transient faults: the stream is re-opened and already
+/// delivered rows are skipped. With `max_attempts == 1` the factory runs
+/// once, unwrapped — the fault-free fast path allocates nothing extra.
+pub fn open_with_retries(
+    mut factory: ReopenFactory,
+    policy: &RetryPolicy,
+    counters: &Arc<ExecCounters>,
+    stats: Option<(usize, Arc<RuntimeStatsCollector>)>,
+) -> Result<Box<dyn Rowset>> {
+    if policy.max_attempts <= 1 {
+        return factory();
+    }
+    let mut state = RetryState::new(policy.clone(), Arc::clone(counters), stats);
+    let inner = loop {
+        let attempt_started = Instant::now();
+        match factory() {
+            Ok(rs) => break rs,
+            Err(e) if e.is_retryable() => state.absorb(e, attempt_started.elapsed())?,
+            Err(e) => return Err(e),
+        }
+    };
+    let schema = inner.schema().clone();
+    Ok(Box::new(RetryRowset {
+        factory,
+        inner,
+        schema,
+        delivered: 0,
+        state,
+    }))
+}
+
+/// Run a borrowed idempotent read with retries. Unlike
+/// [`open_with_retries`] the closure may borrow local state (a cached DML
+/// session, say); each attempt must produce the full result, so there is
+/// no mid-stream rewind here.
+pub fn with_retries<T>(
+    policy: &RetryPolicy,
+    counters: &Arc<ExecCounters>,
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    if policy.max_attempts <= 1 {
+        return op();
+    }
+    let mut state = RetryState::new(policy.clone(), Arc::clone(counters), None);
+    loop {
+        let attempt_started = Instant::now();
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() => state.absorb(e, attempt_started.elapsed())?,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A rowset that survives transient mid-stream faults by re-opening its
+/// source and fast-forwarding past the rows it already produced.
+struct RetryRowset {
+    factory: ReopenFactory,
+    inner: Box<dyn Rowset>,
+    schema: Schema,
+    /// Rows already handed to the consumer — the rewind skip count.
+    delivered: u64,
+    state: RetryState,
+}
+
+impl RetryRowset {
+    /// Re-open the stream and skip `delivered` rows. Transient faults
+    /// during the rewind consume attempts from the same budget.
+    fn rewind(&mut self, mut cause: DhqpError, mut attempt_elapsed: Duration) -> Result<()> {
+        loop {
+            self.state.absorb(cause, attempt_elapsed)?;
+            let attempt_started = Instant::now();
+            match self.try_reopen() {
+                Ok(rs) => {
+                    self.inner = rs;
+                    return Ok(());
+                }
+                Err(e) if e.is_retryable() => {
+                    cause = e;
+                    attempt_elapsed = attempt_started.elapsed();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_reopen(&mut self) -> Result<Box<dyn Rowset>> {
+        let mut rs = (self.factory)()?;
+        for skipped in 0..self.delivered {
+            match rs.next()? {
+                Some(_) => {}
+                None => {
+                    return Err(DhqpError::Execute(format!(
+                        "remote stream shrank during retry rewind ({} of {} rows)",
+                        skipped, self.delivered
+                    )))
+                }
+            }
+        }
+        Ok(rs)
+    }
+}
+
+impl Rowset for RetryRowset {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        loop {
+            let attempt_started = Instant::now();
+            match self.inner.next() {
+                Ok(Some(row)) => {
+                    self.delivered += 1;
+                    return Ok(Some(row));
+                }
+                Ok(None) => return Ok(None),
+                Err(e) if e.is_retryable() => self.rewind(e, attempt_started.elapsed())?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_oledb::{MemRowset, RowsetExt};
+    use dhqp_types::{Column, DataType, Value};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn int_schema() -> Schema {
+        Schema::new(vec![Column::not_null("x", DataType::Int)])
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| Row::new(vec![Value::Int(i)])).collect()
+    }
+
+    /// Ten rows, but each of the first `open_faults` opens fails and each
+    /// of the first `stream_faults` streams drops after three rows.
+    fn flaky_factory(open_faults: u32, stream_faults: u32) -> ReopenFactory {
+        let opens = Arc::new(AtomicU32::new(0));
+        Box::new(move || {
+            let k = opens.fetch_add(1, Ordering::Relaxed);
+            if k < open_faults {
+                return Err(DhqpError::Unavailable("injected connect fault".into()));
+            }
+            let full: Box<dyn Rowset> = Box::new(MemRowset::new(int_schema(), rows(10)));
+            if k < open_faults + stream_faults {
+                Ok(Box::new(DropAfter {
+                    inner: full,
+                    remaining: 3,
+                }))
+            } else {
+                Ok(full)
+            }
+        })
+    }
+
+    struct DropAfter {
+        inner: Box<dyn Rowset>,
+        remaining: usize,
+    }
+
+    impl Rowset for DropAfter {
+        fn schema(&self) -> &Schema {
+            self.inner.schema()
+        }
+
+        fn next(&mut self) -> Result<Option<Row>> {
+            if self.remaining == 0 {
+                return Err(DhqpError::Unavailable("injected stream drop".into()));
+            }
+            self.remaining -= 1;
+            self.inner.next()
+        }
+    }
+
+    fn fast() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            attempt_deadline: None,
+            query_deadline: None,
+        }
+    }
+
+    fn counters() -> Arc<ExecCounters> {
+        Arc::new(ExecCounters::default())
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(25),
+            ..RetryPolicy::standard()
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(25));
+        assert_eq!(p.backoff(30), Duration::from_millis(25));
+    }
+
+    #[test]
+    fn transient_open_fault_is_absorbed() {
+        let c = counters();
+        let mut rs = open_with_retries(flaky_factory(1, 0), &fast(), &c, None).unwrap();
+        assert_eq!(rs.count_rows().unwrap(), 10);
+        let s = c.snapshot();
+        assert_eq!(s.remote_retries, 1);
+        assert_eq!(s.remote_transient_errors, 1);
+    }
+
+    #[test]
+    fn mid_stream_fault_rewinds_without_duplicating_rows() {
+        let c = counters();
+        let mut rs = open_with_retries(flaky_factory(0, 1), &fast(), &c, None).unwrap();
+        let got = rs.collect_rows().unwrap();
+        assert_eq!(got.len(), 10, "no duplicates, no gaps");
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.get(0) == &Value::Int(i as i64)));
+        assert_eq!(c.snapshot().remote_retries, 1);
+    }
+
+    #[test]
+    fn attempts_are_bounded_and_reported() {
+        let c = counters();
+        let err = match open_with_retries(flaky_factory(99, 0), &fast(), &c, None) {
+            Err(e) => e,
+            Ok(_) => panic!("permanent flakiness must surface"),
+        };
+        assert_eq!(err.kind(), "unavailable");
+        assert!(
+            err.message().contains("giving up after 3 attempts"),
+            "{err}"
+        );
+        assert_eq!(c.snapshot().remote_transient_errors, 3);
+        assert_eq!(c.snapshot().remote_retries, 2);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let c = counters();
+        let factory: ReopenFactory =
+            Box::new(|| Err(DhqpError::Catalog("unknown table 'nope'".into())));
+        let err = match open_with_retries(factory, &fast(), &c, None) {
+            Err(e) => e,
+            Ok(_) => panic!(),
+        };
+        assert_eq!(err.kind(), "catalog");
+        assert_eq!(c.snapshot().remote_retries, 0);
+    }
+
+    #[test]
+    fn query_deadline_stops_retrying() {
+        let c = counters();
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(50),
+            attempt_deadline: None,
+            query_deadline: Some(Duration::from_millis(20)),
+        };
+        let err = match open_with_retries(flaky_factory(99, 0), &policy, &c, None) {
+            Err(e) => e,
+            Ok(_) => panic!(),
+        };
+        assert_eq!(err.kind(), "timeout");
+        assert!(err.message().contains("query deadline"), "{err}");
+        assert_eq!(c.snapshot().remote_deadline_hits, 1);
+    }
+
+    #[test]
+    fn no_retry_policy_returns_inner_unwrapped() {
+        let c = counters();
+        let err = match open_with_retries(flaky_factory(1, 0), &RetryPolicy::no_retry(), &c, None) {
+            Err(e) => e,
+            Ok(_) => panic!("single attempt must surface the fault"),
+        };
+        assert_eq!(err.kind(), "unavailable");
+        assert_eq!(c.snapshot().remote_transient_errors, 0);
+    }
+
+    #[test]
+    fn retries_land_on_the_node_runtime() {
+        let c = counters();
+        let collector = Arc::new(RuntimeStatsCollector::new());
+        let mut rs = open_with_retries(
+            flaky_factory(1, 1),
+            &fast(),
+            &c,
+            Some((4, Arc::clone(&collector))),
+        )
+        .unwrap();
+        assert_eq!(rs.count_rows().unwrap(), 10);
+        assert_eq!(collector.node(4).unwrap().retries, 2);
+    }
+}

@@ -34,6 +34,13 @@ pub struct ExecCounters {
     pub exchange_workers: AtomicU64,
     /// Remote rowsets wrapped in a prefetching decorator.
     pub remote_prefetches: AtomicU64,
+    /// Remote operations re-issued after a transient fault.
+    pub remote_retries: AtomicU64,
+    /// Transient (retryable) errors observed on remote operations,
+    /// whether or not a retry followed.
+    pub remote_transient_errors: AtomicU64,
+    /// Retries abandoned because an attempt or query deadline was hit.
+    pub remote_deadline_hits: AtomicU64,
 }
 
 impl ExecCounters {
@@ -58,6 +65,18 @@ impl ExecCounters {
         self.remote_prefetches.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_remote_retry(&self) {
+        self.remote_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_remote_transient_error(&self) {
+        self.remote_transient_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_remote_deadline_hit(&self) {
+        self.remote_deadline_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> ExecCounterSnapshot {
         ExecCounterSnapshot {
             remote_roundtrips: self.remote_roundtrips.load(Ordering::Relaxed),
@@ -66,6 +85,9 @@ impl ExecCounters {
             parallel_exchanges: self.parallel_exchanges.load(Ordering::Relaxed),
             exchange_workers: self.exchange_workers.load(Ordering::Relaxed),
             remote_prefetches: self.remote_prefetches.load(Ordering::Relaxed),
+            remote_retries: self.remote_retries.load(Ordering::Relaxed),
+            remote_transient_errors: self.remote_transient_errors.load(Ordering::Relaxed),
+            remote_deadline_hits: self.remote_deadline_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -79,6 +101,9 @@ pub struct ExecCounterSnapshot {
     pub parallel_exchanges: u64,
     pub exchange_workers: u64,
     pub remote_prefetches: u64,
+    pub remote_retries: u64,
+    pub remote_transient_errors: u64,
+    pub remote_deadline_hits: u64,
 }
 
 /// What one remote plan node actually did on the wire.
@@ -130,6 +155,8 @@ pub struct NodeRuntime {
     pub remote: Option<RemoteTrace>,
     /// Worker fan-out and overlap for parallel exchange nodes.
     pub exchange: Option<ExchangeRuntime>,
+    /// Remote operations this node re-issued after transient faults.
+    pub retries: u64,
 }
 
 /// Collects per-node runtime stats for one query execution. Cheap enough
@@ -196,6 +223,16 @@ impl RuntimeStatsCollector {
         entry.workers = entry.workers.max(workers);
         entry.busy += busy;
         entry.wall += wall;
+    }
+
+    /// Attribute `n` transient-fault retries to a remote node.
+    pub fn record_retries(&self, node: usize, n: u64) {
+        self.nodes
+            .lock()
+            .expect("stats lock")
+            .entry(node)
+            .or_default()
+            .retries += n;
     }
 
     /// Stats for one node, if it ever opened.

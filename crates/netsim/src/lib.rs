@@ -12,8 +12,16 @@
 //! Benches snapshot link stats before and after a query to report the
 //! rows/bytes-shipped columns of the experiment tables.
 
+//! Links can also misbehave on purpose: [`FaultConfig`]/[`FaultPlan`]
+//! inject deterministic, seeded faults (refused connects, transient command
+//! errors, mid-stream drops, stalls) through the same wrapper, so the
+//! executor's retry and 2PC recovery paths are testable without real
+//! network flakiness. `DHQP_FAULT_SEED=<n>` arms a default chaos plan.
+
+pub mod fault;
 pub mod link;
 pub mod wrap;
 
+pub use fault::{FaultConfig, FaultPlan};
 pub use link::{LinkStats, NetworkConfig, NetworkLink, TrafficSnapshot};
 pub use wrap::NetworkedDataSource;

@@ -70,6 +70,9 @@ pub struct LinkStats {
     pub requests: AtomicU64,
     pub rows: AtomicU64,
     pub bytes: AtomicU64,
+    /// Faults the link's fault plan injected (not part of
+    /// [`TrafficSnapshot`]: faults are not wire traffic).
+    pub faults: AtomicU64,
 }
 
 // `TrafficSnapshot` lives in `dhqp_oledb` (re-exported above) so the
@@ -127,6 +130,16 @@ impl NetworkLink {
         d
     }
 
+    /// Record one injected fault on this link.
+    pub fn record_fault(&self) {
+        self.stats.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Faults injected on this link since creation (or the last reset).
+    pub fn faults_injected(&self) -> u64 {
+        self.stats.faults.load(Ordering::Relaxed)
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> TrafficSnapshot {
         TrafficSnapshot {
@@ -141,6 +154,7 @@ impl NetworkLink {
         self.stats.requests.store(0, Ordering::Relaxed);
         self.stats.rows.store(0, Ordering::Relaxed);
         self.stats.bytes.store(0, Ordering::Relaxed);
+        self.stats.faults.store(0, Ordering::Relaxed);
     }
 }
 
@@ -209,8 +223,20 @@ mod tests {
     fn reset_zeroes_counters() {
         let link = NetworkLink::new("r0", NetworkConfig::untimed());
         link.record_request(5);
+        link.record_fault();
         link.reset();
         assert_eq!(link.snapshot(), TrafficSnapshot::default());
+        assert_eq!(link.faults_injected(), 0);
+    }
+
+    #[test]
+    fn faults_are_counted_separately_from_traffic() {
+        let link = NetworkLink::new("r0", NetworkConfig::untimed());
+        link.record_request(5);
+        link.record_fault();
+        link.record_fault();
+        assert_eq!(link.faults_injected(), 2);
+        assert_eq!(link.snapshot().requests, 1);
     }
 
     #[test]

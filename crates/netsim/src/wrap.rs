@@ -5,28 +5,74 @@
 //! DML, 2PC messages — is metered through a [`NetworkLink`]. The inner
 //! provider is unaware; the DHQP above is unaware; only the link sees the
 //! traffic. This is the measurement seam for every distributed experiment.
+//!
+//! The same seam injects faults: when a [`FaultPlan`] is attached, session
+//! opens can be refused, command executions can fail or stall, and result
+//! streams can drop mid-flight — all deterministically, per
+//! [`crate::fault`]. Sessions enlisted in a distributed transaction are
+//! never faulted (their work is not idempotent and must reach the 2PC
+//! layer, whose failure semantics are exercised separately), and
+//! `reads_only` plans exempt DML command text too.
 
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::link::NetworkLink;
 use dhqp_oledb::{
     Command, CommandResult, DataSource, Histogram, KeyRange, ProviderCapabilities, Rowset, Session,
     TableInfo, TrafficSnapshot, TxnId,
 };
-use dhqp_types::{Result, Row, Schema, Value};
+use dhqp_types::{DhqpError, Result, Row, Schema, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A data source reachable only across a simulated network link.
 pub struct NetworkedDataSource {
     inner: Arc<dyn DataSource>,
     link: NetworkLink,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl NetworkedDataSource {
+    /// Wrap `inner` behind `link`. When `DHQP_FAULT_SEED` is set in the
+    /// environment the link also carries that seed's chaos plan (one
+    /// transient read fault per link), so the whole test suite can run
+    /// under fault injection without per-callsite changes.
     pub fn new(inner: Arc<dyn DataSource>, link: NetworkLink) -> Self {
-        NetworkedDataSource { inner, link }
+        let faults =
+            FaultConfig::from_env().map(|config| Arc::new(FaultPlan::new(link.name(), config)));
+        NetworkedDataSource {
+            inner,
+            link,
+            faults,
+        }
+    }
+
+    /// Wrap with an explicit fault plan (chaos tests).
+    pub fn with_faults(inner: Arc<dyn DataSource>, link: NetworkLink, config: FaultConfig) -> Self {
+        let plan = Arc::new(FaultPlan::new(link.name(), config));
+        NetworkedDataSource {
+            inner,
+            link,
+            faults: Some(plan),
+        }
+    }
+
+    /// Wrap with injection disabled even if `DHQP_FAULT_SEED` is set —
+    /// for tests asserting exact traffic parity.
+    pub fn reliable(inner: Arc<dyn DataSource>, link: NetworkLink) -> Self {
+        NetworkedDataSource {
+            inner,
+            link,
+            faults: None,
+        }
     }
 
     pub fn link(&self) -> &NetworkLink {
         &self.link
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
     }
 }
 
@@ -56,9 +102,17 @@ impl DataSource for NetworkedDataSource {
 
     fn create_session(&self) -> Result<Box<dyn Session>> {
         self.link.record_request(32);
+        if let Some(plan) = &self.faults {
+            if let Err(e) = plan.on_connect(self.link.name()) {
+                self.link.record_fault();
+                return Err(e);
+            }
+        }
         Ok(Box::new(NetworkedSession {
             inner: self.inner.create_session()?,
             link: self.link.clone(),
+            faults: self.faults.clone(),
+            enlisted: Arc::new(AtomicBool::new(false)),
         }))
     }
 }
@@ -66,12 +120,59 @@ impl DataSource for NetworkedDataSource {
 struct NetworkedSession {
     inner: Box<dyn Session>,
     link: NetworkLink,
+    faults: Option<Arc<FaultPlan>>,
+    /// Set once the session joins a distributed transaction; shared with
+    /// the session's commands so enlisted work is exempt from injection.
+    enlisted: Arc<AtomicBool>,
 }
 
-/// A rowset whose rows are metered as they cross the link.
+impl NetworkedSession {
+    /// Stream-drop decision for a rowset this session is about to serve:
+    /// `Some(n)` means the stream fails after delivering `n` rows.
+    fn stream_drop(&self) -> Option<u64> {
+        if self.enlisted.load(Ordering::Relaxed) {
+            return None;
+        }
+        let at = self.faults.as_ref()?.on_stream()?;
+        self.link.record_fault();
+        Some(at)
+    }
+
+    /// Fault decision for a rowset/index open (a read request; enlisted
+    /// sessions are exempt like everywhere else).
+    fn open_fault(&self) -> Result<()> {
+        if self.enlisted.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        if let Some(plan) = &self.faults {
+            if let Err(e) = plan.on_open(self.link.name()) {
+                self.link.record_fault();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A rowset whose rows are metered as they cross the link, and which may
+/// carry an injected mid-stream drop.
 struct MeteredRowset {
     inner: Box<dyn Rowset>,
     link: NetworkLink,
+    /// Injected fault: fail after this many rows were delivered.
+    drop_at: Option<u64>,
+    delivered: u64,
+}
+
+impl MeteredRowset {
+    fn new(inner: Box<dyn Rowset>, link: NetworkLink, drop_at: Option<u64>) -> Self {
+        MeteredRowset {
+            inner,
+            link,
+            drop_at,
+            delivered: 0,
+        }
+    }
 }
 
 impl Rowset for MeteredRowset {
@@ -80,8 +181,18 @@ impl Rowset for MeteredRowset {
     }
 
     fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(at) = self.drop_at {
+            if self.delivered >= at {
+                return Err(DhqpError::Unavailable(format!(
+                    "injected fault: stream dropped after {} rows on '{}'",
+                    self.delivered,
+                    self.link.name()
+                )));
+            }
+        }
         let row = self.inner.next()?;
         if let Some(r) = &row {
+            self.delivered += 1;
             self.link.record_rows(1, r.wire_size() as u64);
         }
         Ok(row)
@@ -95,16 +206,22 @@ fn rows_wire_size(rows: &[Row]) -> u64 {
 impl Session for NetworkedSession {
     fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
         self.link.record_request(32 + table.len() as u64);
-        Ok(Box::new(MeteredRowset {
-            inner: self.inner.open_rowset(table)?,
-            link: self.link.clone(),
-        }))
+        self.open_fault()?;
+        let drop_at = self.stream_drop();
+        Ok(Box::new(MeteredRowset::new(
+            self.inner.open_rowset(table)?,
+            self.link.clone(),
+            drop_at,
+        )))
     }
 
     fn create_command(&mut self) -> Result<Box<dyn Command>> {
         Ok(Box::new(NetworkedCommand {
             inner: self.inner.create_command()?,
             link: self.link.clone(),
+            faults: self.faults.clone(),
+            enlisted: Arc::clone(&self.enlisted),
+            text: String::new(),
             text_len: 0,
         }))
     }
@@ -117,10 +234,13 @@ impl Session for NetworkedSession {
     ) -> Result<Box<dyn Rowset>> {
         self.link
             .record_request(48 + table.len() as u64 + index.len() as u64);
-        Ok(Box::new(MeteredRowset {
-            inner: self.inner.open_index(table, index, range)?,
-            link: self.link.clone(),
-        }))
+        self.open_fault()?;
+        let drop_at = self.stream_drop();
+        Ok(Box::new(MeteredRowset::new(
+            self.inner.open_index(table, index, range)?,
+            self.link.clone(),
+            drop_at,
+        )))
     }
 
     fn fetch_by_bookmarks(&mut self, table: &str, bookmarks: &[u64]) -> Result<Vec<Row>> {
@@ -144,7 +264,11 @@ impl Session for NetworkedSession {
 
     fn join_transaction(&mut self, txn: TxnId) -> Result<()> {
         self.link.record_request(16);
-        self.inner.join_transaction(txn)
+        self.inner.join_transaction(txn)?;
+        // From here on this session carries transactional state; faults on
+        // it would force non-idempotent resends, so injection stops.
+        self.enlisted.store(true, Ordering::Relaxed);
+        Ok(())
     }
 
     fn prepare(&mut self, txn: TxnId) -> Result<()> {
@@ -187,12 +311,16 @@ impl Session for NetworkedSession {
 struct NetworkedCommand {
     inner: Box<dyn Command>,
     link: NetworkLink,
+    faults: Option<Arc<FaultPlan>>,
+    enlisted: Arc<AtomicBool>,
+    text: String,
     text_len: u64,
 }
 
 impl Command for NetworkedCommand {
     fn set_text(&mut self, text: &str) -> Result<()> {
         self.text_len = text.len() as u64;
+        self.text = text.to_string();
         self.inner.set_text(text)
     }
 
@@ -204,11 +332,27 @@ impl Command for NetworkedCommand {
     fn execute(&mut self) -> Result<CommandResult> {
         // The command text crosses the wire on execute.
         self.link.record_request(self.text_len.max(16));
+        let mut drop_at = None;
+        if let Some(plan) = &self.faults {
+            if !self.enlisted.load(Ordering::Relaxed) {
+                if let Err(e) = plan.on_command(self.link.name(), &self.text) {
+                    self.link.record_fault();
+                    return Err(e);
+                }
+                if crate::fault::is_read_only(&self.text) {
+                    drop_at = plan.on_stream();
+                    if drop_at.is_some() {
+                        self.link.record_fault();
+                    }
+                }
+            }
+        }
         match self.inner.execute()? {
-            CommandResult::Rowset(rs) => Ok(CommandResult::Rowset(Box::new(MeteredRowset {
-                inner: rs,
-                link: self.link.clone(),
-            }))),
+            CommandResult::Rowset(rs) => Ok(CommandResult::Rowset(Box::new(MeteredRowset::new(
+                rs,
+                self.link.clone(),
+                drop_at,
+            )))),
             CommandResult::RowCount(n) => Ok(CommandResult::RowCount(n)),
         }
     }
@@ -222,7 +366,71 @@ mod tests {
     use dhqp_storage::{LocalDataSource, StorageEngine, TableDef};
     use dhqp_types::{Column, DataType};
 
-    fn networked() -> NetworkedDataSource {
+    /// Minimal command-capable provider: any command returns ten int rows
+    /// (the storage-crate `LocalDataSource` has no command support).
+    struct StubSource;
+
+    fn ten_rows() -> Box<dyn Rowset> {
+        let schema = Schema::new(vec![Column::not_null("x", DataType::Int)]);
+        let rows = (0..10).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        Box::new(dhqp_oledb::MemRowset::new(schema, rows))
+    }
+
+    impl DataSource for StubSource {
+        fn name(&self) -> &str {
+            "stub"
+        }
+
+        fn capabilities(&self) -> ProviderCapabilities {
+            ProviderCapabilities::simple("stub")
+        }
+
+        fn tables(&self) -> Result<Vec<TableInfo>> {
+            Ok(vec![])
+        }
+
+        fn create_session(&self) -> Result<Box<dyn Session>> {
+            Ok(Box::new(StubSession))
+        }
+    }
+
+    struct StubSession;
+
+    impl Session for StubSession {
+        fn open_rowset(&mut self, _table: &str) -> Result<Box<dyn Rowset>> {
+            Ok(ten_rows())
+        }
+
+        fn create_command(&mut self) -> Result<Box<dyn Command>> {
+            Ok(Box::new(StubCommand))
+        }
+
+        fn join_transaction(&mut self, _txn: TxnId) -> Result<()> {
+            Ok(())
+        }
+
+        fn abort(&mut self, _txn: TxnId) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    struct StubCommand;
+
+    impl Command for StubCommand {
+        fn set_text(&mut self, _text: &str) -> Result<()> {
+            Ok(())
+        }
+
+        fn bind_parameter(&mut self, _ordinal: usize, _value: Value) -> Result<()> {
+            Ok(())
+        }
+
+        fn execute(&mut self) -> Result<CommandResult> {
+            Ok(CommandResult::Rowset(ten_rows()))
+        }
+    }
+
+    fn remote_engine() -> Arc<StorageEngine> {
         let engine = Arc::new(StorageEngine::new("remote0"));
         engine
             .create_table(
@@ -232,8 +440,26 @@ mod tests {
             .unwrap();
         let rows: Vec<Row> = (0..10).map(|i| Row::new(vec![Value::Int(i)])).collect();
         engine.insert_rows("t", &rows).unwrap();
+        engine
+    }
+
+    fn networked() -> NetworkedDataSource {
         let link = NetworkLink::new("link-r0", NetworkConfig::untimed());
-        NetworkedDataSource::new(Arc::new(LocalDataSource::new(engine)), link)
+        NetworkedDataSource::reliable(Arc::new(LocalDataSource::new(remote_engine())), link)
+    }
+
+    fn faulty(config: FaultConfig) -> NetworkedDataSource {
+        let link = NetworkLink::new("link-r0", NetworkConfig::untimed());
+        NetworkedDataSource::with_faults(
+            Arc::new(LocalDataSource::new(remote_engine())),
+            link,
+            config,
+        )
+    }
+
+    fn faulty_stub(config: FaultConfig) -> NetworkedDataSource {
+        let link = NetworkLink::new("link-r0", NetworkConfig::untimed());
+        NetworkedDataSource::with_faults(Arc::new(StubSource), link, config)
     }
 
     #[test]
@@ -294,7 +520,90 @@ mod tests {
     fn capabilities_carry_link_latency() {
         let engine = Arc::new(StorageEngine::new("r"));
         let link = NetworkLink::new("l", NetworkConfig::lan());
-        let ds = NetworkedDataSource::new(Arc::new(LocalDataSource::new(engine)), link);
+        let ds = NetworkedDataSource::reliable(Arc::new(LocalDataSource::new(engine)), link);
         assert_eq!(ds.capabilities().latency_hint_us, 500);
+    }
+
+    #[test]
+    fn injected_command_error_is_transient_and_budgeted() {
+        let ds = faulty_stub(FaultConfig::one_transient_per_link(3));
+        let run = |ds: &NetworkedDataSource| -> Result<u64> {
+            let mut s = ds.create_session()?;
+            let mut cmd = s.create_command()?;
+            cmd.set_text("SELECT x FROM t")?;
+            cmd.execute()?.into_rowset()?.count_rows()
+        };
+        let err = run(&ds).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert!(err.is_retryable());
+        assert_eq!(ds.link().faults_injected(), 1);
+        // Budget of one: the retry succeeds.
+        assert_eq!(run(&ds).unwrap(), 10);
+        assert_eq!(ds.link().faults_injected(), 1);
+    }
+
+    #[test]
+    fn injected_stream_drop_fails_mid_stream() {
+        let ds = faulty(FaultConfig {
+            stream_drops: 1.0,
+            max_faults: 1,
+            ..FaultConfig::none()
+        });
+        let mut s = ds.create_session().unwrap();
+        let mut rs = s.open_rowset("t").unwrap();
+        let mut delivered = 0;
+        let err = loop {
+            match rs.next() {
+                Ok(Some(_)) => delivered += 1,
+                Ok(None) => panic!("stream must drop before completion"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), "unavailable");
+        assert!(delivered >= 1, "drop lands mid-stream, not before row one");
+        assert!(err.message().contains("stream dropped"), "{err}");
+        // Budget spent: a reopened stream completes.
+        assert_eq!(s.open_rowset("t").unwrap().count_rows().unwrap(), 10);
+    }
+
+    #[test]
+    fn enlisted_sessions_are_never_faulted() {
+        let ds = faulty_stub(FaultConfig {
+            command_errors: 1.0,
+            stream_drops: 1.0,
+            reads_only: false,
+            ..FaultConfig::none()
+        });
+        let mut s = ds.create_session().unwrap();
+        s.join_transaction(41).unwrap();
+        // Both the rowset and the command path stay clean under a plan
+        // that otherwise faults every operation.
+        assert_eq!(s.open_rowset("t").unwrap().count_rows().unwrap(), 10);
+        let mut cmd = s.create_command().unwrap();
+        cmd.set_text("SELECT x FROM t").unwrap();
+        assert_eq!(
+            cmd.execute()
+                .unwrap()
+                .into_rowset()
+                .unwrap()
+                .count_rows()
+                .unwrap(),
+            10
+        );
+        assert_eq!(ds.link().faults_injected(), 0);
+        s.abort(41).unwrap();
+    }
+
+    #[test]
+    fn connect_refusal_counts_a_fault() {
+        let ds = faulty(FaultConfig {
+            connect_refusals: 1.0,
+            max_faults: 1,
+            ..FaultConfig::none()
+        });
+        let err = ds.create_session().map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert_eq!(ds.link().faults_injected(), 1);
+        assert!(ds.create_session().is_ok());
     }
 }

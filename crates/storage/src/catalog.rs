@@ -67,6 +67,9 @@ pub struct StorageEngine {
     txns: Mutex<HashMap<TxnId, TxnState>>,
     /// Test hook: when true, `prepare` fails (2PC failure injection).
     fail_prepare: std::sync::atomic::AtomicBool,
+    /// Test hook: when true, `commit_txn` fails without consuming state,
+    /// leaving the transaction recoverable (in-doubt at the coordinator).
+    fail_commit: std::sync::atomic::AtomicBool,
 }
 
 impl StorageEngine {
@@ -77,6 +80,7 @@ impl StorageEngine {
             stats: RwLock::new(HashMap::new()),
             txns: Mutex::new(HashMap::new()),
             fail_prepare: std::sync::atomic::AtomicBool::new(false),
+            fail_commit: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -277,6 +281,14 @@ impl StorageEngine {
     /// 2PC phase two: apply buffered writes. Unknown transactions commit
     /// trivially (read-only participant).
     pub fn commit_txn(&self, txn: TxnId) -> Result<()> {
+        // Fail *before* consuming the buffered state: a coordinator that saw
+        // this error can re-deliver the commit during recovery and succeed.
+        if self.fail_commit.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(DhqpError::Transaction(format!(
+                "injected commit failure on '{}' for txn {txn}",
+                self.name
+            )));
+        }
         let Some(state) = self.txns.lock().remove(&txn) else {
             return Ok(());
         };
@@ -307,6 +319,14 @@ impl StorageEngine {
     /// Failure-injection hook for 2PC tests/benches.
     pub fn set_fail_prepare(&self, fail: bool) {
         self.fail_prepare
+            .store(fail, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Failure-injection hook for the commit phase: while set, `commit_txn`
+    /// errors without consuming the prepared state, modeling a participant
+    /// that crashed between prepare and commit delivery.
+    pub fn set_fail_commit(&self, fail: bool) {
+        self.fail_commit
             .store(fail, std::sync::atomic::Ordering::Relaxed);
     }
 

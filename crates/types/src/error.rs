@@ -37,6 +37,12 @@ pub enum DhqpError {
     /// Feature exists in the paper's system but is intentionally out of
     /// scope here; raising it beats silently returning wrong answers.
     Unsupported(String),
+    /// A remote operation exceeded its deadline (stalled link, slow
+    /// provider). Transient: the retry layer may re-issue idempotent work.
+    Timeout(String),
+    /// A provider or link refused service (connection refused, dropped
+    /// stream). Transient: the retry layer may re-issue idempotent work.
+    Unavailable(String),
 }
 
 impl DhqpError {
@@ -54,7 +60,20 @@ impl DhqpError {
             DhqpError::Transaction(_) => "transaction",
             DhqpError::SchemaDrift(_) => "schema-drift",
             DhqpError::Unsupported(_) => "unsupported",
+            DhqpError::Timeout(_) => "timeout",
+            DhqpError::Unavailable(_) => "unavailable",
         }
+    }
+
+    /// Whether re-issuing the failed operation could plausibly succeed.
+    ///
+    /// Only faults attributable to the *transport* — a refused connection,
+    /// a dropped stream, a deadline hit — are transient. Everything the
+    /// provider said about the request itself (parse, bind, constraint,
+    /// transaction outcome, ...) is permanent: retrying would either fail
+    /// identically or, worse, repeat non-idempotent work.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, DhqpError::Timeout(_) | DhqpError::Unavailable(_))
     }
 
     /// The human-readable message carried by the error.
@@ -70,7 +89,9 @@ impl DhqpError {
             | DhqpError::Constraint(m)
             | DhqpError::Transaction(m)
             | DhqpError::SchemaDrift(m)
-            | DhqpError::Unsupported(m) => m,
+            | DhqpError::Unsupported(m)
+            | DhqpError::Timeout(m)
+            | DhqpError::Unavailable(m) => m,
         }
     }
 }
@@ -109,10 +130,27 @@ mod tests {
             DhqpError::Transaction(String::new()),
             DhqpError::SchemaDrift(String::new()),
             DhqpError::Unsupported(String::new()),
+            DhqpError::Timeout(String::new()),
+            DhqpError::Unavailable(String::new()),
         ];
         let mut kinds: Vec<_> = variants.iter().map(|v| v.kind()).collect();
         kinds.sort_unstable();
         kinds.dedup();
         assert_eq!(kinds.len(), variants.len());
+    }
+
+    #[test]
+    fn only_transport_faults_are_retryable() {
+        assert!(DhqpError::Timeout(String::new()).is_retryable());
+        assert!(DhqpError::Unavailable(String::new()).is_retryable());
+        for permanent in [
+            DhqpError::Parse(String::new()),
+            DhqpError::Provider(String::new()),
+            DhqpError::Constraint(String::new()),
+            DhqpError::Transaction(String::new()),
+            DhqpError::SchemaDrift(String::new()),
+        ] {
+            assert!(!permanent.is_retryable(), "{}", permanent.kind());
+        }
     }
 }

@@ -126,6 +126,63 @@ fn prepare_failure_rolls_back_both_sides() {
 }
 
 #[test]
+fn commit_phase_failure_leaves_in_doubt_until_recovery() {
+    let bank = bank();
+    bank.members[1].storage().set_fail_commit(true);
+    let err = transfer(&bank, 10, 60, 30).unwrap_err();
+    assert_eq!(err.kind(), "transaction");
+    assert!(err.to_string().contains("in doubt"), "{err}");
+    // The decision is durable — the log already says Committed — and the
+    // healthy member applied its half of the transfer.
+    let dtc = bank.head.dtc();
+    assert_eq!(dtc.log()[0].outcome, Outcome::Committed);
+    assert_eq!(dtc.stats(), (1, 0));
+    let r = bank.members[0]
+        .query("SELECT balance FROM accounts_0 WHERE id = 10")
+        .unwrap();
+    assert_eq!(r.value(0, 0), &Value::Int(70));
+    // The failed member still buffers its credit; the txn is in doubt.
+    assert_eq!(dtc.telemetry().in_doubt, 1);
+    assert_eq!(dtc.in_doubt_txns().len(), 1);
+    assert_eq!(bank.head.metrics().dtc_in_doubt, 1);
+
+    // Recovery cannot make progress while the participant is down...
+    let report = dtc.recover();
+    assert_eq!(report.resolved, 0);
+    assert_eq!(report.still_in_doubt, 1);
+
+    // ...but once it heals, recover() re-delivers the logged commit.
+    bank.members[1].storage().set_fail_commit(false);
+    let report = dtc.recover();
+    assert_eq!(report.resolved, 1);
+    assert_eq!(report.still_in_doubt, 0);
+    assert_eq!(balances(&bank), 10_000, "money is conserved after recovery");
+    let r = bank.members[1]
+        .query("SELECT balance FROM accounts_1 WHERE id = 60")
+        .unwrap();
+    assert_eq!(r.value(0, 0), &Value::Int(130));
+    let m = bank.head.metrics();
+    assert_eq!(m.dtc_in_doubt, 0);
+    assert_eq!(m.dtc_recovered, 1);
+    // Recovery resolves the original decision; it does not double-count.
+    assert_eq!(dtc.stats(), (1, 0));
+}
+
+#[test]
+fn prepare_failure_is_never_in_doubt() {
+    // A prepare-phase refusal aborts cleanly: nothing to recover.
+    let bank = bank();
+    bank.members[0].storage().set_fail_prepare(true);
+    transfer(&bank, 10, 60, 30).unwrap_err();
+    let dtc = bank.head.dtc();
+    assert_eq!(dtc.log()[0].outcome, Outcome::Aborted);
+    assert!(dtc.in_doubt_txns().is_empty());
+    let report = dtc.recover();
+    assert_eq!(report.resolved, 0);
+    assert_eq!(report.still_in_doubt, 0);
+}
+
+#[test]
 fn many_transfers_conserve_total_balance() {
     let bank = bank();
     use rand::{Rng, SeedableRng};
