@@ -801,11 +801,88 @@ fn e12_parallel() {
     println!("→ wrote BENCH_federation_parallel.json");
 }
 
+fn e13_plan_cache() {
+    header("E13 §3 — parameterized plan cache: compile-path cost, cold vs cached");
+    let scale = TpchScale {
+        nations: 10,
+        customers: 100,
+        suppliers: 30,
+        orders: 600,
+        lineitems_per_order: 2,
+    };
+    let members = 4usize;
+    // Untimed LAN links: no simulated network sleeps, so the measurement
+    // contrasts parse+bind+optimize against plan-cache lookup rather than
+    // wire time (execution cost is identical on both legs).
+    let fed = remote_dpv_federation(scale, members, NetworkConfig::lan());
+    // The date range stays literal (only numeric literals parameterize) and
+    // statically prunes six of the seven partitions, so each execution is
+    // one cheap remote probe while every cold compile still pays full view
+    // expansion, constraint pruning and plan search.
+    let template = "SELECT a.l_orderkey, a.l_quantity \
+                    FROM lineitem_all a JOIN lineitem_all b \
+                    ON a.l_orderkey = b.l_orderkey \
+                    WHERE a.l_commitdate BETWEEN '1995-01-01' AND '1995-12-31' \
+                    AND b.l_commitdate BETWEEN '1995-01-01' AND '1995-12-31' \
+                    AND a.l_quantity = {}";
+    let iters = 300i64;
+
+    // Fingerprint-equal statements with distinct literals: cold compiles
+    // every one, cached compiles the first and serves the rest.
+    let run_batch = |label: &str| {
+        let ((), t) = timed(|| {
+            for i in 0..iters {
+                fed.head
+                    .query(&template.replace("{}", &(i % 50 + 1).to_string()))
+                    .unwrap();
+            }
+        });
+        println!(
+            "{label:<28} {iters} queries in {t:>10.2?}  ({:>8.1} q/s)",
+            iters as f64 / t.as_secs_f64()
+        );
+        t
+    };
+
+    fed.head.set_plan_cache_enabled(false);
+    warm(&fed.head, "SELECT COUNT(*) AS n FROM lineitem_all"); // metadata
+    let t_cold = run_batch("cache off (compile always)");
+
+    fed.head.set_plan_cache_enabled(true);
+    warm(&fed.head, &template.replace("{}", "1"));
+    let before = fed.head.metrics();
+    let t_warm = run_batch("cache on (fingerprinted)");
+    let m = fed.head.metrics();
+    let hits = m.plan_cache_hits - before.plan_cache_hits;
+
+    let speedup = t_cold.as_secs_f64() / t_warm.as_secs_f64().max(1e-9);
+    assert_eq!(hits, iters as u64, "every warm query must be a cache hit");
+    println!(
+        "→ plan cache serves {hits}/{iters} executions from one entry; \
+         compile path is {speedup:.1}x faster."
+    );
+
+    // Hand-formatted JSON: the offline serde shim is marker-only.
+    let json = format!(
+        "{{\n  \"experiment\": \"plan_cache\",\n  \
+         \"query_template\": \"{template}\",\n  \
+         \"members\": {members},\n  \"iterations\": {iters},\n  \
+         \"cache_off_ms\": {:.3},\n  \"cache_on_ms\": {:.3},\n  \
+         \"speedup\": {speedup:.2},\n  \"plan_cache_hits\": {hits},\n  \
+         \"plan_cache_entries\": {}\n}}\n",
+        t_cold.as_secs_f64() * 1e3,
+        t_warm.as_secs_f64() * 1e3,
+        fed.head.plan_cache_len(),
+    );
+    std::fs::write("BENCH_plan_cache.json", json).expect("write BENCH json");
+    println!("→ wrote BENCH_plan_cache.json");
+}
+
 fn main() {
     println!("dhqp experiment report — regenerates every paper table/figure reproduction");
     println!("(one execution per configuration; see `cargo bench` for statistical timing)");
     let filter = std::env::args().nth(1);
-    let experiments: [(&str, fn()); 12] = [
+    let experiments: [(&str, fn()); 13] = [
         ("e1", e1_figure4),
         ("e2", e2_table1),
         ("e3", e3_table2),
@@ -818,6 +895,7 @@ fn main() {
         ("e10", e10_access_paths),
         ("e11", e11_federation),
         ("e12", e12_parallel),
+        ("e13", e13_plan_cache),
     ];
     for (name, run) in experiments {
         if filter.as_deref().is_none_or(|f| f == name) {

@@ -28,6 +28,12 @@ pub struct AnalyzeReport {
     pub runtime: HashMap<usize, NodeRuntime>,
     /// Optimizer-side telemetry for the same statement.
     pub explain: ExplainPlan,
+    /// Plan-cache outcome: `Some(true)` served from cache, `Some(false)`
+    /// compiled and inserted, `None` when the statement bypassed the cache.
+    pub cache_hit: Option<bool>,
+    /// Age of the oldest remote statistics bundle the plan was costed
+    /// against (cache-path executions of remote-touching plans only).
+    pub stats_age: Option<std::time::Duration>,
 }
 
 impl AnalyzeReport {
@@ -53,6 +59,13 @@ impl AnalyzeReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         render_node(&self.plan, 0, &self.runtime, 0, &mut out);
+        if let Some(hit) = self.cache_hit {
+            let _ = write!(out, "-- [plan cache: {}]", if hit { "hit" } else { "miss" });
+            if let Some(age) = self.stats_age {
+                let _ = write!(out, " statistics age: {age:.2?}");
+            }
+            out.push('\n');
+        }
         let stats = &self.explain.stats;
         let _ = writeln!(
             out,

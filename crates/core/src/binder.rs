@@ -40,6 +40,12 @@ pub struct BoundSelect {
     /// Partitioned-view members the query touches: `(view name, member
     /// index)` — consumed by delayed schema validation at execution.
     pub view_members: Vec<(String, usize)>,
+    /// Lowercased linked-server names whose metadata this bind consulted —
+    /// the plan cache keys invalidation on their epochs.
+    pub dep_servers: Vec<String>,
+    /// When the oldest remote metadata/statistics bundle used here was
+    /// fetched (`None` for purely local binds).
+    pub stats_as_of: Option<std::time::Instant>,
 }
 
 /// One name visible in a FROM scope.
@@ -128,6 +134,8 @@ pub struct Binder<'e> {
     next_table_id: u32,
     params: &'e HashMap<String, Value>,
     view_members: Vec<(String, usize)>,
+    dep_servers: Vec<String>,
+    stats_as_of: Option<std::time::Instant>,
 }
 
 impl<'e> Binder<'e> {
@@ -138,6 +146,23 @@ impl<'e> Binder<'e> {
             next_table_id: 0,
             params,
             view_members: Vec::new(),
+            dep_servers: Vec::new(),
+            stats_as_of: None,
+        }
+    }
+
+    /// Record that this bind consulted a remote server's metadata (and,
+    /// when known, how old the consulted bundle is).
+    fn note_remote_dep(&mut self, server: &str, fetched_at: Option<std::time::Instant>) {
+        let key = server.to_lowercase();
+        if !self.dep_servers.contains(&key) {
+            self.dep_servers.push(key);
+        }
+        if let Some(at) = fetched_at {
+            self.stats_as_of = Some(match self.stats_as_of {
+                Some(prev) => prev.min(at),
+                None => at,
+            });
         }
     }
 
@@ -198,6 +223,8 @@ impl<'e> Binder<'e> {
             output,
             required,
             view_members: self.view_members,
+            dep_servers: self.dep_servers,
+            stats_as_of: self.stats_as_of,
         })
     }
 
@@ -679,6 +706,9 @@ impl<'e> Binder<'e> {
         alias: &str,
     ) -> Result<Arc<TableMeta>> {
         let fetched = self.engine.table_metadata(server, table)?;
+        if let Some(s) = server {
+            self.note_remote_dep(s, Some(fetched.fetched_at));
+        }
         let column_ids = fetched
             .info
             .columns
@@ -721,6 +751,11 @@ impl<'e> Binder<'e> {
         let mut children = Vec::with_capacity(view.members.len());
         for (i, member) in view.members.iter().enumerate() {
             self.view_members.push((view.name.clone(), i));
+            if let Some(srv) = &member.server {
+                // Member binds use the definition-time snapshot, but the
+                // plan still becomes stale if the member's server changes.
+                self.note_remote_dep(srv, None);
+            }
             let member_alias = format!("{}__p{}", alias, i);
             // Delayed schema validation (§4.1.5): compile against the
             // definition-time snapshot WITHOUT contacting the member; the
@@ -1298,6 +1333,9 @@ pub struct FetchedTable {
     pub stats: Option<dhqp_oledb::TableStatistics>,
     pub caps: dhqp_oledb::ProviderCapabilities,
     pub checks: Vec<(usize, dhqp_types::IntervalSet)>,
+    /// When this bundle was fetched — drives the statistics-cache TTL and
+    /// the statistics age `EXPLAIN ANALYZE` reports for cached plans.
+    pub fetched_at: std::time::Instant,
 }
 
 /// Does the AST expression contain an aggregate call?

@@ -4,6 +4,7 @@ use crate::analyze::{text_result, AnalyzeReport};
 use crate::binder::{Binder, BoundSelect, FetchedTable};
 use crate::dml;
 use crate::metrics::{EngineMetrics, MetricsSnapshot, QuerySummary, StatementKind};
+use crate::plan_cache::{self, CacheDeps, CachedSelect, PlanCache, PlanCacheConfig};
 use crate::result::QueryResult;
 use dhqp_dtc::TransactionCoordinator;
 use dhqp_executor::{
@@ -14,13 +15,14 @@ use dhqp_fulltext::SearchService;
 use dhqp_oledb::{DataSource, RowsetExt, TableStatistics};
 use dhqp_optimizer::explain::ExplainPlan;
 use dhqp_optimizer::{Optimizer, OptimizerConfig, PhysNode};
-use dhqp_sqlfront::{parse_statement, SelectStmt, Statement};
+use dhqp_sqlfront::{fingerprint, parse_statement, Fingerprint, SelectStmt, Statement};
 use dhqp_storage::{LocalDataSource, StorageEngine, TableDef};
 use dhqp_types::{DhqpError, IntervalSet, Result, Row, Schema, Value};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The distributed/heterogeneous query processor. Cheap to clone; clones
 /// share all state.
@@ -41,6 +43,19 @@ pub(crate) struct Inner {
     /// Remote metadata cache: `(server, table)` → fetched bundle. Local
     /// tables are never cached (they are cheap and always fresh).
     meta_cache: RwLock<HashMap<(String, String), Arc<FetchedTable>>>,
+    /// Parameterized plan cache: template text → cached compile.
+    plan_cache: Mutex<PlanCache>,
+    /// Per-linked-server invalidation epochs (lowercased names). Bumped on
+    /// re-registration; cached plans depending on an older epoch are stale.
+    server_epochs: RwLock<HashMap<String, u64>>,
+    /// Bumped on local DDL, `ANALYZE`, DPV (re)definition and
+    /// `clear_metadata_cache` — invalidates every cached plan.
+    schema_epoch: AtomicU64,
+    /// Bumped on optimizer/parallel configuration changes.
+    config_epoch: AtomicU64,
+    /// Max age of a cached remote metadata/statistics bundle before the
+    /// bind path refetches it.
+    stats_ttl: RwLock<Duration>,
     config: RwLock<OptimizerConfig>,
     parallel: RwLock<ParallelConfig>,
     retry: RwLock<RetryPolicy>,
@@ -54,6 +69,17 @@ pub struct EngineBuilder {
     config: OptimizerConfig,
     parallel: ParallelConfig,
     retry: RetryPolicy,
+    plan_cache: PlanCacheConfig,
+    stats_ttl: Duration,
+}
+
+/// Default remote-statistics TTL, overridable via `DHQP_STATS_TTL_MS`.
+fn stats_ttl_from_env() -> Duration {
+    std::env::var("DHQP_STATS_TTL_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(60))
 }
 
 impl EngineBuilder {
@@ -63,6 +89,8 @@ impl EngineBuilder {
             config: OptimizerConfig::default(),
             parallel: ParallelConfig::from_env(),
             retry: RetryPolicy::from_env(),
+            plan_cache: PlanCacheConfig::from_env(),
+            stats_ttl: stats_ttl_from_env(),
         }
     }
 
@@ -85,6 +113,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Parameterized plan-cache knobs (enabled + capacity).
+    pub fn plan_cache_config(mut self, plan_cache: PlanCacheConfig) -> Self {
+        self.plan_cache = plan_cache;
+        self
+    }
+
+    /// Max age of cached remote metadata/statistics before a refetch.
+    pub fn stats_ttl(mut self, ttl: Duration) -> Self {
+        self.stats_ttl = ttl;
+        self
+    }
+
     pub fn build(self) -> Engine {
         let storage = Arc::new(StorageEngine::new(self.name.clone()));
         let local_source = Arc::new(LocalDataSource::new(Arc::clone(&storage)));
@@ -98,6 +138,11 @@ impl EngineBuilder {
                 fulltext: Arc::new(SearchService::new()),
                 ft_bindings: RwLock::new(HashMap::new()),
                 meta_cache: RwLock::new(HashMap::new()),
+                plan_cache: Mutex::new(PlanCache::new(self.plan_cache)),
+                server_epochs: RwLock::new(HashMap::new()),
+                schema_epoch: AtomicU64::new(0),
+                config_epoch: AtomicU64::new(0),
+                stats_ttl: RwLock::new(self.stats_ttl),
                 config: RwLock::new(self.config),
                 parallel: RwLock::new(self.parallel),
                 retry: RwLock::new(self.retry),
@@ -157,7 +202,9 @@ impl Engine {
     // ---- catalog management ------------------------------------------------
 
     pub fn create_table(&self, def: TableDef) -> Result<()> {
-        self.inner.storage.create_table(def)
+        self.inner.storage.create_table(def)?;
+        self.bump_schema_epoch();
+        Ok(())
     }
 
     /// Insert rows into a local table directly (maintains full-text
@@ -168,14 +215,20 @@ impl Engine {
         Ok(n)
     }
 
-    /// Build statistics for a local table (§3.2.4).
+    /// Build statistics for a local table (§3.2.4). Invalidates cached
+    /// plans — they were costed against the old statistics.
     pub fn analyze(&self, table: &str, buckets: usize) -> Result<()> {
-        self.inner.storage.analyze(table, buckets)
+        self.inner.storage.analyze(table, buckets)?;
+        self.bump_schema_epoch();
+        Ok(())
     }
 
     /// Define a linked server (paper §2.1). Re-registering a name drops
     /// any metadata cached for the old source — the new server may expose
-    /// different schemas under the same table names.
+    /// different schemas under the same table names — and bumps the
+    /// server's epoch so every plan compiled against the old source is
+    /// evicted too, statistics included. A replaced server's plan must
+    /// never be reused.
     pub fn add_linked_server(&self, name: &str, source: Arc<dyn DataSource>) -> Result<()> {
         self.inner
             .registry
@@ -186,6 +239,14 @@ impl Engine {
             .meta_cache
             .write()
             .retain(|(server, _), _| server != &key);
+        *self
+            .inner
+            .server_epochs
+            .write()
+            .entry(key.clone())
+            .or_insert(0) += 1;
+        let evicted = self.inner.plan_cache.lock().purge_server(&key);
+        self.inner.metrics.record_plan_cache_evictions(evicted);
         Ok(())
     }
 
@@ -226,6 +287,8 @@ impl Engine {
         }
         let view = PartitionedView::define(name, partition_column, built)?;
         self.inner.views.write().insert(name.to_lowercase(), view);
+        // (Re)defining a view changes what its name binds to.
+        self.bump_schema_epoch();
         Ok(())
     }
 
@@ -331,13 +394,23 @@ impl Engine {
                     stats,
                     caps: self.inner.local_source.capabilities(),
                     checks,
+                    fetched_at: Instant::now(),
                 }))
             }
             Some(server) => {
                 let key = (server.to_lowercase(), table.to_lowercase());
+                let ttl = *self.inner.stats_ttl.read();
                 if let Some(hit) = self.inner.meta_cache.read().get(&key) {
-                    self.inner.metrics.record_meta_cache_hit();
-                    return Ok(Arc::clone(hit));
+                    // A bundle past its TTL is treated as a miss: the
+                    // optimizer must not cost against arbitrarily old
+                    // remote statistics.
+                    if hit.fetched_at.elapsed() <= ttl {
+                        self.inner.metrics.record_meta_cache_hit();
+                        if hit.stats.is_some() {
+                            self.inner.metrics.record_stats_cache_hit();
+                        }
+                        return Ok(Arc::clone(hit));
+                    }
                 }
                 self.inner.metrics.record_meta_cache_miss();
                 let source = self.linked_server(server)?;
@@ -358,11 +431,15 @@ impl Engine {
                 } else {
                     None
                 };
+                if stats.is_some() {
+                    self.inner.metrics.record_stats_cache_miss();
+                }
                 let fetched = Arc::new(FetchedTable {
                     info,
                     stats,
                     caps,
                     checks: Vec::new(),
+                    fetched_at: Instant::now(),
                 });
                 self.inner
                     .meta_cache
@@ -396,9 +473,11 @@ impl Engine {
         }
     }
 
-    /// Drop cached remote metadata (after remote DDL/bulk changes).
+    /// Drop cached remote metadata (after remote DDL/bulk changes). Also
+    /// invalidates every cached plan — they may embed the stale schemas.
     pub fn clear_metadata_cache(&self) {
         self.inner.meta_cache.write().clear();
+        self.bump_schema_epoch();
     }
 
     // ---- configuration -----------------------------------------------------
@@ -409,6 +488,7 @@ impl Engine {
 
     pub fn set_optimizer_config(&self, config: OptimizerConfig) {
         *self.inner.config.write() = config;
+        self.inner.config_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn parallel_config(&self) -> ParallelConfig {
@@ -421,6 +501,8 @@ impl Engine {
     pub fn set_parallel_config(&self, parallel: ParallelConfig) {
         self.inner.config.write().enable_parallel_union = parallel.enabled;
         *self.inner.parallel.write() = parallel;
+        // Plans compiled under the old parallel-union setting are stale.
+        self.inner.config_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn retry_policy(&self) -> RetryPolicy {
@@ -428,9 +510,100 @@ impl Engine {
     }
 
     /// Set the retry/backoff policy applied to remote opens and mid-stream
-    /// rewinds on transient transport faults.
+    /// rewinds on transient transport faults. Does *not* invalidate cached
+    /// plans: retry is applied per execution, not baked into the plan.
     pub fn set_retry_policy(&self, retry: RetryPolicy) {
         *self.inner.retry.write() = retry;
+    }
+
+    // ---- plan & statistics caching -----------------------------------------
+
+    /// Switch the parameterized plan cache on or off. Turning it off also
+    /// drops every cached plan.
+    pub fn set_plan_cache_enabled(&self, enabled: bool) {
+        let mut cache = self.inner.plan_cache.lock();
+        cache.set_enabled(enabled);
+        if !enabled {
+            let evicted = cache.clear();
+            self.inner.metrics.record_plan_cache_evictions(evicted);
+        }
+    }
+
+    pub fn plan_cache_enabled(&self) -> bool {
+        self.inner.plan_cache.lock().enabled()
+    }
+
+    /// Bound the plan cache's entry count (LRU-evicting down if needed).
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        let evicted = self.inner.plan_cache.lock().set_capacity(capacity);
+        self.inner.metrics.record_plan_cache_evictions(evicted);
+    }
+
+    /// Number of plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.inner.plan_cache.lock().len()
+    }
+
+    /// Max age of cached remote metadata/statistics before the bind path
+    /// refetches over the wire.
+    pub fn stats_ttl(&self) -> Duration {
+        *self.inner.stats_ttl.read()
+    }
+
+    pub fn set_stats_ttl(&self, ttl: Duration) {
+        *self.inner.stats_ttl.write() = ttl;
+    }
+
+    fn bump_schema_epoch(&self) {
+        self.inner.schema_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Epoch snapshot for a plan compiled right now against `servers`.
+    fn current_deps(&self, servers: Vec<String>) -> CacheDeps {
+        let epochs = self.inner.server_epochs.read();
+        CacheDeps {
+            servers: servers
+                .into_iter()
+                .map(|s| {
+                    let e = epochs.get(&s).copied().unwrap_or(0);
+                    (s, e)
+                })
+                .collect(),
+            schema_epoch: self.inner.schema_epoch.load(Ordering::Relaxed),
+            config_epoch: self.inner.config_epoch.load(Ordering::Relaxed),
+        }
+    }
+
+    fn deps_current(&self, deps: &CacheDeps) -> bool {
+        if deps.schema_epoch != self.inner.schema_epoch.load(Ordering::Relaxed)
+            || deps.config_epoch != self.inner.config_epoch.load(Ordering::Relaxed)
+        {
+            return false;
+        }
+        let epochs = self.inner.server_epochs.read();
+        deps.servers
+            .iter()
+            .all(|(s, e)| epochs.get(s).copied().unwrap_or(0) == *e)
+    }
+
+    /// Look up a cached plan, validating its epochs. A stale entry is
+    /// evicted and reported as a miss. A valid hit also credits one
+    /// metadata-cache hit per remote dependency: the bind-time metadata
+    /// consultation was avoided entirely.
+    fn plan_cache_lookup(&self, key: &str) -> Option<Arc<CachedSelect>> {
+        let entry = self.inner.plan_cache.lock().get(key)?;
+        if self.deps_current(&entry.deps) {
+            self.inner.metrics.record_plan_cache_hit();
+            for _ in &entry.deps.servers {
+                self.inner.metrics.record_meta_cache_hit();
+            }
+            Some(entry)
+        } else {
+            if self.inner.plan_cache.lock().remove(key) {
+                self.inner.metrics.record_plan_cache_evictions(1);
+            }
+            None
+        }
     }
 
     // ---- query pipeline ----------------------------------------------------
@@ -446,6 +619,44 @@ impl Engine {
         sql: &str,
         params: HashMap<String, Value>,
     ) -> Result<QueryResult> {
+        // Plan-cache fast path: a SELECT (bare or under EXPLAIN ANALYZE)
+        // is auto-parameterized and served from — or compiled into — the
+        // cache. Statements the fast path declines fall through unchanged.
+        if self.plan_cache_enabled() {
+            if let Some(fp) = fingerprint(sql) {
+                // Plain EXPLAIN never executes; keep it on the classic path.
+                if fp.explain != Some(false) {
+                    let analyze = fp.explain == Some(true);
+                    let collector = analyze.then(|| Arc::new(RuntimeStatsCollector::new()));
+                    let start = Instant::now();
+                    if let Some(outcome) = self.run_fingerprinted(&fp, &params, collector.clone()) {
+                        let kind = if analyze {
+                            StatementKind::ExplainAnalyze
+                        } else {
+                            StatementKind::Select
+                        };
+                        let result = outcome.map(|(result, entry, hit)| match collector {
+                            Some(collector) => self
+                                .cached_report(result, &entry, hit, &collector)
+                                .to_query_result(),
+                            None => result,
+                        });
+                        let rows = match &result {
+                            Ok(r) => r.rows_affected.unwrap_or(r.rows.len() as u64),
+                            Err(_) => 0,
+                        };
+                        self.inner.metrics.finish_statement(
+                            kind,
+                            sql,
+                            start.elapsed(),
+                            rows,
+                            result.is_ok(),
+                        );
+                        return result;
+                    }
+                }
+            }
+        }
         let parsed = match parse_statement(sql) {
             Ok(stmt) => stmt,
             Err(e) => {
@@ -550,6 +761,18 @@ impl Engine {
         sql: &str,
         params: HashMap<String, Value>,
     ) -> Result<AnalyzeReport> {
+        if self.plan_cache_enabled() {
+            if let Some(fp) = fingerprint(sql) {
+                let collector = Arc::new(RuntimeStatsCollector::new());
+                if let Some(outcome) =
+                    self.run_fingerprinted(&fp, &params, Some(Arc::clone(&collector)))
+                {
+                    return outcome.map(|(result, entry, hit)| {
+                        self.cached_report(result, &entry, hit, &collector)
+                    });
+                }
+            }
+        }
         let stmt = match parse_statement(sql)? {
             Statement::Select(stmt) => stmt,
             Statement::Explain { stmt, .. } => *stmt,
@@ -576,7 +799,109 @@ impl Engine {
             runtime: collector.snapshot(),
             plan,
             explain,
+            cache_hit: None,
+            stats_age: None,
         })
+    }
+
+    /// An [`AnalyzeReport`] for an execution served through the plan cache.
+    fn cached_report(
+        &self,
+        result: QueryResult,
+        entry: &CachedSelect,
+        hit: bool,
+        collector: &Arc<RuntimeStatsCollector>,
+    ) -> AnalyzeReport {
+        AnalyzeReport {
+            result,
+            runtime: collector.snapshot(),
+            plan: entry.plan.clone(),
+            explain: ExplainPlan::new(&entry.plan, entry.opt_stats.clone()),
+            cache_hit: Some(hit),
+            stats_age: entry.stats_age(),
+        }
+    }
+
+    /// The plan-cache fast path for one fingerprinted SELECT. `None` means
+    /// "not eligible" — the caller falls through to the uncached pipeline,
+    /// which re-parses the original text and reproduces any error exactly.
+    fn run_fingerprinted(
+        &self,
+        fp: &Fingerprint,
+        user_params: &HashMap<String, Value>,
+        stats: Option<Arc<RuntimeStatsCollector>>,
+    ) -> Option<Result<(QueryResult, Arc<CachedSelect>, bool)>> {
+        // User parameters in the reserved namespace would collide with the
+        // extracted literals.
+        if user_params
+            .keys()
+            .any(|k| k.starts_with(dhqp_sqlfront::AUTO_PARAM_PREFIX))
+        {
+            return None;
+        }
+        let mut params = user_params.clone();
+        for (name, value) in &fp.params {
+            params.insert(name.clone(), value.clone());
+        }
+        if let Some(entry) = self.plan_cache_lookup(&fp.template) {
+            let res = self.execute_plan(
+                &entry.plan,
+                &entry.registry,
+                &entry.output,
+                &entry.view_members,
+                params,
+                stats,
+            );
+            return Some(res.map(|r| (r, entry, true)));
+        }
+        // Miss: compile the template once, cache it if the statement's
+        // compile is pure, then execute. Any template-side parse, bind or
+        // optimize failure declines instead of erroring.
+        let stmt = match parse_statement(&fp.template) {
+            Ok(Statement::Select(stmt)) => stmt,
+            _ => return None,
+        };
+        if !plan_cache::is_cacheable(&stmt) {
+            return None;
+        }
+        let bound = Binder::new(self, &params).bind_select(&stmt).ok()?;
+        let BoundSelect {
+            tree,
+            mut registry,
+            output,
+            required,
+            view_members,
+            dep_servers,
+            stats_as_of,
+        } = bound;
+        let optimizer = Optimizer::new(self.optimizer_config());
+        let deps = self.current_deps(dep_servers);
+        let (plan, opt_stats) = optimizer.optimize(tree, &mut registry, required).ok()?;
+        let entry = Arc::new(CachedSelect {
+            plan,
+            registry: Arc::new(registry),
+            output,
+            view_members,
+            opt_stats,
+            deps,
+            stats_as_of,
+        });
+        self.inner.metrics.record_plan_cache_miss();
+        let evicted = self
+            .inner
+            .plan_cache
+            .lock()
+            .insert(fp.template.clone(), Arc::clone(&entry));
+        self.inner.metrics.record_plan_cache_evictions(evicted);
+        let res = self.execute_plan(
+            &entry.plan,
+            &entry.registry,
+            &entry.output,
+            &entry.view_members,
+            params,
+            stats,
+        );
+        Some(res.map(|r| (r, entry, false)))
     }
 
     fn run_select(&self, stmt: &SelectStmt, params: HashMap<String, Value>) -> Result<QueryResult> {
@@ -604,21 +929,39 @@ impl Engine {
             output,
             required,
             view_members,
+            ..
         } = bound;
         let (plan, opt_stats) = optimizer.optimize(tree, &mut registry, required)?;
         let registry = Arc::new(registry);
+        let result = self.execute_plan(&plan, &registry, &output, &view_members, params, stats)?;
+        Ok((result, plan, opt_stats))
+    }
+
+    /// Execute one already-optimized plan — the shared tail of the cached
+    /// and uncached pipelines. Delayed schema validation runs here on every
+    /// execution, so even a cached plan re-checks the partitioned-view
+    /// members it touches.
+    fn execute_plan(
+        &self,
+        plan: &PhysNode,
+        registry: &Arc<dhqp_optimizer::props::ColumnRegistry>,
+        output: &[(String, dhqp_optimizer::ColumnId)],
+        view_members: &[(String, usize)],
+        params: HashMap<String, Value>,
+        stats: Option<Arc<RuntimeStatsCollector>>,
+    ) -> Result<QueryResult> {
         let catalog = Arc::new(EngineCatalog {
             inner: Arc::clone(&self.inner),
         });
-        let mut ctx = ExecContext::new(catalog, params, Arc::clone(&registry))
+        let mut ctx = ExecContext::new(catalog, params, Arc::clone(registry))
             .with_counters(self.inner.metrics.exec_counters())
             .with_parallel(self.parallel_config())
             .with_retry(self.retry_policy());
         if let Some(collector) = stats {
             ctx = ctx.with_stats(collector);
         }
-        self.validate_view_schemas(&plan, &view_members, &ctx)?;
-        let mut rowset = dhqp_executor::open(&plan, &ctx)?;
+        self.validate_view_schemas(plan, view_members, &ctx)?;
+        let mut rowset = dhqp_executor::open(plan, &ctx)?;
         let all_rows = rowset.collect_rows()?;
         // Trim to the visible SELECT-list columns, in order.
         let positions: Vec<usize> = output
@@ -649,15 +992,11 @@ impl Engine {
         // Drop the operator tree now so instrumented operators flush their
         // runtime stats before the caller snapshots the collector.
         drop(rowset);
-        Ok((
-            QueryResult {
-                schema,
-                rows,
-                rows_affected: None,
-            },
-            plan,
-            opt_stats,
-        ))
+        Ok(QueryResult {
+            schema,
+            rows,
+            rows_affected: None,
+        })
     }
 
     /// Delayed schema validation (§4.1.5): at execution time, re-check

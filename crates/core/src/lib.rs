@@ -24,12 +24,14 @@ pub mod binder;
 pub(crate) mod dml;
 pub mod engine;
 pub mod metrics;
+pub mod plan_cache;
 pub mod remote;
 pub mod result;
 
 pub use analyze::AnalyzeReport;
 pub use engine::{Engine, EngineBuilder};
 pub use metrics::{MetricsSnapshot, QuerySummary, StatementKind};
+pub use plan_cache::PlanCacheConfig;
 pub use remote::EngineDataSource;
 pub use result::QueryResult;
 

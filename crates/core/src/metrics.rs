@@ -60,6 +60,18 @@ pub struct MetricsSnapshot {
     pub statement_errors: u64,
     pub meta_cache_hits: u64,
     pub meta_cache_misses: u64,
+    /// Parameterized plan-cache activity. A hit skips parse, bind and
+    /// optimize entirely; hits also credit one `meta_cache_hits` per remote
+    /// server the cached plan depends on (metadata consultation avoided
+    /// altogether).
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
+    /// Plans dropped by LRU pressure or epoch invalidation.
+    pub plan_cache_evictions: u64,
+    /// Remote statistics bundles served from (or fetched into) the TTL'd
+    /// metadata cache at bind time.
+    pub stats_cache_hits: u64,
+    pub stats_cache_misses: u64,
     pub fulltext_searches: u64,
     pub spool_hits: u64,
     pub spool_builds: u64,
@@ -112,6 +124,11 @@ pub(crate) struct EngineMetrics {
     statement_errors: AtomicU64,
     meta_cache_hits: AtomicU64,
     meta_cache_misses: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    plan_cache_evictions: AtomicU64,
+    stats_cache_hits: AtomicU64,
+    stats_cache_misses: AtomicU64,
     fulltext_searches: AtomicU64,
     exec: Arc<ExecCounters>,
     recent: Mutex<VecDeque<QuerySummary>>,
@@ -134,6 +151,29 @@ impl EngineMetrics {
 
     pub fn record_meta_cache_miss(&self) {
         self.meta_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_plan_cache_hit(&self) {
+        self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_plan_cache_miss(&self) {
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_plan_cache_evictions(&self, n: usize) {
+        if n > 0 {
+            self.plan_cache_evictions
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_stats_cache_hit(&self) {
+        self.stats_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_stats_cache_miss(&self) {
+        self.stats_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_fulltext_search(&self) {
@@ -191,6 +231,11 @@ impl EngineMetrics {
             statement_errors: self.statement_errors.load(Ordering::Relaxed),
             meta_cache_hits: self.meta_cache_hits.load(Ordering::Relaxed),
             meta_cache_misses: self.meta_cache_misses.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            plan_cache_evictions: self.plan_cache_evictions.load(Ordering::Relaxed),
+            stats_cache_hits: self.stats_cache_hits.load(Ordering::Relaxed),
+            stats_cache_misses: self.stats_cache_misses.load(Ordering::Relaxed),
             fulltext_searches: self.fulltext_searches.load(Ordering::Relaxed),
             spool_hits: exec.spool_hits,
             spool_builds: exec.spool_builds,

@@ -1,0 +1,323 @@
+//! The parameterized plan cache.
+//!
+//! SQL Server amortizes its Cascades compiles through a plan cache keyed by
+//! the auto-parameterized statement text; this module is that cache for the
+//! reproduction. An entry stores the optimized physical plan together with
+//! everything `Engine::execute` needs to run it again, plus the *epochs* it
+//! was compiled against — per-linked-server counters and global schema /
+//! optimizer-config counters. A lookup validates the epochs and treats any
+//! mismatch as a miss (lazy invalidation), so re-registered servers, remote
+//! DDL (`clear_metadata_cache`), local DDL and config changes can never
+//! resurrect a stale plan.
+//!
+//! Cacheability is deliberately conservative: statements whose *bind*
+//! consults live data — scalar subqueries and `OPENROWSET`/`OPENQUERY`
+//! pass-through (materialized eagerly at bind time) and full-text
+//! `CONTAINS` (hit lists frozen at bind time) — are never cached, because
+//! their plans embed query *results*, not just shapes.
+
+use dhqp_optimizer::search::OptimizerStats;
+use dhqp_optimizer::{ColumnId, ColumnRegistry, PhysNode};
+use dhqp_sqlfront::{Expr, SelectItem, SelectStmt, TableRef};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Epoch snapshot a plan was compiled against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CacheDeps {
+    /// `(lowercased linked-server name, its epoch at compile time)` for
+    /// every remote source the plan's bind consulted.
+    pub servers: Vec<(String, u64)>,
+    /// Global local-DDL/statistics epoch.
+    pub schema_epoch: u64,
+    /// Optimizer/parallel configuration epoch.
+    pub config_epoch: u64,
+}
+
+/// One cached compile: the plan plus everything needed to re-execute it.
+pub(crate) struct CachedSelect {
+    pub plan: PhysNode,
+    pub registry: Arc<ColumnRegistry>,
+    /// Visible SELECT-list columns, in order.
+    pub output: Vec<(String, ColumnId)>,
+    /// Partitioned-view members the plan may touch (for delayed schema
+    /// validation on every execution, cached or not).
+    pub view_members: Vec<(String, usize)>,
+    pub opt_stats: OptimizerStats,
+    pub deps: CacheDeps,
+    /// When the oldest remote metadata/statistics bundle consulted at
+    /// compile time was fetched (`None` for purely local plans).
+    pub stats_as_of: Option<Instant>,
+}
+
+impl CachedSelect {
+    /// Age of the statistics the plan was costed with.
+    pub fn stats_age(&self) -> Option<Duration> {
+        self.stats_as_of.map(|t| t.elapsed())
+    }
+}
+
+/// Plan-cache knobs, env-overridable like the other engine switches:
+/// `DHQP_PLAN_CACHE=0` disables, `DHQP_PLAN_CACHE_SIZE` bounds the entry
+/// count (default 128).
+#[derive(Debug, Clone)]
+pub struct PlanCacheConfig {
+    pub enabled: bool,
+    pub capacity: usize,
+}
+
+impl Default for PlanCacheConfig {
+    fn default() -> Self {
+        PlanCacheConfig {
+            enabled: true,
+            capacity: 128,
+        }
+    }
+}
+
+impl PlanCacheConfig {
+    pub fn from_env() -> Self {
+        let mut config = PlanCacheConfig::default();
+        if let Ok(v) = std::env::var("DHQP_PLAN_CACHE") {
+            config.enabled = v != "0";
+        }
+        if let Some(n) = std::env::var("DHQP_PLAN_CACHE_SIZE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            config.capacity = n;
+        }
+        config
+    }
+}
+
+/// Bounded LRU map from template text to cached compile.
+pub(crate) struct PlanCache {
+    config: PlanCacheConfig,
+    tick: u64,
+    entries: HashMap<String, (u64, Arc<CachedSelect>)>,
+}
+
+impl PlanCache {
+    pub fn new(config: PlanCacheConfig) -> Self {
+        PlanCache {
+            config,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.config.enabled = enabled;
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Shrink (or grow) the bound; returns how many entries were evicted.
+    pub fn set_capacity(&mut self, capacity: usize) -> usize {
+        self.config.capacity = capacity.max(1);
+        let mut evicted = 0;
+        while self.entries.len() > self.config.capacity {
+            self.evict_lru();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    pub fn get(&mut self, key: &str) -> Option<Arc<CachedSelect>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (last_used, entry) = self.entries.get_mut(key)?;
+        *last_used = tick;
+        Some(Arc::clone(entry))
+    }
+
+    /// Insert one compile; returns how many entries were evicted to fit.
+    pub fn insert(&mut self, key: String, entry: Arc<CachedSelect>) -> usize {
+        self.tick += 1;
+        self.entries.insert(key, (self.tick, entry));
+        let mut evicted = 0;
+        while self.entries.len() > self.config.capacity {
+            self.evict_lru();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    pub fn remove(&mut self, key: &str) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Drop every plan that depends on `server` (lowercased); returns the
+    /// eviction count.
+    pub fn purge_server(&mut self, server: &str) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, (_, e)| !e.deps.servers.iter().any(|(s, _)| s == server));
+        before - self.entries.len()
+    }
+
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, (used, _))| *used)
+            .map(|(k, _)| k.clone())
+        {
+            self.entries.remove(&key);
+        }
+    }
+}
+
+/// Whether a statement's compile is pure (a function of catalog metadata
+/// only) and therefore safe to reuse. Statements that run queries *during
+/// bind* embed results in the plan and must recompile every time.
+pub(crate) fn is_cacheable(stmt: &SelectStmt) -> bool {
+    select_cacheable(stmt)
+}
+
+fn select_cacheable(stmt: &SelectStmt) -> bool {
+    stmt.projections.iter().all(|item| match item {
+        SelectItem::Expr { expr, .. } => expr_cacheable(expr),
+        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => true,
+    }) && stmt.from.iter().all(table_cacheable)
+        && stmt.where_clause.as_ref().is_none_or(expr_cacheable)
+        && stmt.group_by.iter().all(expr_cacheable)
+        && stmt.having.as_ref().is_none_or(expr_cacheable)
+        && stmt.order_by.iter().all(|o| expr_cacheable(&o.expr))
+        && stmt
+            .union_branches
+            .iter()
+            .all(|(branch, _)| select_cacheable(branch))
+}
+
+fn table_cacheable(t: &TableRef) -> bool {
+    match t {
+        TableRef::Named { .. } => true,
+        TableRef::Join {
+            left, right, on, ..
+        } => {
+            table_cacheable(left)
+                && table_cacheable(right)
+                && on.as_ref().is_none_or(expr_cacheable)
+        }
+        TableRef::Derived { query, .. } => select_cacheable(query),
+        // Pass-through rowsets are materialized at bind time.
+        TableRef::OpenRowset { .. } | TableRef::OpenQuery { .. } => false,
+    }
+}
+
+fn expr_cacheable(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) | Expr::CountStar => true,
+        Expr::Unary { operand, .. } => expr_cacheable(operand),
+        Expr::Binary { left, right, .. } => expr_cacheable(left) && expr_cacheable(right),
+        Expr::InList { expr, list, .. } => expr_cacheable(expr) && list.iter().all(expr_cacheable),
+        Expr::InSubquery { expr, subquery, .. } => {
+            expr_cacheable(expr) && select_cacheable(subquery)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => expr_cacheable(expr) && expr_cacheable(low) && expr_cacheable(high),
+        Expr::Like { expr, pattern, .. } => expr_cacheable(expr) && expr_cacheable(pattern),
+        Expr::IsNull { expr, .. } => expr_cacheable(expr),
+        Expr::Exists { subquery, .. } => select_cacheable(subquery),
+        // Evaluated eagerly at bind time: the result would be frozen into
+        // the cached plan.
+        Expr::ScalarSubquery(_) => false,
+        // CONTAINS materializes full-text hits at bind time.
+        Expr::Function { name, args, .. } => {
+            !name.eq_ignore_ascii_case("CONTAINS") && args.iter().all(expr_cacheable)
+        }
+        Expr::Cast { expr, .. } => expr_cacheable(expr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhqp_sqlfront::{parse_statement, Statement};
+
+    fn select(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cacheability_rules() {
+        assert!(is_cacheable(&select("SELECT a FROM t WHERE k = @p")));
+        assert!(is_cacheable(&select(
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.k = t.k)"
+        )));
+        assert!(!is_cacheable(&select(
+            "SELECT a FROM t WHERE k = (SELECT MAX(k) FROM u)"
+        )));
+        assert!(!is_cacheable(&select(
+            "SELECT a FROM t WHERE CONTAINS(body, 'x')"
+        )));
+        assert!(!is_cacheable(&select(
+            "SELECT a FROM OPENQUERY(srv, 'select 1') AS q"
+        )));
+        assert!(!is_cacheable(&select(
+            "SELECT x FROM (SELECT a AS x FROM OPENROWSET('p','d','q') AS r) AS d"
+        )));
+        assert!(is_cacheable(&select(
+            "SELECT a FROM t UNION ALL SELECT a FROM u"
+        )));
+    }
+
+    #[test]
+    fn lru_eviction_and_purge() {
+        fn entry(servers: &[&str]) -> Arc<CachedSelect> {
+            Arc::new(CachedSelect {
+                plan: PhysNode::new(
+                    dhqp_optimizer::PhysicalOp::Values {
+                        columns: vec![],
+                        rows: vec![],
+                    },
+                    vec![],
+                    vec![],
+                ),
+                registry: Arc::new(ColumnRegistry::default()),
+                output: vec![],
+                view_members: vec![],
+                opt_stats: OptimizerStats::default(),
+                deps: CacheDeps {
+                    servers: servers.iter().map(|s| (s.to_string(), 0)).collect(),
+                    schema_epoch: 0,
+                    config_epoch: 0,
+                },
+                stats_as_of: None,
+            })
+        }
+        let mut cache = PlanCache::new(PlanCacheConfig {
+            enabled: true,
+            capacity: 2,
+        });
+        assert_eq!(cache.insert("a".into(), entry(&[])), 0);
+        assert_eq!(cache.insert("b".into(), entry(&["srv1"])), 0);
+        assert!(cache.get("a").is_some()); // "b" is now least-recently used
+        assert_eq!(cache.insert("c".into(), entry(&["srv2"])), 1);
+        assert!(cache.get("b").is_none(), "LRU entry evicted");
+        assert_eq!(cache.purge_server("srv2"), 1);
+        assert!(cache.get("c").is_none());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.clear(), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Statement fingerprinting: SQL Server-style *simple parameterization*.
+//!
+//! `SELECT … WHERE k = 1` and `SELECT … WHERE k = 2` should share one plan
+//! cache entry. [`fingerprint`] rewrites a SELECT's numeric literals in
+//! predicate position into `@__litN` parameters and renders the resulting
+//! token stream as a canonical template string — the cache key — together
+//! with the extracted parameter values.
+//!
+//! The rewrite is deliberately conservative, mirroring SQL Server's "safe
+//! auto-parameterization": only `Int` and `Float` literals inside
+//! `WHERE`/`ON`/`HAVING` zones are lifted. String and date literals stay in
+//! the template (they drive bind-time coercion, dialect-specific remote
+//! rendering and compile-time partition pruning, all of which must behave
+//! byte-identically to the uncached path), `IN (…)` lists stay literal
+//! (the binder requires literal elements), and anything outside a predicate
+//! zone — `TOP n`, projection constants, `GROUP BY`/`ORDER BY` — is left
+//! untouched. A template that later fails to parse, bind or optimize simply
+//! falls back to the uncached path; fingerprinting can never reject a
+//! statement, only decline to parameterize it.
+
+use crate::lexer::{Lexer, TokenKind};
+use dhqp_types::Value;
+use std::fmt::Write as _;
+
+/// Prefix reserved for auto-extracted parameters. Statements that already
+/// use `@__lit…` names are never fingerprinted (the merge would collide).
+pub const AUTO_PARAM_PREFIX: &str = "__lit";
+
+/// A fingerprinted SELECT: the canonical parameterized template plus the
+/// literal values extracted from this particular statement text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    /// Canonical template — tokens space-joined, literals lifted to
+    /// `@__litN`. This is the plan-cache key.
+    pub template: String,
+    /// Extracted `(name, value)` pairs in occurrence order.
+    pub params: Vec<(String, Value)>,
+    /// `None` for a bare SELECT, `Some(true)` for an `EXPLAIN ANALYZE`
+    /// wrapper, `Some(false)` for plain `EXPLAIN` (the template never
+    /// includes the wrapper, so both share the underlying cache entry).
+    pub explain: Option<bool>,
+}
+
+/// Predicate zones parameterize literals; everything else stays verbatim.
+#[derive(Clone, Copy, PartialEq)]
+enum Zone {
+    NoParam,
+    Param,
+}
+
+fn keyword(t: &TokenKind) -> Option<String> {
+    match t {
+        TokenKind::Ident(s) => Some(s.to_ascii_uppercase()),
+        _ => None,
+    }
+}
+
+/// Fingerprint one statement. Returns `None` when the statement is not a
+/// SELECT (optionally under `EXPLAIN [ANALYZE]`), fails to lex, or already
+/// uses the reserved `@__lit` parameter namespace.
+pub fn fingerprint(sql: &str) -> Option<Fingerprint> {
+    let tokens = Lexer::new(sql).tokenize().ok()?;
+    let mut kinds: Vec<TokenKind> = tokens.into_iter().map(|t| t.kind).collect();
+    while matches!(kinds.last(), Some(TokenKind::Eof | TokenKind::Semicolon)) {
+        kinds.pop();
+    }
+    let mut i = 0;
+    let explain = if keyword(kinds.first()?).as_deref() == Some("EXPLAIN") {
+        i = 1;
+        if kinds.get(1).and_then(keyword).as_deref() == Some("ANALYZE") {
+            i = 2;
+            Some(true)
+        } else {
+            Some(false)
+        }
+    } else {
+        None
+    };
+    if keyword(kinds.get(i)?).as_deref() != Some("SELECT") {
+        return None;
+    }
+
+    let mut out: Vec<TokenKind> = Vec::with_capacity(kinds.len() - i);
+    let mut params: Vec<(String, Value)> = Vec::new();
+    // Zone frames: parens push/pop, keywords flip the top frame. An `IN (`
+    // list pushes a NoParam frame — the binder requires literal elements.
+    let mut zones: Vec<Zone> = vec![Zone::NoParam];
+    let mut prev: Option<TokenKind> = None;
+    for t in kinds.drain(i..) {
+        match &t {
+            TokenKind::Param(name) if name.starts_with(AUTO_PARAM_PREFIX) => return None,
+            TokenKind::Ident(_) => match keyword(&t).unwrap().as_str() {
+                "WHERE" | "ON" | "HAVING" => *zones.last_mut().unwrap() = Zone::Param,
+                "SELECT" | "FROM" | "GROUP" | "ORDER" | "UNION" => {
+                    *zones.last_mut().unwrap() = Zone::NoParam
+                }
+                _ => {}
+            },
+            TokenKind::LParen => {
+                let in_list =
+                    matches!(&prev, Some(TokenKind::Ident(w)) if w.eq_ignore_ascii_case("IN"));
+                let inherited = *zones.last().unwrap();
+                zones.push(if in_list { Zone::NoParam } else { inherited });
+            }
+            TokenKind::RParen if zones.len() > 1 => {
+                zones.pop();
+            }
+            TokenKind::Int(v) if *zones.last().unwrap() == Zone::Param => {
+                let name = format!("{AUTO_PARAM_PREFIX}{}", params.len());
+                params.push((name.clone(), Value::Int(*v)));
+                prev = Some(t.clone());
+                out.push(TokenKind::Param(name));
+                continue;
+            }
+            TokenKind::Float(v) if *zones.last().unwrap() == Zone::Param => {
+                let name = format!("{AUTO_PARAM_PREFIX}{}", params.len());
+                params.push((name.clone(), Value::Float(*v)));
+                prev = Some(t.clone());
+                out.push(TokenKind::Param(name));
+                continue;
+            }
+            _ => {}
+        }
+        prev = Some(t.clone());
+        out.push(t);
+    }
+    Some(Fingerprint {
+        template: render_tokens(&out),
+        params,
+        explain,
+    })
+}
+
+/// Render a token stream back to lexable SQL text, one space between
+/// tokens. Unlike `TokenKind`'s `Display` (built for error messages), this
+/// re-escapes string and quoted-identifier bodies and keeps floats
+/// re-lexable as floats.
+fn render_tokens(tokens: &[TokenKind]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match t {
+            TokenKind::Str(s) => {
+                let _ = write!(out, "'{}'", s.replace('\'', "''"));
+            }
+            TokenKind::QuotedIdent(s) => {
+                let _ = write!(out, "[{}]", s.replace(']', "]]"));
+            }
+            TokenKind::Float(v) => {
+                // `{:?}` keeps a trailing `.0`, so "3.0" re-lexes as Float.
+                let _ = write!(out, "{v:?}");
+            }
+            other => {
+                let _ = write!(out, "{other}");
+            }
+        }
+    }
+    out
+}
+
+/// Render one extracted value as a SQL literal in the engine's own dialect
+/// (the inverse of extraction, used to prove round-trips).
+pub fn render_param_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f:?}"),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Date(d) => format!("DATE '{}'", dhqp_types::value::format_date(*d)),
+        Value::Bool(b) => if *b { "1" } else { "0" }.to_string(),
+        Value::Null => "NULL".to_string(),
+    }
+}
+
+/// Substitute extracted parameters back into a template, producing SQL that
+/// must parse to the same AST as the original statement (the round-trip
+/// property the test suite proves).
+pub fn substitute(template: &str, params: &[(String, Value)]) -> Option<String> {
+    let tokens = Lexer::new(template).tokenize().ok()?;
+    let mut out = String::new();
+    for t in tokens {
+        if t.kind == TokenKind::Eof {
+            break;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match &t.kind {
+            TokenKind::Param(name) => match params.iter().find(|(n, _)| n == name) {
+                Some((_, v)) => out.push_str(&render_param_value(v)),
+                None => {
+                    let _ = write!(out, "@{name}");
+                }
+            },
+            other => out.push_str(&render_tokens(std::slice::from_ref(other))),
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_statement;
+
+    #[test]
+    fn equal_shapes_share_a_template() {
+        let a = fingerprint("SELECT id FROM t WHERE k = 1").unwrap();
+        let b = fingerprint("SELECT id FROM t WHERE k = 2").unwrap();
+        assert_eq!(a.template, b.template);
+        assert_eq!(a.params, vec![("__lit0".to_string(), Value::Int(1))]);
+        assert_eq!(b.params, vec![("__lit0".to_string(), Value::Int(2))]);
+    }
+
+    #[test]
+    fn strings_dates_and_top_stay_literal() {
+        let fp =
+            fingerprint("SELECT TOP 3 id FROM t WHERE tag = 'x' AND day > '2004-01-01'").unwrap();
+        assert!(fp.params.is_empty(), "{:?}", fp.params);
+        assert!(fp.template.contains("TOP 3"));
+        assert!(fp.template.contains("'2004-01-01'"));
+    }
+
+    #[test]
+    fn in_lists_stay_literal_but_comparisons_do_not() {
+        let fp = fingerprint("SELECT id FROM t WHERE k IN (1, 2) AND v > 7").unwrap();
+        assert_eq!(fp.params, vec![("__lit0".to_string(), Value::Int(7))]);
+        assert!(fp.template.contains("IN ( 1 , 2 )"), "{}", fp.template);
+    }
+
+    #[test]
+    fn subquery_zones_nest() {
+        let fp = fingerprint(
+            "SELECT id FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.k = 5) AND t.v = 6",
+        )
+        .unwrap();
+        // The `SELECT 1` projection constant stays; both predicate literals lift.
+        assert_eq!(
+            fp.params,
+            vec![
+                ("__lit0".to_string(), Value::Int(5)),
+                ("__lit1".to_string(), Value::Int(6)),
+            ]
+        );
+        assert!(fp.template.contains("SELECT 1 FROM"), "{}", fp.template);
+    }
+
+    #[test]
+    fn explain_wrappers_share_the_bare_template() {
+        let bare = fingerprint("SELECT id FROM t WHERE k = 1").unwrap();
+        let ea = fingerprint("EXPLAIN ANALYZE SELECT id FROM t WHERE k = 1").unwrap();
+        let e = fingerprint("EXPLAIN SELECT id FROM t WHERE k = 1").unwrap();
+        assert_eq!(bare.explain, None);
+        assert_eq!(ea.explain, Some(true));
+        assert_eq!(e.explain, Some(false));
+        assert_eq!(bare.template, ea.template);
+        assert_eq!(bare.template, e.template);
+    }
+
+    #[test]
+    fn non_select_and_reserved_names_are_rejected() {
+        assert!(fingerprint("INSERT INTO t (a) VALUES (1)").is_none());
+        assert!(fingerprint("DELETE FROM t WHERE k = 1").is_none());
+        assert!(fingerprint("SELECT id FROM t WHERE k = @__lit0").is_none());
+        assert!(fingerprint("not sql at '").is_none());
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for sql in [
+            "SELECT id, tag FROM t WHERE k = 10 AND score >= 2.5",
+            "SELECT a.id FROM a JOIN b ON a.id = b.id + 1 WHERE b.score % 2 = 0",
+            "SELECT id FROM t WHERE k BETWEEN 3 AND 9 HAVING COUNT(*) > 2",
+            "SELECT [odd name] FROM t WHERE tag = 'O''Brien' AND k = -4",
+        ] {
+            let fp = fingerprint(sql).unwrap();
+            let back = substitute(&fp.template, &fp.params).unwrap();
+            assert_eq!(
+                format!("{:?}", parse_statement(&back).unwrap()),
+                format!("{:?}", parse_statement(sql).unwrap()),
+                "{sql} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_literals_round_trip() {
+        let fp = fingerprint("SELECT id FROM t WHERE k = -5").unwrap();
+        assert_eq!(fp.params, vec![("__lit0".to_string(), Value::Int(5))]);
+        let back = substitute(&fp.template, &fp.params).unwrap();
+        assert_eq!(
+            format!("{:?}", parse_statement(&back).unwrap()),
+            format!(
+                "{:?}",
+                parse_statement("SELECT id FROM t WHERE k = -5").unwrap()
+            ),
+        );
+    }
+}

@@ -9,9 +9,11 @@
 //! UNION \[ALL\] and TOP.
 
 pub mod ast;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::*;
+pub use fingerprint::{fingerprint, Fingerprint, AUTO_PARAM_PREFIX};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{parse_expression, parse_statement, Parser};

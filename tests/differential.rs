@@ -1,0 +1,334 @@
+//! Differential harness for the parameterized plan cache: the same SQL
+//! corpus must return identical multisets whether plans are compiled
+//! fresh or served from cache, whether every partitioned-view member is
+//! local or federated over the network, whether execution is serial or
+//! parallel, and whether the links are clean or injecting seeded faults.
+//!
+//! The corpus deliberately mixes cacheable shapes (auto-parameterizable
+//! comparisons, joins, aggregates, unions) with shapes the fast path
+//! declines (scalar subqueries, IN lists, string predicates), so every
+//! run exercises both the cached and the classic pipeline.
+
+use dhqp::{Engine, EngineDataSource, FaultConfig, ParallelConfig, RetryPolicy};
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
+use dhqp_storage::TableDef;
+use dhqp_types::{value::parse_date, Column, DataType, Interval, IntervalSet, Row, Schema, Value};
+use std::sync::Arc;
+
+/// Every SELECT replayed by each differential leg.
+const CORPUS: &[&str] = &[
+    // Auto-parameterizable integer comparisons.
+    "SELECT id, tag FROM a_all WHERE id = 7",
+    "SELECT id, tag FROM a_all WHERE id = 23",
+    "SELECT id FROM a_all WHERE id > 30 AND id <= 37",
+    "SELECT id, score FROM b_all WHERE score >= 25",
+    "SELECT id FROM b_all WHERE id BETWEEN 5 AND 12",
+    // Float literals.
+    "SELECT id FROM b_all WHERE score > 10.5",
+    // Arithmetic and modulo over parameterized literals.
+    "SELECT id, id * 2 + 1 AS odd FROM a_all WHERE id % 4 = 0",
+    "SELECT id FROM b_all WHERE score - 3 < 20 AND score / 2 > 4",
+    // String predicates stay literal (never parameterized).
+    "SELECT id FROM a_all WHERE tag = 'red'",
+    "SELECT id, tag FROM a_all WHERE tag LIKE 'b%'",
+    // Date-string coercion against a DATE column.
+    "SELECT id FROM ev_all WHERE day >= '2004-06-01'",
+    "SELECT id FROM ev_all WHERE day BETWEEN '2004-01-01' AND '2004-06-30'",
+    // NULL semantics.
+    "SELECT id FROM a_all WHERE tag IS NULL",
+    "SELECT id FROM b_all WHERE score IS NOT NULL AND score < 15",
+    // IN lists (declined by the fingerprinter's NoParam zone).
+    "SELECT id FROM a_all WHERE id IN (1, 2, 3, 33)",
+    "SELECT id FROM a_all WHERE tag IN ('green', 'blue') AND id < 20",
+    // Joins, inner and outer.
+    "SELECT a_all.id, b_all.score FROM a_all JOIN b_all ON a_all.id = b_all.id \
+     WHERE b_all.score > 12",
+    "SELECT a_all.id, b_all.score FROM a_all LEFT JOIN b_all ON a_all.id = b_all.id \
+     WHERE a_all.id <= 10",
+    // Aggregates, GROUP BY, HAVING.
+    "SELECT COUNT(*) AS n FROM a_all WHERE id >= 15",
+    "SELECT tag, COUNT(*) AS n, MAX(id) AS hi FROM a_all GROUP BY tag",
+    "SELECT tag, SUM(id) AS s FROM a_all WHERE id > 4 GROUP BY tag HAVING SUM(id) > 50",
+    "SELECT COUNT(DISTINCT tag) AS tags FROM a_all",
+    // DISTINCT / TOP / ORDER BY.
+    "SELECT DISTINCT tag FROM a_all WHERE id < 30",
+    "SELECT TOP 5 id, score FROM b_all ORDER BY score DESC, id",
+    // Scalar functions.
+    "SELECT id, UPPER(tag) AS t FROM a_all WHERE id = 3",
+    "SELECT id, ABS(score - 40) AS d FROM b_all WHERE id < 6",
+    // UNION / UNION ALL.
+    "SELECT id FROM a_all WHERE id < 4 UNION SELECT id FROM b_all WHERE id < 4",
+    "SELECT id FROM a_all WHERE id = 5 UNION ALL SELECT id FROM b_all WHERE id = 5",
+    // Subqueries: EXISTS caches, scalar subqueries fall through.
+    "SELECT id FROM a_all WHERE EXISTS (SELECT 1 FROM b_all WHERE b_all.id = a_all.id \
+     AND b_all.score > 30)",
+    "SELECT id FROM b_all WHERE score > (SELECT MIN(score) FROM b_all) AND id < 10",
+    // CAST.
+    "SELECT CAST(id AS FLOAT) AS f FROM a_all WHERE id = 11",
+];
+
+/// Deterministic seed rows shared by every engine variant.
+fn a_rows() -> Vec<Row> {
+    (1..=40)
+        .map(|id| {
+            let tag = match id % 4 {
+                0 => Value::Null,
+                1 => Value::Str("red".into()),
+                2 => Value::Str("green".into()),
+                _ => Value::Str("blue".into()),
+            };
+            Row::new(vec![Value::Int(id), tag])
+        })
+        .collect()
+}
+
+fn b_rows() -> Vec<Row> {
+    (1..=30)
+        .map(|id| {
+            let score = if id % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Int((id * 13) % 47)
+            };
+            Row::new(vec![Value::Int(id), score])
+        })
+        .collect()
+}
+
+fn ev_rows() -> Vec<Row> {
+    [
+        (1, "2004-01-15"),
+        (2, "2004-03-02"),
+        (3, "2004-06-15"),
+        (4, "2004-09-09"),
+        (5, "2004-12-15"),
+    ]
+    .iter()
+    .map(|(id, day)| Row::new(vec![Value::Int(*id), Value::Date(parse_date(day).unwrap())]))
+    .collect()
+}
+
+fn table_def(name: &str, value_col: Column) -> TableDef {
+    TableDef::new(
+        name,
+        Schema::new(vec![Column::not_null("id", DataType::Int), value_col]),
+    )
+}
+
+/// Split `rows` into a `<cut` member and a `>=cut` member on `id`, loading
+/// each half into the matching storage engine.
+fn load_split(
+    engines: [&dhqp_storage::StorageEngine; 2],
+    base: &str,
+    value_col: Column,
+    rows: Vec<Row>,
+    cut: i64,
+) -> Vec<(String, IntervalSet)> {
+    let (lo, hi): (Vec<Row>, Vec<Row>) = rows
+        .into_iter()
+        .partition(|r| matches!(r.get(0), Value::Int(v) if *v < cut));
+    let halves = [
+        (
+            lo,
+            IntervalSet::single(Interval::less_than(Value::Int(cut))),
+        ),
+        (hi, IntervalSet::single(Interval::at_least(Value::Int(cut)))),
+    ];
+    let mut members = Vec::new();
+    for (i, ((rows, domain), engine)) in halves.into_iter().zip(engines).enumerate() {
+        let table = format!("{base}_p{i}");
+        engine
+            .create_table(table_def(&table, value_col.clone()))
+            .unwrap();
+        engine.insert_rows(&table, &rows).unwrap();
+        engine.analyze(&table, 8).unwrap();
+        members.push((table, domain));
+    }
+    members
+}
+
+/// All three views with every member table in the head engine itself.
+fn local_engine() -> Engine {
+    let head = Engine::new("head-local");
+    for (base, value_col, rows, cut) in datasets() {
+        let members = load_split(
+            [head.storage().as_ref(), head.storage().as_ref()],
+            base,
+            value_col,
+            rows,
+            cut,
+        );
+        head.define_partitioned_view(
+            &format!("{base}_all"),
+            "id",
+            members.into_iter().map(|(t, d)| (None, t, d)).collect(),
+        )
+        .unwrap();
+    }
+    head
+}
+
+fn datasets() -> Vec<(&'static str, Column, Vec<Row>, i64)> {
+    vec![
+        ("a", Column::new("tag", DataType::Str), a_rows(), 21),
+        ("b", Column::new("score", DataType::Int), b_rows(), 16),
+        ("ev", Column::new("day", DataType::Date), ev_rows(), 3),
+    ]
+}
+
+/// All three views federated: the low half of every table on `member1`,
+/// the high half on `member2`, both behind LAN links. `faults` arms each
+/// link with a seeded chaos plan (the engine's standard retry policy must
+/// absorb it without changing answers).
+fn distributed_engine(faults: Option<u64>) -> Engine {
+    let head = Engine::new("head-dist");
+    let m1 = Engine::new("member1-engine");
+    let m2 = Engine::new("member2-engine");
+    for (i, m) in [&m1, &m2].iter().enumerate() {
+        let link = NetworkLink::new(format!("member{}", i + 1), NetworkConfig::lan());
+        let inner: Arc<dyn dhqp_oledb::DataSource> = Arc::new(EngineDataSource::new((*m).clone()));
+        let wrapped = match faults {
+            Some(seed) => NetworkedDataSource::with_faults(
+                inner,
+                link,
+                FaultConfig::one_transient_per_link(seed),
+            ),
+            None => NetworkedDataSource::new(inner, link),
+        };
+        head.add_linked_server(&format!("member{}", i + 1), Arc::new(wrapped))
+            .unwrap();
+    }
+    if faults.is_some() {
+        head.set_retry_policy(RetryPolicy::standard());
+    }
+    for (base, value_col, rows, cut) in datasets() {
+        let members = load_split(
+            [m1.storage().as_ref(), m2.storage().as_ref()],
+            base,
+            value_col,
+            rows,
+            cut,
+        );
+        head.define_partitioned_view(
+            &format!("{base}_all"),
+            "id",
+            members
+                .into_iter()
+                .enumerate()
+                .map(|(i, (t, d))| (Some(format!("member{}", i + 1)), t, d))
+                .collect(),
+        )
+        .unwrap();
+    }
+    head
+}
+
+/// One corpus statement's outcome: a sorted stringified multiset of rows,
+/// or the error text. Errors participate in the diff too — both sides must
+/// fail the same statements.
+fn outcome(engine: &Engine, sql: &str) -> std::result::Result<Vec<String>, String> {
+    match engine.execute(sql) {
+        Ok(r) => {
+            let mut rows: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+            rows.sort();
+            Ok(rows)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn run_corpus(engine: &Engine) -> Vec<(String, std::result::Result<Vec<String>, String>)> {
+    CORPUS
+        .iter()
+        .map(|sql| (sql.to_string(), outcome(engine, sql)))
+        .collect()
+}
+
+fn assert_same(
+    label_a: &str,
+    a: &[(String, std::result::Result<Vec<String>, String>)],
+    label_b: &str,
+    b: &[(String, std::result::Result<Vec<String>, String>)],
+) {
+    for ((sql, ra), (_, rb)) in a.iter().zip(b) {
+        assert_eq!(ra, rb, "{label_a} vs {label_b} diverged on: {sql}");
+    }
+}
+
+#[test]
+fn all_local_matches_distributed() {
+    let local = local_engine();
+    let dist = distributed_engine(None);
+    let a = run_corpus(&local);
+    let b = run_corpus(&dist);
+    assert_same("all-local", &a, "distributed", &b);
+    // Sanity: the corpus must actually return data, not 30 empty sets.
+    let non_empty = a
+        .iter()
+        .filter(|(_, r)| matches!(r, Ok(v) if !v.is_empty()))
+        .count();
+    assert!(
+        non_empty >= 20,
+        "corpus too degenerate: {non_empty} non-empty"
+    );
+}
+
+#[test]
+fn cold_cache_matches_warm_cache() {
+    let dist = distributed_engine(None);
+    // This test is about the cache: force it on even under a
+    // DHQP_PLAN_CACHE=0 suite leg.
+    dist.set_plan_cache_enabled(true);
+    let cold = run_corpus(&dist);
+    let warm = run_corpus(&dist);
+    assert_same("cold-cache", &cold, "warm-cache", &warm);
+    let m = dist.metrics();
+    assert!(
+        m.plan_cache_hits > 0,
+        "warm pass must serve cached plans: {m:?}"
+    );
+    assert!(m.plan_cache_misses > 0, "cold pass must compile: {m:?}");
+}
+
+#[test]
+fn cache_disabled_matches_cache_enabled() {
+    let on = distributed_engine(None);
+    on.set_plan_cache_enabled(true);
+    let off = distributed_engine(None);
+    off.set_plan_cache_enabled(false);
+    // Warm the enabled engine so its second pass is fully cache-served.
+    run_corpus(&on);
+    let a = run_corpus(&on);
+    let b = run_corpus(&off);
+    assert_same("cache-on(warm)", &a, "cache-off", &b);
+    assert_eq!(off.metrics().plan_cache_hits, 0);
+    assert_eq!(off.metrics().plan_cache_misses, 0);
+}
+
+#[test]
+fn parallel_execution_matches_serial() {
+    let serial = distributed_engine(None);
+    let par = distributed_engine(None);
+    par.set_parallel_config(ParallelConfig::parallel());
+    // Replay twice on the parallel engine so cached plans execute under
+    // parallel dispatch too.
+    run_corpus(&par);
+    let a = run_corpus(&serial);
+    let b = run_corpus(&par);
+    assert_same("serial", &a, "parallel", &b);
+}
+
+#[test]
+fn faulted_links_with_retry_match_clean_links() {
+    let clean = distributed_engine(None);
+    let flaky = distributed_engine(Some(1));
+    run_corpus(&flaky); // cold pass: compile under injected faults
+    let a = run_corpus(&clean);
+    let b = run_corpus(&flaky); // warm pass: cached plans under faults
+    assert_same("clean-links", &a, "faulted-links", &b);
+    let m = flaky.metrics();
+    assert!(
+        m.remote_retries > 0,
+        "fault plan never fired — test is vacuous: {m:?}"
+    );
+}

@@ -1,0 +1,362 @@
+//! Parameterized plan cache: hit/miss observability, epoch invalidation
+//! through every mutation path, the TTL'd remote-statistics cache, and
+//! the regression that a replaced linked server's old plans are never
+//! reused.
+
+use dhqp::{Engine, EngineDataSource};
+use dhqp_storage::TableDef;
+use dhqp_types::{Column, DataType, Interval, IntervalSet, Row, Schema, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn local_engine() -> Engine {
+    let e = Engine::new("local");
+    e.create_table(TableDef::new(
+        "t",
+        Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("name", DataType::Str),
+        ]),
+    ))
+    .unwrap();
+    let rows: Vec<Row> = [(1, "alice"), (2, "bob"), (3, "carol")]
+        .iter()
+        .map(|(id, n)| Row::new(vec![Value::Int(*id), Value::Str(n.to_string())]))
+        .collect();
+    e.insert("t", &rows).unwrap();
+    // Cache behaviour is what this file tests: force it on even when the
+    // suite runs under a DHQP_PLAN_CACHE=0 leg.
+    e.set_plan_cache_enabled(true);
+    e
+}
+
+/// A remote engine holding `rt(k, v)` with the given rows, analyzed so a
+/// statistics bundle ships with its metadata.
+fn remote_with(rows: &[(i64, &str)]) -> Engine {
+    let r = Engine::new("remote-engine");
+    r.create_table(TableDef::new(
+        "rt",
+        Schema::new(vec![
+            Column::not_null("k", DataType::Int),
+            Column::new("v", DataType::Str),
+        ]),
+    ))
+    .unwrap();
+    let rows: Vec<Row> = rows
+        .iter()
+        .map(|(k, v)| Row::new(vec![Value::Int(*k), Value::Str(v.to_string())]))
+        .collect();
+    r.insert("rt", &rows).unwrap();
+    r.analyze("rt", 8).unwrap();
+    r
+}
+
+fn link(head: &Engine, name: &str, remote: &Engine) {
+    head.add_linked_server(name, Arc::new(EngineDataSource::new(remote.clone())))
+        .unwrap();
+}
+
+/// A head engine with the plan cache force-enabled (env-leg independent).
+fn head_engine() -> Engine {
+    let head = Engine::new("head");
+    head.set_plan_cache_enabled(true);
+    head
+}
+
+#[test]
+fn second_execution_hits_and_explain_analyze_says_so() {
+    let e = local_engine();
+    let sql = "SELECT name FROM t WHERE id = 2";
+    let first = e.execute_analyze(sql).unwrap();
+    assert_eq!(first.cache_hit, Some(false));
+    assert!(
+        first.render().contains("[plan cache: miss]"),
+        "{}",
+        first.render()
+    );
+    let second = e.execute_analyze(sql).unwrap();
+    assert_eq!(second.cache_hit, Some(true));
+    assert!(
+        second.render().contains("[plan cache: hit]"),
+        "{}",
+        second.render()
+    );
+    assert_eq!(first.result.rows, second.result.rows);
+    // The statement form renders the same marker.
+    let r = e
+        .execute("EXPLAIN ANALYZE SELECT name FROM t WHERE id = 2")
+        .unwrap();
+    let text = format!("{:?}", r.rows);
+    assert!(text.contains("[plan cache: hit]"), "{text}");
+    let m = e.metrics();
+    assert!(m.plan_cache_hits >= 2, "{m:?}");
+    assert_eq!(m.plan_cache_misses, 1, "{m:?}");
+}
+
+#[test]
+fn fingerprint_equal_literals_share_one_entry() {
+    let e = local_engine();
+    let r1 = e.query("SELECT name FROM t WHERE id = 1").unwrap();
+    let r2 = e.query("SELECT name FROM t WHERE id = 2").unwrap();
+    let r3 = e.query("SELECT name FROM t WHERE id = 3").unwrap();
+    assert_eq!(r1.value(0, 0), &Value::Str("alice".into()));
+    assert_eq!(r2.value(0, 0), &Value::Str("bob".into()));
+    assert_eq!(r3.value(0, 0), &Value::Str("carol".into()));
+    assert_eq!(e.plan_cache_len(), 1, "one shared entry for all literals");
+    let m = e.metrics();
+    assert_eq!(m.plan_cache_misses, 1, "{m:?}");
+    assert_eq!(m.plan_cache_hits, 2, "{m:?}");
+}
+
+/// Int and float literals produce the same template (the parameter's type
+/// is not part of the shape), so a plan compiled for an integer literal
+/// serves a float literal on a hit — and must still compare correctly.
+#[test]
+fn int_and_float_literals_share_a_template_correctly() {
+    let e = local_engine();
+    let n = |sql: &str| match e.query(sql).unwrap().scalar().unwrap() {
+        Value::Int(n) => *n,
+        other => panic!("{other}"),
+    };
+    assert_eq!(n("SELECT COUNT(*) AS c FROM t WHERE id > 1"), 2);
+    assert_eq!(n("SELECT COUNT(*) AS c FROM t WHERE id > 1.5"), 2);
+    assert_eq!(n("SELECT COUNT(*) AS c FROM t WHERE id > 2.5"), 1);
+    assert_eq!(e.plan_cache_len(), 1, "one template across int and float");
+    assert_eq!(e.metrics().plan_cache_hits, 2);
+}
+
+#[test]
+fn user_params_compose_with_auto_parameterization() {
+    let e = local_engine();
+    let sql = "SELECT name FROM t WHERE id = @who AND 1 = 1";
+    let params = |id: i64| std::collections::HashMap::from([("who".to_string(), Value::Int(id))]);
+    let r1 = e.query_with_params(sql, params(1)).unwrap();
+    let r2 = e.query_with_params(sql, params(3)).unwrap();
+    assert_eq!(r1.value(0, 0), &Value::Str("alice".into()));
+    assert_eq!(r2.value(0, 0), &Value::Str("carol".into()));
+    assert!(e.metrics().plan_cache_hits >= 1);
+}
+
+/// The small-fix regression: re-registering a linked server under the same
+/// name must evict the old server's plans — the replacement engine's data
+/// (and schema) answer every subsequent execution.
+#[test]
+fn replaced_server_never_reuses_old_plan() {
+    let head = head_engine();
+    let old = remote_with(&[(1, "old-world")]);
+    link(&head, "srv", &old);
+    let sql = "SELECT v FROM srv.db.dbo.rt WHERE k = 1";
+    let r = head.query(sql).unwrap();
+    assert_eq!(r.value(0, 0), &Value::Str("old-world".into()));
+    assert_eq!(head.metrics().plan_cache_misses, 1);
+
+    let new = remote_with(&[(1, "new-world")]);
+    link(&head, "srv", &new); // same name: replacement, epoch bump
+    let r = head.query(sql).unwrap();
+    assert_eq!(
+        r.value(0, 0),
+        &Value::Str("new-world".into()),
+        "stale plan answered from the replaced server"
+    );
+    let m = head.metrics();
+    assert_eq!(m.plan_cache_hits, 0, "old plan must never be a hit: {m:?}");
+    assert_eq!(m.plan_cache_misses, 2, "{m:?}");
+    assert!(m.plan_cache_evictions >= 1, "{m:?}");
+    // The fresh plan is normal: it hits on re-execution.
+    head.query(sql).unwrap();
+    assert_eq!(head.metrics().plan_cache_hits, 1);
+}
+
+#[test]
+fn remote_ddl_with_clear_metadata_cache_invalidates() {
+    let head = head_engine();
+    let remote = remote_with(&[(1, "before")]);
+    link(&head, "srv", &remote);
+    let sql = "SELECT v FROM srv.db.dbo.rt WHERE k = 1";
+    head.query(sql).unwrap();
+    head.query(sql).unwrap();
+    assert_eq!(head.metrics().plan_cache_hits, 1);
+
+    // Remote DDL: the column the cached plan ships is renamed away.
+    remote.storage().drop_table("rt").unwrap();
+    remote
+        .storage()
+        .create_table(TableDef::new(
+            "rt",
+            Schema::new(vec![
+                Column::not_null("k", DataType::Int),
+                Column::new("w", DataType::Str),
+            ]),
+        ))
+        .unwrap();
+    remote
+        .storage()
+        .insert_rows(
+            "rt",
+            &[Row::new(vec![Value::Int(1), Value::Str("after".into())])],
+        )
+        .unwrap();
+
+    head.clear_metadata_cache();
+    // The old statement now fails its (fresh) bind instead of shipping a
+    // stale plan that references the dropped column...
+    let err = head.query(sql).unwrap_err();
+    assert!(err.to_string().contains('v'), "{err}");
+    // ...and the new column resolves against the refetched schema.
+    let r = head
+        .query("SELECT w FROM srv.db.dbo.rt WHERE k = 1")
+        .unwrap();
+    assert_eq!(r.value(0, 0), &Value::Str("after".into()));
+    let m = head.metrics();
+    assert!(m.plan_cache_evictions >= 1, "{m:?}");
+    assert_eq!(m.plan_cache_hits, 1, "no hit after invalidation: {m:?}");
+}
+
+/// A DPV member altered behind the federation's back: the cached plan is
+/// still *found*, but delayed schema validation re-checks every member the
+/// plan touches on each execution and refuses to run it; redefining the
+/// view (a member change at the head) then evicts the stale plan.
+#[test]
+fn dpv_member_drift_fails_cached_plan_and_redefinition_evicts() {
+    let head = head_engine();
+    let m1 = remote_with(&[(1, "one"), (2, "two")]);
+    let m2 = remote_with(&[(10, "ten"), (11, "eleven")]);
+    link(&head, "member1", &m1);
+    link(&head, "member2", &m2);
+    let members = vec![
+        (
+            Some("member1".to_string()),
+            "rt".to_string(),
+            IntervalSet::single(Interval::less_than(Value::Int(10))),
+        ),
+        (
+            Some("member2".to_string()),
+            "rt".to_string(),
+            IntervalSet::single(Interval::at_least(Value::Int(10))),
+        ),
+    ];
+    head.define_partitioned_view("rt_all", "k", members.clone())
+        .unwrap();
+    let sql = "SELECT v FROM rt_all WHERE k >= 1";
+    head.query(sql).unwrap();
+    head.query(sql).unwrap();
+    assert_eq!(head.metrics().plan_cache_hits, 1);
+
+    // Member 2's schema drifts.
+    m2.storage().drop_table("rt").unwrap();
+    m2.storage()
+        .create_table(TableDef::new(
+            "rt",
+            Schema::new(vec![Column::not_null("something_else", DataType::Int)]),
+        ))
+        .unwrap();
+    let err = head.query(sql).unwrap_err();
+    assert_eq!(err.kind(), "schema-drift", "{err}");
+
+    // Repair the member and redefine the view: the schema epoch bump
+    // evicts the stale plan, and a fresh compile succeeds.
+    m2.storage().drop_table("rt").unwrap();
+    drop(m2);
+    let m2b = remote_with(&[(10, "ten"), (11, "eleven")]);
+    link(&head, "member2", &m2b);
+    head.define_partitioned_view("rt_all", "k", members)
+        .unwrap();
+    let r = head.query(sql).unwrap();
+    assert_eq!(r.len(), 4);
+    let m = head.metrics();
+    assert!(m.plan_cache_evictions >= 1, "{m:?}");
+}
+
+#[test]
+fn stats_ttl_zero_forces_refetch() {
+    let head = head_engine();
+    let remote = remote_with(&[(1, "x"), (2, "y")]);
+    link(&head, "srv", &remote);
+    head.set_plan_cache_enabled(false); // isolate the metadata path
+    head.query("SELECT v FROM srv.db.dbo.rt WHERE k = 1")
+        .unwrap();
+    head.query("SELECT v FROM srv.db.dbo.rt WHERE k = 2")
+        .unwrap();
+    let m = head.metrics();
+    assert!(m.stats_cache_hits >= 1, "fresh stats served again: {m:?}");
+    let base_misses = m.stats_cache_misses;
+
+    head.set_stats_ttl(Duration::ZERO);
+    head.query("SELECT v FROM srv.db.dbo.rt WHERE k = 1")
+        .unwrap();
+    head.query("SELECT v FROM srv.db.dbo.rt WHERE k = 2")
+        .unwrap();
+    let m = head.metrics();
+    assert!(
+        m.stats_cache_misses >= base_misses + 2,
+        "zero TTL must refetch statistics every bind: {m:?}"
+    );
+}
+
+#[test]
+fn disabling_the_cache_bypasses_it_entirely() {
+    let e = local_engine();
+    e.set_plan_cache_enabled(false);
+    let sql = "SELECT name FROM t WHERE id = 1";
+    e.query(sql).unwrap();
+    e.query(sql).unwrap();
+    let m = e.metrics();
+    assert_eq!((m.plan_cache_hits, m.plan_cache_misses), (0, 0), "{m:?}");
+    assert_eq!(e.plan_cache_len(), 0);
+    // Re-enabling resumes normal miss-then-hit behavior.
+    e.set_plan_cache_enabled(true);
+    e.query(sql).unwrap();
+    e.query(sql).unwrap();
+    let m = e.metrics();
+    assert_eq!((m.plan_cache_hits, m.plan_cache_misses), (1, 1), "{m:?}");
+}
+
+#[test]
+fn capacity_pressure_evicts_lru() {
+    let e = local_engine();
+    e.set_plan_cache_capacity(2);
+    e.query("SELECT name FROM t WHERE id = 1").unwrap();
+    e.query("SELECT id FROM t WHERE id > 1").unwrap();
+    e.query("SELECT COUNT(*) AS n FROM t WHERE id < 3").unwrap();
+    assert!(e.plan_cache_len() <= 2);
+    let m = e.metrics();
+    assert_eq!(m.plan_cache_misses, 3, "{m:?}");
+    assert!(m.plan_cache_evictions >= 1, "{m:?}");
+    // The evicted (least recently used) shape recompiles as a miss.
+    e.query("SELECT name FROM t WHERE id = 2").unwrap();
+    assert_eq!(e.metrics().plan_cache_misses, 4);
+}
+
+#[test]
+fn optimizer_config_change_invalidates() {
+    let e = local_engine();
+    let sql = "SELECT name FROM t WHERE id = 1";
+    e.query(sql).unwrap();
+    e.query(sql).unwrap();
+    assert_eq!(e.metrics().plan_cache_hits, 1);
+    let mut config = e.optimizer_config();
+    config.simplify.constraint_pruning = false;
+    e.set_optimizer_config(config);
+    e.query(sql).unwrap();
+    let m = e.metrics();
+    assert_eq!(m.plan_cache_hits, 1, "config change must not reuse: {m:?}");
+    assert_eq!(m.plan_cache_misses, 2, "{m:?}");
+}
+
+#[test]
+fn local_ddl_invalidates() {
+    let e = local_engine();
+    let sql = "SELECT name FROM t WHERE id = 1";
+    e.query(sql).unwrap();
+    e.query(sql).unwrap();
+    assert_eq!(e.metrics().plan_cache_hits, 1);
+    e.create_table(TableDef::new(
+        "other",
+        Schema::new(vec![Column::not_null("x", DataType::Int)]),
+    ))
+    .unwrap();
+    e.query(sql).unwrap();
+    let m = e.metrics();
+    assert_eq!(m.plan_cache_hits, 1, "DDL must invalidate: {m:?}");
+    assert_eq!(m.plan_cache_misses, 2, "{m:?}");
+}

@@ -300,3 +300,149 @@ proptest! {
         let _ = dhqp_sqlfront::Lexer::new(&input).tokenize();
     }
 }
+
+// ---------------------------------------------------------------------------
+// auto-parameterization (plan-cache fingerprinting)
+// ---------------------------------------------------------------------------
+
+/// One generated comparison predicate plus the literal-erased "shape" it
+/// belongs to. Int and float literal *values* are interchangeable within a
+/// shape (both auto-parameterize); everything else — columns, operators,
+/// string literals, IN lists — is part of the shape.
+#[derive(Clone, Debug)]
+struct GenPred {
+    sql: String,
+    shape: String,
+}
+
+fn arb_pred() -> impl Strategy<Value = GenPred> {
+    fn col() -> impl Strategy<Value = &'static str> {
+        prop_oneof![Just("a"), Just("b"), Just("c")]
+    }
+    let op = prop_oneof![
+        Just("="),
+        Just("<>"),
+        Just("<"),
+        Just("<="),
+        Just(">"),
+        Just(">=")
+    ];
+    prop_oneof![
+        // column <op> numeric-literal: parameterized.
+        (col(), op, -999i64..999, any::<bool>()).prop_map(|(c, o, n, float)| {
+            let lit = if float {
+                format!("{:?}", n as f64 / 4.0)
+            } else {
+                n.to_string()
+            };
+            GenPred {
+                sql: format!("{c} {o} {lit}"),
+                shape: format!("{c} {o} ?"),
+            }
+        }),
+        // column = string-literal: stays literal, so the value is shape.
+        (col(), "[a-z]{0,5}").prop_map(|(c, s)| GenPred {
+            sql: format!("{c} = '{s}'"),
+            shape: format!("{c} = '{s}'"),
+        }),
+        // BETWEEN two numeric literals: both parameterized.
+        (col(), -99i64..99, 0i64..99).prop_map(|(c, lo, w)| GenPred {
+            sql: format!("{c} BETWEEN {lo} AND {}", lo + w),
+            shape: format!("{c} BETWEEN ? AND ?"),
+        }),
+        // IN list: contents stay literal, so length and values are shape.
+        (col(), proptest::collection::vec(-20i64..20, 1..4)).prop_map(|(c, vs)| {
+            let list = vs
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            GenPred {
+                sql: format!("{c} IN ({list})"),
+                shape: format!("{c} IN ({list})"),
+            }
+        }),
+    ]
+}
+
+/// A parseable SELECT with its literal-erased shape. Two generated queries
+/// have equal shapes iff they differ only in parameterizable literals.
+fn arb_parameterizable_select() -> impl Strategy<Value = GenPred> {
+    let proj = prop_oneof![
+        Just("*".to_string()),
+        Just("a, b".to_string()),
+        Just("COUNT(*) AS n".to_string()),
+    ];
+    let table = prop_oneof![Just("t1"), Just("t2")];
+    let top = prop_oneof![
+        Just(String::new()),
+        (1u64..9).prop_map(|n| format!("TOP {n} "))
+    ];
+    let tail = prop_oneof![
+        Just(String::new()),
+        Just(" ORDER BY a".to_string()),
+        Just(" ORDER BY b DESC".to_string()),
+    ];
+    (
+        top,
+        proj,
+        table,
+        proptest::collection::vec((arb_pred(), any::<bool>()), 1..4),
+        tail,
+    )
+        .prop_map(|(top, proj, table, preds, tail)| {
+            let mut where_sql = String::new();
+            let mut where_shape = String::new();
+            for (i, (p, or)) in preds.iter().enumerate() {
+                if i > 0 {
+                    let conj = if *or { " OR " } else { " AND " };
+                    where_sql.push_str(conj);
+                    where_shape.push_str(conj);
+                }
+                where_sql.push_str(&p.sql);
+                where_shape.push_str(&p.shape);
+            }
+            GenPred {
+                sql: format!("SELECT {top}{proj} FROM {table} WHERE {where_sql}{tail}"),
+                shape: format!("SELECT {top}{proj} FROM {table} WHERE {where_shape}{tail}"),
+            }
+        })
+}
+
+proptest! {
+    /// Extraction followed by re-substitution is the identity, judged at
+    /// the AST level (whitespace and token spelling may differ).
+    #[test]
+    fn auto_parameterization_round_trips(q in arb_parameterizable_select()) {
+        let fp = dhqp_sqlfront::fingerprint(&q.sql)
+            .expect("generated SELECTs are always fingerprintable");
+        let restored = dhqp_sqlfront::fingerprint::substitute(&fp.template, &fp.params)
+            .expect("template re-substitution");
+        let original = dhqp_sqlfront::parse_statement(&q.sql).expect("generated SQL parses");
+        let round = dhqp_sqlfront::parse_statement(&restored).expect("restored SQL parses");
+        prop_assert_eq!(format!("{original:?}"), format!("{round:?}"));
+        // Every extracted parameter lives in the reserved namespace.
+        for (name, _) in &fp.params {
+            prop_assert!(name.starts_with(dhqp_sqlfront::AUTO_PARAM_PREFIX));
+        }
+    }
+
+    /// Literal-only variation collapses to one template; any structural
+    /// variation — different columns, operators, strings, IN lists, TOP,
+    /// projection, table — always gets its own template.
+    #[test]
+    fn templates_collide_exactly_on_shape(
+        q1 in arb_parameterizable_select(),
+        q2 in arb_parameterizable_select(),
+    ) {
+        let fp1 = dhqp_sqlfront::fingerprint(&q1.sql).unwrap();
+        let fp2 = dhqp_sqlfront::fingerprint(&q2.sql).unwrap();
+        prop_assert_eq!(fp1.template == fp2.template, q1.shape == q2.shape);
+    }
+
+    /// The fingerprinter itself never panics, whatever the input.
+    #[test]
+    fn fingerprint_never_panics(input in ".{0,100}") {
+        let _ = dhqp_sqlfront::fingerprint(&input);
+    }
+}
