@@ -5,7 +5,7 @@
 //! cargo run --release -p dhqp-bench --bin report
 //! ```
 
-use dhqp::{Engine, EngineDataSource, OptimizationPhase, ParallelConfig};
+use dhqp::{Engine, EngineDataSource, OptimizationPhase, ParallelConfig, TraceConfig};
 use dhqp_bench::{
     dpv_federation, example1, remote_dpv_federation, reset_links, total_traffic, warm,
     EXAMPLE1_PLAN_A_SQL, EXAMPLE1_SQL,
@@ -878,11 +878,77 @@ fn e13_plan_cache() {
     println!("→ wrote BENCH_plan_cache.json");
 }
 
+fn e14_trace_overhead() {
+    header("E14 — hierarchical tracing overhead on the E12 federation scan");
+    let scale = TpchScale {
+        nations: 10,
+        customers: 300,
+        suppliers: 50,
+        orders: 2000,
+        lineitems_per_order: 3,
+    };
+    let members = 4usize;
+    let fed = remote_dpv_federation(scale, members, NetworkConfig::wan_timed());
+    let sql = "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem_all";
+
+    // Best of three per configuration, as in E12: WAN sleeps dominate, so
+    // the minimum is the stable wall-clock figure.
+    let measure = |trace: TraceConfig| {
+        fed.head.set_trace_config(trace);
+        warm(&fed.head, sql);
+        let mut best: Option<(usize, std::time::Duration)> = None;
+        for _ in 0..3 {
+            reset_links(&fed.links);
+            let (r, t) = timed(|| fed.head.query(sql).unwrap());
+            if best.is_none_or(|(_, b)| t < b) {
+                best = Some((r.len(), t));
+            }
+        }
+        best.expect("measured")
+    };
+
+    let (rows_off, t_off) = measure(TraceConfig::disabled());
+    let (rows_on, t_on) = measure(TraceConfig::enabled());
+    assert_eq!(rows_off, rows_on, "tracing must not change results");
+    let spans = fed
+        .head
+        .last_trace()
+        .expect("traced run retains its span tree")
+        .span_count();
+    let overhead = t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0;
+
+    println!("{:<16} {:>10} {:>12}", "tracing", "rows", "time");
+    println!("{:<16} {rows_off:>10} {t_off:>12.2?}", "off");
+    println!("{:<16} {rows_on:>10} {t_on:>12.2?}", "on");
+    println!(
+        "→ tracing adds {:.1}% wall time ({spans} spans per query).",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.05,
+        "tracing overhead must stay under 5%: {:.1}%",
+        overhead * 100.0
+    );
+
+    // Hand-formatted JSON: the offline serde shim is marker-only.
+    let json = format!(
+        "{{\n  \"experiment\": \"trace_overhead\",\n  \"query\": \"{sql}\",\n  \
+         \"members\": {members},\n  \"rows\": {rows_off},\n  \
+         \"trace_off_ms\": {:.3},\n  \"trace_on_ms\": {:.3},\n  \
+         \"overhead_pct\": {:.2},\n  \"spans\": {spans}\n}}\n",
+        t_off.as_secs_f64() * 1e3,
+        t_on.as_secs_f64() * 1e3,
+        overhead * 100.0,
+    );
+    std::fs::write("BENCH_trace_overhead.json", json).expect("write BENCH json");
+    println!("→ wrote BENCH_trace_overhead.json");
+}
+
 fn main() {
     println!("dhqp experiment report — regenerates every paper table/figure reproduction");
     println!("(one execution per configuration; see `cargo bench` for statistical timing)");
     let filter = std::env::args().nth(1);
-    let experiments: [(&str, fn()); 13] = [
+    let experiments: [(&str, fn()); 14] = [
         ("e1", e1_figure4),
         ("e2", e2_table1),
         ("e3", e3_table2),
@@ -896,6 +962,7 @@ fn main() {
         ("e11", e11_federation),
         ("e12", e12_parallel),
         ("e13", e13_plan_cache),
+        ("e14", e14_trace_overhead),
     ];
     for (name, run) in experiments {
         if filter.as_deref().is_none_or(|f| f == name) {

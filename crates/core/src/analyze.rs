@@ -10,12 +10,15 @@
 //! for subtrees the nested-loop join re-opens per outer row.
 
 use crate::result::QueryResult;
+use crate::trace::QueryTrace;
 use dhqp_executor::NodeRuntime;
 use dhqp_optimizer::explain::ExplainPlan;
 use dhqp_optimizer::{PhysNode, PhysicalOp};
 use dhqp_types::{Column, DataType, Row, Schema, Value};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Everything `EXPLAIN ANALYZE` learned about one execution.
 #[derive(Debug, Clone)]
@@ -34,6 +37,20 @@ pub struct AnalyzeReport {
     /// Age of the oldest remote statistics bundle the plan was costed
     /// against (cache-path executions of remote-touching plans only).
     pub stats_age: Option<std::time::Duration>,
+    /// The statement's span tree, when tracing was armed.
+    pub trace: Option<Arc<QueryTrace>>,
+}
+
+/// Adaptive duration formatting: µs below 1 ms, ms below 1 s, else s.
+pub(crate) fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
 }
 
 impl AnalyzeReport {
@@ -88,6 +105,12 @@ impl AnalyzeReport {
         if stats.early_exit {
             out.push_str("-- early exit: phase threshold met\n");
         }
+        if let Some(trace) = &self.trace {
+            out.push_str("-- trace:\n");
+            for line in trace.render().lines() {
+                let _ = writeln!(out, "--   {line}");
+            }
+        }
         out
     }
 
@@ -122,19 +145,31 @@ fn render_node(
     match runtime.get(&id) {
         Some(rt) => {
             let rescans = rt.opens.saturating_sub(1);
+            // Self time: this node's cursor time minus its direct
+            // children's (the executor's cumulative timings nest).
+            let mut children_time = Duration::ZERO;
+            let mut child_id = id + 1;
+            for c in &node.children {
+                if let Some(crt) = runtime.get(&child_id) {
+                    children_time += crt.next_time;
+                }
+                child_id += c.subtree_size();
+            }
+            let cum = fmt_duration(rt.next_time);
+            let own = fmt_duration(rt.next_time.saturating_sub(children_time));
             if matches!(node.op, PhysicalOp::StartupFilter { .. }) {
                 // Startup filters pass rows through; estimates would just
                 // repeat the child's.
                 let _ = writeln!(
                     out,
-                    "{pad}{label}  actual_rows={} rescans={rescans} time={:.2?}",
-                    rt.rows, rt.next_time
+                    "{pad}{label}  actual_rows={} rescans={rescans} time={cum} self={own}",
+                    rt.rows
                 );
             } else {
                 let _ = writeln!(
                     out,
-                    "{pad}{label}  est_rows={:.0} actual_rows={} rescans={rescans} time={:.2?}",
-                    node.est_rows, rt.rows, rt.next_time
+                    "{pad}{label}  est_rows={:.0} actual_rows={} rescans={rescans} time={cum} self={own}",
+                    node.est_rows, rt.rows
                 );
             }
             if rt.retries > 0 {
@@ -159,6 +194,16 @@ fn render_node(
                     remote.traffic.rows,
                     remote.traffic.bytes
                 );
+                if let Some(l) = &remote.link_latency {
+                    let _ = writeln!(
+                        out,
+                        "{pad}    [link latency: p50={} p95={} p99={} max={}]",
+                        fmt_duration(Duration::from_micros(l.p50_us)),
+                        fmt_duration(Duration::from_micros(l.p95_us)),
+                        fmt_duration(Duration::from_micros(l.p99_us)),
+                        fmt_duration(Duration::from_micros(l.max_us)),
+                    );
+                }
                 let _ = writeln!(out, "{pad}    [shipped: {}]", remote.sql);
             }
         }

@@ -667,7 +667,12 @@ impl<'e> Binder<'e> {
         alias: Option<&str>,
     ) -> Result<(LogicalExpr, Vec<Binding>)> {
         let table_name = name.object().to_string();
-        let server = name.server().map(str::to_string);
+        let mut server = name.server().map(str::to_string);
+        // A two-part `sys.<view>` name addresses the built-in DMV provider:
+        // SQL Server's `sys` schema, served here as a linked server.
+        if server.is_none() && name.0.len() == 2 && name.0[0].eq_ignore_ascii_case("sys") {
+            server = Some(crate::dmv::SYS_SERVER.to_string());
+        }
         // A one-part name may be a partitioned view.
         if server.is_none() && name.0.len() == 1 {
             if let Some(view) = self.engine.partitioned_view(&table_name) {

@@ -1,0 +1,264 @@
+//! The built-in `sys` provider: dynamic management views served through
+//! the ordinary OLE DB-style provider model.
+//!
+//! SQL Server exposes its own internals as `sys.dm_exec_*` rowsets; this
+//! module does the same by registering a *simple provider* (§3.3 — only
+//! `open_rowset`, no query support) under the linked-server name `sys` in
+//! every engine. Observability data therefore enters plans as normal `Get`
+//! operators: the optimizer plans a RemoteScan, the executor opens a
+//! rowset, and filtering/joining/ordering over DMV rows is handled by the
+//! DHQP exactly as for any other provider — the paper's abstraction,
+//! dogfooded.
+//!
+//! Views:
+//! * `sys.dm_exec_requests` — the recent-query ring, one row per finished
+//!   statement (including its error, if any).
+//! * `sys.dm_exec_query_stats` — per-fingerprint execution aggregates from
+//!   the parameterized plan cache.
+//! * `sys.dm_link_stats` — per-linked-server wire traffic and modeled
+//!   round-trip latency percentiles.
+//! * `sys.dm_os_counters` — the engine's [`crate::MetricsSnapshot`] plus
+//!   end-to-end query-latency percentiles, as `(name, value)` rows.
+//!
+//! Rows materialize at rowset-open time from live engine state; the
+//! provider holds only a weak reference to the engine, since the engine's
+//! own registry owns the provider.
+
+use crate::engine::Inner;
+use dhqp_oledb::{
+    ColumnInfo, DataSource, MemRowset, ProviderCapabilities, Rowset, Session, TableInfo,
+};
+use dhqp_types::{DataType, DhqpError, Result, Row, Value};
+use std::sync::{Arc, Weak};
+
+/// The linked-server name every engine registers its DMV provider under.
+pub const SYS_SERVER: &str = "sys";
+
+const DM_EXEC_REQUESTS: &str = "dm_exec_requests";
+const DM_EXEC_QUERY_STATS: &str = "dm_exec_query_stats";
+const DM_LINK_STATS: &str = "dm_link_stats";
+const DM_OS_COUNTERS: &str = "dm_os_counters";
+
+/// The `sys` data source. Holds a weak engine reference: the engine's
+/// linked-server registry owns this provider, so a strong one would leak
+/// the engine in a cycle.
+pub struct SysDataSource {
+    inner: Weak<Inner>,
+}
+
+impl SysDataSource {
+    pub(crate) fn new(inner: Weak<Inner>) -> Self {
+        SysDataSource { inner }
+    }
+
+    fn engine(&self) -> Result<Arc<Inner>> {
+        self.inner
+            .upgrade()
+            .ok_or_else(|| DhqpError::Provider("sys provider outlived its engine".into()))
+    }
+}
+
+fn requests_info() -> TableInfo {
+    TableInfo::new(
+        DM_EXEC_REQUESTS,
+        vec![
+            ColumnInfo::not_null("sql", DataType::Str),
+            ColumnInfo::not_null("kind", DataType::Str),
+            ColumnInfo::not_null("rows", DataType::Int),
+            ColumnInfo::not_null("elapsed_ms", DataType::Float),
+            ColumnInfo::not_null("ok", DataType::Bool),
+            ColumnInfo::new("error", DataType::Str),
+        ],
+    )
+}
+
+fn query_stats_info() -> TableInfo {
+    TableInfo::new(
+        DM_EXEC_QUERY_STATS,
+        vec![
+            ColumnInfo::not_null("template", DataType::Str),
+            ColumnInfo::not_null("execution_count", DataType::Int),
+            ColumnInfo::not_null("total_rows", DataType::Int),
+            ColumnInfo::not_null("total_elapsed_ms", DataType::Float),
+            ColumnInfo::not_null("avg_elapsed_ms", DataType::Float),
+        ],
+    )
+}
+
+fn link_stats_info() -> TableInfo {
+    TableInfo::new(
+        DM_LINK_STATS,
+        vec![
+            ColumnInfo::not_null("name", DataType::Str),
+            ColumnInfo::not_null("requests", DataType::Int),
+            ColumnInfo::not_null("rows", DataType::Int),
+            ColumnInfo::not_null("bytes", DataType::Int),
+            // NULL for unmetered sources (no simulated link in between).
+            ColumnInfo::new("p50_ms", DataType::Float),
+            ColumnInfo::new("p95_ms", DataType::Float),
+            ColumnInfo::new("p99_ms", DataType::Float),
+            ColumnInfo::new("max_ms", DataType::Float),
+        ],
+    )
+}
+
+fn os_counters_info() -> TableInfo {
+    TableInfo::new(
+        DM_OS_COUNTERS,
+        vec![
+            ColumnInfo::not_null("name", DataType::Str),
+            ColumnInfo::not_null("value", DataType::Int),
+        ],
+    )
+}
+
+fn ms(us: u64) -> Value {
+    Value::Float(us as f64 / 1000.0)
+}
+
+impl DataSource for SysDataSource {
+    fn name(&self) -> &str {
+        SYS_SERVER
+    }
+
+    fn capabilities(&self) -> ProviderCapabilities {
+        // A simple provider: SqlSupport::None, no indexes, no statistics.
+        // The DHQP layers everything — DMV filtering and joins run locally.
+        ProviderCapabilities::simple(SYS_SERVER)
+    }
+
+    fn tables(&self) -> Result<Vec<TableInfo>> {
+        let engine = self.engine()?;
+        Ok(vec![
+            requests_info().with_cardinality(engine.dmv_recent().len() as u64),
+            query_stats_info().with_cardinality(engine.dmv_plan_entries().len() as u64),
+            link_stats_info().with_cardinality(engine.dmv_links().len() as u64),
+            os_counters_info().with_cardinality(engine.dmv_metrics().counters().len() as u64 + 5),
+        ])
+    }
+
+    fn create_session(&self) -> Result<Box<dyn Session>> {
+        Ok(Box::new(SysSession {
+            inner: self.inner.clone(),
+        }))
+    }
+}
+
+struct SysSession {
+    inner: Weak<Inner>,
+}
+
+impl Session for SysSession {
+    /// Materialize the requested view from live engine state. The one
+    /// mandatory provider method — everything else stays at the
+    /// unsupported defaults, exercising the simple-provider path.
+    fn open_rowset(&mut self, table: &str) -> Result<Box<dyn Rowset>> {
+        let engine = self
+            .inner
+            .upgrade()
+            .ok_or_else(|| DhqpError::Provider("sys provider outlived its engine".into()))?;
+        let (info, rows) = match table.to_lowercase().as_str() {
+            DM_EXEC_REQUESTS => (requests_info(), requests_rows(&engine)),
+            DM_EXEC_QUERY_STATS => (query_stats_info(), query_stats_rows(&engine)),
+            DM_LINK_STATS => (link_stats_info(), link_stats_rows(&engine)),
+            DM_OS_COUNTERS => (os_counters_info(), os_counters_rows(&engine)),
+            other => {
+                return Err(DhqpError::Catalog(format!(
+                    "table '{other}' not found in source '{SYS_SERVER}'"
+                )))
+            }
+        };
+        Ok(Box::new(MemRowset::new(info.schema(), rows)))
+    }
+}
+
+fn requests_rows(engine: &Inner) -> Vec<Row> {
+    engine
+        .dmv_recent()
+        .into_iter()
+        .map(|q| {
+            Row::new(vec![
+                Value::Str(q.sql),
+                Value::Str(q.kind.name().to_string()),
+                Value::Int(q.rows as i64),
+                Value::Float(q.elapsed.as_secs_f64() * 1000.0),
+                Value::Bool(q.ok),
+                q.error.map(Value::Str).unwrap_or(Value::Null),
+            ])
+        })
+        .collect()
+}
+
+fn query_stats_rows(engine: &Inner) -> Vec<Row> {
+    use std::sync::atomic::Ordering;
+    engine
+        .dmv_plan_entries()
+        .into_iter()
+        .map(|(template, entry)| {
+            let count = entry.execution_count.load(Ordering::Relaxed);
+            let total_us = entry.total_elapsed_us.load(Ordering::Relaxed);
+            let total_ms = total_us as f64 / 1000.0;
+            let avg_ms = if count == 0 {
+                0.0
+            } else {
+                total_ms / count as f64
+            };
+            Row::new(vec![
+                Value::Str(template),
+                Value::Int(count as i64),
+                Value::Int(entry.total_rows.load(Ordering::Relaxed) as i64),
+                Value::Float(total_ms),
+                Value::Float(avg_ms),
+            ])
+        })
+        .collect()
+}
+
+fn link_stats_rows(engine: &Inner) -> Vec<Row> {
+    engine
+        .dmv_links()
+        .into_iter()
+        .map(|(name, traffic, latency)| {
+            let t = traffic.unwrap_or_default();
+            let (p50, p95, p99, max) = match latency {
+                Some(l) => (ms(l.p50_us), ms(l.p95_us), ms(l.p99_us), ms(l.max_us)),
+                None => (Value::Null, Value::Null, Value::Null, Value::Null),
+            };
+            Row::new(vec![
+                Value::Str(name),
+                Value::Int(t.requests as i64),
+                Value::Int(t.rows as i64),
+                Value::Int(t.bytes as i64),
+                p50,
+                p95,
+                p99,
+                max,
+            ])
+        })
+        .collect()
+}
+
+fn os_counters_rows(engine: &Inner) -> Vec<Row> {
+    let mut rows: Vec<Row> = engine
+        .dmv_metrics()
+        .counters()
+        .into_iter()
+        .map(|(name, value)| Row::new(vec![Value::Str(name.to_string()), Value::Int(value as i64)]))
+        .collect();
+    // End-to-end statement latency percentiles, in microseconds (integer
+    // counters, so they share the (name, value) shape).
+    let latency = engine.dmv_query_latency();
+    for (name, value) in [
+        ("query_latency_count", latency.count),
+        ("query_latency_p50_us", latency.percentile(50.0)),
+        ("query_latency_p95_us", latency.percentile(95.0)),
+        ("query_latency_p99_us", latency.percentile(99.0)),
+        ("query_latency_max_us", latency.max),
+    ] {
+        rows.push(Row::new(vec![
+            Value::Str(name.to_string()),
+            Value::Int(value as i64),
+        ]));
+    }
+    rows
+}

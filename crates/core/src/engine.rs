@@ -3,9 +3,13 @@
 use crate::analyze::{text_result, AnalyzeReport};
 use crate::binder::{Binder, BoundSelect, FetchedTable};
 use crate::dml;
-use crate::metrics::{EngineMetrics, MetricsSnapshot, QuerySummary, StatementKind};
+use crate::dmv::{SysDataSource, SYS_SERVER};
+use crate::metrics::{
+    EngineMetrics, MetricsSnapshot, QuerySummary, StatementKind, RECENT_QUERY_CAPACITY,
+};
 use crate::plan_cache::{self, CacheDeps, CachedSelect, PlanCache, PlanCacheConfig};
 use crate::result::QueryResult;
+use crate::trace::{QueryTrace, TraceBuilder, TraceConfig};
 use dhqp_dtc::TransactionCoordinator;
 use dhqp_executor::{
     ExecContext, ParallelConfig, RetryPolicy, RuntimeStatsCollector, SourceCatalog,
@@ -61,6 +65,52 @@ pub(crate) struct Inner {
     retry: RwLock<RetryPolicy>,
     dtc: Arc<TransactionCoordinator>,
     metrics: EngineMetrics,
+    /// Hierarchical span tracing switch (`DHQP_TRACE` /
+    /// [`Engine::set_trace_config`]).
+    trace: RwLock<TraceConfig>,
+    /// The most recent finished trace, when tracing was armed.
+    last_trace: Mutex<Option<Arc<QueryTrace>>>,
+}
+
+// DMV accessors: read-only state snapshots the `sys` provider
+// (crate::dmv) materializes into rowsets at open time.
+impl Inner {
+    pub(crate) fn dmv_recent(&self) -> Vec<QuerySummary> {
+        self.metrics.recent_queries()
+    }
+
+    pub(crate) fn dmv_plan_entries(&self) -> Vec<(String, Arc<CachedSelect>)> {
+        self.plan_cache.lock().entries()
+    }
+
+    /// Per-linked-server `(name, traffic, latency)` — the `sys` provider
+    /// itself is excluded (it has no wire).
+    pub(crate) fn dmv_links(
+        &self,
+    ) -> Vec<(
+        String,
+        Option<dhqp_oledb::TrafficSnapshot>,
+        Option<dhqp_oledb::LatencySummary>,
+    )> {
+        let registry = self.registry.read();
+        registry
+            .server_names()
+            .into_iter()
+            .filter(|name| name != SYS_SERVER)
+            .filter_map(|name| {
+                let source = registry.linked_server(&name).ok()?;
+                Some((name, source.traffic(), source.latency()))
+            })
+            .collect()
+    }
+
+    pub(crate) fn dmv_metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.dtc.telemetry())
+    }
+
+    pub(crate) fn dmv_query_latency(&self) -> dhqp_oledb::HistogramSnapshot {
+        self.metrics.query_latency()
+    }
 }
 
 /// Builder for engines with non-default configuration.
@@ -71,6 +121,9 @@ pub struct EngineBuilder {
     retry: RetryPolicy,
     plan_cache: PlanCacheConfig,
     stats_ttl: Duration,
+    recent_queries: usize,
+    slow_query: Option<Duration>,
+    trace: TraceConfig,
 }
 
 /// Default remote-statistics TTL, overridable via `DHQP_STATS_TTL_MS`.
@@ -82,6 +135,22 @@ fn stats_ttl_from_env() -> Duration {
         .unwrap_or(Duration::from_secs(60))
 }
 
+/// Recent-query ring capacity, overridable via `DHQP_RECENT_QUERIES`.
+fn recent_queries_from_env() -> usize {
+    std::env::var("DHQP_RECENT_QUERIES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(RECENT_QUERY_CAPACITY)
+}
+
+/// Slow-query threshold: `DHQP_SLOW_QUERY_MS` arms the slow-query log.
+fn slow_query_from_env() -> Option<Duration> {
+    std::env::var("DHQP_SLOW_QUERY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
+
 impl EngineBuilder {
     pub fn new(name: impl Into<String>) -> Self {
         EngineBuilder {
@@ -91,6 +160,9 @@ impl EngineBuilder {
             retry: RetryPolicy::from_env(),
             plan_cache: PlanCacheConfig::from_env(),
             stats_ttl: stats_ttl_from_env(),
+            recent_queries: recent_queries_from_env(),
+            slow_query: slow_query_from_env(),
+            trace: TraceConfig::from_env(),
         }
     }
 
@@ -125,10 +197,30 @@ impl EngineBuilder {
         self
     }
 
+    /// How many finished-statement summaries the recent-query ring
+    /// (`sys.dm_exec_requests`) retains.
+    pub fn recent_query_capacity(mut self, capacity: usize) -> Self {
+        self.recent_queries = capacity;
+        self
+    }
+
+    /// Arm the slow-query log: statements at or above `threshold` are
+    /// retained in a separate ring ([`Engine::slow_queries`]).
+    pub fn slow_query_threshold(mut self, threshold: Option<Duration>) -> Self {
+        self.slow_query = threshold;
+        self
+    }
+
+    /// Hierarchical span tracing (overrides `DHQP_TRACE`).
+    pub fn trace_config(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
     pub fn build(self) -> Engine {
         let storage = Arc::new(StorageEngine::new(self.name.clone()));
         let local_source = Arc::new(LocalDataSource::new(Arc::clone(&storage)));
-        Engine {
+        let engine = Engine {
             inner: Arc::new(Inner {
                 name: self.name,
                 storage,
@@ -147,9 +239,23 @@ impl EngineBuilder {
                 parallel: RwLock::new(self.parallel),
                 retry: RwLock::new(self.retry),
                 dtc: TransactionCoordinator::new(),
-                metrics: EngineMetrics::default(),
+                metrics: EngineMetrics::new(self.recent_queries, self.slow_query),
+                trace: RwLock::new(self.trace),
+                last_trace: Mutex::new(None),
             }),
-        }
+        };
+        // Every engine self-registers its DMVs as the built-in `sys`
+        // linked server — observability rowsets flow through the same
+        // provider machinery as any remote source. Registered directly on
+        // the registry: no epochs exist yet to invalidate.
+        let sys = Arc::new(SysDataSource::new(Arc::downgrade(&engine.inner)));
+        engine
+            .inner
+            .registry
+            .write()
+            .add_linked_server(SYS_SERVER, sys)
+            .expect("registering the built-in sys provider cannot fail");
+        engine
     }
 }
 
@@ -619,6 +725,7 @@ impl Engine {
         sql: &str,
         params: HashMap<String, Value>,
     ) -> Result<QueryResult> {
+        let tracing = self.inner.trace.read().enabled;
         // Plan-cache fast path: a SELECT (bare or under EXPLAIN ANALYZE)
         // is auto-parameterized and served from — or compiled into — the
         // cache. Statements the fast path declines fall through unchanged.
@@ -627,20 +734,31 @@ impl Engine {
                 // Plain EXPLAIN never executes; keep it on the classic path.
                 if fp.explain != Some(false) {
                     let analyze = fp.explain == Some(true);
-                    let collector = analyze.then(|| Arc::new(RuntimeStatsCollector::new()));
+                    let tracer = tracing.then(|| TraceBuilder::new(sql));
+                    // Per-operator spans need runtime stats, so tracing
+                    // instruments the plan even outside EXPLAIN ANALYZE.
+                    let collector =
+                        (analyze || tracing).then(|| Arc::new(RuntimeStatsCollector::new()));
                     let start = Instant::now();
-                    if let Some(outcome) = self.run_fingerprinted(&fp, &params, collector.clone()) {
+                    if let Some(outcome) =
+                        self.run_fingerprinted(&fp, &params, collector.clone(), tracer.as_ref())
+                    {
+                        let trace = tracer.map(|t| Arc::new(t.finish()));
                         let kind = if analyze {
                             StatementKind::ExplainAnalyze
                         } else {
                             StatementKind::Select
                         };
-                        let result = outcome.map(|(result, entry, hit)| match collector {
-                            Some(collector) => self
-                                .cached_report(result, &entry, hit, &collector)
-                                .to_query_result(),
-                            None => result,
-                        });
+                        let result =
+                            outcome.map(|(result, entry, hit)| match (analyze, &collector) {
+                                (true, Some(collector)) => {
+                                    let mut report =
+                                        self.cached_report(result, &entry, hit, collector);
+                                    report.trace = trace.clone();
+                                    report.to_query_result()
+                                }
+                                _ => result,
+                            });
                         let rows = match &result {
                             Ok(r) => r.rows_affected.unwrap_or(r.rows.len() as u64),
                             Err(_) => 0,
@@ -650,13 +768,18 @@ impl Engine {
                             sql,
                             start.elapsed(),
                             rows,
-                            result.is_ok(),
+                            result.as_ref().err().map(|e| e.to_string()),
                         );
+                        if let Some(trace) = trace {
+                            *self.inner.last_trace.lock() = Some(trace);
+                        }
                         return result;
                     }
                 }
             }
         }
+        let mut tracer = tracing.then(|| TraceBuilder::new(sql));
+        let began = Instant::now();
         let parsed = match parse_statement(sql) {
             Ok(stmt) => stmt,
             Err(e) => {
@@ -664,6 +787,9 @@ impl Engine {
                 return Err(e);
             }
         };
+        if let Some(tr) = &tracer {
+            tr.stage("parse", began);
+        }
         let kind = match &parsed {
             Statement::Select(_) => StatementKind::Select,
             Statement::Insert(_) => StatementKind::Insert,
@@ -674,7 +800,13 @@ impl Engine {
         };
         let start = Instant::now();
         let result = match parsed {
-            Statement::Select(stmt) => self.run_select(&stmt, params),
+            Statement::Select(stmt) => {
+                let collector = tracer
+                    .is_some()
+                    .then(|| Arc::new(RuntimeStatsCollector::new()));
+                self.run_select_pipeline(&stmt, params, collector, tracer.as_ref())
+                    .map(|(result, _, _)| result)
+            }
             Statement::Insert(stmt) => dml::run_insert(self, &stmt, &params),
             Statement::Update(stmt) => dml::run_update(self, &stmt, &params),
             Statement::Delete(stmt) => dml::run_delete(self, &stmt, &params),
@@ -687,17 +819,34 @@ impl Engine {
             Statement::Explain {
                 analyze: true,
                 stmt,
-            } => self
-                .analyze_select(&stmt, params)
-                .map(|report| report.to_query_result()),
+            } => match self.analyze_select(&stmt, params, tracer.as_ref()) {
+                Ok(mut report) => {
+                    // The trace renders inside the report, so finish it
+                    // before the report turns into text.
+                    if let Some(tr) = tracer.take() {
+                        let trace = Arc::new(tr.finish());
+                        *self.inner.last_trace.lock() = Some(Arc::clone(&trace));
+                        report.trace = Some(trace);
+                    }
+                    Ok(report.to_query_result())
+                }
+                Err(e) => Err(e),
+            },
         };
         let rows = match &result {
             Ok(r) => r.rows_affected.unwrap_or(r.rows.len() as u64),
             Err(_) => 0,
         };
-        self.inner
-            .metrics
-            .finish_statement(kind, sql, start.elapsed(), rows, result.is_ok());
+        self.inner.metrics.finish_statement(
+            kind,
+            sql,
+            start.elapsed(),
+            rows,
+            result.as_ref().err().map(|e| e.to_string()),
+        );
+        if let Some(tr) = tracer {
+            *self.inner.last_trace.lock() = Some(Arc::new(tr.finish()));
+        }
         result
     }
 
@@ -761,18 +910,31 @@ impl Engine {
         sql: &str,
         params: HashMap<String, Value>,
     ) -> Result<AnalyzeReport> {
+        let tracing = self.inner.trace.read().enabled;
         if self.plan_cache_enabled() {
             if let Some(fp) = fingerprint(sql) {
+                let tracer = tracing.then(|| TraceBuilder::new(sql));
                 let collector = Arc::new(RuntimeStatsCollector::new());
-                if let Some(outcome) =
-                    self.run_fingerprinted(&fp, &params, Some(Arc::clone(&collector)))
-                {
+                if let Some(outcome) = self.run_fingerprinted(
+                    &fp,
+                    &params,
+                    Some(Arc::clone(&collector)),
+                    tracer.as_ref(),
+                ) {
+                    let trace = tracer.map(|t| Arc::new(t.finish()));
+                    if let Some(trace) = &trace {
+                        *self.inner.last_trace.lock() = Some(Arc::clone(trace));
+                    }
                     return outcome.map(|(result, entry, hit)| {
-                        self.cached_report(result, &entry, hit, &collector)
+                        let mut report = self.cached_report(result, &entry, hit, &collector);
+                        report.trace = trace.clone();
+                        report
                     });
                 }
             }
         }
+        let tracer = tracing.then(|| TraceBuilder::new(sql));
+        let began = Instant::now();
         let stmt = match parse_statement(sql)? {
             Statement::Select(stmt) => stmt,
             Statement::Explain { stmt, .. } => *stmt,
@@ -782,17 +944,29 @@ impl Engine {
                 ))
             }
         };
-        self.analyze_select(&stmt, params)
+        if let Some(tr) = &tracer {
+            tr.stage("parse", began);
+        }
+        let report = self.analyze_select(&stmt, params, tracer.as_ref());
+        let trace = tracer.map(|t| Arc::new(t.finish()));
+        if let Some(trace) = &trace {
+            *self.inner.last_trace.lock() = Some(Arc::clone(trace));
+        }
+        report.map(|mut r| {
+            r.trace = trace;
+            r
+        })
     }
 
     fn analyze_select(
         &self,
         stmt: &SelectStmt,
         params: HashMap<String, Value>,
+        tracer: Option<&TraceBuilder>,
     ) -> Result<AnalyzeReport> {
         let collector = Arc::new(RuntimeStatsCollector::new());
         let (result, plan, stats) =
-            self.run_select_pipeline(stmt, params, Some(Arc::clone(&collector)))?;
+            self.run_select_pipeline(stmt, params, Some(Arc::clone(&collector)), tracer)?;
         let explain = ExplainPlan::new(&plan, stats);
         Ok(AnalyzeReport {
             result,
@@ -801,6 +975,7 @@ impl Engine {
             explain,
             cache_hit: None,
             stats_age: None,
+            trace: None,
         })
     }
 
@@ -819,6 +994,7 @@ impl Engine {
             explain: ExplainPlan::new(&entry.plan, entry.opt_stats.clone()),
             cache_hit: Some(hit),
             stats_age: entry.stats_age(),
+            trace: None,
         }
     }
 
@@ -830,6 +1006,7 @@ impl Engine {
         fp: &Fingerprint,
         user_params: &HashMap<String, Value>,
         stats: Option<Arc<RuntimeStatsCollector>>,
+        tracer: Option<&TraceBuilder>,
     ) -> Option<Result<(QueryResult, Arc<CachedSelect>, bool)>> {
         // User parameters in the reserved namespace would collide with the
         // extracted literals.
@@ -844,19 +1021,37 @@ impl Engine {
             params.insert(name.clone(), value.clone());
         }
         if let Some(entry) = self.plan_cache_lookup(&fp.template) {
+            if let Some(tr) = tracer {
+                tr.stage_with(
+                    "plan-cache",
+                    Instant::now(),
+                    vec![("hit".to_string(), "true".to_string())],
+                );
+            }
+            let began = Instant::now();
             let res = self.execute_plan(
                 &entry.plan,
                 &entry.registry,
                 &entry.output,
                 &entry.view_members,
                 params,
-                stats,
+                stats.clone(),
             );
+            if let Ok(r) = &res {
+                entry.note_execution(began.elapsed(), r.rows.len() as u64);
+            }
+            if let Some(tr) = tracer {
+                match &stats {
+                    Some(c) => tr.stage_execute(began, &entry.plan, &c.snapshot()),
+                    None => tr.stage("execute", began),
+                }
+            }
             return Some(res.map(|r| (r, entry, true)));
         }
         // Miss: compile the template once, cache it if the statement's
         // compile is pure, then execute. Any template-side parse, bind or
         // optimize failure declines instead of erroring.
+        let began = Instant::now();
         let stmt = match parse_statement(&fp.template) {
             Ok(Statement::Select(stmt)) => stmt,
             _ => return None,
@@ -864,7 +1059,14 @@ impl Engine {
         if !plan_cache::is_cacheable(&stmt) {
             return None;
         }
+        if let Some(tr) = tracer {
+            tr.stage("parse", began);
+        }
+        let began = Instant::now();
         let bound = Binder::new(self, &params).bind_select(&stmt).ok()?;
+        if let Some(tr) = tracer {
+            tr.stage("bind", began);
+        }
         let BoundSelect {
             tree,
             mut registry,
@@ -876,7 +1078,11 @@ impl Engine {
         } = bound;
         let optimizer = Optimizer::new(self.optimizer_config());
         let deps = self.current_deps(dep_servers);
+        let began = Instant::now();
         let (plan, opt_stats) = optimizer.optimize(tree, &mut registry, required).ok()?;
+        if let Some(tr) = tracer {
+            tr.stage_optimize(began, &opt_stats);
+        }
         let entry = Arc::new(CachedSelect {
             plan,
             registry: Arc::new(registry),
@@ -885,6 +1091,9 @@ impl Engine {
             opt_stats,
             deps,
             stats_as_of,
+            execution_count: AtomicU64::new(0),
+            total_elapsed_us: AtomicU64::new(0),
+            total_rows: AtomicU64::new(0),
         });
         self.inner.metrics.record_plan_cache_miss();
         let evicted = self
@@ -893,35 +1102,52 @@ impl Engine {
             .lock()
             .insert(fp.template.clone(), Arc::clone(&entry));
         self.inner.metrics.record_plan_cache_evictions(evicted);
+        let began = Instant::now();
         let res = self.execute_plan(
             &entry.plan,
             &entry.registry,
             &entry.output,
             &entry.view_members,
             params,
-            stats,
+            stats.clone(),
         );
+        if let Ok(r) = &res {
+            entry.note_execution(began.elapsed(), r.rows.len() as u64);
+        }
+        if let Some(tr) = tracer {
+            match &stats {
+                Some(c) => tr.stage_execute(began, &entry.plan, &c.snapshot()),
+                None => tr.stage("execute", began),
+            }
+        }
         Some(res.map(|r| (r, entry, false)))
     }
 
     fn run_select(&self, stmt: &SelectStmt, params: HashMap<String, Value>) -> Result<QueryResult> {
-        self.run_select_pipeline(stmt, params, None)
+        self.run_select_pipeline(stmt, params, None, None)
             .map(|(result, _, _)| result)
     }
 
     /// Bind, optimize and execute one SELECT. When `stats` is given, every
-    /// operator is instrumented and flushes into the collector.
+    /// operator is instrumented and flushes into the collector. When
+    /// `tracer` is given, each stage records a span (and the execute span
+    /// gets per-operator children if `stats` is also present).
     fn run_select_pipeline(
         &self,
         stmt: &SelectStmt,
         params: HashMap<String, Value>,
         stats: Option<Arc<RuntimeStatsCollector>>,
+        tracer: Option<&TraceBuilder>,
     ) -> Result<(
         QueryResult,
         PhysNode,
         dhqp_optimizer::search::OptimizerStats,
     )> {
+        let began = Instant::now();
         let bound = Binder::new(self, &params).bind_select(stmt)?;
+        if let Some(tr) = tracer {
+            tr.stage("bind", began);
+        }
         let optimizer = Optimizer::new(self.optimizer_config());
         let BoundSelect {
             tree,
@@ -931,9 +1157,27 @@ impl Engine {
             view_members,
             ..
         } = bound;
+        let began = Instant::now();
         let (plan, opt_stats) = optimizer.optimize(tree, &mut registry, required)?;
+        if let Some(tr) = tracer {
+            tr.stage_optimize(began, &opt_stats);
+        }
         let registry = Arc::new(registry);
-        let result = self.execute_plan(&plan, &registry, &output, &view_members, params, stats)?;
+        let began = Instant::now();
+        let result = self.execute_plan(
+            &plan,
+            &registry,
+            &output,
+            &view_members,
+            params,
+            stats.clone(),
+        )?;
+        if let Some(tr) = tracer {
+            match &stats {
+                Some(c) => tr.stage_execute(began, &plan, &c.snapshot()),
+                None => tr.stage("execute", began),
+            }
+        }
         Ok((result, plan, opt_stats))
     }
 
@@ -1154,9 +1398,33 @@ impl Engine {
         self.inner.metrics.snapshot(self.inner.dtc.telemetry())
     }
 
-    /// The last [`crate::metrics::RECENT_QUERY_CAPACITY`] statement
-    /// summaries, oldest first.
+    /// The most recent statement summaries, oldest first. Ring capacity
+    /// defaults to [`crate::metrics::RECENT_QUERY_CAPACITY`] and is set by
+    /// [`EngineBuilder::recent_query_capacity`] / `DHQP_RECENT_QUERIES`.
     pub fn recent_queries(&self) -> Vec<QuerySummary> {
         self.inner.metrics.recent_queries()
+    }
+
+    /// Statements at or above the armed slow-query threshold
+    /// ([`EngineBuilder::slow_query_threshold`] / `DHQP_SLOW_QUERY_MS`),
+    /// oldest first. Empty when no threshold is armed.
+    pub fn slow_queries(&self) -> Vec<QuerySummary> {
+        self.inner.metrics.slow_queries()
+    }
+
+    /// Current hierarchical-tracing configuration.
+    pub fn trace_config(&self) -> TraceConfig {
+        *self.inner.trace.read()
+    }
+
+    /// Arm or disarm hierarchical span tracing. Overrides `DHQP_TRACE`.
+    pub fn set_trace_config(&self, config: TraceConfig) {
+        *self.inner.trace.write() = config;
+    }
+
+    /// The span tree of the most recent statement run with tracing armed,
+    /// or `None` if no statement has been traced.
+    pub fn last_trace(&self) -> Option<Arc<QueryTrace>> {
+        self.inner.last_trace.lock().clone()
     }
 }

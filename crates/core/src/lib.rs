@@ -22,18 +22,22 @@
 pub mod analyze;
 pub mod binder;
 pub(crate) mod dml;
+pub mod dmv;
 pub mod engine;
 pub mod metrics;
 pub mod plan_cache;
 pub mod remote;
 pub mod result;
+pub mod trace;
 
 pub use analyze::AnalyzeReport;
+pub use dmv::SYS_SERVER;
 pub use engine::{Engine, EngineBuilder};
 pub use metrics::{MetricsSnapshot, QuerySummary, StatementKind};
 pub use plan_cache::PlanCacheConfig;
 pub use remote::EngineDataSource;
 pub use result::QueryResult;
+pub use trace::{QueryTrace, TraceConfig, TraceSpan};
 
 pub use dhqp_dtc::{DtcStats, RecoveryReport};
 pub use dhqp_executor::{ParallelConfig, RetryPolicy};

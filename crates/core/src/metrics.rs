@@ -8,14 +8,20 @@
 
 use dhqp_dtc::DtcStats;
 use dhqp_executor::ExecCounters;
+use dhqp_oledb::{HistogramSnapshot, LogHistogram};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How many query summaries [`crate::Engine::recent_queries`] retains.
+/// Default capacity of the recent-query ring; override per engine with
+/// [`crate::EngineBuilder::recent_query_capacity`] or `DHQP_RECENT_QUERIES`.
 pub const RECENT_QUERY_CAPACITY: usize = 32;
+
+/// How many summaries the slow-query ring retains (the ring only fills
+/// when a threshold is armed, so a fixed bound suffices).
+pub const SLOW_QUERY_CAPACITY: usize = 32;
 
 /// Statement classification for the per-kind query counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +36,20 @@ pub enum StatementKind {
     ExplainAnalyze,
 }
 
+impl StatementKind {
+    /// Display name, as surfaced in `sys.dm_exec_requests`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StatementKind::Select => "SELECT",
+            StatementKind::Insert => "INSERT",
+            StatementKind::Update => "UPDATE",
+            StatementKind::Delete => "DELETE",
+            StatementKind::Explain => "EXPLAIN",
+            StatementKind::ExplainAnalyze => "EXPLAIN ANALYZE",
+        }
+    }
+}
+
 /// One finished statement, as kept in the recent-query ring.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuerySummary {
@@ -42,6 +62,9 @@ pub struct QuerySummary {
     pub elapsed: Duration,
     /// Whether the statement succeeded.
     pub ok: bool,
+    /// The failure message when `ok` is false, so a zero-row error is
+    /// distinguishable from a legitimately empty result.
+    pub error: Option<String>,
 }
 
 /// Point-in-time copy of every engine counter. DTC commit/abort counts are
@@ -109,11 +132,47 @@ impl MetricsSnapshot {
             + self.explains
             + self.explain_analyzes
     }
+
+    /// Every counter as a `(name, value)` row — the shape
+    /// `sys.dm_os_counters` serves, kept here so the DMV cannot drift from
+    /// the snapshot struct.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("selects", self.selects),
+            ("inserts", self.inserts),
+            ("updates", self.updates),
+            ("deletes", self.deletes),
+            ("explains", self.explains),
+            ("explain_analyzes", self.explain_analyzes),
+            ("statement_errors", self.statement_errors),
+            ("meta_cache_hits", self.meta_cache_hits),
+            ("meta_cache_misses", self.meta_cache_misses),
+            ("plan_cache_hits", self.plan_cache_hits),
+            ("plan_cache_misses", self.plan_cache_misses),
+            ("plan_cache_evictions", self.plan_cache_evictions),
+            ("stats_cache_hits", self.stats_cache_hits),
+            ("stats_cache_misses", self.stats_cache_misses),
+            ("fulltext_searches", self.fulltext_searches),
+            ("spool_hits", self.spool_hits),
+            ("spool_builds", self.spool_builds),
+            ("remote_roundtrips", self.remote_roundtrips),
+            ("parallel_exchanges", self.parallel_exchanges),
+            ("exchange_workers", self.exchange_workers),
+            ("remote_prefetches", self.remote_prefetches),
+            ("remote_retries", self.remote_retries),
+            ("remote_transient_errors", self.remote_transient_errors),
+            ("remote_deadline_hits", self.remote_deadline_hits),
+            ("dtc_commits", self.dtc_commits),
+            ("dtc_aborts", self.dtc_aborts),
+            ("dtc_in_doubt", self.dtc_in_doubt),
+            ("dtc_recovered", self.dtc_recovered),
+        ]
+    }
 }
 
 /// The engine's live counters (one per [`crate::Engine`], shared by all
 /// clones).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct EngineMetrics {
     selects: AtomicU64,
     inserts: AtomicU64,
@@ -131,10 +190,49 @@ pub(crate) struct EngineMetrics {
     stats_cache_misses: AtomicU64,
     fulltext_searches: AtomicU64,
     exec: Arc<ExecCounters>,
+    recent_capacity: usize,
     recent: Mutex<VecDeque<QuerySummary>>,
+    /// Statements slower than the armed threshold (`None` disarms the log
+    /// entirely, the default).
+    slow_threshold: Option<Duration>,
+    slow: Mutex<VecDeque<QuerySummary>>,
+    /// End-to-end statement latency in microseconds, every statement kind.
+    query_latency: LogHistogram,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics::new(RECENT_QUERY_CAPACITY, None)
+    }
 }
 
 impl EngineMetrics {
+    pub fn new(recent_capacity: usize, slow_threshold: Option<Duration>) -> Self {
+        EngineMetrics {
+            selects: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            explains: AtomicU64::new(0),
+            explain_analyzes: AtomicU64::new(0),
+            statement_errors: AtomicU64::new(0),
+            meta_cache_hits: AtomicU64::new(0),
+            meta_cache_misses: AtomicU64::new(0),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
+            plan_cache_evictions: AtomicU64::new(0),
+            stats_cache_hits: AtomicU64::new(0),
+            stats_cache_misses: AtomicU64::new(0),
+            fulltext_searches: AtomicU64::new(0),
+            exec: Arc::new(ExecCounters::default()),
+            recent_capacity: recent_capacity.max(1),
+            recent: Mutex::new(VecDeque::new()),
+            slow_threshold,
+            slow: Mutex::new(VecDeque::new()),
+            query_latency: LogHistogram::default(),
+        }
+    }
+
     /// The executor counters this engine shares with its execution
     /// contexts, so spool/remote activity survives each execution.
     pub fn exec_counters(&self) -> Arc<ExecCounters> {
@@ -181,13 +279,14 @@ impl EngineMetrics {
     }
 
     /// Count one finished statement and push its summary onto the ring.
+    /// `error` is the failure message (`None` means success).
     pub fn finish_statement(
         &self,
         kind: StatementKind,
         sql: &str,
         elapsed: Duration,
         rows: u64,
-        ok: bool,
+        error: Option<String>,
     ) {
         let counter = match kind {
             StatementKind::Select => &self.selects,
@@ -198,25 +297,48 @@ impl EngineMetrics {
             StatementKind::ExplainAnalyze => &self.explain_analyzes,
         };
         counter.fetch_add(1, Ordering::Relaxed);
-        if !ok {
+        if error.is_some() {
             self.statement_errors.fetch_add(1, Ordering::Relaxed);
         }
-        let mut recent = self.recent.lock();
-        if recent.len() == RECENT_QUERY_CAPACITY {
-            recent.pop_front();
-        }
-        recent.push_back(QuerySummary {
+        self.query_latency.record(elapsed.as_micros() as u64);
+        let summary = QuerySummary {
             sql: sql.to_string(),
             kind,
             rows,
             elapsed,
-            ok,
-        });
+            ok: error.is_none(),
+            error,
+        };
+        if let Some(threshold) = self.slow_threshold {
+            if elapsed >= threshold {
+                let mut slow = self.slow.lock();
+                if slow.len() == SLOW_QUERY_CAPACITY {
+                    slow.pop_front();
+                }
+                slow.push_back(summary.clone());
+            }
+        }
+        let mut recent = self.recent.lock();
+        if recent.len() >= self.recent_capacity {
+            recent.pop_front();
+        }
+        recent.push_back(summary);
     }
 
     /// Most-recent-last copy of the query ring.
     pub fn recent_queries(&self) -> Vec<QuerySummary> {
         self.recent.lock().iter().cloned().collect()
+    }
+
+    /// Most-recent-last copy of the slow-query ring (empty unless a
+    /// threshold is armed).
+    pub fn slow_queries(&self) -> Vec<QuerySummary> {
+        self.slow.lock().iter().cloned().collect()
+    }
+
+    /// End-to-end statement latency distribution (microseconds).
+    pub fn query_latency(&self) -> HistogramSnapshot {
+        self.query_latency.snapshot()
     }
 
     pub fn snapshot(&self, dtc: DtcStats) -> MetricsSnapshot {
@@ -267,7 +389,7 @@ mod tests {
                 &format!("SELECT {i}"),
                 Duration::from_millis(1),
                 i as u64,
-                true,
+                None,
             );
         }
         let recent = m.recent_queries();
@@ -278,6 +400,86 @@ mod tests {
             m.snapshot(DtcStats::default()).selects,
             (RECENT_QUERY_CAPACITY + 5) as u64
         );
+    }
+
+    #[test]
+    fn ring_capacity_is_configurable() {
+        let m = EngineMetrics::new(3, None);
+        for i in 0..5 {
+            m.finish_statement(
+                StatementKind::Select,
+                &format!("SELECT {i}"),
+                Duration::ZERO,
+                0,
+                None,
+            );
+        }
+        let recent = m.recent_queries();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent.first().unwrap().sql, "SELECT 2");
+    }
+
+    #[test]
+    fn errors_carry_their_message() {
+        let m = EngineMetrics::default();
+        m.finish_statement(
+            StatementKind::Select,
+            "SELECT * FROM missing",
+            Duration::ZERO,
+            0,
+            Some("table 'missing' not found".into()),
+        );
+        let q = &m.recent_queries()[0];
+        assert!(!q.ok);
+        assert_eq!(q.error.as_deref(), Some("table 'missing' not found"));
+        assert_eq!(m.snapshot(DtcStats::default()).statement_errors, 1);
+    }
+
+    #[test]
+    fn slow_query_log_gates_on_threshold() {
+        let m = EngineMetrics::new(RECENT_QUERY_CAPACITY, Some(Duration::from_millis(10)));
+        m.finish_statement(
+            StatementKind::Select,
+            "fast",
+            Duration::from_millis(1),
+            0,
+            None,
+        );
+        m.finish_statement(
+            StatementKind::Select,
+            "slow",
+            Duration::from_millis(25),
+            0,
+            None,
+        );
+        let slow = m.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].sql, "slow");
+        // Disarmed engines never log, regardless of elapsed time.
+        let off = EngineMetrics::default();
+        off.finish_statement(
+            StatementKind::Select,
+            "slow",
+            Duration::from_secs(5),
+            0,
+            None,
+        );
+        assert!(off.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn query_latency_histogram_records_every_statement() {
+        let m = EngineMetrics::default();
+        m.finish_statement(
+            StatementKind::Select,
+            "q",
+            Duration::from_micros(700),
+            1,
+            None,
+        );
+        let h = m.query_latency();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 700);
     }
 
     #[test]
@@ -292,7 +494,7 @@ mod tests {
             "DELETE FROM t",
             Duration::ZERO,
             3,
-            false,
+            Some("boom".into()),
         );
         m.exec_counters().add_remote_retry();
         m.exec_counters().add_remote_transient_error();

@@ -20,6 +20,7 @@ use dhqp_optimizer::search::OptimizerStats;
 use dhqp_optimizer::{ColumnId, ColumnRegistry, PhysNode};
 use dhqp_sqlfront::{Expr, SelectItem, SelectStmt, TableRef};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,12 +50,26 @@ pub(crate) struct CachedSelect {
     /// When the oldest remote metadata/statistics bundle consulted at
     /// compile time was fetched (`None` for purely local plans).
     pub stats_as_of: Option<Instant>,
+    /// Per-fingerprint execution aggregates (the `sys.dm_exec_query_stats`
+    /// substrate): bumped on every run of this plan, cache hit or the
+    /// compiling miss alike.
+    pub execution_count: AtomicU64,
+    pub total_elapsed_us: AtomicU64,
+    pub total_rows: AtomicU64,
 }
 
 impl CachedSelect {
     /// Age of the statistics the plan was costed with.
     pub fn stats_age(&self) -> Option<Duration> {
         self.stats_as_of.map(|t| t.elapsed())
+    }
+
+    /// Fold one execution into the aggregates.
+    pub fn note_execution(&self, elapsed: Duration, rows: u64) {
+        self.execution_count.fetch_add(1, Ordering::Relaxed);
+        self.total_elapsed_us
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        self.total_rows.fetch_add(rows, Ordering::Relaxed);
     }
 }
 
@@ -154,6 +169,15 @@ impl PlanCache {
 
     pub fn remove(&mut self, key: &str) -> bool {
         self.entries.remove(key).is_some()
+    }
+
+    /// Every `(template, entry)` pair, in no particular order (the
+    /// `sys.dm_exec_query_stats` scan; does not touch LRU recency).
+    pub fn entries(&self) -> Vec<(String, Arc<CachedSelect>)> {
+        self.entries
+            .iter()
+            .map(|(k, (_, e))| (k.clone(), Arc::clone(e)))
+            .collect()
     }
 
     /// Drop every plan that depends on `server` (lowercased); returns the
@@ -304,6 +328,9 @@ mod tests {
                     config_epoch: 0,
                 },
                 stats_as_of: None,
+                execution_count: AtomicU64::new(0),
+                total_elapsed_us: AtomicU64::new(0),
+                total_rows: AtomicU64::new(0),
             })
         }
         let mut cache = PlanCache::new(PlanCacheConfig {

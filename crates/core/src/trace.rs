@@ -1,0 +1,356 @@
+//! Hierarchical query tracing: parse → bind → optimize → execute as a tree
+//! of spans with wall times.
+//!
+//! Tracing is off by default and costs nothing when off — the engine only
+//! constructs a [`TraceBuilder`] when armed (via `DHQP_TRACE` or
+//! [`crate::Engine::set_trace_config`]), so the untraced path allocates no
+//! spans at all. When armed, each compilation stage records one span, the
+//! optimize span carries per-rule application counts from the memo search,
+//! and the execute span gets one child per plan operator (reusing the
+//! executor's pre-order node ids) annotated with rows, opens, cumulative
+//! and self time. The finished [`QueryTrace`] is retained on the engine
+//! ([`crate::Engine::last_trace`]) and exportable as JSON.
+
+use dhqp_executor::NodeRuntime;
+use dhqp_optimizer::search::OptimizerStats;
+use dhqp_optimizer::PhysNode;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Tracing switch. Resolved once per engine from `DHQP_TRACE` and
+/// overridable at runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    pub enabled: bool,
+}
+
+impl TraceConfig {
+    pub fn enabled() -> Self {
+        TraceConfig { enabled: true }
+    }
+
+    pub fn disabled() -> Self {
+        TraceConfig { enabled: false }
+    }
+
+    /// `DHQP_TRACE` set to anything but empty or `0` arms tracing.
+    pub fn from_env() -> Self {
+        let enabled = std::env::var("DHQP_TRACE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        TraceConfig { enabled }
+    }
+}
+
+/// One timed region of a statement's lifetime.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    pub name: String,
+    /// Offset from the root span's start.
+    pub start: Duration,
+    pub elapsed: Duration,
+    /// Free-form `(key, value)` annotations (rule counts, row counts, ...).
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<TraceSpan>,
+}
+
+impl TraceSpan {
+    /// This span plus all descendants.
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(TraceSpan::span_count)
+            .sum::<usize>()
+    }
+
+    /// Depth-first search by span name.
+    pub fn find(&self, name: &str) -> Option<&TraceSpan> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Attribute value by key.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn render_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let _ = write!(out, "{pad}{} {:.2?}", self.name, self.elapsed);
+        for (k, v) in &self.attrs {
+            let _ = write!(out, " {k}={v}");
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(depth + 1, out);
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"start_us\":{},\"elapsed_us\":{},\"attrs\":{{",
+            json_escape(&self.name),
+            self.start.as_micros(),
+            self.elapsed.as_micros()
+        );
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        out.push_str("},\"children\":[");
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.json_into(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// The finished trace of one statement.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// Statement text as submitted.
+    pub sql: String,
+    /// Root span (`query`) covering the whole statement; compilation and
+    /// execution stages are its children.
+    pub root: TraceSpan,
+}
+
+impl QueryTrace {
+    pub fn span_count(&self) -> usize {
+        self.root.span_count()
+    }
+
+    pub fn find(&self, name: &str) -> Option<&TraceSpan> {
+        self.root.find(name)
+    }
+
+    /// Indented text rendering, one line per span.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(0, &mut out);
+        out
+    }
+
+    /// The whole tree as one JSON document (hand-rolled: the offline serde
+    /// shim is marker-only).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"sql\":\"{}\",\"root\":", json_escape(&self.sql));
+        self.root.json_into(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Accumulates spans for one statement while it runs. Constructed only
+/// when tracing is armed; the engine threads `Option<&TraceBuilder>`
+/// through its pipeline, so the disabled path never allocates.
+pub(crate) struct TraceBuilder {
+    start: Instant,
+    sql: String,
+    phases: Mutex<Vec<TraceSpan>>,
+}
+
+impl TraceBuilder {
+    pub fn new(sql: &str) -> Self {
+        TraceBuilder {
+            start: Instant::now(),
+            sql: sql.to_string(),
+            phases: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Record one completed top-level stage that began at `began`.
+    pub fn stage(&self, name: &str, began: Instant) {
+        self.stage_with(name, began, Vec::new());
+    }
+
+    /// Record one completed stage with annotations.
+    pub fn stage_with(&self, name: &str, began: Instant, attrs: Vec<(String, String)>) {
+        let span = TraceSpan {
+            name: name.to_string(),
+            start: began.duration_since(self.start),
+            elapsed: began.elapsed(),
+            attrs,
+            children: Vec::new(),
+        };
+        self.phases.lock().push(span);
+    }
+
+    /// Record the optimize stage, annotated with the memo search's per-rule
+    /// application counts and sizes.
+    pub fn stage_optimize(&self, began: Instant, stats: &OptimizerStats) {
+        let mut attrs = vec![
+            ("groups".to_string(), stats.groups.to_string()),
+            ("exprs".to_string(), stats.exprs.to_string()),
+            ("rules_fired".to_string(), stats.rules_fired.to_string()),
+        ];
+        for (rule, n) in &stats.rule_counts {
+            attrs.push((format!("rule.{rule}"), n.to_string()));
+        }
+        self.stage_with("optimize", began, attrs);
+    }
+
+    /// Record the execute stage with one child span per plan operator,
+    /// mapped through the executor's pre-order node ids.
+    pub fn stage_execute(
+        &self,
+        began: Instant,
+        plan: &PhysNode,
+        runtime: &HashMap<usize, NodeRuntime>,
+    ) {
+        let offset = began.duration_since(self.start);
+        let mut span = TraceSpan {
+            name: "execute".to_string(),
+            start: offset,
+            elapsed: began.elapsed(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        };
+        span.children.push(operator_span(plan, 0, runtime, offset));
+        self.phases.lock().push(span);
+    }
+
+    /// Assemble the final trace; the root span covers new() to now.
+    pub fn finish(self) -> QueryTrace {
+        let root = TraceSpan {
+            name: "query".to_string(),
+            start: Duration::ZERO,
+            elapsed: self.start.elapsed(),
+            attrs: Vec::new(),
+            children: self.phases.into_inner(),
+        };
+        QueryTrace {
+            sql: self.sql,
+            root,
+        }
+    }
+}
+
+/// Per-operator span: cumulative cursor time as the span length, self time
+/// (cumulative minus direct children's) as an attribute, pre-order node id
+/// as in EXPLAIN ANALYZE.
+fn operator_span(
+    node: &PhysNode,
+    id: usize,
+    runtime: &HashMap<usize, NodeRuntime>,
+    base: Duration,
+) -> TraceSpan {
+    let rt = runtime.get(&id);
+    let cumulative = rt.map(|r| r.next_time).unwrap_or_default();
+    let mut children = Vec::with_capacity(node.children.len());
+    let mut child_id = id + 1;
+    let mut children_time = Duration::ZERO;
+    for c in &node.children {
+        if let Some(crt) = runtime.get(&child_id) {
+            children_time += crt.next_time;
+        }
+        children.push(operator_span(c, child_id, runtime, base));
+        child_id += c.subtree_size();
+    }
+    let mut attrs = vec![("node".to_string(), id.to_string())];
+    match rt {
+        Some(rt) => {
+            attrs.push(("rows".to_string(), rt.rows.to_string()));
+            attrs.push(("opens".to_string(), rt.opens.to_string()));
+            attrs.push((
+                "self_us".to_string(),
+                cumulative
+                    .saturating_sub(children_time)
+                    .as_micros()
+                    .to_string(),
+            ));
+        }
+        None => attrs.push(("never_executed".to_string(), "true".to_string())),
+    }
+    TraceSpan {
+        name: node.describe(),
+        start: base,
+        elapsed: cumulative,
+        attrs,
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_a_tree() {
+        let b = TraceBuilder::new("SELECT 1");
+        let t0 = Instant::now();
+        b.stage("parse", t0);
+        b.stage("bind", Instant::now());
+        let trace = b.finish();
+        assert_eq!(trace.span_count(), 3); // query + parse + bind
+        assert!(trace.find("parse").is_some());
+        assert!(trace.find("optimize").is_none());
+        assert!(trace.render().contains("query"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_shaped() {
+        let b = TraceBuilder::new("SELECT '\"quoted\"\nline'");
+        b.stage("parse", Instant::now());
+        let json = b.finish().to_json();
+        assert!(json.starts_with("{\"sql\":\"SELECT '\\\"quoted\\\"\\nline'\""));
+        assert!(json.contains("\"name\":\"query\""));
+        assert!(json.contains("\"name\":\"parse\""));
+        assert!(json.contains("\"children\":["));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn optimize_stage_carries_rule_counts() {
+        let stats = OptimizerStats {
+            groups: 4,
+            exprs: 9,
+            rules_fired: 3,
+            rule_counts: vec![
+                ("JoinCommute".to_string(), 2),
+                ("PushFilter".to_string(), 1),
+            ],
+            phases: vec![],
+            early_exit: false,
+        };
+        let b = TraceBuilder::new("q");
+        b.stage_optimize(Instant::now(), &stats);
+        let trace = b.finish();
+        let opt = trace.find("optimize").unwrap();
+        assert_eq!(opt.attr("rule.JoinCommute"), Some("2"));
+        assert_eq!(opt.attr("rules_fired"), Some("3"));
+    }
+}

@@ -8,7 +8,7 @@
 //! (one mutex acquisition per operator open) and the engine-level counters
 //! are lock-free atomics bumped at open time, never per row.
 
-use dhqp_oledb::{DataSource, Rowset, TrafficSnapshot};
+use dhqp_oledb::{DataSource, LatencySummary, Rowset, TrafficSnapshot};
 use dhqp_types::{Result, Row, Schema};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,6 +117,11 @@ pub struct RemoteTrace {
     pub sql: String,
     /// Requests/rows/bytes attributed to this node, summed over rescans.
     pub traffic: TrafficSnapshot,
+    /// Round-trip latency percentiles of the link this node crossed, as of
+    /// the node's last close. Cumulative link history, not a per-node
+    /// delta — percentiles of a difference are not well-defined — so this
+    /// describes the wire the node used, attributed to the plan shape.
+    pub link_latency: Option<LatencySummary>,
 }
 
 /// What one parallel exchange open actually did: how many workers it ran
@@ -193,19 +198,28 @@ impl RuntimeStatsCollector {
     /// node. Traffic accumulates over rescans; the text of the last open
     /// wins, which only matters for parameterized rescans where each open
     /// ships different literals.
-    pub fn record_remote(&self, node: usize, server: &str, sql: String, delta: TrafficSnapshot) {
+    pub fn record_remote(
+        &self,
+        node: usize,
+        server: &str,
+        sql: String,
+        delta: TrafficSnapshot,
+        link_latency: Option<LatencySummary>,
+    ) {
         let mut nodes = self.nodes.lock().expect("stats lock");
         let entry = nodes.entry(node).or_default();
         match &mut entry.remote {
             Some(trace) => {
                 trace.traffic = trace.traffic + delta;
                 trace.sql = sql;
+                trace.link_latency = link_latency.or(trace.link_latency);
             }
             None => {
                 entry.remote = Some(RemoteTrace {
                     server: server.to_string(),
                     sql,
                     traffic: delta,
+                    link_latency,
                 })
             }
         }
@@ -323,8 +337,9 @@ impl Drop for StatsRowset {
                 .traffic()
                 .unwrap_or_default()
                 .since(&probe.start);
+            let latency = probe.source.latency();
             self.collector
-                .record_remote(self.node, &probe.server, probe.sql, delta);
+                .record_remote(self.node, &probe.server, probe.sql, delta, latency);
         }
     }
 }

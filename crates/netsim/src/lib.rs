@@ -23,5 +23,7 @@ pub mod link;
 pub mod wrap;
 
 pub use fault::{FaultConfig, FaultPlan};
-pub use link::{LinkStats, NetworkConfig, NetworkLink, TrafficSnapshot};
+pub use link::{
+    HistogramSnapshot, LatencySummary, LinkStats, NetworkConfig, NetworkLink, TrafficSnapshot,
+};
 pub use wrap::NetworkedDataSource;

@@ -1,6 +1,7 @@
 //! Link configuration, accounting and delay model.
 
 pub use dhqp_oledb::TrafficSnapshot;
+pub use dhqp_oledb::{HistogramSnapshot, LatencySummary, LogHistogram};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -73,6 +74,13 @@ pub struct LinkStats {
     /// Faults the link's fault plan injected (not part of
     /// [`TrafficSnapshot`]: faults are not wire traffic).
     pub faults: AtomicU64,
+    /// Modeled per-request round-trip times, in microseconds. Recorded from
+    /// the delay model whether or not the link actually sleeps, so
+    /// accounting-only LANs still report their configured latency
+    /// distribution.
+    pub latency: LogHistogram,
+    /// Per-transfer payload sizes in bytes (requests and row batches).
+    pub payload: LogHistogram,
 }
 
 // `TrafficSnapshot` lives in `dhqp_oledb` (re-exported above) so the
@@ -109,12 +117,12 @@ impl NetworkLink {
     pub fn record_request(&self, request_bytes: u64) {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(request_bytes, Ordering::Relaxed);
-        if self.config.simulate_delay {
-            let d = Duration::from_micros(self.config.latency_us)
-                + self.config.transfer_time(request_bytes);
-            if !d.is_zero() {
-                std::thread::sleep(d);
-            }
+        let d = Duration::from_micros(self.config.latency_us)
+            + self.config.transfer_time(request_bytes);
+        self.stats.latency.record(d.as_micros() as u64);
+        self.stats.payload.record(request_bytes);
+        if self.config.simulate_delay && !d.is_zero() {
+            std::thread::sleep(d);
         }
     }
 
@@ -123,6 +131,7 @@ impl NetworkLink {
     pub fn record_rows(&self, rows: u64, bytes: u64) -> Duration {
         self.stats.rows.fetch_add(rows, Ordering::Relaxed);
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.payload.record(bytes);
         let d = self.config.transfer_time(bytes);
         if self.config.simulate_delay && !d.is_zero() {
             std::thread::sleep(d);
@@ -149,12 +158,29 @@ impl NetworkLink {
         }
     }
 
+    /// Modeled per-request round-trip time distribution (microseconds).
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        self.stats.latency.snapshot()
+    }
+
+    /// Per-transfer payload size distribution (bytes).
+    pub fn payload_histogram(&self) -> HistogramSnapshot {
+        self.stats.payload.snapshot()
+    }
+
+    /// p50/p95/p99 of the modeled round-trip time (microseconds).
+    pub fn latency_summary(&self) -> LatencySummary {
+        self.stats.latency.snapshot().latency_summary()
+    }
+
     /// Reset all counters (benches do this between measurements).
     pub fn reset(&self) {
         self.stats.requests.store(0, Ordering::Relaxed);
         self.stats.rows.store(0, Ordering::Relaxed);
         self.stats.bytes.store(0, Ordering::Relaxed);
         self.stats.faults.store(0, Ordering::Relaxed);
+        self.stats.latency.clear();
+        self.stats.payload.clear();
     }
 }
 
@@ -227,6 +253,27 @@ mod tests {
         link.reset();
         assert_eq!(link.snapshot(), TrafficSnapshot::default());
         assert_eq!(link.faults_injected(), 0);
+    }
+
+    #[test]
+    fn latency_histogram_tracks_model_without_sleeping() {
+        // An accounting-only LAN must still report its modeled round-trip
+        // distribution: 500µs latency + 1000B at 100_000 B/ms = 510µs per
+        // request, so every percentile clamps to the 510µs maximum.
+        let link = NetworkLink::new("r0", NetworkConfig::lan());
+        for _ in 0..10 {
+            link.record_request(1000);
+        }
+        let s = link.latency_summary();
+        assert_eq!(s.count, 10);
+        assert!(s.p50_us >= 510 && s.p50_us <= 1023, "p50={}", s.p50_us);
+        assert_eq!(s.max_us, 510);
+        assert!(s.p99_us >= s.p50_us.min(s.max_us));
+        let bytes = link.payload_histogram();
+        assert_eq!(bytes.count, 10);
+        link.reset();
+        assert!(link.latency_histogram().is_empty());
+        assert!(link.payload_histogram().is_empty());
     }
 
     #[test]

@@ -17,8 +17,8 @@
 use crate::fault::{FaultConfig, FaultPlan};
 use crate::link::NetworkLink;
 use dhqp_oledb::{
-    Command, CommandResult, DataSource, Histogram, KeyRange, ProviderCapabilities, Rowset, Session,
-    TableInfo, TrafficSnapshot, TxnId,
+    Command, CommandResult, DataSource, Histogram, KeyRange, LatencySummary, ProviderCapabilities,
+    Rowset, Session, TableInfo, TrafficSnapshot, TxnId,
 };
 use dhqp_types::{DhqpError, Result, Row, Schema, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -91,6 +91,10 @@ impl DataSource for NetworkedDataSource {
 
     fn traffic(&self) -> Option<TrafficSnapshot> {
         Some(self.link.snapshot())
+    }
+
+    fn latency(&self) -> Option<LatencySummary> {
+        Some(self.link.latency_summary())
     }
 
     fn tables(&self) -> Result<Vec<TableInfo>> {

@@ -15,6 +15,7 @@ use crate::capabilities::ProviderCapabilities;
 use crate::rowset::Rowset;
 use crate::schema::TableInfo;
 use crate::statistics::Histogram;
+use crate::telemetry::LatencySummary;
 use dhqp_types::{DhqpError, Result, Row, Value};
 use serde::{Deserialize, Serialize};
 
@@ -82,6 +83,14 @@ pub trait DataSource: Send + Sync {
     /// return `None`; the executor uses snapshot deltas to attribute
     /// requests/rows/bytes to individual remote plan nodes.
     fn traffic(&self) -> Option<TrafficSnapshot> {
+        None
+    }
+
+    /// Per-request latency percentiles (microseconds) for reaching this
+    /// source, when it is metered. Like [`DataSource::traffic`], local
+    /// sources return `None`; simulated links report their modeled
+    /// round-trip distribution.
+    fn latency(&self) -> Option<LatencySummary> {
         None
     }
 

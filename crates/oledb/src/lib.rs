@@ -26,6 +26,7 @@ pub mod datasource;
 pub mod rowset;
 pub mod schema;
 pub mod statistics;
+pub mod telemetry;
 
 pub use capabilities::{
     DateLiteralStyle, Dialect, LimitSyntax, ProviderCapabilities, ProviderClass, SqlSupport,
@@ -36,3 +37,4 @@ pub use datasource::{
 pub use rowset::{MemRowset, Rowset, RowsetExt};
 pub use schema::{ColumnInfo, IndexInfo, SchemaRowsetKind, TableInfo};
 pub use statistics::{Histogram, HistogramBucket, TableStatistics};
+pub use telemetry::{HistogramSnapshot, LatencySummary, LogHistogram, HISTOGRAM_BUCKETS};

@@ -1,0 +1,229 @@
+//! Lock-free log-bucketed histograms for wire telemetry.
+//!
+//! Links and engines record latencies (in microseconds) and payload sizes
+//! (in bytes) into a [`LogHistogram`]: a fixed array of power-of-two
+//! buckets updated with relaxed atomics, so the recording path costs one
+//! `leading_zeros` and one `fetch_add` — cheap enough to leave on
+//! unconditionally. Percentiles come from a cumulative walk over a
+//! [`HistogramSnapshot`] and are reported as the upper edge of the bucket
+//! the requested rank falls in (log-bucket resolution: exact to within 2×).
+//!
+//! Defined here (rather than in the network simulator) for the same reason
+//! as [`TrafficSnapshot`](crate::TrafficSnapshot): the executor and the
+//! engine's DMVs read latency distributions through the
+//! [`DataSource::latency`](crate::DataSource::latency) seam without knowing
+//! how a source is reached.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets. Bucket `i` counts observations in
+/// `[2^i, 2^(i+1))` (bucket 0 also absorbs zero), so 40 buckets span one
+/// microsecond to ~12 days — far beyond any modeled link latency.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed log2-bucketed histogram, safe to record into from any thread
+/// without locks.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Index of the bucket covering `value`: `floor(log2(value))`, clamped.
+    fn bucket_of(value: u64) -> usize {
+        if value < 2 {
+            0
+        } else {
+            ((63 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Record one observation (relaxed atomics: counters only, no ordering
+    /// is implied between them).
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Zero every counter (used by link resets between bench phases).
+    pub fn clear(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`LogHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Upper edge of the bucket holding the `p`-th percentile observation
+    /// (`p` in `0.0..=100.0`), clamped to the recorded maximum. Zero when
+    /// the histogram is empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i covers [2^i, 2^(i+1)); report the upper edge,
+                // clamped so p100 never exceeds the true maximum.
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The three percentiles everyone asks for, as one copyable struct.
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50_us: self.percentile(50.0),
+            p95_us: self.percentile(95.0),
+            p99_us: self.percentile(99.0),
+            max_us: self.max,
+        }
+    }
+}
+
+/// Request-latency percentiles for one source, in microseconds. The unit is
+/// fixed by the [`DataSource::latency`](crate::DataSource::latency) contract
+/// even though [`LogHistogram`] itself is unit-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_percentiles() {
+        let h = LogHistogram::default();
+        assert!(h.snapshot().is_empty());
+        assert_eq!(h.snapshot().percentile(99.0), 0);
+        for _ in 0..99 {
+            h.record(500); // bucket 8: [256, 512)
+        }
+        h.record(20_000); // bucket 14: [16384, 32768)
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 20_000);
+        // p50/p95 land in the 500µs bucket [256, 512); upper edge 511.
+        assert_eq!(s.percentile(50.0), 511);
+        assert_eq!(s.percentile(95.0), 511);
+        // p100 hits the outlier bucket but clamps to the true max.
+        assert_eq!(s.percentile(100.0), 20_000);
+        let sum = s.latency_summary();
+        assert!(sum.p50_us >= 500 && sum.p50_us <= 511);
+        assert!(sum.p99_us >= sum.p50_us);
+        h.clear();
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn edge_values() {
+        let h = LogHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX); // clamps to the last bucket without panicking
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        // The last bucket's upper edge, not the raw max: overflow values
+        // are clamped into bucket 39 whose edge is 2^40 - 1.
+        assert_eq!(s.percentile(100.0), (1u64 << HISTOGRAM_BUCKETS) - 1);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(LogHistogram::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 4000);
+    }
+}

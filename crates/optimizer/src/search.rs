@@ -125,6 +125,13 @@ pub struct OptimizerStats {
     pub groups: usize,
     pub exprs: usize,
     pub rules_fired: usize,
+    /// Applications per rule name, summed over phases and sorted by name.
+    /// Covers the exploration rules plus the group-level *build remote
+    /// query* rule and the Sort enforcer, so a trace can show where the
+    /// memo search spent its alternatives. (The enforcer entries are not
+    /// part of `rules_fired`, which keeps its original exploration-only
+    /// meaning.)
+    pub rule_counts: Vec<(String, usize)>,
     /// `(phase, best cost found, time spent)` per executed phase.
     pub phases: Vec<(OptimizationPhase, f64, Duration)>,
     /// True when a phase threshold stopped the ladder early.
@@ -169,6 +176,7 @@ impl Optimizer {
             ],
         };
         let mut best: Option<Winner> = None;
+        let mut rule_counts: HashMap<&'static str, usize> = HashMap::new();
         let n_phases = phases.len();
         for (i, phase) in phases.into_iter().enumerate() {
             let t0 = Instant::now();
@@ -179,11 +187,15 @@ impl Optimizer {
                 phase,
                 leaf_rows_cache: HashMap::new(),
                 rules_fired: 0,
+                rule_counts: HashMap::new(),
             };
             driver.explore_all();
             driver.clear_winners();
             let winner = driver.optimize_group(root, &required);
             stats.rules_fired += driver.rules_fired;
+            for (name, n) in driver.rule_counts {
+                *rule_counts.entry(name).or_insert(0) += n;
+            }
             let elapsed = t0.elapsed();
             if let Some(w) = winner {
                 stats.phases.push((phase, w.cost, elapsed));
@@ -207,6 +219,14 @@ impl Optimizer {
         }
         stats.groups = memo.group_count();
         stats.exprs = memo.expr_count();
+        stats.rule_counts = {
+            let mut v: Vec<(String, usize)> = rule_counts
+                .into_iter()
+                .map(|(name, n)| (name.to_string(), n))
+                .collect();
+            v.sort();
+            v
+        };
         let best =
             best.ok_or_else(|| DhqpError::Optimize("no physical plan found for query".into()))?;
         let mut plan = best.plan;
@@ -234,6 +254,7 @@ struct SearchDriver<'a> {
     phase: OptimizationPhase,
     leaf_rows_cache: HashMap<GroupId, f64>,
     rules_fired: usize,
+    rule_counts: HashMap<&'static str, usize>,
 }
 
 impl<'a> SearchDriver<'a> {
@@ -268,6 +289,7 @@ impl<'a> SearchDriver<'a> {
                             {
                                 changed = true;
                                 self.rules_fired += 1;
+                                *self.rule_counts.entry(rule.name()).or_insert(0) += 1;
                             }
                         }
                     }
@@ -351,6 +373,7 @@ impl<'a> SearchDriver<'a> {
         // the requirement asks for it.
         if self.config.enable_remote_query {
             if let Some(w) = self.try_remote_query(group, required) {
+                *self.rule_counts.entry("BuildRemoteQuery").or_insert(0) += 1;
                 if best.as_ref().is_none_or(|b| w.cost < b.cost) {
                     best = Some(w);
                 }
@@ -373,6 +396,7 @@ impl<'a> SearchDriver<'a> {
                 let sort_cost = self.config.cost.sort(props.cardinality);
                 let cost = unordered.cost + sort_cost;
                 if best.as_ref().is_none_or(|b| cost < b.cost) {
+                    *self.rule_counts.entry("SortEnforcer").or_insert(0) += 1;
                     let output = unordered.plan.output.clone();
                     let mut node = PhysNode::new(
                         PhysicalOp::Sort {

@@ -1,0 +1,331 @@
+//! DMV integration tests: the built-in `sys` provider served through the
+//! ordinary linked-server machinery, plus the hierarchical tracer.
+
+use dhqp::{Engine, EngineBuilder, EngineDataSource, QueryResult, TraceConfig};
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
+use dhqp_storage::TableDef;
+use dhqp_types::{Column, DataType, Row, Schema, Value};
+use std::sync::Arc;
+
+/// Column position by name (DMV assertions shouldn't depend on order).
+fn col(r: &QueryResult, name: &str) -> usize {
+    r.schema
+        .columns()
+        .iter()
+        .position(|c| c.name == name)
+        .unwrap_or_else(|| panic!("column {name} missing from {:?}", r.schema))
+}
+
+fn local_with_table() -> Engine {
+    let engine = Engine::new("local");
+    engine
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+    engine
+        .insert(
+            "t",
+            &[
+                Row::new(vec![Value::Int(1)]),
+                Row::new(vec![Value::Int(2)]),
+                Row::new(vec![Value::Int(3)]),
+            ],
+        )
+        .unwrap();
+    engine
+}
+
+/// Local engine plus one remote server behind a metered (accounting-only)
+/// LAN link.
+fn distributed() -> Engine {
+    let remote = Engine::new("remote-engine");
+    remote
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+    remote
+        .insert(
+            "t",
+            &[Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])],
+        )
+        .unwrap();
+    let local = Engine::new("local");
+    let link = NetworkLink::new("link-srv", NetworkConfig::lan());
+    local
+        .add_linked_server(
+            "srv",
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(remote)),
+                link,
+            )),
+        )
+        .unwrap();
+    local
+}
+
+#[test]
+fn every_dmv_selects_through_the_ordinary_pipeline() {
+    let engine = local_with_table();
+    engine.query("SELECT a FROM t").unwrap();
+
+    let r = engine.query("SELECT * FROM sys.dm_exec_requests").unwrap();
+    assert!(!r.rows.is_empty(), "the SELECT above is in the ring");
+    for name in ["sql", "kind", "rows", "elapsed_ms", "ok", "error"] {
+        col(&r, name);
+    }
+
+    let r = engine
+        .query("SELECT * FROM sys.dm_exec_query_stats")
+        .unwrap();
+    for name in [
+        "template",
+        "execution_count",
+        "total_rows",
+        "total_elapsed_ms",
+        "avg_elapsed_ms",
+    ] {
+        col(&r, name);
+    }
+
+    let r = engine.query("SELECT * FROM sys.dm_link_stats").unwrap();
+    assert!(
+        r.rows.is_empty(),
+        "no linked servers registered (sys itself is excluded): {r:?}"
+    );
+
+    let r = engine.query("SELECT * FROM sys.dm_os_counters").unwrap();
+    let name_col = col(&r, "name");
+    let value_col = col(&r, "value");
+    let selects = r
+        .rows
+        .iter()
+        .find(|row| row.get(name_col) == &Value::Str("selects".into()))
+        .expect("selects counter row");
+    assert!(
+        matches!(selects.get(value_col), Value::Int(n) if *n >= 1),
+        "{selects:?}"
+    );
+    assert!(
+        r.rows
+            .iter()
+            .any(|row| row.get(name_col) == &Value::Str("query_latency_p99_us".into())),
+        "query-latency percentile counters missing"
+    );
+}
+
+#[test]
+fn dm_exec_requests_reflects_the_just_executed_query() {
+    let engine = local_with_table();
+    engine.query("SELECT a FROM t WHERE a = 2").unwrap();
+    assert!(engine.query("SELECT nope FROM t").is_err());
+
+    let r = engine
+        .query("SELECT sql, kind, rows, ok, error FROM sys.dm_exec_requests")
+        .unwrap();
+    let (sql_c, kind_c, rows_c, ok_c, err_c) = (
+        col(&r, "sql"),
+        col(&r, "kind"),
+        col(&r, "rows"),
+        col(&r, "ok"),
+        col(&r, "error"),
+    );
+    let good = r
+        .rows
+        .iter()
+        .find(|row| row.get(sql_c) == &Value::Str("SELECT a FROM t WHERE a = 2".into()))
+        .expect("executed query visible in dm_exec_requests");
+    assert_eq!(good.get(kind_c), &Value::Str("SELECT".into()));
+    assert_eq!(good.get(rows_c), &Value::Int(1));
+    assert_eq!(good.get(ok_c), &Value::Bool(true));
+    assert_eq!(good.get(err_c), &Value::Null);
+
+    let bad = r
+        .rows
+        .iter()
+        .find(|row| row.get(sql_c) == &Value::Str("SELECT nope FROM t".into()))
+        .expect("failed query visible too");
+    assert_eq!(bad.get(ok_c), &Value::Bool(false));
+    assert!(
+        matches!(bad.get(err_c), Value::Str(msg) if msg.contains("nope")),
+        "error column carries the failure: {bad:?}"
+    );
+}
+
+#[test]
+fn dm_exec_query_stats_joins_against_a_user_table() {
+    let engine = local_with_table();
+    engine
+        .create_table(TableDef::new(
+            "thresholds",
+            Schema::new(vec![
+                Column::not_null("n", DataType::Int),
+                Column::not_null("label", DataType::Str),
+            ]),
+        ))
+        .unwrap();
+    engine
+        .insert(
+            "thresholds",
+            &[
+                Row::new(vec![Value::Int(2), Value::Str("twice".into())]),
+                Row::new(vec![Value::Int(3), Value::Str("thrice".into())]),
+            ],
+        )
+        .unwrap();
+    // Same fingerprint three times → one cache entry with three executions.
+    for _ in 0..3 {
+        engine.query("SELECT a FROM t WHERE a = 1").unwrap();
+    }
+
+    // DMV rows participate in joins like any other rowset.
+    let r = engine
+        .query(
+            "SELECT s.template, l.label FROM sys.dm_exec_query_stats s, thresholds l \
+             WHERE s.execution_count = l.n",
+        )
+        .unwrap();
+    let (template_c, label_c) = (col(&r, "template"), col(&r, "label"));
+    let hit = r
+        .rows
+        .iter()
+        .find(|row| matches!(row.get(template_c), Value::Str(t) if t.contains("WHERE a =")))
+        .expect("the repeated query's fingerprint joined");
+    assert_eq!(hit.get(label_c), &Value::Str("thrice".into()));
+}
+
+#[test]
+fn dm_link_stats_reports_nonzero_percentiles_after_a_distributed_query() {
+    let local = distributed();
+    local.query("SELECT a FROM srv.db.dbo.t").unwrap();
+
+    let r = local
+        .query("SELECT name, requests, bytes, p50_ms, p99_ms FROM sys.dm_link_stats ORDER BY p99_ms DESC")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "one row per registered link: {r:?}");
+    let (name_c, req_c, bytes_c, p50_c, p99_c) = (
+        col(&r, "name"),
+        col(&r, "requests"),
+        col(&r, "bytes"),
+        col(&r, "p50_ms"),
+        col(&r, "p99_ms"),
+    );
+    let row = &r.rows[0];
+    assert_eq!(row.get(name_c), &Value::Str("srv".into()));
+    assert!(matches!(row.get(req_c), Value::Int(n) if *n > 0));
+    assert!(matches!(row.get(bytes_c), Value::Int(n) if *n > 0));
+    // lan() models 0.5 ms round trips even though it never sleeps; the
+    // log-bucketed histogram clamps the percentile to the observed max.
+    for c in [p50_c, p99_c] {
+        assert!(
+            matches!(row.get(c), Value::Float(ms) if *ms >= 0.5),
+            "percentile not populated: {row:?}"
+        );
+    }
+}
+
+#[test]
+fn tracing_disabled_leaves_no_spans() {
+    let engine = local_with_table();
+    // Explicit config wins over any DHQP_TRACE=1 in the environment (the
+    // CI matrix runs this suite with tracing armed).
+    engine.set_trace_config(TraceConfig::disabled());
+    engine.query("SELECT a FROM t").unwrap();
+    engine.execute_analyze("SELECT a FROM t").unwrap();
+    assert!(engine.last_trace().is_none(), "no spans when disarmed");
+}
+
+#[test]
+fn traced_distributed_analyze_covers_all_phases() {
+    let local = distributed();
+    local.set_trace_config(TraceConfig::enabled());
+
+    // Fresh engine → plan-cache miss → the full compile shows up.
+    let report = local
+        .execute_analyze("SELECT a FROM srv.db.dbo.t WHERE a = 1")
+        .unwrap();
+    let trace = report.trace.as_ref().expect("report carries the trace");
+    assert_eq!(local.last_trace().unwrap().sql, trace.sql);
+    for stage in ["parse", "bind", "optimize", "execute"] {
+        assert!(
+            trace.find(stage).is_some(),
+            "missing {stage}:\n{}",
+            trace.render()
+        );
+    }
+    // Optimize carries per-rule application counts from the memo search.
+    let optimize = trace.find("optimize").unwrap();
+    assert!(
+        optimize.attrs.iter().any(|(k, _)| k.starts_with("rule.")),
+        "no rule counts: {:?}",
+        optimize.attrs
+    );
+    // Execute has one child per operator, annotated with self time.
+    let execute = trace.find("execute").unwrap();
+    assert!(!execute.children.is_empty(), "no operator spans");
+    fn any_attr(span: &dhqp::TraceSpan, key: &str) -> bool {
+        span.attr(key).is_some() || span.children.iter().any(|c| any_attr(c, key))
+    }
+    assert!(
+        any_attr(execute, "self_us"),
+        "no self times:\n{}",
+        trace.render()
+    );
+    assert!(
+        any_attr(execute, "rows"),
+        "no row counts:\n{}",
+        trace.render()
+    );
+
+    // The rendered report embeds the span tree; the JSON export is valid
+    // enough to carry the same names.
+    let rendered = report.render();
+    assert!(rendered.contains("-- trace:"), "{rendered}");
+    let json = trace.to_json();
+    assert!(json.contains("\"name\":\"optimize\""), "{json}");
+
+    // A second run is a plan-cache hit: compile spans collapse into a
+    // plan-cache marker, execution is still traced per-operator.
+    local
+        .execute_analyze("SELECT a FROM srv.db.dbo.t WHERE a = 1")
+        .unwrap();
+    let hit = local.last_trace().unwrap();
+    let marker = hit.find("plan-cache").expect("hit path traced");
+    assert_eq!(marker.attr("hit"), Some("true"));
+    assert!(hit.find("optimize").is_none(), "hit skips the compile");
+    assert!(hit.find("execute").is_some());
+}
+
+#[test]
+fn recent_query_capacity_is_configurable() {
+    let engine = EngineBuilder::new("local").recent_query_capacity(2).build();
+    engine
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+    for i in 0..4 {
+        engine
+            .query(&format!("SELECT a FROM t WHERE a = {i}"))
+            .unwrap();
+    }
+    let recent = engine.recent_queries();
+    assert_eq!(recent.len(), 2, "ring bounded by the configured capacity");
+    assert_eq!(recent[1].sql, "SELECT a FROM t WHERE a = 3");
+}
+
+#[test]
+fn sys_views_survive_ordering_and_projection() {
+    // The README's canonical example: order links by tail latency.
+    let local = distributed();
+    local.query("SELECT a FROM srv.db.dbo.t").unwrap();
+    let r = local
+        .query("SELECT * FROM sys.dm_link_stats ORDER BY p99_ms DESC")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].get(col(&r, "name")), &Value::Str("srv".into()));
+}

@@ -1,12 +1,13 @@
 //! Observability integration tests: `EXPLAIN ANALYZE` over distributed
 //! plans, the engine metrics registry and the recent-query ring.
 
-use dhqp::{Engine, EngineDataSource, StatementKind};
+use dhqp::{Engine, EngineBuilder, EngineDataSource, StatementKind};
 use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
 use dhqp_storage::TableDef;
 use dhqp_types::{Column, DataType, Row, Schema, Value};
 use dhqp_workload::tpch::{self, TpchScale};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Local engine + two remote servers: remote0 holds customer, remote1
 /// holds supplier, nation stays local — the Figure 4 layout split across
@@ -304,6 +305,105 @@ fn fulltext_searches_are_counted() {
         .unwrap();
     assert_eq!(r.len(), 1);
     assert!(engine.metrics().fulltext_searches >= 1);
+}
+
+#[test]
+fn link_histograms_report_the_modeled_latency_distribution() {
+    // A deterministic link: 3 ms per round trip, no bandwidth term, no
+    // sleeping — every percentile must come out of the accounting model.
+    let cfg = NetworkConfig {
+        latency_us: 3_000,
+        bytes_per_ms: 0,
+        simulate_delay: false,
+    };
+    let remote = Engine::new("remote");
+    remote
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+    remote
+        .insert("t", &[Row::new(vec![Value::Int(1)])])
+        .unwrap();
+    let local = Engine::new("local");
+    let link = NetworkLink::new("fixed-link", cfg);
+    local
+        .add_linked_server(
+            "srv",
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(remote)),
+                link.clone(),
+            )),
+        )
+        .unwrap();
+    for _ in 0..5 {
+        local.query("SELECT a FROM srv.db.dbo.t").unwrap();
+    }
+
+    let hist = link.latency_histogram();
+    assert!(hist.count >= 5, "every round trip recorded: {hist:?}");
+    let summary = link.latency_summary();
+    assert_eq!(summary.max_us, 3_000, "modeled time is exact");
+    // 3 000 µs lands in the [2048, 4096) log bucket whose upper edge the
+    // percentile clamps to the observed max — so with one fixed latency
+    // every percentile is exactly the configured value.
+    assert_eq!(summary.p50_us, 3_000);
+    assert_eq!(summary.p95_us, 3_000);
+    assert_eq!(summary.p99_us, 3_000);
+    assert!(
+        link.payload_histogram().count > 0,
+        "payload sizes recorded alongside latencies"
+    );
+
+    // The same distribution surfaces in EXPLAIN ANALYZE's wire lines.
+    let rendered = local
+        .execute_analyze("SELECT a FROM srv.db.dbo.t")
+        .unwrap()
+        .render();
+    assert!(rendered.contains("[link latency: p50=3.00ms"), "{rendered}");
+}
+
+#[test]
+fn slow_query_log_captures_threshold_crossers() {
+    // A zero threshold turns the slow-query ring into "everything".
+    let engine = EngineBuilder::new("local")
+        .slow_query_threshold(Some(Duration::ZERO))
+        .build();
+    engine
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+    engine.query("SELECT a FROM t").unwrap();
+    let slow = engine.slow_queries();
+    assert_eq!(slow.len(), 1);
+    assert_eq!(slow[0].sql, "SELECT a FROM t");
+
+    // Without an armed threshold nothing is retained.
+    let quiet = Engine::new("quiet");
+    quiet
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+    quiet.query("SELECT a FROM t").unwrap();
+    assert!(quiet.slow_queries().is_empty());
+}
+
+#[test]
+fn explain_analyze_reports_self_time_with_adaptive_units() {
+    let (local, _l0, _l1) = two_server_setup(TpchScale::tiny());
+    let rendered = local.execute_analyze(TWO_SERVER_JOIN).unwrap().render();
+    assert!(rendered.contains(" time="), "{rendered}");
+    assert!(rendered.contains(" self="), "{rendered}");
+    // Sub-millisecond operators render in µs, not 0.00ms.
+    assert!(
+        !rendered.contains("self=0.00ms"),
+        "adaptive units collapsed: {rendered}"
+    );
 }
 
 #[test]
