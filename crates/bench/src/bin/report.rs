@@ -5,7 +5,10 @@
 //! cargo run --release -p dhqp-bench --bin report
 //! ```
 
-use dhqp::{Engine, EngineDataSource, OptimizationPhase, ParallelConfig, TraceConfig};
+use dhqp::{
+    Engine, EngineDataSource, EventConfig, OptimizationPhase, ParallelConfig, TraceConfig,
+    WaitClass,
+};
 use dhqp_bench::{
     dpv_federation, example1, remote_dpv_federation, reset_links, total_traffic, warm,
     EXAMPLE1_PLAN_A_SQL, EXAMPLE1_SQL,
@@ -944,11 +947,84 @@ fn e14_trace_overhead() {
     println!("→ wrote BENCH_trace_overhead.json");
 }
 
+fn e15_events_overhead() {
+    header("E15 — wait accounting + event bus overhead on the E12 federation scan");
+    let scale = TpchScale {
+        nations: 10,
+        customers: 300,
+        suppliers: 50,
+        orders: 2000,
+        lineitems_per_order: 3,
+    };
+    let members = 4usize;
+    let fed = remote_dpv_federation(scale, members, NetworkConfig::wan_timed());
+    let sql = "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem_all";
+
+    // Wait accounting is always on; the measured delta is the event bus
+    // (per-statement scope hook, attr formatting, ring publication) on top
+    // of it. Best of three per configuration, as in E12/E14: WAN sleeps
+    // dominate, so the minimum is the stable wall-clock figure.
+    let measure = |events: EventConfig| {
+        fed.head.set_event_config(events);
+        warm(&fed.head, sql);
+        let mut best: Option<(usize, std::time::Duration)> = None;
+        for _ in 0..3 {
+            reset_links(&fed.links);
+            let (r, t) = timed(|| fed.head.query(sql).unwrap());
+            if best.is_none_or(|(_, b)| t < b) {
+                best = Some((r.len(), t));
+            }
+        }
+        best.expect("measured")
+    };
+
+    let (rows_off, t_off) = measure(EventConfig::disabled());
+    let (rows_on, t_on) = measure(EventConfig::all());
+    assert_eq!(rows_off, rows_on, "instrumentation must not change results");
+    let events = fed.head.recent_events().len();
+    assert!(events > 0, "armed runs publish events");
+    let waits = fed.head.wait_stats();
+    let wait_classes = waits.nonzero().len();
+    assert!(
+        waits.get(WaitClass::NetworkIo).count > 0,
+        "the WAN scan must account NETWORK_IO waits"
+    );
+    let overhead = t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0;
+
+    println!("{:<16} {:>10} {:>12}", "events", "rows", "time");
+    println!("{:<16} {rows_off:>10} {t_off:>12.2?}", "off");
+    println!("{:<16} {rows_on:>10} {t_on:>12.2?}", "on");
+    println!(
+        "→ events+waits add {:.1}% wall time ({events} events retained, \
+         {wait_classes} wait classes nonzero).",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < 0.05,
+        "events+waits overhead must stay under 5%: {:.1}%",
+        overhead * 100.0
+    );
+
+    // Hand-formatted JSON: the offline serde shim is marker-only.
+    let json = format!(
+        "{{\n  \"experiment\": \"events_overhead\",\n  \"query\": \"{sql}\",\n  \
+         \"members\": {members},\n  \"rows\": {rows_off},\n  \
+         \"events_off_ms\": {:.3},\n  \"events_on_ms\": {:.3},\n  \
+         \"overhead_pct\": {:.2},\n  \"events_retained\": {events},\n  \
+         \"wait_classes_nonzero\": {wait_classes}\n}}\n",
+        t_off.as_secs_f64() * 1e3,
+        t_on.as_secs_f64() * 1e3,
+        overhead * 100.0,
+    );
+    std::fs::write("BENCH_events_overhead.json", json).expect("write BENCH json");
+    println!("→ wrote BENCH_events_overhead.json");
+}
+
 fn main() {
     println!("dhqp experiment report — regenerates every paper table/figure reproduction");
     println!("(one execution per configuration; see `cargo bench` for statistical timing)");
     let filter = std::env::args().nth(1);
-    let experiments: [(&str, fn()); 14] = [
+    let experiments: [(&str, fn()); 15] = [
         ("e1", e1_figure4),
         ("e2", e2_table1),
         ("e3", e3_table2),
@@ -963,6 +1039,7 @@ fn main() {
         ("e12", e12_parallel),
         ("e13", e13_plan_cache),
         ("e14", e14_trace_overhead),
+        ("e15", e15_events_overhead),
     ];
     for (name, run) in experiments {
         if filter.as_deref().is_none_or(|f| f == name) {

@@ -12,6 +12,7 @@
 use crate::result::QueryResult;
 use crate::trace::QueryTrace;
 use dhqp_executor::NodeRuntime;
+use dhqp_oledb::WaitSnapshot;
 use dhqp_optimizer::explain::ExplainPlan;
 use dhqp_optimizer::{PhysNode, PhysicalOp};
 use dhqp_types::{Column, DataType, Row, Schema, Value};
@@ -39,6 +40,8 @@ pub struct AnalyzeReport {
     pub stats_age: Option<std::time::Duration>,
     /// The statement's span tree, when tracing was armed.
     pub trace: Option<Arc<QueryTrace>>,
+    /// Per-query wait accounting: what this statement blocked on, by class.
+    pub waits: Option<WaitSnapshot>,
 }
 
 /// Adaptive duration formatting: µs below 1 ms, ms below 1 s, else s.
@@ -104,6 +107,22 @@ impl AnalyzeReport {
         }
         if stats.early_exit {
             out.push_str("-- early exit: phase threshold met\n");
+        }
+        if let Some(waits) = &self.waits {
+            let nonzero = waits.nonzero();
+            if !nonzero.is_empty() {
+                out.push_str("-- [waits:");
+                for (class, totals) in nonzero {
+                    let _ = write!(
+                        out,
+                        " {}={}x/{}",
+                        class.name(),
+                        totals.count,
+                        fmt_duration(Duration::from_micros(totals.total_us))
+                    );
+                }
+                out.push_str("]\n");
+            }
         }
         if let Some(trace) = &self.trace {
             out.push_str("-- trace:\n");

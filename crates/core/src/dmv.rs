@@ -19,6 +19,10 @@
 //!   round-trip latency percentiles.
 //! * `sys.dm_os_counters` — the engine's [`crate::MetricsSnapshot`] plus
 //!   end-to-end query-latency percentiles, as `(name, value)` rows.
+//! * `sys.dm_os_wait_stats` — cumulative per-class wait accounting (one
+//!   row per [`dhqp_oledb::WaitClass`], zeros included).
+//! * `sys.dm_xe_recent_events` — the event bus's retained ring, oldest
+//!   first (empty unless events are enabled).
 //!
 //! Rows materialize at rowset-open time from live engine state; the
 //! provider holds only a weak reference to the engine, since the engine's
@@ -26,7 +30,7 @@
 
 use crate::engine::Inner;
 use dhqp_oledb::{
-    ColumnInfo, DataSource, MemRowset, ProviderCapabilities, Rowset, Session, TableInfo,
+    ColumnInfo, DataSource, MemRowset, ProviderCapabilities, Rowset, Session, TableInfo, WaitClass,
 };
 use dhqp_types::{DataType, DhqpError, Result, Row, Value};
 use std::sync::{Arc, Weak};
@@ -38,6 +42,8 @@ const DM_EXEC_REQUESTS: &str = "dm_exec_requests";
 const DM_EXEC_QUERY_STATS: &str = "dm_exec_query_stats";
 const DM_LINK_STATS: &str = "dm_link_stats";
 const DM_OS_COUNTERS: &str = "dm_os_counters";
+const DM_OS_WAIT_STATS: &str = "dm_os_wait_stats";
+const DM_XE_RECENT_EVENTS: &str = "dm_xe_recent_events";
 
 /// The `sys` data source. Holds a weak engine reference: the engine's
 /// linked-server registry owns this provider, so a strong one would leak
@@ -68,6 +74,8 @@ fn requests_info() -> TableInfo {
             ColumnInfo::not_null("elapsed_ms", DataType::Float),
             ColumnInfo::not_null("ok", DataType::Bool),
             ColumnInfo::new("error", DataType::Str),
+            // NULL when the statement never blocked.
+            ColumnInfo::new("dominant_wait", DataType::Str),
         ],
     )
 }
@@ -112,6 +120,30 @@ fn os_counters_info() -> TableInfo {
     )
 }
 
+fn wait_stats_info() -> TableInfo {
+    TableInfo::new(
+        DM_OS_WAIT_STATS,
+        vec![
+            ColumnInfo::not_null("wait_type", DataType::Str),
+            ColumnInfo::not_null("waiting_tasks_count", DataType::Int),
+            ColumnInfo::not_null("wait_time_ms", DataType::Float),
+            ColumnInfo::not_null("max_wait_time_ms", DataType::Float),
+        ],
+    )
+}
+
+fn xe_recent_events_info() -> TableInfo {
+    TableInfo::new(
+        DM_XE_RECENT_EVENTS,
+        vec![
+            ColumnInfo::not_null("seq", DataType::Int),
+            ColumnInfo::not_null("timestamp_ms", DataType::Float),
+            ColumnInfo::not_null("kind", DataType::Str),
+            ColumnInfo::not_null("detail", DataType::Str),
+        ],
+    )
+}
+
 fn ms(us: u64) -> Value {
     Value::Float(us as f64 / 1000.0)
 }
@@ -134,6 +166,8 @@ impl DataSource for SysDataSource {
             query_stats_info().with_cardinality(engine.dmv_plan_entries().len() as u64),
             link_stats_info().with_cardinality(engine.dmv_links().len() as u64),
             os_counters_info().with_cardinality(engine.dmv_metrics().counters().len() as u64 + 5),
+            wait_stats_info().with_cardinality(WaitClass::ALL.len() as u64),
+            xe_recent_events_info().with_cardinality(engine.dmv_recent_events().len() as u64),
         ])
     }
 
@@ -162,6 +196,8 @@ impl Session for SysSession {
             DM_EXEC_QUERY_STATS => (query_stats_info(), query_stats_rows(&engine)),
             DM_LINK_STATS => (link_stats_info(), link_stats_rows(&engine)),
             DM_OS_COUNTERS => (os_counters_info(), os_counters_rows(&engine)),
+            DM_OS_WAIT_STATS => (wait_stats_info(), wait_stats_rows(&engine)),
+            DM_XE_RECENT_EVENTS => (xe_recent_events_info(), xe_recent_events_rows(&engine)),
             other => {
                 return Err(DhqpError::Catalog(format!(
                     "table '{other}' not found in source '{SYS_SERVER}'"
@@ -184,6 +220,9 @@ fn requests_rows(engine: &Inner) -> Vec<Row> {
                 Value::Float(q.elapsed.as_secs_f64() * 1000.0),
                 Value::Bool(q.ok),
                 q.error.map(Value::Str).unwrap_or(Value::Null),
+                q.dominant_wait
+                    .map(|w| Value::Str(w.to_string()))
+                    .unwrap_or(Value::Null),
             ])
         })
         .collect()
@@ -233,6 +272,37 @@ fn link_stats_rows(engine: &Inner) -> Vec<Row> {
                 p95,
                 p99,
                 max,
+            ])
+        })
+        .collect()
+}
+
+fn wait_stats_rows(engine: &Inner) -> Vec<Row> {
+    let snapshot = engine.dmv_wait_stats();
+    WaitClass::ALL
+        .iter()
+        .map(|&class| {
+            let t = snapshot.get(class);
+            Row::new(vec![
+                Value::Str(class.name().to_string()),
+                Value::Int(t.count as i64),
+                ms(t.total_us),
+                ms(t.max_us),
+            ])
+        })
+        .collect()
+}
+
+fn xe_recent_events_rows(engine: &Inner) -> Vec<Row> {
+    engine
+        .dmv_recent_events()
+        .into_iter()
+        .map(|e| {
+            Row::new(vec![
+                Value::Int(e.seq as i64),
+                ms(e.timestamp_us),
+                Value::Str(e.kind.name().to_string()),
+                Value::Str(e.detail()),
             ])
         })
         .collect()

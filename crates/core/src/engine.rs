@@ -4,6 +4,7 @@ use crate::analyze::{text_result, AnalyzeReport};
 use crate::binder::{Binder, BoundSelect, FetchedTable};
 use crate::dml;
 use crate::dmv::{SysDataSource, SYS_SERVER};
+use crate::events::{Event, EventBus, EventConfig, EventSink};
 use crate::metrics::{
     EngineMetrics, MetricsSnapshot, QuerySummary, StatementKind, RECENT_QUERY_CAPACITY,
 };
@@ -16,7 +17,10 @@ use dhqp_executor::{
 };
 use dhqp_federation::{LinkedServerRegistry, MemberTable, PartitionedView};
 use dhqp_fulltext::SearchService;
-use dhqp_oledb::{DataSource, RowsetExt, TableStatistics};
+use dhqp_oledb::{
+    emit_event, has_hook, install_scope, record_wait, timed_wait, ActivityScope, DataSource,
+    EventHook, RowsetExt, ScopeGuard, TableStatistics, WaitClass, WaitSnapshot, WaitStats,
+};
 use dhqp_optimizer::explain::ExplainPlan;
 use dhqp_optimizer::{Optimizer, OptimizerConfig, PhysNode};
 use dhqp_sqlfront::{fingerprint, parse_statement, Fingerprint, SelectStmt, Statement};
@@ -70,6 +74,10 @@ pub(crate) struct Inner {
     trace: RwLock<TraceConfig>,
     /// The most recent finished trace, when tracing was armed.
     last_trace: Mutex<Option<Arc<QueryTrace>>>,
+    /// The structured event bus (`DHQP_EVENTS` /
+    /// [`Engine::set_event_config`]). Reconfiguring replaces the bus — the
+    /// ring starts fresh, like restarting an XEvents session.
+    events: RwLock<Arc<EventBus>>,
 }
 
 // DMV accessors: read-only state snapshots the `sys` provider
@@ -111,6 +119,14 @@ impl Inner {
     pub(crate) fn dmv_query_latency(&self) -> dhqp_oledb::HistogramSnapshot {
         self.metrics.query_latency()
     }
+
+    pub(crate) fn dmv_wait_stats(&self) -> WaitSnapshot {
+        self.metrics.wait_snapshot()
+    }
+
+    pub(crate) fn dmv_recent_events(&self) -> Vec<Event> {
+        self.events.read().recent()
+    }
 }
 
 /// Builder for engines with non-default configuration.
@@ -124,6 +140,7 @@ pub struct EngineBuilder {
     recent_queries: usize,
     slow_query: Option<Duration>,
     trace: TraceConfig,
+    events: EventConfig,
 }
 
 /// Default remote-statistics TTL, overridable via `DHQP_STATS_TTL_MS`.
@@ -163,6 +180,7 @@ impl EngineBuilder {
             recent_queries: recent_queries_from_env(),
             slow_query: slow_query_from_env(),
             trace: TraceConfig::from_env(),
+            events: EventConfig::from_env(),
         }
     }
 
@@ -217,6 +235,12 @@ impl EngineBuilder {
         self
     }
 
+    /// Structured event capture (overrides `DHQP_EVENTS`).
+    pub fn event_config(mut self, events: EventConfig) -> Self {
+        self.events = events;
+        self
+    }
+
     pub fn build(self) -> Engine {
         let storage = Arc::new(StorageEngine::new(self.name.clone()));
         let local_source = Arc::new(LocalDataSource::new(Arc::clone(&storage)));
@@ -242,6 +266,7 @@ impl EngineBuilder {
                 metrics: EngineMetrics::new(self.recent_queries, self.slow_query),
                 trace: RwLock::new(self.trace),
                 last_trace: Mutex::new(None),
+                events: RwLock::new(Arc::new(EventBus::new(self.events))),
             }),
         };
         // Every engine self-registers its DMVs as the built-in `sys`
@@ -520,23 +545,29 @@ impl Engine {
                 }
                 self.inner.metrics.record_meta_cache_miss();
                 let source = self.linked_server(server)?;
-                let info = source.table(table)?;
-                let caps = source.capabilities();
-                let stats = if caps.statistics_support {
-                    let mut session = source.create_session()?;
-                    let mut stats = TableStatistics {
-                        row_count: info.cardinality,
-                        ..Default::default()
-                    };
-                    for c in &info.columns {
-                        if let Some(h) = session.histogram(table, &c.name)? {
-                            stats.set_histogram(&c.name, h);
+                // The whole remote fetch — schema plus per-column
+                // histograms — is one STATS_FETCH wait: the compile is
+                // blocked on the wire for its full duration.
+                let (info, caps, stats) = timed_wait(WaitClass::StatsFetch, || -> Result<_> {
+                    let info = source.table(table)?;
+                    let caps = source.capabilities();
+                    let stats = if caps.statistics_support {
+                        let mut session = source.create_session()?;
+                        let mut stats = TableStatistics {
+                            row_count: info.cardinality,
+                            ..Default::default()
+                        };
+                        for c in &info.columns {
+                            if let Some(h) = session.histogram(table, &c.name)? {
+                                stats.set_histogram(&c.name, h);
+                            }
                         }
-                    }
-                    Some(stats)
-                } else {
-                    None
-                };
+                        Some(stats)
+                    } else {
+                        None
+                    };
+                    Ok((info, caps, stats))
+                })?;
                 if stats.is_some() {
                     self.inner.metrics.record_stats_cache_miss();
                 }
@@ -700,6 +731,9 @@ impl Engine {
         let entry = self.inner.plan_cache.lock().get(key)?;
         if self.deps_current(&entry.deps) {
             self.inner.metrics.record_plan_cache_hit();
+            if has_hook() {
+                emit_event("plan_cache_hit", &[("template", key.to_string())]);
+            }
             for _ in &entry.deps.servers {
                 self.inner.metrics.record_meta_cache_hit();
             }
@@ -714,6 +748,80 @@ impl Engine {
 
     // ---- query pipeline ----------------------------------------------------
 
+    /// Install this statement's activity scope: waits recorded anywhere on
+    /// this thread (and on worker threads spawned under it) fan out to the
+    /// engine-cumulative sink and a fresh per-query sink, and events reach
+    /// the bus when it is armed. Emits `query_start`. The guard restores
+    /// the previous scope on drop, so nested statements (a DMV query issued
+    /// while serving another statement) account correctly.
+    fn begin_statement(&self, sql: &str) -> (ScopeGuard, Arc<WaitStats>) {
+        let query_waits = Arc::new(WaitStats::default());
+        let bus = Arc::clone(&self.inner.events.read());
+        let hook = bus
+            .enabled()
+            .then(|| Arc::clone(&bus) as Arc<dyn EventHook>);
+        let guard = install_scope(ActivityScope::new(
+            vec![self.inner.metrics.waits(), Arc::clone(&query_waits)],
+            hook,
+        ));
+        if has_hook() {
+            emit_event("query_start", &[("sql", sql.to_string())]);
+        }
+        (guard, query_waits)
+    }
+
+    /// Count one finished statement: snapshot the per-query waits for
+    /// dominant-wait attribution, push the summary, and emit `query_end`
+    /// (plus `slow_query` past the armed threshold).
+    fn end_statement(
+        &self,
+        kind: StatementKind,
+        sql: &str,
+        elapsed: Duration,
+        rows: u64,
+        error: Option<String>,
+        query_waits: &WaitStats,
+    ) {
+        let waits = query_waits.snapshot();
+        let error_text = error.clone();
+        let was_slow =
+            self.inner
+                .metrics
+                .finish_statement(kind, sql, elapsed, rows, error, Some(&waits));
+        if has_hook() {
+            let elapsed_ms = format!("{:.3}", elapsed.as_secs_f64() * 1000.0);
+            let mut attrs = vec![
+                ("kind", kind.name().to_string()),
+                ("rows", rows.to_string()),
+                ("elapsed_ms", elapsed_ms.clone()),
+            ];
+            if let Some(class) = waits.dominant() {
+                attrs.push(("dominant_wait", class.name().to_string()));
+            }
+            if let Some(e) = error_text {
+                attrs.push(("error", e));
+            }
+            emit_event("query_end", &attrs);
+            if was_slow {
+                emit_event(
+                    "slow_query",
+                    &[
+                        ("sql", sql.to_string()),
+                        ("elapsed_ms", elapsed_ms),
+                        (
+                            "dominant_wait",
+                            waits
+                                .dominant()
+                                .map(|c| c.name())
+                                .unwrap_or("NONE")
+                                .to_string(),
+                        ),
+                    ],
+                );
+            }
+        }
+    }
+
     /// Run any statement without parameters.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         self.execute_with_params(sql, HashMap::new())
@@ -725,6 +833,7 @@ impl Engine {
         sql: &str,
         params: HashMap<String, Value>,
     ) -> Result<QueryResult> {
+        let (_activity, query_waits) = self.begin_statement(sql);
         let tracing = self.inner.trace.read().enabled;
         // Plan-cache fast path: a SELECT (bare or under EXPLAIN ANALYZE)
         // is auto-parameterized and served from — or compiled into — the
@@ -743,7 +852,11 @@ impl Engine {
                     if let Some(outcome) =
                         self.run_fingerprinted(&fp, &params, collector.clone(), tracer.as_ref())
                     {
-                        let trace = tracer.map(|t| Arc::new(t.finish()));
+                        let wait_snapshot = query_waits.snapshot();
+                        let trace = tracer.map(|t| {
+                            t.set_waits(wait_snapshot);
+                            Arc::new(t.finish())
+                        });
                         let kind = if analyze {
                             StatementKind::ExplainAnalyze
                         } else {
@@ -754,6 +867,7 @@ impl Engine {
                                 (true, Some(collector)) => {
                                     let mut report =
                                         self.cached_report(result, &entry, hit, collector);
+                                    report.waits = Some(wait_snapshot);
                                     report.trace = trace.clone();
                                     report.to_query_result()
                                 }
@@ -763,12 +877,13 @@ impl Engine {
                             Ok(r) => r.rows_affected.unwrap_or(r.rows.len() as u64),
                             Err(_) => 0,
                         };
-                        self.inner.metrics.finish_statement(
+                        self.end_statement(
                             kind,
                             sql,
                             start.elapsed(),
                             rows,
                             result.as_ref().err().map(|e| e.to_string()),
+                            &query_waits,
                         );
                         if let Some(trace) = trace {
                             *self.inner.last_trace.lock() = Some(trace);
@@ -787,6 +902,7 @@ impl Engine {
                 return Err(e);
             }
         };
+        record_wait(WaitClass::PlanCompile, began.elapsed());
         if let Some(tr) = &tracer {
             tr.stage("parse", began);
         }
@@ -821,9 +937,11 @@ impl Engine {
                 stmt,
             } => match self.analyze_select(&stmt, params, tracer.as_ref()) {
                 Ok(mut report) => {
+                    report.waits = Some(query_waits.snapshot());
                     // The trace renders inside the report, so finish it
                     // before the report turns into text.
                     if let Some(tr) = tracer.take() {
+                        tr.set_waits(query_waits.snapshot());
                         let trace = Arc::new(tr.finish());
                         *self.inner.last_trace.lock() = Some(Arc::clone(&trace));
                         report.trace = Some(trace);
@@ -837,14 +955,16 @@ impl Engine {
             Ok(r) => r.rows_affected.unwrap_or(r.rows.len() as u64),
             Err(_) => 0,
         };
-        self.inner.metrics.finish_statement(
+        self.end_statement(
             kind,
             sql,
             start.elapsed(),
             rows,
             result.as_ref().err().map(|e| e.to_string()),
+            &query_waits,
         );
         if let Some(tr) = tracer {
+            tr.set_waits(query_waits.snapshot());
             *self.inner.last_trace.lock() = Some(Arc::new(tr.finish()));
         }
         result
@@ -910,6 +1030,7 @@ impl Engine {
         sql: &str,
         params: HashMap<String, Value>,
     ) -> Result<AnalyzeReport> {
+        let (_activity, query_waits) = self.begin_statement(sql);
         let tracing = self.inner.trace.read().enabled;
         if self.plan_cache_enabled() {
             if let Some(fp) = fingerprint(sql) {
@@ -921,12 +1042,17 @@ impl Engine {
                     Some(Arc::clone(&collector)),
                     tracer.as_ref(),
                 ) {
-                    let trace = tracer.map(|t| Arc::new(t.finish()));
+                    let wait_snapshot = query_waits.snapshot();
+                    let trace = tracer.map(|t| {
+                        t.set_waits(wait_snapshot);
+                        Arc::new(t.finish())
+                    });
                     if let Some(trace) = &trace {
                         *self.inner.last_trace.lock() = Some(Arc::clone(trace));
                     }
                     return outcome.map(|(result, entry, hit)| {
                         let mut report = self.cached_report(result, &entry, hit, &collector);
+                        report.waits = Some(wait_snapshot);
                         report.trace = trace.clone();
                         report
                     });
@@ -944,15 +1070,21 @@ impl Engine {
                 ))
             }
         };
+        record_wait(WaitClass::PlanCompile, began.elapsed());
         if let Some(tr) = &tracer {
             tr.stage("parse", began);
         }
         let report = self.analyze_select(&stmt, params, tracer.as_ref());
-        let trace = tracer.map(|t| Arc::new(t.finish()));
+        let wait_snapshot = query_waits.snapshot();
+        let trace = tracer.map(|t| {
+            t.set_waits(wait_snapshot);
+            Arc::new(t.finish())
+        });
         if let Some(trace) = &trace {
             *self.inner.last_trace.lock() = Some(Arc::clone(trace));
         }
         report.map(|mut r| {
+            r.waits = Some(wait_snapshot);
             r.trace = trace;
             r
         })
@@ -976,6 +1108,7 @@ impl Engine {
             cache_hit: None,
             stats_age: None,
             trace: None,
+            waits: None,
         })
     }
 
@@ -995,6 +1128,7 @@ impl Engine {
             cache_hit: Some(hit),
             stats_age: entry.stats_age(),
             trace: None,
+            waits: None,
         }
     }
 
@@ -1059,11 +1193,13 @@ impl Engine {
         if !plan_cache::is_cacheable(&stmt) {
             return None;
         }
+        record_wait(WaitClass::PlanCompile, began.elapsed());
         if let Some(tr) = tracer {
             tr.stage("parse", began);
         }
         let began = Instant::now();
         let bound = Binder::new(self, &params).bind_select(&stmt).ok()?;
+        record_wait(WaitClass::PlanCompile, began.elapsed());
         if let Some(tr) = tracer {
             tr.stage("bind", began);
         }
@@ -1080,6 +1216,7 @@ impl Engine {
         let deps = self.current_deps(dep_servers);
         let began = Instant::now();
         let (plan, opt_stats) = optimizer.optimize(tree, &mut registry, required).ok()?;
+        record_wait(WaitClass::PlanCompile, began.elapsed());
         if let Some(tr) = tracer {
             tr.stage_optimize(began, &opt_stats);
         }
@@ -1096,6 +1233,9 @@ impl Engine {
             total_rows: AtomicU64::new(0),
         });
         self.inner.metrics.record_plan_cache_miss();
+        if has_hook() {
+            emit_event("plan_cache_miss", &[("template", fp.template.clone())]);
+        }
         let evicted = self
             .inner
             .plan_cache
@@ -1145,6 +1285,7 @@ impl Engine {
     )> {
         let began = Instant::now();
         let bound = Binder::new(self, &params).bind_select(stmt)?;
+        record_wait(WaitClass::PlanCompile, began.elapsed());
         if let Some(tr) = tracer {
             tr.stage("bind", began);
         }
@@ -1159,6 +1300,7 @@ impl Engine {
         } = bound;
         let began = Instant::now();
         let (plan, opt_stats) = optimizer.optimize(tree, &mut registry, required)?;
+        record_wait(WaitClass::PlanCompile, began.elapsed());
         if let Some(tr) = tracer {
             tr.stage_optimize(began, &opt_stats);
         }
@@ -1426,5 +1568,47 @@ impl Engine {
     /// or `None` if no statement has been traced.
     pub fn last_trace(&self) -> Option<Arc<QueryTrace>> {
         self.inner.last_trace.lock().clone()
+    }
+
+    /// Cumulative per-class wait accounting since engine start (or the
+    /// last clear) — the `sys.dm_os_wait_stats` data.
+    pub fn wait_stats(&self) -> WaitSnapshot {
+        self.inner.metrics.wait_snapshot()
+    }
+
+    /// Zero the wait accounting —
+    /// `DBCC SQLPERF('sys.dm_os_wait_stats', CLEAR)`.
+    pub fn clear_wait_stats(&self) {
+        self.inner.metrics.clear_waits();
+    }
+
+    /// Zero every engine counter, query ring, latency histogram and wait
+    /// class. The DTC's outcome log and counters are durable state and are
+    /// not touched; reset them by creating a new engine.
+    pub fn reset_metrics(&self) {
+        self.inner.metrics.reset();
+    }
+
+    /// Current event-bus configuration.
+    pub fn event_config(&self) -> EventConfig {
+        self.inner.events.read().config()
+    }
+
+    /// Reconfigure event capture. Replaces the bus: the ring starts empty,
+    /// like restarting an XEvents session. Overrides `DHQP_EVENTS`.
+    pub fn set_event_config(&self, config: EventConfig) {
+        *self.inner.events.write() = Arc::new(EventBus::new(config));
+    }
+
+    /// The retained events, oldest first — the `sys.dm_xe_recent_events`
+    /// data. Empty when the bus is disabled.
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.inner.events.read().recent()
+    }
+
+    /// Attach a sink observing every subsequently accepted event (dropped
+    /// when the bus is replaced via [`Engine::set_event_config`]).
+    pub fn add_event_sink(&self, sink: Box<dyn EventSink>) {
+        self.inner.events.read().add_sink(sink);
     }
 }

@@ -24,6 +24,7 @@ pub mod binder;
 pub(crate) mod dml;
 pub mod dmv;
 pub mod engine;
+pub mod events;
 pub mod metrics;
 pub mod plan_cache;
 pub mod remote;
@@ -33,6 +34,7 @@ pub mod trace;
 pub use analyze::AnalyzeReport;
 pub use dmv::SYS_SERVER;
 pub use engine::{Engine, EngineBuilder};
+pub use events::{Event, EventBus, EventConfig, EventKind, EventSink, JsonlSink};
 pub use metrics::{MetricsSnapshot, QuerySummary, StatementKind};
 pub use plan_cache::PlanCacheConfig;
 pub use remote::EngineDataSource;
@@ -42,4 +44,5 @@ pub use trace::{QueryTrace, TraceConfig, TraceSpan};
 pub use dhqp_dtc::{DtcStats, RecoveryReport};
 pub use dhqp_executor::{ParallelConfig, RetryPolicy};
 pub use dhqp_netsim::FaultConfig;
+pub use dhqp_oledb::{WaitClass, WaitSnapshot, WaitStats, WaitTotals};
 pub use dhqp_optimizer::{OptimizationPhase, OptimizerConfig};

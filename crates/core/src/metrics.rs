@@ -8,7 +8,7 @@
 
 use dhqp_dtc::DtcStats;
 use dhqp_executor::ExecCounters;
-use dhqp_oledb::{HistogramSnapshot, LogHistogram};
+use dhqp_oledb::{HistogramSnapshot, LogHistogram, WaitSnapshot, WaitStats};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,6 +65,9 @@ pub struct QuerySummary {
     /// The failure message when `ok` is false, so a zero-row error is
     /// distinguishable from a legitimately empty result.
     pub error: Option<String>,
+    /// The wait class that dominated this statement's waited time, if the
+    /// statement waited at all — a slow query's one-word diagnosis.
+    pub dominant_wait: Option<&'static str>,
 }
 
 /// Point-in-time copy of every engine counter. DTC commit/abort counts are
@@ -198,6 +201,9 @@ pub(crate) struct EngineMetrics {
     slow: Mutex<VecDeque<QuerySummary>>,
     /// End-to-end statement latency in microseconds, every statement kind.
     query_latency: LogHistogram,
+    /// Engine-cumulative wait accounting — `sys.dm_os_wait_stats`. Shared
+    /// as a sink with the activity scope the engine installs per statement.
+    waits: Arc<WaitStats>,
 }
 
 impl Default for EngineMetrics {
@@ -230,7 +236,55 @@ impl EngineMetrics {
             slow_threshold,
             slow: Mutex::new(VecDeque::new()),
             query_latency: LogHistogram::default(),
+            waits: Arc::new(WaitStats::default()),
         }
+    }
+
+    /// The engine-cumulative wait sink (installed into every statement's
+    /// activity scope alongside the per-query sink).
+    pub fn waits(&self) -> Arc<WaitStats> {
+        Arc::clone(&self.waits)
+    }
+
+    /// Point-in-time copy of the cumulative wait stats.
+    pub fn wait_snapshot(&self) -> WaitSnapshot {
+        self.waits.snapshot()
+    }
+
+    /// Zero the wait accounting only —
+    /// `DBCC SQLPERF('sys.dm_os_wait_stats', CLEAR)`.
+    pub fn clear_waits(&self) {
+        self.waits.clear();
+    }
+
+    /// Zero every counter, ring and histogram — the full
+    /// `DBCC SQLPERF(..., CLEAR)` analog. The DTC's own counters live on
+    /// the coordinator and are not touched.
+    pub fn reset(&self) {
+        for counter in [
+            &self.selects,
+            &self.inserts,
+            &self.updates,
+            &self.deletes,
+            &self.explains,
+            &self.explain_analyzes,
+            &self.statement_errors,
+            &self.meta_cache_hits,
+            &self.meta_cache_misses,
+            &self.plan_cache_hits,
+            &self.plan_cache_misses,
+            &self.plan_cache_evictions,
+            &self.stats_cache_hits,
+            &self.stats_cache_misses,
+            &self.fulltext_searches,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+        self.exec.reset();
+        self.recent.lock().clear();
+        self.slow.lock().clear();
+        self.query_latency.clear();
+        self.waits.clear();
     }
 
     /// The executor counters this engine shares with its execution
@@ -279,7 +333,10 @@ impl EngineMetrics {
     }
 
     /// Count one finished statement and push its summary onto the ring.
-    /// `error` is the failure message (`None` means success).
+    /// `error` is the failure message (`None` means success); `waits` is
+    /// the statement's per-query wait snapshot, whose dominant class is
+    /// kept on the summary for attribution. Returns whether the statement
+    /// crossed the armed slow-query threshold.
     pub fn finish_statement(
         &self,
         kind: StatementKind,
@@ -287,7 +344,8 @@ impl EngineMetrics {
         elapsed: Duration,
         rows: u64,
         error: Option<String>,
-    ) {
+        waits: Option<&WaitSnapshot>,
+    ) -> bool {
         let counter = match kind {
             StatementKind::Select => &self.selects,
             StatementKind::Insert => &self.inserts,
@@ -308,21 +366,25 @@ impl EngineMetrics {
             elapsed,
             ok: error.is_none(),
             error,
+            dominant_wait: waits.and_then(|w| w.dominant()).map(|c| c.name()),
         };
-        if let Some(threshold) = self.slow_threshold {
-            if elapsed >= threshold {
-                let mut slow = self.slow.lock();
-                if slow.len() == SLOW_QUERY_CAPACITY {
-                    slow.pop_front();
-                }
-                slow.push_back(summary.clone());
+        let was_slow = self
+            .slow_threshold
+            .map(|threshold| elapsed >= threshold)
+            .unwrap_or(false);
+        if was_slow {
+            let mut slow = self.slow.lock();
+            if slow.len() == SLOW_QUERY_CAPACITY {
+                slow.pop_front();
             }
+            slow.push_back(summary.clone());
         }
         let mut recent = self.recent.lock();
         if recent.len() >= self.recent_capacity {
             recent.pop_front();
         }
         recent.push_back(summary);
+        was_slow
     }
 
     /// Most-recent-last copy of the query ring.
@@ -390,6 +452,7 @@ mod tests {
                 Duration::from_millis(1),
                 i as u64,
                 None,
+                None,
             );
         }
         let recent = m.recent_queries();
@@ -412,6 +475,7 @@ mod tests {
                 Duration::ZERO,
                 0,
                 None,
+                None,
             );
         }
         let recent = m.recent_queries();
@@ -428,6 +492,7 @@ mod tests {
             Duration::ZERO,
             0,
             Some("table 'missing' not found".into()),
+            None,
         );
         let q = &m.recent_queries()[0];
         assert!(!q.ok);
@@ -444,12 +509,14 @@ mod tests {
             Duration::from_millis(1),
             0,
             None,
+            None,
         );
         m.finish_statement(
             StatementKind::Select,
             "slow",
             Duration::from_millis(25),
             0,
+            None,
             None,
         );
         let slow = m.slow_queries();
@@ -462,6 +529,7 @@ mod tests {
             "slow",
             Duration::from_secs(5),
             0,
+            None,
             None,
         );
         assert!(off.slow_queries().is_empty());
@@ -476,10 +544,67 @@ mod tests {
             Duration::from_micros(700),
             1,
             None,
+            None,
         );
         let h = m.query_latency();
         assert_eq!(h.count, 1);
         assert_eq!(h.max, 700);
+    }
+
+    #[test]
+    fn dominant_wait_lands_on_the_summary() {
+        use dhqp_oledb::WaitClass;
+        let m = EngineMetrics::new(RECENT_QUERY_CAPACITY, Some(Duration::from_millis(1)));
+        let waits = WaitStats::default();
+        waits.record(WaitClass::NetworkIo, Duration::from_millis(5));
+        waits.record(WaitClass::RetryBackoff, Duration::from_millis(50));
+        let snap = waits.snapshot();
+        let was_slow = m.finish_statement(
+            StatementKind::Select,
+            "SELECT 1",
+            Duration::from_millis(40),
+            1,
+            None,
+            Some(&snap),
+        );
+        assert!(was_slow);
+        let q = &m.slow_queries()[0];
+        assert_eq!(q.dominant_wait, Some("RETRY_BACKOFF"));
+        // A statement that never waited carries no attribution.
+        assert!(!m.finish_statement(
+            StatementKind::Select,
+            "SELECT 2",
+            Duration::ZERO,
+            1,
+            None,
+            Some(&WaitStats::default().snapshot()),
+        ));
+        assert_eq!(m.recent_queries().last().unwrap().dominant_wait, None);
+    }
+
+    #[test]
+    fn reset_zeroes_counters_rings_and_waits() {
+        use dhqp_oledb::WaitClass;
+        let m = EngineMetrics::new(RECENT_QUERY_CAPACITY, Some(Duration::ZERO));
+        m.record_meta_cache_hit();
+        m.record_plan_cache_miss();
+        m.exec_counters().add_remote_roundtrip();
+        m.waits().record(WaitClass::Spool, Duration::from_millis(3));
+        m.finish_statement(
+            StatementKind::Select,
+            "SELECT 1",
+            Duration::from_millis(2),
+            1,
+            None,
+            None,
+        );
+        m.reset();
+        let s = m.snapshot(DtcStats::default());
+        assert_eq!(s, MetricsSnapshot::default());
+        assert!(m.recent_queries().is_empty());
+        assert!(m.slow_queries().is_empty());
+        assert_eq!(m.query_latency().count, 0);
+        assert!(m.wait_snapshot().is_empty());
     }
 
     #[test]
@@ -495,6 +620,7 @@ mod tests {
             Duration::ZERO,
             3,
             Some("boom".into()),
+            None,
         );
         m.exec_counters().add_remote_retry();
         m.exec_counters().add_remote_transient_error();

@@ -12,6 +12,7 @@
 //! ([`crate::Engine::last_trace`]) and exportable as JSON.
 
 use dhqp_executor::NodeRuntime;
+use dhqp_oledb::{WaitClass, WaitSnapshot};
 use dhqp_optimizer::search::OptimizerStats;
 use dhqp_optimizer::PhysNode;
 use parking_lot::Mutex;
@@ -154,6 +155,53 @@ impl QueryTrace {
         out.push('}');
         out
     }
+
+    /// The trace as a Chrome/Perfetto `trace_event` JSON document: one
+    /// complete (`"ph":"X"`) event per span, timestamps and durations in
+    /// microseconds. Spans named `worker-N` open their own thread track
+    /// (`tid` N+1, inherited by their children — the wait slices), so the
+    /// exchange's worker timelines render as parallel lanes under the
+    /// query's main track (`tid` 0). Load the output in `ui.perfetto.dev`
+    /// or `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        chrome_events(&self.root, 0, &mut first, &mut out);
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Emit `span` and its subtree as trace_event objects onto `out`.
+fn chrome_events(span: &TraceSpan, tid: u64, first: &mut bool, out: &mut String) {
+    let tid = worker_tid(&span.name).unwrap_or(tid);
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{tid},\"args\":{{",
+        json_escape(&span.name),
+        span.start.as_micros(),
+        span.elapsed.as_micros()
+    );
+    for (i, (k, v)) in span.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push_str("}}");
+    for c in &span.children {
+        chrome_events(c, tid, first, out);
+    }
+}
+
+/// `worker-N` → track id N+1; anything else stays on its parent's track.
+fn worker_tid(name: &str) -> Option<u64> {
+    let n: u64 = name.strip_prefix("worker-")?.parse().ok()?;
+    Some(n + 1)
 }
 
 fn json_escape(s: &str) -> String {
@@ -181,6 +229,7 @@ pub(crate) struct TraceBuilder {
     start: Instant,
     sql: String,
     phases: Mutex<Vec<TraceSpan>>,
+    waits: Mutex<Option<WaitSnapshot>>,
 }
 
 impl TraceBuilder {
@@ -189,7 +238,14 @@ impl TraceBuilder {
             start: Instant::now(),
             sql: sql.to_string(),
             phases: Mutex::new(Vec::new()),
+            waits: Mutex::new(None),
         }
+    }
+
+    /// Attach the statement's per-query wait accounting; rendered as
+    /// `wait.CLASS` attributes on the root span.
+    pub fn set_waits(&self, snapshot: WaitSnapshot) {
+        *self.waits.lock() = Some(snapshot);
     }
 
     /// Record one completed top-level stage that began at `began`.
@@ -245,11 +301,20 @@ impl TraceBuilder {
 
     /// Assemble the final trace; the root span covers new() to now.
     pub fn finish(self) -> QueryTrace {
+        let mut attrs = Vec::new();
+        if let Some(waits) = self.waits.into_inner() {
+            for (class, totals) in waits.nonzero() {
+                attrs.push((
+                    format!("wait.{}", class.name()),
+                    format!("{}x/{}us", totals.count, totals.total_us),
+                ));
+            }
+        }
         let root = TraceSpan {
             name: "query".to_string(),
             start: Duration::ZERO,
             elapsed: self.start.elapsed(),
-            attrs: Vec::new(),
+            attrs,
             children: self.phases.into_inner(),
         };
         QueryTrace {
@@ -292,6 +357,12 @@ fn operator_span(
                     .as_micros()
                     .to_string(),
             ));
+            if let Some(exchange) = &rt.exchange {
+                attrs.push(("workers".to_string(), exchange.workers.to_string()));
+                for (i, ws) in exchange.worker_spans.iter().enumerate() {
+                    children.push(worker_span(i, ws, base));
+                }
+            }
         }
         None => attrs.push(("never_executed".to_string(), "true".to_string())),
     }
@@ -300,6 +371,34 @@ fn operator_span(
         start: base,
         elapsed: cumulative,
         attrs,
+        children,
+    }
+}
+
+/// One exchange worker's lifetime as a `worker-N` span (its own Perfetto
+/// track), with a nested wait slice for time blocked on the full output
+/// channel. Worker offsets are relative to the exchange's open, which the
+/// trace approximates with the execute stage's start (`base`).
+fn worker_span(i: usize, ws: &dhqp_executor::WorkerSpan, base: Duration) -> TraceSpan {
+    let start = base + Duration::from_micros(ws.start_us);
+    let mut children = Vec::new();
+    if ws.send_wait_us > 0 {
+        children.push(TraceSpan {
+            name: format!("wait:{}", WaitClass::ExchangeQueueFull.name()),
+            start,
+            elapsed: Duration::from_micros(ws.send_wait_us),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        });
+    }
+    TraceSpan {
+        name: format!("worker-{i}"),
+        start,
+        elapsed: Duration::from_micros(ws.elapsed_us),
+        attrs: vec![
+            ("rows".to_string(), ws.rows.to_string()),
+            ("send_wait_us".to_string(), ws.send_wait_us.to_string()),
+        ],
         children,
     }
 }
@@ -331,6 +430,56 @@ mod tests {
         assert!(json.contains("\"name\":\"parse\""));
         assert!(json.contains("\"children\":["));
         assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn waits_land_as_root_attrs() {
+        use dhqp_oledb::WaitStats;
+        let stats = WaitStats::default();
+        stats.record(WaitClass::NetworkIo, Duration::from_micros(1500));
+        stats.record(WaitClass::NetworkIo, Duration::from_micros(500));
+        let b = TraceBuilder::new("q");
+        b.set_waits(stats.snapshot());
+        let trace = b.finish();
+        assert_eq!(trace.root.attr("wait.NETWORK_IO"), Some("2x/2000us"));
+        assert_eq!(trace.root.attr("wait.SPOOL"), None);
+    }
+
+    #[test]
+    fn chrome_json_assigns_worker_tracks() {
+        let worker = TraceSpan {
+            name: "worker-1".to_string(),
+            start: Duration::from_micros(10),
+            elapsed: Duration::from_micros(90),
+            attrs: vec![("rows".to_string(), "7".to_string())],
+            children: vec![TraceSpan {
+                name: "wait:EXCHANGE_QUEUE_FULL".to_string(),
+                start: Duration::from_micros(10),
+                elapsed: Duration::from_micros(5),
+                attrs: Vec::new(),
+                children: Vec::new(),
+            }],
+        };
+        let trace = QueryTrace {
+            sql: "q".to_string(),
+            root: TraceSpan {
+                name: "query".to_string(),
+                start: Duration::ZERO,
+                elapsed: Duration::from_micros(100),
+                attrs: Vec::new(),
+                children: vec![worker],
+            },
+        };
+        let json = trace.to_chrome_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // Root rides tid 0; the worker and its wait slice ride tid 2.
+        assert!(json
+            .contains("\"name\":\"query\",\"ph\":\"X\",\"ts\":0,\"dur\":100,\"pid\":1,\"tid\":0"));
+        assert!(json.contains(
+            "\"name\":\"worker-1\",\"ph\":\"X\",\"ts\":10,\"dur\":90,\"pid\":1,\"tid\":2"
+        ));
+        assert!(json.contains("\"name\":\"wait:EXCHANGE_QUEUE_FULL\",\"ph\":\"X\",\"ts\":10,\"dur\":5,\"pid\":1,\"tid\":2"));
     }
 
     #[test]

@@ -20,11 +20,27 @@
 //! persisted outcome (presumed abort when no `Committed` record exists)
 //! until every participant has acknowledged the decision.
 
-use dhqp_oledb::{Session, TxnId};
+use dhqp_oledb::{emit_event, has_hook, record_wait, Session, TxnId, WaitClass};
 use dhqp_types::{DhqpError, Result};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Raise a `2pc` state-transition event when the current thread's activity
+/// scope carries an event hook.
+fn txn_event(txn: TxnId, state: &str, detail: &str) {
+    if has_hook() {
+        emit_event(
+            "2pc",
+            &[
+                ("txn", txn.to_string()),
+                ("state", state.to_string()),
+                ("detail", detail.to_string()),
+            ],
+        );
+    }
+}
 
 /// Final decision for a transaction, as recorded in the outcome log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,7 +255,11 @@ impl DistributedTransaction {
             ));
         }
         let names = self.participant_names();
-        // Phase one: unanimous prepare.
+        // Phase one: unanimous prepare. The whole vote-collection loop is
+        // one DTC_PREPARE wait — the coordinator is blocked on participants
+        // for its full duration.
+        txn_event(self.id, "preparing", &names.join(","));
+        let phase_one = Instant::now();
         let mut refusal: Option<(String, DhqpError)> = None;
         for (name, session) in self.participants.iter_mut() {
             if let Err(e) = session.prepare(self.id) {
@@ -247,6 +267,7 @@ impl DistributedTransaction {
                 break;
             }
         }
+        record_wait(WaitClass::DtcPrepare, phase_one.elapsed());
         if let Some((name, e)) = refusal {
             // Presumed abort: tell everyone, then report the cause.
             for (_, s) in self.participants.iter_mut() {
@@ -254,6 +275,7 @@ impl DistributedTransaction {
             }
             self.finished = true;
             self.coordinator.record(self.id, Outcome::Aborted, names);
+            txn_event(self.id, "aborted", &format!("'{name}' refused prepare"));
             return Err(DhqpError::Transaction(format!(
                 "participant '{name}' refused prepare: {e}"
             )));
@@ -261,9 +283,11 @@ impl DistributedTransaction {
         // Decision is durable before phase two.
         self.coordinator.record(self.id, Outcome::Committed, names);
         self.finished = true;
+        txn_event(self.id, "committing", "decision logged");
         // Phase two: deliver commit to *every* participant even when some
         // fail — a prepared participant that missed the decision must still
         // receive it eventually. Failures leave the transaction in doubt.
+        let phase_two = Instant::now();
         let mut failed = Vec::new();
         let mut causes = Vec::new();
         for (name, mut session) in std::mem::take(&mut self.participants) {
@@ -275,9 +299,12 @@ impl DistributedTransaction {
                 }
             }
         }
+        record_wait(WaitClass::DtcCommit, phase_two.elapsed());
         if failed.is_empty() {
+            txn_event(self.id, "committed", "all participants acknowledged");
             return Ok(());
         }
+        txn_event(self.id, "in_doubt", &causes.join(", "));
         self.coordinator.mark_in_doubt(self.id, failed);
         Err(DhqpError::Transaction(format!(
             "transaction {} is in doubt: log has Committed but commit delivery failed for {} \
@@ -531,6 +558,57 @@ mod tests {
         );
         assert!(!e1.has_txn(99));
         assert_eq!(e1.with_table("t", |t| t.row_count()).unwrap(), 0);
+    }
+
+    #[test]
+    fn commit_reports_dtc_waits_and_2pc_events() {
+        use dhqp_oledb::{install_scope, ActivityScope, EventHook, WaitStats};
+
+        struct Capture(Mutex<Vec<(String, String)>>);
+        impl EventHook for Capture {
+            fn emit(&self, kind: &'static str, attrs: &[(&'static str, String)]) {
+                let state = attrs
+                    .iter()
+                    .find(|(k, _)| *k == "state")
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default();
+                self.0.lock().push((kind.to_string(), state));
+            }
+        }
+
+        let waits = Arc::new(WaitStats::default());
+        let hook = Arc::new(Capture(Mutex::new(Vec::new())));
+        let _g = install_scope(ActivityScope::new(
+            vec![Arc::clone(&waits)],
+            Some(hook.clone()),
+        ));
+
+        let (e1, e2) = (engine("s1"), engine("s2"));
+        let dtc = TransactionCoordinator::new();
+        let mut txn = dtc.begin();
+        txn.enlist("s1", session_for(&e1)).unwrap();
+        txn.enlist("s2", session_for(&e2)).unwrap();
+        txn.session_mut("s1")
+            .unwrap()
+            .insert("t", &[row(1)])
+            .unwrap();
+        txn.commit().unwrap();
+
+        // Both phases were accounted: one prepare wait, one commit wait.
+        let snap = waits.snapshot();
+        assert_eq!(snap.get(WaitClass::DtcPrepare).count, 1);
+        assert_eq!(snap.get(WaitClass::DtcCommit).count, 1);
+        // The 2PC state machine narrated its transitions in order.
+        let states: Vec<String> = hook
+            .0
+            .lock()
+            .iter()
+            .map(|(kind, state)| {
+                assert_eq!(kind, "2pc");
+                state.clone()
+            })
+            .collect();
+        assert_eq!(states, vec!["preparing", "committing", "committed"]);
     }
 
     #[test]

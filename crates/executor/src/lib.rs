@@ -24,5 +24,5 @@ pub use eval::{eval_expr, eval_predicate, RowEnv};
 pub use ops::retry::RetryPolicy;
 pub use stats::{
     ExchangeRuntime, ExecCounterSnapshot, ExecCounters, NodeRuntime, RemoteTrace,
-    RuntimeStatsCollector,
+    RuntimeStatsCollector, WorkerSpan,
 };

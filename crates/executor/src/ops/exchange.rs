@@ -16,11 +16,14 @@
 
 use crate::context::{ExecContext, ParallelConfig};
 use crate::ops::sort::union_perms;
-use crate::stats::RuntimeStatsCollector;
+use crate::stats::{RuntimeStatsCollector, WorkerSpan};
+use dhqp_oledb::waits::{
+    current_scope, emit_event, has_hook, install_scope, record_wait, WaitClass,
+};
 use dhqp_oledb::Rowset;
 use dhqp_optimizer::ColumnId;
 use dhqp_types::{Result, Row, Schema};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -33,7 +36,7 @@ pub type BranchFactory = Box<dyn FnOnce(&ExecContext) -> Result<Box<dyn Rowset>>
 /// consumer pulls merged rows (arrival order) from a bounded channel.
 pub struct ExchangeRowset {
     rx: Option<Receiver<Result<Row>>>,
-    workers: Vec<JoinHandle<Duration>>,
+    workers: Vec<JoinHandle<WorkerSpan>>,
     worker_count: usize,
     opened: Instant,
     schema: Schema,
@@ -56,20 +59,39 @@ impl ExchangeRowset {
     ) -> Result<ExchangeRowset> {
         let perms = union_perms(child_delivered, input_columns)?;
         let n = branches.len().min(cfg.max_workers).max(1);
+        let branch_count = branches.len();
         let (tx, rx) = sync_channel::<Result<Row>>(cfg.exchange_queue.max(1));
         let mut assigned: Vec<Vec<(BranchFactory, Vec<usize>)>> =
             (0..n).map(|_| Vec::new()).collect();
         for (k, (open, perm)) in branches.into_iter().zip(perms).enumerate() {
             assigned[k % n].push((open, perm));
         }
-        let workers: Vec<JoinHandle<Duration>> = assigned
+        let opened = Instant::now();
+        let workers: Vec<JoinHandle<WorkerSpan>> = assigned
             .into_iter()
             .map(|work| {
                 let tx = tx.clone();
                 let wctx = ctx.clone();
-                std::thread::spawn(move || run_branches(work, &wctx, &tx))
+                // Waits a worker incurs (link time, channel backpressure)
+                // must land in the spawning statement's sinks, so the
+                // consumer's activity scope rides into the thread.
+                let scope = current_scope();
+                std::thread::spawn(move || {
+                    let _scope = install_scope(scope);
+                    run_branches(work, &wctx, &tx, opened)
+                })
             })
             .collect();
+        if has_hook() {
+            emit_event(
+                "exchange_spawn",
+                &[
+                    ("node", node.to_string()),
+                    ("workers", n.to_string()),
+                    ("branches", branch_count.to_string()),
+                ],
+            );
+        }
         // Only worker-held senders remain: the channel disconnects exactly
         // when the last branch finishes.
         drop(tx);
@@ -79,7 +101,7 @@ impl ExchangeRowset {
             rx: Some(rx),
             workers,
             worker_count: n,
-            opened: Instant::now(),
+            opened,
             schema,
             done: false,
             stats,
@@ -93,10 +115,17 @@ impl ExchangeRowset {
     /// that must not be swallowed by the join.
     fn shutdown(&mut self) {
         self.rx = None;
+        if self.workers.is_empty() {
+            return;
+        }
         let mut busy = Duration::ZERO;
+        let mut spans = Vec::with_capacity(self.workers.len());
         for handle in self.workers.drain(..) {
             match handle.join() {
-                Ok(worker_busy) => busy += worker_busy,
+                Ok(span) => {
+                    busy += Duration::from_micros(span.elapsed_us);
+                    spans.push(span);
+                }
                 Err(panic) => {
                     if !std::thread::panicking() {
                         std::panic::resume_unwind(panic);
@@ -104,26 +133,73 @@ impl ExchangeRowset {
                 }
             }
         }
+        if has_hook() {
+            let rows: u64 = spans.iter().map(|s| s.rows).sum();
+            emit_event(
+                "exchange_drain",
+                &[
+                    ("workers", spans.len().to_string()),
+                    ("rows", rows.to_string()),
+                    ("busy_us", busy.as_micros().to_string()),
+                    ("wall_us", self.opened.elapsed().as_micros().to_string()),
+                ],
+            );
+        }
         if let Some((node, collector)) = self.stats.take() {
-            collector.record_exchange(node, self.worker_count as u64, busy, self.opened.elapsed());
+            collector.record_exchange(
+                node,
+                self.worker_count as u64,
+                busy,
+                self.opened.elapsed(),
+                spans,
+            );
+        }
+    }
+}
+
+/// Push one result into the bounded channel: a free slot costs a lock-free
+/// `try_send`; a full channel falls back to the blocking send and the
+/// blocked time is charged to `EXCHANGE_QUEUE_FULL`. Returns `false` when
+/// the consumer hung up.
+fn send_with_backpressure(
+    tx: &SyncSender<Result<Row>>,
+    item: Result<Row>,
+    span: &mut WorkerSpan,
+) -> bool {
+    match tx.try_send(item) {
+        Ok(()) => true,
+        Err(TrySendError::Disconnected(_)) => false,
+        Err(TrySendError::Full(item)) => {
+            let t0 = Instant::now();
+            let ok = tx.send(item).is_ok();
+            let waited = t0.elapsed();
+            record_wait(WaitClass::ExchangeQueueFull, waited);
+            span.send_wait_us += waited.as_micros() as u64;
+            ok
         }
     }
 }
 
 /// Worker body: open and drain each assigned branch in turn, permuting rows
-/// to the output column order. Returns the worker's busy time. A send
-/// failure means the consumer hung up — stop quietly.
+/// to the output column order. Returns the worker's timeline (offsets
+/// relative to `opened`, the exchange's open instant). A send failure means
+/// the consumer hung up — stop quietly.
 fn run_branches(
     work: Vec<(BranchFactory, Vec<usize>)>,
     ctx: &ExecContext,
     tx: &SyncSender<Result<Row>>,
-) -> Duration {
+    opened: Instant,
+) -> WorkerSpan {
     let start = Instant::now();
+    let mut span = WorkerSpan {
+        start_us: opened.elapsed().as_micros() as u64,
+        ..WorkerSpan::default()
+    };
     'branches: for (open, perm) in work {
         let mut rowset = match open(ctx) {
             Ok(rs) => rs,
             Err(e) => {
-                let _ = tx.send(Err(e));
+                let _ = send_with_backpressure(tx, Err(e), &mut span);
                 break 'branches;
             }
         };
@@ -131,19 +207,21 @@ fn run_branches(
             match rowset.next() {
                 Ok(Some(row)) => {
                     let values = perm.iter().map(|&p| row.values[p].clone()).collect();
-                    if tx.send(Ok(Row::new(values))).is_err() {
+                    if !send_with_backpressure(tx, Ok(Row::new(values)), &mut span) {
                         break 'branches;
                     }
+                    span.rows += 1;
                 }
                 Ok(None) => break,
                 Err(e) => {
-                    let _ = tx.send(Err(e));
+                    let _ = send_with_backpressure(tx, Err(e), &mut span);
                     break 'branches;
                 }
             }
         }
     }
-    start.elapsed()
+    span.elapsed_us = start.elapsed().as_micros() as u64;
+    span
 }
 
 impl Rowset for ExchangeRowset {
@@ -158,7 +236,20 @@ impl Rowset for ExchangeRowset {
         let Some(rx) = &self.rx else {
             return Ok(None);
         };
-        match rx.recv() {
+        // A ready row costs a lock-free `try_recv`; an empty channel falls
+        // back to the blocking recv and the stall is charged to
+        // EXCHANGE_QUEUE_EMPTY (all producers busy or still opening).
+        let received = match rx.try_recv() {
+            Ok(item) => Ok(item),
+            Err(TryRecvError::Disconnected) => Err(()),
+            Err(TryRecvError::Empty) => {
+                let t0 = Instant::now();
+                let out = rx.recv().map_err(|_| ());
+                record_wait(WaitClass::ExchangeQueueEmpty, t0.elapsed());
+                out
+            }
+        };
+        match received {
             Ok(Ok(row)) => Ok(Some(row)),
             // First error wins: surface it once, then the cursor is done
             // (shutdown cancels the remaining workers).
@@ -168,7 +259,7 @@ impl Rowset for ExchangeRowset {
                 Err(e)
             }
             // All senders gone: every branch drained.
-            Err(_) => {
+            Err(()) => {
                 self.done = true;
                 self.shutdown();
                 Ok(None)
@@ -199,31 +290,37 @@ impl PrefetchRowset {
         let schema = inner.schema().clone();
         let batch_rows = batch_rows.max(1);
         let (tx, rx) = sync_channel::<Result<Vec<Row>>>(queue_depth.max(1));
-        let worker = std::thread::spawn(move || loop {
-            let mut batch = Vec::with_capacity(batch_rows);
-            let finished = loop {
-                match inner.next() {
-                    Ok(Some(row)) => {
-                        batch.push(row);
-                        if batch.len() == batch_rows {
-                            break false;
+        // The prefetcher drains a metered remote rowset off-thread; its
+        // link waits must land in the spawning statement's sinks too.
+        let scope = current_scope();
+        let worker = std::thread::spawn(move || {
+            let _scope = install_scope(scope);
+            loop {
+                let mut batch = Vec::with_capacity(batch_rows);
+                let finished = loop {
+                    match inner.next() {
+                        Ok(Some(row)) => {
+                            batch.push(row);
+                            if batch.len() == batch_rows {
+                                break false;
+                            }
+                        }
+                        Ok(None) => break true,
+                        Err(e) => {
+                            if !batch.is_empty() {
+                                let _ = tx.send(Ok(batch));
+                            }
+                            let _ = tx.send(Err(e));
+                            return;
                         }
                     }
-                    Ok(None) => break true,
-                    Err(e) => {
-                        if !batch.is_empty() {
-                            let _ = tx.send(Ok(batch));
-                        }
-                        let _ = tx.send(Err(e));
-                        return;
-                    }
+                };
+                if !batch.is_empty() && tx.send(Ok(batch)).is_err() {
+                    return;
                 }
-            };
-            if !batch.is_empty() && tx.send(Ok(batch)).is_err() {
-                return;
-            }
-            if finished {
-                return;
+                if finished {
+                    return;
+                }
             }
         });
         PrefetchRowset {

@@ -14,6 +14,7 @@
 //! exempts them too).
 
 use crate::stats::{ExecCounters, RuntimeStatsCollector};
+use dhqp_oledb::waits::{emit_event, has_hook, record_wait, WaitClass};
 use dhqp_oledb::Rowset;
 use dhqp_types::{DhqpError, Result, Row, Schema};
 use std::sync::Arc;
@@ -165,8 +166,19 @@ impl RetryState {
                 )));
             }
         }
+        if has_hook() {
+            emit_event(
+                "retry",
+                &[
+                    ("attempt", self.attempt.to_string()),
+                    ("backoff_ms", backoff.as_millis().to_string()),
+                    ("error", error.message().to_string()),
+                ],
+            );
+        }
         if !backoff.is_zero() {
             std::thread::sleep(backoff);
+            record_wait(WaitClass::RetryBackoff, backoff);
         }
         self.attempt += 1;
         self.counters.add_remote_retry();

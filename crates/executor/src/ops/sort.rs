@@ -164,14 +164,14 @@ pub fn open_spool(
 ) -> Result<Box<dyn Rowset>> {
     let data: SpoolData = match ctx.cached_spool(key) {
         Some(d) => d,
-        None => {
+        None => dhqp_oledb::timed_wait(dhqp_oledb::WaitClass::Spool, || {
             let mut child = open_child()?;
             let schema = child.schema().clone();
             let rows = child.collect_rows()?;
             let data: SpoolData = Arc::new((schema, rows));
             ctx.store_spool(key, Arc::clone(&data));
-            data
-        }
+            Ok::<SpoolData, dhqp_types::DhqpError>(data)
+        })?,
     };
     Ok(Box::new(MemRowset::new(data.0.clone(), data.1.clone())))
 }

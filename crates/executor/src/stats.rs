@@ -90,6 +90,23 @@ impl ExecCounters {
             remote_deadline_hits: self.remote_deadline_hits.load(Ordering::Relaxed),
         }
     }
+
+    /// Zero every counter (`DBCC SQLPERF(..., CLEAR)` between bench phases).
+    pub fn reset(&self) {
+        for counter in [
+            &self.remote_roundtrips,
+            &self.spool_hits,
+            &self.spool_builds,
+            &self.parallel_exchanges,
+            &self.exchange_workers,
+            &self.remote_prefetches,
+            &self.remote_retries,
+            &self.remote_transient_errors,
+            &self.remote_deadline_hits,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Point-in-time copy of [`ExecCounters`].
@@ -124,9 +141,23 @@ pub struct RemoteTrace {
     pub link_latency: Option<LatencySummary>,
 }
 
+/// One exchange worker's lifetime, relative to its exchange's open instant
+/// — the substrate for the Perfetto per-worker timeline tracks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSpan {
+    /// Microseconds from exchange open to the worker's first instruction.
+    pub start_us: u64,
+    /// Worker lifetime (spawn to exit), microseconds.
+    pub elapsed_us: u64,
+    /// Time the worker spent blocked on a full output channel, µs.
+    pub send_wait_us: u64,
+    /// Rows this worker produced into the channel.
+    pub rows: u64,
+}
+
 /// What one parallel exchange open actually did: how many workers it ran
 /// and how their busy time overlapped.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExchangeRuntime {
     /// Worker threads the exchange spawned (max over rescans).
     pub workers: u64,
@@ -134,6 +165,9 @@ pub struct ExchangeRuntime {
     pub busy: Duration,
     /// Wall time from open to the last worker's exit, summed over opens.
     pub wall: Duration,
+    /// Per-worker timelines of the last open (rescans replace, not append,
+    /// so a trace renders one coherent set of tracks).
+    pub worker_spans: Vec<WorkerSpan>,
 }
 
 impl ExchangeRuntime {
@@ -226,8 +260,16 @@ impl RuntimeStatsCollector {
     }
 
     /// Attribute one parallel exchange run (worker count, combined busy
-    /// time, wall time) to its node. Accumulates over rescans.
-    pub fn record_exchange(&self, node: usize, workers: u64, busy: Duration, wall: Duration) {
+    /// time, wall time, per-worker timelines) to its node. Counts and times
+    /// accumulate over rescans; worker spans are replaced by the last open.
+    pub fn record_exchange(
+        &self,
+        node: usize,
+        workers: u64,
+        busy: Duration,
+        wall: Duration,
+        spans: Vec<WorkerSpan>,
+    ) {
         let mut nodes = self.nodes.lock().expect("stats lock");
         let entry = nodes
             .entry(node)
@@ -237,6 +279,9 @@ impl RuntimeStatsCollector {
         entry.workers = entry.workers.max(workers);
         entry.busy += busy;
         entry.wall += wall;
+        if !spans.is_empty() {
+            entry.worker_spans = spans;
+        }
     }
 
     /// Attribute `n` transient-fault retries to a remote node.

@@ -1,6 +1,7 @@
 //! Link configuration, accounting and delay model.
 
 pub use dhqp_oledb::TrafficSnapshot;
+use dhqp_oledb::{record_wait, WaitClass};
 pub use dhqp_oledb::{HistogramSnapshot, LatencySummary, LogHistogram};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -121,6 +122,12 @@ impl NetworkLink {
             + self.config.transfer_time(request_bytes);
         self.stats.latency.record(d.as_micros() as u64);
         self.stats.payload.record(request_bytes);
+        // Wait accounting uses the modeled duration whether or not the link
+        // sleeps (same contract as the latency histogram above), so
+        // accounting-only LANs report deterministic NETWORK_IO totals.
+        if !d.is_zero() {
+            record_wait(WaitClass::NetworkIo, d);
+        }
         if self.config.simulate_delay && !d.is_zero() {
             std::thread::sleep(d);
         }
@@ -133,6 +140,9 @@ impl NetworkLink {
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.stats.payload.record(bytes);
         let d = self.config.transfer_time(bytes);
+        if !d.is_zero() {
+            record_wait(WaitClass::NetworkIo, d);
+        }
         if self.config.simulate_delay && !d.is_zero() {
             std::thread::sleep(d);
         }

@@ -16,6 +16,7 @@
 
 use crate::fault::{FaultConfig, FaultPlan};
 use crate::link::NetworkLink;
+use dhqp_oledb::{emit_event, has_hook};
 use dhqp_oledb::{
     Command, CommandResult, DataSource, Histogram, KeyRange, LatencySummary, ProviderCapabilities,
     Rowset, Session, TableInfo, TrafficSnapshot, TxnId,
@@ -23,6 +24,22 @@ use dhqp_oledb::{
 use dhqp_types::{DhqpError, Result, Row, Schema, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Raise a `fault` event for one injected fault, if the current thread's
+/// activity scope carries an event hook (attribute strings are only built
+/// when someone is listening).
+fn fault_event(link: &NetworkLink, site: &str, detail: &str) {
+    if has_hook() {
+        emit_event(
+            "fault",
+            &[
+                ("link", link.name().to_string()),
+                ("site", site.to_string()),
+                ("detail", detail.to_string()),
+            ],
+        );
+    }
+}
 
 /// A data source reachable only across a simulated network link.
 pub struct NetworkedDataSource {
@@ -109,6 +126,7 @@ impl DataSource for NetworkedDataSource {
         if let Some(plan) = &self.faults {
             if let Err(e) = plan.on_connect(self.link.name()) {
                 self.link.record_fault();
+                fault_event(&self.link, "connect", e.message());
                 return Err(e);
             }
         }
@@ -139,6 +157,7 @@ impl NetworkedSession {
         }
         let at = self.faults.as_ref()?.on_stream()?;
         self.link.record_fault();
+        fault_event(&self.link, "stream", &format!("drop after {at} rows"));
         Some(at)
     }
 
@@ -151,6 +170,7 @@ impl NetworkedSession {
         if let Some(plan) = &self.faults {
             if let Err(e) = plan.on_open(self.link.name()) {
                 self.link.record_fault();
+                fault_event(&self.link, "open", e.message());
                 return Err(e);
             }
         }
@@ -341,12 +361,14 @@ impl Command for NetworkedCommand {
             if !self.enlisted.load(Ordering::Relaxed) {
                 if let Err(e) = plan.on_command(self.link.name(), &self.text) {
                     self.link.record_fault();
+                    fault_event(&self.link, "command", e.message());
                     return Err(e);
                 }
                 if crate::fault::is_read_only(&self.text) {
                     drop_at = plan.on_stream();
-                    if drop_at.is_some() {
+                    if let Some(at) = drop_at {
                         self.link.record_fault();
+                        fault_event(&self.link, "stream", &format!("drop after {at} rows"));
                     }
                 }
             }

@@ -27,6 +27,7 @@ pub mod rowset;
 pub mod schema;
 pub mod statistics;
 pub mod telemetry;
+pub mod waits;
 
 pub use capabilities::{
     DateLiteralStyle, Dialect, LimitSyntax, ProviderCapabilities, ProviderClass, SqlSupport,
@@ -38,3 +39,7 @@ pub use rowset::{MemRowset, Rowset, RowsetExt};
 pub use schema::{ColumnInfo, IndexInfo, SchemaRowsetKind, TableInfo};
 pub use statistics::{Histogram, HistogramBucket, TableStatistics};
 pub use telemetry::{HistogramSnapshot, LatencySummary, LogHistogram, HISTOGRAM_BUCKETS};
+pub use waits::{
+    current_scope, emit_event, has_hook, install_scope, record_wait, timed_wait, ActivityScope,
+    EventHook, ScopeGuard, WaitClass, WaitSnapshot, WaitStats, WaitTotals, WAIT_CLASSES,
+};

@@ -208,6 +208,85 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LogHistogram::default().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), 0);
+        }
+        assert_eq!(s.latency_summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let h = LogHistogram::default();
+        h.record(300); // bucket 8: [256, 512)
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean(), 300);
+        // Every rank falls in the one occupied bucket, and the upper edge
+        // clamps to the (only) observed value.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), 300, "p={p}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_losing_counts() {
+        let h = LogHistogram::default();
+        // Everything at/above 2^39 collapses into the final bucket.
+        h.record(1u64 << 39);
+        h.record(1u64 << 45);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 3);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, u64::MAX);
+        // sum wraps-by-saturation is not promised; count/max must be exact.
+        assert_eq!(s.percentile(50.0), (1u64 << HISTOGRAM_BUCKETS) - 1);
+    }
+
+    #[test]
+    fn snapshot_while_recording_is_internally_sane() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let h = Arc::new(LogHistogram::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let h = Arc::clone(&h);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    h.record(n % 1000 + 1);
+                    n += 1;
+                }
+                n
+            })
+        };
+        // Snapshots taken mid-stream must never observe more bucketed
+        // observations than the final count, and percentiles must not
+        // panic on a moving target.
+        let mut snapshots = Vec::new();
+        for _ in 0..50 {
+            let s = h.snapshot();
+            let bucketed: u64 = s.buckets.iter().sum();
+            assert!(s.percentile(99.0) <= s.max.max(1024));
+            snapshots.push((bucketed, s.count));
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total = writer.join().unwrap();
+        for (bucketed, _) in snapshots {
+            assert!(bucketed <= total, "{bucketed} > {total}");
+        }
+        assert_eq!(h.snapshot().count, total);
+        let final_bucketed: u64 = h.snapshot().buckets.iter().sum();
+        assert_eq!(final_bucketed, total);
+    }
+
+    #[test]
     fn concurrent_recording() {
         use std::sync::Arc;
         let h = Arc::new(LogHistogram::default());

@@ -1,7 +1,9 @@
 //! DMV integration tests: the built-in `sys` provider served through the
 //! ordinary linked-server machinery, plus the hierarchical tracer.
 
-use dhqp::{Engine, EngineBuilder, EngineDataSource, QueryResult, TraceConfig};
+use dhqp::{
+    Engine, EngineBuilder, EngineDataSource, EventConfig, QueryResult, TraceConfig, WaitClass,
+};
 use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
 use dhqp_storage::TableDef;
 use dhqp_types::{Column, DataType, Row, Schema, Value};
@@ -225,6 +227,141 @@ fn dm_link_stats_reports_nonzero_percentiles_after_a_distributed_query() {
             "percentile not populated: {row:?}"
         );
     }
+}
+
+#[test]
+fn dm_os_wait_stats_lists_every_class_and_clears() {
+    let local = distributed();
+    local.query("SELECT a FROM srv.db.dbo.t").unwrap();
+
+    let r = local.query("SELECT * FROM sys.dm_os_wait_stats").unwrap();
+    let (type_c, count_c, time_c, max_c) = (
+        col(&r, "wait_type"),
+        col(&r, "waiting_tasks_count"),
+        col(&r, "wait_time_ms"),
+        col(&r, "max_wait_time_ms"),
+    );
+    assert_eq!(
+        r.rows.len(),
+        WaitClass::ALL.len(),
+        "one row per wait class, zeros included: {r:?}"
+    );
+    let net = r
+        .rows
+        .iter()
+        .find(|row| row.get(type_c) == &Value::Str("NETWORK_IO".into()))
+        .expect("NETWORK_IO row");
+    assert!(
+        matches!(net.get(count_c), Value::Int(n) if *n > 0),
+        "{net:?}"
+    );
+    assert!(
+        matches!(net.get(time_c), Value::Float(ms) if *ms > 0.0),
+        "{net:?}"
+    );
+    assert!(
+        matches!(net.get(max_c), Value::Float(ms) if *ms > 0.0),
+        "{net:?}"
+    );
+    // A class the workload never touched still serves its zero row.
+    let dtc = r
+        .rows
+        .iter()
+        .find(|row| row.get(type_c) == &Value::Str("DTC_PREPARE".into()))
+        .expect("DTC_PREPARE row");
+    assert_eq!(dtc.get(count_c), &Value::Int(0));
+
+    // DBCC SQLPERF CLEAR analog: the remote class goes back to zero (the
+    // clearing query itself only compiles — sys is local).
+    local.clear_wait_stats();
+    let r = local
+        .query("SELECT wait_type, waiting_tasks_count FROM sys.dm_os_wait_stats")
+        .unwrap();
+    let net = r
+        .rows
+        .iter()
+        .find(|row| row.get(0) == &Value::Str("NETWORK_IO".into()))
+        .unwrap();
+    assert_eq!(net.get(1), &Value::Int(0), "clear zeroed the class");
+}
+
+#[test]
+fn dm_xe_recent_events_serves_the_ring() {
+    let engine = local_with_table();
+    engine.set_event_config(EventConfig::all());
+    engine.query("SELECT a FROM t").unwrap();
+
+    let r = engine
+        .query("SELECT seq, timestamp_ms, kind, detail FROM sys.dm_xe_recent_events")
+        .unwrap();
+    let (seq_c, kind_c, detail_c) = (col(&r, "seq"), col(&r, "kind"), col(&r, "detail"));
+    assert!(!r.rows.is_empty());
+    // Sequence numbers are strictly increasing (the ring serves oldest
+    // first) and the lifecycle events carry their payloads.
+    let seqs: Vec<i64> = r
+        .rows
+        .iter()
+        .map(|row| match row.get(seq_c) {
+            Value::Int(n) => *n,
+            other => panic!("non-integer seq: {other:?}"),
+        })
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+    let start = r
+        .rows
+        .iter()
+        .find(|row| row.get(kind_c) == &Value::Str("query_start".into()))
+        .expect("query_start event");
+    assert!(
+        matches!(start.get(detail_c), Value::Str(d) if d.contains("SELECT a FROM t")),
+        "{start:?}"
+    );
+    let end = r
+        .rows
+        .iter()
+        .find(|row| row.get(kind_c) == &Value::Str("query_end".into()))
+        .expect("query_end event");
+    assert!(
+        matches!(end.get(detail_c), Value::Str(d) if d.contains("rows=3")),
+        "{end:?}"
+    );
+
+    // A disabled bus serves an empty view (explicit config wins over any
+    // DHQP_EVENTS=1 in the environment — the CI matrix arms events).
+    let quiet = local_with_table();
+    quiet.set_event_config(EventConfig::disabled());
+    quiet.query("SELECT a FROM t").unwrap();
+    let r = quiet
+        .query("SELECT kind FROM sys.dm_xe_recent_events")
+        .unwrap();
+    assert!(r.rows.is_empty(), "{r:?}");
+}
+
+#[test]
+fn dm_exec_requests_attributes_the_dominant_wait() {
+    let local = distributed();
+    local.query("SELECT a FROM srv.db.dbo.t").unwrap();
+
+    let r = local
+        .query("SELECT sql, dominant_wait FROM sys.dm_exec_requests")
+        .unwrap();
+    let (sql_c, wait_c) = (col(&r, "sql"), col(&r, "dominant_wait"));
+    let remote_query = r
+        .rows
+        .iter()
+        .find(|row| row.get(sql_c) == &Value::Str("SELECT a FROM srv.db.dbo.t".into()))
+        .expect("remote query in the ring");
+    // The modeled 0.5 ms round trips dominate the statement's waits —
+    // unless the CI matrix arms fault injection (DHQP_FAULT_SEED), where
+    // the retry backoff sleeps are longer still. Either way the statement
+    // is attributed to its wire activity, not to compilation.
+    assert!(
+        matches!(
+            remote_query.get(wait_c),
+            Value::Str(w) if w == "NETWORK_IO" || w == "RETRY_BACKOFF"
+        ),
+        "{remote_query:?}"
+    );
 }
 
 #[test]

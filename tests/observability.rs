@@ -1,7 +1,10 @@
 //! Observability integration tests: `EXPLAIN ANALYZE` over distributed
 //! plans, the engine metrics registry and the recent-query ring.
 
-use dhqp::{Engine, EngineBuilder, EngineDataSource, StatementKind};
+use dhqp::{
+    Engine, EngineBuilder, EngineDataSource, EventConfig, EventKind, FaultConfig, ParallelConfig,
+    RetryPolicy, StatementKind, TraceConfig, WaitClass,
+};
 use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
 use dhqp_storage::TableDef;
 use dhqp_types::{Column, DataType, Row, Schema, Value};
@@ -403,6 +406,361 @@ fn explain_analyze_reports_self_time_with_adaptive_units() {
     assert!(
         !rendered.contains("self=0.00ms"),
         "adaptive units collapsed: {rendered}"
+    );
+}
+
+/// Head engine federating four members that hold the seven `lineitem_9x`
+/// partitions, each behind a *timed* LAN link (so blocking is real wall
+/// time) armed with exactly one transient fault.
+fn flaky_parallel_federation() -> (Engine, Vec<NetworkLink>) {
+    let head = Engine::new("head");
+    let members: Vec<Engine> = (1..=4)
+        .map(|i| Engine::new(format!("member{i}-engine")))
+        .collect();
+    let engines: Vec<&dhqp_storage::StorageEngine> =
+        members.iter().map(|e| e.storage().as_ref()).collect();
+    let parts = tpch::create_lineitem_partitions(&engines, &TpchScale::tiny(), 17).unwrap();
+
+    let mut links = Vec::new();
+    for (i, m) in members.iter().enumerate() {
+        let link = NetworkLink::new(format!("member{}", i + 1), NetworkConfig::lan_timed());
+        let inner: Arc<dyn dhqp_oledb::DataSource> = Arc::new(EngineDataSource::new(m.clone()));
+        let wrapped = NetworkedDataSource::with_faults(
+            inner,
+            link.clone(),
+            FaultConfig::one_transient_per_link(42),
+        );
+        head.add_linked_server(&format!("member{}", i + 1), Arc::new(wrapped))
+            .unwrap();
+        links.push(link);
+    }
+    let view_members = parts
+        .into_iter()
+        .map(|(idx, table, domain)| (Some(format!("member{}", idx + 1)), table, domain))
+        .collect();
+    head.define_partitioned_view("lineitem_all", "l_commitdate", view_members)
+        .unwrap();
+    (head, links)
+}
+
+const FEDERATION_SCAN: &str = "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem_all";
+
+fn fast_retries() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        attempt_deadline: None,
+        query_deadline: None,
+    }
+}
+
+/// The PR's acceptance scenario: one parallel, fault-injected federation
+/// query must light up the wait-stats DMV consistently with the per-query
+/// `[waits:]` report, surface retry/fault events through the event bus,
+/// and export a Perfetto trace with one track per exchange worker.
+#[test]
+fn parallel_flaky_federation_reports_waits_events_and_worker_tracks() {
+    let (head, links) = flaky_parallel_federation();
+    head.set_retry_policy(fast_retries());
+    head.set_parallel_config(ParallelConfig::parallel());
+    head.set_event_config(EventConfig::all());
+    head.set_trace_config(TraceConfig::enabled());
+
+    let report = head.execute_analyze(FEDERATION_SCAN).unwrap();
+    let scale = TpchScale::tiny();
+    assert_eq!(
+        report.result.len(),
+        scale.orders * scale.lineitems_per_order,
+        "faults and instrumentation must not change the answer"
+    );
+    let faults: u64 = links.iter().map(NetworkLink::faults_injected).sum();
+    assert_eq!(faults, links.len() as u64, "one injected fault per link");
+
+    // (a) Per-query wait accounting: the statement blocked on the wire,
+    // on retry backoff and on the exchange's bounded channel.
+    let waits = report
+        .waits
+        .expect("EXPLAIN ANALYZE carries per-query waits");
+    let net = waits.get(WaitClass::NetworkIo);
+    assert!(
+        net.count > 0 && net.total_us > 0,
+        "no NETWORK_IO: {waits:?}"
+    );
+    let backoff = waits.get(WaitClass::RetryBackoff);
+    assert!(
+        backoff.count >= faults && backoff.total_us > 0,
+        "every injected fault sleeps one backoff: {waits:?}"
+    );
+    let exchange_waits = waits.get(WaitClass::ExchangeQueueFull).count
+        + waits.get(WaitClass::ExchangeQueueEmpty).count;
+    assert!(exchange_waits > 0, "no exchange-channel waits: {waits:?}");
+    let rendered = report.render();
+    assert!(rendered.contains("-- [waits:"), "{rendered}");
+    assert!(rendered.contains("NETWORK_IO="), "{rendered}");
+    assert!(rendered.contains("RETRY_BACKOFF="), "{rendered}");
+
+    // Engine-cumulative accounting dominates the per-query snapshot, and
+    // `sys.dm_os_wait_stats` serves exactly that accounting.
+    let cumulative = head.wait_stats();
+    for class in WaitClass::ALL {
+        assert!(
+            cumulative.get(class).count >= waits.get(class).count,
+            "engine-cumulative {} lost waits",
+            class.name()
+        );
+    }
+    let r = head
+        .query("SELECT wait_type, waiting_tasks_count, wait_time_ms FROM sys.dm_os_wait_stats")
+        .unwrap();
+    assert_eq!(r.rows.len(), WaitClass::ALL.len());
+    for (class, expected) in [
+        (WaitClass::NetworkIo, net),
+        (WaitClass::RetryBackoff, backoff),
+    ] {
+        let row = r
+            .rows
+            .iter()
+            .find(|row| row.get(0) == &Value::Str(class.name().to_string()))
+            .unwrap_or_else(|| panic!("{} row missing", class.name()));
+        assert!(
+            matches!(row.get(1), Value::Int(n) if *n as u64 >= expected.count),
+            "DMV undercounts {}: {row:?}",
+            class.name()
+        );
+        assert!(
+            matches!(row.get(2), Value::Float(ms) if *ms > 0.0),
+            "DMV reports no wait time for {}: {row:?}",
+            class.name()
+        );
+    }
+
+    // (b) The event bus saw the faults, the retries and the exchange
+    // lifecycle — both through the API and through the DMV.
+    let events = head.recent_events();
+    for kind in [
+        EventKind::QueryStart,
+        EventKind::QueryEnd,
+        EventKind::FaultInjected,
+        EventKind::RetryAttempt,
+        EventKind::ExchangeSpawn,
+        EventKind::ExchangeDrain,
+    ] {
+        assert!(
+            events.iter().any(|e| e.kind == kind),
+            "no {} event: {events:?}",
+            kind.name()
+        );
+    }
+    let retry = events
+        .iter()
+        .find(|e| e.kind == EventKind::RetryAttempt)
+        .unwrap();
+    assert!(
+        retry.detail().contains("attempt=") && retry.detail().contains("backoff_ms="),
+        "{retry:?}"
+    );
+    let r = head
+        .query("SELECT kind FROM sys.dm_xe_recent_events")
+        .unwrap();
+    for kind in ["retry", "fault"] {
+        assert!(
+            r.rows
+                .iter()
+                .any(|row| row.get(0) == &Value::Str(kind.to_string())),
+            "{kind} missing from dm_xe_recent_events: {r:?}"
+        );
+    }
+
+    // (c) The Perfetto export is a trace_event document with one thread
+    // track per exchange worker (7 branches under the 8-worker cap).
+    let trace = report.trace.as_ref().expect("tracing was armed");
+    let json = trace.to_chrome_json();
+    assert!(
+        json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["),
+        "{json}"
+    );
+    assert!(json.ends_with("]}"), "{json}");
+    assert!(json.contains("\"name\":\"query\""), "{json}");
+    for worker in 0..7u64 {
+        assert!(
+            json.contains(&format!("\"name\":\"worker-{worker}\"")),
+            "worker {worker} has no track:\n{json}"
+        );
+        assert!(
+            json.contains(&format!("\"tid\":{}", worker + 1)),
+            "worker {worker} shares a track:\n{json}"
+        );
+    }
+}
+
+#[test]
+fn wait_accounting_covers_compile_stats_fetch_and_spool() {
+    let (local, _l0, _l1) = two_server_setup(TpchScale::tiny());
+    assert!(
+        local.wait_stats().is_empty(),
+        "programmatic setup runs no statements"
+    );
+    // The outer join pins the remote table on the inner side: the first
+    // open builds a spool (SPOOL), binding fetches remote metadata and
+    // statistics (STATS_FETCH) over the accounting-only link (NETWORK_IO),
+    // and the statement itself compiles (PLAN_COMPILE).
+    let sql = "SELECT COUNT(*) AS n FROM nation n LEFT OUTER JOIN remote1.tpch.dbo.supplier s \
+               ON s.s_suppkey > n.n_nationkey";
+    local.query(sql).unwrap();
+    let w = local.wait_stats();
+    for class in [
+        WaitClass::PlanCompile,
+        WaitClass::StatsFetch,
+        WaitClass::Spool,
+        WaitClass::NetworkIo,
+    ] {
+        assert!(
+            w.get(class).count > 0,
+            "no {} waits recorded: {w:?}",
+            class.name()
+        );
+    }
+
+    // DBCC SQLPERF CLEAR analog: zeroed without touching other state.
+    local.clear_wait_stats();
+    assert!(local.wait_stats().is_empty());
+    assert!(local.metrics().selects >= 1, "clear leaves counters alone");
+}
+
+#[test]
+fn reset_metrics_clears_counters_rings_and_waits() {
+    let engine = Engine::new("local");
+    engine
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+    engine.execute("INSERT INTO t (a) VALUES (1)").unwrap();
+    engine.query("SELECT a FROM t").unwrap();
+    assert!(engine.metrics().statements() >= 2);
+    assert!(!engine.recent_queries().is_empty());
+    assert!(engine.wait_stats().get(WaitClass::PlanCompile).count > 0);
+
+    engine.reset_metrics();
+    let m = engine.metrics();
+    assert_eq!(m.statements(), 0);
+    assert_eq!(m.inserts, 0);
+    assert!(engine.recent_queries().is_empty());
+    assert!(engine.wait_stats().is_empty());
+
+    // The engine keeps working, and counting resumes from zero.
+    engine.query("SELECT a FROM t").unwrap();
+    assert_eq!(engine.metrics().selects, 1);
+    assert_eq!(engine.recent_queries().len(), 1);
+}
+
+#[test]
+fn slow_query_events_carry_the_dominant_wait() {
+    let remote = Engine::new("remote");
+    remote
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+    remote
+        .insert("t", &[Row::new(vec![Value::Int(1)])])
+        .unwrap();
+    // Zero threshold: every statement is "slow". The builder arms events,
+    // exercising the config path the `DHQP_EVENTS` env knob feeds.
+    let local = EngineBuilder::new("local")
+        .slow_query_threshold(Some(Duration::ZERO))
+        .event_config(EventConfig::all())
+        .build();
+    let link = NetworkLink::new("slow-link", NetworkConfig::lan());
+    local
+        .add_linked_server(
+            "srv",
+            Arc::new(NetworkedDataSource::new(
+                Arc::new(EngineDataSource::new(remote)),
+                link,
+            )),
+        )
+        .unwrap();
+    local.query("SELECT a FROM srv.db.dbo.t").unwrap();
+
+    // The slow-query ring attributes the statement to its dominant wait
+    // class: the modeled 0.5 ms round trips dwarf compile time, unless
+    // the CI matrix arms fault injection (DHQP_FAULT_SEED) and the retry
+    // backoff sleeps are longer still. Either way the attribution is the
+    // wire, not the compiler.
+    let slow = local.slow_queries();
+    let dominant = slow[0].dominant_wait.expect("slow query carries a wait");
+    assert!(
+        dominant == "NETWORK_IO" || dominant == "RETRY_BACKOFF",
+        "{slow:?}"
+    );
+
+    // The event stream carries the same attribution.
+    let event = local
+        .recent_events()
+        .into_iter()
+        .find(|e| e.kind == EventKind::SlowQuery)
+        .expect("zero threshold makes every statement slow");
+    assert!(
+        event
+            .detail()
+            .contains(&format!("dominant_wait={dominant}")),
+        "{event:?}"
+    );
+
+    // Filtered configs drop other kinds: only() keeps what it names.
+    assert!(local.event_config().wants(EventKind::QueryStart));
+    local.set_event_config(EventConfig::only(&[EventKind::SlowQuery]));
+    assert!(!local.event_config().wants(EventKind::QueryStart));
+    local.query("SELECT a FROM srv.db.dbo.t").unwrap();
+    let events = local.recent_events();
+    assert!(!events.is_empty(), "slow_query still captured");
+    assert!(
+        events.iter().all(|e| e.kind == EventKind::SlowQuery),
+        "{events:?}"
+    );
+}
+
+#[test]
+fn jsonl_sink_streams_engine_events() {
+    use std::sync::Mutex;
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for Buf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let engine = Engine::new("local");
+    engine.set_event_config(EventConfig::all());
+    let buf = Buf::default();
+    engine.add_event_sink(Box::new(dhqp::JsonlSink::new(buf.clone())));
+    engine
+        .create_table(TableDef::new(
+            "t",
+            Schema::new(vec![Column::not_null("a", DataType::Int)]),
+        ))
+        .unwrap();
+    engine.query("SELECT a FROM t").unwrap();
+
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "sink saw no events");
+    assert!(
+        lines.iter().all(|l| l.starts_with("{\"seq\":")),
+        "{lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("\"kind\":\"query_end\"")),
+        "{lines:?}"
     );
 }
 

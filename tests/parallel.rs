@@ -125,7 +125,7 @@ fn exchange_reports_workers_and_traffic_stays_exact() {
     let exchange = report
         .runtime
         .values()
-        .find_map(|rt| rt.exchange)
+        .find_map(|rt| rt.exchange.clone())
         .expect("parallel run records exchange runtime");
     assert_eq!(exchange.workers, 7);
     let rendered = report.render();
