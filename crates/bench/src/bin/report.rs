@@ -6,8 +6,8 @@
 //! ```
 
 use dhqp::{
-    Engine, EngineDataSource, EventConfig, OptimizationPhase, ParallelConfig, TraceConfig,
-    WaitClass,
+    BatchConfig, Engine, EngineDataSource, EventConfig, OptimizationPhase, ParallelConfig,
+    TraceConfig, WaitClass,
 };
 use dhqp_bench::{
     dpv_federation, example1, remote_dpv_federation, reset_links, total_traffic, warm,
@@ -1020,11 +1020,127 @@ fn e15_events_overhead() {
     println!("→ wrote BENCH_events_overhead.json");
 }
 
+fn e16_batch_federation() {
+    header("E16 — batched row shipping: K-row round trips vs per-row pulls over WAN links");
+    let scale = TpchScale {
+        nations: 10,
+        customers: 300,
+        suppliers: 50,
+        orders: 5000,
+        lineitems_per_order: 3,
+    };
+    let members = 4usize;
+    let fed = remote_dpv_federation(scale, members, NetworkConfig::wan_timed());
+    let sql = "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem_all";
+
+    // Best of three per configuration: per-row link sleeps dominate the row
+    // mode, so the minimum is the stable wall-clock figure.
+    let measure = |batch: BatchConfig, parallel: ParallelConfig| {
+        fed.head.set_batch_config(batch);
+        fed.head.set_parallel_config(parallel);
+        warm(&fed.head, sql);
+        let mut best: Option<(usize, std::time::Duration)> = None;
+        for _ in 0..3 {
+            reset_links(&fed.links);
+            let (r, t) = timed(|| fed.head.query(sql).unwrap());
+            if best.is_none_or(|(_, b)| t < b) {
+                best = Some((r.len(), t));
+            }
+        }
+        let (rows, t) = best.expect("measured");
+        (rows, t, total_traffic(&fed.links))
+    };
+
+    let legs = [
+        (
+            "row serial",
+            BatchConfig::row_at_a_time(),
+            ParallelConfig::serial(),
+        ),
+        (
+            "batch serial",
+            BatchConfig::batched(1024),
+            ParallelConfig::serial(),
+        ),
+        (
+            "row parallel",
+            BatchConfig::row_at_a_time(),
+            ParallelConfig::parallel(),
+        ),
+        (
+            "batch parallel",
+            BatchConfig::batched(1024),
+            ParallelConfig::parallel(),
+        ),
+    ];
+    let mut measured = Vec::new();
+    println!(
+        "{:<16} {:>10} {:>14} {:>12} {:>12} {:>10}",
+        "mode", "rows", "rows shipped", "bytes", "round trips", "time"
+    );
+    for (name, batch, parallel) in legs {
+        let (rows, t, tr) = measure(batch, parallel);
+        println!(
+            "{name:<16} {rows:>10} {:>14} {:>12} {:>12} {t:>10.2?}",
+            tr.rows, tr.bytes, tr.batches
+        );
+        measured.push((name, rows, t, tr));
+    }
+    // Batching must change round trips, never what crosses the wire.
+    for w in measured.windows(2) {
+        assert_eq!(w[0].1, w[1].1, "result cardinality diverged");
+        assert_eq!(
+            (w[0].3.rows, w[0].3.bytes),
+            (w[1].3.rows, w[1].3.bytes),
+            "batching changed per-link traffic totals"
+        );
+    }
+    let serial_speedup = measured[0].2.as_secs_f64() / measured[1].2.as_secs_f64().max(1e-9);
+    let parallel_speedup = measured[2].2.as_secs_f64() / measured[3].2.as_secs_f64().max(1e-9);
+    let trips_row = measured[0].3.batches;
+    let trips_batch = measured[1].3.batches;
+    println!(
+        "→ batching collapses {trips_row} round trips to {trips_batch}; \
+         {serial_speedup:.1}x faster serial, {parallel_speedup:.1}x faster parallel."
+    );
+    assert!(
+        serial_speedup >= 2.0,
+        "batched shipping must be at least 2x on WAN-latency-dominated scans \
+         (got {serial_speedup:.2}x)"
+    );
+
+    // Hand-formatted JSON: the offline serde shim is marker-only.
+    let json = format!(
+        "{{\n  \"experiment\": \"batch_federation\",\n  \"query\": \"{sql}\",\n  \
+         \"members\": {members},\n  \"batch_size\": 1024,\n  \"rows\": {},\n  \
+         \"row_serial_ms\": {:.3},\n  \"batch_serial_ms\": {:.3},\n  \
+         \"row_parallel_ms\": {:.3},\n  \"batch_parallel_ms\": {:.3},\n  \
+         \"serial_speedup\": {serial_speedup:.2},\n  \"parallel_speedup\": {parallel_speedup:.2},\n  \
+         \"row_traffic\": {{ \"requests\": {}, \"rows\": {}, \"bytes\": {}, \"round_trips\": {} }},\n  \
+         \"batch_traffic\": {{ \"requests\": {}, \"rows\": {}, \"bytes\": {}, \"round_trips\": {} }}\n}}\n",
+        measured[0].1,
+        measured[0].2.as_secs_f64() * 1e3,
+        measured[1].2.as_secs_f64() * 1e3,
+        measured[2].2.as_secs_f64() * 1e3,
+        measured[3].2.as_secs_f64() * 1e3,
+        measured[0].3.requests,
+        measured[0].3.rows,
+        measured[0].3.bytes,
+        measured[0].3.batches,
+        measured[1].3.requests,
+        measured[1].3.rows,
+        measured[1].3.bytes,
+        measured[1].3.batches,
+    );
+    std::fs::write("BENCH_batch_federation.json", json).expect("write BENCH json");
+    println!("→ wrote BENCH_batch_federation.json");
+}
+
 fn main() {
     println!("dhqp experiment report — regenerates every paper table/figure reproduction");
     println!("(one execution per configuration; see `cargo bench` for statistical timing)");
     let filter = std::env::args().nth(1);
-    let experiments: [(&str, fn()); 15] = [
+    let experiments: [(&str, fn()); 16] = [
         ("e1", e1_figure4),
         ("e2", e2_table1),
         ("e3", e3_table2),
@@ -1040,6 +1156,7 @@ fn main() {
         ("e13", e13_plan_cache),
         ("e14", e14_trace_overhead),
         ("e15", e15_events_overhead),
+        ("e16", e16_batch_federation),
     ];
     for (name, run) in experiments {
         if filter.as_deref().is_none_or(|f| f == name) {

@@ -213,6 +213,9 @@ fn render_node(
                     remote.traffic.rows,
                     remote.traffic.bytes
                 );
+                if let Some(avg) = remote.traffic.rows_per_round_trip() {
+                    let _ = writeln!(out, "{pad}    [link batch: avg={avg:.1}]");
+                }
                 if let Some(l) = &remote.link_latency {
                     let _ = writeln!(
                         out,

@@ -101,6 +101,8 @@ fn link_stats_info() -> TableInfo {
             ColumnInfo::not_null("requests", DataType::Int),
             ColumnInfo::not_null("rows", DataType::Int),
             ColumnInfo::not_null("bytes", DataType::Int),
+            // Mean rows shipped per round trip; NULL before any traffic.
+            ColumnInfo::new("rows_per_round_trip", DataType::Float),
             // NULL for unmetered sources (no simulated link in between).
             ColumnInfo::new("p50_ms", DataType::Float),
             ColumnInfo::new("p95_ms", DataType::Float),
@@ -263,11 +265,16 @@ fn link_stats_rows(engine: &Inner) -> Vec<Row> {
                 Some(l) => (ms(l.p50_us), ms(l.p95_us), ms(l.p99_us), ms(l.max_us)),
                 None => (Value::Null, Value::Null, Value::Null, Value::Null),
             };
+            let per_trip = match t.rows_per_round_trip() {
+                Some(v) => Value::Float(v),
+                None => Value::Null,
+            };
             Row::new(vec![
                 Value::Str(name),
                 Value::Int(t.requests as i64),
                 Value::Int(t.rows as i64),
                 Value::Int(t.bytes as i64),
+                per_trip,
                 p50,
                 p95,
                 p99,

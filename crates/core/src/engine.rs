@@ -13,7 +13,7 @@ use crate::result::QueryResult;
 use crate::trace::{QueryTrace, TraceBuilder, TraceConfig};
 use dhqp_dtc::TransactionCoordinator;
 use dhqp_executor::{
-    ExecContext, ParallelConfig, RetryPolicy, RuntimeStatsCollector, SourceCatalog,
+    BatchConfig, ExecContext, ParallelConfig, RetryPolicy, RuntimeStatsCollector, SourceCatalog,
 };
 use dhqp_federation::{LinkedServerRegistry, MemberTable, PartitionedView};
 use dhqp_fulltext::SearchService;
@@ -67,6 +67,7 @@ pub(crate) struct Inner {
     config: RwLock<OptimizerConfig>,
     parallel: RwLock<ParallelConfig>,
     retry: RwLock<RetryPolicy>,
+    batch: RwLock<BatchConfig>,
     dtc: Arc<TransactionCoordinator>,
     metrics: EngineMetrics,
     /// Hierarchical span tracing switch (`DHQP_TRACE` /
@@ -135,6 +136,7 @@ pub struct EngineBuilder {
     config: OptimizerConfig,
     parallel: ParallelConfig,
     retry: RetryPolicy,
+    batch: BatchConfig,
     plan_cache: PlanCacheConfig,
     stats_ttl: Duration,
     recent_queries: usize,
@@ -175,6 +177,7 @@ impl EngineBuilder {
             config: OptimizerConfig::default(),
             parallel: ParallelConfig::from_env(),
             retry: RetryPolicy::from_env(),
+            batch: BatchConfig::from_env(),
             plan_cache: PlanCacheConfig::from_env(),
             stats_ttl: stats_ttl_from_env(),
             recent_queries: recent_queries_from_env(),
@@ -200,6 +203,13 @@ impl EngineBuilder {
     /// Retry/backoff policy for remote opens and mid-stream rewinds.
     pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Batched row shipping: chunked pulls across operators and links
+    /// (`DHQP_BATCH` / `DHQP_BATCH_SIZE`).
+    pub fn batch_config(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -262,6 +272,7 @@ impl EngineBuilder {
                 config: RwLock::new(self.config),
                 parallel: RwLock::new(self.parallel),
                 retry: RwLock::new(self.retry),
+                batch: RwLock::new(self.batch),
                 dtc: TransactionCoordinator::new(),
                 metrics: EngineMetrics::new(self.recent_queries, self.slow_query),
                 trace: RwLock::new(self.trace),
@@ -651,6 +662,17 @@ impl Engine {
     /// plans: retry is applied per execution, not baked into the plan.
     pub fn set_retry_policy(&self, retry: RetryPolicy) {
         *self.inner.retry.write() = retry;
+    }
+
+    pub fn batch_config(&self) -> BatchConfig {
+        self.inner.batch.read().clone()
+    }
+
+    /// Set the batched-shipping knobs (on/off + rows per round trip). Like
+    /// retry, batching is applied per execution and never changes plan
+    /// shape, so cached plans stay valid.
+    pub fn set_batch_config(&self, batch: BatchConfig) {
+        *self.inner.batch.write() = batch;
     }
 
     // ---- plan & statistics caching -----------------------------------------
@@ -1339,16 +1361,24 @@ impl Engine {
         let catalog = Arc::new(EngineCatalog {
             inner: Arc::clone(&self.inner),
         });
+        let batch = self.batch_config();
         let mut ctx = ExecContext::new(catalog, params, Arc::clone(registry))
             .with_counters(self.inner.metrics.exec_counters())
             .with_parallel(self.parallel_config())
-            .with_retry(self.retry_policy());
+            .with_retry(self.retry_policy())
+            .with_batch(batch.clone());
         if let Some(collector) = stats {
             ctx = ctx.with_stats(collector);
         }
         self.validate_view_schemas(plan, view_members, &ctx)?;
         let mut rowset = dhqp_executor::open(plan, &ctx)?;
-        let all_rows = rowset.collect_rows()?;
+        // The root drain is a drive point: with batching on, the engine
+        // pulls DHQP_BATCH_SIZE-row chunks through the whole pipeline.
+        let all_rows = if batch.enabled {
+            rowset.collect_rows_batched(batch.batch_size)?
+        } else {
+            rowset.collect_rows()?
+        };
         // Trim to the visible SELECT-list columns, in order.
         let positions: Vec<usize> = output
             .iter()
@@ -1529,6 +1559,7 @@ impl Engine {
             .with_counters(self.inner.metrics.exec_counters())
             .with_parallel(self.parallel_config())
             .with_retry(self.retry_policy())
+            .with_batch(self.batch_config())
     }
 
     // ---- observability -----------------------------------------------------

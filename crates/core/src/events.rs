@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Number of event kinds (mask-indexed filtering).
-pub const EVENT_KINDS: usize = 10;
+pub const EVENT_KINDS: usize = 11;
 
 /// The typed event taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,6 +51,8 @@ pub enum EventKind {
     TwoPhaseCommit,
     /// A statement crossed the armed slow-query threshold.
     SlowQuery,
+    /// A metered link shipped one batch (one round trip) of rows.
+    BatchFlush,
 }
 
 impl EventKind {
@@ -66,6 +68,7 @@ impl EventKind {
         EventKind::ExchangeDrain,
         EventKind::TwoPhaseCommit,
         EventKind::SlowQuery,
+        EventKind::BatchFlush,
     ];
 
     /// The wire/display name, shared with the low-layer emitters.
@@ -81,6 +84,7 @@ impl EventKind {
             EventKind::ExchangeDrain => "exchange_drain",
             EventKind::TwoPhaseCommit => "2pc",
             EventKind::SlowQuery => "slow_query",
+            EventKind::BatchFlush => "batch_flush",
         }
     }
 

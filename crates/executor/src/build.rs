@@ -93,10 +93,20 @@ fn maybe_prefetch(inner: Box<dyn Rowset>, ctx: &ExecContext) -> Box<dyn Rowset> 
     let cfg = ctx.parallel();
     if cfg.enabled && cfg.prefetch {
         ctx.counters().add_remote_prefetch();
+        let batch = ctx.batch();
+        // With batching on the worker ships DHQP_BATCH_SIZE-row round
+        // trips; with it off the worker assembles prefetch_batch-row
+        // buffers from per-row pulls, preserving per-row wire accounting.
+        let (rows, batched) = if batch.enabled {
+            (batch.batch_size, true)
+        } else {
+            (cfg.prefetch_batch, false)
+        };
         Box::new(PrefetchRowset::new(
             inner,
-            cfg.prefetch_batch,
+            rows,
             cfg.prefetch_queue,
+            batched,
         ))
     } else {
         inner

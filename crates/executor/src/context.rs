@@ -89,6 +89,73 @@ impl Default for ParallelConfig {
     }
 }
 
+/// Knobs for vectorized (batch-at-a-time) execution. When enabled, the
+/// engine drains plans through [`dhqp_oledb::Rowset::next_batch`], batch-
+/// native operators hand whole chunks down the tree, and the network layer
+/// ships one simulated round trip per chunk. When disabled, every cursor
+/// degenerates to the classic row-at-a-time pull.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Master switch (`DHQP_BATCH`, default on).
+    pub enabled: bool,
+    /// Rows per chunk (`DHQP_BATCH_SIZE`, default 1024, clamped to ≥ 1).
+    pub batch_size: usize,
+}
+
+/// Default rows-per-chunk when `DHQP_BATCH_SIZE` is unset.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+impl BatchConfig {
+    /// Row-at-a-time compatibility mode.
+    pub fn row_at_a_time() -> Self {
+        BatchConfig {
+            enabled: false,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Vectorized execution with an explicit chunk size.
+    pub fn batched(batch_size: usize) -> Self {
+        BatchConfig {
+            enabled: true,
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// Batching on (unless `DHQP_BATCH=0`) with `DHQP_BATCH_SIZE` rows per
+    /// chunk (default [`DEFAULT_BATCH_SIZE`]).
+    pub fn from_env() -> Self {
+        let enabled = std::env::var("DHQP_BATCH")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(true);
+        let batch_size = std::env::var("DHQP_BATCH_SIZE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_BATCH_SIZE)
+            .max(1);
+        BatchConfig {
+            enabled,
+            batch_size,
+        }
+    }
+
+    /// The chunk size operators should pull with: the configured size when
+    /// batching is on, 1 (today's per-row behavior) when off.
+    pub fn pull_size(&self) -> usize {
+        if self.enabled {
+            self.batch_size
+        } else {
+            1
+        }
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::from_env()
+    }
+}
+
 /// Per-execution state threaded through every operator.
 #[derive(Clone)]
 pub struct ExecContext {
@@ -115,6 +182,8 @@ pub struct ExecContext {
     parallel: Arc<ParallelConfig>,
     /// Retry/backoff policy for idempotent remote reads.
     retry: Arc<RetryPolicy>,
+    /// Vectorized-execution knobs (chunked pulls, batched wire shipping).
+    batch: Arc<BatchConfig>,
 }
 
 impl ExecContext {
@@ -133,6 +202,7 @@ impl ExecContext {
             stats: None,
             parallel: Arc::new(ParallelConfig::from_env()),
             retry: Arc::new(RetryPolicy::from_env()),
+            batch: Arc::new(BatchConfig::from_env()),
         }
     }
 
@@ -160,8 +230,18 @@ impl ExecContext {
         self
     }
 
+    /// Override the vectorized-execution knobs for this execution.
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = Arc::new(batch);
+        self
+    }
+
     pub fn parallel(&self) -> &ParallelConfig {
         &self.parallel
+    }
+
+    pub fn batch(&self) -> &BatchConfig {
+        &self.batch
     }
 
     pub fn retry(&self) -> &RetryPolicy {
@@ -221,6 +301,7 @@ impl ExecContext {
             stats: self.stats.clone(),
             parallel: Arc::clone(&self.parallel),
             retry: Arc::clone(&self.retry),
+            batch: Arc::clone(&self.batch),
         }
     }
 

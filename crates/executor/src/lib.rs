@@ -19,7 +19,7 @@ pub mod ops;
 pub mod stats;
 
 pub use build::open;
-pub use context::{ExecContext, ParallelConfig, SourceCatalog};
+pub use context::{BatchConfig, ExecContext, ParallelConfig, SourceCatalog, DEFAULT_BATCH_SIZE};
 pub use eval::{eval_expr, eval_predicate, RowEnv};
 pub use ops::retry::RetryPolicy;
 pub use stats::{

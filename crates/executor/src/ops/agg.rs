@@ -6,7 +6,7 @@ use crate::eval::{eval_expr, positions_of, RowEnv};
 use dhqp_oledb::Rowset;
 use dhqp_optimizer::scalar::{AggCall, AggFunc};
 use dhqp_optimizer::ColumnId;
-use dhqp_types::{DhqpError, Result, Row, Schema, Value};
+use dhqp_types::{DhqpError, Result, Row, RowBatch, Schema, Value};
 use std::collections::{HashMap, HashSet};
 
 /// One running aggregate.
@@ -134,20 +134,25 @@ impl HashAggregate {
         let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
         // Preserve first-seen group order for deterministic output.
         let mut order: Vec<Vec<Value>> = Vec::new();
-        while let Some(row) = input.next()? {
-            let key: Vec<Value> = group_pos.iter().map(|&p| row.values[p].clone()).collect();
-            let env = RowEnv {
-                positions: &positions,
-                row: &row,
-                ctx,
-            };
-            let accs = groups.entry(key.clone()).or_insert_with(|| {
-                order.push(key);
-                aggs.iter()
-                    .map(|a| Accumulator::new(a.func, a.distinct))
-                    .collect()
-            });
-            update_group(accs, aggs, &env)?;
+        // Consume the input in chunks (one row per chunk when batching is
+        // off, so the wire accounting degenerates to the row path).
+        let pull = ctx.batch().pull_size();
+        while let Some(batch) = input.next_batch(pull)? {
+            for row in batch {
+                let key: Vec<Value> = group_pos.iter().map(|&p| row.values[p].clone()).collect();
+                let env = RowEnv {
+                    positions: &positions,
+                    row: &row,
+                    ctx,
+                };
+                let accs = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    aggs.iter()
+                        .map(|a| Accumulator::new(a.func, a.distinct))
+                        .collect()
+                });
+                update_group(accs, aggs, &env)?;
+            }
         }
         // Scalar aggregate over an empty input still yields one row.
         if group_by.is_empty() && groups.is_empty() {
@@ -178,12 +183,28 @@ impl Rowset for HashAggregate {
     fn next(&mut self) -> Result<Option<Row>> {
         Ok(self.output.next())
     }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let take = max.max(1).min(self.output.len());
+        if take == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.output.by_ref().take(take).collect()))
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.output.len())
+    }
 }
 
 /// Stream aggregation over input sorted on the grouping columns: emits a
 /// group as soon as the key changes (no hash table).
 pub struct StreamAggregate {
     input: Box<dyn Rowset>,
+    /// Input rows buffered from one chunked pull (vectorized input path).
+    buffered: std::vec::IntoIter<Row>,
+    /// Rows requested per input pull (1 when batching is off).
+    pull: usize,
     group_pos: Vec<usize>,
     aggs: Vec<AggCall>,
     positions: HashMap<ColumnId, usize>,
@@ -213,8 +234,11 @@ impl StreamAggregate {
                 })
             })
             .collect::<Result<Vec<_>>>()?;
+        let pull = ctx.batch().pull_size();
         Ok(StreamAggregate {
             input,
+            buffered: Vec::new().into_iter(),
+            pull,
             group_pos,
             aggs,
             positions,
@@ -233,6 +257,21 @@ impl StreamAggregate {
             .map(|a| Accumulator::new(a.func, a.distinct))
             .collect()
     }
+
+    /// Next input row, refilling the buffer with one chunked pull when it
+    /// runs dry.
+    fn next_input(&mut self) -> Result<Option<Row>> {
+        if let Some(row) = self.buffered.next() {
+            return Ok(Some(row));
+        }
+        match self.input.next_batch(self.pull)? {
+            Some(batch) => {
+                self.buffered = batch.into_rows().into_iter();
+                Ok(self.buffered.next())
+            }
+            None => Ok(None),
+        }
+    }
 }
 
 impl Rowset for StreamAggregate {
@@ -245,7 +284,7 @@ impl Rowset for StreamAggregate {
             return Ok(None);
         }
         loop {
-            match self.input.next()? {
+            match self.next_input()? {
                 Some(row) => {
                     let key: Vec<Value> = self
                         .group_pos

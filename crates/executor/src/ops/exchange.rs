@@ -22,7 +22,7 @@ use dhqp_oledb::waits::{
 };
 use dhqp_oledb::Rowset;
 use dhqp_optimizer::ColumnId;
-use dhqp_types::{Result, Row, Schema};
+use dhqp_types::{Result, Row, RowBatch, Schema};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -33,13 +33,18 @@ use std::time::{Duration, Instant};
 pub type BranchFactory = Box<dyn FnOnce(&ExecContext) -> Result<Box<dyn Rowset>> + Send>;
 
 /// Parallel bag union: branches open and drain on worker threads, the
-/// consumer pulls merged rows (arrival order) from a bounded channel.
+/// consumer pulls merged row batches (arrival order) from a bounded channel.
+/// Each channel slot carries a whole [`RowBatch`], so the queue bound is
+/// expressed in batches (`exchange_queue / pull_size`) to keep the buffered
+/// row budget roughly constant whichever batch size is configured.
 pub struct ExchangeRowset {
-    rx: Option<Receiver<Result<Row>>>,
+    rx: Option<Receiver<Result<RowBatch>>>,
     workers: Vec<JoinHandle<WorkerSpan>>,
     worker_count: usize,
     opened: Instant,
     schema: Schema,
+    /// Replay remainder of the last received batch for row-at-a-time pulls.
+    buffer: std::vec::IntoIter<Row>,
     done: bool,
     stats: Option<(usize, Arc<RuntimeStatsCollector>)>,
 }
@@ -60,7 +65,11 @@ impl ExchangeRowset {
         let perms = union_perms(child_delivered, input_columns)?;
         let n = branches.len().min(cfg.max_workers).max(1);
         let branch_count = branches.len();
-        let (tx, rx) = sync_channel::<Result<Row>>(cfg.exchange_queue.max(1));
+        let pull = ctx.batch().pull_size();
+        // Queue depth in batches: with batching off (pull = 1) this is the
+        // historical row-granular bound, unchanged.
+        let depth = cfg.exchange_queue.max(1).div_ceil(pull).max(1);
+        let (tx, rx) = sync_channel::<Result<RowBatch>>(depth);
         let mut assigned: Vec<Vec<(BranchFactory, Vec<usize>)>> =
             (0..n).map(|_| Vec::new()).collect();
         for (k, (open, perm)) in branches.into_iter().zip(perms).enumerate() {
@@ -78,7 +87,7 @@ impl ExchangeRowset {
                 let scope = current_scope();
                 std::thread::spawn(move || {
                     let _scope = install_scope(scope);
-                    run_branches(work, &wctx, &tx, opened)
+                    run_branches(work, &wctx, &tx, opened, pull)
                 })
             })
             .collect();
@@ -103,9 +112,29 @@ impl ExchangeRowset {
             worker_count: n,
             opened,
             schema,
+            buffer: Vec::new().into_iter(),
             done: false,
             stats,
         })
+    }
+
+    /// Receive the next batch from the channel (lock-free fast path, blocking
+    /// fallback charged to EXCHANGE_QUEUE_EMPTY). `Err(())` = all senders
+    /// gone, i.e. every branch drained.
+    fn recv_batch(&mut self) -> std::result::Result<Result<RowBatch>, ()> {
+        let Some(rx) = &self.rx else {
+            return Err(());
+        };
+        match rx.try_recv() {
+            Ok(item) => Ok(item),
+            Err(TryRecvError::Disconnected) => Err(()),
+            Err(TryRecvError::Empty) => {
+                let t0 = Instant::now();
+                let out = rx.recv().map_err(|_| ());
+                record_wait(WaitClass::ExchangeQueueEmpty, t0.elapsed());
+                out
+            }
+        }
     }
 
     /// Drop the receiver (failing any blocked sends), join every worker and
@@ -162,8 +191,8 @@ impl ExchangeRowset {
 /// blocked time is charged to `EXCHANGE_QUEUE_FULL`. Returns `false` when
 /// the consumer hung up.
 fn send_with_backpressure(
-    tx: &SyncSender<Result<Row>>,
-    item: Result<Row>,
+    tx: &SyncSender<Result<RowBatch>>,
+    item: Result<RowBatch>,
     span: &mut WorkerSpan,
 ) -> bool {
     match tx.try_send(item) {
@@ -181,14 +210,15 @@ fn send_with_backpressure(
 }
 
 /// Worker body: open and drain each assigned branch in turn, permuting rows
-/// to the output column order. Returns the worker's timeline (offsets
-/// relative to `opened`, the exchange's open instant). A send failure means
-/// the consumer hung up — stop quietly.
+/// to the output column order and shipping `pull`-row batches. Returns the
+/// worker's timeline (offsets relative to `opened`, the exchange's open
+/// instant). A send failure means the consumer hung up — stop quietly.
 fn run_branches(
     work: Vec<(BranchFactory, Vec<usize>)>,
     ctx: &ExecContext,
-    tx: &SyncSender<Result<Row>>,
+    tx: &SyncSender<Result<RowBatch>>,
     opened: Instant,
+    pull: usize,
 ) -> WorkerSpan {
     let start = Instant::now();
     let mut span = WorkerSpan {
@@ -204,13 +234,18 @@ fn run_branches(
             }
         };
         loop {
-            match rowset.next() {
-                Ok(Some(row)) => {
-                    let values = perm.iter().map(|&p| row.values[p].clone()).collect();
-                    if !send_with_backpressure(tx, Ok(Row::new(values)), &mut span) {
+            match rowset.next_batch(pull) {
+                Ok(Some(batch)) => {
+                    let mut out = RowBatch::with_capacity(batch.len());
+                    for row in batch {
+                        let values = perm.iter().map(|&p| row.values[p].clone()).collect();
+                        out.push(Row::new(values));
+                    }
+                    let n = out.len() as u64;
+                    if !send_with_backpressure(tx, Ok(out), &mut span) {
                         break 'branches;
                     }
-                    span.rows += 1;
+                    span.rows += n;
                 }
                 Ok(None) => break,
                 Err(e) => {
@@ -230,27 +265,17 @@ impl Rowset for ExchangeRowset {
     }
 
     fn next(&mut self) -> Result<Option<Row>> {
+        if let Some(row) = self.buffer.next() {
+            return Ok(Some(row));
+        }
         if self.done {
             return Ok(None);
         }
-        let Some(rx) = &self.rx else {
-            return Ok(None);
-        };
-        // A ready row costs a lock-free `try_recv`; an empty channel falls
-        // back to the blocking recv and the stall is charged to
-        // EXCHANGE_QUEUE_EMPTY (all producers busy or still opening).
-        let received = match rx.try_recv() {
-            Ok(item) => Ok(item),
-            Err(TryRecvError::Disconnected) => Err(()),
-            Err(TryRecvError::Empty) => {
-                let t0 = Instant::now();
-                let out = rx.recv().map_err(|_| ());
-                record_wait(WaitClass::ExchangeQueueEmpty, t0.elapsed());
-                out
+        match self.recv_batch() {
+            Ok(Ok(batch)) => {
+                self.buffer = batch.into_rows().into_iter();
+                Ok(self.buffer.next())
             }
-        };
-        match received {
-            Ok(Ok(row)) => Ok(Some(row)),
             // First error wins: surface it once, then the cursor is done
             // (shutdown cancels the remaining workers).
             Ok(Err(e)) => {
@@ -259,6 +284,42 @@ impl Rowset for ExchangeRowset {
                 Err(e)
             }
             // All senders gone: every branch drained.
+            Err(()) => {
+                self.done = true;
+                self.shutdown();
+                Ok(None)
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let max = max.max(1);
+        // Drain any row-at-a-time replay remainder first so mixed cursoring
+        // never reorders rows.
+        let buffered: Vec<Row> = self.buffer.by_ref().take(max).collect();
+        if !buffered.is_empty() {
+            return Ok(Some(RowBatch::from(buffered)));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        match self.recv_batch() {
+            Ok(Ok(batch)) => {
+                if batch.len() <= max {
+                    return Ok(Some(batch));
+                }
+                // Caller asked for less than a worker shipped: hand back the
+                // head and buffer the rest for the next pull.
+                let mut rows = batch.into_rows();
+                let rest = rows.split_off(max);
+                self.buffer = rest.into_iter();
+                Ok(Some(RowBatch::from(rows)))
+            }
+            Ok(Err(e)) => {
+                self.done = true;
+                self.shutdown();
+                Err(e)
+            }
             Err(()) => {
                 self.done = true;
                 self.shutdown();
@@ -278,7 +339,7 @@ impl Drop for ExchangeRowset {
 /// batches so link latency and transfer time overlap with consumer work.
 /// Row order is preserved — batches flow through a FIFO channel.
 pub struct PrefetchRowset {
-    rx: Option<Receiver<Result<Vec<Row>>>>,
+    rx: Option<Receiver<Result<RowBatch>>>,
     worker: Option<JoinHandle<()>>,
     buffer: std::vec::IntoIter<Row>,
     schema: Schema,
@@ -286,17 +347,42 @@ pub struct PrefetchRowset {
 }
 
 impl PrefetchRowset {
-    pub fn new(mut inner: Box<dyn Rowset>, batch_rows: usize, queue_depth: usize) -> Self {
+    /// `batched` selects how the worker drains the source: `true` pulls
+    /// whole `batch_rows` chunks over the wire (one round trip each);
+    /// `false` assembles batches row by row, preserving the per-row wire
+    /// accounting of the compatibility path (`DHQP_BATCH=0`).
+    pub fn new(
+        mut inner: Box<dyn Rowset>,
+        batch_rows: usize,
+        queue_depth: usize,
+        batched: bool,
+    ) -> Self {
         let schema = inner.schema().clone();
         let batch_rows = batch_rows.max(1);
-        let (tx, rx) = sync_channel::<Result<Vec<Row>>>(queue_depth.max(1));
+        let (tx, rx) = sync_channel::<Result<RowBatch>>(queue_depth.max(1));
         // The prefetcher drains a metered remote rowset off-thread; its
         // link waits must land in the spawning statement's sinks too.
         let scope = current_scope();
         let worker = std::thread::spawn(move || {
             let _scope = install_scope(scope);
+            if batched {
+                loop {
+                    match inner.next_batch(batch_rows) {
+                        Ok(Some(batch)) => {
+                            if tx.send(Ok(batch)).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => return,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+            }
             loop {
-                let mut batch = Vec::with_capacity(batch_rows);
+                let mut batch = RowBatch::with_capacity(batch_rows);
                 let finished = loop {
                     match inner.next() {
                         Ok(Some(row)) => {
@@ -350,8 +436,41 @@ impl Rowset for PrefetchRowset {
         };
         match rx.recv() {
             Ok(Ok(batch)) => {
-                self.buffer = batch.into_iter();
+                self.buffer = batch.into_rows().into_iter();
                 Ok(self.buffer.next())
+            }
+            Ok(Err(e)) => {
+                self.done = true;
+                Err(e)
+            }
+            Err(_) => {
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let max = max.max(1);
+        let buffered: Vec<Row> = self.buffer.by_ref().take(max).collect();
+        if !buffered.is_empty() {
+            return Ok(Some(RowBatch::from(buffered)));
+        }
+        if self.done {
+            return Ok(None);
+        }
+        let Some(rx) = &self.rx else {
+            return Ok(None);
+        };
+        match rx.recv() {
+            Ok(Ok(batch)) => {
+                if batch.len() <= max {
+                    return Ok(Some(batch));
+                }
+                let mut rows = batch.into_rows();
+                let rest = rows.split_off(max);
+                self.buffer = rest.into_iter();
+                Ok(Some(RowBatch::from(rows)))
             }
             Ok(Err(e)) => {
                 self.done = true;
@@ -525,6 +644,36 @@ mod tests {
         assert_eq!(ctx.counters().snapshot().exchange_workers, 2);
     }
 
+    #[test]
+    fn exchange_batched_cursor_covers_all_rows() {
+        let mut rs = exchange(
+            vec![ints((0..23).collect()), ints((100..117).collect())],
+            &ParallelConfig::parallel(),
+        );
+        // Mixed cursoring: a couple of single rows, then batch pulls.
+        let mut got: Vec<i64> = Vec::new();
+        for _ in 0..2 {
+            if let Some(row) = rs.next().unwrap() {
+                got.push(match row.get(0) {
+                    Value::Int(i) => *i,
+                    other => panic!("unexpected value {other:?}"),
+                });
+            }
+        }
+        while let Some(batch) = rs.next_batch(5).unwrap() {
+            assert!(batch.len() <= 5, "consumer cap must re-slice big batches");
+            for row in batch {
+                got.push(match row.get(0) {
+                    Value::Int(i) => *i,
+                    other => panic!("unexpected value {other:?}"),
+                });
+            }
+        }
+        got.sort_unstable();
+        let want: Vec<i64> = (0..23).chain(100..117).collect();
+        assert_eq!(got, want);
+    }
+
     /// Yields one row, dawdles, then fails — by which time the consumer in
     /// the regression test below has already hung up.
     struct SlowFaultyRowset {
@@ -544,6 +693,17 @@ mod tests {
             }
             self.yielded = true;
             Ok(Some(Row::new(vec![Value::Int(0)])))
+        }
+
+        // Fault on a batch boundary (like a metered link does), so the one
+        // good row reaches the consumer before the worker's late error.
+        fn next_batch(&mut self, _max: usize) -> Result<Option<RowBatch>> {
+            if self.yielded {
+                std::thread::sleep(Duration::from_millis(50));
+                return Err(DhqpError::Provider("late link reset".into()));
+            }
+            self.yielded = true;
+            Ok(Some(RowBatch::from(vec![Row::new(vec![Value::Int(0)])])))
         }
     }
 
@@ -583,16 +743,18 @@ mod tests {
 
     #[test]
     fn prefetch_preserves_order_and_completes() {
-        let rows: Vec<Row> = (0..103).map(|i| Row::new(vec![Value::Int(i)])).collect();
-        let inner: Box<dyn Rowset> = Box::new(MemRowset::new(int_schema(), rows));
-        let mut rs = PrefetchRowset::new(inner, 16, 2);
-        let got = rs.collect_rows().unwrap();
-        assert_eq!(got.len(), 103);
-        assert!(got
-            .iter()
-            .enumerate()
-            .all(|(i, r)| r.get(0) == &Value::Int(i as i64)));
-        assert!(rs.next().unwrap().is_none());
+        for batched in [false, true] {
+            let rows: Vec<Row> = (0..103).map(|i| Row::new(vec![Value::Int(i)])).collect();
+            let inner: Box<dyn Rowset> = Box::new(MemRowset::new(int_schema(), rows));
+            let mut rs = PrefetchRowset::new(inner, 16, 2, batched);
+            let got = rs.collect_rows().unwrap();
+            assert_eq!(got.len(), 103);
+            assert!(got
+                .iter()
+                .enumerate()
+                .all(|(i, r)| r.get(0) == &Value::Int(i as i64)));
+            assert!(rs.next().unwrap().is_none());
+        }
     }
 
     #[test]
@@ -601,7 +763,7 @@ mod tests {
             schema: int_schema(),
             remaining: 3,
         });
-        let mut rs = PrefetchRowset::new(inner, 2, 2);
+        let mut rs = PrefetchRowset::new(inner, 2, 2, false);
         let mut seen = 0;
         let err = loop {
             match rs.next() {
@@ -616,10 +778,30 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_batched_pull_forwards_whole_chunks() {
+        let rows: Vec<Row> = (0..10).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let inner: Box<dyn Rowset> = Box::new(MemRowset::new(int_schema(), rows));
+        let mut rs = PrefetchRowset::new(inner, 4, 2, true);
+        // A mixed cursor: one row off the front, then batches — order holds.
+        assert_eq!(rs.next().unwrap().unwrap().get(0), &Value::Int(0));
+        let mut got = vec![0i64];
+        while let Some(batch) = rs.next_batch(4).unwrap() {
+            assert!(batch.len() <= 4);
+            for row in batch {
+                got.push(match row.get(0) {
+                    Value::Int(i) => *i,
+                    other => panic!("unexpected value {other:?}"),
+                });
+            }
+        }
+        assert_eq!(got, (0..10).collect::<Vec<i64>>());
+    }
+
+    #[test]
     fn prefetch_early_drop_joins_worker() {
         let rows: Vec<Row> = (0..10_000).map(|i| Row::new(vec![Value::Int(i)])).collect();
         let inner: Box<dyn Rowset> = Box::new(MemRowset::new(int_schema(), rows));
-        let mut rs = PrefetchRowset::new(inner, 8, 1);
+        let mut rs = PrefetchRowset::new(inner, 8, 1, true);
         rs.next().unwrap();
         drop(rs);
     }

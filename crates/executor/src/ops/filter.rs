@@ -4,7 +4,7 @@ use crate::context::ExecContext;
 use crate::eval::{eval_expr, eval_predicate, positions_of, RowEnv};
 use dhqp_oledb::{MemRowset, Rowset};
 use dhqp_optimizer::{ColumnId, ScalarExpr};
-use dhqp_types::{Result, Row, Schema};
+use dhqp_types::{Result, Row, RowBatch, Schema};
 use std::collections::HashMap;
 
 /// Streaming filter.
@@ -48,6 +48,30 @@ impl Rowset for FilterRowset {
             }
         }
         Ok(None)
+    }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        // Pull whole chunks from the child and keep the survivors; loop so
+        // a fully-filtered chunk never surfaces as an empty batch.
+        loop {
+            let Some(batch) = self.inner.next_batch(max)? else {
+                return Ok(None);
+            };
+            let mut kept = RowBatch::with_capacity(batch.len());
+            for row in batch {
+                let env = RowEnv {
+                    positions: &self.positions,
+                    row: &row,
+                    ctx: &self.ctx,
+                };
+                if eval_predicate(&self.predicate, &env)? {
+                    kept.push(row);
+                }
+            }
+            if !kept.is_empty() {
+                return Ok(Some(kept));
+            }
+        }
     }
 }
 
@@ -122,6 +146,27 @@ impl Rowset for ProjectRowset {
             .map(|(_, e)| eval_expr(e, &env))
             .collect::<Result<Vec<_>>>()?;
         Ok(Some(Row::new(values)))
+    }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let Some(batch) = self.inner.next_batch(max)? else {
+            return Ok(None);
+        };
+        let mut out = RowBatch::with_capacity(batch.len());
+        for row in batch {
+            let env = RowEnv {
+                positions: &self.positions,
+                row: &row,
+                ctx: &self.ctx,
+            };
+            let values = self
+                .outputs
+                .iter()
+                .map(|(_, e)| eval_expr(e, &env))
+                .collect::<Result<Vec<_>>>()?;
+            out.push(Row::new(values));
+        }
+        Ok(Some(out))
     }
 }
 

@@ -8,7 +8,7 @@
 
 use crate::context::ExecContext;
 use crate::eval::{eval_expr, RowEnv};
-use crate::ops::retry::{open_with_retries, ReopenFactory};
+use crate::ops::retry::{open_with_retries_batched, ReopenFactory};
 use crate::ops::scan::resolve_range;
 use crate::stats::RuntimeStatsCollector;
 use dhqp_oledb::{MemRowset, Rowset};
@@ -99,7 +99,13 @@ pub fn open_remote_query(
             command.execute()?.into_rowset()
         })
     };
-    open_with_retries(factory, ctx.retry(), &counters, retry_stats(ctx, node))
+    open_with_retries_batched(
+        factory,
+        ctx.retry(),
+        &counters,
+        retry_stats(ctx, node),
+        ctx.batch().pull_size(),
+    )
 }
 
 /// `IOpenRowset` against a remote base table (ships the whole table).
@@ -123,7 +129,13 @@ pub fn open_remote_scan(
             session.open_rowset(&table)
         })
     };
-    open_with_retries(factory, ctx.retry(), &counters, retry_stats(ctx, node))
+    open_with_retries_batched(
+        factory,
+        ctx.retry(),
+        &counters,
+        retry_stats(ctx, node),
+        ctx.batch().pull_size(),
+    )
 }
 
 /// `IRowsetIndex` range against a remote index.
@@ -151,7 +163,13 @@ pub fn open_remote_range(
             session.open_index(&table, &index, &range)
         })
     };
-    open_with_retries(factory, ctx.retry(), &counters, retry_stats(ctx, node))
+    open_with_retries_batched(
+        factory,
+        ctx.retry(),
+        &counters,
+        retry_stats(ctx, node),
+        ctx.batch().pull_size(),
+    )
 }
 
 /// `IRowsetLocate` fetch: pull base rows for the bookmarks produced by a
@@ -185,7 +203,13 @@ pub fn open_remote_fetch(
             Ok(Box::new(MemRowset::new(schema.clone(), rows)) as Box<dyn Rowset>)
         })
     };
-    open_with_retries(factory, ctx.retry(), &counters, retry_stats(ctx, node))
+    open_with_retries_batched(
+        factory,
+        ctx.retry(),
+        &counters,
+        retry_stats(ctx, node),
+        ctx.batch().pull_size(),
+    )
 }
 
 /// Evaluate a list of column-free expressions (used by DML routing).

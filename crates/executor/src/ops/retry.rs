@@ -16,7 +16,7 @@
 use crate::stats::{ExecCounters, RuntimeStatsCollector};
 use dhqp_oledb::waits::{emit_event, has_hook, record_wait, WaitClass};
 use dhqp_oledb::Rowset;
-use dhqp_types::{DhqpError, Result, Row, Schema};
+use dhqp_types::{DhqpError, Result, Row, RowBatch, Schema};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -199,10 +199,24 @@ pub type ReopenFactory = Box<dyn FnMut() -> Result<Box<dyn Rowset>> + Send>;
 /// delivered rows are skipped. With `max_attempts == 1` the factory runs
 /// once, unwrapped — the fault-free fast path allocates nothing extra.
 pub fn open_with_retries(
+    factory: ReopenFactory,
+    policy: &RetryPolicy,
+    counters: &Arc<ExecCounters>,
+    stats: Option<(usize, Arc<RuntimeStatsCollector>)>,
+) -> Result<Box<dyn Rowset>> {
+    open_with_retries_batched(factory, policy, counters, stats, 1)
+}
+
+/// [`open_with_retries`] with a batch-aware rewind: a mid-stream rewind
+/// fast-forwards past already-delivered rows `rewind_chunk` rows per pull
+/// (whole skipped batches cross the wire as single round trips; the final
+/// partial chunk is re-sliced to land exactly on the delivered count).
+pub fn open_with_retries_batched(
     mut factory: ReopenFactory,
     policy: &RetryPolicy,
     counters: &Arc<ExecCounters>,
     stats: Option<(usize, Arc<RuntimeStatsCollector>)>,
+    rewind_chunk: usize,
 ) -> Result<Box<dyn Rowset>> {
     if policy.max_attempts <= 1 {
         return factory();
@@ -222,6 +236,7 @@ pub fn open_with_retries(
         inner,
         schema,
         delivered: 0,
+        rewind_chunk: rewind_chunk.max(1),
         state,
     }))
 }
@@ -257,6 +272,10 @@ struct RetryRowset {
     schema: Schema,
     /// Rows already handed to the consumer — the rewind skip count.
     delivered: u64,
+    /// Chunk size for the rewind fast-forward: skipped rows are re-pulled
+    /// `rewind_chunk` at a time so whole already-delivered batches cost one
+    /// round trip each, and the last pull is re-sliced to the exact count.
+    rewind_chunk: usize,
     state: RetryState,
 }
 
@@ -283,9 +302,11 @@ impl RetryRowset {
 
     fn try_reopen(&mut self) -> Result<Box<dyn Rowset>> {
         let mut rs = (self.factory)()?;
-        for skipped in 0..self.delivered {
-            match rs.next()? {
-                Some(_) => {}
+        let mut skipped: u64 = 0;
+        while skipped < self.delivered {
+            let want = (self.delivered - skipped).min(self.rewind_chunk as u64) as usize;
+            match rs.next_batch(want)? {
+                Some(batch) => skipped += batch.len() as u64,
                 None => {
                     return Err(DhqpError::Execute(format!(
                         "remote stream shrank during retry rewind ({} of {} rows)",
@@ -310,6 +331,25 @@ impl Rowset for RetryRowset {
                 Ok(Some(row)) => {
                     self.delivered += 1;
                     return Ok(Some(row));
+                }
+                Ok(None) => return Ok(None),
+                Err(e) if e.is_retryable() => self.rewind(e, attempt_started.elapsed())?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        loop {
+            let attempt_started = Instant::now();
+            match self.inner.next_batch(max) {
+                Ok(Some(batch)) => {
+                    // Delivered advances by whole batches, so a later rewind
+                    // lands exactly on a batch boundary of what the consumer
+                    // actually saw (a partially shipped batch was never
+                    // counted and is re-pulled from scratch).
+                    self.delivered += batch.len() as u64;
+                    return Ok(Some(batch));
                 }
                 Ok(None) => return Ok(None),
                 Err(e) if e.is_retryable() => self.rewind(e, attempt_started.elapsed())?,
@@ -481,6 +521,58 @@ mod tests {
         };
         assert_eq!(err.kind(), "unavailable");
         assert_eq!(c.snapshot().remote_transient_errors, 0);
+    }
+
+    #[test]
+    fn batched_pull_rewinds_mid_batch_fault_without_duplicates() {
+        // The stream drops after 3 rows — mid-way through the first 4-row
+        // batch. The partial batch was never delivered, so the rewind skips
+        // zero rows and the consumer still sees all 10 exactly once.
+        let c = counters();
+        let mut rs = open_with_retries_batched(flaky_factory(0, 1), &fast(), &c, None, 4).unwrap();
+        let mut got = Vec::new();
+        while let Some(batch) = rs.next_batch(4).unwrap() {
+            assert!(batch.len() <= 4);
+            got.extend(batch.into_rows());
+        }
+        assert_eq!(got.len(), 10, "no duplicates, no gaps");
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.get(0) == &Value::Int(i as i64)));
+        assert_eq!(c.snapshot().remote_retries, 1);
+    }
+
+    #[test]
+    fn batched_rewind_reslices_final_partial_chunk() {
+        // Deliver 2 full 3-row batches (6 rows), then hit a fresh stream
+        // drop on a second flaky open: the rewind must fast-forward exactly
+        // 6 rows in 3-row pulls and resume at row 6.
+        let opens = Arc::new(AtomicU32::new(0));
+        let factory: ReopenFactory = Box::new(move || {
+            let k = opens.fetch_add(1, Ordering::Relaxed);
+            let full: Box<dyn Rowset> = Box::new(MemRowset::new(int_schema(), rows(10)));
+            if k == 0 {
+                Ok(Box::new(DropAfter {
+                    inner: full,
+                    remaining: 7,
+                }))
+            } else {
+                Ok(full)
+            }
+        });
+        let c = counters();
+        let mut rs = open_with_retries_batched(factory, &fast(), &c, None, 3).unwrap();
+        let mut got = Vec::new();
+        while let Some(batch) = rs.next_batch(3).unwrap() {
+            got.extend(batch.into_rows());
+        }
+        assert_eq!(got.len(), 10);
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.get(0) == &Value::Int(i as i64)));
+        assert_eq!(c.snapshot().remote_retries, 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::context::{ExecContext, SpoolData};
 use crate::eval::positions_of;
 use dhqp_oledb::{MemRowset, Rowset, RowsetExt};
 use dhqp_optimizer::ColumnId;
-use dhqp_types::{DhqpError, Result, Row, Schema};
+use dhqp_types::{DhqpError, Result, Row, RowBatch, Schema};
 use std::sync::Arc;
 
 /// Full sort (materializing). NULLs sort first, per the engine's total
@@ -65,6 +65,25 @@ impl Rowset for TopRowset {
             Some(row) => {
                 self.remaining -= 1;
                 Ok(Some(row))
+            }
+            None => {
+                self.remaining = 0;
+                Ok(None)
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        // Never over-pull past the limit: the child (possibly a metered
+        // remote stream) only ships rows TOP will actually deliver.
+        let want = (max.max(1) as u64).min(self.remaining) as usize;
+        match self.inner.next_batch(want)? {
+            Some(batch) => {
+                self.remaining -= batch.len() as u64;
+                Ok(Some(batch))
             }
             None => {
                 self.remaining = 0;
@@ -145,6 +164,27 @@ impl Rowset for UnionAllRowset {
                     let perm = &self.perms[self.current];
                     let values = perm.iter().map(|&p| row.values[p].clone()).collect();
                     return Ok(Some(Row::new(values)));
+                }
+                None => self.current += 1,
+            }
+        }
+        Ok(None)
+    }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        // Forward whole chunks from the current child (this is the serial
+        // fallback of the Exchange operator, so DPV member streams ship
+        // batched here too), permuting each row to the output order.
+        while self.current < self.children.len() {
+            match self.children[self.current].next_batch(max)? {
+                Some(batch) => {
+                    let perm = &self.perms[self.current];
+                    let mut out = RowBatch::with_capacity(batch.len());
+                    for row in batch {
+                        let values = perm.iter().map(|&p| row.values[p].clone()).collect();
+                        out.push(Row::new(values));
+                    }
+                    return Ok(Some(out));
                 }
                 None => self.current += 1,
             }

@@ -371,6 +371,22 @@ impl Rowset for StatsRowset {
         }
         row
     }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<dhqp_types::RowBatch>> {
+        let start = Instant::now();
+        let batch = self.inner.next_batch(max);
+        self.next_time += start.elapsed();
+        if let Ok(Some(b)) = &batch {
+            // Row-accurate: EXPLAIN ANALYZE reports the same actual_rows
+            // whether the operator was cursored by row or by chunk.
+            self.rows += b.len() as u64;
+        }
+        batch
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.inner.size_hint()
+    }
 }
 
 impl Drop for StatsRowset {

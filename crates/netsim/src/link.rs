@@ -72,6 +72,10 @@ pub struct LinkStats {
     pub requests: AtomicU64,
     pub rows: AtomicU64,
     pub bytes: AtomicU64,
+    /// Row-shipping transfers: one per [`NetworkLink::record_rows`] call.
+    /// Row-at-a-time cursoring flushes one row per call, batched cursoring
+    /// K rows, so `rows / batches` gauges the realized batch size.
+    pub batches: AtomicU64,
     /// Faults the link's fault plan injected (not part of
     /// [`TrafficSnapshot`]: faults are not wire traffic).
     pub faults: AtomicU64,
@@ -138,6 +142,7 @@ impl NetworkLink {
     pub fn record_rows(&self, rows: u64, bytes: u64) -> Duration {
         self.stats.rows.fetch_add(rows, Ordering::Relaxed);
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.stats.payload.record(bytes);
         let d = self.config.transfer_time(bytes);
         if !d.is_zero() {
@@ -165,6 +170,7 @@ impl NetworkLink {
             requests: self.stats.requests.load(Ordering::Relaxed),
             rows: self.stats.rows.load(Ordering::Relaxed),
             bytes: self.stats.bytes.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
         }
     }
 
@@ -188,6 +194,7 @@ impl NetworkLink {
         self.stats.requests.store(0, Ordering::Relaxed);
         self.stats.rows.store(0, Ordering::Relaxed);
         self.stats.bytes.store(0, Ordering::Relaxed);
+        self.stats.batches.store(0, Ordering::Relaxed);
         self.stats.faults.store(0, Ordering::Relaxed);
         self.stats.latency.clear();
         self.stats.payload.clear();
@@ -241,6 +248,24 @@ mod tests {
         assert_eq!(s.requests, 1);
         assert_eq!(s.rows, 15);
         assert_eq!(s.bytes, 1300);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.rows_per_round_trip(), Some(7.5));
+    }
+
+    #[test]
+    fn rows_per_round_trip_gauges_flush_size() {
+        let link = NetworkLink::new("r0", NetworkConfig::untimed());
+        assert_eq!(link.snapshot().rows_per_round_trip(), None);
+        // Row-at-a-time: one flush per row → gauge of 1.
+        for _ in 0..4 {
+            link.record_rows(1, 16);
+        }
+        assert_eq!(link.snapshot().rows_per_round_trip(), Some(1.0));
+        link.reset();
+        // Batched: one flush per chunk → gauge of the chunk size.
+        link.record_rows(8, 128);
+        link.record_rows(8, 128);
+        assert_eq!(link.snapshot().rows_per_round_trip(), Some(8.0));
     }
 
     #[test]
@@ -307,14 +332,7 @@ mod tests {
         link.reset();
         link.record_rows(2, 20);
         let delta = link.snapshot().since(&before);
-        assert_eq!(
-            delta,
-            TrafficSnapshot {
-                requests: 0,
-                rows: 0,
-                bytes: 0
-            }
-        );
+        assert_eq!(delta, TrafficSnapshot::default());
         // Wrong-order subtraction clamps too.
         let newer = {
             link.record_rows(5, 50);

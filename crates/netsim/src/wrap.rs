@@ -21,7 +21,7 @@ use dhqp_oledb::{
     Command, CommandResult, DataSource, Histogram, KeyRange, LatencySummary, ProviderCapabilities,
     Rowset, Session, TableInfo, TrafficSnapshot, TxnId,
 };
-use dhqp_types::{DhqpError, Result, Row, Schema, Value};
+use dhqp_types::{DhqpError, Result, Row, RowBatch, Schema, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -220,6 +220,46 @@ impl Rowset for MeteredRowset {
             self.link.record_rows(1, r.wire_size() as u64);
         }
         Ok(row)
+    }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        // One simulated round trip per chunk: one latency/bandwidth charge,
+        // one NETWORK_IO wait slice, one fault window. Rows and bytes land
+        // on the same counters as the row path, so traffic totals are
+        // byte-identical — only the flush count (and the amortized waits)
+        // differ.
+        let mut want = max.max(1);
+        if let Some(at) = self.drop_at {
+            // Re-slice the chunk at the fault boundary: the rows before the
+            // drop are delivered, the call after the boundary fails.
+            let remaining = (at - self.delivered.min(at)) as usize;
+            if remaining == 0 {
+                return Err(DhqpError::Unavailable(format!(
+                    "injected fault: stream dropped after {} rows on '{}'",
+                    self.delivered,
+                    self.link.name()
+                )));
+            }
+            want = want.min(remaining);
+        }
+        let batch = match self.inner.next_batch(want)? {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        self.delivered += batch.len() as u64;
+        self.link
+            .record_rows(batch.len() as u64, batch.wire_size() as u64);
+        if has_hook() {
+            emit_event(
+                "batch_flush",
+                &[
+                    ("link", self.link.name().to_string()),
+                    ("rows", batch.len().to_string()),
+                    ("bytes", batch.wire_size().to_string()),
+                ],
+            );
+        }
+        Ok(Some(batch))
     }
 }
 
@@ -512,6 +552,68 @@ mod tests {
         assert_eq!(delta.rows, 10);
         assert_eq!(delta.requests, 1);
         assert_eq!(delta.bytes, 33 + 10 * 16); // request header + 10 rows of (8 hdr + 8 int)
+    }
+
+    #[test]
+    fn batched_pull_ships_one_round_trip_per_chunk() {
+        // Same rows, same bytes — but one wire flush per chunk instead of
+        // one per row.
+        let per_row = {
+            let ds = networked();
+            let mut s = ds.create_session().unwrap();
+            let before = ds.link().snapshot();
+            let mut rs = s.open_rowset("t").unwrap();
+            while rs.next().unwrap().is_some() {}
+            ds.link().snapshot().since(&before)
+        };
+        let batched = {
+            let ds = networked();
+            let mut s = ds.create_session().unwrap();
+            let before = ds.link().snapshot();
+            let mut rs = s.open_rowset("t").unwrap();
+            while rs.next_batch(4).unwrap().is_some() {}
+            ds.link().snapshot().since(&before)
+        };
+        assert_eq!(per_row.rows, 10);
+        assert_eq!(per_row.batches, 10);
+        assert_eq!(batched.rows, 10);
+        assert_eq!(batched.batches, 3); // 4 + 4 + 2
+        assert_eq!(per_row.bytes, batched.bytes);
+        assert_eq!(per_row.requests, batched.requests);
+    }
+
+    #[test]
+    fn injected_stream_drop_reslices_a_mid_fault_batch() {
+        let ds = faulty(FaultConfig {
+            stream_drops: 1.0,
+            max_faults: 1,
+            ..FaultConfig::none()
+        });
+        let mut s = ds.create_session().unwrap();
+        let mut rs = s.open_rowset("t").unwrap();
+        let mut delivered = 0u64;
+        let err = loop {
+            match rs.next_batch(4) {
+                Ok(Some(b)) => {
+                    assert!(b.len() <= 4);
+                    delivered += b.len() as u64;
+                }
+                Ok(None) => panic!("stream must drop before completion"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), "unavailable");
+        assert!((1..10).contains(&delivered), "delivered={delivered}");
+        assert!(err.message().contains(&format!("after {delivered} rows")));
+        // The delivered prefix is exactly what the link metered.
+        assert_eq!(ds.link().snapshot().rows, delivered);
+        // Budget spent: a reopened stream completes, batched.
+        let mut rs = s.open_rowset("t").unwrap();
+        let mut total = 0;
+        while let Some(b) = rs.next_batch(4).unwrap() {
+            total += b.len();
+        }
+        assert_eq!(total, 10);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct TrafficSnapshot {
     pub requests: u64,
     pub rows: u64,
     pub bytes: u64,
+    /// Row-shipping transfers: one per wire flush. Row-at-a-time cursoring
+    /// records one per row; batched cursoring one per chunk, so
+    /// `rows / batches` is the observed rows-per-round-trip gauge.
+    #[serde(default)]
+    pub batches: u64,
 }
 
 impl TrafficSnapshot {
@@ -42,12 +47,22 @@ impl TrafficSnapshot {
             requests: self.requests.saturating_sub(earlier.requests),
             rows: self.rows.saturating_sub(earlier.rows),
             bytes: self.bytes.saturating_sub(earlier.bytes),
+            batches: self.batches.saturating_sub(earlier.batches),
         }
     }
 
     /// True when no traffic at all was recorded.
     pub fn is_zero(&self) -> bool {
         *self == TrafficSnapshot::default()
+    }
+
+    /// Average rows shipped per wire flush (`None` before any row shipped).
+    pub fn rows_per_round_trip(&self) -> Option<f64> {
+        if self.batches == 0 {
+            None
+        } else {
+            Some(self.rows as f64 / self.batches as f64)
+        }
     }
 }
 
@@ -58,6 +73,7 @@ impl std::ops::Add for TrafficSnapshot {
             requests: self.requests + rhs.requests,
             rows: self.rows + rhs.rows,
             bytes: self.bytes + rhs.bytes,
+            batches: self.batches + rhs.batches,
         }
     }
 }

@@ -35,7 +35,7 @@ pub use capabilities::{
 pub use datasource::{
     Command, CommandResult, DataSource, KeyRange, Session, TrafficSnapshot, TxnId,
 };
-pub use rowset::{MemRowset, Rowset, RowsetExt};
+pub use rowset::{BatchRowset, Batched, Debatched, MemRowset, Rowset, RowsetExt};
 pub use schema::{ColumnInfo, IndexInfo, SchemaRowsetKind, TableInfo};
 pub use statistics::{Histogram, HistogramBucket, TableStatistics};
 pub use telemetry::{HistogramSnapshot, LatencySummary, LogHistogram, HISTOGRAM_BUCKETS};

@@ -1,0 +1,139 @@
+//! Chunked-row batches: the unit of vectorized data flow.
+//!
+//! A [`RowBatch`] is a schema-fixed chunk of rows — every row in a batch
+//! has the layout of the producing rowset's schema, so the schema travels
+//! with the cursor (as it always has) and the batch carries only data.
+//! Batches are the currency of the engine's vectorized pipeline: operators
+//! hand whole chunks down the tree, the network layer ships one simulated
+//! round trip per chunk, and bounded channels move chunks instead of rows.
+
+use crate::row::Row;
+
+/// A chunk of rows sharing one schema (the producing rowset's).
+///
+/// The batch itself is deliberately dumb: a sized container with cheap
+/// iteration, truncation (for mid-batch fault windows and retry re-slicing)
+/// and an aggregate wire size. Row-accurate accounting stays possible
+/// because every consumer can still see the individual rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowBatch {
+    rows: Vec<Row>,
+}
+
+impl RowBatch {
+    /// An empty batch with capacity for `cap` rows.
+    pub fn with_capacity(cap: usize) -> Self {
+        RowBatch {
+            rows: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Keep only the first `n` rows (re-slicing a partially deliverable
+    /// batch: fault windows and retry rewinds cut on row boundaries).
+    pub fn truncate(&mut self, n: usize) {
+        self.rows.truncate(n);
+    }
+
+    /// Total wire size of the batch: the sum of its rows' wire sizes, so
+    /// shipping one batch costs exactly as many bytes as shipping its rows
+    /// one at a time.
+    pub fn wire_size(&self) -> usize {
+        self.rows.iter().map(Row::wire_size).sum()
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+}
+
+impl From<Vec<Row>> for RowBatch {
+    fn from(rows: Vec<Row>) -> Self {
+        RowBatch { rows }
+    }
+}
+
+impl FromIterator<Row> for RowBatch {
+    fn from_iter<I: IntoIterator<Item = Row>>(iter: I) -> Self {
+        RowBatch {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for RowBatch {
+    type Item = Row;
+    type IntoIter = std::vec::IntoIter<Row>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a RowBatch {
+    type Item = &'a Row;
+    type IntoIter = std::slice::Iter<'a, Row>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn ints(vals: &[i64]) -> RowBatch {
+        vals.iter()
+            .map(|&i| Row::new(vec![Value::Int(i)]))
+            .collect()
+    }
+
+    #[test]
+    fn wire_size_matches_per_row_sum() {
+        let batch = ints(&[1, 2, 3]);
+        let per_row: usize = batch.iter().map(Row::wire_size).sum();
+        assert_eq!(batch.wire_size(), per_row);
+        assert_eq!(batch.wire_size(), 3 * 16); // 8 header + 8 int each
+    }
+
+    #[test]
+    fn truncate_reslices_on_row_boundary() {
+        let mut batch = ints(&[1, 2, 3, 4]);
+        batch.truncate(2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.rows()[1].get(0), &Value::Int(2));
+        batch.truncate(10); // no-op past the end
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn iteration_and_conversion() {
+        let batch = ints(&[7, 8]);
+        assert!(!batch.is_empty());
+        let rows = batch.clone().into_rows();
+        assert_eq!(rows.len(), 2);
+        let rebuilt = RowBatch::from(rows);
+        assert_eq!(rebuilt, batch);
+        assert_eq!((&batch).into_iter().count(), 2);
+        assert_eq!(batch.into_iter().count(), 2);
+    }
+}

@@ -7,11 +7,13 @@
 //! everything above it (the OLE DB-style provider traits, the storage engine,
 //! the Cascades optimizer, the executor) speaks in these types.
 
+pub mod batch;
 pub mod error;
 pub mod interval;
 pub mod row;
 pub mod value;
 
+pub use batch::RowBatch;
 pub use error::{DhqpError, Result};
 pub use interval::{Interval, IntervalBound, IntervalSet};
 pub use row::{Column, Row, Schema};

@@ -9,7 +9,7 @@
 //! declines (scalar subqueries, IN lists, string predicates), so every
 //! run exercises both the cached and the classic pipeline.
 
-use dhqp::{Engine, EngineDataSource, FaultConfig, ParallelConfig, RetryPolicy};
+use dhqp::{BatchConfig, Engine, EngineDataSource, FaultConfig, ParallelConfig, RetryPolicy};
 use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
 use dhqp_storage::TableDef;
 use dhqp_types::{value::parse_date, Column, DataType, Interval, IntervalSet, Row, Schema, Value};
@@ -330,5 +330,39 @@ fn faulted_links_with_retry_match_clean_links() {
     assert!(
         m.remote_retries > 0,
         "fault plan never fired — test is vacuous: {m:?}"
+    );
+}
+
+#[test]
+fn batched_shipping_matches_row_at_a_time() {
+    let row = distributed_engine(None);
+    row.set_batch_config(BatchConfig::row_at_a_time());
+    let batch = distributed_engine(None);
+    batch.set_batch_config(BatchConfig::batched(7));
+    // Replay twice on the batched engine so cached plans execute under
+    // batched dispatch too.
+    run_corpus(&batch);
+    let a = run_corpus(&row);
+    let b = run_corpus(&batch);
+    assert_same("row-at-a-time", &a, "batched", &b);
+}
+
+#[test]
+fn batched_parallel_faulted_matches_serial_row_clean() {
+    // The full chaos stack: batching, exchanges, prefetch, and seeded link
+    // faults on one side; the plain serial row pipeline on the other.
+    let plain = distributed_engine(None);
+    plain.set_batch_config(BatchConfig::row_at_a_time());
+    let chaos = distributed_engine(Some(3));
+    chaos.set_batch_config(BatchConfig::batched(5));
+    chaos.set_parallel_config(ParallelConfig::parallel());
+    run_corpus(&chaos); // cold pass: compile under faults
+    let a = run_corpus(&plain);
+    let b = run_corpus(&chaos);
+    assert_same("serial-row-clean", &a, "batched-parallel-faulted", &b);
+    let m = chaos.metrics();
+    assert!(
+        m.remote_retries > 0,
+        "fault plan never fired - test is vacuous: {m:?}"
     );
 }

@@ -783,3 +783,65 @@ fn spool_hits_and_remote_roundtrips_are_counted() {
         "rescans are served from the spool: {m:?}"
     );
 }
+
+#[test]
+fn batch_flush_events_land_on_the_ring_behind_the_mask() {
+    use dhqp::BatchConfig;
+    let (local, link0, _l1) = two_server_setup(TpchScale::tiny());
+    local.set_batch_config(BatchConfig::batched(4));
+    local.set_event_config(EventConfig::only(&[EventKind::BatchFlush]));
+
+    let r = local
+        .query("SELECT c_custkey FROM remote0.tpch.dbo.customer")
+        .unwrap();
+    assert!(!r.rows.is_empty());
+
+    let events = local.recent_events();
+    assert!(!events.is_empty(), "no batch_flush events captured");
+    assert!(
+        events.iter().all(|e| e.kind == EventKind::BatchFlush),
+        "mask must admit only batch_flush: {events:?}"
+    );
+    let flushes: Vec<_> = events
+        .iter()
+        .filter(|e| e.detail().contains("link=link-remote0"))
+        .collect();
+    assert!(
+        !flushes.is_empty(),
+        "no flush attributed to the customer link"
+    );
+    for e in &flushes {
+        assert!(
+            e.detail().contains("rows=") && e.detail().contains("bytes="),
+            "flush event missing row/byte attrs: {e:?}"
+        );
+    }
+    // Every result row shipped in exactly one flush: the event stream's
+    // row total matches the rows the scan pulled across the wire (the
+    // link's grand total also counts bind-time metadata reads, which go
+    // row-at-a-time and emit no flushes).
+    let event_rows: u64 = flushes
+        .iter()
+        .filter_map(|e| {
+            e.detail()
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix("rows="))
+                .and_then(|v| v.parse::<u64>().ok())
+        })
+        .sum();
+    assert_eq!(event_rows, r.rows.len() as u64, "flush events lose rows");
+    assert!(
+        link0.snapshot().rows >= event_rows,
+        "wire accounting can never trail the flushed rows"
+    );
+
+    // With batch_flush masked out, the same query records nothing.
+    local.set_event_config(EventConfig::only(&[EventKind::SlowQuery]));
+    local
+        .query("SELECT c_custkey FROM remote0.tpch.dbo.customer")
+        .unwrap();
+    assert!(
+        local.recent_events().is_empty(),
+        "masked batch_flush still captured"
+    );
+}
