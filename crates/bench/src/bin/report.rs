@@ -6,12 +6,12 @@
 //! ```
 
 use dhqp::{
-    BatchConfig, Engine, EngineDataSource, EventConfig, OptimizationPhase, ParallelConfig,
-    TraceConfig, WaitClass,
+    BatchConfig, BreakerConfig, DegradedMode, Engine, EngineDataSource, EventConfig, FaultConfig,
+    OptimizationPhase, ParallelConfig, RetryPolicy, TraceConfig, WaitClass,
 };
 use dhqp_bench::{
-    dpv_federation, example1, remote_dpv_federation, reset_links, total_traffic, warm,
-    EXAMPLE1_PLAN_A_SQL, EXAMPLE1_SQL,
+    dpv_federation, example1, remote_dpv_federation, remote_dpv_federation_with_faults,
+    reset_links, total_traffic, warm, EXAMPLE1_PLAN_A_SQL, EXAMPLE1_SQL,
 };
 use dhqp_fulltext::FullTextProvider;
 use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
@@ -1136,11 +1136,142 @@ fn e16_batch_federation() {
     println!("→ wrote BENCH_batch_federation.json");
 }
 
+fn e17_degraded_federation() {
+    header("E17 — degraded federation: breaker fail-fast and plan-around-failure vs retry burn");
+    let scale = TpchScale {
+        nations: 10,
+        customers: 100,
+        suppliers: 20,
+        orders: 2000,
+        lineitems_per_order: 3,
+    };
+    let sql = "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem_all";
+    // A deliberately expensive retry budget: 4 attempts, 25→100 ms backoff
+    // (~175 ms of sleeping per give-up) — the cost a breaker must amortize.
+    let retry = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: std::time::Duration::from_millis(25),
+        max_backoff: std::time::Duration::from_millis(100),
+        attempt_deadline: None,
+        query_deadline: None,
+    };
+    let best_of = |f: &mut dyn FnMut() -> usize| {
+        let mut best: Option<(usize, std::time::Duration)> = None;
+        for _ in 0..3 {
+            let (rows, t) = timed(&mut *f);
+            if best.is_none_or(|(_, b)| t < b) {
+                best = Some((rows, t));
+            }
+        }
+        best.expect("measured")
+    };
+
+    // Reference: the same data spread over three healthy members — what a
+    // federation that simply never had the dead member would cost.
+    let base = remote_dpv_federation(scale, 3, NetworkConfig::lan_timed());
+    base.head.set_retry_policy(retry.clone());
+    warm(&base.head, sql);
+    let (rows_total, t_base) = best_of(&mut || base.head.query(sql).unwrap().len());
+
+    // Four members, member2 permanently dead. Leg 1: breakers disabled —
+    // every query burns the full retry budget before failing (pre-PR-8).
+    let dead = |i: usize| (i == 1).then(|| FaultConfig::dead(17));
+    let burn = remote_dpv_federation_with_faults(scale, 4, NetworkConfig::lan_timed(), dead);
+    burn.head.set_retry_policy(retry.clone());
+    burn.head.set_breaker_config(BreakerConfig::disabled());
+    burn.head.set_degraded_mode(DegradedMode::Fail);
+    let _ = burn.head.query(sql); // warm metadata (and fail once)
+    let (_, t_burn) = best_of(&mut || {
+        burn.head.query(sql).expect_err("dead member must fail");
+        0
+    });
+
+    // Leg 2: breaker armed (huge cooldown so no probe pollutes the
+    // measurement) — after one trip, failures are wire-free rejections.
+    let fed = remote_dpv_federation_with_faults(scale, 4, NetworkConfig::lan_timed(), dead);
+    fed.head.set_retry_policy(retry);
+    fed.head.set_breaker_config(BreakerConfig {
+        cooldown: 1_000_000,
+        ..BreakerConfig::standard()
+    });
+    fed.head.set_degraded_mode(DegradedMode::Fail);
+    let _ = fed.head.query(sql); // trip the breaker (full budget, once)
+    let (_, t_fast) = best_of(&mut || {
+        fed.head.query(sql).expect_err("breaker must reject");
+        0
+    });
+
+    // Leg 3: same tripped federation, prune policy — the query succeeds
+    // from the three survivors instead of failing at all.
+    fed.head.set_degraded_mode(DegradedMode::Prune);
+    let (rows_pruned, t_prune) = best_of(&mut || fed.head.query(sql).unwrap().len());
+
+    let speedup = t_burn.as_secs_f64() / t_fast.as_secs_f64().max(1e-9);
+    println!("{:<28} {:>8} {:>12}", "leg", "rows", "time");
+    println!(
+        "{:<28} {rows_total:>8} {t_base:>12.2?}",
+        "3-member baseline"
+    );
+    println!(
+        "{:<28} {:>8} {t_burn:>12.2?}",
+        "dead member, retry burn", "err"
+    );
+    println!(
+        "{:<28} {:>8} {t_fast:>12.2?}",
+        "dead member, fail-fast", "err"
+    );
+    println!(
+        "{:<28} {rows_pruned:>8} {t_prune:>12.2?}",
+        "dead member, prune"
+    );
+    println!(
+        "→ breaker fail-fast is {speedup:.0}x faster than burning the retry budget; \
+         prune answers {rows_pruned}/{rows_total} rows at {t_prune:.2?} vs the \
+         {t_base:.2?} three-member baseline."
+    );
+    assert!(
+        speedup >= 5.0,
+        "fail-fast must beat the retry burn by at least 5x (got {speedup:.1}x)"
+    );
+    assert!(
+        rows_pruned > 0 && rows_pruned < rows_total,
+        "prune must answer from the survivors only ({rows_pruned}/{rows_total})"
+    );
+    assert_eq!(
+        fed.head
+            .link_health()
+            .iter()
+            .filter(|l| l.server == "member2")
+            .count(),
+        1
+    );
+    assert!(
+        t_prune < t_burn,
+        "a degraded answer must not cost more than a burned failure"
+    );
+
+    // Hand-formatted JSON: the offline serde shim is marker-only.
+    let json = format!(
+        "{{\n  \"experiment\": \"degraded_federation\",\n  \"query\": \"{sql}\",\n  \
+         \"members\": 4,\n  \"dead_member\": \"member2\",\n  \
+         \"baseline3_ms\": {:.3},\n  \"retry_burn_ms\": {:.3},\n  \
+         \"fail_fast_ms\": {:.3},\n  \"prune_ms\": {:.3},\n  \
+         \"fail_fast_speedup\": {speedup:.1},\n  \
+         \"rows_total\": {rows_total},\n  \"rows_pruned_leg\": {rows_pruned}\n}}\n",
+        t_base.as_secs_f64() * 1e3,
+        t_burn.as_secs_f64() * 1e3,
+        t_fast.as_secs_f64() * 1e3,
+        t_prune.as_secs_f64() * 1e3,
+    );
+    std::fs::write("BENCH_degraded_federation.json", json).expect("write BENCH json");
+    println!("→ wrote BENCH_degraded_federation.json");
+}
+
 fn main() {
     println!("dhqp experiment report — regenerates every paper table/figure reproduction");
     println!("(one execution per configuration; see `cargo bench` for statistical timing)");
     let filter = std::env::args().nth(1);
-    let experiments: [(&str, fn()); 16] = [
+    let experiments: [(&str, fn()); 17] = [
         ("e1", e1_figure4),
         ("e2", e2_table1),
         ("e3", e3_table2),
@@ -1157,6 +1288,7 @@ fn main() {
         ("e14", e14_trace_overhead),
         ("e15", e15_events_overhead),
         ("e16", e16_batch_federation),
+        ("e17", e17_degraded_federation),
     ];
     for (name, run) in experiments {
         if filter.as_deref().is_none_or(|f| f == name) {

@@ -7,7 +7,7 @@
 //! recorded in EXPERIMENTS.md.
 
 use dhqp::{Engine, EngineDataSource};
-use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource, TrafficSnapshot};
+use dhqp_netsim::{FaultConfig, NetworkConfig, NetworkLink, NetworkedDataSource, TrafficSnapshot};
 use dhqp_types::IntervalSet;
 use dhqp_workload::tpch::{self, TpchScale};
 use std::sync::Arc;
@@ -130,6 +130,18 @@ pub fn remote_dpv_federation(
     member_engines: usize,
     config: NetworkConfig,
 ) -> DpvFederation {
+    remote_dpv_federation_with_faults(scale, member_engines, config, |_| None)
+}
+
+/// Like [`remote_dpv_federation`], but each member's link can be armed
+/// with a seeded fault plan — the degraded-federation experiments kill
+/// one member this way.
+pub fn remote_dpv_federation_with_faults(
+    scale: TpchScale,
+    member_engines: usize,
+    config: NetworkConfig,
+    fault: impl Fn(usize) -> Option<FaultConfig>,
+) -> DpvFederation {
     assert!(member_engines >= 1);
     let head = Engine::new("head");
     let members: Vec<Engine> = (0..member_engines)
@@ -141,14 +153,14 @@ pub fn remote_dpv_federation(
     let mut links = Vec::new();
     for (i, member) in members.iter().enumerate() {
         let link = NetworkLink::new(format!("member{}", i + 1), config);
-        head.add_linked_server(
-            &format!("member{}", i + 1),
-            Arc::new(NetworkedDataSource::new(
-                Arc::new(EngineDataSource::new(member.clone())),
-                link.clone(),
-            )),
-        )
-        .expect("setup");
+        let inner: Arc<dyn dhqp_oledb::DataSource> =
+            Arc::new(EngineDataSource::new(member.clone()));
+        let wrapped = match fault(i) {
+            Some(cfg) => NetworkedDataSource::with_faults(inner, link.clone(), cfg),
+            None => NetworkedDataSource::new(inner, link.clone()),
+        };
+        head.add_linked_server(&format!("member{}", i + 1), Arc::new(wrapped))
+            .expect("setup");
         links.push(link);
     }
     let view_members: Vec<(Option<String>, String, IntervalSet)> = placed

@@ -42,6 +42,9 @@ pub struct AnalyzeReport {
     pub trace: Option<Arc<QueryTrace>>,
     /// Per-query wait accounting: what this statement blocked on, by class.
     pub waits: Option<WaitSnapshot>,
+    /// DPV members degraded mode pruned during this execution, sorted —
+    /// rendered as the `-- [degraded: ...]` warning line.
+    pub pruned: Vec<String>,
 }
 
 /// Adaptive duration formatting: µs below 1 ms, ms below 1 s, else s.
@@ -79,6 +82,13 @@ impl AnalyzeReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         render_node(&self.plan, 0, &self.runtime, 0, &mut out);
+        if !self.pruned.is_empty() {
+            let _ = writeln!(
+                out,
+                "-- [degraded: pruned members={}]",
+                self.pruned.join(", ")
+            );
+        }
         if let Some(hit) = self.cache_hit {
             let _ = write!(out, "-- [plan cache: {}]", if hit { "hit" } else { "miss" });
             if let Some(age) = self.stats_age {

@@ -17,6 +17,9 @@
 //!   the parameterized plan cache.
 //! * `sys.dm_link_stats` — per-linked-server wire traffic and modeled
 //!   round-trip latency percentiles.
+//! * `sys.dm_link_health` — per-linked-server circuit-breaker state from
+//!   the health registry (§15): breaker state, failure streak, trip and
+//!   probe counts, and the last error that fed the breaker.
 //! * `sys.dm_os_counters` — the engine's [`crate::MetricsSnapshot`] plus
 //!   end-to-end query-latency percentiles, as `(name, value)` rows.
 //! * `sys.dm_os_wait_stats` — cumulative per-class wait accounting (one
@@ -41,6 +44,7 @@ pub const SYS_SERVER: &str = "sys";
 const DM_EXEC_REQUESTS: &str = "dm_exec_requests";
 const DM_EXEC_QUERY_STATS: &str = "dm_exec_query_stats";
 const DM_LINK_STATS: &str = "dm_link_stats";
+const DM_LINK_HEALTH: &str = "dm_link_health";
 const DM_OS_COUNTERS: &str = "dm_os_counters";
 const DM_OS_WAIT_STATS: &str = "dm_os_wait_stats";
 const DM_XE_RECENT_EVENTS: &str = "dm_xe_recent_events";
@@ -76,6 +80,8 @@ fn requests_info() -> TableInfo {
             ColumnInfo::new("error", DataType::Str),
             // NULL when the statement never blocked.
             ColumnInfo::new("dominant_wait", DataType::Str),
+            // DPV members degraded mode skipped during this statement.
+            ColumnInfo::not_null("pruned_members", DataType::Int),
         ],
     )
 }
@@ -108,6 +114,23 @@ fn link_stats_info() -> TableInfo {
             ColumnInfo::new("p95_ms", DataType::Float),
             ColumnInfo::new("p99_ms", DataType::Float),
             ColumnInfo::new("max_ms", DataType::Float),
+        ],
+    )
+}
+
+fn link_health_info() -> TableInfo {
+    TableInfo::new(
+        DM_LINK_HEALTH,
+        vec![
+            ColumnInfo::not_null("server", DataType::Str),
+            ColumnInfo::not_null("state", DataType::Str),
+            ColumnInfo::not_null("consecutive_failures", DataType::Int),
+            ColumnInfo::not_null("opens", DataType::Int),
+            ColumnInfo::not_null("probes", DataType::Int),
+            // Logical-clock tick of the last state transition; 0 = never.
+            ColumnInfo::not_null("last_transition", DataType::Int),
+            // NULL until the link's first recorded failure.
+            ColumnInfo::new("last_error", DataType::Str),
         ],
     )
 }
@@ -167,6 +190,7 @@ impl DataSource for SysDataSource {
             requests_info().with_cardinality(engine.dmv_recent().len() as u64),
             query_stats_info().with_cardinality(engine.dmv_plan_entries().len() as u64),
             link_stats_info().with_cardinality(engine.dmv_links().len() as u64),
+            link_health_info().with_cardinality(engine.dmv_link_health().len() as u64),
             os_counters_info().with_cardinality(engine.dmv_metrics().counters().len() as u64 + 5),
             wait_stats_info().with_cardinality(WaitClass::ALL.len() as u64),
             xe_recent_events_info().with_cardinality(engine.dmv_recent_events().len() as u64),
@@ -197,6 +221,7 @@ impl Session for SysSession {
             DM_EXEC_REQUESTS => (requests_info(), requests_rows(&engine)),
             DM_EXEC_QUERY_STATS => (query_stats_info(), query_stats_rows(&engine)),
             DM_LINK_STATS => (link_stats_info(), link_stats_rows(&engine)),
+            DM_LINK_HEALTH => (link_health_info(), link_health_rows(&engine)),
             DM_OS_COUNTERS => (os_counters_info(), os_counters_rows(&engine)),
             DM_OS_WAIT_STATS => (wait_stats_info(), wait_stats_rows(&engine)),
             DM_XE_RECENT_EVENTS => (xe_recent_events_info(), xe_recent_events_rows(&engine)),
@@ -225,6 +250,7 @@ fn requests_rows(engine: &Inner) -> Vec<Row> {
                 q.dominant_wait
                     .map(|w| Value::Str(w.to_string()))
                     .unwrap_or(Value::Null),
+                Value::Int(q.pruned_members as i64),
             ])
         })
         .collect()
@@ -279,6 +305,24 @@ fn link_stats_rows(engine: &Inner) -> Vec<Row> {
                 p95,
                 p99,
                 max,
+            ])
+        })
+        .collect()
+}
+
+fn link_health_rows(engine: &Inner) -> Vec<Row> {
+    engine
+        .dmv_link_health()
+        .into_iter()
+        .map(|l| {
+            Row::new(vec![
+                Value::Str(l.server),
+                Value::Str(l.state.name().to_string()),
+                Value::Int(l.consecutive_failures as i64),
+                Value::Int(l.opens as i64),
+                Value::Int(l.probes as i64),
+                Value::Int(l.last_transition as i64),
+                l.last_error.map(Value::Str).unwrap_or(Value::Null),
             ])
         })
         .collect()

@@ -13,7 +13,8 @@ use crate::result::QueryResult;
 use crate::trace::{QueryTrace, TraceBuilder, TraceConfig};
 use dhqp_dtc::TransactionCoordinator;
 use dhqp_executor::{
-    BatchConfig, ExecContext, ParallelConfig, RetryPolicy, RuntimeStatsCollector, SourceCatalog,
+    BatchConfig, BreakerConfig, DegradedMode, ExecContext, HealthRegistry, LinkHealthSnapshot,
+    ParallelConfig, PruneLog, RetryPolicy, RuntimeStatsCollector, SourceCatalog,
 };
 use dhqp_federation::{LinkedServerRegistry, MemberTable, PartitionedView};
 use dhqp_fulltext::SearchService;
@@ -79,6 +80,14 @@ pub(crate) struct Inner {
     /// [`Engine::set_event_config`]). Reconfiguring replaces the bus — the
     /// ring starts fresh, like restarting an XEvents session.
     events: RwLock<Arc<EventBus>>,
+    /// Member health: one circuit breaker per linked server
+    /// (`DHQP_BREAKER_*`), fed by retry give-ups and consulted before
+    /// every remote open. Shared with every execution context.
+    health: Arc<HealthRegistry>,
+    /// What a query does when a DPV member is quarantined
+    /// (`DHQP_DEGRADED`). Deliberately outside the config epoch: pruning
+    /// is a drive-time decision, cached plans stay valid either way.
+    degraded: RwLock<DegradedMode>,
 }
 
 // DMV accessors: read-only state snapshots the `sys` provider
@@ -128,6 +137,16 @@ impl Inner {
     pub(crate) fn dmv_recent_events(&self) -> Vec<Event> {
         self.events.read().recent()
     }
+
+    /// Per-link breaker snapshots — the `sys.dm_link_health` rows. The
+    /// built-in `sys` provider is excluded (it has no wire to break).
+    pub(crate) fn dmv_link_health(&self) -> Vec<LinkHealthSnapshot> {
+        self.health
+            .snapshot()
+            .into_iter()
+            .filter(|l| l.server != SYS_SERVER)
+            .collect()
+    }
 }
 
 /// Builder for engines with non-default configuration.
@@ -143,6 +162,8 @@ pub struct EngineBuilder {
     slow_query: Option<Duration>,
     trace: TraceConfig,
     events: EventConfig,
+    breaker: BreakerConfig,
+    degraded: DegradedMode,
 }
 
 /// Default remote-statistics TTL, overridable via `DHQP_STATS_TTL_MS`.
@@ -184,6 +205,8 @@ impl EngineBuilder {
             slow_query: slow_query_from_env(),
             trace: TraceConfig::from_env(),
             events: EventConfig::from_env(),
+            breaker: BreakerConfig::from_env(),
+            degraded: DegradedMode::from_env(),
         }
     }
 
@@ -251,6 +274,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Per-link circuit-breaker tuning (overrides `DHQP_BREAKER_*`).
+    pub fn breaker_config(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Quarantined-member policy: fail the statement or prune the member
+    /// (overrides `DHQP_DEGRADED`).
+    pub fn degraded_mode(mut self, degraded: DegradedMode) -> Self {
+        self.degraded = degraded;
+        self
+    }
+
     pub fn build(self) -> Engine {
         let storage = Arc::new(StorageEngine::new(self.name.clone()));
         let local_source = Arc::new(LocalDataSource::new(Arc::clone(&storage)));
@@ -278,6 +314,8 @@ impl EngineBuilder {
                 trace: RwLock::new(self.trace),
                 last_trace: Mutex::new(None),
                 events: RwLock::new(Arc::new(EventBus::new(self.events))),
+                health: Arc::new(HealthRegistry::new(self.breaker)),
+                degraded: RwLock::new(self.degraded),
             }),
         };
         // Every engine self-registers its DMVs as the built-in `sys`
@@ -377,6 +415,10 @@ impl Engine {
             .write()
             .add_linked_server(name, source)?;
         let key = name.to_lowercase();
+        // A freshly (re)defined link starts visible in sys.dm_link_health;
+        // a pre-existing breaker keeps its state (re-pointing a name at a
+        // new source does not vouch for the link being healthy).
+        self.inner.health.ensure(&key);
         self.inner
             .meta_cache
             .write()
@@ -420,6 +462,11 @@ impl Engine {
         let mut built = Vec::with_capacity(members.len());
         for (server, table, check) in members {
             let fetched = self.table_metadata(server.as_deref(), &table)?;
+            if let Some(s) = &server {
+                // Member links show up in sys.dm_link_health (Closed)
+                // before any traffic touches them.
+                self.inner.health.ensure(s);
+            }
             built.push(MemberTable {
                 server,
                 table,
@@ -675,6 +722,35 @@ impl Engine {
         *self.inner.batch.write() = batch;
     }
 
+    pub fn degraded_mode(&self) -> DegradedMode {
+        *self.inner.degraded.read()
+    }
+
+    /// Set the quarantined-member policy. Like retry and batching, this is
+    /// a drive-time decision: the plan cache is deliberately untouched —
+    /// the same cached plan prunes or fails depending on the mode at
+    /// execution.
+    pub fn set_degraded_mode(&self, degraded: DegradedMode) {
+        *self.inner.degraded.write() = degraded;
+    }
+
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.inner.health.config()
+    }
+
+    /// Replace the circuit-breaker tuning knobs. Existing breaker states
+    /// survive (retuning thresholds must not heal a quarantined link);
+    /// cached plans are unaffected.
+    pub fn set_breaker_config(&self, breaker: BreakerConfig) {
+        self.inner.health.set_config(breaker);
+    }
+
+    /// Per-link breaker snapshots, sorted by server — the
+    /// `sys.dm_link_health` data. The built-in `sys` provider is excluded.
+    pub fn link_health(&self) -> Vec<LinkHealthSnapshot> {
+        self.inner.dmv_link_health()
+    }
+
     // ---- plan & statistics caching -----------------------------------------
 
     /// Switch the parameterized plan cache on or off. Turning it off also
@@ -795,6 +871,7 @@ impl Engine {
     /// Count one finished statement: snapshot the per-query waits for
     /// dominant-wait attribution, push the summary, and emit `query_end`
     /// (plus `slow_query` past the armed threshold).
+    #[allow(clippy::too_many_arguments)]
     fn end_statement(
         &self,
         kind: StatementKind,
@@ -803,13 +880,19 @@ impl Engine {
         rows: u64,
         error: Option<String>,
         query_waits: &WaitStats,
+        pruned: &PruneLog,
     ) {
         let waits = query_waits.snapshot();
         let error_text = error.clone();
-        let was_slow =
-            self.inner
-                .metrics
-                .finish_statement(kind, sql, elapsed, rows, error, Some(&waits));
+        let was_slow = self.inner.metrics.finish_statement(
+            kind,
+            sql,
+            elapsed,
+            rows,
+            error,
+            Some(&waits),
+            pruned.count(),
+        );
         if has_hook() {
             let elapsed_ms = format!("{:.3}", elapsed.as_secs_f64() * 1000.0);
             let mut attrs = vec![
@@ -819,6 +902,9 @@ impl Engine {
             ];
             if let Some(class) = waits.dominant() {
                 attrs.push(("dominant_wait", class.name().to_string()));
+            }
+            if !pruned.is_empty() {
+                attrs.push(("pruned_members", pruned.members().join(",")));
             }
             if let Some(e) = error_text {
                 attrs.push(("error", e));
@@ -857,6 +943,9 @@ impl Engine {
     ) -> Result<QueryResult> {
         let (_activity, query_waits) = self.begin_statement(sql);
         let tracing = self.inner.trace.read().enabled;
+        // One prune log per statement: members degraded mode skips land
+        // here and surface in EXPLAIN ANALYZE / sys.dm_exec_requests.
+        let pruned = Arc::new(PruneLog::default());
         // Plan-cache fast path: a SELECT (bare or under EXPLAIN ANALYZE)
         // is auto-parameterized and served from — or compiled into — the
         // cache. Statements the fast path declines fall through unchanged.
@@ -871,9 +960,13 @@ impl Engine {
                     let collector =
                         (analyze || tracing).then(|| Arc::new(RuntimeStatsCollector::new()));
                     let start = Instant::now();
-                    if let Some(outcome) =
-                        self.run_fingerprinted(&fp, &params, collector.clone(), tracer.as_ref())
-                    {
+                    if let Some(outcome) = self.run_fingerprinted(
+                        &fp,
+                        &params,
+                        collector.clone(),
+                        tracer.as_ref(),
+                        &pruned,
+                    ) {
                         let wait_snapshot = query_waits.snapshot();
                         let trace = tracer.map(|t| {
                             t.set_waits(wait_snapshot);
@@ -888,7 +981,7 @@ impl Engine {
                             outcome.map(|(result, entry, hit)| match (analyze, &collector) {
                                 (true, Some(collector)) => {
                                     let mut report =
-                                        self.cached_report(result, &entry, hit, collector);
+                                        self.cached_report(result, &entry, hit, collector, &pruned);
                                     report.waits = Some(wait_snapshot);
                                     report.trace = trace.clone();
                                     report.to_query_result()
@@ -906,6 +999,7 @@ impl Engine {
                             rows,
                             result.as_ref().err().map(|e| e.to_string()),
                             &query_waits,
+                            &pruned,
                         );
                         if let Some(trace) = trace {
                             *self.inner.last_trace.lock() = Some(trace);
@@ -942,7 +1036,7 @@ impl Engine {
                 let collector = tracer
                     .is_some()
                     .then(|| Arc::new(RuntimeStatsCollector::new()));
-                self.run_select_pipeline(&stmt, params, collector, tracer.as_ref())
+                self.run_select_pipeline(&stmt, params, collector, tracer.as_ref(), &pruned)
                     .map(|(result, _, _)| result)
             }
             Statement::Insert(stmt) => dml::run_insert(self, &stmt, &params),
@@ -957,7 +1051,7 @@ impl Engine {
             Statement::Explain {
                 analyze: true,
                 stmt,
-            } => match self.analyze_select(&stmt, params, tracer.as_ref()) {
+            } => match self.analyze_select(&stmt, params, tracer.as_ref(), &pruned) {
                 Ok(mut report) => {
                     report.waits = Some(query_waits.snapshot());
                     // The trace renders inside the report, so finish it
@@ -984,6 +1078,7 @@ impl Engine {
             rows,
             result.as_ref().err().map(|e| e.to_string()),
             &query_waits,
+            &pruned,
         );
         if let Some(tr) = tracer {
             tr.set_waits(query_waits.snapshot());
@@ -1054,6 +1149,7 @@ impl Engine {
     ) -> Result<AnalyzeReport> {
         let (_activity, query_waits) = self.begin_statement(sql);
         let tracing = self.inner.trace.read().enabled;
+        let pruned = Arc::new(PruneLog::default());
         if self.plan_cache_enabled() {
             if let Some(fp) = fingerprint(sql) {
                 let tracer = tracing.then(|| TraceBuilder::new(sql));
@@ -1063,6 +1159,7 @@ impl Engine {
                     &params,
                     Some(Arc::clone(&collector)),
                     tracer.as_ref(),
+                    &pruned,
                 ) {
                     let wait_snapshot = query_waits.snapshot();
                     let trace = tracer.map(|t| {
@@ -1073,7 +1170,8 @@ impl Engine {
                         *self.inner.last_trace.lock() = Some(Arc::clone(trace));
                     }
                     return outcome.map(|(result, entry, hit)| {
-                        let mut report = self.cached_report(result, &entry, hit, &collector);
+                        let mut report =
+                            self.cached_report(result, &entry, hit, &collector, &pruned);
                         report.waits = Some(wait_snapshot);
                         report.trace = trace.clone();
                         report
@@ -1096,7 +1194,7 @@ impl Engine {
         if let Some(tr) = &tracer {
             tr.stage("parse", began);
         }
-        let report = self.analyze_select(&stmt, params, tracer.as_ref());
+        let report = self.analyze_select(&stmt, params, tracer.as_ref(), &pruned);
         let wait_snapshot = query_waits.snapshot();
         let trace = tracer.map(|t| {
             t.set_waits(wait_snapshot);
@@ -1117,10 +1215,11 @@ impl Engine {
         stmt: &SelectStmt,
         params: HashMap<String, Value>,
         tracer: Option<&TraceBuilder>,
+        pruned: &Arc<PruneLog>,
     ) -> Result<AnalyzeReport> {
         let collector = Arc::new(RuntimeStatsCollector::new());
         let (result, plan, stats) =
-            self.run_select_pipeline(stmt, params, Some(Arc::clone(&collector)), tracer)?;
+            self.run_select_pipeline(stmt, params, Some(Arc::clone(&collector)), tracer, pruned)?;
         let explain = ExplainPlan::new(&plan, stats);
         Ok(AnalyzeReport {
             result,
@@ -1131,6 +1230,7 @@ impl Engine {
             stats_age: None,
             trace: None,
             waits: None,
+            pruned: pruned.members(),
         })
     }
 
@@ -1141,6 +1241,7 @@ impl Engine {
         entry: &CachedSelect,
         hit: bool,
         collector: &Arc<RuntimeStatsCollector>,
+        pruned: &Arc<PruneLog>,
     ) -> AnalyzeReport {
         AnalyzeReport {
             result,
@@ -1151,6 +1252,7 @@ impl Engine {
             stats_age: entry.stats_age(),
             trace: None,
             waits: None,
+            pruned: pruned.members(),
         }
     }
 
@@ -1163,6 +1265,7 @@ impl Engine {
         user_params: &HashMap<String, Value>,
         stats: Option<Arc<RuntimeStatsCollector>>,
         tracer: Option<&TraceBuilder>,
+        pruned: &Arc<PruneLog>,
     ) -> Option<Result<(QueryResult, Arc<CachedSelect>, bool)>> {
         // User parameters in the reserved namespace would collide with the
         // extracted literals.
@@ -1192,6 +1295,7 @@ impl Engine {
                 &entry.view_members,
                 params,
                 stats.clone(),
+                pruned,
             );
             if let Ok(r) = &res {
                 entry.note_execution(began.elapsed(), r.rows.len() as u64);
@@ -1272,6 +1376,7 @@ impl Engine {
             &entry.view_members,
             params,
             stats.clone(),
+            pruned,
         );
         if let Ok(r) = &res {
             entry.note_execution(began.elapsed(), r.rows.len() as u64);
@@ -1286,7 +1391,10 @@ impl Engine {
     }
 
     fn run_select(&self, stmt: &SelectStmt, params: HashMap<String, Value>) -> Result<QueryResult> {
-        self.run_select_pipeline(stmt, params, None, None)
+        // Internal path (DML subqueries, scalar subqueries): prunes are
+        // tracked for the engine counters but not attributed to a summary.
+        let pruned = Arc::new(PruneLog::default());
+        self.run_select_pipeline(stmt, params, None, None, &pruned)
             .map(|(result, _, _)| result)
     }
 
@@ -1300,6 +1408,7 @@ impl Engine {
         params: HashMap<String, Value>,
         stats: Option<Arc<RuntimeStatsCollector>>,
         tracer: Option<&TraceBuilder>,
+        pruned: &Arc<PruneLog>,
     ) -> Result<(
         QueryResult,
         PhysNode,
@@ -1335,6 +1444,7 @@ impl Engine {
             &view_members,
             params,
             stats.clone(),
+            pruned,
         )?;
         if let Some(tr) = tracer {
             match &stats {
@@ -1349,6 +1459,7 @@ impl Engine {
     /// and uncached pipelines. Delayed schema validation runs here on every
     /// execution, so even a cached plan re-checks the partitioned-view
     /// members it touches.
+    #[allow(clippy::too_many_arguments)]
     fn execute_plan(
         &self,
         plan: &PhysNode,
@@ -1357,6 +1468,7 @@ impl Engine {
         view_members: &[(String, usize)],
         params: HashMap<String, Value>,
         stats: Option<Arc<RuntimeStatsCollector>>,
+        pruned: &Arc<PruneLog>,
     ) -> Result<QueryResult> {
         let catalog = Arc::new(EngineCatalog {
             inner: Arc::clone(&self.inner),
@@ -1366,7 +1478,10 @@ impl Engine {
             .with_counters(self.inner.metrics.exec_counters())
             .with_parallel(self.parallel_config())
             .with_retry(self.retry_policy())
-            .with_batch(batch.clone());
+            .with_batch(batch.clone())
+            .with_health(Arc::clone(&self.inner.health))
+            .with_degraded(*self.inner.degraded.read())
+            .with_pruned(Arc::clone(pruned));
         if let Some(collector) = stats {
             ctx = ctx.with_stats(collector);
         }
@@ -1560,6 +1675,10 @@ impl Engine {
             .with_parallel(self.parallel_config())
             .with_retry(self.retry_policy())
             .with_batch(self.batch_config())
+            .with_health(Arc::clone(&self.inner.health))
+            // DML never prunes: writing around a quarantined member would
+            // silently lose rows, so internal contexts always fail.
+            .with_degraded(DegradedMode::Fail)
     }
 
     // ---- observability -----------------------------------------------------
@@ -1614,10 +1733,14 @@ impl Engine {
     }
 
     /// Zero every engine counter, query ring, latency histogram and wait
-    /// class. The DTC's outcome log and counters are durable state and are
-    /// not touched; reset them by creating a new engine.
+    /// class, plus the health registry's resettable counters (breaker
+    /// opens, probes). Breaker *state* survives — a metrics reset must not
+    /// quietly re-admit a quarantined member. The DTC's outcome log and
+    /// counters are durable state and are not touched; reset them by
+    /// creating a new engine.
     pub fn reset_metrics(&self) {
         self.inner.metrics.reset();
+        self.inner.health.reset_counters();
     }
 
     /// Current event-bus configuration.

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Number of event kinds (mask-indexed filtering).
-pub const EVENT_KINDS: usize = 11;
+pub const EVENT_KINDS: usize = 13;
 
 /// The typed event taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +53,10 @@ pub enum EventKind {
     SlowQuery,
     /// A metered link shipped one batch (one round trip) of rows.
     BatchFlush,
+    /// A link's circuit breaker tripped open (member quarantined).
+    BreakerOpen,
+    /// A link's circuit breaker closed again (member re-admitted).
+    BreakerClose,
 }
 
 impl EventKind {
@@ -69,6 +73,8 @@ impl EventKind {
         EventKind::TwoPhaseCommit,
         EventKind::SlowQuery,
         EventKind::BatchFlush,
+        EventKind::BreakerOpen,
+        EventKind::BreakerClose,
     ];
 
     /// The wire/display name, shared with the low-layer emitters.
@@ -85,6 +91,8 @@ impl EventKind {
             EventKind::TwoPhaseCommit => "2pc",
             EventKind::SlowQuery => "slow_query",
             EventKind::BatchFlush => "batch_flush",
+            EventKind::BreakerOpen => "breaker_open",
+            EventKind::BreakerClose => "breaker_close",
         }
     }
 

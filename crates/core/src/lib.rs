@@ -42,7 +42,10 @@ pub use result::QueryResult;
 pub use trace::{QueryTrace, TraceConfig, TraceSpan};
 
 pub use dhqp_dtc::{DtcStats, RecoveryReport};
-pub use dhqp_executor::{BatchConfig, ParallelConfig, RetryPolicy};
+pub use dhqp_executor::{
+    BatchConfig, BreakerConfig, BreakerState, DegradedMode, HealthRegistry, LinkHealthSnapshot,
+    ParallelConfig, RetryPolicy,
+};
 pub use dhqp_netsim::FaultConfig;
 pub use dhqp_oledb::{WaitClass, WaitSnapshot, WaitStats, WaitTotals};
 pub use dhqp_optimizer::{OptimizationPhase, OptimizerConfig};

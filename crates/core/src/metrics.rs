@@ -68,6 +68,9 @@ pub struct QuerySummary {
     /// The wait class that dominated this statement's waited time, if the
     /// statement waited at all — a slow query's one-word diagnosis.
     pub dominant_wait: Option<&'static str>,
+    /// DPV members degraded mode pruned while serving this statement
+    /// (0 unless `DHQP_DEGRADED=prune` skipped a quarantined member).
+    pub pruned_members: u64,
 }
 
 /// Point-in-time copy of every engine counter. DTC commit/abort counts are
@@ -116,6 +119,12 @@ pub struct MetricsSnapshot {
     /// Remote attempts abandoned because a per-attempt or per-query
     /// deadline expired.
     pub remote_deadline_hits: u64,
+    /// Remote opens rejected without touching the wire because the link's
+    /// circuit breaker was open.
+    pub breaker_fast_fails: u64,
+    /// DPV members skipped by degraded-mode pruning, summed over
+    /// statements.
+    pub members_pruned: u64,
     pub dtc_commits: u64,
     pub dtc_aborts: u64,
     /// Distributed transactions currently in doubt (decision logged,
@@ -165,6 +174,8 @@ impl MetricsSnapshot {
             ("remote_retries", self.remote_retries),
             ("remote_transient_errors", self.remote_transient_errors),
             ("remote_deadline_hits", self.remote_deadline_hits),
+            ("breaker_fast_fails", self.breaker_fast_fails),
+            ("members_pruned", self.members_pruned),
             ("dtc_commits", self.dtc_commits),
             ("dtc_aborts", self.dtc_aborts),
             ("dtc_in_doubt", self.dtc_in_doubt),
@@ -337,6 +348,7 @@ impl EngineMetrics {
     /// the statement's per-query wait snapshot, whose dominant class is
     /// kept on the summary for attribution. Returns whether the statement
     /// crossed the armed slow-query threshold.
+    #[allow(clippy::too_many_arguments)]
     pub fn finish_statement(
         &self,
         kind: StatementKind,
@@ -345,6 +357,7 @@ impl EngineMetrics {
         rows: u64,
         error: Option<String>,
         waits: Option<&WaitSnapshot>,
+        pruned_members: u64,
     ) -> bool {
         let counter = match kind {
             StatementKind::Select => &self.selects,
@@ -367,6 +380,7 @@ impl EngineMetrics {
             ok: error.is_none(),
             error,
             dominant_wait: waits.and_then(|w| w.dominant()).map(|c| c.name()),
+            pruned_members,
         };
         let was_slow = self
             .slow_threshold
@@ -430,6 +444,8 @@ impl EngineMetrics {
             remote_retries: exec.remote_retries,
             remote_transient_errors: exec.remote_transient_errors,
             remote_deadline_hits: exec.remote_deadline_hits,
+            breaker_fast_fails: exec.breaker_fast_fails,
+            members_pruned: exec.members_pruned,
             dtc_commits: dtc.commits,
             dtc_aborts: dtc.aborts,
             dtc_in_doubt: dtc.in_doubt,
@@ -453,6 +469,7 @@ mod tests {
                 i as u64,
                 None,
                 None,
+                0,
             );
         }
         let recent = m.recent_queries();
@@ -476,6 +493,7 @@ mod tests {
                 0,
                 None,
                 None,
+                0,
             );
         }
         let recent = m.recent_queries();
@@ -493,6 +511,7 @@ mod tests {
             0,
             Some("table 'missing' not found".into()),
             None,
+            0,
         );
         let q = &m.recent_queries()[0];
         assert!(!q.ok);
@@ -510,6 +529,7 @@ mod tests {
             0,
             None,
             None,
+            0,
         );
         m.finish_statement(
             StatementKind::Select,
@@ -518,6 +538,7 @@ mod tests {
             0,
             None,
             None,
+            0,
         );
         let slow = m.slow_queries();
         assert_eq!(slow.len(), 1);
@@ -531,6 +552,7 @@ mod tests {
             0,
             None,
             None,
+            0,
         );
         assert!(off.slow_queries().is_empty());
     }
@@ -545,6 +567,7 @@ mod tests {
             1,
             None,
             None,
+            0,
         );
         let h = m.query_latency();
         assert_eq!(h.count, 1);
@@ -566,6 +589,7 @@ mod tests {
             1,
             None,
             Some(&snap),
+            0,
         );
         assert!(was_slow);
         let q = &m.slow_queries()[0];
@@ -578,6 +602,7 @@ mod tests {
             1,
             None,
             Some(&WaitStats::default().snapshot()),
+            0,
         ));
         assert_eq!(m.recent_queries().last().unwrap().dominant_wait, None);
     }
@@ -597,6 +622,7 @@ mod tests {
             1,
             None,
             None,
+            0,
         );
         m.reset();
         let s = m.snapshot(DtcStats::default());
@@ -621,6 +647,7 @@ mod tests {
             3,
             Some("boom".into()),
             None,
+            0,
         );
         m.exec_counters().add_remote_retry();
         m.exec_counters().add_remote_transient_error();

@@ -13,7 +13,7 @@ use crate::ops::sort::{open_sort, open_spool, TopRowset, UnionAllRowset};
 use crate::stats::{RemoteProbe, StatsRowset};
 use dhqp_oledb::{MemRowset, Rowset};
 use dhqp_optimizer::{PhysNode, PhysicalOp};
-use dhqp_types::{Result, Row};
+use dhqp_types::{DhqpError, Result, Row};
 use std::sync::Arc;
 
 /// Open a physical plan as a rowset. Re-entrant: nested-loop joins call
@@ -84,6 +84,55 @@ fn remote_probe(plan: &PhysNode, ctx: &ExecContext) -> Result<Option<RemoteProbe
     };
     let source = ctx.catalog().linked(&server)?;
     Ok(Some(RemoteProbe::new(source, &server, request)))
+}
+
+/// First linked server a subtree would touch, if any — the member identity
+/// degraded-mode pruning quarantines by. A DPV member branch is rooted at
+/// (or wraps) exactly one remote operator, so the first hit is the member.
+fn branch_server(plan: &PhysNode) -> Option<&str> {
+    match &plan.op {
+        PhysicalOp::RemoteQuery { server, .. } => Some(server),
+        PhysicalOp::RemoteScan { meta }
+        | PhysicalOp::RemoteRange { meta, .. }
+        | PhysicalOp::RemoteFetch { meta } => meta.source.server_name(),
+        _ => plan.children.iter().find_map(branch_server),
+    }
+}
+
+/// Quarantine one union/exchange member: note it in the per-query prune
+/// log (EXPLAIN ANALYZE, `sys.dm_exec_requests`) and the engine counters.
+fn prune_member(server: &str, ctx: &ExecContext) {
+    ctx.pruned().record(server);
+    ctx.counters().add_member_pruned();
+}
+
+/// Open one union/exchange member under the degraded-mode policy. In
+/// prune mode a remote branch whose open fails with a transport error
+/// (breaker fail-fast or a genuinely exhausted retry budget) is skipped —
+/// `Ok(None)` — instead of failing the statement. Everything else (fail
+/// mode, local branches, permanent errors) propagates.
+fn open_member(c: &PhysNode, ctx: &ExecContext, cid: usize) -> Result<Option<Box<dyn Rowset>>> {
+    match open_node(c, ctx, cid) {
+        Ok(rs) => Ok(Some(rs)),
+        Err(e) if ctx.degraded().is_prune() && e.is_retryable() => match branch_server(c) {
+            Some(server) => {
+                prune_member(server, ctx);
+                Ok(None)
+            }
+            None => Err(e),
+        },
+        Err(e) => Err(e),
+    }
+}
+
+/// Every member was quarantined: degraded mode refuses to return an empty
+/// answer that silently means "nothing survived".
+fn all_members_pruned(ctx: &ExecContext) -> DhqpError {
+    DhqpError::Unavailable(format!(
+        "degraded mode pruned every member of the partitioned view \
+         (quarantined: {})",
+        ctx.pruned().members().join(", ")
+    ))
 }
 
 /// Wrap a remote rowset in a prefetching decorator when the context asks
@@ -261,38 +310,54 @@ fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn R
             Ok(Box::new(TopRowset::new(child, *n)))
         }
         PhysicalOp::UnionAll { input_columns, .. } => {
+            // children / delivered / inputs are filtered in lockstep when
+            // degraded mode prunes a quarantined member, keeping the
+            // permutation maps index-aligned with the surviving branches.
             let mut children = Vec::with_capacity(plan.children.len());
             let mut delivered = Vec::with_capacity(plan.children.len());
+            let mut inputs = Vec::with_capacity(plan.children.len());
             for (k, c) in plan.children.iter().enumerate() {
-                children.push(open_node(c, ctx, child_id(plan, id, k))?);
+                let Some(rs) = open_member(c, ctx, child_id(plan, id, k))? else {
+                    continue;
+                };
+                children.push(rs);
                 delivered.push(c.output.clone());
+                inputs.push(input_columns[k].clone());
+            }
+            if children.is_empty() && !plan.children.is_empty() {
+                return Err(all_members_pruned(ctx));
             }
             let schema = ctx.schema_of(&plan.output);
             Ok(Box::new(UnionAllRowset::new(
-                children,
-                &delivered,
-                input_columns,
-                schema,
+                children, &delivered, &inputs, schema,
             )?))
         }
         PhysicalOp::Exchange { input_columns, .. } => {
             let schema = ctx.schema_of(&plan.output);
-            let delivered: Vec<Vec<dhqp_optimizer::ColumnId>> =
-                plan.children.iter().map(|c| c.output.clone()).collect();
             if !ctx.parallel().enabled {
                 // Serial fallback: identical semantics to UnionAll, same
-                // deterministic branch-by-branch row order.
+                // deterministic branch-by-branch row order — including the
+                // degraded-mode pruning of quarantined members.
                 let mut children = Vec::with_capacity(plan.children.len());
+                let mut delivered = Vec::with_capacity(plan.children.len());
+                let mut inputs = Vec::with_capacity(plan.children.len());
                 for (k, c) in plan.children.iter().enumerate() {
-                    children.push(open_node(c, ctx, child_id(plan, id, k))?);
+                    let Some(rs) = open_member(c, ctx, child_id(plan, id, k))? else {
+                        continue;
+                    };
+                    children.push(rs);
+                    delivered.push(c.output.clone());
+                    inputs.push(input_columns[k].clone());
+                }
+                if children.is_empty() && !plan.children.is_empty() {
+                    return Err(all_members_pruned(ctx));
                 }
                 return Ok(Box::new(UnionAllRowset::new(
-                    children,
-                    &delivered,
-                    input_columns,
-                    schema,
+                    children, &delivered, &inputs, schema,
                 )?));
             }
+            let delivered: Vec<Vec<dhqp_optimizer::ColumnId>> =
+                plan.children.iter().map(|c| c.output.clone()).collect();
             let branches: Vec<BranchFactory> = plan
                 .children
                 .iter()
@@ -303,6 +368,26 @@ fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn R
                     // wire probes) lands on the right node.
                     let branch_plan = Arc::new(c.clone());
                     let branch_id = child_id(plan, id, k);
+                    // In prune mode a remote branch that fails its open
+                    // with a transport error yields an empty rowset and
+                    // quarantines the member instead of poisoning the
+                    // whole exchange.
+                    if ctx.degraded().is_prune() {
+                        if let Some(server) = branch_server(c) {
+                            let server = server.to_string();
+                            let branch_schema = ctx.schema_of(&c.output);
+                            return Box::new(move |cx: &ExecContext| {
+                                match open_node(&branch_plan, cx, branch_id) {
+                                    Err(e) if e.is_retryable() => {
+                                        prune_member(&server, cx);
+                                        Ok(Box::new(MemRowset::empty(branch_schema.clone()))
+                                            as Box<dyn Rowset>)
+                                    }
+                                    other => other,
+                                }
+                            }) as BranchFactory;
+                        }
+                    }
                     Box::new(move |cx: &ExecContext| open_node(&branch_plan, cx, branch_id))
                         as BranchFactory
                 })

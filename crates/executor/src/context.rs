@@ -1,6 +1,7 @@
 //! Execution context: parameter values, correlation bindings, data-source
 //! resolution and the shared spool cache.
 
+use crate::health::{DegradedMode, HealthRegistry, PruneLog};
 use crate::ops::retry::RetryPolicy;
 use crate::stats::{ExecCounters, RuntimeStatsCollector};
 use dhqp_oledb::DataSource;
@@ -184,6 +185,15 @@ pub struct ExecContext {
     retry: Arc<RetryPolicy>,
     /// Vectorized-execution knobs (chunked pulls, batched wire shipping).
     batch: Arc<BatchConfig>,
+    /// Per-link circuit breakers: fail-fast gate for remote opens and the
+    /// quarantine source for degraded-mode pruning. `None` (bare contexts,
+    /// unit tests) means no health gating at all.
+    health: Option<Arc<HealthRegistry>>,
+    /// What to do when a DPV member is quarantined: fail or prune.
+    degraded: DegradedMode,
+    /// Members pruned during this execution (shared with the engine so the
+    /// statement can report them after the drain).
+    pruned: Arc<PruneLog>,
 }
 
 impl ExecContext {
@@ -203,6 +213,9 @@ impl ExecContext {
             parallel: Arc::new(ParallelConfig::from_env()),
             retry: Arc::new(RetryPolicy::from_env()),
             batch: Arc::new(BatchConfig::from_env()),
+            health: None,
+            degraded: DegradedMode::from_env(),
+            pruned: Arc::new(PruneLog::default()),
         }
     }
 
@@ -236,6 +249,25 @@ impl ExecContext {
         self
     }
 
+    /// Share the engine's per-link health registry with this execution.
+    pub fn with_health(mut self, health: Arc<HealthRegistry>) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Override the degraded-mode policy for this execution.
+    pub fn with_degraded(mut self, degraded: DegradedMode) -> Self {
+        self.degraded = degraded;
+        self
+    }
+
+    /// Share a per-statement prune log so the engine can report skipped
+    /// members after the drain.
+    pub fn with_pruned(mut self, pruned: Arc<PruneLog>) -> Self {
+        self.pruned = pruned;
+        self
+    }
+
     pub fn parallel(&self) -> &ParallelConfig {
         &self.parallel
     }
@@ -254,6 +286,18 @@ impl ExecContext {
 
     pub fn stats(&self) -> Option<&Arc<RuntimeStatsCollector>> {
         self.stats.as_ref()
+    }
+
+    pub fn health(&self) -> Option<&Arc<HealthRegistry>> {
+        self.health.as_ref()
+    }
+
+    pub fn degraded(&self) -> DegradedMode {
+        self.degraded
+    }
+
+    pub fn pruned(&self) -> &Arc<PruneLog> {
+        &self.pruned
     }
 
     /// Build the runtime schema for a list of output columns.
@@ -302,6 +346,9 @@ impl ExecContext {
             parallel: Arc::clone(&self.parallel),
             retry: Arc::clone(&self.retry),
             batch: Arc::clone(&self.batch),
+            health: self.health.clone(),
+            degraded: self.degraded,
+            pruned: Arc::clone(&self.pruned),
         }
     }
 

@@ -1,0 +1,597 @@
+//! Member health: per-link circuit breakers and the degraded-mode policy
+//! that lets DPV execution plan around quarantined members.
+//!
+//! Every linked server gets one breaker in the engine's [`HealthRegistry`].
+//! The state machine is the classic three-state breaker:
+//!
+//! ```text
+//!            consecutive give-ups >= threshold
+//!            or windowed error rate >= rate
+//!   Closed ────────────────────────────────────▶ Open
+//!     ▲                                           │
+//!     │ probe succeeds                            │ `cooldown` rejected
+//!     │                                           │ admissions elapse
+//!     │              probe fails                  ▼
+//!   HalfOpen ◀────────────────────────────── (admit one probe)
+//!      └──────────────── reopens ▲
+//! ```
+//!
+//! Determinism: the cooldown is not wall-clock time. It is counted in
+//! *rejected admissions on that link* — the same operation clock the
+//! netsim fault plans use — so under a fixed fault seed the exact
+//! admission at which a breaker re-probes is reproducible bit for bit,
+//! independent of machine speed or thread scheduling on other links.
+//!
+//! Failures that feed the breaker are *retry-exhausted* remote operations
+//! (the retry layer already absorbed transient faults); a single give-up
+//! therefore represents `max_attempts` consecutive wire errors, which is
+//! why the default `failure_threshold` is 1. Transitions are published as
+//! `breaker_open` / `breaker_close` events through the thread-local
+//! activity hook, and fail-fast rejections surface as the `CIRCUIT_OPEN`
+//! wait class.
+
+use dhqp_oledb::waits::emit_event;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One breaker's position in the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every admission passes.
+    Closed,
+    /// Quarantined: admissions are rejected without touching the wire
+    /// until the cooldown elapses.
+    Open,
+    /// Probing: one admission has been let through to test the link.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lowercase name as shown by `sys.dm_link_health`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Breaker tuning knobs (`DHQP_BREAKER_*` environment family).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Master switch (`DHQP_BREAKER=0` disables): when off, every
+    /// admission passes and no state is tracked.
+    pub enabled: bool,
+    /// Consecutive retry-exhausted failures that open a Closed breaker.
+    /// Each one already stands for a full retry budget burned, so the
+    /// default is 1.
+    pub failure_threshold: u32,
+    /// Alternative trip condition for non-consecutive failures: open when
+    /// at least `rate_window` outcomes were observed since the last
+    /// transition and the failure fraction reaches this rate.
+    pub error_rate: f64,
+    /// Minimum observations before `error_rate` applies.
+    pub rate_window: u32,
+    /// Rejected admissions an Open breaker absorbs before letting one
+    /// probe through (the deterministic cooldown clock).
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig::standard()
+    }
+}
+
+impl BreakerConfig {
+    pub fn standard() -> Self {
+        BreakerConfig {
+            enabled: true,
+            failure_threshold: 1,
+            error_rate: 0.5,
+            rate_window: 8,
+            cooldown: 4,
+        }
+    }
+
+    /// Breakers off: every admission passes (the pre-PR-8 behavior).
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            enabled: false,
+            ..BreakerConfig::standard()
+        }
+    }
+
+    /// Read `DHQP_BREAKER` / `DHQP_BREAKER_THRESHOLD` /
+    /// `DHQP_BREAKER_COOLDOWN` / `DHQP_BREAKER_WINDOW` /
+    /// `DHQP_BREAKER_ERROR_RATE`, falling back to [`standard`].
+    ///
+    /// [`standard`]: BreakerConfig::standard
+    pub fn from_env() -> Self {
+        fn var_u32(name: &str) -> Option<u32> {
+            std::env::var(name).ok()?.trim().parse().ok()
+        }
+        let mut c = BreakerConfig::standard();
+        if let Ok(v) = std::env::var("DHQP_BREAKER") {
+            c.enabled = v.trim() != "0";
+        }
+        if let Some(n) = var_u32("DHQP_BREAKER_THRESHOLD") {
+            c.failure_threshold = n.max(1);
+        }
+        if let Some(n) = var_u32("DHQP_BREAKER_COOLDOWN") {
+            c.cooldown = n.max(1);
+        }
+        if let Some(n) = var_u32("DHQP_BREAKER_WINDOW") {
+            c.rate_window = n.max(2);
+        }
+        if let Some(f) = std::env::var("DHQP_BREAKER_ERROR_RATE")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+        {
+            c.error_rate = f.clamp(0.0, 1.0);
+        }
+        c
+    }
+}
+
+/// What happens when a remote operation asks to use a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker Closed (or disabled): proceed normally.
+    Allow,
+    /// Breaker was Open and the cooldown elapsed: proceed, but this
+    /// operation is the half-open probe — its outcome decides the link.
+    Probe,
+    /// Breaker Open and still cooling: fail fast without touching the
+    /// wire. Carries the failure streak for the error message.
+    Reject {
+        /// Consecutive give-ups recorded when the breaker opened.
+        consecutive_failures: u32,
+    },
+}
+
+/// Point-in-time copy of one link's breaker, as served by
+/// `sys.dm_link_health`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkHealthSnapshot {
+    pub server: String,
+    pub state: BreakerState,
+    /// Current retry-exhausted failure streak.
+    pub consecutive_failures: u32,
+    /// Times the breaker tripped Closed/HalfOpen → Open (resettable).
+    pub opens: u64,
+    /// Half-open probes admitted (resettable).
+    pub probes: u64,
+    /// Registry clock value of the last state transition (0 = never).
+    pub last_transition: u64,
+    /// Message of the failure that last fed the breaker.
+    pub last_error: Option<String>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LinkBreaker {
+    state: Option<BreakerState>, // None renders as Closed; set on first transition-relevant op
+    consecutive_failures: u32,
+    window_ops: u32,
+    window_failures: u32,
+    rejections_since_open: u32,
+    opens: u64,
+    probes: u64,
+    last_transition: u64,
+    last_error: Option<String>,
+}
+
+impl LinkBreaker {
+    fn state(&self) -> BreakerState {
+        self.state.unwrap_or(BreakerState::Closed)
+    }
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    config: BreakerConfig,
+    /// Logical operation clock: advances once per observed admission or
+    /// outcome, across all links. Timestamps transitions without touching
+    /// the wall clock.
+    clock: u64,
+    links: HashMap<String, LinkBreaker>,
+}
+
+/// Engine-wide member health: one circuit breaker per linked server,
+/// fed by the executor's retry give-ups and consulted before every
+/// remote open. Shared by reference between the engine (DMV, reset) and
+/// every execution context (fail-fast, pruning).
+#[derive(Debug)]
+pub struct HealthRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Default for HealthRegistry {
+    fn default() -> Self {
+        HealthRegistry::new(BreakerConfig::standard())
+    }
+}
+
+impl HealthRegistry {
+    pub fn new(config: BreakerConfig) -> Self {
+        HealthRegistry {
+            inner: Mutex::new(RegistryInner {
+                config,
+                clock: 0,
+                links: HashMap::new(),
+            }),
+        }
+    }
+
+    pub fn from_env() -> Self {
+        HealthRegistry::new(BreakerConfig::from_env())
+    }
+
+    pub fn config(&self) -> BreakerConfig {
+        self.inner.lock().expect("health lock").config
+    }
+
+    /// Replace the tuning knobs; existing breaker states survive.
+    pub fn set_config(&self, config: BreakerConfig) {
+        self.inner.lock().expect("health lock").config = config;
+    }
+
+    /// Register a link as Closed so health views list it before any
+    /// traffic (called when a linked server or DPV member is defined).
+    pub fn ensure(&self, server: &str) {
+        let mut g = self.inner.lock().expect("health lock");
+        g.links.entry(server.to_string()).or_default();
+    }
+
+    /// Ask to use a link. Advances the operation clock; an Open breaker
+    /// counts the rejection toward its cooldown and eventually converts
+    /// the admission into the half-open probe.
+    pub fn admit(&self, server: &str) -> Admission {
+        let mut g = self.inner.lock().expect("health lock");
+        if !g.config.enabled {
+            return Admission::Allow;
+        }
+        g.clock += 1;
+        let now = g.clock;
+        let cooldown = g.config.cooldown;
+        let link = g.links.entry(server.to_string()).or_default();
+        match link.state() {
+            BreakerState::Closed | BreakerState::HalfOpen => Admission::Allow,
+            BreakerState::Open => {
+                link.rejections_since_open += 1;
+                if link.rejections_since_open > cooldown {
+                    link.state = Some(BreakerState::HalfOpen);
+                    link.probes += 1;
+                    link.last_transition = now;
+                    Admission::Probe
+                } else {
+                    Admission::Reject {
+                        consecutive_failures: link.consecutive_failures,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a retry-exhausted (or otherwise terminal transport) failure
+    /// on a link. May trip the breaker, publishing `breaker_open`.
+    pub fn record_failure(&self, server: &str, error: &str) {
+        let opened = {
+            let mut g = self.inner.lock().expect("health lock");
+            if !g.config.enabled {
+                return;
+            }
+            g.clock += 1;
+            let now = g.clock;
+            let config = g.config;
+            let link = g.links.entry(server.to_string()).or_default();
+            link.consecutive_failures += 1;
+            link.window_ops += 1;
+            link.window_failures += 1;
+            link.last_error = Some(error.to_string());
+            let trip = match link.state() {
+                BreakerState::Open => false,
+                // A failed probe reopens immediately.
+                BreakerState::HalfOpen => true,
+                BreakerState::Closed => {
+                    link.consecutive_failures >= config.failure_threshold
+                        || (link.window_ops >= config.rate_window
+                            && link.window_failures as f64 / link.window_ops as f64
+                                >= config.error_rate)
+                }
+            };
+            if trip {
+                link.state = Some(BreakerState::Open);
+                link.opens += 1;
+                link.rejections_since_open = 0;
+                link.last_transition = now;
+                Some(link.consecutive_failures)
+            } else {
+                None
+            }
+        };
+        if let Some(streak) = opened {
+            emit_event(
+                "breaker_open",
+                &[
+                    ("server", server.to_string()),
+                    ("consecutive_failures", streak.to_string()),
+                    ("error", error.to_string()),
+                ],
+            );
+        }
+    }
+
+    /// Record a successful remote operation on a link. Closes a probing
+    /// (or stale Open) breaker, publishing `breaker_close`.
+    pub fn record_success(&self, server: &str) {
+        let closed = {
+            let mut g = self.inner.lock().expect("health lock");
+            if !g.config.enabled {
+                return;
+            }
+            g.clock += 1;
+            let now = g.clock;
+            let link = g.links.entry(server.to_string()).or_default();
+            link.consecutive_failures = 0;
+            link.window_ops += 1;
+            match link.state() {
+                BreakerState::Closed => None,
+                // HalfOpen: the probe succeeded. Open: an operation
+                // admitted before the trip came back healthy — equally
+                // fresh evidence, close rather than hold the quarantine.
+                BreakerState::HalfOpen | BreakerState::Open => {
+                    link.state = Some(BreakerState::Closed);
+                    link.window_ops = 0;
+                    link.window_failures = 0;
+                    link.rejections_since_open = 0;
+                    link.last_transition = now;
+                    Some(link.probes)
+                }
+            }
+        };
+        if let Some(probes) = closed {
+            emit_event(
+                "breaker_close",
+                &[
+                    ("server", server.to_string()),
+                    ("probes", probes.to_string()),
+                ],
+            );
+        }
+    }
+
+    /// Current state of one link's breaker (Closed if never seen).
+    pub fn state(&self, server: &str) -> BreakerState {
+        self.inner
+            .lock()
+            .expect("health lock")
+            .links
+            .get(server)
+            .map(LinkBreaker::state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// All known links, sorted by name (the `sys.dm_link_health` rows).
+    pub fn snapshot(&self) -> Vec<LinkHealthSnapshot> {
+        let g = self.inner.lock().expect("health lock");
+        let mut out: Vec<LinkHealthSnapshot> = g
+            .links
+            .iter()
+            .map(|(server, l)| LinkHealthSnapshot {
+                server: server.clone(),
+                state: l.state(),
+                consecutive_failures: l.consecutive_failures,
+                opens: l.opens,
+                probes: l.probes,
+                last_transition: l.last_transition,
+                last_error: l.last_error.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.server.cmp(&b.server));
+        out
+    }
+
+    /// `DBCC SQLPERF` analog: zero the resettable counters (opens,
+    /// probes). Breaker *state* deliberately survives — a quarantined
+    /// link stays quarantined across a metrics reset.
+    pub fn reset_counters(&self) {
+        let mut g = self.inner.lock().expect("health lock");
+        for link in g.links.values_mut() {
+            link.opens = 0;
+            link.probes = 0;
+        }
+    }
+}
+
+/// What a query does when a DPV member is quarantined: fail the statement
+/// (default) or prune the member and serve the survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedMode {
+    /// Propagate the member's `Unavailable` error (fail fast, but fail).
+    #[default]
+    Fail,
+    /// Skip quarantined members at drive time and warn in EXPLAIN
+    /// ANALYZE / `sys.dm_exec_requests`.
+    Prune,
+}
+
+impl DegradedMode {
+    pub fn is_prune(&self) -> bool {
+        matches!(self, DegradedMode::Prune)
+    }
+
+    /// `DHQP_DEGRADED` = `prune` | `fail` (default `fail`).
+    pub fn from_env() -> Self {
+        match std::env::var("DHQP_DEGRADED") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("prune") => DegradedMode::Prune,
+            _ => DegradedMode::Fail,
+        }
+    }
+}
+
+/// Per-query record of DPV members skipped by [`DegradedMode::Prune`],
+/// surfaced as the `-- [degraded: ...]` EXPLAIN ANALYZE line and the
+/// `pruned_members` column of `sys.dm_exec_requests`.
+#[derive(Debug, Default)]
+pub struct PruneLog {
+    members: Mutex<Vec<String>>,
+}
+
+impl PruneLog {
+    /// Note one pruned member (deduplicated; rescans prune once).
+    pub fn record(&self, server: &str) {
+        let mut g = self.members.lock().expect("prune lock");
+        if !g.iter().any(|m| m == server) {
+            g.push(server.to_string());
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.members.lock().expect("prune lock").len() as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.lock().expect("prune lock").is_empty()
+    }
+
+    /// Pruned member names, sorted for stable rendering.
+    pub fn members(&self) -> Vec<String> {
+        let mut out = self.members.lock().expect("prune lock").clone();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(threshold: u32, cooldown: u32) -> HealthRegistry {
+        HealthRegistry::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown,
+            ..BreakerConfig::standard()
+        })
+    }
+
+    #[test]
+    fn trips_on_consecutive_giveups_and_cools_down_into_a_probe() {
+        let h = registry(2, 3);
+        assert_eq!(h.admit("m1"), Admission::Allow);
+        h.record_failure("m1", "boom");
+        assert_eq!(h.state("m1"), BreakerState::Closed, "below threshold");
+        h.record_failure("m1", "boom");
+        assert_eq!(h.state("m1"), BreakerState::Open);
+        // Cooldown: exactly `cooldown` rejections, then one probe.
+        for _ in 0..3 {
+            assert!(matches!(h.admit("m1"), Admission::Reject { .. }));
+        }
+        assert_eq!(h.admit("m1"), Admission::Probe);
+        assert_eq!(h.state("m1"), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_success_closes_and_probe_failure_reopens() {
+        let h = registry(1, 1);
+        h.record_failure("m1", "dead");
+        assert!(matches!(h.admit("m1"), Admission::Reject { .. }));
+        assert_eq!(h.admit("m1"), Admission::Probe);
+        h.record_failure("m1", "still dead");
+        assert_eq!(h.state("m1"), BreakerState::Open, "failed probe reopens");
+        assert!(matches!(h.admit("m1"), Admission::Reject { .. }));
+        assert_eq!(h.admit("m1"), Admission::Probe);
+        h.record_success("m1");
+        assert_eq!(h.state("m1"), BreakerState::Closed);
+        assert_eq!(h.admit("m1"), Admission::Allow);
+        let snap = &h.snapshot()[0];
+        assert_eq!(snap.opens, 2);
+        assert_eq!(snap.probes, 2);
+        assert_eq!(snap.consecutive_failures, 0);
+    }
+
+    #[test]
+    fn error_rate_trips_without_a_consecutive_streak() {
+        let h = HealthRegistry::new(BreakerConfig {
+            failure_threshold: 100, // out of reach
+            error_rate: 0.5,
+            rate_window: 4,
+            ..BreakerConfig::standard()
+        });
+        // Alternating outcomes never build a streak but hit 50% over the
+        // 4-op window.
+        h.record_failure("m1", "e1");
+        h.record_success("m1");
+        h.record_failure("m1", "e2");
+        assert_eq!(h.state("m1"), BreakerState::Closed);
+        h.record_failure("m1", "e3");
+        assert_eq!(h.state("m1"), BreakerState::Open, "3/5 >= 50% over window");
+    }
+
+    #[test]
+    fn success_clears_the_streak() {
+        let h = registry(2, 1);
+        h.record_failure("m1", "x");
+        h.record_success("m1");
+        h.record_failure("m1", "x");
+        assert_eq!(h.state("m1"), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn reset_counters_keeps_state_but_zeroes_opens_and_probes() {
+        let h = registry(1, 1);
+        h.record_failure("m1", "dead");
+        assert!(matches!(h.admit("m1"), Admission::Reject { .. }));
+        assert_eq!(h.admit("m1"), Admission::Probe);
+        h.record_failure("m1", "dead again");
+        let before = &h.snapshot()[0];
+        assert_eq!((before.opens, before.probes), (2, 1));
+        h.reset_counters();
+        let after = &h.snapshot()[0];
+        assert_eq!((after.opens, after.probes), (0, 0));
+        assert_eq!(after.state, BreakerState::Open, "reset must not heal");
+        assert_eq!(after.consecutive_failures, before.consecutive_failures);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let h = HealthRegistry::new(BreakerConfig::disabled());
+        h.record_failure("m1", "x");
+        h.record_failure("m1", "x");
+        assert_eq!(h.admit("m1"), Admission::Allow);
+        assert_eq!(h.state("m1"), BreakerState::Closed);
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn links_are_isolated() {
+        let h = registry(1, 4);
+        h.ensure("m2");
+        h.record_failure("m1", "x");
+        assert!(matches!(h.admit("m1"), Admission::Reject { .. }));
+        assert_eq!(h.admit("m2"), Admission::Allow);
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 2, "ensure() pre-registers: {snap:?}");
+        assert_eq!(snap[0].server, "m1");
+        assert_eq!(snap[1].state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn prune_log_deduplicates_and_sorts() {
+        let log = PruneLog::default();
+        assert!(log.is_empty());
+        log.record("m3");
+        log.record("m1");
+        log.record("m3");
+        assert_eq!(log.count(), 2);
+        assert_eq!(log.members(), vec!["m1".to_string(), "m3".to_string()]);
+    }
+
+    #[test]
+    fn degraded_mode_defaults_to_fail() {
+        assert_eq!(DegradedMode::default(), DegradedMode::Fail);
+        assert!(DegradedMode::Prune.is_prune());
+        assert!(!DegradedMode::Fail.is_prune());
+    }
+}

@@ -15,12 +15,17 @@
 pub mod build;
 pub mod context;
 pub mod eval;
+pub mod health;
 pub mod ops;
 pub mod stats;
 
 pub use build::open;
 pub use context::{BatchConfig, ExecContext, ParallelConfig, SourceCatalog, DEFAULT_BATCH_SIZE};
 pub use eval::{eval_expr, eval_predicate, RowEnv};
+pub use health::{
+    Admission, BreakerConfig, BreakerState, DegradedMode, HealthRegistry, LinkHealthSnapshot,
+    PruneLog,
+};
 pub use ops::retry::RetryPolicy;
 pub use stats::{
     ExchangeRuntime, ExecCounterSnapshot, ExecCounters, NodeRuntime, RemoteTrace,

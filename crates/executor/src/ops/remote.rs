@@ -8,15 +8,18 @@
 
 use crate::context::ExecContext;
 use crate::eval::{eval_expr, RowEnv};
+use crate::health::{Admission, HealthRegistry};
 use crate::ops::retry::{open_with_retries_batched, ReopenFactory};
 use crate::ops::scan::resolve_range;
 use crate::stats::RuntimeStatsCollector;
+use dhqp_oledb::waits::{record_wait, WaitClass};
 use dhqp_oledb::{MemRowset, Rowset};
 use dhqp_optimizer::physical::{IndexRangeSpec, ParamSource, RemoteParam};
 use dhqp_optimizer::{ColumnId, TableMeta};
-use dhqp_types::{DhqpError, Result, Row, Value};
+use dhqp_types::{DhqpError, Result, Row, RowBatch, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Resolve one remote parameter to a concrete value.
 fn param_value(p: &RemoteParam, ctx: &ExecContext) -> Result<Value> {
@@ -76,6 +79,113 @@ fn retry_stats(ctx: &ExecContext, node: usize) -> Option<(usize, Arc<RuntimeStat
     ctx.stats().map(|c| (node, Arc::clone(c)))
 }
 
+/// The breaker-gated tail shared by every remote open path: consult the
+/// link's circuit breaker before touching the wire (an Open breaker fails
+/// fast with `Unavailable`, no retry budget burned), run the retrying
+/// open, and feed the outcome back into the health registry. Exchange
+/// workers and the prefetcher inherit the gate because their branch opens
+/// land here too.
+fn open_via_breaker(
+    server: &str,
+    ctx: &ExecContext,
+    node: usize,
+    factory: ReopenFactory,
+) -> Result<Box<dyn Rowset>> {
+    let counters = Arc::clone(ctx.counters());
+    if let Some(health) = ctx.health() {
+        let checked = Instant::now();
+        match health.admit(server) {
+            Admission::Allow | Admission::Probe => {}
+            Admission::Reject {
+                consecutive_failures,
+            } => {
+                counters.add_breaker_fast_fail();
+                // Near-zero time was spent, but the rejection must be
+                // countable (and attributable as a dominant wait).
+                record_wait(
+                    WaitClass::CircuitOpen,
+                    checked.elapsed().max(Duration::from_micros(1)),
+                );
+                return Err(DhqpError::Unavailable(format!(
+                    "linked server '{server}' unavailable: circuit breaker open after \
+                     {consecutive_failures} consecutive retry-exhausted failures (fail-fast)"
+                )));
+            }
+        }
+    }
+    let result = open_with_retries_batched(
+        factory,
+        ctx.retry(),
+        &counters,
+        retry_stats(ctx, node),
+        ctx.batch().pull_size(),
+    );
+    let Some(health) = ctx.health() else {
+        return result;
+    };
+    match result {
+        Ok(inner) => {
+            health.record_success(server);
+            Ok(Box::new(HealthWatchRowset {
+                inner,
+                server: server.to_string(),
+                health: Arc::clone(health),
+                reported: false,
+            }))
+        }
+        Err(e) => {
+            // A retryable error surfacing here means the retry budget was
+            // exhausted (transients were absorbed below) — breaker food.
+            // Permanent errors say nothing about link health.
+            if e.is_retryable() {
+                health.record_failure(server, e.message());
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Reports mid-stream retry exhaustion to the health registry: the open
+/// succeeded, but a later rewind can still burn the whole budget.
+struct HealthWatchRowset {
+    inner: Box<dyn Rowset>,
+    server: String,
+    health: Arc<HealthRegistry>,
+    reported: bool,
+}
+
+impl HealthWatchRowset {
+    fn observe<T>(&mut self, result: Result<T>) -> Result<T> {
+        if let Err(e) = &result {
+            if e.is_retryable() && !self.reported {
+                self.reported = true;
+                self.health.record_failure(&self.server, e.message());
+            }
+        }
+        result
+    }
+}
+
+impl Rowset for HealthWatchRowset {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        let r = self.inner.next();
+        self.observe(r)
+    }
+
+    fn next_batch(&mut self, max: usize) -> Result<Option<RowBatch>> {
+        let r = self.inner.next_batch(max);
+        self.observe(r)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.inner.size_hint()
+    }
+}
+
 /// Execute a pushed-down SQL statement on a linked server. The open (and
 /// any mid-stream rewind) is retried on transient transport faults: a
 /// pushed-down SELECT is idempotent, so re-issuing the same text is safe.
@@ -99,13 +209,7 @@ pub fn open_remote_query(
             command.execute()?.into_rowset()
         })
     };
-    open_with_retries_batched(
-        factory,
-        ctx.retry(),
-        &counters,
-        retry_stats(ctx, node),
-        ctx.batch().pull_size(),
-    )
+    open_via_breaker(server, ctx, node, factory)
 }
 
 /// `IOpenRowset` against a remote base table (ships the whole table).
@@ -129,13 +233,7 @@ pub fn open_remote_scan(
             session.open_rowset(&table)
         })
     };
-    open_with_retries_batched(
-        factory,
-        ctx.retry(),
-        &counters,
-        retry_stats(ctx, node),
-        ctx.batch().pull_size(),
-    )
+    open_via_breaker(server, ctx, node, factory)
 }
 
 /// `IRowsetIndex` range against a remote index.
@@ -163,13 +261,7 @@ pub fn open_remote_range(
             session.open_index(&table, &index, &range)
         })
     };
-    open_with_retries_batched(
-        factory,
-        ctx.retry(),
-        &counters,
-        retry_stats(ctx, node),
-        ctx.batch().pull_size(),
-    )
+    open_via_breaker(server, ctx, node, factory)
 }
 
 /// `IRowsetLocate` fetch: pull base rows for the bookmarks produced by a
@@ -203,13 +295,7 @@ pub fn open_remote_fetch(
             Ok(Box::new(MemRowset::new(schema.clone(), rows)) as Box<dyn Rowset>)
         })
     };
-    open_with_retries_batched(
-        factory,
-        ctx.retry(),
-        &counters,
-        retry_stats(ctx, node),
-        ctx.batch().pull_size(),
-    )
+    open_via_breaker(server, ctx, node, factory)
 }
 
 /// Evaluate a list of column-free expressions (used by DML routing).

@@ -101,10 +101,16 @@ impl Default for RetryPolicy {
     }
 }
 
-/// Append the attempt count to a transient error that exhausted its
-/// retries, preserving the variant (and hence `kind()`).
-fn give_up(e: DhqpError, attempts: u32) -> DhqpError {
-    let note = format!(" (giving up after {attempts} attempts)");
+/// Append the give-up reason chain — attempt count, wall time burned, and
+/// the kind of the last underlying error — to a transient error that
+/// exhausted its retries, preserving the variant (and hence `kind()`).
+/// The base message is the last underlying error's own text, so a chaos
+/// failure is diagnosable from the string alone.
+fn give_up(e: DhqpError, attempts: u32, elapsed: Duration) -> DhqpError {
+    let note = format!(
+        " (giving up after {attempts} attempts in {elapsed:.1?}; last error kind: {})",
+        e.kind()
+    );
     match e {
         DhqpError::Unavailable(m) => DhqpError::Unavailable(m + &note),
         DhqpError::Timeout(m) => DhqpError::Timeout(m + &note),
@@ -153,7 +159,7 @@ impl RetryState {
             _ => error,
         };
         if self.attempt >= self.policy.max_attempts {
-            return Err(give_up(error, self.attempt));
+            return Err(give_up(error, self.attempt, self.started.elapsed()));
         }
         let backoff = self.policy.backoff(self.attempt);
         if let Some(deadline) = self.policy.query_deadline {
@@ -474,6 +480,12 @@ mod tests {
         assert_eq!(err.kind(), "unavailable");
         assert!(
             err.message().contains("giving up after 3 attempts"),
+            "{err}"
+        );
+        // The reason chain: underlying error text, elapsed time, last kind.
+        assert!(err.message().contains("injected connect fault"), "{err}");
+        assert!(
+            err.message().contains("last error kind: unavailable"),
             "{err}"
         );
         assert_eq!(c.snapshot().remote_transient_errors, 3);

@@ -41,6 +41,11 @@ pub struct ExecCounters {
     pub remote_transient_errors: AtomicU64,
     /// Retries abandoned because an attempt or query deadline was hit.
     pub remote_deadline_hits: AtomicU64,
+    /// Remote opens rejected immediately by an open circuit breaker
+    /// (no wire traffic, no retry budget burned).
+    pub breaker_fast_fails: AtomicU64,
+    /// DPV members skipped by degraded-mode pruning, summed over queries.
+    pub members_pruned: AtomicU64,
 }
 
 impl ExecCounters {
@@ -77,6 +82,14 @@ impl ExecCounters {
         self.remote_deadline_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_breaker_fast_fail(&self) {
+        self.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_member_pruned(&self) {
+        self.members_pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> ExecCounterSnapshot {
         ExecCounterSnapshot {
             remote_roundtrips: self.remote_roundtrips.load(Ordering::Relaxed),
@@ -88,6 +101,8 @@ impl ExecCounters {
             remote_retries: self.remote_retries.load(Ordering::Relaxed),
             remote_transient_errors: self.remote_transient_errors.load(Ordering::Relaxed),
             remote_deadline_hits: self.remote_deadline_hits.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            members_pruned: self.members_pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -103,6 +118,8 @@ impl ExecCounters {
             &self.remote_retries,
             &self.remote_transient_errors,
             &self.remote_deadline_hits,
+            &self.breaker_fast_fails,
+            &self.members_pruned,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -121,6 +138,8 @@ pub struct ExecCounterSnapshot {
     pub remote_retries: u64,
     pub remote_transient_errors: u64,
     pub remote_deadline_hits: u64,
+    pub breaker_fast_fails: u64,
+    pub members_pruned: u64,
 }
 
 /// What one remote plan node actually did on the wire.

@@ -74,6 +74,19 @@ impl FaultConfig {
         }
     }
 
+    /// A permanently dead member: every read command and rowset open
+    /// fails, with no fault budget, so retries never succeed — the shape
+    /// that trips a circuit breaker rather than riding it out. (Connects
+    /// are left alone so metadata operations at definition time still
+    /// resolve; only query traffic is dead.)
+    pub fn dead(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            command_errors: 1.0,
+            ..FaultConfig::none()
+        }
+    }
+
     /// Chaos plan from the environment: `DHQP_FAULT_SEED=<n>` enables
     /// [`FaultConfig::one_transient_per_link`] with that seed. Unset, empty
     /// or `0` disables injection.

@@ -47,10 +47,13 @@ pub enum WaitClass {
     PlanCompile,
     /// Fetching remote table metadata/histograms for the stats cache.
     StatsFetch,
+    /// A remote operation rejected fast because the link's circuit
+    /// breaker was open (no wire traffic, no backoff burned).
+    CircuitOpen,
 }
 
 /// Number of wait classes (array-indexed accounting).
-pub const WAIT_CLASSES: usize = 9;
+pub const WAIT_CLASSES: usize = 10;
 
 impl WaitClass {
     /// Every class, in DMV display order.
@@ -64,6 +67,7 @@ impl WaitClass {
         WaitClass::DtcCommit,
         WaitClass::PlanCompile,
         WaitClass::StatsFetch,
+        WaitClass::CircuitOpen,
     ];
 
     /// The SQL Server-style ALL_CAPS wait-type name.
@@ -78,6 +82,7 @@ impl WaitClass {
             WaitClass::DtcCommit => "DTC_COMMIT",
             WaitClass::PlanCompile => "PLAN_COMPILE",
             WaitClass::StatsFetch => "STATS_FETCH",
+            WaitClass::CircuitOpen => "CIRCUIT_OPEN",
         }
     }
 
@@ -92,6 +97,7 @@ impl WaitClass {
             WaitClass::DtcCommit => 6,
             WaitClass::PlanCompile => 7,
             WaitClass::StatsFetch => 8,
+            WaitClass::CircuitOpen => 9,
         }
     }
 }

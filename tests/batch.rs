@@ -200,6 +200,51 @@ fn mid_batch_fault_rewinds_on_batch_boundaries_without_changing_answers() {
 }
 
 #[test]
+fn attempt_deadlines_and_batch_rewinds_compose_without_double_counting() {
+    // The two retry triggers at once, on different links: member 1 stalls
+    // one open past the attempt deadline (a Timeout retry), while member 3
+    // drops two result streams mid-flight (batch-boundary rewinds). The
+    // rewind must skip exactly the delivered batches — any off-by-one
+    // double-counts or loses rows and breaks the multiset.
+    let (clean, _cl) = federation();
+    clean.set_batch_config(BatchConfig::batched(3));
+    let want = multiset(&clean.query(SCAN).unwrap().rows, 3);
+
+    for seed in [7u64, 11, 42] {
+        let (head, _links) = federation_with_faults(|i| match i {
+            0 => Some(FaultConfig {
+                seed,
+                stalls: 1.0,
+                stall_ms: 25,
+                max_faults: 1,
+                ..FaultConfig::none()
+            }),
+            2 => Some(FaultConfig {
+                seed,
+                stream_drops: 1.0,
+                max_faults: 2,
+                ..FaultConfig::none()
+            }),
+            _ => None,
+        });
+        head.set_batch_config(BatchConfig::batched(3));
+        head.set_retry_policy(RetryPolicy {
+            max_attempts: 4,
+            attempt_deadline: Some(Duration::from_millis(8)),
+            ..fast_retries()
+        });
+        let got = head.query(SCAN).unwrap();
+        assert_eq!(multiset(&got.rows, 3), want, "seed {seed} changed answers");
+        let m = head.metrics();
+        assert!(
+            m.remote_deadline_hits >= 1,
+            "seed {seed}: stall never timed out: {m:?}"
+        );
+        assert!(m.remote_retries >= 1, "seed {seed}: nothing retried: {m:?}");
+    }
+}
+
+#[test]
 fn gauge_surfaces_in_dmv_and_explain_analyze() {
     let (head, _links) = federation();
     head.set_batch_config(BatchConfig::batched(16));

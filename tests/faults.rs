@@ -6,7 +6,7 @@
 //! transient faults; the assertions check the paper-level property that a
 //! retried distributed scan is indistinguishable from a fault-free one.
 
-use dhqp::{Engine, EngineDataSource, FaultConfig, ParallelConfig, RetryPolicy};
+use dhqp::{DegradedMode, Engine, EngineDataSource, FaultConfig, ParallelConfig, RetryPolicy};
 use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
 use dhqp_types::{Row, Value};
 use dhqp_workload::tpch::{self, TpchScale};
@@ -162,6 +162,9 @@ fn permanent_failure_surfaces_original_error_with_attempt_count() {
             ..FaultConfig::none()
         })
     });
+    // Pin the policy: under DHQP_DEGRADED=prune this give-up would be
+    // planned around instead of surfaced.
+    head.set_degraded_mode(DegradedMode::Fail);
     head.set_retry_policy(fast_retries());
     let err = head.query(SCAN).unwrap_err();
     assert_eq!(err.kind(), "unavailable", "{err}");
@@ -189,6 +192,7 @@ fn stalls_convert_to_timeouts_and_count_deadline_hits() {
             ..FaultConfig::none()
         })
     });
+    head.set_degraded_mode(DegradedMode::Fail);
     head.set_retry_policy(RetryPolicy {
         max_attempts: 2,
         base_backoff: Duration::from_millis(1),
