@@ -11,7 +11,8 @@ use dhqp::{
 };
 use dhqp_bench::{
     dpv_federation, example1, remote_dpv_federation, remote_dpv_federation_with_faults,
-    reset_links, total_traffic, warm, EXAMPLE1_PLAN_A_SQL, EXAMPLE1_SQL,
+    reset_links, semijoin_fixture, total_traffic, warm, EXAMPLE1_PLAN_A_SQL, EXAMPLE1_SQL,
+    SEMIJOIN_SQL,
 };
 use dhqp_fulltext::FullTextProvider;
 use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
@@ -1267,11 +1268,119 @@ fn e17_degraded_federation() {
     println!("→ wrote BENCH_degraded_federation.json");
 }
 
+fn e18_semijoin() {
+    header("E18 — semi-join reduction: ship the build keys, fetch only matching rows");
+    let (fact_rows, fact_ndv) = (2400i64, 200i64);
+    let max_keys = Engine::new("probe-config")
+        .optimizer_config()
+        .semijoin_max_keys;
+    println!(
+        "fact: {fact_rows} rows over {fact_ndv} keys on member1; \
+         DHQP_SEMIJOIN_MAX_KEYS={max_keys}"
+    );
+    println!(
+        "{:<12} {:<16} {:>12} {:>12} {:>10} {:>10}",
+        "build keys", "plan", "bytes on", "bytes off", "reduction", "time on"
+    );
+
+    // One leg: the fixture at `keys` build cardinality with the reduction
+    // rule forced on or off, returning (result rows, per-link traffic, time).
+    let leg = |keys: i64, enabled: bool| {
+        let fx = semijoin_fixture(keys, fact_rows, fact_ndv, NetworkConfig::lan());
+        let mut config = fx.head.optimizer_config();
+        config.enable_semijoin = enabled;
+        fx.head.set_optimizer_config(config);
+        let plan = fx.head.explain(SEMIJOIN_SQL).unwrap().plan_text;
+        warm(&fx.head, SEMIJOIN_SQL);
+        fx.link.reset();
+        let (r, t) = timed(|| fx.head.query(SEMIJOIN_SQL).unwrap());
+        (r.len(), fx.link.snapshot(), t, plan)
+    };
+
+    // Sweep the build cardinality across the IN-list splice threshold: the
+    // last point (200 keys = every probe key) must flip the plan choice.
+    let mut sweep = Vec::new();
+    for keys in [4i64, 16, 64, 200] {
+        let (rows_on, on, t_on, plan) = leg(keys, true);
+        let (rows_off, off, _t_off, _) = leg(keys, false);
+        assert_eq!(rows_on, rows_off, "reduction changed the answer");
+        let reduced = plan.contains("SemiJoinReduce");
+        let factor = off.bytes as f64 / on.bytes.max(1) as f64;
+        println!(
+            "{keys:<12} {:<16} {:>12} {:>12} {factor:>9.1}x {t_on:>10.2?}",
+            if reduced {
+                "SemiJoinReduce"
+            } else {
+                "RemoteQuery"
+            },
+            on.bytes,
+            off.bytes,
+        );
+        sweep.push((keys, reduced, on, off, factor));
+    }
+
+    // At the very smallest build side the *unreduced* optimizer already
+    // ships the build rows to the member and joins remotely, so the two
+    // legs tie; the reduction's headline win is the small-but-not-tiny
+    // band where the baseline falls back to fetching the whole fact side.
+    let small = sweep
+        .iter()
+        .filter(|s| s.1)
+        .max_by(|a, b| a.4.total_cmp(&b.4))
+        .expect("at least one reduced sweep point");
+    assert!(
+        small.4 >= 2.0,
+        "a {}-key build side must cut link bytes at least 2x (got {:.2}x)",
+        small.0,
+        small.4
+    );
+    assert!(
+        small.2.rows < small.3.rows,
+        "the reduced fetch must return fewer rows ({} vs {})",
+        small.2.rows,
+        small.3.rows
+    );
+    let last = sweep.last().unwrap();
+    assert!(
+        last.0 > max_keys as i64 && !last.1,
+        "past max_keys={max_keys} the optimizer must abandon the reduction \
+         ({} keys chose reduced={})",
+        last.0,
+        last.1
+    );
+    println!(
+        "→ {} build keys ship {:.1}x fewer bytes; at {} keys (> max_keys={max_keys}) \
+         the plan flips back to the unreduced fetch.",
+        small.0, small.4, last.0
+    );
+
+    // Hand-formatted JSON: the offline serde shim is marker-only.
+    let mut points = String::new();
+    for (i, (keys, reduced, on, off, factor)) in sweep.iter().enumerate() {
+        if i > 0 {
+            points.push_str(",\n");
+        }
+        points.push_str(&format!(
+            "    {{ \"build_keys\": {keys}, \"reduced\": {reduced}, \
+             \"bytes_on\": {}, \"bytes_off\": {}, \
+             \"rows_on\": {}, \"rows_off\": {}, \"byte_reduction\": {factor:.2} }}",
+            on.bytes, off.bytes, on.rows, off.rows
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"semijoin\",\n  \"query\": \"{SEMIJOIN_SQL}\",\n  \
+         \"fact_rows\": {fact_rows},\n  \"fact_ndv\": {fact_ndv},\n  \
+         \"max_keys\": {max_keys},\n  \"sweep\": [\n{points}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_semijoin.json", json).expect("write BENCH json");
+    println!("→ wrote BENCH_semijoin.json");
+}
+
 fn main() {
     println!("dhqp experiment report — regenerates every paper table/figure reproduction");
     println!("(one execution per configuration; see `cargo bench` for statistical timing)");
     let filter = std::env::args().nth(1);
-    let experiments: [(&str, fn()); 17] = [
+    let experiments: [(&str, fn()); 18] = [
         ("e1", e1_figure4),
         ("e2", e2_table1),
         ("e3", e3_table2),
@@ -1289,6 +1398,7 @@ fn main() {
         ("e15", e15_events_overhead),
         ("e16", e16_batch_federation),
         ("e17", e17_degraded_federation),
+        ("e18", e18_semijoin),
     ];
     for (name, run) in experiments {
         if filter.as_deref().is_none_or(|f| f == name) {

@@ -176,6 +176,76 @@ pub fn remote_dpv_federation_with_faults(
     }
 }
 
+/// The semi-join reduction fixture (§4.1.5 byte minimization): a local
+/// `dim` of `build_keys` distinct join keys in the head and a wide,
+/// wholly-remote `fact` (`fact_rows` rows over `fact_ndv` distinct keys,
+/// ~100-byte payloads) on `member1`. Both sides are ANALYZEd so the
+/// optimizer's ndv estimates drive the reduce-vs-fetch decision.
+pub struct SemiJoinFixture {
+    pub head: Engine,
+    pub link: NetworkLink,
+}
+
+/// The join every semi-join experiment ships.
+pub const SEMIJOIN_SQL: &str =
+    "SELECT d.id, f.val FROM dim d JOIN member1.db.dbo.fact f ON d.id = f.id";
+
+pub fn semijoin_fixture(
+    build_keys: i64,
+    fact_rows: i64,
+    fact_ndv: i64,
+    config: NetworkConfig,
+) -> SemiJoinFixture {
+    use dhqp_storage::TableDef;
+    use dhqp_types::{Column, DataType, Row, Schema, Value};
+    let head = Engine::new("sj-head");
+    head.create_table(TableDef::new(
+        "dim",
+        Schema::new(vec![
+            Column::not_null("id", DataType::Int),
+            Column::new("tag", DataType::Str),
+        ]),
+    ))
+    .expect("setup");
+    let dim: Vec<Row> = (1..=build_keys)
+        .map(|id| Row::new(vec![Value::Int(id), Value::Str(format!("d{id}"))]))
+        .collect();
+    head.storage().insert_rows("dim", &dim).expect("setup");
+    head.storage().analyze("dim", 32).expect("setup");
+
+    let member = Engine::new("sj-member1");
+    member
+        .create_table(TableDef::new(
+            "fact",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("val", DataType::Str),
+            ]),
+        ))
+        .expect("setup");
+    let fact: Vec<Row> = (0..fact_rows)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int((i % fact_ndv) + 1),
+                Value::Str(format!("payload-{i:05}-{}", "x".repeat(96))),
+            ])
+        })
+        .collect();
+    member.storage().insert_rows("fact", &fact).expect("setup");
+    member.storage().analyze("fact", 32).expect("setup");
+
+    let link = NetworkLink::new("member1", config);
+    head.add_linked_server(
+        "member1",
+        Arc::new(NetworkedDataSource::new(
+            Arc::new(EngineDataSource::new(member)),
+            link.clone(),
+        )),
+    )
+    .expect("setup");
+    SemiJoinFixture { head, link }
+}
+
 /// Sum of traffic over several links.
 pub fn total_traffic(links: &[NetworkLink]) -> TrafficSnapshot {
     links

@@ -45,6 +45,11 @@ pub struct AnalyzeReport {
     /// DPV members degraded mode pruned during this execution, sorted —
     /// rendered as the `-- [degraded: ...]` warning line.
     pub pruned: Vec<String>,
+    /// DPV members runtime parameter pruning skipped at drive time (their
+    /// startup predicate rejected the parameter values), sorted — rendered
+    /// as the `-- [startup: ...]` line. Distinct from degraded pruning:
+    /// these members were healthy, just provably irrelevant.
+    pub startup_pruned: Vec<String>,
 }
 
 /// Adaptive duration formatting: µs below 1 ms, ms below 1 s, else s.
@@ -87,6 +92,13 @@ impl AnalyzeReport {
                 out,
                 "-- [degraded: pruned members={}]",
                 self.pruned.join(", ")
+            );
+        }
+        if !self.startup_pruned.is_empty() {
+            let _ = writeln!(
+                out,
+                "-- [startup: skipped members={}]",
+                self.startup_pruned.join(", ")
             );
         }
         if let Some(hit) = self.cache_hit {
@@ -212,6 +224,15 @@ fn render_node(
                     ex.busy,
                     ex.wall,
                     ex.overlap()
+                );
+            }
+            if let Some(sj) = &rt.semijoin {
+                let _ = writeln!(
+                    out,
+                    "{pad}    [semijoin: keys={} bytes={}{}]",
+                    sj.keys,
+                    sj.filter_bytes,
+                    if sj.fallback { " fallback" } else { "" }
                 );
             }
             if let Some(remote) = &rt.remote {

@@ -88,6 +88,12 @@ pub(crate) struct Inner {
     /// (`DHQP_DEGRADED`). Deliberately outside the config epoch: pruning
     /// is a drive-time decision, cached plans stay valid either way.
     degraded: RwLock<DegradedMode>,
+    /// Runtime parameter-driven DPV pruning (`DHQP_RUNTIME_PRUNE`): skip
+    /// union/exchange members whose startup predicate rejects the bound
+    /// parameter values, without opening a connection. Like `degraded`,
+    /// a drive-time decision outside the config epoch — the same cached
+    /// plan prunes eagerly or lazily depending on the knob at execution.
+    runtime_prune: RwLock<bool>,
 }
 
 // DMV accessors: read-only state snapshots the `sys` provider
@@ -164,6 +170,7 @@ pub struct EngineBuilder {
     events: EventConfig,
     breaker: BreakerConfig,
     degraded: DegradedMode,
+    runtime_prune: bool,
 }
 
 /// Default remote-statistics TTL, overridable via `DHQP_STATS_TTL_MS`.
@@ -207,6 +214,7 @@ impl EngineBuilder {
             events: EventConfig::from_env(),
             breaker: BreakerConfig::from_env(),
             degraded: DegradedMode::from_env(),
+            runtime_prune: dhqp_executor::runtime_prune_from_env(),
         }
     }
 
@@ -287,6 +295,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Runtime parameter-driven DPV pruning (overrides
+    /// `DHQP_RUNTIME_PRUNE`): evaluate startup predicates at drive time
+    /// and skip non-qualifying members without a connection.
+    pub fn runtime_prune(mut self, on: bool) -> Self {
+        self.runtime_prune = on;
+        self
+    }
+
     pub fn build(self) -> Engine {
         let storage = Arc::new(StorageEngine::new(self.name.clone()));
         let local_source = Arc::new(LocalDataSource::new(Arc::clone(&storage)));
@@ -316,6 +332,7 @@ impl EngineBuilder {
                 events: RwLock::new(Arc::new(EventBus::new(self.events))),
                 health: Arc::new(HealthRegistry::new(self.breaker)),
                 degraded: RwLock::new(self.degraded),
+                runtime_prune: RwLock::new(self.runtime_prune),
             }),
         };
         // Every engine self-registers its DMVs as the built-in `sys`
@@ -726,6 +743,18 @@ impl Engine {
         *self.inner.degraded.read()
     }
 
+    pub fn runtime_prune_enabled(&self) -> bool {
+        *self.inner.runtime_prune.read()
+    }
+
+    /// Toggle runtime parameter-driven DPV pruning. A drive-time decision
+    /// like retry and degraded mode: cached plans keep their lazy startup
+    /// filters and stay valid — the knob only decides whether members are
+    /// skipped eagerly (no connection) or yield empty rowsets lazily.
+    pub fn set_runtime_prune(&self, on: bool) {
+        *self.inner.runtime_prune.write() = on;
+    }
+
     /// Set the quarantined-member policy. Like retry and batching, this is
     /// a drive-time decision: the plan cache is deliberately untouched —
     /// the same cached plan prunes or fails depending on the mode at
@@ -905,6 +934,12 @@ impl Engine {
             }
             if !pruned.is_empty() {
                 attrs.push(("pruned_members", pruned.members().join(",")));
+            }
+            if !pruned.startup_is_empty() {
+                attrs.push((
+                    "startup_skipped_members",
+                    pruned.startup_members().join(","),
+                ));
             }
             if let Some(e) = error_text {
                 attrs.push(("error", e));
@@ -1231,6 +1266,7 @@ impl Engine {
             trace: None,
             waits: None,
             pruned: pruned.members(),
+            startup_pruned: pruned.startup_members(),
         })
     }
 
@@ -1253,6 +1289,7 @@ impl Engine {
             trace: None,
             waits: None,
             pruned: pruned.members(),
+            startup_pruned: pruned.startup_members(),
         }
     }
 
@@ -1481,6 +1518,7 @@ impl Engine {
             .with_batch(batch.clone())
             .with_health(Arc::clone(&self.inner.health))
             .with_degraded(*self.inner.degraded.read())
+            .with_runtime_prune(*self.inner.runtime_prune.read())
             .with_pruned(Arc::clone(pruned));
         if let Some(collector) = stats {
             ctx = ctx.with_stats(collector);
@@ -1594,7 +1632,8 @@ impl Engine {
                         }
                     }
                 }
-                PhysicalOp::RemoteQuery { server, sql, .. } => {
+                PhysicalOp::RemoteQuery { server, sql, .. }
+                | PhysicalOp::SemiJoinReduce { server, sql, .. } => {
                     let sql_lower = sql.to_lowercase();
                     for ((srv, table), hit) in map {
                         if srv == &server.to_lowercase()
@@ -1679,6 +1718,7 @@ impl Engine {
             // DML never prunes: writing around a quarantined member would
             // silently lose rows, so internal contexts always fail.
             .with_degraded(DegradedMode::Fail)
+            .with_runtime_prune(*self.inner.runtime_prune.read())
     }
 
     // ---- observability -----------------------------------------------------

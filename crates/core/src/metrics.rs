@@ -125,6 +125,17 @@ pub struct MetricsSnapshot {
     /// DPV members skipped by degraded-mode pruning, summed over
     /// statements.
     pub members_pruned: u64,
+    /// DPV members skipped at drive time because their startup predicate
+    /// rejected the runtime parameter values (`DHQP_RUNTIME_PRUNE`).
+    pub startup_members_skipped: u64,
+    /// Remote fetches reduced by a shipped semi-join `IN`-list filter.
+    pub semijoin_reductions: u64,
+    /// Semi-join reductions abandoned at runtime (key count past the
+    /// splice ceiling, or the reduced open exhausted its retry budget).
+    pub semijoin_fallbacks: u64,
+    /// Extra request bytes spent shipping semi-join filters, summed — the
+    /// price paid for the result-byte savings.
+    pub semijoin_filter_bytes: u64,
     pub dtc_commits: u64,
     pub dtc_aborts: u64,
     /// Distributed transactions currently in doubt (decision logged,
@@ -176,6 +187,10 @@ impl MetricsSnapshot {
             ("remote_deadline_hits", self.remote_deadline_hits),
             ("breaker_fast_fails", self.breaker_fast_fails),
             ("members_pruned", self.members_pruned),
+            ("startup_members_skipped", self.startup_members_skipped),
+            ("semijoin_reductions", self.semijoin_reductions),
+            ("semijoin_fallbacks", self.semijoin_fallbacks),
+            ("semijoin_filter_bytes", self.semijoin_filter_bytes),
             ("dtc_commits", self.dtc_commits),
             ("dtc_aborts", self.dtc_aborts),
             ("dtc_in_doubt", self.dtc_in_doubt),
@@ -446,6 +461,10 @@ impl EngineMetrics {
             remote_deadline_hits: exec.remote_deadline_hits,
             breaker_fast_fails: exec.breaker_fast_fails,
             members_pruned: exec.members_pruned,
+            startup_members_skipped: exec.startup_members_skipped,
+            semijoin_reductions: exec.semijoin_reductions,
+            semijoin_fallbacks: exec.semijoin_fallbacks,
+            semijoin_filter_bytes: exec.semijoin_filter_bytes,
             dtc_commits: dtc.commits,
             dtc_aborts: dtc.aborts,
             dtc_in_doubt: dtc.in_doubt,

@@ -1,6 +1,7 @@
 //! Plan-to-operator translation: open a [`PhysNode`] tree as a rowset.
 
 use crate::context::ExecContext;
+use crate::eval::{eval_predicate, RowEnv};
 use crate::ops::agg::{HashAggregate, StreamAggregate};
 use crate::ops::exchange::{BranchFactory, ExchangeRowset, PrefetchRowset};
 use crate::ops::filter::{open_startup_filter, FilterRowset, ProjectRowset};
@@ -9,11 +10,13 @@ use crate::ops::remote::{
     open_remote_fetch, open_remote_query, open_remote_range, open_remote_scan, remote_query_text,
 };
 use crate::ops::scan::{open_index_range, open_table_scan};
+use crate::ops::semijoin::{open_semijoin_reduce, SemiJoinSpec};
 use crate::ops::sort::{open_sort, open_spool, TopRowset, UnionAllRowset};
 use crate::stats::{RemoteProbe, StatsRowset};
 use dhqp_oledb::{MemRowset, Rowset};
-use dhqp_optimizer::{PhysNode, PhysicalOp};
+use dhqp_optimizer::{ColumnId, PhysNode, PhysicalOp};
 use dhqp_types::{DhqpError, Result, Row};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Open a physical plan as a rowset. Re-entrant: nested-loop joins call
@@ -91,12 +94,60 @@ fn remote_probe(plan: &PhysNode, ctx: &ExecContext) -> Result<Option<RemoteProbe
 /// (or wraps) exactly one remote operator, so the first hit is the member.
 fn branch_server(plan: &PhysNode) -> Option<&str> {
     match &plan.op {
-        PhysicalOp::RemoteQuery { server, .. } => Some(server),
+        PhysicalOp::RemoteQuery { server, .. } | PhysicalOp::SemiJoinReduce { server, .. } => {
+            Some(server)
+        }
         PhysicalOp::RemoteScan { meta }
         | PhysicalOp::RemoteRange { meta, .. }
         | PhysicalOp::RemoteFetch { meta } => meta.source.server_name(),
         _ => plan.children.iter().find_map(branch_server),
     }
+}
+
+/// First base table a subtree reads — the member identity reported for a
+/// startup-pruned *local* DPV member, where there is no linked server.
+fn branch_table(plan: &PhysNode) -> Option<String> {
+    match &plan.op {
+        PhysicalOp::TableScan { meta } | PhysicalOp::IndexRange { meta, .. } => {
+            Some(meta.table.clone())
+        }
+        _ => plan.children.iter().find_map(branch_table),
+    }
+}
+
+/// Runtime parameter-driven pruning (§4.1.5): does this union/exchange
+/// member start with a startup filter whose column-free predicate is false
+/// for the current parameter values? When it does, the member is skipped
+/// before a connection, worker thread, or breaker admission is spent on
+/// it. With the knob off the startup filter still gates lazily inside the
+/// member, so results are identical either way — only the reporting and
+/// the avoided opens differ.
+fn startup_prunes(member: &PhysNode, ctx: &ExecContext) -> Result<bool> {
+    if !ctx.runtime_prune() {
+        return Ok(false);
+    }
+    let PhysicalOp::StartupFilter { predicate } = &member.op else {
+        return Ok(false);
+    };
+    let positions: HashMap<ColumnId, usize> = HashMap::new();
+    let row = Row::new(vec![]);
+    let env = RowEnv {
+        positions: &positions,
+        row: &row,
+        ctx,
+    };
+    Ok(!eval_predicate(predicate, &env)?)
+}
+
+/// Record one startup-pruned member on the startup channel (distinct from
+/// degraded-mode quarantine) and in the engine counters.
+fn skip_startup_member(member: &PhysNode, ctx: &ExecContext) {
+    let label = branch_server(member)
+        .map(str::to_string)
+        .or_else(|| branch_table(member))
+        .unwrap_or_else(|| "local".to_string());
+    ctx.pruned().record_startup(&label);
+    ctx.counters().add_startup_member_skipped();
 }
 
 /// Quarantine one union/exchange member: note it in the per-query prune
@@ -189,6 +240,37 @@ fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn R
             open_remote_query(server, sql, params, ctx, id)?,
             ctx,
         )),
+        PhysicalOp::SemiJoinReduce {
+            kind,
+            build_key,
+            probe_key,
+            residual,
+            server,
+            sql,
+            columns,
+            params,
+            max_keys,
+        } => {
+            let build = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
+            open_semijoin_reduce(
+                SemiJoinSpec {
+                    kind: *kind,
+                    build_key: *build_key,
+                    probe_key: *probe_key,
+                    residual: residual.as_ref(),
+                    server,
+                    sql,
+                    params,
+                    columns,
+                    max_keys: *max_keys,
+                },
+                build,
+                &plan.children[0].output,
+                &plan.output,
+                ctx,
+                id,
+            )
+        }
         PhysicalOp::Filter { predicate } => {
             let child = open_node(&plan.children[0], ctx, child_id(plan, id, 0))?;
             Ok(Box::new(FilterRowset::new(
@@ -316,7 +398,13 @@ fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn R
             let mut children = Vec::with_capacity(plan.children.len());
             let mut delivered = Vec::with_capacity(plan.children.len());
             let mut inputs = Vec::with_capacity(plan.children.len());
+            let mut startup_skips = 0usize;
             for (k, c) in plan.children.iter().enumerate() {
+                if startup_prunes(c, ctx)? {
+                    startup_skips += 1;
+                    skip_startup_member(c, ctx);
+                    continue;
+                }
                 let Some(rs) = open_member(c, ctx, child_id(plan, id, k))? else {
                     continue;
                 };
@@ -324,7 +412,10 @@ fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn R
                 delivered.push(c.output.clone());
                 inputs.push(input_columns[k].clone());
             }
-            if children.is_empty() && !plan.children.is_empty() {
+            // All-startup-pruned is a legitimate empty answer (the lazy
+            // startup filters would have produced the same); only an
+            // all-*quarantined* view refuses to answer.
+            if children.is_empty() && !plan.children.is_empty() && startup_skips == 0 {
                 return Err(all_members_pruned(ctx));
             }
             let schema = ctx.schema_of(&plan.output);
@@ -341,7 +432,13 @@ fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn R
                 let mut children = Vec::with_capacity(plan.children.len());
                 let mut delivered = Vec::with_capacity(plan.children.len());
                 let mut inputs = Vec::with_capacity(plan.children.len());
+                let mut startup_skips = 0usize;
                 for (k, c) in plan.children.iter().enumerate() {
+                    if startup_prunes(c, ctx)? {
+                        startup_skips += 1;
+                        skip_startup_member(c, ctx);
+                        continue;
+                    }
                     let Some(rs) = open_member(c, ctx, child_id(plan, id, k))? else {
                         continue;
                     };
@@ -349,53 +446,65 @@ fn build_node(plan: &PhysNode, ctx: &ExecContext, id: usize) -> Result<Box<dyn R
                     delivered.push(c.output.clone());
                     inputs.push(input_columns[k].clone());
                 }
-                if children.is_empty() && !plan.children.is_empty() {
+                if children.is_empty() && !plan.children.is_empty() && startup_skips == 0 {
                     return Err(all_members_pruned(ctx));
                 }
                 return Ok(Box::new(UnionAllRowset::new(
                     children, &delivered, &inputs, schema,
                 )?));
             }
-            let delivered: Vec<Vec<dhqp_optimizer::ColumnId>> =
-                plan.children.iter().map(|c| c.output.clone()).collect();
-            let branches: Vec<BranchFactory> = plan
-                .children
-                .iter()
-                .enumerate()
-                .map(|(k, c)| {
-                    // Workers re-enter the builder with the branch's own
-                    // pre-order id, so per-branch instrumentation (stats,
-                    // wire probes) lands on the right node.
-                    let branch_plan = Arc::new(c.clone());
-                    let branch_id = child_id(plan, id, k);
-                    // In prune mode a remote branch that fails its open
-                    // with a transport error yields an empty rowset and
-                    // quarantines the member instead of poisoning the
-                    // whole exchange.
-                    if ctx.degraded().is_prune() {
-                        if let Some(server) = branch_server(c) {
-                            let server = server.to_string();
-                            let branch_schema = ctx.schema_of(&c.output);
-                            return Box::new(move |cx: &ExecContext| {
-                                match open_node(&branch_plan, cx, branch_id) {
-                                    Err(e) if e.is_retryable() => {
-                                        prune_member(&server, cx);
-                                        Ok(Box::new(MemRowset::empty(branch_schema.clone()))
-                                            as Box<dyn Rowset>)
-                                    }
-                                    other => other,
+            // Startup-pruned members are dropped before a worker is spawned
+            // for them; branches/delivered/inputs stay index-aligned.
+            let mut branches: Vec<BranchFactory> = Vec::with_capacity(plan.children.len());
+            let mut delivered: Vec<Vec<ColumnId>> = Vec::with_capacity(plan.children.len());
+            let mut inputs: Vec<Vec<ColumnId>> = Vec::with_capacity(plan.children.len());
+            for (k, c) in plan.children.iter().enumerate() {
+                if startup_prunes(c, ctx)? {
+                    skip_startup_member(c, ctx);
+                    continue;
+                }
+                // Workers re-enter the builder with the branch's own
+                // pre-order id, so per-branch instrumentation (stats,
+                // wire probes) lands on the right node.
+                let branch_plan = Arc::new(c.clone());
+                let branch_id = child_id(plan, id, k);
+                // In prune mode a remote branch that fails its open
+                // with a transport error yields an empty rowset and
+                // quarantines the member instead of poisoning the
+                // whole exchange.
+                let mut factory: Option<BranchFactory> = None;
+                if ctx.degraded().is_prune() {
+                    if let Some(server) = branch_server(c) {
+                        let server = server.to_string();
+                        let branch_schema = ctx.schema_of(&c.output);
+                        factory = Some(Box::new(move |cx: &ExecContext| {
+                            match open_node(&branch_plan, cx, branch_id) {
+                                Err(e) if e.is_retryable() => {
+                                    prune_member(&server, cx);
+                                    Ok(Box::new(MemRowset::empty(branch_schema.clone()))
+                                        as Box<dyn Rowset>)
                                 }
-                            }) as BranchFactory;
-                        }
+                                other => other,
+                            }
+                        }));
                     }
+                }
+                branches.push(factory.unwrap_or_else(|| {
+                    let branch_plan = Arc::new(c.clone());
                     Box::new(move |cx: &ExecContext| open_node(&branch_plan, cx, branch_id))
-                        as BranchFactory
-                })
-                .collect();
+                }));
+                delivered.push(c.output.clone());
+                inputs.push(input_columns[k].clone());
+            }
+            if branches.is_empty() && !plan.children.is_empty() {
+                // Every member was startup-pruned: a legitimately empty
+                // parameterized answer, with zero workers spawned.
+                return Ok(Box::new(MemRowset::empty(schema)));
+            }
             Ok(Box::new(ExchangeRowset::new(
                 branches,
                 &delivered,
-                input_columns,
+                &inputs,
                 schema,
                 ctx.parallel(),
                 ctx,

@@ -157,6 +157,13 @@ impl Default for BatchConfig {
     }
 }
 
+/// Runtime startup pruning on (unless `DHQP_RUNTIME_PRUNE=0`).
+pub fn runtime_prune_from_env() -> bool {
+    std::env::var("DHQP_RUNTIME_PRUNE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(true)
+}
+
 /// Per-execution state threaded through every operator.
 #[derive(Clone)]
 pub struct ExecContext {
@@ -191,6 +198,12 @@ pub struct ExecContext {
     health: Option<Arc<HealthRegistry>>,
     /// What to do when a DPV member is quarantined: fail or prune.
     degraded: DegradedMode,
+    /// Runtime parameter-driven DPV pruning (§4.1.5): evaluate member
+    /// startup predicates eagerly at drive time so non-qualifying members
+    /// are skipped (and reported) before a connection or worker is spent
+    /// on them. Off, startup filters still gate lazily — results are
+    /// identical, only the reporting and the avoided opens differ.
+    runtime_prune: bool,
     /// Members pruned during this execution (shared with the engine so the
     /// statement can report them after the drain).
     pruned: Arc<PruneLog>,
@@ -215,6 +228,7 @@ impl ExecContext {
             batch: Arc::new(BatchConfig::from_env()),
             health: None,
             degraded: DegradedMode::from_env(),
+            runtime_prune: runtime_prune_from_env(),
             pruned: Arc::new(PruneLog::default()),
         }
     }
@@ -261,6 +275,12 @@ impl ExecContext {
         self
     }
 
+    /// Override the runtime startup-pruning knob for this execution.
+    pub fn with_runtime_prune(mut self, runtime_prune: bool) -> Self {
+        self.runtime_prune = runtime_prune;
+        self
+    }
+
     /// Share a per-statement prune log so the engine can report skipped
     /// members after the drain.
     pub fn with_pruned(mut self, pruned: Arc<PruneLog>) -> Self {
@@ -294,6 +314,10 @@ impl ExecContext {
 
     pub fn degraded(&self) -> DegradedMode {
         self.degraded
+    }
+
+    pub fn runtime_prune(&self) -> bool {
+        self.runtime_prune
     }
 
     pub fn pruned(&self) -> &Arc<PruneLog> {
@@ -348,6 +372,7 @@ impl ExecContext {
             batch: Arc::clone(&self.batch),
             health: self.health.clone(),
             degraded: self.degraded,
+            runtime_prune: self.runtime_prune,
             pruned: Arc::clone(&self.pruned),
         }
     }

@@ -431,16 +431,24 @@ impl DegradedMode {
     }
 }
 
-/// Per-query record of DPV members skipped by [`DegradedMode::Prune`],
-/// surfaced as the `-- [degraded: ...]` EXPLAIN ANALYZE line and the
-/// `pruned_members` column of `sys.dm_exec_requests`.
+/// Per-query record of skipped DPV members, kept as two distinct channels
+/// so the report never conflates *why* a member was skipped:
+///
+/// - **degraded**: quarantined by [`DegradedMode::Prune`] after a health
+///   failure — surfaced as the `-- [degraded: ...]` EXPLAIN ANALYZE line
+///   and the `pruned_members` column of `sys.dm_exec_requests`;
+/// - **startup**: eliminated by runtime parameter-driven pruning (the
+///   member's startup predicate evaluated false for this execution's
+///   parameter values) — surfaced as the `-- [startup: ...]` line.
 #[derive(Debug, Default)]
 pub struct PruneLog {
     members: Mutex<Vec<String>>,
+    startup: Mutex<Vec<String>>,
 }
 
 impl PruneLog {
-    /// Note one pruned member (deduplicated; rescans prune once).
+    /// Note one degraded-mode pruned member (deduplicated; rescans prune
+    /// once).
     pub fn record(&self, server: &str) {
         let mut g = self.members.lock().expect("prune lock");
         if !g.iter().any(|m| m == server) {
@@ -448,17 +456,41 @@ impl PruneLog {
         }
     }
 
+    /// Note one member skipped by runtime startup-predicate pruning
+    /// (deduplicated).
+    pub fn record_startup(&self, member: &str) {
+        let mut g = self.startup.lock().expect("prune lock");
+        if !g.iter().any(|m| m == member) {
+            g.push(member.to_string());
+        }
+    }
+
     pub fn count(&self) -> u64 {
         self.members.lock().expect("prune lock").len() as u64
+    }
+
+    pub fn startup_count(&self) -> u64 {
+        self.startup.lock().expect("prune lock").len() as u64
     }
 
     pub fn is_empty(&self) -> bool {
         self.members.lock().expect("prune lock").is_empty()
     }
 
-    /// Pruned member names, sorted for stable rendering.
+    pub fn startup_is_empty(&self) -> bool {
+        self.startup.lock().expect("prune lock").is_empty()
+    }
+
+    /// Degraded-mode pruned member names, sorted for stable rendering.
     pub fn members(&self) -> Vec<String> {
         let mut out = self.members.lock().expect("prune lock").clone();
+        out.sort();
+        out
+    }
+
+    /// Startup-pruned member names, sorted for stable rendering.
+    pub fn startup_members(&self) -> Vec<String> {
+        let mut out = self.startup.lock().expect("prune lock").clone();
         out.sort();
         out
     }
@@ -586,6 +618,22 @@ mod tests {
         log.record("m3");
         assert_eq!(log.count(), 2);
         assert_eq!(log.members(), vec!["m1".to_string(), "m3".to_string()]);
+    }
+
+    #[test]
+    fn startup_channel_is_distinct_from_the_degraded_channel() {
+        let log = PruneLog::default();
+        log.record("dead-member");
+        log.record_startup("out-of-range-member");
+        log.record_startup("out-of-range-member");
+        assert_eq!(log.count(), 1);
+        assert_eq!(log.startup_count(), 1);
+        assert!(!log.startup_is_empty());
+        assert_eq!(log.members(), vec!["dead-member".to_string()]);
+        assert_eq!(
+            log.startup_members(),
+            vec!["out-of-range-member".to_string()]
+        );
     }
 
     #[test]

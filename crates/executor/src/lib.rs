@@ -20,14 +20,18 @@ pub mod ops;
 pub mod stats;
 
 pub use build::open;
-pub use context::{BatchConfig, ExecContext, ParallelConfig, SourceCatalog, DEFAULT_BATCH_SIZE};
+pub use context::{
+    runtime_prune_from_env, BatchConfig, ExecContext, ParallelConfig, SourceCatalog,
+    DEFAULT_BATCH_SIZE,
+};
 pub use eval::{eval_expr, eval_predicate, RowEnv};
 pub use health::{
     Admission, BreakerConfig, BreakerState, DegradedMode, HealthRegistry, LinkHealthSnapshot,
     PruneLog,
 };
 pub use ops::retry::RetryPolicy;
+pub use ops::semijoin::{predicate_fingerprint, semijoin_remote_sql};
 pub use stats::{
     ExchangeRuntime, ExecCounterSnapshot, ExecCounters, NodeRuntime, RemoteTrace,
-    RuntimeStatsCollector, WorkerSpan,
+    RuntimeStatsCollector, SemiJoinTrace, WorkerSpan,
 };

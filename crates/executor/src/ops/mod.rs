@@ -7,4 +7,5 @@ pub mod join;
 pub mod remote;
 pub mod retry;
 pub mod scan;
+pub mod semijoin;
 pub mod sort;

@@ -9,7 +9,7 @@
 use crate::context::ExecContext;
 use crate::eval::{eval_expr, RowEnv};
 use crate::health::{Admission, HealthRegistry};
-use crate::ops::retry::{open_with_retries_batched, ReopenFactory};
+use crate::ops::retry::{open_with_retries_tagged, ReopenFactory};
 use crate::ops::scan::resolve_range;
 use crate::stats::RuntimeStatsCollector;
 use dhqp_oledb::waits::{record_wait, WaitClass};
@@ -91,6 +91,20 @@ fn open_via_breaker(
     node: usize,
     factory: ReopenFactory,
 ) -> Result<Box<dyn Rowset>> {
+    open_via_breaker_tagged(server, ctx, node, factory, None)
+}
+
+/// [`open_via_breaker`] with an operation tag stamped onto any retry
+/// give-up, so a failure that opened the breaker is attributable to the
+/// exact request shape (e.g. a semi-join-reduced statement's
+/// shipped-predicate fingerprint) in `sys.dm_link_health`.
+pub(crate) fn open_via_breaker_tagged(
+    server: &str,
+    ctx: &ExecContext,
+    node: usize,
+    factory: ReopenFactory,
+    op_tag: Option<String>,
+) -> Result<Box<dyn Rowset>> {
     let counters = Arc::clone(ctx.counters());
     if let Some(health) = ctx.health() {
         let checked = Instant::now();
@@ -113,12 +127,13 @@ fn open_via_breaker(
             }
         }
     }
-    let result = open_with_retries_batched(
+    let result = open_with_retries_tagged(
         factory,
         ctx.retry(),
         &counters,
         retry_stats(ctx, node),
         ctx.batch().pull_size(),
+        op_tag,
     );
     let Some(health) = ctx.health() else {
         return result;

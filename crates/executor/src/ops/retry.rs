@@ -101,14 +101,17 @@ impl Default for RetryPolicy {
     }
 }
 
-/// Append the give-up reason chain — attempt count, wall time burned, and
-/// the kind of the last underlying error — to a transient error that
-/// exhausted its retries, preserving the variant (and hence `kind()`).
+/// Append the give-up reason chain — attempt count, wall time burned, the
+/// kind of the last underlying error and, when the operation shipped a
+/// spliced predicate, that predicate's fingerprint — to a transient error
+/// that exhausted its retries, preserving the variant (and hence `kind()`).
 /// The base message is the last underlying error's own text, so a chaos
-/// failure is diagnosable from the string alone.
-fn give_up(e: DhqpError, attempts: u32, elapsed: Duration) -> DhqpError {
+/// failure is diagnosable from the string alone, and the fingerprint lets
+/// `sys.dm_link_health` distinguish filter-ship failures from plain scans.
+fn give_up(e: DhqpError, attempts: u32, elapsed: Duration, op_tag: Option<&str>) -> DhqpError {
+    let tag = op_tag.map(|t| format!("; {t}")).unwrap_or_default();
     let note = format!(
-        " (giving up after {attempts} attempts in {elapsed:.1?}; last error kind: {})",
+        " (giving up after {attempts} attempts in {elapsed:.1?}; last error kind: {}{tag})",
         e.kind()
     );
     match e {
@@ -126,6 +129,9 @@ struct RetryState {
     stats: Option<(usize, Arc<RuntimeStatsCollector>)>,
     started: Instant,
     attempt: u32,
+    /// Operation descriptor appended to the give-up reason chain (e.g. the
+    /// shipped-predicate fingerprint of a semi-join-reduced open).
+    op_tag: Option<String>,
 }
 
 impl RetryState {
@@ -140,6 +146,7 @@ impl RetryState {
             stats,
             started: Instant::now(),
             attempt: 1,
+            op_tag: None,
         }
     }
 
@@ -159,7 +166,12 @@ impl RetryState {
             _ => error,
         };
         if self.attempt >= self.policy.max_attempts {
-            return Err(give_up(error, self.attempt, self.started.elapsed()));
+            return Err(give_up(
+                error,
+                self.attempt,
+                self.started.elapsed(),
+                self.op_tag.as_deref(),
+            ));
         }
         let backoff = self.policy.backoff(self.attempt);
         if let Some(deadline) = self.policy.query_deadline {
@@ -218,16 +230,32 @@ pub fn open_with_retries(
 /// (whole skipped batches cross the wire as single round trips; the final
 /// partial chunk is re-sliced to land exactly on the delivered count).
 pub fn open_with_retries_batched(
-    mut factory: ReopenFactory,
+    factory: ReopenFactory,
     policy: &RetryPolicy,
     counters: &Arc<ExecCounters>,
     stats: Option<(usize, Arc<RuntimeStatsCollector>)>,
     rewind_chunk: usize,
 ) -> Result<Box<dyn Rowset>> {
+    open_with_retries_tagged(factory, policy, counters, stats, rewind_chunk, None)
+}
+
+/// [`open_with_retries_batched`] with an operation tag appended to any
+/// give-up reason chain — how a semi-join-reduced open stamps its
+/// shipped-predicate fingerprint onto the failure that reaches the health
+/// registry (`sys.dm_link_health` last-error).
+pub fn open_with_retries_tagged(
+    mut factory: ReopenFactory,
+    policy: &RetryPolicy,
+    counters: &Arc<ExecCounters>,
+    stats: Option<(usize, Arc<RuntimeStatsCollector>)>,
+    rewind_chunk: usize,
+    op_tag: Option<String>,
+) -> Result<Box<dyn Rowset>> {
     if policy.max_attempts <= 1 {
         return factory();
     }
     let mut state = RetryState::new(policy.clone(), Arc::clone(counters), stats);
+    state.op_tag = op_tag;
     let inner = loop {
         let attempt_started = Instant::now();
         match factory() {
@@ -490,6 +518,31 @@ mod tests {
         );
         assert_eq!(c.snapshot().remote_transient_errors, 3);
         assert_eq!(c.snapshot().remote_retries, 2);
+    }
+
+    #[test]
+    fn give_up_chain_carries_the_operation_tag() {
+        let c = counters();
+        let err = match open_with_retries_tagged(
+            flaky_factory(99, 0),
+            &fast(),
+            &c,
+            None,
+            1,
+            Some("shipped predicate fp=deadbeef keys=4".into()),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("permanent flakiness must surface"),
+        };
+        assert!(
+            err.message().contains("giving up after 3 attempts"),
+            "{err}"
+        );
+        assert!(
+            err.message()
+                .contains("last error kind: unavailable; shipped predicate fp=deadbeef keys=4"),
+            "tag must ride the reason chain: {err}"
+        );
     }
 
     #[test]

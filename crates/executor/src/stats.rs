@@ -46,6 +46,18 @@ pub struct ExecCounters {
     pub breaker_fast_fails: AtomicU64,
     /// DPV members skipped by degraded-mode pruning, summed over queries.
     pub members_pruned: AtomicU64,
+    /// DPV members skipped by runtime startup-predicate pruning (the
+    /// parameter value proved the member empty before any open).
+    pub startup_members_skipped: AtomicU64,
+    /// Semi-join reductions executed: remote fetches that shipped a
+    /// drive-time `IN`-list of build-side join keys.
+    pub semijoin_reductions: AtomicU64,
+    /// Semi-join reductions abandoned at drive time (key overflow past
+    /// `DHQP_SEMIJOIN_MAX_KEYS`, or a reduced open that exhausted its
+    /// retries and fell back to the unreduced statement).
+    pub semijoin_fallbacks: AtomicU64,
+    /// Bytes of spliced `IN`-list text shipped outbound by reductions.
+    pub semijoin_filter_bytes: AtomicU64,
 }
 
 impl ExecCounters {
@@ -90,6 +102,20 @@ impl ExecCounters {
         self.members_pruned.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn add_startup_member_skipped(&self) {
+        self.startup_members_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_semijoin_reduction(&self, filter_bytes: u64) {
+        self.semijoin_reductions.fetch_add(1, Ordering::Relaxed);
+        self.semijoin_filter_bytes
+            .fetch_add(filter_bytes, Ordering::Relaxed);
+    }
+
+    pub fn add_semijoin_fallback(&self) {
+        self.semijoin_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> ExecCounterSnapshot {
         ExecCounterSnapshot {
             remote_roundtrips: self.remote_roundtrips.load(Ordering::Relaxed),
@@ -103,6 +129,10 @@ impl ExecCounters {
             remote_deadline_hits: self.remote_deadline_hits.load(Ordering::Relaxed),
             breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
             members_pruned: self.members_pruned.load(Ordering::Relaxed),
+            startup_members_skipped: self.startup_members_skipped.load(Ordering::Relaxed),
+            semijoin_reductions: self.semijoin_reductions.load(Ordering::Relaxed),
+            semijoin_fallbacks: self.semijoin_fallbacks.load(Ordering::Relaxed),
+            semijoin_filter_bytes: self.semijoin_filter_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -120,6 +150,10 @@ impl ExecCounters {
             &self.remote_deadline_hits,
             &self.breaker_fast_fails,
             &self.members_pruned,
+            &self.startup_members_skipped,
+            &self.semijoin_reductions,
+            &self.semijoin_fallbacks,
+            &self.semijoin_filter_bytes,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -140,6 +174,10 @@ pub struct ExecCounterSnapshot {
     pub remote_deadline_hits: u64,
     pub breaker_fast_fails: u64,
     pub members_pruned: u64,
+    pub startup_members_skipped: u64,
+    pub semijoin_reductions: u64,
+    pub semijoin_fallbacks: u64,
+    pub semijoin_filter_bytes: u64,
 }
 
 /// What one remote plan node actually did on the wire.
@@ -198,6 +236,18 @@ impl ExchangeRuntime {
     }
 }
 
+/// What one semi-join-reduced remote fetch actually shipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SemiJoinTrace {
+    /// Distinct non-NULL build-side join keys collected at drive time.
+    pub keys: u64,
+    /// Bytes of spliced `IN`-list text added to the shipped statement.
+    pub filter_bytes: u64,
+    /// The reduction was abandoned (key overflow or a reduced open that
+    /// exhausted its retries) and the unreduced statement shipped instead.
+    pub fallback: bool,
+}
+
 /// Runtime facts about one plan node, keyed by its pre-order id.
 #[derive(Debug, Clone, Default)]
 pub struct NodeRuntime {
@@ -215,6 +265,8 @@ pub struct NodeRuntime {
     pub exchange: Option<ExchangeRuntime>,
     /// Remote operations this node re-issued after transient faults.
     pub retries: u64,
+    /// Drive-time key shipping for semi-join-reduction nodes.
+    pub semijoin: Option<SemiJoinTrace>,
 }
 
 /// Collects per-node runtime stats for one query execution. Cheap enough
@@ -301,6 +353,17 @@ impl RuntimeStatsCollector {
         if !spans.is_empty() {
             entry.worker_spans = spans;
         }
+    }
+
+    /// Attribute one semi-join reduction's drive-time shipping facts to its
+    /// node (the last open wins — rescans re-collect keys from scratch).
+    pub fn record_semijoin(&self, node: usize, trace: SemiJoinTrace) {
+        self.nodes
+            .lock()
+            .expect("stats lock")
+            .entry(node)
+            .or_default()
+            .semijoin = Some(trace);
     }
 
     /// Attribute `n` transient-fault retries to a remote node.

@@ -47,6 +47,9 @@ pub struct CostModel {
     /// Expected probability that a startup filter lets its subtree run; the
     /// expected-cost multiplier for runtime-pruned branches.
     pub startup_pass_probability: f64,
+    /// Bytes one rendered join-key literal occupies inside a shipped
+    /// `IN`-list (semi-join reduction's outbound payload).
+    pub semijoin_key_width: f64,
 }
 
 impl Default for CostModel {
@@ -65,6 +68,7 @@ impl Default for CostModel {
             request_overhead: 100.0,
             remote_exec_row: 0.05,
             startup_pass_probability: 0.5,
+            semijoin_key_width: 12.0,
         }
     }
 }
@@ -101,6 +105,22 @@ impl CostModel {
             + self.transfer(out_rows, width)
             + out_rows.max(0.0) * self.cpu_row
             + remote_input_rows.max(0.0) * self.remote_exec_row
+    }
+
+    /// Cost of a semi-join-reduced remote fetch: `keys` join keys ship
+    /// outbound as `IN`-list text, then the remote returns only the
+    /// `out_rows` matching rows — the Fig.-4 crossover lives in the
+    /// tension between these two terms as the build side grows.
+    pub fn semijoin_remote(
+        &self,
+        caps: &ProviderCapabilities,
+        keys: f64,
+        out_rows: f64,
+        width: f64,
+        remote_input_rows: f64,
+    ) -> f64 {
+        self.transfer(keys, self.semijoin_key_width)
+            + self.remote_result(caps, out_rows, width, remote_input_rows)
     }
 }
 

@@ -133,6 +133,26 @@ pub enum PhysicalOp {
     RemoteFetch {
         meta: Arc<TableMeta>,
     },
+    /// Semi-join reduction (§4.1.5 byte minimization): the build child is
+    /// drained at drive time, its distinct join keys are spliced into the
+    /// remote statement as an `IN`-list, and the reduced remote result is
+    /// hash-joined back against the build rows. Past `max_keys` distinct
+    /// keys the executor abandons the reduction and ships `sql` unchanged.
+    SemiJoinReduce {
+        kind: JoinKind,
+        /// Join key column of the (local, cheap) build child.
+        build_key: ColumnId,
+        /// Join key column of the remote side; aliased `c<id>` in `sql`.
+        probe_key: ColumnId,
+        residual: Option<ScalarExpr>,
+        server: Arc<str>,
+        /// Decoder-built base statement for the remote side (unreduced).
+        sql: String,
+        /// Remote output columns, matching `sql`'s select-list order.
+        columns: Vec<ColumnId>,
+        params: Vec<RemoteParam>,
+        max_keys: usize,
+    },
     Values {
         columns: Vec<ColumnId>,
         rows: Vec<Vec<Value>>,
@@ -183,6 +203,7 @@ impl PhysicalOp {
             PhysicalOp::RemoteScan { .. } => "RemoteScan",
             PhysicalOp::RemoteRange { .. } => "RemoteRange",
             PhysicalOp::RemoteFetch { .. } => "RemoteFetch",
+            PhysicalOp::SemiJoinReduce { .. } => "SemiJoinReduce",
             PhysicalOp::Values { .. } => "Values",
             PhysicalOp::Empty { .. } => "Empty",
         }
@@ -196,6 +217,7 @@ impl PhysicalOp {
                 | PhysicalOp::RemoteScan { .. }
                 | PhysicalOp::RemoteRange { .. }
                 | PhysicalOp::RemoteFetch { .. }
+                | PhysicalOp::SemiJoinReduce { .. }
         )
     }
 }
@@ -260,6 +282,12 @@ impl PhysNode {
                 meta.table
             ),
             PhysicalOp::RemoteFetch { meta } => format!("RemoteFetch({})", meta.table),
+            PhysicalOp::SemiJoinReduce {
+                server,
+                sql,
+                max_keys,
+                ..
+            } => format!("SemiJoinReduce(@{server} max_keys={max_keys}: {sql})"),
             PhysicalOp::Sort { keys } => format!("Sort({} keys)", keys.len()),
             PhysicalOp::Exchange { .. } => format!("Exchange({} branches)", self.children.len()),
             other => other.name().to_string(),

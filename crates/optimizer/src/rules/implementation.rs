@@ -478,9 +478,92 @@ fn implement_join(
                     kind, predicate, lg, rg, &equi, memo, ctx, l_card,
                 ));
             }
+            // Semi-join reduction (§4.1.5 byte minimization): drain the
+            // small build side at drive time, ship its distinct join keys
+            // as an `IN`-list spliced into the remote statement, and
+            // hash-join the reduced result back against the build rows.
+            if ctx.config.enable_semijoin && matches!(kind, JoinKind::Inner | JoinKind::Semi) {
+                out.extend(semijoin_reduce_variants(
+                    kind, predicate, lg, rg, &equi, memo, ctx, l_card,
+                ));
+            }
         }
     }
     out
+}
+
+/// Build a semi-join-reduction alternative when the right group lives
+/// wholly on one SQL-capable remote server and the left (build) side's
+/// key count fits under the IN-list ceiling.
+#[allow(clippy::too_many_arguments)]
+fn semijoin_reduce_variants(
+    kind: JoinKind,
+    predicate: Option<&ScalarExpr>,
+    lg: GroupId,
+    rg: GroupId,
+    equi: &[(ColumnId, ColumnId)],
+    memo: &Memo,
+    ctx: &RuleContext<'_>,
+    l_card: f64,
+) -> Vec<PhysAlt> {
+    let locs = group_localities(memo, rg);
+    if locs.len() != 1 || !locs[0].is_remote() {
+        return Vec::new();
+    }
+    let server = locs[0].server_name().expect("remote locality").to_string();
+    let Some(caps) = ctx.config.server_caps.get(&server) else {
+        return Vec::new();
+    };
+    // The reduced statement wraps the base SELECT as a derived table with
+    // an IN predicate, so the provider must speak at least ODBC Core with
+    // nested selects.
+    if caps.sql_support < dhqp_oledb::SqlSupport::OdbcCore
+        || caps.proprietary_command
+        || !caps.dialect.nested_select
+    {
+        return Vec::new();
+    }
+    // Past the IN-list ceiling the reduction never pays; don't offer it —
+    // this is the Fig.-4-style crossover as the build side scales.
+    if ndv_of(memo, lg, equi[0].0) > ctx.config.semijoin_max_keys as f64 {
+        return Vec::new();
+    }
+    let (build_col, probe_col) = equi[0];
+    let mut decoder = Decoder::new(memo, ctx.registry, caps, &server);
+    let Some(remote) = decoder.build(rg, None, &[], &[], None) else {
+        return Vec::new();
+    };
+    let _ = l_card;
+    // Wire cost of the reduced fetch, charged here where the probe group's
+    // cardinality is visible: the remote returns the right group filtered
+    // by the shipped keys — `r_card × keys/ndv(probe)` rows — NOT the final
+    // join output (the local join-back does that reduction). This is the
+    // cardinality-dependent crossover: as the build side's key count grows
+    // toward the probe side's distinct count, the reduction stops paying.
+    let r_card = memo.group(rg).props.cardinality.max(1.0);
+    let r_width = memo.group(rg).props.row_width;
+    let keys = ndv_of(memo, lg, build_col);
+    let probe_ndv = ndv_of(memo, rg, probe_col).max(1.0);
+    let fetch_rows = r_card * (keys / probe_ndv).min(1.0);
+    let wire = ctx
+        .config
+        .cost
+        .semijoin_remote(caps, keys, fetch_rows, r_width, r_card);
+    vec![PhysAlt::node(
+        PhysicalOp::SemiJoinReduce {
+            kind,
+            build_key: build_col,
+            probe_key: probe_col,
+            residual: predicate.cloned(),
+            server: Arc::from(server.as_str()),
+            sql: remote.sql,
+            columns: remote.columns,
+            params: remote.params,
+            max_keys: ctx.config.semijoin_max_keys,
+        },
+        vec![PhysAlt::child(lg)],
+    )
+    .with_extra_cost(wire + fetch_rows * ctx.config.cost.hash_probe_row)]
 }
 
 /// Build parameterized inner-side alternatives for a join whose inner group

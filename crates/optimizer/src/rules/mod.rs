@@ -37,6 +37,10 @@ pub enum Delivered {
 /// A physical alternative produced by an implementation rule: a small tree
 /// of concrete operators whose leaves either are self-contained (remote
 /// queries, scans) or reference memo groups still to be optimized.
+// `Node` dwarfs `ChildRef` because `PhysicalOp` inlines remote statement
+// text; alternatives are short-lived rule outputs (a handful per group),
+// so boxing would cost more churn than the padding costs in memory.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum PhysAlt {
     Node {

@@ -80,6 +80,15 @@ pub struct OptimizerConfig {
     /// [`Exchange`]: PhysicalOp::Exchange
     /// [`UnionAll`]: PhysicalOp::UnionAll
     pub enable_parallel_union: bool,
+    /// Semi-join reduction: collect the small build side's join keys at
+    /// drive time and splice them into the remote statement as an
+    /// `IN`-list, cutting returned rows before they cross the link.
+    /// Defaults to the `DHQP_SEMIJOIN` environment switch (on unless `0`).
+    pub enable_semijoin: bool,
+    /// IN-list ceiling for the semi-join rule: past this many estimated
+    /// build keys the reduction is not considered (and the executor
+    /// abandons it at runtime). `DHQP_SEMIJOIN_MAX_KEYS`, default 64.
+    pub semijoin_max_keys: usize,
     pub simplify: SimplifyOptions,
     pub cost: CostModel,
     /// Capabilities per linked server (merged with what tree leaves carry).
@@ -100,6 +109,23 @@ pub fn parallel_env_default() -> bool {
         .unwrap_or(false)
 }
 
+/// The `DHQP_SEMIJOIN` switch: semi-join reduction is on by default; set
+/// to `0` to disable it (CI runs a reduction-off leg this way).
+pub fn semijoin_env_default() -> bool {
+    std::env::var("DHQP_SEMIJOIN")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
+/// The `DHQP_SEMIJOIN_MAX_KEYS` knob: IN-list size ceiling for semi-join
+/// reduction (default 64).
+pub fn semijoin_max_keys_default() -> usize {
+    std::env::var("DHQP_SEMIJOIN_MAX_KEYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
 impl Default for OptimizerConfig {
     fn default() -> Self {
         OptimizerConfig {
@@ -109,6 +135,8 @@ impl Default for OptimizerConfig {
             enable_remote_param: true,
             enable_remote_query: true,
             enable_parallel_union: parallel_env_default(),
+            enable_semijoin: semijoin_env_default(),
+            semijoin_max_keys: semijoin_max_keys_default(),
             simplify: SimplifyOptions::default(),
             cost: CostModel::default(),
             server_caps: HashMap::new(),
@@ -526,6 +554,14 @@ impl<'a> SearchDriver<'a> {
                 // charge the output-driven terms (the paper's model).
                 m.remote_result(&caps, rows, width, rows)
             }
+            PhysicalOp::SemiJoinReduce { .. } => {
+                // Local terms only: the build side (c0) hashes locally and
+                // the join output probes back. The wire cost of the reduced
+                // fetch — which depends on the *probe group's* cardinality,
+                // not the join output — is attached as extra cost by the
+                // implementation rule, where the memo is in scope.
+                c0 * m.hash_build_row + rows * m.hash_probe_row
+            }
             PhysicalOp::Filter { .. } => c0 * m.cpu_row,
             PhysicalOp::StartupFilter { .. } => 1.0,
             PhysicalOp::Project { .. } => c0 * m.cpu_row,
@@ -572,6 +608,13 @@ fn node_output(op: &PhysicalOp, children: &[PhysNode]) -> Vec<ColumnId> {
         | PhysicalOp::RemoteRange { meta, .. }
         | PhysicalOp::RemoteFetch { meta } => meta.column_ids.clone(),
         PhysicalOp::RemoteQuery { columns, .. } => columns.clone(),
+        PhysicalOp::SemiJoinReduce { kind, columns, .. } => {
+            let mut out = children[0].output.clone();
+            if kind.produces_right() {
+                out.extend(columns.iter().copied());
+            }
+            out
+        }
         PhysicalOp::Filter { .. }
         | PhysicalOp::StartupFilter { .. }
         | PhysicalOp::Sort { .. }

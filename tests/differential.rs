@@ -181,11 +181,20 @@ fn datasets() -> Vec<(&'static str, Column, Vec<Row>, i64)> {
 /// link with a seeded chaos plan (the engine's standard retry policy must
 /// absorb it without changing answers).
 fn distributed_engine(faults: Option<u64>) -> Engine {
+    distributed_engine_full(faults).0
+}
+
+/// Like [`distributed_engine`], but also hands back the member engines and
+/// cloned link handles so tests can seed member-resident tables and read
+/// per-link traffic counters.
+fn distributed_engine_full(faults: Option<u64>) -> (Engine, Vec<Engine>, Vec<NetworkLink>) {
     let head = Engine::new("head-dist");
     let m1 = Engine::new("member1-engine");
     let m2 = Engine::new("member2-engine");
+    let mut links = Vec::new();
     for (i, m) in [&m1, &m2].iter().enumerate() {
         let link = NetworkLink::new(format!("member{}", i + 1), NetworkConfig::lan());
+        links.push(link.clone());
         let inner: Arc<dyn dhqp_oledb::DataSource> = Arc::new(EngineDataSource::new((*m).clone()));
         let wrapped = match faults {
             Some(seed) => NetworkedDataSource::with_faults(
@@ -220,7 +229,7 @@ fn distributed_engine(faults: Option<u64>) -> Engine {
         )
         .unwrap();
     }
-    head
+    (head, vec![m1, m2], links)
 }
 
 /// One corpus statement's outcome: a sorted stringified multiset of rows,
@@ -345,6 +354,176 @@ fn batched_shipping_matches_row_at_a_time() {
     let a = run_corpus(&row);
     let b = run_corpus(&batch);
     assert_same("row-at-a-time", &a, "batched", &b);
+}
+
+// ---------------------------------------------------------------------------
+// semi-join reduction and runtime startup pruning axes
+// ---------------------------------------------------------------------------
+
+/// Joins whose probe side lives wholly on `member1` — the shape the
+/// semi-join reduction rule rewrites into a key-ship + reduced fetch.
+const SEMIJOIN_CORPUS: &[&str] = &[
+    "SELECT d.id, f.val FROM dim d JOIN member1.db.dbo.fact f ON d.id = f.id",
+    "SELECT d.id, d.tag, f.val FROM dim d JOIN member1.db.dbo.fact f ON d.id = f.id \
+     WHERE d.id <= 3",
+    "SELECT d.id FROM dim d WHERE EXISTS \
+     (SELECT * FROM member1.db.dbo.fact f WHERE f.id = d.id)",
+    "SELECT COUNT(*) AS n FROM dim d JOIN member1.db.dbo.fact f ON d.id = f.id",
+];
+
+/// Seed a small local `dim` in the head and a wide, wholly-remote `fact`
+/// on `member1`: 6 build keys against 40 distinct probe keys over 240
+/// rows, so the reduced fetch returns ~15% of the unreduced bytes.
+fn add_semijoin_tables(head: &Engine, m1: &Engine) {
+    head.storage()
+        .create_table(table_def("dim", Column::new("tag", DataType::Str)))
+        .unwrap();
+    let dim_rows: Vec<Row> = (1..=6)
+        .map(|id| Row::new(vec![Value::Int(id), Value::Str(format!("d{id}"))]))
+        .collect();
+    head.storage().insert_rows("dim", &dim_rows).unwrap();
+    head.storage().analyze("dim", 8).unwrap();
+
+    m1.storage()
+        .create_table(table_def("fact", Column::new("val", DataType::Str)))
+        .unwrap();
+    let fact_rows: Vec<Row> = (0..240)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int((i % 40) + 1),
+                Value::Str(format!("payload-{i:04}-{}", "x".repeat(96))),
+            ])
+        })
+        .collect();
+    m1.storage().insert_rows("fact", &fact_rows).unwrap();
+    m1.storage().analyze("fact", 8).unwrap();
+}
+
+/// A distributed engine with the semi-join fixture loaded and the
+/// reduction rule forced on or off (independent of `DHQP_SEMIJOIN`).
+fn semijoin_engine(faults: Option<u64>, enabled: bool) -> (Engine, Vec<NetworkLink>) {
+    let (head, members, links) = distributed_engine_full(faults);
+    add_semijoin_tables(&head, &members[0]);
+    let mut config = head.optimizer_config();
+    config.enable_semijoin = enabled;
+    head.set_optimizer_config(config);
+    (head, links)
+}
+
+/// Tentpole axis: reduced and unreduced plans must return identical
+/// multisets, and the reduction must move strictly fewer bytes over the
+/// probe-side link.
+#[test]
+fn semijoin_reduction_matches_unreduced_and_ships_fewer_bytes() {
+    let (on, links_on) = semijoin_engine(None, true);
+    let (off, links_off) = semijoin_engine(None, false);
+    let a: Vec<_> = SEMIJOIN_CORPUS
+        .iter()
+        .map(|sql| (sql.to_string(), outcome(&on, sql)))
+        .collect();
+    let b: Vec<_> = SEMIJOIN_CORPUS
+        .iter()
+        .map(|sql| (sql.to_string(), outcome(&off, sql)))
+        .collect();
+    assert_same("semijoin-on", &a, "semijoin-off", &b);
+    assert!(
+        a.iter()
+            .all(|(_, r)| matches!(r, Ok(rows) if !rows.is_empty())),
+        "semi-join corpus must return data: {a:?}"
+    );
+    let m = on.metrics();
+    assert!(
+        m.semijoin_reductions > 0,
+        "the reduction never fired — axis is vacuous: {m:?}"
+    );
+    assert!(m.semijoin_filter_bytes > 0, "{m:?}");
+    assert_eq!(off.metrics().semijoin_reductions, 0);
+
+    // Byte differential on the warmed engines: one reduced join vs its
+    // unreduced twin, measured at the member1 link.
+    for l in links_on.iter().chain(&links_off) {
+        l.reset();
+    }
+    on.query(SEMIJOIN_CORPUS[0]).unwrap();
+    off.query(SEMIJOIN_CORPUS[0]).unwrap();
+    let reduced = links_on[0].snapshot();
+    let unreduced = links_off[0].snapshot();
+    assert!(
+        reduced.bytes < unreduced.bytes,
+        "reduction must ship strictly fewer bytes: reduced={} unreduced={}",
+        reduced.bytes,
+        unreduced.bytes
+    );
+    assert!(
+        reduced.rows < unreduced.rows,
+        "reduction must ship strictly fewer rows: reduced={} unreduced={}",
+        reduced.rows,
+        unreduced.rows
+    );
+}
+
+/// Runtime startup pruning axis: eagerly skipping non-qualifying members
+/// at drive time must be invisible in results — the lazy startup filters
+/// it replaces already contributed nothing.
+#[test]
+fn runtime_pruning_matches_lazy_startup_filters() {
+    let eager = distributed_engine(None);
+    eager.set_runtime_prune(true);
+    eager.set_plan_cache_enabled(true);
+    let lazy = distributed_engine(None);
+    lazy.set_runtime_prune(false);
+    lazy.set_plan_cache_enabled(true);
+    // Warm both so the corpus replays cached parameterized plans — the
+    // shape that carries startup filters instead of compile-time pruning.
+    run_corpus(&eager);
+    run_corpus(&lazy);
+    let a = run_corpus(&eager);
+    let b = run_corpus(&lazy);
+    assert_same("eager-startup-prune", &a, "lazy-startup-filters", &b);
+    let m = eager.metrics();
+    assert!(
+        m.startup_members_skipped > 0,
+        "runtime pruning never fired — axis is vacuous: {m:?}"
+    );
+    assert_eq!(
+        lazy.metrics().startup_members_skipped,
+        0,
+        "the knob must gate the skip"
+    );
+}
+
+/// The expanded chaos stack: semi-join reduction, runtime pruning,
+/// parallel dispatch, batched shipping and seeded link faults together
+/// against the plain serial unreduced pipeline.
+#[test]
+fn semijoin_prune_chaos_stack_matches_plain() {
+    let (plain, _) = semijoin_engine(None, false);
+    plain.set_runtime_prune(false);
+    plain.set_batch_config(BatchConfig::row_at_a_time());
+    let (chaos, _) = semijoin_engine(Some(5), true);
+    chaos.set_runtime_prune(true);
+    chaos.set_batch_config(BatchConfig::batched(3));
+    chaos.set_parallel_config(ParallelConfig::parallel());
+    let corpus: Vec<&str> = CORPUS.iter().chain(SEMIJOIN_CORPUS).copied().collect();
+    let run = |e: &Engine| -> Vec<_> {
+        corpus
+            .iter()
+            .map(|sql| (sql.to_string(), outcome(e, sql)))
+            .collect()
+    };
+    run(&chaos); // cold pass: compile (and fault) under the full stack
+    let a = run(&plain);
+    let b = run(&chaos);
+    assert_same("plain-serial-unreduced", &a, "semijoin-prune-chaos", &b);
+    let m = chaos.metrics();
+    assert!(
+        m.remote_retries > 0,
+        "fault plan never fired — test is vacuous: {m:?}"
+    );
+    assert!(
+        m.semijoin_reductions > 0,
+        "the reduction never fired under chaos: {m:?}"
+    );
 }
 
 #[test]

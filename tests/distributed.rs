@@ -310,10 +310,14 @@ fn semi_join_against_remote_is_not_decoded() {
     let sql = "SELECT n_name FROM nation n WHERE EXISTS \
                (SELECT * FROM remote0.tpch.dbo.supplier s WHERE s.s_nationkey = n.n_nationkey)";
     // The semi join itself must execute locally (its inputs may still be
-    // remote accesses).
+    // remote accesses). SemiJoinReduce also qualifies: it ships only the
+    // key IN-list and performs the semi join-back locally — the remote
+    // statement still contains no JOIN.
     let plan = local.explain(sql).unwrap();
     assert!(
-        plan.plan_text.contains("Join[Semi]") || plan.plan_text.contains("HashJoin[Semi]"),
+        plan.plan_text.contains("Join[Semi]")
+            || plan.plan_text.contains("HashJoin[Semi]")
+            || plan.plan_text.contains("SemiJoinReduce"),
         "semi join stays local:\n{}",
         plan.plan_text
     );

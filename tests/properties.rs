@@ -302,6 +302,156 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// semi-join reduction: shipped IN-list SQL round-trips through the parser
+// ---------------------------------------------------------------------------
+
+/// Build a one-column `kv(k)` engine, splice `keys` into the semi-join
+/// `IN`-list wrapper over it, and check the reduced statement (a) parses,
+/// (b) returns exactly the rows whose key is a non-NULL member of `keys`.
+fn semijoin_oracle_check(
+    column: Column,
+    rows: Vec<Value>,
+    keys: Vec<Value>,
+) -> std::result::Result<(), String> {
+    let engine = Engine::new("sj-prop");
+    engine
+        .create_table(TableDef::new("kv", Schema::new(vec![column])))
+        .unwrap();
+    let stored: Vec<Row> = rows.iter().map(|v| Row::new(vec![v.clone()])).collect();
+    engine.insert("kv", &stored).unwrap();
+    let reduced = dhqp_executor::semijoin_remote_sql("SELECT [k] AS [c1] FROM [kv]", "c1", &keys);
+    // The shipped text must be parseable by the remote's SQL front end —
+    // whatever quotes, brackets or wildcards the key values contain.
+    prop_assert!(
+        dhqp_sqlfront::parse_statement(&reduced).is_ok(),
+        "reduced statement must parse: {reduced}"
+    );
+    let got = engine.query(&reduced).unwrap();
+    let want = rows
+        .iter()
+        .filter(|v| !v.is_null() && keys.iter().any(|k| !k.is_null() && *k == **v))
+        .count();
+    prop_assert!(got.rows.len() == want, "reduced: {reduced}");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Integer key sets round-trip: NULL keys drop, empty key sets are
+    /// provably empty, everything else filters exactly.
+    #[test]
+    fn semijoin_in_list_roundtrips_for_int_keys(
+        rows in prop::collection::vec(prop::option::of(-30i64..30), 0..25),
+        keys in prop::collection::vec(prop::option::of(-30i64..30), 0..10),
+    ) {
+        semijoin_oracle_check(
+            Column::new("k", DataType::Int),
+            rows.into_iter().map(|v| v.map_or(Value::Null, Value::Int)).collect(),
+            keys.into_iter().map(|v| v.map_or(Value::Null, Value::Int)).collect(),
+        )?;
+    }
+
+    /// String keys round-trip through literal escaping: embedded quotes,
+    /// spaces and LIKE metacharacters must survive the splice verbatim.
+    #[test]
+    fn semijoin_in_list_roundtrips_for_string_keys(
+        rows in prop::collection::vec(prop::option::of("[a-z' %_[]{0,8}"), 0..25),
+        keys in prop::collection::vec(prop::option::of("[a-z' %_[]{0,8}"), 0..10),
+    ) {
+        semijoin_oracle_check(
+            Column::new("k", DataType::Str),
+            rows.into_iter().map(|v| v.map_or(Value::Null, Value::Str)).collect(),
+            keys.into_iter().map(|v| v.map_or(Value::Null, Value::Str)).collect(),
+        )?;
+    }
+
+    /// The predicate fingerprint is deterministic and shape-sensitive
+    /// enough that distinct shipped texts rarely collide.
+    #[test]
+    fn semijoin_fingerprint_is_deterministic(a in ".{0,60}", b in ".{0,60}") {
+        let fa = dhqp_executor::predicate_fingerprint(&a);
+        prop_assert_eq!(&fa, &dhqp_executor::predicate_fingerprint(&a));
+        prop_assert_eq!(fa.len(), 16);
+        if a != b {
+            // FNV-1a over distinct short strings: collisions would make
+            // `sys.dm_link_health` attribution ambiguous.
+            prop_assert_ne!(fa, dhqp_executor::predicate_fingerprint(&b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// runtime startup pruning: never skips a member whose range qualifies
+// ---------------------------------------------------------------------------
+
+/// A three-member partitioned view over `k` split at `cut1`/`cut2`, with
+/// runtime pruning forced on or off.
+fn pruning_engine(rows: &[i64], cut1: i64, cut2: i64, eager: bool) -> Engine {
+    use dhqp_types::IntervalBound::{Excluded, Included};
+    let engine = Engine::new(if eager { "prune-eager" } else { "prune-lazy" });
+    engine.set_runtime_prune(eager);
+    let domains = [
+        IntervalSet::single(Interval::less_than(Value::Int(cut1))),
+        IntervalSet::single(Interval {
+            low: Included(Value::Int(cut1)),
+            high: Excluded(Value::Int(cut2)),
+        }),
+        IntervalSet::single(Interval::at_least(Value::Int(cut2))),
+    ];
+    let mut members = Vec::new();
+    for (i, domain) in domains.into_iter().enumerate() {
+        let table = format!("m{i}");
+        engine
+            .create_table(TableDef::new(
+                &table,
+                Schema::new(vec![Column::not_null("k", DataType::Int)]),
+            ))
+            .unwrap();
+        let part: Vec<Row> = rows
+            .iter()
+            .filter(|k| domain.contains(&Value::Int(**k)))
+            .map(|k| Row::new(vec![Value::Int(*k)]))
+            .collect();
+        engine.insert(&table, &part).unwrap();
+        members.push((None, table, domain));
+    }
+    engine
+        .define_partitioned_view("v_all", "k", members)
+        .unwrap();
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Drive-time startup pruning must never skip the member whose range
+    /// contains the bound parameter: eager and lazy evaluation agree with
+    /// each other and with the oracle, for any probe — inside any member,
+    /// on a cut boundary, or outside every range.
+    #[test]
+    fn runtime_pruning_never_skips_a_qualifying_member(
+        rows in prop::collection::vec(0i64..60, 0..40),
+        cut1 in 5i64..25,
+        width in 5i64..25,
+        probe in -5i64..65,
+    ) {
+        use std::collections::HashMap;
+        let cut2 = cut1 + width;
+        let sql = "SELECT k FROM v_all WHERE k = @p";
+        let mut params = HashMap::new();
+        params.insert("p".to_string(), Value::Int(probe));
+        let eager = pruning_engine(&rows, cut1, cut2, true);
+        let lazy = pruning_engine(&rows, cut1, cut2, false);
+        let a = eager.query_with_params(sql, params.clone()).unwrap();
+        let b = lazy.query_with_params(sql, params).unwrap();
+        let want = rows.iter().filter(|k| **k == probe).count();
+        prop_assert!(a.rows.len() == want, "eager pruning lost rows at probe {probe}");
+        prop_assert!(b.rows.len() == want, "lazy startup filters lost rows at probe {probe}");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // auto-parameterization (plan-cache fingerprinting)
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,253 @@
+//! Semi-join reduction under chaos: the reduction is an optimization,
+//! never a semantic change. A dead probe link must surface the same error
+//! the unreduced plan would have (never partial results), with the
+//! shipped predicate's fingerprint preserved in `sys.dm_link_health` so a
+//! filter-ship failure is distinguishable from a plain scan failure; a
+//! plan-time cardinality undershoot must fall back to the unreduced
+//! statement at runtime; and degraded-mode pruning must stay visibly
+//! distinct from runtime startup pruning when both fire in one query.
+
+use dhqp::{DegradedMode, Engine, EngineDataSource, FaultConfig, RetryPolicy};
+use dhqp_netsim::{NetworkConfig, NetworkLink, NetworkedDataSource};
+use dhqp_storage::TableDef;
+use dhqp_types::{Column, DataType, Interval, IntervalSet, Row, Schema, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+const JOIN: &str = "SELECT d.id, f.val FROM dim d JOIN member1.db.dbo.fact f ON d.id = f.id";
+
+fn fast_retries() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(2),
+        attempt_deadline: None,
+        query_deadline: None,
+    }
+}
+
+fn table_def(name: &str, value_col: Column) -> TableDef {
+    TableDef::new(
+        name,
+        Schema::new(vec![Column::not_null("id", DataType::Int), value_col]),
+    )
+}
+
+/// Link `member` into `head` behind a netsim link armed with `fault`.
+fn link_member(head: &Engine, name: &str, member: &Engine, fault: Option<FaultConfig>) {
+    let link = NetworkLink::new(name, NetworkConfig::lan());
+    let inner: Arc<dyn dhqp_oledb::DataSource> = Arc::new(EngineDataSource::new(member.clone()));
+    let wrapped = match fault {
+        Some(cfg) => NetworkedDataSource::with_faults(inner, link, cfg),
+        None => NetworkedDataSource::reliable(inner, link),
+    };
+    head.add_linked_server(name, Arc::new(wrapped)).unwrap();
+}
+
+/// A small local `dim` (6 keys) in the head and a wide wholly-remote
+/// `fact` (240 rows, 40 distinct keys) on `member1`: the shape the
+/// semi-join reduction rule rewrites. Returns `(head, member1)` — the
+/// member engine is kept alive so more fact rows can be added.
+fn semijoin_federation(fault: Option<FaultConfig>) -> (Engine, Engine) {
+    let head = Engine::new("sj-head");
+    head.storage()
+        .create_table(table_def("dim", Column::new("tag", DataType::Str)))
+        .unwrap();
+    let dim_rows: Vec<Row> = (1..=6)
+        .map(|id| Row::new(vec![Value::Int(id), Value::Str(format!("d{id}"))]))
+        .collect();
+    head.storage().insert_rows("dim", &dim_rows).unwrap();
+    head.storage().analyze("dim", 8).unwrap();
+
+    let m1 = Engine::new("sj-member1");
+    m1.storage()
+        .create_table(table_def("fact", Column::new("val", DataType::Str)))
+        .unwrap();
+    let fact_rows: Vec<Row> = (0..240)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int((i % 40) + 1),
+                Value::Str(format!("payload-{i:04}-{}", "x".repeat(96))),
+            ])
+        })
+        .collect();
+    m1.storage().insert_rows("fact", &fact_rows).unwrap();
+    m1.storage().analyze("fact", 8).unwrap();
+    link_member(&head, "member1", &m1, fault);
+    // Pin the rewrite on: the suite may run under DHQP_SEMIJOIN=0.
+    let mut config = head.optimizer_config();
+    config.enable_semijoin = true;
+    head.set_optimizer_config(config);
+    (head, m1)
+}
+
+/// EXPLAIN ANALYZE on a reduced join: the plan node announces itself and
+/// the runtime annotation reports the key count and the extra bytes the
+/// spliced `IN`-list added to the shipped statement.
+#[test]
+fn explain_analyze_annotates_the_reduction() {
+    let (head, _m1) = semijoin_federation(None);
+    let report = head.execute_analyze(JOIN).unwrap();
+    assert!(!report.result.rows.is_empty());
+    let rendered = report.render();
+    assert!(rendered.contains("SemiJoinReduce"), "{rendered}");
+    assert!(rendered.contains("[semijoin: keys=6 bytes="), "{rendered}");
+    // The wire annotation carries the *reduced* statement that was shipped.
+    assert!(rendered.contains("IN ("), "{rendered}");
+    let m = head.metrics();
+    assert!(m.semijoin_reductions >= 1, "{m:?}");
+    assert!(m.semijoin_filter_bytes > 0, "{m:?}");
+    assert_eq!(m.semijoin_fallbacks, 0, "{m:?}");
+}
+
+/// A dead probe link: the reduced open burns its retry budget, the
+/// fallback open hits the (now Open) breaker, and the query errors — no
+/// partial results. The give-up that tripped the breaker stays attributed
+/// to the exact shipped predicate in `sys.dm_link_health`.
+#[test]
+fn dead_probe_link_errors_and_fingerprints_the_shipped_predicate() {
+    let (head, _m1) = semijoin_federation(Some(FaultConfig::dead(11)));
+    head.set_degraded_mode(DegradedMode::Fail);
+    head.set_retry_policy(fast_retries());
+
+    let err = head.query(JOIN).unwrap_err();
+    assert_eq!(err.kind(), "unavailable", "{err}");
+    let m = head.metrics();
+    assert!(m.semijoin_fallbacks >= 1, "{m:?}");
+    assert_eq!(m.semijoin_reductions, 0, "{m:?}");
+
+    // The breaker opened on the tagged reduced-statement give-up, so the
+    // recorded last error names the filter-ship, not the fallback scan.
+    let health = head.link_health();
+    let sick = health.iter().find(|l| l.server == "member1").unwrap();
+    let last = sick.last_error.as_deref().unwrap_or_default();
+    assert!(last.contains("shipped predicate fp="), "{sick:?}");
+    assert!(last.contains("keys=6"), "{sick:?}");
+
+    // And the reason chain is queryable through the DMV like any other.
+    let r = head
+        .query("SELECT last_error FROM sys.dm_link_health WHERE server = 'member1'")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1, "{r:?}");
+    assert!(
+        matches!(r.value(0, 0), Value::Str(s) if s.contains("shipped predicate fp=")),
+        "{r:?}"
+    );
+}
+
+/// Plan-time cardinality undershoot: the rule fired against stale
+/// statistics, drive time finds more distinct keys than `max_keys`, and
+/// the executor abandons the splice — shipping the unreduced statement
+/// instead of an oversized `IN`-list, with identical results.
+#[test]
+fn oversized_key_set_falls_back_to_the_unreduced_statement_at_runtime() {
+    let (head, _m1) = semijoin_federation(None);
+    // Grow dim to 20 distinct keys *after* ANALYZE: the optimizer still
+    // believes ndv=6 and keeps the reduction with max_keys=10.
+    let extra: Vec<Row> = (7..=20)
+        .map(|id| Row::new(vec![Value::Int(id), Value::Str(format!("d{id}"))]))
+        .collect();
+    head.storage().insert_rows("dim", &extra).unwrap();
+    let mut config = head.optimizer_config();
+    config.semijoin_max_keys = 10;
+    head.set_optimizer_config(config);
+
+    let got = head.query(JOIN).unwrap();
+    let m = head.metrics();
+    assert!(m.semijoin_fallbacks >= 1, "{m:?}");
+    assert_eq!(m.semijoin_reductions, 0, "{m:?}");
+    assert_eq!(m.semijoin_filter_bytes, 0, "{m:?}");
+
+    // Reference: the same data with the reduction rule disabled.
+    let (off, _m1) = semijoin_federation(None);
+    off.storage()
+        .insert_rows(
+            "dim",
+            &(7..=20)
+                .map(|id| Row::new(vec![Value::Int(id), Value::Str(format!("d{id}"))]))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+    let mut config = off.optimizer_config();
+    config.enable_semijoin = false;
+    off.set_optimizer_config(config);
+    let want = off.query(JOIN).unwrap();
+    let sort = |rows: &[Row]| {
+        let mut v: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(sort(&got.rows), sort(&want.rows));
+}
+
+/// One query, both prune channels: degraded mode quarantines the dead
+/// member while runtime startup pruning skips the out-of-range member —
+/// and the two must be reported distinctly (a skipped-by-predicate member
+/// is healthy, a quarantined one is not). The all-members-gone error must
+/// NOT fire: the startup skip proves the empty answer is legitimate.
+#[test]
+fn degraded_prune_and_startup_prune_report_distinctly() {
+    let head = Engine::new("dpv-head");
+    let m1 = Engine::new("dpv-member1");
+    let m2 = Engine::new("dpv-member2");
+    for (m, table, ids) in [(&m1, "part_lo", 1i64..=10), (&m2, "part_hi", 50..=59)] {
+        m.storage()
+            .create_table(table_def(table, Column::new("tag", DataType::Str)))
+            .unwrap();
+        let rows: Vec<Row> = ids
+            .map(|id| Row::new(vec![Value::Int(id), Value::Str(format!("t{id}"))]))
+            .collect();
+        m.storage().insert_rows(table, &rows).unwrap();
+        m.storage().analyze(table, 8).unwrap();
+    }
+    // member1 (holding the qualifying range) is dead; member2 is healthy
+    // but irrelevant to the parameter value.
+    link_member(&head, "member1", &m1, Some(FaultConfig::dead(7)));
+    link_member(&head, "member2", &m2, None);
+    head.define_partitioned_view(
+        "part_all",
+        "id",
+        vec![
+            (
+                Some("member1".into()),
+                "part_lo".into(),
+                IntervalSet::single(Interval::less_than(Value::Int(50))),
+            ),
+            (
+                Some("member2".into()),
+                "part_hi".into(),
+                IntervalSet::single(Interval::at_least(Value::Int(50))),
+            ),
+        ],
+    )
+    .unwrap();
+    head.set_retry_policy(fast_retries());
+    head.set_degraded_mode(DegradedMode::Prune);
+    head.set_runtime_prune(true);
+    head.set_plan_cache_enabled(true);
+
+    const Q: &str = "SELECT id, tag FROM part_all WHERE id = 7";
+    // First run trips member1's breaker (retry storm → give-up → prune)
+    // and startup-skips member2 without ever opening a connection.
+    let cold = head.query(Q).unwrap();
+    assert!(cold.rows.is_empty(), "{cold:?}");
+
+    // Second run: member1 fast-fail-prunes on the Open breaker; the
+    // report names each member under its own channel.
+    let report = head.execute_analyze(Q).unwrap();
+    assert!(report.result.rows.is_empty());
+    assert_eq!(report.pruned, vec!["member1".to_string()]);
+    assert_eq!(report.startup_pruned, vec!["member2".to_string()]);
+    let rendered = report.render();
+    assert!(
+        rendered.contains("[degraded: pruned members=member1]"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("[startup: skipped members=member2]"),
+        "{rendered}"
+    );
+    let m = head.metrics();
+    assert!(m.members_pruned >= 1, "{m:?}");
+    assert!(m.startup_members_skipped >= 1, "{m:?}");
+}
