@@ -1376,11 +1376,177 @@ fn e18_semijoin() {
     println!("→ wrote BENCH_semijoin.json");
 }
 
+fn e19_query_store() {
+    header("E19 — query store: observation overhead and cardinality feedback");
+
+    // (a) Observation overhead on the E12 federation scan, same protocol
+    // as E14/E15: the store + feedback loop attach a runtime-stats
+    // collector to every execution, and that must stay under the 5% gate.
+    let scale = TpchScale {
+        nations: 10,
+        customers: 300,
+        suppliers: 50,
+        orders: 2000,
+        lineitems_per_order: 3,
+    };
+    let members = 4usize;
+    let fed = remote_dpv_federation(scale, members, NetworkConfig::wan_timed());
+    let sql = "SELECT l_orderkey, l_linenumber, l_quantity FROM lineitem_all";
+    let measure = |armed: bool| {
+        fed.head.set_query_store_enabled(armed);
+        fed.head.set_card_feedback(armed);
+        warm(&fed.head, sql);
+        let mut best: Option<(usize, std::time::Duration)> = None;
+        for _ in 0..3 {
+            reset_links(&fed.links);
+            let (r, t) = timed(|| fed.head.query(sql).unwrap());
+            if best.is_none_or(|(_, b)| t < b) {
+                best = Some((r.len(), t));
+            }
+        }
+        best.expect("measured")
+    };
+    let (rows_off, t_off) = measure(false);
+    let (rows_on, t_on) = measure(true);
+    assert_eq!(rows_off, rows_on, "observation must not change results");
+    let overhead = t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0;
+    println!("{:<16} {:>10} {:>12}", "query store", "rows", "time");
+    println!("{:<16} {rows_off:>10} {t_off:>12.2?}", "off");
+    println!("{:<16} {rows_on:>10} {t_on:>12.2?}", "on+feedback");
+    println!("→ observation adds {:.1}% wall time.", overhead * 100.0);
+    assert!(
+        overhead < 0.05,
+        "query store overhead must stay under 5%: {:.1}%",
+        overhead * 100.0
+    );
+
+    // (b) The feedback crossover: a remote fact cached at 12 rows grows
+    // 210x behind the statistics TTL. One skewed execution books the
+    // est-vs-actual ratio, feeds the observed cardinality back, and the
+    // recompilation flips to the semi-join reduction.
+    let head = Engine::new("e19-head");
+    head.storage()
+        .create_table(TableDef::new(
+            "dim",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("tag", DataType::Str),
+            ]),
+        ))
+        .unwrap();
+    let dim_rows: Vec<Row> = (1..=24)
+        .map(|id| Row::new(vec![Value::Int(id), Value::Str(format!("d{id}"))]))
+        .collect();
+    head.storage().insert_rows("dim", &dim_rows).unwrap();
+    head.storage().analyze("dim", 8).unwrap();
+    let member = Engine::new("e19-member1");
+    member
+        .storage()
+        .create_table(TableDef::new(
+            "fact",
+            Schema::new(vec![
+                Column::not_null("id", DataType::Int),
+                Column::new("val", DataType::Str),
+            ]),
+        ))
+        .unwrap();
+    let fact_row = |id: i64, i: usize| {
+        Row::new(vec![
+            Value::Int(id),
+            Value::Str(format!("payload-{i:04}-{}", "x".repeat(96))),
+        ])
+    };
+    let seed: Vec<Row> = (0..12).map(|i| fact_row(i as i64 + 1, i)).collect();
+    member.storage().insert_rows("fact", &seed).unwrap();
+    let link = NetworkLink::new("member1", NetworkConfig::lan());
+    head.add_linked_server(
+        "member1",
+        Arc::new(NetworkedDataSource::reliable(
+            Arc::new(EngineDataSource::new(member.clone())),
+            link.clone(),
+        )),
+    )
+    .unwrap();
+    head.set_query_store_enabled(true);
+    head.set_card_feedback(true);
+    let join = "SELECT d.id, f.val FROM dim d JOIN member1.db.dbo.fact f ON d.id = f.id";
+
+    head.query(join).unwrap(); // caches cardinality 12
+    let extra: Vec<Row> = (0..2508)
+        .map(|i| fact_row(((12 + i) % 840) as i64 + 1, i + 12))
+        .collect();
+    member.storage().insert_rows("fact", &extra).unwrap();
+
+    link.reset();
+    head.query(join).unwrap(); // stale plan ships everything
+    let stale = link.snapshot();
+    link.reset();
+    head.query(join).unwrap(); // fed-back recompile ships the reduction
+    let corrected = link.snapshot();
+
+    let queries = head.query_store_queries();
+    let q = queries
+        .iter()
+        .find(|q| q.template.contains("fact"))
+        .expect("join fingerprint");
+    let skew = q.plans.iter().map(|p| p.max_skew()).fold(0.0f64, f64::max);
+    let flipped = q
+        .plans
+        .iter()
+        .any(|p| p.plan_text.contains("SemiJoinReduce"));
+    let factor = stale.bytes as f64 / corrected.bytes.max(1) as f64;
+    println!(
+        "{:<20} {:>12} {:>10}",
+        "execution", "link bytes", "link rows"
+    );
+    println!(
+        "{:<20} {:>12} {:>10}",
+        "stale plan", stale.bytes, stale.rows
+    );
+    println!(
+        "{:<20} {:>12} {:>10}",
+        "after feedback", corrected.bytes, corrected.rows
+    );
+    println!(
+        "→ {skew:.0}x skew booked; feedback recompile ships {factor:.1}x fewer bytes \
+         (plan flipped to SemiJoinReduce: {flipped})."
+    );
+    assert!(skew >= 10.0, "E19 needs a ≥10x skew, got {skew:.1}x");
+    assert!(flipped, "feedback must flip the plan to the reduction");
+    assert!(
+        factor >= 2.0,
+        "feedback must cut link bytes at least 2x, got {factor:.2}x"
+    );
+    assert_eq!(
+        head.metrics().card_feedback_applied,
+        1,
+        "exactly one writeback"
+    );
+
+    // Hand-formatted JSON: the offline serde shim is marker-only.
+    let json = format!(
+        "{{\n  \"experiment\": \"query_store\",\n  \"scan_query\": \"{sql}\",\n  \
+         \"members\": {members},\n  \"rows\": {rows_off},\n  \
+         \"store_off_ms\": {:.3},\n  \"store_on_ms\": {:.3},\n  \
+         \"overhead_pct\": {:.2},\n  \"feedback_query\": \"{join}\",\n  \
+         \"skew\": {skew:.1},\n  \"bytes_stale\": {},\n  \
+         \"bytes_corrected\": {},\n  \"byte_reduction\": {factor:.2},\n  \
+         \"plan_flipped\": {flipped}\n}}\n",
+        t_off.as_secs_f64() * 1e3,
+        t_on.as_secs_f64() * 1e3,
+        overhead * 100.0,
+        stale.bytes,
+        corrected.bytes,
+    );
+    std::fs::write("BENCH_query_store.json", json).expect("write BENCH json");
+    println!("→ wrote BENCH_query_store.json");
+}
+
 fn main() {
     println!("dhqp experiment report — regenerates every paper table/figure reproduction");
     println!("(one execution per configuration; see `cargo bench` for statistical timing)");
     let filter = std::env::args().nth(1);
-    let experiments: [(&str, fn()); 18] = [
+    let experiments: [(&str, fn()); 19] = [
         ("e1", e1_figure4),
         ("e2", e2_table1),
         ("e3", e3_table2),
@@ -1399,6 +1565,7 @@ fn main() {
         ("e16", e16_batch_federation),
         ("e17", e17_degraded_federation),
         ("e18", e18_semijoin),
+        ("e19", e19_query_store),
     ];
     for (name, run) in experiments {
         if filter.as_deref().is_none_or(|f| f == name) {

@@ -50,6 +50,9 @@ pub struct AnalyzeReport {
     /// as the `-- [startup: ...]` line. Distinct from degraded pruning:
     /// these members were healthy, just provably irrelevant.
     pub startup_pruned: Vec<String>,
+    /// Whether the compile consulted cardinality-feedback-corrected
+    /// statistics — rendered as the `-- [feedback: applied]` line.
+    pub feedback: bool,
 }
 
 /// Adaptive duration formatting: µs below 1 ms, ms below 1 s, else s.
@@ -107,6 +110,9 @@ impl AnalyzeReport {
                 let _ = write!(out, " statistics age: {age:.2?}");
             }
             out.push('\n');
+        }
+        if self.feedback {
+            out.push_str("-- [feedback: applied]\n");
         }
         let stats = &self.explain.stats;
         let _ = writeln!(
@@ -207,9 +213,13 @@ fn render_node(
                     rt.rows
                 );
             } else {
+                // Skew: how far off the estimate was, per execution that
+                // opened the node (rescans average out).
+                let avg_rows = rt.rows as f64 / rt.opens.max(1) as f64;
+                let skew = crate::query_store::skew_ratio(node.est_rows, avg_rows);
                 let _ = writeln!(
                     out,
-                    "{pad}{label}  est_rows={:.0} actual_rows={} rescans={rescans} time={cum} self={own}",
+                    "{pad}{label}  est_rows={:.0} actual_rows={} skew={skew:.1}x rescans={rescans} time={cum} self={own}",
                     node.est_rows, rt.rows
                 );
             }

@@ -46,6 +46,9 @@ pub struct BoundSelect {
     /// When the oldest remote metadata/statistics bundle used here was
     /// fetched (`None` for purely local binds).
     pub stats_as_of: Option<std::time::Instant>,
+    /// Whether any consulted statistics bundle was written by the
+    /// cardinality feedback loop — surfaced as `[feedback: applied]`.
+    pub used_feedback: bool,
 }
 
 /// One name visible in a FROM scope.
@@ -136,6 +139,7 @@ pub struct Binder<'e> {
     view_members: Vec<(String, usize)>,
     dep_servers: Vec<String>,
     stats_as_of: Option<std::time::Instant>,
+    used_feedback: bool,
 }
 
 impl<'e> Binder<'e> {
@@ -148,6 +152,7 @@ impl<'e> Binder<'e> {
             view_members: Vec::new(),
             dep_servers: Vec::new(),
             stats_as_of: None,
+            used_feedback: false,
         }
     }
 
@@ -225,6 +230,7 @@ impl<'e> Binder<'e> {
             view_members: self.view_members,
             dep_servers: self.dep_servers,
             stats_as_of: self.stats_as_of,
+            used_feedback: self.used_feedback,
         })
     }
 
@@ -713,6 +719,7 @@ impl<'e> Binder<'e> {
         let fetched = self.engine.table_metadata(server, table)?;
         if let Some(s) = server {
             self.note_remote_dep(s, Some(fetched.fetched_at));
+            self.used_feedback |= fetched.feedback;
         }
         let column_ids = fetched
             .info
@@ -1341,6 +1348,9 @@ pub struct FetchedTable {
     /// When this bundle was fetched — drives the statistics-cache TTL and
     /// the statistics age `EXPLAIN ANALYZE` reports for cached plans.
     pub fetched_at: std::time::Instant,
+    /// True when the bundle was written by the cardinality feedback loop
+    /// (observed rows, not provider-advertised statistics).
+    pub feedback: bool,
 }
 
 /// Does the AST expression contain an aggregate call?

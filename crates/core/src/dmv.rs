@@ -26,6 +26,16 @@
 //!   row per [`dhqp_oledb::WaitClass`], zeros included).
 //! * `sys.dm_xe_recent_events` — the event bus's retained ring, oldest
 //!   first (empty unless events are enabled).
+//! * `sys.query_store_query` — one row per tracked fingerprint (§17):
+//!   identity, template and execution totals.
+//! * `sys.query_store_plan` — one row per distinct physical plan of a
+//!   fingerprint: shape hash, compile-time estimates and epochs, the
+//!   regression flag and the rendered plan text.
+//! * `sys.query_store_runtime_stats` — per-plan aggregated runtime: wall
+//!   time, result rows, link traffic, dominant wait, and the worst
+//!   estimate-vs-actual skew with the operator that produced it.
+//! * `sys.dm_os_knobs` — every effective `DHQP_*` knob with its value and
+//!   provenance (`env` / `builder` / `default`).
 //!
 //! Rows materialize at rowset-open time from live engine state; the
 //! provider holds only a weak reference to the engine, since the engine's
@@ -48,6 +58,10 @@ const DM_LINK_HEALTH: &str = "dm_link_health";
 const DM_OS_COUNTERS: &str = "dm_os_counters";
 const DM_OS_WAIT_STATS: &str = "dm_os_wait_stats";
 const DM_XE_RECENT_EVENTS: &str = "dm_xe_recent_events";
+const QUERY_STORE_QUERY: &str = "query_store_query";
+const QUERY_STORE_PLAN: &str = "query_store_plan";
+const QUERY_STORE_RUNTIME_STATS: &str = "query_store_runtime_stats";
+const DM_OS_KNOBS: &str = "dm_os_knobs";
 
 /// The `sys` data source. Holds a weak engine reference: the engine's
 /// linked-server registry owns this provider, so a strong one would leak
@@ -82,6 +96,12 @@ fn requests_info() -> TableInfo {
             ColumnInfo::new("dominant_wait", DataType::Str),
             // DPV members degraded mode skipped during this statement.
             ColumnInfo::not_null("pruned_members", DataType::Int),
+            // Plan-cache fingerprint template; NULL for statements that
+            // didn't auto-parameterize.
+            ColumnInfo::new("fingerprint", DataType::Str),
+            // Condensed `[semijoin: ...]`/`[degraded: ...]`/`[startup: ...]`
+            // markers; NULL when nothing noteworthy happened.
+            ColumnInfo::new("annotations", DataType::Str),
         ],
     )
 }
@@ -169,8 +189,80 @@ fn xe_recent_events_info() -> TableInfo {
     )
 }
 
+fn query_store_query_info() -> TableInfo {
+    TableInfo::new(
+        QUERY_STORE_QUERY,
+        vec![
+            // FNV-1a hashes rendered as fixed-width hex: joinable across
+            // the three views without i64 overflow concerns.
+            ColumnInfo::not_null("query_id", DataType::Str),
+            ColumnInfo::not_null("template", DataType::Str),
+            ColumnInfo::not_null("plan_count", DataType::Int),
+            ColumnInfo::not_null("execution_count", DataType::Int),
+            ColumnInfo::new("last_plan_hash", DataType::Str),
+        ],
+    )
+}
+
+fn query_store_plan_info() -> TableInfo {
+    TableInfo::new(
+        QUERY_STORE_PLAN,
+        vec![
+            ColumnInfo::not_null("query_id", DataType::Str),
+            ColumnInfo::not_null("plan_id", DataType::Int),
+            ColumnInfo::not_null("plan_hash", DataType::Str),
+            ColumnInfo::not_null("est_rows", DataType::Float),
+            ColumnInfo::not_null("est_cost", DataType::Float),
+            ColumnInfo::not_null("compile_schema_epoch", DataType::Int),
+            ColumnInfo::not_null("compile_config_epoch", DataType::Int),
+            // The plan arrived measurably slower than the fingerprint's
+            // previous plan (see query_store::REGRESSION_FACTOR).
+            ColumnInfo::not_null("regressed", DataType::Bool),
+            ColumnInfo::not_null("plan_text", DataType::Str),
+        ],
+    )
+}
+
+fn query_store_runtime_stats_info() -> TableInfo {
+    TableInfo::new(
+        QUERY_STORE_RUNTIME_STATS,
+        vec![
+            ColumnInfo::not_null("query_id", DataType::Str),
+            ColumnInfo::not_null("plan_id", DataType::Int),
+            ColumnInfo::not_null("execution_count", DataType::Int),
+            ColumnInfo::not_null("total_rows", DataType::Int),
+            ColumnInfo::not_null("total_elapsed_ms", DataType::Float),
+            ColumnInfo::not_null("avg_elapsed_ms", DataType::Float),
+            ColumnInfo::not_null("total_link_bytes", DataType::Int),
+            ColumnInfo::not_null("total_link_requests", DataType::Int),
+            // NULL when no execution of this plan ever blocked.
+            ColumnInfo::new("dominant_wait", DataType::Str),
+            // Worst per-operator estimate-vs-actual ratio (≥ 1.0; 0.0
+            // when no operator was ever opened) and where it happened.
+            ColumnInfo::not_null("max_skew", DataType::Float),
+            ColumnInfo::new("max_skew_operator", DataType::Str),
+        ],
+    )
+}
+
+fn os_knobs_info() -> TableInfo {
+    TableInfo::new(
+        DM_OS_KNOBS,
+        vec![
+            ColumnInfo::not_null("name", DataType::Str),
+            ColumnInfo::not_null("value", DataType::Str),
+            // env | builder | default.
+            ColumnInfo::not_null("source", DataType::Str),
+        ],
+    )
+}
+
 fn ms(us: u64) -> Value {
     Value::Float(us as f64 / 1000.0)
+}
+
+fn hex64(v: u64) -> Value {
+    Value::Str(format!("{v:016x}"))
 }
 
 impl DataSource for SysDataSource {
@@ -194,6 +286,22 @@ impl DataSource for SysDataSource {
             os_counters_info().with_cardinality(engine.dmv_metrics().counters().len() as u64 + 5),
             wait_stats_info().with_cardinality(WaitClass::ALL.len() as u64),
             xe_recent_events_info().with_cardinality(engine.dmv_recent_events().len() as u64),
+            query_store_query_info().with_cardinality(engine.dmv_query_store().len() as u64),
+            query_store_plan_info().with_cardinality(
+                engine
+                    .dmv_query_store()
+                    .iter()
+                    .map(|q| q.plans.len() as u64)
+                    .sum(),
+            ),
+            query_store_runtime_stats_info().with_cardinality(
+                engine
+                    .dmv_query_store()
+                    .iter()
+                    .map(|q| q.plans.len() as u64)
+                    .sum(),
+            ),
+            os_knobs_info().with_cardinality(engine.dmv_knobs().len() as u64),
         ])
     }
 
@@ -225,6 +333,13 @@ impl Session for SysSession {
             DM_OS_COUNTERS => (os_counters_info(), os_counters_rows(&engine)),
             DM_OS_WAIT_STATS => (wait_stats_info(), wait_stats_rows(&engine)),
             DM_XE_RECENT_EVENTS => (xe_recent_events_info(), xe_recent_events_rows(&engine)),
+            QUERY_STORE_QUERY => (query_store_query_info(), query_store_query_rows(&engine)),
+            QUERY_STORE_PLAN => (query_store_plan_info(), query_store_plan_rows(&engine)),
+            QUERY_STORE_RUNTIME_STATS => (
+                query_store_runtime_stats_info(),
+                query_store_runtime_stats_rows(&engine),
+            ),
+            DM_OS_KNOBS => (os_knobs_info(), os_knobs_rows(&engine)),
             other => {
                 return Err(DhqpError::Catalog(format!(
                     "table '{other}' not found in source '{SYS_SERVER}'"
@@ -251,6 +366,91 @@ fn requests_rows(engine: &Inner) -> Vec<Row> {
                     .map(|w| Value::Str(w.to_string()))
                     .unwrap_or(Value::Null),
                 Value::Int(q.pruned_members as i64),
+                q.fingerprint.map(Value::Str).unwrap_or(Value::Null),
+                q.annotations.map(Value::Str).unwrap_or(Value::Null),
+            ])
+        })
+        .collect()
+}
+
+fn query_store_query_rows(engine: &Inner) -> Vec<Row> {
+    engine
+        .dmv_query_store()
+        .into_iter()
+        .map(|q| {
+            let executions = q.executions();
+            Row::new(vec![
+                hex64(q.query_id),
+                Value::Str(q.template),
+                Value::Int(q.plans.len() as i64),
+                Value::Int(executions as i64),
+                q.last_plan_hash.map(hex64).unwrap_or(Value::Null),
+            ])
+        })
+        .collect()
+}
+
+fn query_store_plan_rows(engine: &Inner) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for q in engine.dmv_query_store() {
+        for p in &q.plans {
+            rows.push(Row::new(vec![
+                hex64(q.query_id),
+                Value::Int(p.plan_id as i64),
+                hex64(p.plan_hash),
+                Value::Float(p.est_rows),
+                Value::Float(p.est_cost),
+                Value::Int(p.compile_schema_epoch as i64),
+                Value::Int(p.compile_config_epoch as i64),
+                Value::Bool(p.regressed),
+                Value::Str(p.plan_text.clone()),
+            ]));
+        }
+    }
+    rows
+}
+
+fn query_store_runtime_stats_rows(engine: &Inner) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for q in engine.dmv_query_store() {
+        for p in &q.plans {
+            let max_skew = p.max_skew();
+            let max_skew_operator = p
+                .operators
+                .iter()
+                .filter(|o| o.skew() > 0.0)
+                .max_by(|a, b| a.skew().total_cmp(&b.skew()))
+                .map(|o| Value::Str(o.operator.clone()))
+                .unwrap_or(Value::Null);
+            rows.push(Row::new(vec![
+                hex64(q.query_id),
+                Value::Int(p.plan_id as i64),
+                Value::Int(p.executions as i64),
+                Value::Int(p.total_rows as i64),
+                Value::Float(p.total_elapsed_us as f64 / 1000.0),
+                Value::Float(p.avg_elapsed_us() as f64 / 1000.0),
+                Value::Int(p.total_link_bytes as i64),
+                Value::Int(p.total_link_requests as i64),
+                p.dominant_wait()
+                    .map(|w| Value::Str(w.to_string()))
+                    .unwrap_or(Value::Null),
+                Value::Float(max_skew),
+                max_skew_operator,
+            ]));
+        }
+    }
+    rows
+}
+
+fn os_knobs_rows(engine: &Inner) -> Vec<Row> {
+    engine
+        .dmv_knobs()
+        .into_iter()
+        .map(|(name, value, source)| {
+            Row::new(vec![
+                Value::Str(name),
+                Value::Str(value),
+                Value::Str(source.to_string()),
             ])
         })
         .collect()

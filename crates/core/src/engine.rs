@@ -6,15 +6,17 @@ use crate::dml;
 use crate::dmv::{SysDataSource, SYS_SERVER};
 use crate::events::{Event, EventBus, EventConfig, EventSink};
 use crate::metrics::{
-    EngineMetrics, MetricsSnapshot, QuerySummary, StatementKind, RECENT_QUERY_CAPACITY,
+    EngineMetrics, MetricsSnapshot, QuerySummary, StatementKind, StatementTags,
+    RECENT_QUERY_CAPACITY,
 };
 use crate::plan_cache::{self, CacheDeps, CachedSelect, PlanCache, PlanCacheConfig};
+use crate::query_store::{self, ExecutionObservation, QueryStats, QueryStore, QueryStoreConfig};
 use crate::result::QueryResult;
 use crate::trace::{QueryTrace, TraceBuilder, TraceConfig};
 use dhqp_dtc::TransactionCoordinator;
 use dhqp_executor::{
     BatchConfig, BreakerConfig, DegradedMode, ExecContext, HealthRegistry, LinkHealthSnapshot,
-    ParallelConfig, PruneLog, RetryPolicy, RuntimeStatsCollector, SourceCatalog,
+    NodeRuntime, ParallelConfig, PruneLog, RetryPolicy, RuntimeStatsCollector, SourceCatalog,
 };
 use dhqp_federation::{LinkedServerRegistry, MemberTable, PartitionedView};
 use dhqp_fulltext::SearchService;
@@ -23,7 +25,7 @@ use dhqp_oledb::{
     EventHook, RowsetExt, ScopeGuard, TableStatistics, WaitClass, WaitSnapshot, WaitStats,
 };
 use dhqp_optimizer::explain::ExplainPlan;
-use dhqp_optimizer::{Optimizer, OptimizerConfig, PhysNode};
+use dhqp_optimizer::{Optimizer, OptimizerConfig, PhysNode, PhysicalOp};
 use dhqp_sqlfront::{fingerprint, parse_statement, Fingerprint, SelectStmt, Statement};
 use dhqp_storage::{LocalDataSource, StorageEngine, TableDef};
 use dhqp_types::{DhqpError, IntervalSet, Result, Row, Schema, Value};
@@ -94,6 +96,15 @@ pub(crate) struct Inner {
     /// a drive-time decision outside the config epoch — the same cached
     /// plan prunes eagerly or lazily depending on the knob at execution.
     runtime_prune: RwLock<bool>,
+    /// Query Store master switch (`DHQP_QUERY_STORE`). When on, every
+    /// successful SELECT records its plan + runtime stats into
+    /// `query_store` (and forces a runtime-stats collector).
+    query_store_on: RwLock<bool>,
+    /// Per-fingerprint plan/runtime history (`sys.query_store_*`).
+    query_store: Mutex<QueryStore>,
+    /// Cardinality feedback loop (`DHQP_CARD_FEEDBACK`): write observed
+    /// remote cardinalities back into `meta_cache` after execution.
+    card_feedback: RwLock<bool>,
 }
 
 // DMV accessors: read-only state snapshots the `sys` provider
@@ -153,6 +164,249 @@ impl Inner {
             .filter(|l| l.server != SYS_SERVER)
             .collect()
     }
+
+    /// The query store's per-fingerprint history — the data behind the
+    /// three `sys.query_store_*` views.
+    pub(crate) fn dmv_query_store(&self) -> Vec<QueryStats> {
+        self.query_store.lock().snapshot()
+    }
+
+    /// Every effective `DHQP_*` knob as `(name, value, source)` — the
+    /// `sys.dm_os_knobs` rows. `source` says where the effective value came
+    /// from: `env` when the environment variable is set and the current
+    /// value still matches what it resolves to, `builder` when a runtime
+    /// setter or builder override diverged from the default, `default`
+    /// otherwise.
+    pub(crate) fn dmv_knobs(&self) -> Vec<(String, String, &'static str)> {
+        fn source(name: &str, current: &str, env_effective: &str, default: &str) -> &'static str {
+            if std::env::var(name).is_ok() && current == env_effective {
+                "env"
+            } else if current != default {
+                "builder"
+            } else {
+                "default"
+            }
+        }
+        fn opt_ms(d: Option<Duration>) -> String {
+            d.map(|d| d.as_millis().to_string())
+                .unwrap_or_else(|| "off".to_string())
+        }
+        fn events_value(c: &EventConfig) -> String {
+            if c.enabled {
+                format!("mask=0x{:04x}", c.mask)
+            } else {
+                "off".to_string()
+            }
+        }
+        let mut rows: Vec<(String, String, &'static str)> = Vec::new();
+        let mut knob = |name: &str, current: String, env_effective: String, default: String| {
+            let src = source(name, &current, &env_effective, &default);
+            rows.push((name.to_string(), current, src));
+        };
+
+        let parallel = self.parallel.read().clone();
+        let parallel_env = ParallelConfig::from_env();
+        knob(
+            "DHQP_PARALLEL",
+            parallel.enabled.to_string(),
+            parallel_env.enabled.to_string(),
+            false.to_string(),
+        );
+
+        let batch = self.batch.read().clone();
+        let batch_env = BatchConfig::from_env();
+        knob(
+            "DHQP_BATCH",
+            batch.enabled.to_string(),
+            batch_env.enabled.to_string(),
+            true.to_string(),
+        );
+        knob(
+            "DHQP_BATCH_SIZE",
+            batch.batch_size.to_string(),
+            batch_env.batch_size.to_string(),
+            dhqp_executor::DEFAULT_BATCH_SIZE.to_string(),
+        );
+
+        let retry = self.retry.read().clone();
+        let retry_env = RetryPolicy::from_env();
+        let retry_def = RetryPolicy::standard();
+        knob(
+            "DHQP_RETRY_ATTEMPTS",
+            retry.max_attempts.to_string(),
+            retry_env.max_attempts.to_string(),
+            retry_def.max_attempts.to_string(),
+        );
+        knob(
+            "DHQP_RETRY_BACKOFF_MS",
+            retry.base_backoff.as_millis().to_string(),
+            retry_env.base_backoff.as_millis().to_string(),
+            retry_def.base_backoff.as_millis().to_string(),
+        );
+        knob(
+            "DHQP_RETRY_MAX_BACKOFF_MS",
+            retry.max_backoff.as_millis().to_string(),
+            retry_env.max_backoff.as_millis().to_string(),
+            retry_def.max_backoff.as_millis().to_string(),
+        );
+        knob(
+            "DHQP_RETRY_DEADLINE_MS",
+            opt_ms(retry.query_deadline),
+            opt_ms(retry_env.query_deadline),
+            opt_ms(retry_def.query_deadline),
+        );
+
+        let breaker = self.health.config();
+        let breaker_env = BreakerConfig::from_env();
+        let breaker_def = BreakerConfig::standard();
+        knob(
+            "DHQP_BREAKER",
+            breaker.enabled.to_string(),
+            breaker_env.enabled.to_string(),
+            breaker_def.enabled.to_string(),
+        );
+        knob(
+            "DHQP_BREAKER_THRESHOLD",
+            breaker.failure_threshold.to_string(),
+            breaker_env.failure_threshold.to_string(),
+            breaker_def.failure_threshold.to_string(),
+        );
+        knob(
+            "DHQP_BREAKER_COOLDOWN",
+            breaker.cooldown.to_string(),
+            breaker_env.cooldown.to_string(),
+            breaker_def.cooldown.to_string(),
+        );
+        knob(
+            "DHQP_BREAKER_WINDOW",
+            breaker.rate_window.to_string(),
+            breaker_env.rate_window.to_string(),
+            breaker_def.rate_window.to_string(),
+        );
+        knob(
+            "DHQP_BREAKER_ERROR_RATE",
+            format!("{:.2}", breaker.error_rate),
+            format!("{:.2}", breaker_env.error_rate),
+            format!("{:.2}", breaker_def.error_rate),
+        );
+
+        let degraded = *self.degraded.read();
+        let degraded_name = |d: DegradedMode| if d.is_prune() { "prune" } else { "fail" };
+        knob(
+            "DHQP_DEGRADED",
+            degraded_name(degraded).to_string(),
+            degraded_name(DegradedMode::from_env()).to_string(),
+            degraded_name(DegradedMode::Fail).to_string(),
+        );
+        knob(
+            "DHQP_RUNTIME_PRUNE",
+            self.runtime_prune.read().to_string(),
+            dhqp_executor::runtime_prune_from_env().to_string(),
+            true.to_string(),
+        );
+
+        let (pc_enabled, pc_capacity) = {
+            let pc = self.plan_cache.lock();
+            (pc.enabled(), pc.capacity())
+        };
+        let pc_env = PlanCacheConfig::from_env();
+        let pc_def = PlanCacheConfig::default();
+        knob(
+            "DHQP_PLAN_CACHE",
+            pc_enabled.to_string(),
+            pc_env.enabled.to_string(),
+            pc_def.enabled.to_string(),
+        );
+        knob(
+            "DHQP_PLAN_CACHE_SIZE",
+            pc_capacity.to_string(),
+            pc_env.capacity.to_string(),
+            pc_def.capacity.to_string(),
+        );
+
+        knob(
+            "DHQP_STATS_TTL_MS",
+            self.stats_ttl.read().as_millis().to_string(),
+            stats_ttl_from_env().as_millis().to_string(),
+            Duration::from_secs(60).as_millis().to_string(),
+        );
+        knob(
+            "DHQP_RECENT_QUERIES",
+            self.metrics.recent_capacity().to_string(),
+            recent_queries_from_env().to_string(),
+            RECENT_QUERY_CAPACITY.to_string(),
+        );
+        knob(
+            "DHQP_SLOW_QUERY_MS",
+            opt_ms(self.metrics.slow_threshold()),
+            opt_ms(slow_query_from_env()),
+            opt_ms(None),
+        );
+
+        knob(
+            "DHQP_TRACE",
+            self.trace.read().enabled.to_string(),
+            TraceConfig::from_env().enabled.to_string(),
+            false.to_string(),
+        );
+        knob(
+            "DHQP_EVENTS",
+            events_value(&self.events.read().config()),
+            events_value(&EventConfig::from_env()),
+            events_value(&EventConfig::disabled()),
+        );
+
+        // OptimizerConfig::default() itself consults the environment, so
+        // its values double as the env-effective ones; the hardcoded
+        // fallbacks (semi-join on, 64 keys) are the true defaults.
+        let config = self.config.read().clone();
+        let opt_env = OptimizerConfig::default();
+        knob(
+            "DHQP_SEMIJOIN",
+            config.enable_semijoin.to_string(),
+            opt_env.enable_semijoin.to_string(),
+            true.to_string(),
+        );
+        knob(
+            "DHQP_SEMIJOIN_MAX_KEYS",
+            config.semijoin_max_keys.to_string(),
+            opt_env.semijoin_max_keys.to_string(),
+            64.to_string(),
+        );
+
+        let qs_env = QueryStoreConfig::from_env();
+        let qs_def = QueryStoreConfig::default();
+        knob(
+            "DHQP_QUERY_STORE",
+            self.query_store_on.read().to_string(),
+            qs_env.enabled.to_string(),
+            qs_def.enabled.to_string(),
+        );
+        knob(
+            "DHQP_QUERY_STORE_SIZE",
+            self.query_store.lock().capacity().to_string(),
+            qs_env.capacity.to_string(),
+            qs_def.capacity.to_string(),
+        );
+        knob(
+            "DHQP_CARD_FEEDBACK",
+            self.card_feedback.read().to_string(),
+            card_feedback_from_env().to_string(),
+            false.to_string(),
+        );
+
+        // Test-harness knob: consumed by the network simulator's fault
+        // injector, not engine state — reported straight from the
+        // environment for a complete picture.
+        let fault = std::env::var("DHQP_FAULT_SEED").ok();
+        let fault_src = if fault.is_some() { "env" } else { "default" };
+        rows.push((
+            "DHQP_FAULT_SEED".to_string(),
+            fault.unwrap_or_else(|| "unset".to_string()),
+            fault_src,
+        ));
+        rows
+    }
 }
 
 /// Builder for engines with non-default configuration.
@@ -171,6 +425,15 @@ pub struct EngineBuilder {
     breaker: BreakerConfig,
     degraded: DegradedMode,
     runtime_prune: bool,
+    query_store: QueryStoreConfig,
+    card_feedback: bool,
+}
+
+/// Cardinality feedback on when `DHQP_CARD_FEEDBACK` is set (default off).
+fn card_feedback_from_env() -> bool {
+    std::env::var("DHQP_CARD_FEEDBACK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Default remote-statistics TTL, overridable via `DHQP_STATS_TTL_MS`.
@@ -215,6 +478,8 @@ impl EngineBuilder {
             breaker: BreakerConfig::from_env(),
             degraded: DegradedMode::from_env(),
             runtime_prune: dhqp_executor::runtime_prune_from_env(),
+            query_store: QueryStoreConfig::from_env(),
+            card_feedback: card_feedback_from_env(),
         }
     }
 
@@ -303,6 +568,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Query Store knobs (overrides `DHQP_QUERY_STORE` /
+    /// `DHQP_QUERY_STORE_SIZE`).
+    pub fn query_store_config(mut self, query_store: QueryStoreConfig) -> Self {
+        self.query_store = query_store;
+        self
+    }
+
+    /// Cardinality feedback loop (overrides `DHQP_CARD_FEEDBACK`).
+    pub fn card_feedback(mut self, on: bool) -> Self {
+        self.card_feedback = on;
+        self
+    }
+
     pub fn build(self) -> Engine {
         let storage = Arc::new(StorageEngine::new(self.name.clone()));
         let local_source = Arc::new(LocalDataSource::new(Arc::clone(&storage)));
@@ -333,6 +611,9 @@ impl EngineBuilder {
                 health: Arc::new(HealthRegistry::new(self.breaker)),
                 degraded: RwLock::new(self.degraded),
                 runtime_prune: RwLock::new(self.runtime_prune),
+                query_store_on: RwLock::new(self.query_store.enabled),
+                query_store: Mutex::new(QueryStore::new(self.query_store.capacity)),
+                card_feedback: RwLock::new(self.card_feedback),
             }),
         };
         // Every engine self-registers its DMVs as the built-in `sys`
@@ -601,6 +882,7 @@ impl Engine {
                     caps: self.inner.local_source.capabilities(),
                     checks,
                     fetched_at: Instant::now(),
+                    feedback: false,
                 }))
             }
             Some(server) => {
@@ -652,6 +934,7 @@ impl Engine {
                     caps,
                     checks: Vec::new(),
                     fetched_at: Instant::now(),
+                    feedback: false,
                 });
                 self.inner
                     .meta_cache
@@ -897,6 +1180,47 @@ impl Engine {
         (guard, query_waits)
     }
 
+    /// Fingerprint + annotation summary carried into the recent/slow query
+    /// rings and the `slow_query` event: the same `[semijoin: ...]` /
+    /// `[degraded: ...]` / `[startup: ...]` markers EXPLAIN ANALYZE renders,
+    /// condensed to one line so a slow statement can be triaged from
+    /// `sys.dm_exec_requests` without re-running it.
+    fn statement_tags(
+        fingerprint: Option<&str>,
+        collector: Option<&Arc<RuntimeStatsCollector>>,
+        pruned: &PruneLog,
+    ) -> StatementTags {
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(collector) = collector {
+            let mut keys = 0u64;
+            let mut bytes = 0u64;
+            let mut fallback = false;
+            for rt in collector.snapshot().values() {
+                if let Some(sj) = &rt.semijoin {
+                    keys += sj.keys;
+                    bytes += sj.filter_bytes;
+                    fallback |= sj.fallback;
+                }
+            }
+            if keys > 0 || fallback {
+                parts.push(format!(
+                    "[semijoin: keys={keys} bytes={bytes}{}]",
+                    if fallback { " fallback" } else { "" }
+                ));
+            }
+        }
+        if !pruned.is_empty() {
+            parts.push(format!("[degraded: {}]", pruned.members().join(",")));
+        }
+        if !pruned.startup_is_empty() {
+            parts.push(format!("[startup: {}]", pruned.startup_members().join(",")));
+        }
+        StatementTags {
+            fingerprint: fingerprint.map(|s| s.to_string()),
+            annotations: (!parts.is_empty()).then(|| parts.join(" ")),
+        }
+    }
+
     /// Count one finished statement: snapshot the per-query waits for
     /// dominant-wait attribution, push the summary, and emit `query_end`
     /// (plus `slow_query` past the armed threshold).
@@ -910,9 +1234,11 @@ impl Engine {
         error: Option<String>,
         query_waits: &WaitStats,
         pruned: &PruneLog,
+        tags: StatementTags,
     ) {
         let waits = query_waits.snapshot();
         let error_text = error.clone();
+        let tags_for_event = tags.clone();
         let was_slow = self.inner.metrics.finish_statement(
             kind,
             sql,
@@ -921,6 +1247,7 @@ impl Engine {
             error,
             Some(&waits),
             pruned.count(),
+            tags,
         );
         if has_hook() {
             let elapsed_ms = format!("{:.3}", elapsed.as_secs_f64() * 1000.0);
@@ -946,22 +1273,140 @@ impl Engine {
             }
             emit_event("query_end", &attrs);
             if was_slow {
-                emit_event(
-                    "slow_query",
-                    &[
-                        ("sql", sql.to_string()),
-                        ("elapsed_ms", elapsed_ms),
-                        (
-                            "dominant_wait",
-                            waits
-                                .dominant()
-                                .map(|c| c.name())
-                                .unwrap_or("NONE")
-                                .to_string(),
-                        ),
-                    ],
-                );
+                let mut slow_attrs = vec![
+                    ("sql", sql.to_string()),
+                    ("elapsed_ms", elapsed_ms),
+                    (
+                        "dominant_wait",
+                        waits
+                            .dominant()
+                            .map(|c| c.name())
+                            .unwrap_or("NONE")
+                            .to_string(),
+                    ),
+                ];
+                if let Some(fp) = tags_for_event.fingerprint {
+                    slow_attrs.push(("fingerprint", fp));
+                }
+                if let Some(ann) = tags_for_event.annotations {
+                    slow_attrs.push(("annotations", ann));
+                }
+                emit_event("slow_query", &slow_attrs);
             }
+        }
+    }
+
+    /// Whether plain executions should attach a runtime-stats collector
+    /// even without EXPLAIN ANALYZE or tracing: the query store and the
+    /// cardinality feedback loop consume per-operator actuals, and an
+    /// armed slow-query log wants annotation summaries.
+    fn observe_runtime(&self) -> bool {
+        *self.inner.query_store_on.read()
+            || *self.inner.card_feedback.read()
+            || self.inner.metrics.slow_log_armed()
+    }
+
+    /// Post-execution observability for one successful SELECT: record the
+    /// execution into the query store (emitting `plan_change` — and
+    /// bumping `plan_regressions` — when the fingerprint switched plans),
+    /// then run the cardinality feedback loop.
+    fn observe_execution(
+        &self,
+        template: &str,
+        plan: &PhysNode,
+        runtime: &HashMap<usize, NodeRuntime>,
+        elapsed: Duration,
+        rows: u64,
+        query_waits: &WaitStats,
+    ) {
+        if *self.inner.query_store_on.read() {
+            let (link_bytes, link_requests) = query_store::link_traffic(runtime);
+            let obs = ExecutionObservation {
+                template: template.to_string(),
+                plan_hash: query_store::plan_hash(plan),
+                plan_text: plan.display_indent(),
+                est_rows: plan.est_rows,
+                est_cost: plan.est_cost,
+                schema_epoch: self.inner.schema_epoch.load(Ordering::Relaxed),
+                config_epoch: self.inner.config_epoch.load(Ordering::Relaxed),
+                elapsed_us: elapsed.as_micros() as u64,
+                rows,
+                link_bytes,
+                link_requests,
+                dominant_wait: query_waits.snapshot().dominant().map(|c| c.name()),
+                operators: query_store::operator_observations(plan, runtime),
+            };
+            if let Some(notice) = self.inner.query_store.lock().record(obs) {
+                if notice.regressed {
+                    self.inner.metrics.record_plan_regression();
+                }
+                if has_hook() {
+                    emit_event(
+                        "plan_change",
+                        &[
+                            ("template", notice.template.clone()),
+                            ("query_id", format!("{:016x}", notice.query_id)),
+                            ("old_plan_hash", format!("{:016x}", notice.old_plan_hash)),
+                            ("new_plan_hash", format!("{:016x}", notice.new_plan_hash)),
+                            ("old_avg_us", notice.old_avg_us.to_string()),
+                            ("new_avg_us", notice.new_avg_us.to_string()),
+                            ("regressed", notice.regressed.to_string()),
+                        ],
+                    );
+                }
+            }
+        }
+        if *self.inner.card_feedback.read() {
+            self.apply_card_feedback(plan, runtime);
+        }
+    }
+
+    /// The cardinality feedback loop: overwrite the cached statistics
+    /// bundle of any remote table whose whole, unfiltered fetch observed at
+    /// least twice the cardinality the optimizer costed with, then purge
+    /// the plans compiled against the stale bundle so the next compilation
+    /// costs with truth. Feedback only ever *raises* cardinalities — a
+    /// partially drained cursor undercounts, so shrinking on observation
+    /// would be unsound. Corrected bundles drop their histograms (they
+    /// described the stale snapshot) and carry the `feedback` flag EXPLAIN
+    /// ANALYZE renders as `-- [feedback: applied]`.
+    fn apply_card_feedback(&self, plan: &PhysNode, runtime: &HashMap<usize, NodeRuntime>) {
+        let mut touched_servers: Vec<String> = Vec::new();
+        for (server, table, observed) in feedback_candidates(plan, runtime) {
+            let key = (server.to_lowercase(), table.to_lowercase());
+            let cached = self.inner.meta_cache.read().get(&key).cloned();
+            let Some(cached) = cached else { continue };
+            let known = cached
+                .info
+                .cardinality
+                .or_else(|| cached.stats.as_ref().and_then(|s| s.row_count))
+                .unwrap_or(0);
+            if observed < known.max(1).saturating_mul(2) {
+                continue;
+            }
+            let mut info = cached.info.clone();
+            info.cardinality = Some(observed);
+            let corrected = Arc::new(FetchedTable {
+                info,
+                stats: Some(TableStatistics {
+                    row_count: Some(observed),
+                    ..TableStatistics::default()
+                }),
+                caps: cached.caps.clone(),
+                checks: cached.checks.clone(),
+                fetched_at: Instant::now(),
+                feedback: true,
+            });
+            self.inner.meta_cache.write().insert(key.clone(), corrected);
+            self.inner.metrics.record_card_feedback();
+            if !touched_servers.contains(&key.0) {
+                touched_servers.push(key.0);
+            }
+        }
+        // Plans costed against the stale bundles must not be reused.
+        for server in touched_servers {
+            let evicted = self.inner.plan_cache.lock().purge_server(&server);
+            self.inner.metrics.record_plan_cache_evictions(evicted);
         }
     }
 
@@ -991,9 +1436,11 @@ impl Engine {
                     let analyze = fp.explain == Some(true);
                     let tracer = tracing.then(|| TraceBuilder::new(sql));
                     // Per-operator spans need runtime stats, so tracing
-                    // instruments the plan even outside EXPLAIN ANALYZE.
-                    let collector =
-                        (analyze || tracing).then(|| Arc::new(RuntimeStatsCollector::new()));
+                    // instruments the plan even outside EXPLAIN ANALYZE —
+                    // as do the query store, the cardinality feedback loop
+                    // and the slow-query ring's annotation summary.
+                    let collector = (analyze || tracing || self.observe_runtime())
+                        .then(|| Arc::new(RuntimeStatsCollector::new()));
                     let start = Instant::now();
                     if let Some(outcome) = self.run_fingerprinted(
                         &fp,
@@ -1012,6 +1459,16 @@ impl Engine {
                         } else {
                             StatementKind::Select
                         };
+                        if let (Ok((result, entry, _)), Some(collector)) = (&outcome, &collector) {
+                            self.observe_execution(
+                                &fp.template,
+                                &entry.plan,
+                                &collector.snapshot(),
+                                start.elapsed(),
+                                result.rows.len() as u64,
+                                query_waits.as_ref(),
+                            );
+                        }
                         let result =
                             outcome.map(|(result, entry, hit)| match (analyze, &collector) {
                                 (true, Some(collector)) => {
@@ -1035,6 +1492,7 @@ impl Engine {
                             result.as_ref().err().map(|e| e.to_string()),
                             &query_waits,
                             &pruned,
+                            Self::statement_tags(Some(&fp.template), collector.as_ref(), &pruned),
                         );
                         if let Some(trace) = trace {
                             *self.inner.last_trace.lock() = Some(trace);
@@ -1066,13 +1524,36 @@ impl Engine {
             Statement::Explain { analyze: true, .. } => StatementKind::ExplainAnalyze,
         };
         let start = Instant::now();
+        // Collector of the executed SELECT (when one was attached), kept
+        // for the statement tags below.
+        let mut exec_collector: Option<Arc<RuntimeStatsCollector>> = None;
         let result = match parsed {
             Statement::Select(stmt) => {
-                let collector = tracer
-                    .is_some()
+                let collector = (tracer.is_some() || self.observe_runtime())
                     .then(|| Arc::new(RuntimeStatsCollector::new()));
-                self.run_select_pipeline(&stmt, params, collector, tracer.as_ref(), &pruned)
-                    .map(|(result, _, _)| result)
+                exec_collector = collector.clone();
+                match self.run_select_pipeline(
+                    &stmt,
+                    params,
+                    collector.clone(),
+                    tracer.as_ref(),
+                    &pruned,
+                ) {
+                    Ok((result, plan, _, _)) => {
+                        if let Some(c) = &collector {
+                            self.observe_execution(
+                                sql,
+                                &plan,
+                                &c.snapshot(),
+                                start.elapsed(),
+                                result.rows.len() as u64,
+                                query_waits.as_ref(),
+                            );
+                        }
+                        Ok(result)
+                    }
+                    Err(e) => Err(e),
+                }
             }
             Statement::Insert(stmt) => dml::run_insert(self, &stmt, &params),
             Statement::Update(stmt) => dml::run_update(self, &stmt, &params),
@@ -1114,6 +1595,7 @@ impl Engine {
             result.as_ref().err().map(|e| e.to_string()),
             &query_waits,
             &pruned,
+            Self::statement_tags(None, exec_collector.as_ref(), &pruned),
         );
         if let Some(tr) = tracer {
             tr.set_waits(query_waits.snapshot());
@@ -1189,6 +1671,7 @@ impl Engine {
             if let Some(fp) = fingerprint(sql) {
                 let tracer = tracing.then(|| TraceBuilder::new(sql));
                 let collector = Arc::new(RuntimeStatsCollector::new());
+                let start = Instant::now();
                 if let Some(outcome) = self.run_fingerprinted(
                     &fp,
                     &params,
@@ -1196,6 +1679,16 @@ impl Engine {
                     tracer.as_ref(),
                     &pruned,
                 ) {
+                    if let Ok((result, entry, _)) = &outcome {
+                        self.observe_execution(
+                            &fp.template,
+                            &entry.plan,
+                            &collector.snapshot(),
+                            start.elapsed(),
+                            result.rows.len() as u64,
+                            query_waits.as_ref(),
+                        );
+                    }
                     let wait_snapshot = query_waits.snapshot();
                     let trace = tracer.map(|t| {
                         t.set_waits(wait_snapshot);
@@ -1229,7 +1722,18 @@ impl Engine {
         if let Some(tr) = &tracer {
             tr.stage("parse", began);
         }
+        let start = Instant::now();
         let report = self.analyze_select(&stmt, params, tracer.as_ref(), &pruned);
+        if let Ok(r) = &report {
+            self.observe_execution(
+                sql,
+                &r.plan,
+                &r.runtime,
+                start.elapsed(),
+                r.result.rows.len() as u64,
+                query_waits.as_ref(),
+            );
+        }
         let wait_snapshot = query_waits.snapshot();
         let trace = tracer.map(|t| {
             t.set_waits(wait_snapshot);
@@ -1253,7 +1757,7 @@ impl Engine {
         pruned: &Arc<PruneLog>,
     ) -> Result<AnalyzeReport> {
         let collector = Arc::new(RuntimeStatsCollector::new());
-        let (result, plan, stats) =
+        let (result, plan, stats, used_feedback) =
             self.run_select_pipeline(stmt, params, Some(Arc::clone(&collector)), tracer, pruned)?;
         let explain = ExplainPlan::new(&plan, stats);
         Ok(AnalyzeReport {
@@ -1267,6 +1771,7 @@ impl Engine {
             waits: None,
             pruned: pruned.members(),
             startup_pruned: pruned.startup_members(),
+            feedback: used_feedback,
         })
     }
 
@@ -1290,6 +1795,7 @@ impl Engine {
             waits: None,
             pruned: pruned.members(),
             startup_pruned: pruned.startup_members(),
+            feedback: entry.used_feedback,
         }
     }
 
@@ -1374,6 +1880,7 @@ impl Engine {
             view_members,
             dep_servers,
             stats_as_of,
+            used_feedback,
         } = bound;
         let optimizer = Optimizer::new(self.optimizer_config());
         let deps = self.current_deps(dep_servers);
@@ -1391,6 +1898,7 @@ impl Engine {
             opt_stats,
             deps,
             stats_as_of,
+            used_feedback,
             execution_count: AtomicU64::new(0),
             total_elapsed_us: AtomicU64::new(0),
             total_rows: AtomicU64::new(0),
@@ -1432,7 +1940,7 @@ impl Engine {
         // tracked for the engine counters but not attributed to a summary.
         let pruned = Arc::new(PruneLog::default());
         self.run_select_pipeline(stmt, params, None, None, &pruned)
-            .map(|(result, _, _)| result)
+            .map(|(result, _, _, _)| result)
     }
 
     /// Bind, optimize and execute one SELECT. When `stats` is given, every
@@ -1450,6 +1958,7 @@ impl Engine {
         QueryResult,
         PhysNode,
         dhqp_optimizer::search::OptimizerStats,
+        bool,
     )> {
         let began = Instant::now();
         let bound = Binder::new(self, &params).bind_select(stmt)?;
@@ -1464,6 +1973,7 @@ impl Engine {
             output,
             required,
             view_members,
+            used_feedback,
             ..
         } = bound;
         let began = Instant::now();
@@ -1489,7 +1999,7 @@ impl Engine {
                 None => tr.stage("execute", began),
             }
         }
-        Ok((result, plan, opt_stats))
+        Ok((result, plan, opt_stats, used_feedback))
     }
 
     /// Execute one already-optimized plan — the shared tail of the cached
@@ -1805,4 +2315,122 @@ impl Engine {
     pub fn add_event_sink(&self, sink: Box<dyn EventSink>) {
         self.inner.events.read().add_sink(sink);
     }
+
+    // ---- query store & cardinality feedback --------------------------------
+
+    pub fn query_store_enabled(&self) -> bool {
+        *self.inner.query_store_on.read()
+    }
+
+    /// Switch the query store on or off. Turning it off drops the history
+    /// (like `ALTER DATABASE ... SET QUERY_STORE = OFF` purging on reset).
+    pub fn set_query_store_enabled(&self, enabled: bool) {
+        *self.inner.query_store_on.write() = enabled;
+        if !enabled {
+            self.inner.query_store.lock().clear();
+        }
+    }
+
+    /// Bound the number of fingerprints tracked (LRU-evicting down).
+    pub fn set_query_store_capacity(&self, capacity: usize) {
+        self.inner.query_store.lock().set_capacity(capacity);
+    }
+
+    /// Fingerprints currently tracked.
+    pub fn query_store_len(&self) -> usize {
+        self.inner.query_store.lock().len()
+    }
+
+    /// Point-in-time copy of the store: per-fingerprint plan + runtime
+    /// history, the data behind the three `sys.query_store_*` DMVs.
+    pub fn query_store_queries(&self) -> Vec<crate::query_store::QueryStats> {
+        self.inner.query_store.lock().snapshot()
+    }
+
+    pub fn clear_query_store(&self) {
+        self.inner.query_store.lock().clear();
+    }
+
+    pub fn card_feedback_enabled(&self) -> bool {
+        *self.inner.card_feedback.read()
+    }
+
+    /// Toggle the cardinality feedback loop. A compile-side decision like
+    /// statistics freshness, not a plan property: no epoch bump — the
+    /// loop's own writebacks purge exactly the affected plans.
+    pub fn set_card_feedback(&self, on: bool) {
+        *self.inner.card_feedback.write() = on;
+    }
+}
+
+/// Full-table remote observations eligible for cardinality feedback:
+/// `(server, table, observed rows per open)`. Only whole, unfiltered
+/// fetches qualify — a `WHERE`/`JOIN`/`GROUP BY`/`TOP`-shaped statement or
+/// a semi-join-reduced probe observes a subset of the table, and a
+/// correlated (parameterized) statement observes one binding's slice —
+/// so observed rows are a true lower bound on the table's cardinality.
+fn feedback_candidates(
+    plan: &PhysNode,
+    runtime: &HashMap<usize, NodeRuntime>,
+) -> Vec<(String, String, u64)> {
+    /// The bare table of `SELECT <cols> FROM <table>` — `None` for any
+    /// statement shape whose row count is not the table's.
+    fn bare_table(sql: &str) -> Option<String> {
+        let upper = sql.to_ascii_uppercase();
+        const REDUCERS: [&str; 7] = [
+            " WHERE ",
+            " JOIN ",
+            " GROUP BY ",
+            " ORDER BY ",
+            " TOP ",
+            " DISTINCT ",
+            " LIMIT ",
+        ];
+        if REDUCERS.iter().any(|m| upper.contains(m)) {
+            return None;
+        }
+        let from = upper.find(" FROM ")?;
+        let table = sql[from + " FROM ".len()..].trim();
+        if table.is_empty() || table.starts_with('(') || table.contains(' ') {
+            return None;
+        }
+        Some(
+            table
+                .trim_matches(|c| c == '[' || c == ']' || c == '"')
+                .to_string(),
+        )
+    }
+    fn walk(
+        node: &PhysNode,
+        id: usize,
+        runtime: &HashMap<usize, NodeRuntime>,
+        out: &mut Vec<(String, String, u64)>,
+    ) {
+        let target = match &node.op {
+            PhysicalOp::RemoteScan { meta } => meta
+                .source
+                .server_name()
+                .map(|s| (s.to_string(), meta.table.clone())),
+            PhysicalOp::RemoteQuery {
+                server,
+                sql,
+                params,
+                ..
+            } if params.is_empty() => bare_table(sql).map(|t| (server.to_string(), t)),
+            _ => None,
+        };
+        if let (Some((server, table)), Some(rt)) = (target, runtime.get(&id)) {
+            if let Some(avg) = rt.rows.checked_div(rt.opens) {
+                out.push((server, table, avg));
+            }
+        }
+        let mut child_id = id + 1;
+        for child in &node.children {
+            walk(child, child_id, runtime, out);
+            child_id += child.subtree_size();
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, 0, runtime, &mut out);
+    out
 }

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Number of event kinds (mask-indexed filtering).
-pub const EVENT_KINDS: usize = 13;
+pub const EVENT_KINDS: usize = 14;
 
 /// The typed event taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,6 +57,9 @@ pub enum EventKind {
     BreakerOpen,
     /// A link's circuit breaker closed again (member re-admitted).
     BreakerClose,
+    /// A fingerprint's latest execution used a different plan than its
+    /// query-store history (regressions flagged in the attrs).
+    PlanChange,
 }
 
 impl EventKind {
@@ -75,6 +78,7 @@ impl EventKind {
         EventKind::BatchFlush,
         EventKind::BreakerOpen,
         EventKind::BreakerClose,
+        EventKind::PlanChange,
     ];
 
     /// The wire/display name, shared with the low-layer emitters.
@@ -93,6 +97,7 @@ impl EventKind {
             EventKind::BatchFlush => "batch_flush",
             EventKind::BreakerOpen => "breaker_open",
             EventKind::BreakerClose => "breaker_close",
+            EventKind::PlanChange => "plan_change",
         }
     }
 

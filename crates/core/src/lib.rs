@@ -27,6 +27,7 @@ pub mod engine;
 pub mod events;
 pub mod metrics;
 pub mod plan_cache;
+pub mod query_store;
 pub mod remote;
 pub mod result;
 pub mod trace;
@@ -37,6 +38,7 @@ pub use engine::{Engine, EngineBuilder};
 pub use events::{Event, EventBus, EventConfig, EventKind, EventSink, JsonlSink};
 pub use metrics::{MetricsSnapshot, QuerySummary, StatementKind};
 pub use plan_cache::PlanCacheConfig;
+pub use query_store::QueryStoreConfig;
 pub use remote::EngineDataSource;
 pub use result::QueryResult;
 pub use trace::{QueryTrace, TraceConfig, TraceSpan};

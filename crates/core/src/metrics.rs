@@ -71,6 +71,21 @@ pub struct QuerySummary {
     /// DPV members degraded mode pruned while serving this statement
     /// (0 unless `DHQP_DEGRADED=prune` skipped a quarantined member).
     pub pruned_members: u64,
+    /// Plan-cache fingerprint template, when the statement parameterized —
+    /// the join key against plan-cache and query-store rows.
+    pub fingerprint: Option<String>,
+    /// Compressed runtime annotations (`[semijoin: …]`, `[degraded: …]`,
+    /// `[startup: …]`), so a slow-query entry explains itself without the
+    /// full EXPLAIN ANALYZE re-run.
+    pub annotations: Option<String>,
+}
+
+/// Statement identity + annotation extras for the query rings, bundled so
+/// [`EngineMetrics::finish_statement`] stays callable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatementTags {
+    pub fingerprint: Option<String>,
+    pub annotations: Option<String>,
 }
 
 /// Point-in-time copy of every engine counter. DTC commit/abort counts are
@@ -136,6 +151,12 @@ pub struct MetricsSnapshot {
     /// Extra request bytes spent shipping semi-join filters, summed — the
     /// price paid for the result-byte savings.
     pub semijoin_filter_bytes: u64,
+    /// Query-store plan changes whose new plan averaged slower than the
+    /// fingerprint's previous plan.
+    pub plan_regressions: u64,
+    /// Observed remote cardinalities written back into the statistics
+    /// cache by the feedback loop (`DHQP_CARD_FEEDBACK`).
+    pub card_feedback_applied: u64,
     pub dtc_commits: u64,
     pub dtc_aborts: u64,
     /// Distributed transactions currently in doubt (decision logged,
@@ -191,6 +212,8 @@ impl MetricsSnapshot {
             ("semijoin_reductions", self.semijoin_reductions),
             ("semijoin_fallbacks", self.semijoin_fallbacks),
             ("semijoin_filter_bytes", self.semijoin_filter_bytes),
+            ("plan_regressions", self.plan_regressions),
+            ("card_feedback_applied", self.card_feedback_applied),
             ("dtc_commits", self.dtc_commits),
             ("dtc_aborts", self.dtc_aborts),
             ("dtc_in_doubt", self.dtc_in_doubt),
@@ -218,6 +241,8 @@ pub(crate) struct EngineMetrics {
     stats_cache_hits: AtomicU64,
     stats_cache_misses: AtomicU64,
     fulltext_searches: AtomicU64,
+    plan_regressions: AtomicU64,
+    card_feedback_applied: AtomicU64,
     exec: Arc<ExecCounters>,
     recent_capacity: usize,
     recent: Mutex<VecDeque<QuerySummary>>,
@@ -256,6 +281,8 @@ impl EngineMetrics {
             stats_cache_hits: AtomicU64::new(0),
             stats_cache_misses: AtomicU64::new(0),
             fulltext_searches: AtomicU64::new(0),
+            plan_regressions: AtomicU64::new(0),
+            card_feedback_applied: AtomicU64::new(0),
             exec: Arc::new(ExecCounters::default()),
             recent_capacity: recent_capacity.max(1),
             recent: Mutex::new(VecDeque::new()),
@@ -270,6 +297,19 @@ impl EngineMetrics {
     /// activity scope alongside the per-query sink).
     pub fn waits(&self) -> Arc<WaitStats> {
         Arc::clone(&self.waits)
+    }
+
+    /// Whether the slow-query log is armed (statements want annotations).
+    pub fn slow_log_armed(&self) -> bool {
+        self.slow_threshold.is_some()
+    }
+
+    pub fn slow_threshold(&self) -> Option<Duration> {
+        self.slow_threshold
+    }
+
+    pub fn recent_capacity(&self) -> usize {
+        self.recent_capacity
     }
 
     /// Point-in-time copy of the cumulative wait stats.
@@ -303,6 +343,8 @@ impl EngineMetrics {
             &self.stats_cache_hits,
             &self.stats_cache_misses,
             &self.fulltext_searches,
+            &self.plan_regressions,
+            &self.card_feedback_applied,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -358,6 +400,14 @@ impl EngineMetrics {
         self.fulltext_searches.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn record_plan_regression(&self) {
+        self.plan_regressions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_card_feedback(&self) {
+        self.card_feedback_applied.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one finished statement and push its summary onto the ring.
     /// `error` is the failure message (`None` means success); `waits` is
     /// the statement's per-query wait snapshot, whose dominant class is
@@ -373,6 +423,7 @@ impl EngineMetrics {
         error: Option<String>,
         waits: Option<&WaitSnapshot>,
         pruned_members: u64,
+        tags: StatementTags,
     ) -> bool {
         let counter = match kind {
             StatementKind::Select => &self.selects,
@@ -396,6 +447,8 @@ impl EngineMetrics {
             error,
             dominant_wait: waits.and_then(|w| w.dominant()).map(|c| c.name()),
             pruned_members,
+            fingerprint: tags.fingerprint,
+            annotations: tags.annotations,
         };
         let was_slow = self
             .slow_threshold
@@ -450,6 +503,8 @@ impl EngineMetrics {
             stats_cache_hits: self.stats_cache_hits.load(Ordering::Relaxed),
             stats_cache_misses: self.stats_cache_misses.load(Ordering::Relaxed),
             fulltext_searches: self.fulltext_searches.load(Ordering::Relaxed),
+            plan_regressions: self.plan_regressions.load(Ordering::Relaxed),
+            card_feedback_applied: self.card_feedback_applied.load(Ordering::Relaxed),
             spool_hits: exec.spool_hits,
             spool_builds: exec.spool_builds,
             remote_roundtrips: exec.remote_roundtrips,
@@ -489,6 +544,7 @@ mod tests {
                 None,
                 None,
                 0,
+                StatementTags::default(),
             );
         }
         let recent = m.recent_queries();
@@ -513,6 +569,7 @@ mod tests {
                 None,
                 None,
                 0,
+                StatementTags::default(),
             );
         }
         let recent = m.recent_queries();
@@ -531,6 +588,7 @@ mod tests {
             Some("table 'missing' not found".into()),
             None,
             0,
+            StatementTags::default(),
         );
         let q = &m.recent_queries()[0];
         assert!(!q.ok);
@@ -549,6 +607,7 @@ mod tests {
             None,
             None,
             0,
+            StatementTags::default(),
         );
         m.finish_statement(
             StatementKind::Select,
@@ -558,6 +617,7 @@ mod tests {
             None,
             None,
             0,
+            StatementTags::default(),
         );
         let slow = m.slow_queries();
         assert_eq!(slow.len(), 1);
@@ -572,6 +632,7 @@ mod tests {
             None,
             None,
             0,
+            StatementTags::default(),
         );
         assert!(off.slow_queries().is_empty());
     }
@@ -587,6 +648,7 @@ mod tests {
             None,
             None,
             0,
+            StatementTags::default(),
         );
         let h = m.query_latency();
         assert_eq!(h.count, 1);
@@ -609,6 +671,7 @@ mod tests {
             None,
             Some(&snap),
             0,
+            StatementTags::default(),
         );
         assert!(was_slow);
         let q = &m.slow_queries()[0];
@@ -622,6 +685,7 @@ mod tests {
             None,
             Some(&WaitStats::default().snapshot()),
             0,
+            StatementTags::default(),
         ));
         assert_eq!(m.recent_queries().last().unwrap().dominant_wait, None);
     }
@@ -642,6 +706,7 @@ mod tests {
             None,
             None,
             0,
+            StatementTags::default(),
         );
         m.reset();
         let s = m.snapshot(DtcStats::default());
@@ -667,6 +732,7 @@ mod tests {
             Some("boom".into()),
             None,
             0,
+            StatementTags::default(),
         );
         m.exec_counters().add_remote_retry();
         m.exec_counters().add_remote_transient_error();

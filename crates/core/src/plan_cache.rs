@@ -50,6 +50,9 @@ pub(crate) struct CachedSelect {
     /// When the oldest remote metadata/statistics bundle consulted at
     /// compile time was fetched (`None` for purely local plans).
     pub stats_as_of: Option<Instant>,
+    /// Whether the compile consulted feedback-corrected statistics
+    /// (`[feedback: applied]` in EXPLAIN output).
+    pub used_feedback: bool,
     /// Per-fingerprint execution aggregates (the `sys.dm_exec_query_stats`
     /// substrate): bumped on every run of this plan, cache hit or the
     /// compiling miss alike.
@@ -134,6 +137,10 @@ impl PlanCache {
 
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.config.capacity
     }
 
     /// Shrink (or grow) the bound; returns how many entries were evicted.
@@ -328,6 +335,7 @@ mod tests {
                     config_epoch: 0,
                 },
                 stats_as_of: None,
+                used_feedback: false,
                 execution_count: AtomicU64::new(0),
                 total_elapsed_us: AtomicU64::new(0),
                 total_rows: AtomicU64::new(0),

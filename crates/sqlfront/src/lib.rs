@@ -10,10 +10,12 @@
 
 pub mod ast;
 pub mod fingerprint;
+pub mod hash;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::*;
 pub use fingerprint::{fingerprint, Fingerprint, AUTO_PARAM_PREFIX};
+pub use hash::{fnv1a_64, hash_lines, Fnv1a};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{parse_expression, parse_statement, Parser};

@@ -845,3 +845,250 @@ fn batch_flush_events_land_on_the_ring_behind_the_mask() {
         "masked batch_flush still captured"
     );
 }
+
+// ---- Perfetto export validity -------------------------------------------
+
+/// A minimal strict JSON value — the test's own parser, so "parseable"
+/// means parseable by the grammar, not by substring luck.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser: rejects trailing garbage, unterminated
+/// strings, bad escapes and malformed numbers.
+fn parse_json(s: &str) -> Result<Json, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("non-string key {other:?}")),
+                };
+                expect(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) if c < 0x20 => {
+                        return Err(format!("unescaped control byte 0x{c:02x}"))
+                    }
+                    Some(_) => {
+                        // Multi-byte UTF-8 sequences pass through verbatim.
+                        let start = *pos;
+                        while *pos < b.len() && b[*pos] & 0xc0 == 0x80 || *pos == start {
+                            *pos += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?,
+                        );
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at {start}"))
+        }
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+/// The Perfetto export under parallel chaos must be *parseable* JSON (by
+/// the grammar, not substring checks) whose trace_event stream gives each
+/// exchange worker its own thread track with the wait slices riding on it.
+#[test]
+fn chrome_trace_export_parses_with_one_track_per_exchange_worker() {
+    let (head, links) = flaky_parallel_federation();
+    head.set_retry_policy(fast_retries());
+    head.set_parallel_config(ParallelConfig::parallel());
+    head.set_trace_config(TraceConfig::enabled());
+
+    head.query(FEDERATION_SCAN).unwrap();
+    let faults: u64 = links.iter().map(NetworkLink::faults_injected).sum();
+    assert_eq!(faults, links.len() as u64, "chaos leg armed");
+
+    let trace = head.last_trace().expect("tracing was armed");
+    let json = trace.to_chrome_json();
+    let doc = parse_json(&json).unwrap_or_else(|e| panic!("unparseable export: {e}\n{json}"));
+
+    assert_eq!(
+        doc.get("displayTimeUnit"),
+        Some(&Json::Str("ms".to_string()))
+    );
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents missing or not an array: {doc:?}");
+    };
+    assert!(!events.is_empty());
+    // Every event is a complete slice with the full field set.
+    for ev in events {
+        assert_eq!(ev.get("ph"), Some(&Json::Str("X".to_string())), "{ev:?}");
+        assert_eq!(ev.get("pid").and_then(Json::as_num), Some(1.0), "{ev:?}");
+        for field in ["name", "ts", "dur", "tid", "args"] {
+            assert!(ev.get(field).is_some(), "{field} missing: {ev:?}");
+        }
+    }
+    // The query's own track is tid 0; each of the 7 partition branches
+    // runs on its worker's private track (tid = N+1), and no two workers
+    // share one.
+    let root = events
+        .iter()
+        .find(|e| e.get("name") == Some(&Json::Str("query".to_string())))
+        .expect("root span");
+    assert_eq!(root.get("tid").and_then(Json::as_num), Some(0.0));
+    let mut worker_tids = Vec::new();
+    for worker in 0..7u64 {
+        let name = Json::Str(format!("worker-{worker}"));
+        let ev = events
+            .iter()
+            .find(|e| e.get("name") == Some(&name))
+            .unwrap_or_else(|| panic!("worker-{worker} has no slice"));
+        let tid = ev.get("tid").and_then(Json::as_num).unwrap();
+        assert_eq!(tid, worker as f64 + 1.0, "worker-{worker} off-track");
+        assert!(!worker_tids.contains(&tid.to_bits()), "shared track");
+        worker_tids.push(tid.to_bits());
+    }
+}
